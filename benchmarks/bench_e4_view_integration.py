@@ -1,0 +1,152 @@
+"""E4 — Step 4 at scale: integrating many quality views.
+
+The paper motivates Step 4 with large designs where "more than one set
+of application requirements is involved".  This experiment integrates v
+overlapping quality views over one application view and measures:
+
+- integration time vs. v;
+- deduplication work (annotations in vs. annotations out);
+- derivability reductions found (the age/creation-time rule), as the
+  ablation of the keep-both alternative.
+
+Expected shape: output annotations ≪ input annotations as overlap
+grows; derivability reductions occur whenever both members of a rule
+pair survive at one target; integration time grows with v.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core.integration import integrate_views
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import ApplicationView, IndicatorAnnotation, QualityView
+from repro.experiments.reporting import TextTable
+from repro.experiments.scenarios import trading_er_schema
+
+#: The indicator pool views draw from (with one derivable pair).
+_POOL = [
+    QualityIndicatorSpec("source", "STR"),
+    QualityIndicatorSpec("creation_time", "DATE"),
+    QualityIndicatorSpec("age", "FLOAT"),
+    QualityIndicatorSpec("collection_method", "STR"),
+    QualityIndicatorSpec("analyst_name", "STR"),
+    QualityIndicatorSpec("media", "STR"),
+    QualityIndicatorSpec("price", "FLOAT"),
+    QualityIndicatorSpec("inspection", "STR"),
+]
+
+
+def _make_views(app_view: ApplicationView, n_views: int) -> list[QualityView]:
+    """Deterministically build n overlapping views.
+
+    View i annotates every attribute target with pool indicators i, i+1,
+    i+2 (mod pool) — adjacent views overlap on two of three indicators.
+    """
+    targets = [
+        path
+        for path in app_view.er_schema.annotation_targets()
+        if len(path) == 2
+    ]
+    views = []
+    for view_index in range(n_views):
+        view = QualityView(app_view)
+        for target_index, target in enumerate(targets):
+            for offset in range(3):
+                indicator = _POOL[
+                    (view_index + target_index + offset) % len(_POOL)
+                ]
+                annotation = IndicatorAnnotation(
+                    target,
+                    indicator,
+                    derived_from=(f"param_v{view_index}",),
+                )
+                if not any(a == annotation for a in view.annotations):
+                    view.add(annotation)
+        views.append(view)
+    return views
+
+
+def test_e4_integration_dedup_and_derivability(benchmark):
+    app_view = ApplicationView(trading_er_schema())
+    views = _make_views(app_view, 8)
+    input_annotations = sum(len(v.annotations) for v in views)
+
+    schema = benchmark(integrate_views, views)
+
+    output_annotations = len(schema.annotations)
+    derivability_notes = [
+        note for note in schema.integration_notes if "dropped" in note
+    ]
+    merge_notes = [
+        note for note in schema.integration_notes if "merged" in note
+    ]
+    table = TextTable(
+        ["metric", "value"], title="E4: integration of 8 overlapping views"
+    )
+    table.add_row(["input annotations", input_annotations])
+    table.add_row(["output annotations", output_annotations])
+    table.add_row(["duplicate merges", len(merge_notes)])
+    table.add_row(["derivability reductions", len(derivability_notes)])
+    emit("E4: view integration", table.render())
+
+    assert output_annotations < input_annotations
+    assert derivability_notes  # age collapsed into creation_time somewhere
+    # Parameter provenance from all views survives integration.
+    all_provenance = {
+        p for a in schema.annotations for p in a.derived_from
+    }
+    assert {f"param_v{i}" for i in range(8)} <= all_provenance
+
+
+def test_e4_scaling_curve(benchmark):
+    app_view = ApplicationView(trading_er_schema())
+
+    def sweep():
+        results = []
+        for v in (2, 4, 8, 16, 32):
+            views = _make_views(app_view, v)
+            start = time.perf_counter()
+            schema = integrate_views(views)
+            seconds = time.perf_counter() - start
+            results.append(
+                {
+                    "views": v,
+                    "seconds": seconds,
+                    "in": sum(len(x.annotations) for x in views),
+                    "out": len(schema.annotations),
+                }
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    table = TextTable(
+        ["views", "annotations in", "annotations out", "seconds"],
+        title="E4: integration scaling",
+    )
+    for entry in results:
+        table.add_row(
+            [entry["views"], entry["in"], entry["out"], entry["seconds"]]
+        )
+    emit("E4: scaling", table.render())
+    # Shape: the output saturates (the pool is finite) while input grows
+    # linearly — integration's dedup ratio improves with overlap.
+    ratios = [entry["out"] / entry["in"] for entry in results]
+    assert ratios == sorted(ratios, reverse=True)
+    assert results[-1]["out"] <= results[-1]["in"] / 4
+
+
+def test_e4_ablation_no_derivability_rules(benchmark):
+    """Ablation: disable derivability analysis — both members of the
+    age/creation-time pair survive, inflating the schema."""
+    app_view = ApplicationView(trading_er_schema())
+    views = _make_views(app_view, 8)
+
+    with_rules = integrate_views(views)
+    without_rules = benchmark(integrate_views, views, rules=())
+    emit(
+        "E4 ablation",
+        f"with derivability rules: {len(with_rules.annotations)} annotations\n"
+        f"without:                 {len(without_rules.annotations)} annotations",
+    )
+    assert len(without_rules.annotations) > len(with_rules.annotations)

@@ -1,0 +1,115 @@
+"""E5 — the administrator's toolkit: SPC alarm + electronic trail.
+
+§4: the administrator monitors and controls data quality and, "in
+handling an exceptional situation, such as tracking an erred
+transaction", follows the electronic trail.
+
+Workload: a manufacturing stream whose collection device degrades
+mid-run (error rate steps from 1% to 40%).  The p-chart built from
+inspection batches must flag the process *after* the step change; the
+trail must reconstruct an erred datum's full manufacturing history.
+"""
+
+import datetime as dt
+
+from conftest import emit
+
+from repro.experiments.reporting import TextTable
+from repro.manufacturing.collection import CollectionMethod
+from repro.manufacturing.generator import make_companies
+from repro.manufacturing.pipeline import ManufacturingPipeline
+from repro.manufacturing.sources import DataSource
+from repro.manufacturing.world import World
+from repro.quality.spc import p_chart
+from repro.relational.schema import schema
+
+N_COMPANIES = 600
+DEGRADE_AT = 400  # entity index where the device fails
+BATCH = 50
+
+
+def _run_stream():
+    companies = make_companies(N_COMPANIES, seed=21)
+    world = World(dt.date(1991, 1, 1), companies, seed=21)
+    method = CollectionMethod("voice_decoder", 0.01, seed=21)
+    source = DataSource("registry", world, error_rate=0.0, seed=21)
+    pipeline = ManufacturingPipeline(
+        world,
+        schema(
+            "customer",
+            [("co_name", "STR"), ("address", "STR")],
+            key=["co_name"],
+        ),
+        "co_name",
+    )
+    pipeline.assign("address", source, method)
+    keys = list(world.keys)
+    pipeline.manufacture(keys=keys[:DEGRADE_AT])
+    method.degrade(0.40)
+    pipeline.manufacture(keys=keys[DEGRADE_AT:])
+    return pipeline
+
+
+def test_e5_spc_detects_degraded_device(benchmark):
+    pipeline = _run_stream()
+    counts, sizes = pipeline.defect_counts_by_batch(BATCH)
+
+    chart = benchmark(p_chart, counts, sizes, DEGRADE_AT // BATCH)
+    emit("E5: p-chart over the manufactured stream", chart.render())
+
+    signal = chart.first_signal_index()
+    change_batch = DEGRADE_AT // BATCH
+    table = TextTable(["metric", "value"], title="E5: detection summary")
+    table.add_row(["batches", len(counts)])
+    table.add_row(["step change at batch", change_batch])
+    table.add_row(["first SPC signal at batch", signal])
+    emit("E5: detection", table.render())
+
+    # Shape: no false alarm before the change; detection at/after it,
+    # and quickly (within two batches).
+    assert signal is not None
+    assert change_batch <= signal <= change_batch + 2
+    pre_change_signals = [
+        p.index for p in chart.signals if p.index < change_batch
+    ]
+    assert pre_change_signals == []
+
+
+def test_e5_trail_traces_erred_datum(benchmark):
+    pipeline = _run_stream()
+    erred = next(
+        record
+        for record in pipeline.manufactured
+        if record.erroneous
+    )
+
+    trace = benchmark(
+        pipeline.trail.trace_erred_transaction, "customer", (erred.key,)
+    )
+    emit(
+        "E5: electronic trail of an erred datum",
+        "\n".join(event.summary() for event in trace["events"]),
+    )
+    assert trace["steps"] == ["collected", "captured", "inserted"]
+    assert "registry" in trace["actors"]
+    assert "voice_decoder" in trace["actors"]
+    # The trail records the corrupted capture.
+    captured_events = [
+        event for event in trace["events"] if event.step == "captured"
+    ]
+    assert captured_events[0].detail["value"] == erred.value
+
+
+def test_e5_per_method_defect_attribution(benchmark):
+    """The administrator's report: defects attributed per collection
+    method — the evidence behind a device-replacement decision."""
+    pipeline = _run_stream()
+    stats = benchmark(pipeline.defect_counts_by_method)
+    defects, total = stats["voice_decoder"]
+    emit(
+        "E5: defect attribution",
+        f"voice_decoder: {defects}/{total} defective "
+        f"({defects / total:.1%})",
+    )
+    # Overall defect rate sits between the clean and degraded rates.
+    assert 0.01 < defects / total < 0.40

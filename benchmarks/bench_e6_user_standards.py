@@ -1,0 +1,163 @@
+"""E6 — Premises 2.1/2.2: per-user quality standards over the same data.
+
+The paper's example: "An investor loosely following a stock may consider
+a ten minute delay for share price sufficiently timely, whereas a trader
+who needs price quotes in real time may not."
+
+Workload: a tick stream whose ``age`` tags span seconds to days.  Each
+user maps the same indicator to a *different* timeliness parameter value
+and acceptance threshold; the acceptance-rate matrix shows "data quality
+is in the eye of the beholder".
+
+Expected shape: acceptance rates strictly ordered
+archivist > investor > trader; every user's filtered view satisfies that
+user's own standard exactly.
+"""
+
+from conftest import emit
+
+from repro.core.mapping import (
+    UserQualityStandard,
+    compare_standards,
+    timeliness_from_age,
+)
+from repro.experiments.reporting import TextTable
+from repro.experiments.scenarios import trading_ticks
+
+MINUTE = 1 / (24 * 60)
+
+
+def _standards():
+    def accept(timely):
+        return timely
+
+    return [
+        UserQualityStandard(
+            "trader (1 min)",
+            mappings=[timeliness_from_age(1 * MINUTE)],
+            acceptance={"timeliness": accept},
+        ),
+        UserQualityStandard(
+            "investor (10 min)",
+            mappings=[timeliness_from_age(10 * MINUTE)],
+            acceptance={"timeliness": accept},
+        ),
+        UserQualityStandard(
+            "archivist (1 day)",
+            mappings=[timeliness_from_age(1.0)],
+            acceptance={"timeliness": accept},
+        ),
+    ]
+
+
+def test_e6_acceptance_matrix(benchmark):
+    ticks = trading_ticks(n_ticks=600, seed=31)
+    standards = _standards()
+
+    rates = benchmark(compare_standards, standards, ticks, "price")
+
+    table = TextTable(
+        ["user", "standard", "acceptance_rate"],
+        title="E6: the same ticks, three users",
+    )
+    for standard in standards:
+        table.add_row(
+            [
+                standard.user,
+                standard.mapping("timeliness").doc,
+                rates[standard.user],
+            ]
+        )
+    emit("E6: per-user standards", table.render())
+
+    trader, investor, archivist = (rates[s.user] for s in standards)
+    assert 0.0 < trader < investor < archivist < 1.0
+
+
+def test_e6_filtered_views_satisfy_owners(benchmark):
+    ticks = trading_ticks(n_ticks=400, seed=31)
+    standards = _standards()
+
+    def filter_all():
+        return {
+            standard.user: standard.filter_relation(ticks, "price")
+            for standard in standards
+        }
+
+    views = benchmark(filter_all)
+    for standard in standards:
+        view = views[standard.user]
+        # Each user's own view is 100% acceptable to that user.
+        assert all(
+            standard.accepts_cell(row["price"]) for row in view
+        )
+    # Strictness ordering carries to view sizes.
+    sizes = [len(views[s.user]) for s in standards]
+    assert sizes == sorted(sizes)
+
+
+def test_e6_mapping_vs_derived_age_ablation(benchmark):
+    """Ablation of the E4/derivability decision: a user whose mapping
+    derives age from creation_time + today answers the same question as
+    one reading a precomputed age tag."""
+    import datetime as dt
+
+    from repro.core.mapping import timeliness_from_creation_time
+    from repro.tagging.cell import QualityCell
+    from repro.tagging.indicators import (
+        IndicatorDefinition,
+        IndicatorValue,
+        TagSchema,
+    )
+    from repro.tagging.relation import TaggedRelation
+    from repro.relational.schema import schema
+
+    today = dt.date(1991, 7, 1)
+    tag_schema = TagSchema(
+        indicators=[
+            IndicatorDefinition("age", "FLOAT"),
+            IndicatorDefinition("creation_time", "DATE"),
+        ],
+        allowed={"price": ["age", "creation_time"]},
+    )
+    relation = TaggedRelation(
+        schema("ticks", [("ticker", "STR"), ("price", "FLOAT")]), tag_schema
+    )
+    for days_old in range(0, 40, 3):
+        relation.insert(
+            {
+                "ticker": f"T{days_old}",
+                "price": QualityCell(
+                    10.0,
+                    [
+                        IndicatorValue("age", float(days_old)),
+                        IndicatorValue(
+                            "creation_time",
+                            today - dt.timedelta(days=days_old),
+                        ),
+                    ],
+                ),
+            }
+        )
+    from_age = UserQualityStandard(
+        "u", mappings=[timeliness_from_age(10.0)],
+        acceptance={"timeliness": lambda t: t},
+    )
+    from_creation = UserQualityStandard(
+        "u", mappings=[timeliness_from_creation_time(10.0)],
+        acceptance={"timeliness": lambda t: t},
+    )
+
+    def both():
+        return (
+            from_age.acceptance_rate(relation, "price"),
+            from_creation.acceptance_rate(relation, "price", {"today": today}),
+        )
+
+    rate_age, rate_creation = benchmark(both)
+    emit(
+        "E6 ablation",
+        f"precomputed-age mapping:     {rate_age:.4f}\n"
+        f"derived-from-creation_time:  {rate_creation:.4f}",
+    )
+    assert rate_age == rate_creation

@@ -1,0 +1,170 @@
+"""E7 — duplicate detection as an administration tool (Fellegi–Sunter).
+
+Record linking is the paper's oldest-cited related work ([10][18][19]);
+in this reproduction it powers the administrator's inspection/
+certification workflow.  Workload: customer records with error-injected
+duplicates.  The harness sweeps the decision threshold and reports
+precision / recall / F1.
+
+Expected shape: precision non-decreasing and recall non-increasing in
+the threshold; F1 peaks at an interior threshold; blocking trades a
+large pair-space reduction for bounded recall loss.
+"""
+
+from conftest import emit
+
+from repro.experiments.reporting import TextTable
+from repro.experiments.scenarios import duplicated_customers
+from repro.linkage.blocking import prefix_key, reduction_ratio
+from repro.linkage.comparators import jaro_winkler, numeric_closeness
+from repro.linkage.dedup import DuplicateFinder
+from repro.linkage.fellegi_sunter import FellegiSunterModel, FieldModel
+
+THRESHOLDS = [-5.0, -2.0, 0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+
+
+def _model():
+    return FellegiSunterModel(
+        [
+            FieldModel("co_name", jaro_winkler, m=0.95, u=0.01),
+            FieldModel("address", jaro_winkler, m=0.85, u=0.02),
+            FieldModel(
+                "employees",
+                lambda a, b: numeric_closeness(a, b, tolerance=0.2),
+                m=0.8,
+                u=0.05,
+            ),
+        ],
+        upper_threshold=4.0,
+        lower_threshold=0.0,
+    )
+
+
+def _truth(a, b):
+    return a["_entity"] == b["_entity"]
+
+
+def test_e7_threshold_sweep(benchmark):
+    records, _ = duplicated_customers(n_base=150, duplicate_fraction=0.4, seed=47)
+    finder = DuplicateFinder(_model())
+
+    rows = benchmark(finder.threshold_sweep, records, _truth, THRESHOLDS)
+
+    table = TextTable(
+        ["threshold", "precision", "recall", "f1"],
+        title="E7: Fellegi-Sunter threshold sweep",
+    )
+    for row in rows:
+        table.add_row([row["threshold"], row["precision"], row["recall"], row["f1"]])
+    emit("E7: threshold sweep", table.render())
+
+    precisions = [r["precision"] for r in rows]
+    recalls = [r["recall"] for r in rows]
+    # Monotone shapes.
+    assert all(a <= b + 1e-9 for a, b in zip(precisions, precisions[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    # Interior F1 peak.
+    best = max(rows, key=lambda r: r["f1"])
+    assert best["f1"] > rows[0]["f1"]
+    assert best["f1"] > rows[-1]["f1"]
+    assert best["f1"] > 0.6
+
+
+def test_e7_blocking_tradeoff(benchmark):
+    records, _ = duplicated_customers(n_base=150, duplicate_fraction=0.4, seed=47)
+    unblocked = DuplicateFinder(_model())
+    blocked = DuplicateFinder(_model(), blocking_keys=[prefix_key("co_name", 1)])
+
+    def evaluate_both():
+        return (
+            unblocked.evaluate(records, _truth),
+            blocked.evaluate(records, _truth),
+        )
+
+    full_eval, blocked_eval = benchmark(evaluate_both)
+    saved = reduction_ratio(records, [prefix_key("co_name", 1)])
+    table = TextTable(
+        ["strategy", "pairs compared", "precision", "recall"],
+        title="E7: blocking ablation",
+    )
+    table.add_row(
+        [
+            "full comparison",
+            len(unblocked.candidate_pairs(records)),
+            full_eval.precision,
+            full_eval.recall,
+        ]
+    )
+    table.add_row(
+        [
+            "1-char prefix blocking",
+            len(blocked.candidate_pairs(records)),
+            blocked_eval.precision,
+            blocked_eval.recall,
+        ]
+    )
+    emit("E7: blocking", table.render() + f"\npair-space reduction: {saved:.1%}")
+
+    # Shape: blocking prunes most of the pair space, keeps precision,
+    # loses bounded recall.
+    assert saved > 0.8
+    assert blocked_eval.precision >= full_eval.precision - 0.05
+    assert blocked_eval.recall <= full_eval.recall
+
+
+def test_e7_em_fit_improves_untuned_model(benchmark):
+    """EM-estimated m/u beats a deliberately mistuned model."""
+    records, _ = duplicated_customers(n_base=120, duplicate_fraction=0.4, seed=48)
+    mistuned = FellegiSunterModel(
+        [
+            FieldModel("co_name", jaro_winkler, m=0.55, u=0.45),
+            FieldModel("address", jaro_winkler, m=0.55, u=0.45),
+            FieldModel(
+                "employees",
+                lambda a, b: numeric_closeness(a, b, tolerance=0.2),
+                m=0.55,
+                u=0.45,
+            ),
+        ],
+        upper_threshold=1.0,
+        lower_threshold=0.0,
+    )
+    baseline_f1 = max(
+        row["f1"]
+        for row in DuplicateFinder(mistuned).threshold_sweep(
+            records, _truth, [0.1]
+        )
+    )
+
+    def fit_and_score():
+        model = FellegiSunterModel(
+            [
+                FieldModel("co_name", jaro_winkler, m=0.55, u=0.45),
+                FieldModel("address", jaro_winkler, m=0.55, u=0.45),
+                FieldModel(
+                    "employees",
+                    lambda a, b: numeric_closeness(a, b, tolerance=0.2),
+                    m=0.55,
+                    u=0.45,
+                ),
+            ],
+            upper_threshold=1.0,
+        )
+        finder = DuplicateFinder(model)
+        pairs = [
+            (records[i], records[j])
+            for i, j in finder.candidate_pairs(records)
+        ]
+        model.fit_em(pairs, iterations=15, initial_match_rate=0.05)
+        rows = finder.threshold_sweep(
+            records, _truth, [t for t in THRESHOLDS if t >= 0]
+        )
+        return max(row["f1"] for row in rows)
+
+    fitted_f1 = benchmark.pedantic(fit_and_score, rounds=1, iterations=1)
+    emit(
+        "E7: EM ablation",
+        f"mistuned model best F1: {baseline_f1:.3f}\n"
+        f"EM-fitted model best F1: {fitted_f1:.3f}",
+    )
+    assert fitted_f1 > baseline_f1

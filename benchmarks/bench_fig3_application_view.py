@@ -1,0 +1,45 @@
+"""F3 — regenerate Figure 3 (the application view, ER diagram).
+
+Artifact: the client / company-stock / trade ER diagram as ASCII.
+Benchmark: schema construction + validation + rendering, and the
+ER→relational instantiation the view ultimately feeds.
+"""
+
+from conftest import emit
+
+from repro.er.diagram import render_er_diagram
+from repro.er.relational_mapping import er_to_relational
+from repro.er.validation import validate_er_schema
+from repro.experiments.scenarios import trading_er_schema
+
+
+def _build_and_render() -> str:
+    er = trading_er_schema()
+    assert validate_er_schema(er) == []
+    return render_er_diagram(
+        er, title="Figure 3: Application view", legend=False
+    )
+
+
+def test_figure3_application_view(benchmark):
+    artifact = benchmark(_build_and_render)
+    emit("F3: Figure 3 (application view)", artifact)
+    # The figure's content, per §3.1.
+    assert "account_number: STR <*key*>" in artifact
+    assert "ticker_symbol: STR <*key*>" in artifact
+    assert "share_price: FLOAT" in artifact
+    assert "research_report: STR" in artifact
+    assert "<trade>  client (N) --- company_stock (N)" in artifact
+    for attribute in (". date: DATE", ". quantity: INT", ". trade_price: FLOAT"):
+        assert attribute in artifact
+
+
+def test_figure3_relational_instantiation(benchmark):
+    er = trading_er_schema()
+    database = benchmark(er_to_relational, er)
+    assert set(database.relation_names) == {"client", "company_stock", "trade"}
+    # Keys and FKs wired.
+    assert database.relation("client").schema.key == ("account_number",)
+    fk_names = {c.name for c in database.constraints}
+    assert "fk_trade_client" in fk_names
+    assert "fk_trade_company_stock" in fk_names

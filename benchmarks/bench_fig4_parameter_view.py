@@ -1,0 +1,56 @@
+"""F4 — regenerate Figure 4 (the parameter view).
+
+Artifact: the application view with the paper's quality parameters
+attached in "clouds": timeliness on share price, credibility and cost
+on the research report, and the "√ inspection" marker on trade.
+Benchmark: Step 2 (parameter elicitation over the application view).
+"""
+
+from conftest import emit
+
+from repro.core.steps import Step1ApplicationView, Step2QualityParameters
+from repro.experiments.scenarios import (
+    TRADING_PARAMETER_REQUESTS,
+    trading_er_schema,
+)
+
+
+def _build_parameter_view():
+    app_view = Step1ApplicationView().run(trading_er_schema())
+    return Step2QualityParameters().run(app_view, TRADING_PARAMETER_REQUESTS)
+
+
+def test_figure4_parameter_view(benchmark):
+    view = benchmark(_build_parameter_view)
+    artifact = view.render(title="Figure 4: Parameter view")
+    emit("F4: Figure 4 (parameter view)", artifact)
+    # The figure's clouds.
+    assert "share_price: FLOAT   ( timeliness )" in artifact
+    assert "( credibility )" in artifact
+    assert "( cost )" in artifact
+    assert "(/ inspection )" in artifact
+    # Parameters annotate the right targets.
+    assert {p.name for p in view.parameters_at(("company_stock", "research_report"))} == {
+        "credibility",
+        "cost",
+        "interpretability",
+    }
+    assert view.parameters_at(("trade",))[0].name == "inspection"
+
+
+def test_figure4_catalog_assist(benchmark):
+    """Step 2's elicitation aid: the candidate catalog suggests
+    parameters from requirement keywords."""
+    step = Step2QualityParameters()
+
+    def suggest_all():
+        return {
+            "stale": step.suggest("stale", "old", "current"),
+            "trust": step.suggest("believe", "trust", "credib"),
+            "cost": step.suggest("price", "cost"),
+        }
+
+    suggestions = benchmark(suggest_all)
+    assert "timeliness" in suggestions["stale"]
+    assert "credibility" in suggestions["trust"]
+    assert "cost" in suggestions["cost"]

@@ -1,0 +1,66 @@
+"""F5 — regenerate Figure 5 (the quality view).
+
+Artifact: the application view with the paper's quality indicators in
+dotted rectangles: age on share price; analyst name, price (cost), and
+media on the research report; collection method on telephone; and the
+inspection indicator on trade.
+Benchmark: Step 3 (operationalization of parameters into indicators).
+"""
+
+from conftest import emit
+
+from repro.core.steps import (
+    Step1ApplicationView,
+    Step2QualityParameters,
+    Step3QualityIndicators,
+)
+from repro.experiments.scenarios import (
+    TRADING_PARAMETER_REQUESTS,
+    trading_er_schema,
+    trading_indicator_decisions,
+)
+
+
+def _build_quality_view():
+    app_view = Step1ApplicationView().run(trading_er_schema())
+    parameter_view = Step2QualityParameters().run(
+        app_view, TRADING_PARAMETER_REQUESTS
+    )
+    return Step3QualityIndicators().run(
+        parameter_view, decisions=trading_indicator_decisions(), auto=False
+    )
+
+
+def test_figure5_quality_view(benchmark):
+    view = benchmark(_build_quality_view)
+    artifact = view.render(title="Figure 5: Quality view")
+    emit("F5: Figure 5 (quality view)", artifact)
+    # The figure's dotted indicator boxes.
+    assert "share_price: FLOAT   [. age .]" in artifact
+    assert "[. analyst_name .]" in artifact
+    assert "[. price .]" in artifact
+    assert "[. media .]" in artifact
+    assert "telephone: STR   [. collection_method .]" in artifact
+    assert "[. inspection .]" in artifact
+    # Indicators replaced parameters (no clouds remain).
+    assert "( timeliness )" not in artifact
+
+
+def test_figure5_traceability(benchmark):
+    """Every indicator knows which parameter it operationalizes —
+    the Step 2 → Step 3 link the specification documents."""
+    view = _build_quality_view()
+
+    def traceability():
+        return {
+            annotation.indicator.name: annotation.derived_from
+            for annotation in view.annotations
+        }
+
+    links = benchmark(traceability)
+    assert links["age"] == ("timeliness",)
+    assert links["analyst_name"] == ("credibility",)
+    assert links["price"] == ("cost",)
+    assert links["media"] == ("interpretability",)
+    assert links["collection_method"] == ("accuracy",)
+    assert links["inspection"] == ("inspection",)

@@ -1,0 +1,49 @@
+"""T1 — regenerate Table 1 (untagged customer information).
+
+Artifact: the paper's two-row customer relation, rendered.
+Benchmark: building and rendering a scaled (1000-company) variant —
+the plain-relation baseline that E2 compares tagging against.
+"""
+
+from conftest import emit
+
+from repro.experiments.scenarios import CUSTOMER_SCHEMA, table1_relation
+from repro.manufacturing.generator import make_companies
+from repro.relational.relation import Relation
+
+
+def test_table1_canonical(benchmark):
+    relation = benchmark(table1_relation)
+    artifact = relation.render(title="Table 1: Customer information")
+    emit("T1: Table 1 (canonical)", artifact)
+    rows = relation.to_dicts()
+    assert rows[0] == {
+        "co_name": "Fruit Co",
+        "address": "12 Jay St",
+        "employees": 4004,
+    }
+    assert rows[1] == {
+        "co_name": "Nut Co",
+        "address": "62 Lois Av",
+        "employees": 700,
+    }
+
+
+def _scaled_relation() -> Relation:
+    companies = make_companies(1000, seed=1)
+    return Relation.from_dicts(
+        CUSTOMER_SCHEMA,
+        [
+            {"co_name": name, **values}
+            for name, values in companies.items()
+        ],
+    )
+
+
+def test_table1_scaled_build(benchmark):
+    relation = benchmark(_scaled_relation)
+    assert len(relation) == 1000
+    emit(
+        "T1: Table 1 (scaled, first rows)",
+        relation.render(max_rows=4, title="customer x1000"),
+    )

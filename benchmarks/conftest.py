@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of
+the experiments the paper motivates), prints the artifact, and asserts
+the expected *shape* (who wins, by roughly what factor, where crossovers
+fall).  Absolute timings come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, artifact: str) -> None:
+    """Print a regenerated artifact under a banner (visible with -s)."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}\n{artifact}\n")

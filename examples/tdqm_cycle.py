@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""The TDQM improvement cycle, end to end and measurable.
+
+§4 places the paper inside Total Data Quality Management [27]:
+requirements feed measurement, measurement feeds analysis, analysis
+feeds process redesign — and the next measurement shows whether the
+redesign worked.  Because the substrate is a simulator, "worked" is a
+number.
+
+The scenario: employee counts come from a rumor mill (45% error) over a
+voice decoder.  Cycle 1 measures the damage and proposes replacing the
+source; procurement supplies a verified registry; cycle 2 measures the
+improvement.
+
+Run:  python examples/tdqm_cycle.py
+"""
+
+import datetime as dt
+
+from repro.core import DataQualityModeling
+from repro.core.terminology import QualityIndicatorSpec
+from repro.er.model import Entity, ERAttribute, ERSchema
+from repro.manufacturing.collection import CollectionMethod
+from repro.manufacturing.generator import make_companies
+from repro.manufacturing.pipeline import ManufacturingPipeline
+from repro.manufacturing.sources import DataSource
+from repro.manufacturing.world import World
+from repro.quality.scoring import QualityScorecard, credibility_scorer
+from repro.quality.tdqm import TDQMCycle
+from repro.relational.schema import schema
+
+
+def design():
+    er = ERSchema("crm")
+    er.add_entity(
+        Entity(
+            "customer",
+            [
+                ERAttribute("co_name", "STR"),
+                ERAttribute("address", "STR"),
+                ERAttribute("employees", "INT"),
+            ],
+            key=["co_name"],
+        )
+    )
+    modeling = DataQualityModeling()
+    app_view = modeling.step1(er, "customer master data")
+    param_view = modeling.step2(
+        app_view,
+        [
+            (("customer", "address"), "source_credibility", ""),
+            (("customer", "employees"), "source_credibility", ""),
+        ],
+    )
+    quality_view = modeling.step3(
+        param_view,
+        decisions={
+            (("customer", "address"), "source_credibility"): [
+                QualityIndicatorSpec("source")
+            ],
+            (("customer", "employees"), "source_credibility"): [
+                QualityIndicatorSpec("source")
+            ],
+        },
+        auto=False,
+    )
+    return modeling.step4([quality_view])
+
+
+def main() -> None:
+    world = World(dt.date(1991, 1, 1), make_companies(200, seed=91), seed=91)
+    pipeline = ManufacturingPipeline(
+        world,
+        schema(
+            "customer",
+            [("co_name", "STR"), ("address", "STR"), ("employees", "INT")],
+            key=["co_name"],
+        ),
+        "co_name",
+    )
+    pipeline.assign(
+        "address",
+        DataSource("acct'g", world, error_rate=0.01, seed=91),
+        CollectionMethod("scanner", 0.005, seed=91),
+    )
+    pipeline.assign(
+        "employees",
+        DataSource("rumor_mill", world, error_rate=0.45, seed=92),
+        CollectionMethod("voice_decoder", 0.02, seed=92),
+    )
+
+    scorecard = QualityScorecard(
+        [
+            credibility_scorer(
+                {
+                    "acct'g": 0.95,
+                    "rumor_mill": 0.2,
+                    "verified_registry": 0.95,
+                }
+            )
+        ]
+    )
+    cycle = TDQMCycle(design(), "customer", scorecard, pipeline,
+                      deficit_threshold=0.3)
+
+    # ---- cycle 1: measure the damage, propose redesign --------------------
+    better_source = DataSource(
+        "verified_registry", world, error_rate=0.03, seed=93
+    )
+    measurement_1, analysis_1, changes = cycle.run_cycle(
+        today=world.today,
+        truth=world.truth(),
+        key_column="co_name",
+        replacement_sources={"employees": better_source},
+        inspection_budget=5.0,
+    )
+    print(measurement_1.summary())
+    print()
+    print(analysis_1.render())
+    print()
+    for change in changes:
+        print(f"APPLIED: {change}")
+    print()
+
+    # ---- cycle 2: the redesign, measured -----------------------------------
+    measurement_2, analysis_2, _ = cycle.run_cycle(
+        today=world.today, truth=world.truth(), key_column="co_name"
+    )
+    print(measurement_2.summary())
+    print()
+    print(cycle.render_history())
+    print()
+    delta = measurement_2.overall_score - measurement_1.overall_score
+    print(
+        f"Process redesign lifted the overall quality score by {delta:+.3f} "
+        f"({measurement_1.overall_score:.3f} → "
+        f"{measurement_2.overall_score:.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of Wang, Kon & Madnick's ICDE 1993 paper
+*Data Quality Requirements Analysis and Modeling*.
+
+The library implements the paper's contribution and every substrate it
+stands on:
+
+- :mod:`repro.core` — the four-step data quality requirements
+  methodology (application view → parameter view → quality view →
+  integrated quality schema), the §1.3 terminology, the Appendix-A
+  candidate attribute catalog, the §2 premises as executable analyses,
+  and user-defined indicator→parameter mappings;
+- :mod:`repro.er` — entity-relationship modeling (Step 1's substrate),
+  ASCII diagram rendering for the paper's figures, and ER→relational
+  translation;
+- :mod:`repro.relational` — an in-memory relational engine with typed
+  schemas, algebra, integrity constraints, transactions, and a catalog;
+- :mod:`repro.tagging` — the attribute-based cell-tagging model [28]:
+  quality cells, tag schemas, a quality-extended algebra, and
+  indicator-constrained queries;
+- :mod:`repro.polygen` — the polygen source-tagging model [24][25] over
+  a simulated multi-database federation;
+- :mod:`repro.quality` — dimension metrics, assessment, stored quality
+  profiles and grade-based filtering, the data quality administrator,
+  the electronic audit trail, inspection mechanisms, SPC, and
+  data-entry controls;
+- :mod:`repro.linkage` — Fellegi–Sunter record linkage (duplicate
+  detection as an administration tool);
+- :mod:`repro.manufacturing` — the deterministic simulated data
+  manufacturing world behind the experiments;
+- :mod:`repro.experiments` — scenario builders and reporting used by
+  the benchmark suite to regenerate every table and figure.
+
+Quickstart
+----------
+>>> from repro.experiments.scenarios import table2_relation
+>>> from repro.tagging import QualityQuery
+>>> rel = table2_relation()
+>>> QualityQuery(rel).require("employees", "source", "!=", "estimate").values()
+[{'co_name': 'Fruit Co', 'address': '12 Jay St', 'employees': 4004}]
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,73 @@
+"""The paper's contribution: data quality requirements analysis & modeling.
+
+This package implements §1.3's terms and definitions, §2's premises as
+executable analyses, and §3's four-step methodology:
+
+1. :class:`~repro.core.steps.Step1ApplicationView` — classical ER
+   modeling produces the *application view*;
+2. :class:`~repro.core.steps.Step2QualityParameters` — subjective
+   quality parameters are elicited (with the Appendix-A candidate
+   catalog) and attached to view components, producing the
+   *parameter view*;
+3. :class:`~repro.core.steps.Step3QualityIndicators` — parameters are
+   operationalized into objective, taggable quality indicators,
+   producing the *quality view*;
+4. :class:`~repro.core.steps.Step4ViewIntegration` — multiple quality
+   views are consolidated (redundancy/derivability/conflict analysis and
+   application-view refinement), producing the integrated
+   *quality schema*.
+
+:class:`~repro.core.methodology.DataQualityModeling` orchestrates the
+pipeline (Figure 2) and emits the quality-requirements specification
+document.
+"""
+
+from repro.core.terminology import (
+    AttributeKind,
+    QualityAttribute,
+    QualityIndicatorSpec,
+    QualityParameter,
+    QualityRequirement,
+)
+from repro.core.catalog import CandidateAttribute, CandidateCatalog, default_catalog
+from repro.core.views import (
+    ApplicationView,
+    IndicatorAnnotation,
+    ParameterAnnotation,
+    ParameterView,
+    QualitySchema,
+    QualityView,
+)
+from repro.core.steps import (
+    Step1ApplicationView,
+    Step2QualityParameters,
+    Step3QualityIndicators,
+    Step4ViewIntegration,
+)
+from repro.core.methodology import DataQualityModeling, DesignSession
+from repro.core.mapping import ParameterMapping, UserQualityStandard
+
+__all__ = [
+    "ApplicationView",
+    "AttributeKind",
+    "CandidateAttribute",
+    "CandidateCatalog",
+    "DataQualityModeling",
+    "DesignSession",
+    "IndicatorAnnotation",
+    "ParameterAnnotation",
+    "ParameterMapping",
+    "ParameterView",
+    "QualityAttribute",
+    "QualityIndicatorSpec",
+    "QualityParameter",
+    "QualityRequirement",
+    "QualitySchema",
+    "QualityView",
+    "Step1ApplicationView",
+    "Step2QualityParameters",
+    "Step3QualityIndicators",
+    "Step4ViewIntegration",
+    "UserQualityStandard",
+    "default_catalog",
+]

@@ -1,0 +1,201 @@
+"""Pipeline orchestration for the four-step methodology (Figure 2).
+
+:class:`DataQualityModeling` wires the steps together and keeps every
+intermediate artifact, because the paper requires each view to be "part
+of the quality requirements specification documentation".
+:class:`DesignSession` records the design team's decisions with
+timestamps-free sequence numbers (deterministic runs), giving the audit
+trail of the *design process* itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.catalog import CandidateCatalog, default_catalog
+from repro.core.integration import Refinement
+from repro.core.steps import (
+    Step1ApplicationView,
+    Step2QualityParameters,
+    Step3QualityIndicators,
+    Step4ViewIntegration,
+)
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import (
+    ApplicationView,
+    ParameterView,
+    QualitySchema,
+    QualityView,
+)
+from repro.er.model import ERSchema
+from repro.errors import StepOrderError
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One recorded design decision."""
+
+    sequence: int
+    step: str
+    action: str
+    detail: str
+
+
+class DesignSession:
+    """A decision log for one design team's pass through the methodology."""
+
+    def __init__(self, team: str = "design team") -> None:
+        self.team = team
+        self._decisions: list[Decision] = []
+
+    def record(self, step: str, action: str, detail: str = "") -> Decision:
+        """Append one decision to the log."""
+        decision = Decision(len(self._decisions) + 1, step, action, detail)
+        self._decisions.append(decision)
+        return decision
+
+    @property
+    def decisions(self) -> tuple[Decision, ...]:
+        return tuple(self._decisions)
+
+    def render(self) -> str:
+        """The decision log as numbered text lines."""
+        lines = [f"Design session: {self.team}"]
+        for d in self._decisions:
+            detail = f" — {d.detail}" if d.detail else ""
+            lines.append(f"  {d.sequence:>3}. [{d.step}] {d.action}{detail}")
+        return "\n".join(lines)
+
+
+class DataQualityModeling:
+    """The end-to-end methodology pipeline.
+
+    Typical use::
+
+        modeling = DataQualityModeling()
+        app_view = modeling.step1(er_schema, "requirements narrative")
+        param_view = modeling.step2(app_view, [
+            (("company_stock", "share_price"), "timeliness", "prices go stale"),
+        ])
+        quality_view = modeling.step3(param_view)
+        schema = modeling.step4([quality_view])
+        print(modeling.specification())
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[CandidateCatalog] = None,
+        session: Optional[DesignSession] = None,
+    ) -> None:
+        self.catalog = catalog or default_catalog()
+        self.session = session or DesignSession()
+        self._step1 = Step1ApplicationView()
+        self._step2 = Step2QualityParameters(self.catalog)
+        self._step3 = Step3QualityIndicators(self.catalog)
+        self._step4 = Step4ViewIntegration()
+        self.application_view: Optional[ApplicationView] = None
+        self.parameter_views: list[ParameterView] = []
+        self.quality_views: list[QualityView] = []
+        self.quality_schema: Optional[QualitySchema] = None
+
+    # -- steps ----------------------------------------------------------------
+
+    def step1(
+        self,
+        er_schema: ERSchema,
+        requirements_doc: str = "",
+        require_keys: bool = True,
+    ) -> ApplicationView:
+        """Step 1: establish the application view."""
+        self.application_view = self._step1.run(
+            er_schema, requirements_doc, require_keys=require_keys
+        )
+        self.session.record(
+            "step1",
+            "established application view",
+            f"ER schema {er_schema.name!r}: "
+            f"{len(er_schema.entities)} entities, "
+            f"{len(er_schema.relationships)} relationships",
+        )
+        return self.application_view
+
+    def step2(
+        self,
+        application_view: Optional[ApplicationView] = None,
+        requests: Iterable[tuple[Sequence[str], str, str]] = (),
+    ) -> ParameterView:
+        """Step 2: determine subjective quality parameters."""
+        view = application_view or self.application_view
+        if view is None:
+            raise StepOrderError("Step 2 requires an application view (run Step 1)")
+        parameter_view = self._step2.run(view, requests)
+        self.parameter_views.append(parameter_view)
+        for annotation in parameter_view.annotations:
+            self.session.record(
+                "step2", "attached quality parameter", annotation.describe()
+            )
+        return parameter_view
+
+    def step3(
+        self,
+        parameter_view: ParameterView,
+        decisions: Optional[
+            dict[tuple[tuple[str, ...], str], list[QualityIndicatorSpec]]
+        ] = None,
+        auto: bool = True,
+    ) -> QualityView:
+        """Step 3: operationalize parameters into quality indicators."""
+        quality_view = self._step3.run(parameter_view, decisions, auto=auto)
+        self.quality_views.append(quality_view)
+        for annotation in quality_view.annotations:
+            self.session.record(
+                "step3", "operationalized into indicator", annotation.describe()
+            )
+        return quality_view
+
+    def step4(
+        self,
+        quality_views: Optional[Sequence[QualityView]] = None,
+        refinements: Sequence[Refinement] = (),
+    ) -> QualitySchema:
+        """Step 4: integrate quality views into the quality schema."""
+        views = list(quality_views) if quality_views is not None else self.quality_views
+        if not views:
+            raise StepOrderError("Step 4 requires at least one quality view")
+        self.quality_schema = self._step4.run(views, refinements=refinements)
+        for note in self.quality_schema.integration_notes:
+            self.session.record("step4", "integration decision", note)
+        return self.quality_schema
+
+    def run_all(
+        self,
+        er_schema: ERSchema,
+        requirements_doc: str,
+        parameter_requests: Iterable[tuple[Sequence[str], str, str]],
+        indicator_decisions: Optional[
+            dict[tuple[tuple[str, ...], str], list[QualityIndicatorSpec]]
+        ] = None,
+        refinements: Sequence[Refinement] = (),
+    ) -> QualitySchema:
+        """Run Steps 1-4 in one call (single design-team scenario)."""
+        application_view = self.step1(er_schema, requirements_doc)
+        parameter_view = self.step2(application_view, parameter_requests)
+        quality_view = self.step3(parameter_view, indicator_decisions)
+        return self.step4([quality_view], refinements=refinements)
+
+    # -- documentation ---------------------------------------------------------------
+
+    def specification(self) -> str:
+        """The quality-requirements specification document (all artifacts)."""
+        from repro.core.specification import build_specification
+
+        if self.quality_schema is None:
+            raise StepOrderError(
+                "specification requires the integrated quality schema (run Step 4)"
+            )
+        return build_specification(
+            self.quality_schema,
+            parameter_views=self.parameter_views,
+            session=self.session,
+        )

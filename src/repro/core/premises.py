@@ -1,0 +1,244 @@
+"""The paper's premises (§2) as executable analyses.
+
+The premises are design observations; here each becomes a function or
+report the design team (or an administrator) can actually run:
+
+- Premise 1.1 — application vs. quality-indicator classification:
+  :func:`classify_attribute_role`;
+- Premise 1.2 — quality attribute non-orthogonality:
+  :func:`non_orthogonality_report`;
+- Premise 1.3 — heterogeneity/hierarchy of supplied data quality:
+  :func:`heterogeneity_profile`;
+- Premises 2.1/2.2 — user-specific attributes and standards:
+  :func:`user_standards_report` (built on
+  :func:`repro.core.mapping.compare_standards`);
+- Premise 3 — non-uniform standards for a single user across data:
+  :func:`single_user_variation_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.core.catalog import CandidateCatalog, default_catalog
+from repro.core.mapping import UserQualityStandard, compare_standards
+from repro.tagging.relation import TaggedRelation
+
+# ---------------------------------------------------------------------------
+# Premise 1.1 — relatedness of application and quality attributes
+# ---------------------------------------------------------------------------
+
+#: Vocabulary signalling "information about the data manufacturing
+#: process ... when, where, and by whom the data was manufactured" (§2.1).
+_MANUFACTURING_SIGNALS = (
+    "source",
+    "created",
+    "creation",
+    "recorded",
+    "entered",
+    "entry",
+    "collected",
+    "collection",
+    "method",
+    "timestamp",
+    "time_of",
+    "updated",
+    "update",
+    "verified",
+    "inspected",
+    "inspection",
+    "certified",
+    "operator",
+    "teller",
+    "clerk",
+    "analyst",
+    "author",
+    "device",
+    "scanner",
+    "media",
+    "format",
+    "version",
+)
+
+
+def classify_attribute_role(name: str, doc: str = "") -> str:
+    """Heuristic Premise-1.1 classification of an attribute.
+
+    Returns ``"quality_indicator"`` when the attribute's name or
+    description signals manufacturing-process information (when / where
+    / by whom / how the data was made), else ``"application"``.
+
+    The premise's point is that the boundary is a *modeling decision*;
+    this heuristic supplies the default suggestion that a design session
+    can override (see :class:`repro.core.integration.Refinement`).
+
+    >>> classify_attribute_role("teller_name", "bank teller who performed it")
+    'quality_indicator'
+    >>> classify_attribute_role("share_price")
+    'application'
+    """
+    haystack = f"{name} {doc}".lower()
+    if any(signal in haystack for signal in _MANUFACTURING_SIGNALS):
+        return "quality_indicator"
+    return "application"
+
+
+# ---------------------------------------------------------------------------
+# Premise 1.2 — quality attribute non-orthogonality
+# ---------------------------------------------------------------------------
+
+
+def non_orthogonality_report(
+    parameter_names: Sequence[str],
+    catalog: Optional[CandidateCatalog] = None,
+) -> list[tuple[str, str]]:
+    """Related pairs among the given parameters (Premise 1.2).
+
+    Uses the catalog's relatedness links (e.g. timeliness ~ volatility).
+    Returns sorted, deduplicated pairs with each pair ordered
+    alphabetically.
+    """
+    catalog = catalog or default_catalog()
+    known = [n for n in parameter_names if n in catalog]
+    pairs: set[tuple[str, str]] = set()
+    for name in known:
+        for related in catalog.related_to(name):
+            if related.name in known:
+                pairs.add(tuple(sorted((name, related.name))))  # type: ignore[arg-type]
+    return sorted(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Premise 1.3 — heterogeneity and hierarchy in supplied data quality
+# ---------------------------------------------------------------------------
+
+#: A per-cell quality score: None means "not assessable for this cell".
+CellMetric = Callable[[Any], Optional[float]]
+
+
+def _mean(values: list[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def heterogeneity_profile(
+    relations: Mapping[str, TaggedRelation],
+    metric: CellMetric,
+    metric_name: str = "quality",
+) -> dict[str, Any]:
+    """Hierarchical quality profile: database → relation → column → rows.
+
+    ``metric`` scores one :class:`~repro.tagging.cell.QualityCell`
+    (e.g. 1.0 if its source tag is a trusted department).  The profile
+    demonstrates Premise 1.3: quality differs across databases,
+    entities, attributes, and instances.
+
+    Returns a nested report::
+
+        {"metric": ..., "overall": float|None,
+         "relations": {name: {"overall": ..., "columns": {col: ...},
+                              "rows": [...per-row means...]}}}
+    """
+    report: dict[str, Any] = {"metric": metric_name, "relations": {}}
+    all_scores: list[float] = []
+    for name, relation in relations.items():
+        column_scores: dict[str, list[float]] = {
+            c: [] for c in relation.schema.column_names
+        }
+        row_means: list[Optional[float]] = []
+        for row in relation:
+            row_values: list[float] = []
+            for column in relation.schema.column_names:
+                score = metric(row[column])
+                if score is not None:
+                    column_scores[column].append(score)
+                    row_values.append(score)
+            row_means.append(_mean(row_values))
+        flat = [s for scores in column_scores.values() for s in scores]
+        all_scores.extend(flat)
+        report["relations"][name] = {
+            "overall": _mean(flat),
+            "columns": {c: _mean(s) for c, s in column_scores.items()},
+            "rows": row_means,
+        }
+    report["overall"] = _mean(all_scores)
+    return report
+
+
+def heterogeneity_spread(profile: dict[str, Any]) -> dict[str, float]:
+    """Quantify the heterogeneity in a profile (max − min at each level).
+
+    Returns spreads at relation, column, and row level; larger spreads
+    mean less uniform quality.
+    """
+
+    def spread(values: list[Optional[float]]) -> float:
+        present = [v for v in values if v is not None]
+        if len(present) < 2:
+            return 0.0
+        return max(present) - min(present)
+
+    relation_means = [
+        entry["overall"] for entry in profile["relations"].values()
+    ]
+    column_means = [
+        mean
+        for entry in profile["relations"].values()
+        for mean in entry["columns"].values()
+    ]
+    row_means = [
+        mean for entry in profile["relations"].values() for mean in entry["rows"]
+    ]
+    return {
+        "relation_spread": spread(relation_means),
+        "column_spread": spread(column_means),
+        "row_spread": spread(row_means),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Premises 2.1 / 2.2 — user specificity of attributes and standards
+# ---------------------------------------------------------------------------
+
+
+def user_standards_report(
+    standards: Sequence[UserQualityStandard],
+    relation: TaggedRelation,
+    column: str,
+    context: Optional[Mapping[str, Any]] = None,
+) -> list[dict[str, Any]]:
+    """Per-user view of the same data (Premises 2.1/2.2).
+
+    For each user: which parameters they evaluate (2.1) and what
+    fraction of the data meets their standard (2.2).
+    """
+    rates = compare_standards(standards, relation, column, context)
+    return [
+        {
+            "user": standard.user,
+            "parameters": list(standard.parameters),
+            "acceptance_rate": rates[standard.user],
+        }
+        for standard in standards
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Premise 3 — single user, non-uniform standards across data
+# ---------------------------------------------------------------------------
+
+
+def single_user_variation_report(
+    standard_by_column: Mapping[str, UserQualityStandard],
+    relation: TaggedRelation,
+    context: Optional[Mapping[str, Any]] = None,
+) -> dict[str, float]:
+    """One user's different standards across attributes (Premise 3).
+
+    ``standard_by_column`` maps column → the (same user's) standard that
+    applies to that column — e.g. stricter for ``address`` than for
+    ``employees``.  Returns per-column acceptance rates.
+    """
+    return {
+        column: standard.acceptance_rate(relation, column, context)
+        for column, standard in standard_by_column.items()
+    }

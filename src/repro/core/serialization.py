@@ -1,0 +1,195 @@
+"""Serialization of methodology artifacts for cross-organization exchange.
+
+§4: "Converging on standardized data quality attributes may be
+necessary for data quality management in cases where data is
+transported across organizations and application domains."  Transport
+needs a wire format: this module serializes the methodology's artifacts
+(parameter views, quality views, integrated quality schemas — including
+their full annotation provenance) to JSON-compatible dictionaries and
+back, so a quality schema designed in one organization can govern
+tagged data in another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.terminology import QualityIndicatorSpec, QualityParameter
+from repro.core.views import (
+    ApplicationView,
+    IndicatorAnnotation,
+    ParameterAnnotation,
+    ParameterView,
+    QualitySchema,
+    QualityView,
+)
+from repro.er.model import ERSchema
+from repro.errors import MethodologyError
+
+
+# -- annotations --------------------------------------------------------------
+
+
+def _parameter_annotation_to_dict(annotation: ParameterAnnotation) -> dict[str, Any]:
+    return {
+        "target": list(annotation.target),
+        "parameter": {
+            "name": annotation.parameter.name,
+            "doc": annotation.parameter.doc,
+        },
+        "rationale": annotation.rationale,
+    }
+
+
+def _parameter_annotation_from_dict(data: dict[str, Any]) -> ParameterAnnotation:
+    return ParameterAnnotation(
+        tuple(data["target"]),
+        QualityParameter(
+            data["parameter"]["name"], data["parameter"].get("doc", "")
+        ),
+        data.get("rationale", ""),
+    )
+
+
+def _indicator_annotation_to_dict(annotation: IndicatorAnnotation) -> dict[str, Any]:
+    return {
+        "target": list(annotation.target),
+        "indicator": {
+            "name": annotation.indicator.name,
+            "domain": annotation.indicator.domain.name,
+            "measure": annotation.indicator.measure,
+            "doc": annotation.indicator.doc,
+        },
+        "derived_from": list(annotation.derived_from),
+        "rationale": annotation.rationale,
+        "mandatory": annotation.mandatory,
+    }
+
+
+def _indicator_annotation_from_dict(data: dict[str, Any]) -> IndicatorAnnotation:
+    spec = data["indicator"]
+    return IndicatorAnnotation(
+        tuple(data["target"]),
+        QualityIndicatorSpec(
+            spec["name"],
+            spec["domain"],
+            measure=spec.get("measure", ""),
+            doc=spec.get("doc", ""),
+        ),
+        derived_from=tuple(data.get("derived_from", ())),
+        rationale=data.get("rationale", ""),
+        mandatory=data.get("mandatory", True),
+    )
+
+
+# -- views ----------------------------------------------------------------------
+
+
+def parameter_view_to_dict(view: ParameterView) -> dict[str, Any]:
+    """Serialize a Step-2 parameter view."""
+    return {
+        "kind": "parameter_view",
+        "er_schema": view.er_schema.to_dict(),
+        "requirements_doc": view.application_view.requirements_doc,
+        "annotations": [
+            _parameter_annotation_to_dict(a) for a in view.annotations
+        ],
+    }
+
+
+def parameter_view_from_dict(data: dict[str, Any]) -> ParameterView:
+    """Deserialize a Step-2 parameter view."""
+    if data.get("kind") != "parameter_view":
+        raise MethodologyError(
+            f"not a serialized parameter view: kind={data.get('kind')!r}"
+        )
+    application_view = ApplicationView(
+        ERSchema.from_dict(data["er_schema"]),
+        data.get("requirements_doc", ""),
+    )
+    return ParameterView(
+        application_view,
+        [_parameter_annotation_from_dict(a) for a in data["annotations"]],
+    )
+
+
+def quality_view_to_dict(view: QualityView) -> dict[str, Any]:
+    """Serialize a Step-3 quality view."""
+    return {
+        "kind": "quality_view",
+        "er_schema": view.er_schema.to_dict(),
+        "requirements_doc": view.application_view.requirements_doc,
+        "annotations": [
+            _indicator_annotation_to_dict(a) for a in view.annotations
+        ],
+    }
+
+
+def quality_view_from_dict(data: dict[str, Any]) -> QualityView:
+    """Deserialize a Step-3 quality view."""
+    if data.get("kind") != "quality_view":
+        raise MethodologyError(
+            f"not a serialized quality view: kind={data.get('kind')!r}"
+        )
+    application_view = ApplicationView(
+        ERSchema.from_dict(data["er_schema"]),
+        data.get("requirements_doc", ""),
+    )
+    return QualityView(
+        application_view,
+        [_indicator_annotation_from_dict(a) for a in data["annotations"]],
+    )
+
+
+def quality_schema_to_dict(schema: QualitySchema) -> dict[str, Any]:
+    """Serialize a Step-4 integrated quality schema.
+
+    Component views are not shipped — the integrated schema is the
+    authoritative cross-organization artifact; integration notes travel
+    with it as documentation.
+    """
+    return {
+        "kind": "quality_schema",
+        "er_schema": schema.er_schema.to_dict(),
+        "requirements_doc": schema.application_view.requirements_doc,
+        "annotations": [
+            _indicator_annotation_to_dict(a) for a in schema.annotations
+        ],
+        "integration_notes": list(schema.integration_notes),
+    }
+
+
+def quality_schema_from_dict(data: dict[str, Any]) -> QualitySchema:
+    """Deserialize a Step-4 integrated quality schema."""
+    if data.get("kind") != "quality_schema":
+        raise MethodologyError(
+            f"not a serialized quality schema: kind={data.get('kind')!r}"
+        )
+    application_view = ApplicationView(
+        ERSchema.from_dict(data["er_schema"]),
+        data.get("requirements_doc", ""),
+    )
+    return QualitySchema(
+        application_view,
+        [_indicator_annotation_from_dict(a) for a in data["annotations"]],
+        integration_notes=data.get("integration_notes", ()),
+    )
+
+
+# -- file helpers ------------------------------------------------------------------
+
+
+def save_quality_schema(schema: QualitySchema, path: str | Path) -> Path:
+    """Write an integrated quality schema to a JSON file."""
+    target = Path(path)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(quality_schema_to_dict(schema), handle, indent=1, sort_keys=True)
+    return target
+
+
+def load_quality_schema(path: str | Path) -> QualitySchema:
+    """Read back a schema written by :func:`save_quality_schema`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return quality_schema_from_dict(json.load(handle))

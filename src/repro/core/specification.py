@@ -1,0 +1,106 @@
+"""The quality-requirements specification document generator.
+
+The paper requires each methodology step's output to be "included as
+part of the quality requirements specification documentation".
+:func:`build_specification` assembles all artifacts into one
+deterministic text document: application view, parameter view(s),
+quality view(s), the integrated quality schema, the induced quality
+requirements, derived tag schemas, and the design-session decision log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.views import ParameterView, QualitySchema
+
+
+def _section(title: str, body: str) -> str:
+    bar = "-" * len(title)
+    return f"{title}\n{bar}\n{body}"
+
+
+def build_specification(
+    quality_schema: QualitySchema,
+    parameter_views: Sequence[ParameterView] = (),
+    session: Optional["DesignSession"] = None,  # noqa: F821 - doc type
+) -> str:
+    """Assemble the full specification document as text."""
+    parts: list[str] = []
+    name = quality_schema.name
+    header = f"DATA QUALITY REQUIREMENTS SPECIFICATION: {name}"
+    parts.append(f"{header}\n{'=' * len(header)}")
+
+    if quality_schema.application_view.requirements_doc:
+        parts.append(
+            _section(
+                "Application requirements",
+                quality_schema.application_view.requirements_doc,
+            )
+        )
+
+    parts.append(
+        _section(
+            "Application view (Step 1)",
+            quality_schema.application_view.render(title=f"{name}: application view"),
+        )
+    )
+
+    for i, parameter_view in enumerate(parameter_views, start=1):
+        parts.append(
+            _section(
+                f"Parameter view {i} (Step 2)",
+                parameter_view.render(title=f"{name}: parameter view {i}"),
+            )
+        )
+
+    for i, quality_view in enumerate(quality_schema.component_views, start=1):
+        parts.append(
+            _section(
+                f"Quality view {i} (Step 3)",
+                quality_view.render(title=f"{name}: quality view {i}"),
+            )
+        )
+
+    parts.append(
+        _section(
+            "Integrated quality schema (Step 4)",
+            quality_schema.render(title=f"{name}: integrated quality schema"),
+        )
+    )
+
+    if quality_schema.integration_notes:
+        notes = "\n".join(f"- {note}" for note in quality_schema.integration_notes)
+        parts.append(_section("Integration decisions", notes))
+
+    requirements = quality_schema.requirements()
+    if requirements:
+        listing = "\n".join(f"- {r.describe()}" for r in requirements)
+        parts.append(_section("Data quality requirements", listing))
+
+    tag_sections: list[str] = []
+    owners = [e.name for e in quality_schema.er_schema.entities] + [
+        r.name for r in quality_schema.er_schema.relationships
+    ]
+    for owner in owners:
+        tag_schema = quality_schema.tag_schema_for(owner)
+        if not tag_schema.tagged_columns:
+            continue
+        lines = [f"{owner}:"]
+        for column in tag_schema.tagged_columns:
+            required = sorted(tag_schema.required_for(column))
+            optional = sorted(tag_schema.allowed_for(column) - set(required))
+            detail = []
+            if required:
+                detail.append(f"required: {', '.join(required)}")
+            if optional:
+                detail.append(f"allowed: {', '.join(optional)}")
+            lines.append(f"  {column} — {'; '.join(detail)}")
+        tag_sections.append("\n".join(lines))
+    if tag_sections:
+        parts.append(_section("Derived tag schemas", "\n".join(tag_sections)))
+
+    if session is not None:
+        parts.append(_section("Design session log", session.render()))
+
+    return "\n\n".join(parts) + "\n"

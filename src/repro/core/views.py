@@ -1,0 +1,401 @@
+"""The methodology's view artifacts (Figures 3, 4, 5 and the schema).
+
+Each step of the methodology transforms one artifact into the next:
+
+- :class:`ApplicationView` (Step 1 output; Figure 3) — an ER schema plus
+  the documented application requirements;
+- :class:`ParameterView` (Step 2 output; Figure 4) — the application
+  view with subjective :class:`ParameterAnnotation` "clouds" attached;
+- :class:`QualityView` (Step 3 output; Figure 5) — the application view
+  with objective :class:`IndicatorAnnotation` "dotted rectangles"
+  replacing the parameters;
+- :class:`QualitySchema` (Step 4 output) — the integrated quality view
+  plus the machine-usable products: quality requirements and per-entity
+  tag schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.terminology import (
+    QualityIndicatorSpec,
+    QualityParameter,
+    QualityRequirement,
+)
+from repro.er.diagram import (
+    Annotation,
+    STYLE_CLOUD,
+    STYLE_DOTTED,
+    STYLE_INSPECTION,
+    render_er_diagram,
+)
+from repro.er.model import ERSchema
+from repro.errors import MethodologyError
+from repro.tagging.indicators import TagSchema
+
+#: Sentinel parameter used for the paper's "√ inspection" requirement.
+INSPECTION_PARAMETER = QualityParameter(
+    "inspection",
+    doc="Data verification requirement (the paper's special '√ inspection' symbol)",
+)
+
+
+class ParameterAnnotation:
+    """One subjective quality parameter attached to an ER target."""
+
+    __slots__ = ("target", "parameter", "rationale")
+
+    def __init__(
+        self,
+        target: Sequence[str],
+        parameter: QualityParameter,
+        rationale: str = "",
+    ) -> None:
+        self.target = tuple(target)
+        self.parameter = parameter
+        self.rationale = rationale
+
+    @property
+    def is_inspection(self) -> bool:
+        """True if this is an inspection ("√") requirement."""
+        return self.parameter == INSPECTION_PARAMETER
+
+    def describe(self) -> str:
+        where = ".".join(self.target)
+        text = f"{where}: ({self.parameter.name})"
+        if self.rationale:
+            text += f" — {self.rationale}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"ParameterAnnotation({self.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ParameterAnnotation)
+            and other.target == self.target
+            and other.parameter == self.parameter
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ParameterAnnotation", self.target, self.parameter))
+
+
+class IndicatorAnnotation:
+    """One objective quality indicator attached to an ER target.
+
+    ``derived_from`` names the parameter(s) the indicator
+    operationalizes, preserving the Step 2 → Step 3 traceability the
+    specification document reports.
+    """
+
+    __slots__ = ("target", "indicator", "derived_from", "rationale", "mandatory")
+
+    def __init__(
+        self,
+        target: Sequence[str],
+        indicator: QualityIndicatorSpec,
+        derived_from: Sequence[str] = (),
+        rationale: str = "",
+        mandatory: bool = True,
+    ) -> None:
+        self.target = tuple(target)
+        self.indicator = indicator
+        self.derived_from = tuple(derived_from)
+        self.rationale = rationale
+        self.mandatory = mandatory
+
+    def to_requirement(self) -> QualityRequirement:
+        """The data quality requirement this annotation induces."""
+        parts = []
+        if self.derived_from:
+            parts.append(f"operationalizes {', '.join(self.derived_from)}")
+        if self.rationale:
+            parts.append(self.rationale)
+        return QualityRequirement(
+            self.target, self.indicator, "; ".join(parts), self.mandatory
+        )
+
+    def describe(self) -> str:
+        where = ".".join(self.target)
+        text = f"{where}: [.{self.indicator.name}.]"
+        if self.derived_from:
+            text += f" ← {{{', '.join(self.derived_from)}}}"
+        if self.rationale:
+            text += f" — {self.rationale}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"IndicatorAnnotation({self.describe()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IndicatorAnnotation)
+            and other.target == self.target
+            and other.indicator == self.indicator
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IndicatorAnnotation", self.target, self.indicator))
+
+
+class ApplicationView:
+    """Step 1 output: the traditional data-modeling artifact (Figure 3)."""
+
+    def __init__(
+        self,
+        er_schema: ERSchema,
+        requirements_doc: str = "",
+    ) -> None:
+        self.er_schema = er_schema
+        self.requirements_doc = requirements_doc
+
+    @property
+    def name(self) -> str:
+        return self.er_schema.name
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII diagram in the style of Figure 3."""
+        return render_er_diagram(
+            self.er_schema,
+            title=title or f"Application view: {self.name}",
+        )
+
+    def __repr__(self) -> str:
+        return f"ApplicationView({self.name!r})"
+
+
+class ParameterView:
+    """Step 2 output: application view + quality parameters (Figure 4)."""
+
+    def __init__(
+        self,
+        application_view: ApplicationView,
+        annotations: Iterable[ParameterAnnotation] = (),
+    ) -> None:
+        self.application_view = application_view
+        self.annotations: list[ParameterAnnotation] = []
+        for annotation in annotations:
+            self.add(annotation)
+
+    @property
+    def er_schema(self) -> ERSchema:
+        return self.application_view.er_schema
+
+    @property
+    def name(self) -> str:
+        return self.application_view.name
+
+    def add(self, annotation: ParameterAnnotation) -> ParameterAnnotation:
+        """Attach a parameter annotation (target must exist in the schema)."""
+        self.er_schema.resolve_target(annotation.target)
+        if annotation in self.annotations:
+            raise MethodologyError(
+                f"duplicate parameter annotation: {annotation.describe()}"
+            )
+        self.annotations.append(annotation)
+        return annotation
+
+    def parameters_at(self, target: Sequence[str]) -> list[QualityParameter]:
+        """All parameters attached to one target."""
+        path = tuple(target)
+        return [a.parameter for a in self.annotations if a.target == path]
+
+    def all_parameters(self) -> list[QualityParameter]:
+        """Distinct parameters used anywhere in the view."""
+        seen: dict[str, QualityParameter] = {}
+        for annotation in self.annotations:
+            seen.setdefault(annotation.parameter.name, annotation.parameter)
+        return list(seen.values())
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII diagram in the style of Figure 4 (parameters in clouds)."""
+        markers = [
+            Annotation(
+                a.target,
+                a.parameter.name if not a.is_inspection else "inspection",
+                STYLE_INSPECTION if a.is_inspection else STYLE_CLOUD,
+            )
+            for a in self.annotations
+        ]
+        return render_er_diagram(
+            self.er_schema,
+            markers,
+            title=title or f"Parameter view: {self.name}",
+            legend=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"ParameterView({self.name!r}, {len(self.annotations)} annotations)"
+
+
+class QualityView:
+    """Step 3 output: application view + quality indicators (Figure 5)."""
+
+    def __init__(
+        self,
+        application_view: ApplicationView,
+        annotations: Iterable[IndicatorAnnotation] = (),
+        parameter_view: Optional[ParameterView] = None,
+    ) -> None:
+        self.application_view = application_view
+        self.parameter_view = parameter_view
+        self.annotations: list[IndicatorAnnotation] = []
+        for annotation in annotations:
+            self.add(annotation)
+
+    @property
+    def er_schema(self) -> ERSchema:
+        return self.application_view.er_schema
+
+    @property
+    def name(self) -> str:
+        return self.application_view.name
+
+    def add(self, annotation: IndicatorAnnotation) -> IndicatorAnnotation:
+        """Attach an indicator annotation (target must exist)."""
+        self.er_schema.resolve_target(annotation.target)
+        if annotation in self.annotations:
+            raise MethodologyError(
+                f"duplicate indicator annotation: {annotation.describe()}"
+            )
+        self.annotations.append(annotation)
+        return annotation
+
+    def indicators_at(self, target: Sequence[str]) -> list[QualityIndicatorSpec]:
+        """All indicators attached to one target."""
+        path = tuple(target)
+        return [a.indicator for a in self.annotations if a.target == path]
+
+    def all_indicators(self) -> list[QualityIndicatorSpec]:
+        """Distinct indicator specs used anywhere in the view."""
+        seen: dict[str, QualityIndicatorSpec] = {}
+        for annotation in self.annotations:
+            seen.setdefault(annotation.indicator.name, annotation.indicator)
+        return list(seen.values())
+
+    def requirements(self) -> list[QualityRequirement]:
+        """The quality requirements induced by the annotations."""
+        return [a.to_requirement() for a in self.annotations]
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII diagram in the style of Figure 5 (dotted indicators)."""
+        markers = [
+            Annotation(a.target, a.indicator.name, STYLE_DOTTED)
+            for a in self.annotations
+        ]
+        return render_er_diagram(
+            self.er_schema,
+            markers,
+            title=title or f"Quality view: {self.name}",
+            legend=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"QualityView({self.name!r}, {len(self.annotations)} annotations)"
+
+
+class QualitySchema:
+    """Step 4 output: the integrated quality schema.
+
+    Carries the refined application view, the consolidated indicator
+    annotations, and the integration decisions (for the specification
+    document).  Its machine-usable products are
+    :meth:`requirements` and :meth:`tag_schema_for`.
+    """
+
+    def __init__(
+        self,
+        application_view: ApplicationView,
+        annotations: Iterable[IndicatorAnnotation] = (),
+        component_views: Sequence[QualityView] = (),
+        integration_notes: Sequence[str] = (),
+    ) -> None:
+        self.application_view = application_view
+        self.annotations: list[IndicatorAnnotation] = []
+        for annotation in annotations:
+            self.application_view.er_schema.resolve_target(annotation.target)
+            self.annotations.append(annotation)
+        self.component_views = tuple(component_views)
+        self.integration_notes = list(integration_notes)
+
+    @property
+    def er_schema(self) -> ERSchema:
+        return self.application_view.er_schema
+
+    @property
+    def name(self) -> str:
+        return self.application_view.name
+
+    def requirements(self) -> list[QualityRequirement]:
+        """The consolidated data quality requirements."""
+        return [a.to_requirement() for a in self.annotations]
+
+    def all_indicators(self) -> list[QualityIndicatorSpec]:
+        """Distinct indicator specs in the integrated schema."""
+        seen: dict[str, QualityIndicatorSpec] = {}
+        for annotation in self.annotations:
+            seen.setdefault(annotation.indicator.name, annotation.indicator)
+        return list(seen.values())
+
+    def annotations_for_owner(self, owner: str) -> list[IndicatorAnnotation]:
+        """Annotations whose target lives under one entity/relationship."""
+        return [a for a in self.annotations if a.target and a.target[0] == owner]
+
+    def tag_schema_for(self, owner: str) -> TagSchema:
+        """Derive the tag schema for one entity/relationship's relation.
+
+        Attribute-level annotations become per-column indicator
+        requirements; owner-level annotations apply to every attribute
+        of the owner (the whole entity's data carries the tag).
+        """
+        kind, _ = self.er_schema.resolve_target((owner,))
+        if kind == "entity":
+            columns = list(self.er_schema.entity(owner).attribute_names)
+        else:
+            columns = list(self.er_schema.relationship(owner).attribute_names)
+
+        required: dict[str, set[str]] = {}
+        allowed: dict[str, set[str]] = {}
+        definitions: dict[str, Any] = {}
+        for annotation in self.annotations_for_owner(owner):
+            definition = annotation.indicator.to_definition()
+            existing = definitions.get(definition.name)
+            if existing is not None and existing != definition:
+                raise MethodologyError(
+                    f"indicator {definition.name!r} has conflicting "
+                    f"definitions in the quality schema"
+                )
+            definitions[definition.name] = definition
+            if len(annotation.target) == 2:
+                columns_hit = [annotation.target[1]]
+            else:
+                columns_hit = columns
+            bucket = required if annotation.mandatory else allowed
+            for column in columns_hit:
+                bucket.setdefault(column, set()).add(definition.name)
+        return TagSchema(
+            indicators=list(definitions.values()),
+            required={c: sorted(n) for c, n in required.items()},
+            allowed={c: sorted(n) for c, n in allowed.items()},
+        )
+
+    def render(self, title: Optional[str] = None) -> str:
+        """ASCII diagram of the integrated schema."""
+        markers = [
+            Annotation(a.target, a.indicator.name, STYLE_DOTTED)
+            for a in self.annotations
+        ]
+        return render_er_diagram(
+            self.er_schema,
+            markers,
+            title=title or f"Quality schema: {self.name}",
+            legend=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QualitySchema({self.name!r}, {len(self.annotations)} annotations, "
+            f"{len(self.component_views)} component views)"
+        )

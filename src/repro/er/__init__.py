@@ -1,0 +1,33 @@
+"""Entity-relationship modeling substrate.
+
+Step 1 of the paper's methodology ("establish the application view") is
+classical ER modeling.  This package provides the ER model objects the
+methodology operates on, validation, ASCII diagram rendering (used to
+regenerate Figures 3-5), and a translation from ER schemas to relational
+schemas so designed applications can be instantiated on the engine in
+:mod:`repro.relational`.
+"""
+
+from repro.er.model import (
+    Cardinality,
+    Entity,
+    ERAttribute,
+    ERSchema,
+    Participant,
+    Relationship,
+)
+from repro.er.diagram import render_er_diagram
+from repro.er.relational_mapping import er_to_relational
+from repro.er.validation import validate_er_schema
+
+__all__ = [
+    "Cardinality",
+    "ERAttribute",
+    "ERSchema",
+    "Entity",
+    "Participant",
+    "Relationship",
+    "er_to_relational",
+    "render_er_diagram",
+    "validate_er_schema",
+]

@@ -1,0 +1,148 @@
+"""Deterministic ASCII rendering of ER diagrams and annotated views.
+
+The paper presents its methodology outputs as ER diagrams: Figure 3 is
+the plain application view, Figure 4 adds quality parameters drawn in
+"clouds", and Figure 5 adds quality indicators drawn in dotted
+rectangles.  This module renders all three styles as text so the
+benchmark harness can regenerate each figure byte-for-byte
+deterministically.
+
+Annotation markers
+------------------
+- quality parameters (subjective)  →  ``( parameter )``   "cloud"
+- quality indicators (objective)   →  ``[. indicator .]``  "dotted box"
+- inspection requirements          →  ``(/ inspection: ... )``
+
+Annotations attach to target paths as produced by
+:meth:`repro.er.model.ERSchema.annotation_targets`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.er.model import Entity, ERSchema, Relationship
+
+#: Annotation rendering styles.
+STYLE_CLOUD = "cloud"
+STYLE_DOTTED = "dotted"
+STYLE_INSPECTION = "inspection"
+
+_MARKERS = {
+    STYLE_CLOUD: ("( ", " )"),
+    STYLE_DOTTED: ("[. ", " .]"),
+    STYLE_INSPECTION: ("(/ ", " )"),
+}
+
+
+class Annotation:
+    """A label attached to an ER target, rendered in one of the styles."""
+
+    __slots__ = ("target", "label", "style")
+
+    def __init__(self, target: Sequence[str], label: str, style: str = STYLE_CLOUD) -> None:
+        if style not in _MARKERS:
+            raise ValueError(
+                f"unknown annotation style {style!r} (known: {sorted(_MARKERS)})"
+            )
+        self.target = tuple(target)
+        self.label = label
+        self.style = style
+
+    def marker(self) -> str:
+        """The rendered marker text, e.g. ``( timeliness )``."""
+        open_mark, close_mark = _MARKERS[self.style]
+        return f"{open_mark}{self.label}{close_mark}"
+
+    def __repr__(self) -> str:
+        return f"Annotation({self.target!r}, {self.marker()})"
+
+
+def _box(lines: list[str], title: str) -> list[str]:
+    """Draw a box around ``lines`` with ``title`` in the top border."""
+    width = max([len(title) + 2] + [len(line) for line in lines])
+    top = f"+-- {title} " + "-" * (width - len(title) - 2) + "+"
+    out = [top]
+    for line in lines:
+        out.append("| " + line.ljust(width) + " |")
+    out.append("+" + "-" * (width + 2) + "+")
+    return out
+
+
+def _annotations_for(
+    annotations: Iterable[Annotation], target: tuple[str, ...]
+) -> list[Annotation]:
+    return [a for a in annotations if a.target == target]
+
+
+def _render_entity(
+    entity: Entity, annotations: Sequence[Annotation]
+) -> list[str]:
+    lines: list[str] = []
+    entity_level = _annotations_for(annotations, (entity.name,))
+    for attribute in entity.attributes:
+        marker = " <*key*>" if attribute.name in entity.key else ""
+        line = f"{attribute.name}: {attribute.domain.name}{marker}"
+        attached = _annotations_for(annotations, (entity.name, attribute.name))
+        if attached:
+            line += "   " + " ".join(a.marker() for a in attached)
+        lines.append(line)
+    title = entity.name
+    if entity_level:
+        title += "  " + " ".join(a.marker() for a in entity_level)
+    return _box(lines, title)
+
+
+def _render_relationship(
+    relationship: Relationship, annotations: Sequence[Annotation]
+) -> list[str]:
+    ends = " --- ".join(
+        f"{p.entity_name} ({p.cardinality.value})"
+        for p in relationship.participants
+    )
+    rel_level = _annotations_for(annotations, (relationship.name,))
+    header = f"<{relationship.name}>  {ends}"
+    if rel_level:
+        header += "   " + " ".join(a.marker() for a in rel_level)
+    lines = [header]
+    for attribute in relationship.attributes:
+        line = f"  . {attribute.name}: {attribute.domain.name}"
+        attached = _annotations_for(
+            annotations, (relationship.name, attribute.name)
+        )
+        if attached:
+            line += "   " + " ".join(a.marker() for a in attached)
+        lines.append(line)
+    return lines
+
+
+def render_er_diagram(
+    schema: ERSchema,
+    annotations: Sequence[Annotation] = (),
+    title: Optional[str] = None,
+    legend: bool = False,
+) -> str:
+    """Render an ER schema (optionally annotated) as ASCII text.
+
+    Entities are drawn as boxes listing attributes; relationships as
+    diamond lines below.  Annotations appear next to their targets using
+    the style markers documented in the module docstring.
+    """
+    sections: list[str] = []
+    if title:
+        bar = "=" * len(title)
+        sections.append(f"{title}\n{bar}")
+    for entity in sorted(schema.entities, key=lambda e: e.name):
+        sections.append("\n".join(_render_entity(entity, annotations)))
+    if schema.relationships:
+        rel_lines: list[str] = ["Relationships:"]
+        for relationship in sorted(schema.relationships, key=lambda r: r.name):
+            rel_lines.extend(_render_relationship(relationship, annotations))
+        sections.append("\n".join(rel_lines))
+    if legend:
+        sections.append(
+            "Legend: ( x ) quality parameter [subjective], "
+            "[. x .] quality indicator [objective], "
+            "(/ x ) inspection requirement, <*key*> identifying key"
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,162 @@
+"""Translate ER schemas to relational schemas.
+
+The methodology produces an ER-based quality schema (Step 4); to
+populate and query data, the schema must be instantiated on the
+relational engine.  The mapping follows the standard textbook rules
+(Teorey [23], cited by the paper):
+
+- each entity becomes a relation whose key is the entity key;
+- each many-to-many (or n-ary) relationship becomes a relation keyed by
+  the participating entities' keys (plus any discriminating relationship
+  attributes), with foreign keys to the participants;
+- a one-to-many binary relationship is folded into the "many" side as a
+  foreign key, unless it carries attributes, in which case it also
+  becomes its own relation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.er.model import Cardinality, ERSchema, Relationship
+from repro.er.validation import require_valid
+from repro.errors import ERModelError
+from repro.relational.catalog import Database
+from repro.relational.constraints import ForeignKeyConstraint
+from repro.relational.schema import Column, RelationSchema
+
+
+def _entity_relation(schema: ERSchema, entity_name: str) -> RelationSchema:
+    entity = schema.entity(entity_name)
+    columns = [
+        Column(a.name, a.domain, a.doc) for a in entity.attributes
+    ]
+    return RelationSchema(entity.name, columns, key=entity.key, doc=entity.doc)
+
+
+def _qualified(role: str, attribute: str) -> str:
+    """Foreign-key column name contributed by one participant."""
+    return f"{role}_{attribute}"
+
+
+def _relationship_relation(
+    schema: ERSchema, relationship: Relationship
+) -> RelationSchema:
+    columns: list[Column] = []
+    key_columns: list[str] = []
+    for participant in relationship.participants:
+        entity = schema.entity(participant.entity_name)
+        for key_attr in entity.key:
+            name = _qualified(participant.role, key_attr)
+            columns.append(Column(name, entity.attribute(key_attr).domain))
+            key_columns.append(name)
+    for attribute in relationship.attributes:
+        if any(c.name == attribute.name for c in columns):
+            raise ERModelError(
+                f"relationship {relationship.name!r} attribute "
+                f"{attribute.name!r} collides with a foreign-key column"
+            )
+        columns.append(Column(attribute.name, attribute.domain, attribute.doc))
+    return RelationSchema(
+        relationship.name, columns, key=key_columns, doc=relationship.doc
+    )
+
+
+def _one_to_many_fold_target(relationship: Relationship) -> Optional[int]:
+    """Index of the MANY participant if the relationship is binary 1:N.
+
+    Returns None when the relationship cannot be folded (not binary,
+    carries attributes, or is not 1:N).
+    """
+    if len(relationship.participants) != 2 or relationship.attributes:
+        return None
+    cards = [p.cardinality for p in relationship.participants]
+    if cards.count(Cardinality.ONE) != 1:
+        return None
+    return cards.index(Cardinality.MANY)
+
+
+def er_to_relational(
+    schema: ERSchema,
+    database_name: Optional[str] = None,
+    validate: bool = True,
+) -> Database:
+    """Instantiate an ER schema as a relational database.
+
+    Returns a :class:`~repro.relational.catalog.Database` containing one
+    relation per entity, relationship relations where needed, and foreign
+    key constraints wiring them together.
+    """
+    if validate:
+        require_valid(schema)
+    database = Database(database_name or schema.name)
+
+    folded: dict[str, tuple[Relationship, int]] = {}
+    for relationship in schema.relationships:
+        fold_index = _one_to_many_fold_target(relationship)
+        if fold_index is not None:
+            folded[relationship.name] = (relationship, fold_index)
+
+    # Entities first; folded 1:N relationships extend the MANY side.
+    for entity in schema.entities:
+        relation_schema = _entity_relation(schema, entity.name)
+        extra_columns: list[Column] = []
+        for relationship, fold_index in folded.values():
+            many = relationship.participants[fold_index]
+            if many.entity_name != entity.name:
+                continue
+            one = relationship.participants[1 - fold_index]
+            one_entity = schema.entity(one.entity_name)
+            for key_attr in one_entity.key:
+                extra_columns.append(
+                    Column(
+                        _qualified(one.role, key_attr),
+                        one_entity.attribute(key_attr).domain,
+                    )
+                )
+        if extra_columns:
+            relation_schema = RelationSchema(
+                relation_schema.name,
+                list(relation_schema.columns) + extra_columns,
+                key=relation_schema.key,
+                doc=relation_schema.doc,
+            )
+        database.create_relation(relation_schema)
+
+    # Relationship relations for everything not folded.
+    for relationship in schema.relationships:
+        if relationship.name in folded:
+            continue
+        database.create_relation(_relationship_relation(schema, relationship))
+
+    # Foreign keys: relationship relations reference their participants.
+    for relationship in schema.relationships:
+        if relationship.name in folded:
+            rel, fold_index = folded[relationship.name]
+            many = rel.participants[fold_index]
+            one = rel.participants[1 - fold_index]
+            one_entity = schema.entity(one.entity_name)
+            columns = [_qualified(one.role, k) for k in one_entity.key]
+            database.add_constraint(
+                ForeignKeyConstraint(
+                    f"fk_{many.entity_name}_{rel.name}",
+                    many.entity_name,
+                    columns,
+                    one.entity_name,
+                    list(one_entity.key),
+                )
+            )
+            continue
+        for participant in relationship.participants:
+            entity = schema.entity(participant.entity_name)
+            columns = [_qualified(participant.role, k) for k in entity.key]
+            database.add_constraint(
+                ForeignKeyConstraint(
+                    f"fk_{relationship.name}_{participant.role}",
+                    relationship.name,
+                    columns,
+                    participant.entity_name,
+                    list(entity.key),
+                )
+            )
+    return database

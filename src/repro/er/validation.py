@@ -1,0 +1,71 @@
+"""Well-formedness validation for ER schemas.
+
+:func:`validate_er_schema` collects *all* problems rather than stopping
+at the first, so a design session can present the full list to the
+design team (the methodology's Step 1 quality gate).
+"""
+
+from __future__ import annotations
+
+from repro.er.model import ERSchema
+from repro.errors import ERValidationError
+
+
+def validate_er_schema(schema: ERSchema, require_keys: bool = True) -> list[str]:
+    """Check an ER schema and return a list of problem descriptions.
+
+    An empty list means the schema is well-formed.  Checks:
+
+    - every entity has at least one attribute;
+    - every entity has an identifying key (unless ``require_keys`` False);
+    - relationship participants reference existing entities (enforced at
+      construction, re-checked here for schemas built by deserialization);
+    - relationship attribute names do not collide with the key attributes
+      of participating entities (which would make the relational mapping
+      ambiguous);
+    - entity names and relationship names are disjoint (construction
+      enforces it; re-checked defensively).
+    """
+    problems: list[str] = []
+
+    entity_names = {e.name for e in schema.entities}
+    relationship_names = {r.name for r in schema.relationships}
+    overlap = entity_names & relationship_names
+    if overlap:
+        problems.append(
+            f"names used for both entities and relationships: {sorted(overlap)}"
+        )
+
+    for entity in schema.entities:
+        if not entity.attributes:
+            problems.append(f"entity {entity.name!r} has no attributes")
+        if require_keys and not entity.key:
+            problems.append(f"entity {entity.name!r} has no identifying key")
+
+    for relationship in schema.relationships:
+        for participant in relationship.participants:
+            if participant.entity_name not in entity_names:
+                problems.append(
+                    f"relationship {relationship.name!r} references unknown "
+                    f"entity {participant.entity_name!r}"
+                )
+                continue
+            entity = schema.entity(participant.entity_name)
+            collisions = set(relationship.attribute_names) & set(entity.key)
+            if collisions:
+                problems.append(
+                    f"relationship {relationship.name!r} attribute(s) "
+                    f"{sorted(collisions)} collide with key of entity "
+                    f"{entity.name!r}"
+                )
+    return problems
+
+
+def require_valid(schema: ERSchema, require_keys: bool = True) -> None:
+    """Raise :class:`ERValidationError` if the schema has any problems."""
+    problems = validate_er_schema(schema, require_keys=require_keys)
+    if problems:
+        listing = "; ".join(problems)
+        raise ERValidationError(
+            f"ER schema {schema.name!r} is not well-formed: {listing}"
+        )

@@ -1,0 +1,157 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems define narrower
+subclasses here (rather than in their own modules) so that error types
+can be shared across layers without import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine errors
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A relation schema is malformed or used inconsistently."""
+
+
+class DomainError(RelationalError):
+    """A value does not belong to the domain of its column."""
+
+
+class ConstraintViolation(RelationalError):
+    """An integrity constraint rejected a modification."""
+
+    def __init__(self, constraint_name: str, message: str) -> None:
+        super().__init__(f"{constraint_name}: {message}")
+        self.constraint_name = constraint_name
+
+
+class UnknownRelationError(RelationalError):
+    """A named relation does not exist in the catalog."""
+
+
+class UnknownColumnError(RelationalError):
+    """A referenced column does not exist in the schema."""
+
+
+class TransactionError(RelationalError):
+    """A transaction was used incorrectly (e.g. commit after abort)."""
+
+
+class QueryError(RelationalError):
+    """A query expression is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# ER modeling errors
+# ---------------------------------------------------------------------------
+
+
+class ERModelError(ReproError):
+    """Base class for errors raised by :mod:`repro.er`."""
+
+
+class ERValidationError(ERModelError):
+    """An ER schema failed well-formedness validation."""
+
+
+# ---------------------------------------------------------------------------
+# Tagging (attribute-based model) errors
+# ---------------------------------------------------------------------------
+
+
+class TaggingError(ReproError):
+    """Base class for errors raised by :mod:`repro.tagging`."""
+
+
+class UnknownIndicatorError(TaggingError):
+    """A referenced quality indicator is not defined for the column."""
+
+
+class TagSchemaError(TaggingError):
+    """A tag schema is malformed or inconsistent with its relation."""
+
+
+# ---------------------------------------------------------------------------
+# Polygen errors
+# ---------------------------------------------------------------------------
+
+
+class PolygenError(ReproError):
+    """Base class for errors raised by :mod:`repro.polygen`."""
+
+
+class FederationError(PolygenError):
+    """A federation-level operation referenced an unknown database."""
+
+
+# ---------------------------------------------------------------------------
+# Methodology (core) errors
+# ---------------------------------------------------------------------------
+
+
+class MethodologyError(ReproError):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class StepOrderError(MethodologyError):
+    """A methodology step was run before its input step produced output."""
+
+
+class ViewIntegrationError(MethodologyError):
+    """Quality views could not be consolidated into one schema."""
+
+
+class CatalogError(MethodologyError):
+    """A candidate quality attribute lookup failed."""
+
+
+# ---------------------------------------------------------------------------
+# Quality measurement / administration errors
+# ---------------------------------------------------------------------------
+
+
+class QualityError(ReproError):
+    """Base class for errors raised by :mod:`repro.quality`."""
+
+
+class AssessmentError(QualityError):
+    """A quality assessment could not be computed."""
+
+
+class InspectionError(QualityError):
+    """An inspection procedure failed or was misconfigured."""
+
+
+class AuditError(QualityError):
+    """The audit trail was queried or written incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Record linkage errors
+# ---------------------------------------------------------------------------
+
+
+class LinkageError(ReproError):
+    """Base class for errors raised by :mod:`repro.linkage`."""
+
+
+# ---------------------------------------------------------------------------
+# Manufacturing simulation errors
+# ---------------------------------------------------------------------------
+
+
+class ManufacturingError(ReproError):
+    """Base class for errors raised by :mod:`repro.manufacturing`."""

@@ -1,0 +1,24 @@
+"""Experiment harness: canonical scenarios, runners, and reporting.
+
+The benchmarks under ``benchmarks/`` and the examples under
+``examples/`` share this package so every table and figure is generated
+by exactly one implementation.
+
+- :mod:`repro.experiments.scenarios` — the paper's worked examples as
+  constructors (Table 1, Table 2, the Figure 3 trading schema, the full
+  Figures 4-5 methodology run, the §4 clearinghouse, and the scaled
+  synthetic variants the quantitative experiments use);
+- :mod:`repro.experiments.reporting` — deterministic text tables and
+  series renderers;
+- :mod:`repro.experiments.harness` — small experiment-result plumbing.
+"""
+
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.reporting import TextTable, render_series
+
+__all__ = [
+    "ExperimentResult",
+    "TextTable",
+    "render_series",
+    "run_experiment",
+]

@@ -1,0 +1,54 @@
+"""Small experiment-result plumbing shared by the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run.
+
+    ``artifact`` is the regenerated table/figure text; ``data`` holds
+    the raw numbers for assertions; ``checks`` records named shape
+    checks (who wins, crossovers) with their pass/fail status.
+    """
+
+    experiment_id: str
+    title: str
+    artifact: str
+    data: dict[str, Any] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def check(self, name: str, passed: bool) -> bool:
+        """Record one shape check; returns its status."""
+        self.checks[name] = bool(passed)
+        return self.checks[name]
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        lines.append(self.artifact)
+        if self.checks:
+            lines.append("")
+            lines.append("Shape checks:")
+            for name, passed in self.checks.items():
+                lines.append(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+def run_experiment(
+    experiment_id: str,
+    title: str,
+    build: Callable[[], tuple[str, dict[str, Any]]],
+) -> ExperimentResult:
+    """Run one experiment builder and wrap its output.
+
+    ``build`` returns (artifact text, data dict).
+    """
+    artifact, data = build()
+    return ExperimentResult(experiment_id, title, artifact, data)

@@ -1,0 +1,45 @@
+"""Probabilistic record linkage (related work [10][18][19]).
+
+The paper's related-work section traces record-linking methodologies to
+Newcombe (1959) and Fellegi & Sunter (1969) — "matching records in
+different files where primary identifiers may not match for the same
+individual".  In this reproduction the linkage machinery serves the
+data quality administrator: duplicate detection is one of the concrete
+inspection/certification mechanisms of §4, and benchmark E7 measures
+its precision/recall over error-injected records.
+
+Modules: :mod:`repro.linkage.comparators` (string similarity),
+:mod:`repro.linkage.fellegi_sunter` (the decision model),
+:mod:`repro.linkage.blocking` (candidate-pair generation), and
+:mod:`repro.linkage.dedup` (duplicate detection over relations).
+"""
+
+from repro.linkage.comparators import (
+    exact,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    numeric_closeness,
+    soundex,
+)
+from repro.linkage.fellegi_sunter import FellegiSunterModel, FieldModel, MatchDecision
+from repro.linkage.blocking import block_pairs, full_pairs
+from repro.linkage.dedup import DuplicateFinder, LinkResult
+
+__all__ = [
+    "DuplicateFinder",
+    "FellegiSunterModel",
+    "FieldModel",
+    "LinkResult",
+    "MatchDecision",
+    "block_pairs",
+    "exact",
+    "full_pairs",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "numeric_closeness",
+    "soundex",
+]

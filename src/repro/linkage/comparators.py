@@ -1,0 +1,189 @@
+"""Field comparators for record linkage.
+
+All similarity functions return values in [0, 1] where 1 means
+identical; distance-style helpers (:func:`levenshtein`) return raw edit
+distances.  ``None`` handling is uniform: comparing two ``None`` values
+yields 1.0 (vacuous agreement); comparing ``None`` with a value yields
+0.0 (no evidence of agreement).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+def _null_guard(a: Any, b: Any) -> Optional[float]:
+    if a is None and b is None:
+        return 1.0
+    if a is None or b is None:
+        return 0.0
+    return None
+
+
+def exact(a: Any, b: Any) -> float:
+    """1.0 iff the values are equal (after the None guard)."""
+    guard = _null_guard(a, b)
+    if guard is not None:
+        return guard
+    return 1.0 if a == b else 0.0
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1).
+
+    >>> levenshtein("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: Any, b: Any) -> float:
+    """Edit distance normalized to [0, 1]: 1 − d/max(len)."""
+    guard = _null_guard(a, b)
+    if guard is not None:
+        return guard
+    a, b = str(a), str(b)
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro(a: Any, b: Any) -> float:
+    """Jaro similarity.
+
+    >>> round(jaro("martha", "marhta"), 4)
+    0.9444
+    """
+    guard = _null_guard(a, b)
+    if guard is not None:
+        return guard
+    a, b = str(a), str(b)
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if not b_flags[j] and b[j] == char_a:
+                a_flags[i] = True
+                b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if flagged:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: Any, b: Any, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler: Jaro boosted for common prefixes (≤ 4 chars).
+
+    >>> jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+    True
+    """
+    base = jaro(a, b)
+    if a is None or b is None:
+        return base
+    a, b = str(a), str(b)
+    prefix = 0
+    for char_a, char_b in zip(a[:4], b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    **dict.fromkeys("l", "4"),
+    **dict.fromkeys("mn", "5"),
+    **dict.fromkeys("r", "6"),
+}
+
+
+def soundex(value: str) -> str:
+    """American Soundex code of a name.
+
+    >>> soundex("Robert")
+    'R163'
+    >>> soundex("Rupert")
+    'R163'
+    """
+    cleaned = [c for c in value.lower() if c.isalpha()]
+    if not cleaned:
+        return "0000"
+    first = cleaned[0]
+    encoded = [first.upper()]
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for char in cleaned[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if code and code != previous_code:
+            encoded.append(code)
+        if char not in "hw":
+            previous_code = code
+    return (("".join(encoded)) + "000")[:4]
+
+
+def soundex_match(a: Any, b: Any) -> float:
+    """1.0 iff the two values share a Soundex code."""
+    guard = _null_guard(a, b)
+    if guard is not None:
+        return guard
+    return 1.0 if soundex(str(a)) == soundex(str(b)) else 0.0
+
+
+def numeric_closeness(a: Any, b: Any, tolerance: float = 0.1) -> float:
+    """1 at equality, linearly decaying to 0 at relative difference ≥ tolerance."""
+    guard = _null_guard(a, b)
+    if guard is not None:
+        return guard
+    try:
+        x, y = float(a), float(b)
+    except (TypeError, ValueError):
+        return 0.0
+    if x == y:
+        return 1.0
+    scale = max(abs(x), abs(y), 1e-12)
+    relative = abs(x - y) / scale
+    if relative >= tolerance:
+        return 0.0
+    return 1.0 - relative / tolerance

@@ -1,0 +1,45 @@
+"""Simulated data manufacturing: the substrate behind the experiments.
+
+The paper's scenarios presume data "originally collected over a period
+of time, by a variety of company departments ... generated in different
+ways for different reasons" (§1.2).  No such instrumented corporate
+environment is available to a reproduction, so this package builds one:
+
+- :mod:`repro.manufacturing.world` — a deterministic ground-truth world
+  whose attribute values drift over time (volatility);
+- :mod:`repro.manufacturing.sources` — data sources with accuracy,
+  latency, and coverage characteristics (departments, feeds, estimates);
+- :mod:`repro.manufacturing.collection` — collection methods with
+  per-method error rates (manual entry, scanner, phone, service);
+- :mod:`repro.manufacturing.errorsim` — the error injectors;
+- :mod:`repro.manufacturing.generator` — seeded synthetic populations;
+- :mod:`repro.manufacturing.pipeline` — the manufacturing pipeline that
+  runs world → source → collection → tagged relation, emitting audit
+  events.
+
+Everything is seeded and deterministic so experiments reproduce
+byte-for-byte.
+"""
+
+from repro.manufacturing.world import AttributeSpec, World
+from repro.manufacturing.sources import DataSource, SourceObservation
+from repro.manufacturing.collection import CollectionMethod, STANDARD_METHODS
+from repro.manufacturing.generator import (
+    make_address_book,
+    make_clients,
+    make_companies,
+)
+from repro.manufacturing.pipeline import ManufacturingPipeline
+
+__all__ = [
+    "AttributeSpec",
+    "CollectionMethod",
+    "DataSource",
+    "ManufacturingPipeline",
+    "STANDARD_METHODS",
+    "SourceObservation",
+    "World",
+    "make_address_book",
+    "make_clients",
+    "make_companies",
+]

@@ -1,0 +1,27 @@
+"""Process-stable seed derivation.
+
+``hash(str)`` is salted per Python process (PYTHONHASHSEED), so seeding
+RNGs with ``hash((seed, name))`` silently breaks the simulator's
+cross-run determinism guarantee.  :func:`stable_seed` derives seeds
+from SHA-256 instead, so equal inputs give equal streams in every
+process, forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+
+def stable_seed(*parts: Any) -> int:
+    """A deterministic 64-bit seed from arbitrary repr-able parts.
+
+    >>> stable_seed(7, "clients") == stable_seed(7, "clients")
+    True
+    >>> stable_seed(7, "clients") != stable_seed(8, "clients")
+    True
+    """
+    digest = hashlib.sha256(
+        "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,122 @@
+"""Data sources: who supplies data, with what accuracy and latency.
+
+"The source may only be able to provide estimates with varying degrees
+of accuracy (e.g., sales forecasts)."  (§1.1)
+
+A :class:`DataSource` observes the ground-truth world on behalf of the
+pipeline.  Its quality characteristics:
+
+- ``latency_days`` — the source reports the world as it was this many
+  days ago (a news database lags; the accounting department is current);
+- ``error_rate`` — probability an observation is corrupted by the
+  source's own process (estimation error, not transcription);
+- ``coverage`` — probability the source can report at all (otherwise
+  the observation is missing).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+
+from repro.manufacturing.seeding import stable_seed
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.errorsim import ErrorInjector, mixed_injector
+from repro.manufacturing.world import World
+
+
+@dataclass(frozen=True)
+class SourceObservation:
+    """One observation produced by a source.
+
+    ``value`` is None when the source had no coverage.  ``observed_day``
+    is the world day the value reflects (report day − latency);
+    ``report_day`` is when the source handed it over.
+    """
+
+    key: Any
+    attribute: str
+    value: Any
+    source: str
+    observed_day: _dt.date
+    report_day: _dt.date
+    erroneous: bool
+
+    @property
+    def missing(self) -> bool:
+        return self.value is None
+
+
+class DataSource:
+    """A simulated data supplier with quality characteristics.
+
+    >>> # acct'g: current and accurate; estimates: noisy
+    >>> # DataSource("acct'g", world, error_rate=0.01)
+    >>> # DataSource("estimate", world, error_rate=0.4, latency_days=30)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        world: World,
+        error_rate: float = 0.0,
+        latency_days: int = 0,
+        coverage: float = 1.0,
+        injector: Optional[ErrorInjector] = None,
+        seed: int = 0,
+    ) -> None:
+        if not name:
+            raise ManufacturingError("data source must have a name")
+        if not 0.0 <= error_rate <= 1.0:
+            raise ManufacturingError("error_rate must be in [0, 1]")
+        if not 0.0 <= coverage <= 1.0:
+            raise ManufacturingError("coverage must be in [0, 1]")
+        if latency_days < 0:
+            raise ManufacturingError("latency_days must be non-negative")
+        self.name = name
+        self.world = world
+        self.error_rate = error_rate
+        self.latency_days = latency_days
+        self.coverage = coverage
+        self.injector = injector or mixed_injector()
+        self._rng = random.Random(stable_seed(seed, name))
+
+    def observe(
+        self,
+        key: Any,
+        attribute: str,
+        report_day: Optional[_dt.date] = None,
+    ) -> SourceObservation:
+        """Produce one observation of an entity attribute.
+
+        The reported value reflects the world ``latency_days`` before
+        ``report_day`` (default: the world's today), possibly corrupted
+        per ``error_rate``, or missing per ``coverage``.
+        """
+        report = report_day or self.world.today
+        observed_day = report - _dt.timedelta(days=self.latency_days)
+        if observed_day < self.world.start_day:
+            observed_day = self.world.start_day
+        if self._rng.random() >= self.coverage:
+            return SourceObservation(
+                key, attribute, None, self.name, observed_day, report, False
+            )
+        true_value = self.world.value_as_of(key, attribute, observed_day)
+        erroneous = self._rng.random() < self.error_rate
+        value = self.injector(self._rng, true_value) if erroneous else true_value
+        # An injector may return the input unchanged (e.g. a blank string
+        # can't get a typo); only count real corruption as erroneous.
+        if erroneous and value == true_value:
+            erroneous = False
+        return SourceObservation(
+            key, attribute, value, self.name, observed_day, report, erroneous
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataSource({self.name!r}, error_rate={self.error_rate}, "
+            f"latency={self.latency_days}d, coverage={self.coverage})"
+        )

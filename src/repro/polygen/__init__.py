@@ -1,0 +1,39 @@
+"""The polygen source-tagging model [24][25].
+
+The paper's second formal substrate: in a heterogeneous multi-database
+environment, every cell carries (a) its *originating* sources — the
+local databases the value came from — and (b) its *intermediate*
+sources — databases whose data was used to select or derive it (e.g.
+the sources of join keys).  Queries over a
+:class:`~repro.polygen.federation.Federation` of local databases answer
+"where is this data from?" and "which databases did this answer touch?".
+
+The propagation semantics follow Wang & Madnick (VLDB 1990):
+
+- projection and restriction keep cell tags;
+- restriction (select) adds the originating sources of the cells
+  *examined by the predicate* to the intermediate sources of every cell
+  in the surviving tuples;
+- join adds the originating sources of the join-key cells of both sides
+  to the intermediate sources of every output cell;
+- union keeps tags per branch; duplicate values merge originating
+  source sets (the same fact corroborated by several databases);
+- difference adds the right side's examined sources as intermediate
+  sources of surviving left tuples.
+"""
+
+from repro.polygen.model import PolygenCell, PolygenRelation, SourceSet
+from repro.polygen.federation import Federation, LocalDatabase
+from repro.polygen.query import PolygenQuery
+from repro.polygen.bridge import polygen_to_tagged, tagged_to_polygen
+
+__all__ = [
+    "Federation",
+    "LocalDatabase",
+    "PolygenCell",
+    "PolygenQuery",
+    "PolygenRelation",
+    "SourceSet",
+    "polygen_to_tagged",
+    "tagged_to_polygen",
+]

@@ -1,0 +1,244 @@
+"""Polygen algebra: operators with source-propagation semantics.
+
+See the package docstring of :mod:`repro.polygen` for the propagation
+rules reproduced from Wang & Madnick (VLDB 1990).  Predicates here
+declare which columns they examine (``using``) so restriction can
+propagate the examined cells' originating sources into the result's
+intermediate sources — the polygen model's distinctive feature.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import PolygenError, QueryError, SchemaError
+from repro.polygen.model import PolygenCell, PolygenRelation, PolygenRow
+from repro.relational.schema import RelationSchema
+
+PolygenPredicate = Callable[[PolygenRow], bool]
+
+
+def project(
+    relation: PolygenRelation,
+    columns: Sequence[str],
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """π — keep only ``columns``; cells keep their source sets."""
+    if not columns:
+        raise QueryError("projection requires at least one column")
+    out_schema = relation.schema.project(columns, new_name)
+    result = PolygenRelation(out_schema)
+    for row in relation:
+        result.insert({c: row[c] for c in columns})
+    return result
+
+
+def select(
+    relation: PolygenRelation,
+    predicate: PolygenPredicate,
+    using: Sequence[str] = (),
+) -> PolygenRelation:
+    """σ — restriction with intermediate-source propagation.
+
+    ``using`` names the columns the predicate examines.  The originating
+    sources of those cells are added to the *intermediate* sources of
+    every cell in each surviving row: downstream users can see that the
+    answer depended on those databases even for cells whose values came
+    from elsewhere.
+    """
+    for name in using:
+        relation.schema.column(name)
+    result = relation.empty_like()
+    for row in relation:
+        if predicate(row):
+            examined: frozenset[str] = frozenset()
+            for name in using:
+                examined |= row[name].originating
+            result.insert(row.with_intermediate(examined) if examined else row)
+    return result
+
+
+def rename(
+    relation: PolygenRelation,
+    column_mapping: Optional[dict[str, str]] = None,
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """ρ — rename the relation and/or columns (tags untouched)."""
+    out_schema = relation.schema
+    if column_mapping:
+        out_schema = out_schema.rename_columns(column_mapping)
+    if new_name:
+        out_schema = out_schema.renamed(new_name)
+    result = PolygenRelation(out_schema)
+    names = out_schema.column_names
+    for row in relation:
+        result.insert(dict(zip(names, row.cells)))
+    return result
+
+
+def cartesian_product(
+    left: PolygenRelation,
+    right: PolygenRelation,
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """× — pairings of rows; cells keep their side's sources."""
+    name = new_name or f"{left.schema.name}_x_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    left_map, right_map = left.schema.concat_maps(right.schema)
+    result = PolygenRelation(out_schema)
+    for lrow in left:
+        for rrow in right:
+            cells: dict[str, PolygenCell] = {}
+            for c in left.schema.column_names:
+                cells[left_map[c]] = lrow[c]
+            for c in right.schema.column_names:
+                cells[right_map[c]] = rrow[c]
+            result.insert(cells)
+    return result
+
+
+def equi_join(
+    left: PolygenRelation,
+    right: PolygenRelation,
+    on: Sequence[tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """⋈ — join on value equality, propagating join-key sources.
+
+    The originating sources of the *join-key cells of both sides* become
+    intermediate sources of every cell in the joined row: the match
+    itself is evidence derived from those databases.
+    """
+    if not on:
+        raise QueryError("equi_join requires at least one column pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    left_map, right_map = left.schema.concat_maps(right.schema)
+    result = PolygenRelation(out_schema)
+
+    index: dict[tuple[Any, ...], list[PolygenRow]] = {}
+    for rrow in right:
+        key = tuple(_freeze(rrow.value(rcol)) for _, rcol in on)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(_freeze(lrow.value(lcol)) for lcol, _ in on)
+        for rrow in index.get(key, ()):
+            examined: frozenset[str] = frozenset()
+            for lcol, rcol in on:
+                examined |= lrow[lcol].originating | rrow[rcol].originating
+            cells: dict[str, PolygenCell] = {}
+            for c in left.schema.column_names:
+                cells[left_map[c]] = lrow[c].with_intermediate(examined)
+            for c in right.schema.column_names:
+                cells[right_map[c]] = rrow[c].with_intermediate(examined)
+            result.insert(cells)
+    return result
+
+
+def union(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation:
+    """∪ — set union merging duplicate values' source sets.
+
+    Rows with identical *values* collapse into one row whose cells union
+    the originating (and intermediate) sources of all contributors —
+    "this fact is corroborated by these databases".
+    """
+    if not left.schema.union_compatible_with(right.schema):
+        raise SchemaError("union: schemas are not union-compatible")
+    merged: dict[tuple[Any, ...], PolygenRow] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in list(left) + list(right):
+        key = tuple(_freeze(v) for v in row.values_tuple())
+        if key not in merged:
+            merged[key] = row
+            order.append(key)
+        else:
+            existing = merged[key]
+            merged[key] = PolygenRow(
+                left.schema,
+                {
+                    n: existing[n].merged_with(row[n])
+                    for n in left.schema.column_names
+                },
+            )
+    result = PolygenRelation(left.schema)
+    for key in order:
+        result.insert(merged[key])
+    return result
+
+
+def difference(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation:
+    """− — value-based difference; the right side becomes evidence.
+
+    Surviving left rows gain the right relation's originating sources as
+    intermediate sources: their survival was decided by consulting those
+    databases.
+    """
+    if not left.schema.union_compatible_with(right.schema):
+        raise SchemaError("difference: schemas are not union-compatible")
+    right_values = {
+        tuple(_freeze(v) for v in row.values_tuple()) for row in right
+    }
+    right_sources: frozenset[str] = frozenset()
+    for row in right:
+        for cell in row.cells:
+            right_sources |= cell.originating
+    result = left.empty_like()
+    for row in left:
+        key = tuple(_freeze(v) for v in row.values_tuple())
+        if key not in right_values:
+            result.insert(
+                row.with_intermediate(right_sources) if right_sources else row
+            )
+    return result
+
+
+def coalesce(
+    relation: PolygenRelation,
+    prefer: Callable[[PolygenRow, PolygenRow], PolygenRow],
+    key_columns: Sequence[str],
+) -> PolygenRelation:
+    """Resolve multi-source conflicts: one row per key, chosen by ``prefer``.
+
+    Groups rows by the values of ``key_columns``; within a group,
+    ``prefer(a, b)`` returns the preferred of two rows (e.g. the one
+    whose source is more credible).  The chosen row gains the losers'
+    originating sources as intermediate sources — the conflict was
+    resolved by consulting them.
+    """
+    for name in key_columns:
+        relation.schema.column(name)
+    groups: dict[tuple[Any, ...], list[PolygenRow]] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in relation:
+        key = tuple(_freeze(row.value(c)) for c in key_columns)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    result = relation.empty_like()
+    for key in order:
+        rows = groups[key]
+        winner = rows[0]
+        for challenger in rows[1:]:
+            winner = prefer(winner, challenger)
+        losers = [r for r in rows if r is not winner]
+        loser_sources: frozenset[str] = frozenset()
+        for loser in losers:
+            for cell in loser.cells:
+                loser_sources |= cell.originating
+        result.insert(
+            winner.with_intermediate(loser_sources) if loser_sources else winner
+        )
+    return result
+
+
+def _freeze(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,119 @@
+"""Bridging the paper's two formal models: polygen → attribute-based.
+
+The paper cites both the attribute-based cell-tagging model [28] and
+the polygen source-tagging model [24][25] as the machinery behind its
+quality indicators.  They meet here: a polygen relation's *originating*
+source set is exactly the evidence behind the ``source`` quality
+indicator, so federation query results can be materialized as tagged
+relations and flow into the quality layer (filters, profiles,
+assessment, QSQL).
+
+Single-source cells map to a scalar ``source`` tag; multi-source
+(corroborated) cells join the source names with ``+`` and record the
+full sets as meta-tags (Premise 1.4: the tag about the tag), so no
+provenance is lost in the conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.polygen.model import PolygenCell, PolygenRelation
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+#: The indicators the bridge emits.
+BRIDGE_INDICATORS = (
+    IndicatorDefinition(
+        "source", "STR", "originating source(s), '+'-joined when corroborated"
+    ),
+    IndicatorDefinition(
+        "intermediate_sources",
+        "STR",
+        "'+'-joined databases whose data influenced this value's selection",
+    ),
+)
+
+
+def bridge_tag_schema(columns: list[str]) -> TagSchema:
+    """A tag schema allowing the bridge indicators on ``columns``."""
+    return TagSchema(
+        indicators=list(BRIDGE_INDICATORS),
+        allowed={
+            column: ["source", "intermediate_sources"] for column in columns
+        },
+    )
+
+
+def _source_tag(cell: PolygenCell) -> Optional[IndicatorValue]:
+    if not cell.originating:
+        return None
+    joined = "+".join(sorted(cell.originating))
+    return IndicatorValue(
+        "source",
+        joined,
+        meta={"originating_count": len(cell.originating)},
+    )
+
+
+def _intermediate_tag(cell: PolygenCell) -> Optional[IndicatorValue]:
+    if not cell.intermediate:
+        return None
+    return IndicatorValue(
+        "intermediate_sources", "+".join(sorted(cell.intermediate))
+    )
+
+
+def polygen_to_tagged(relation: PolygenRelation) -> TaggedRelation:
+    """Materialize a polygen relation as a source-tagged relation.
+
+    >>> # tagged = polygen_to_tagged(federation.union_all("quotes"))
+    >>> # QualityQuery(tagged).require("price", "source", "==", "reuters")...
+    """
+    columns = list(relation.schema.column_names)
+    tagged = TaggedRelation(relation.schema, bridge_tag_schema(columns))
+    for row in relation:
+        cells: dict[str, QualityCell] = {}
+        for column in columns:
+            polygen_cell = row[column]
+            tags = []
+            source_tag = _source_tag(polygen_cell)
+            if source_tag is not None:
+                tags.append(source_tag)
+            intermediate_tag = _intermediate_tag(polygen_cell)
+            if intermediate_tag is not None:
+                tags.append(intermediate_tag)
+            cells[column] = QualityCell(polygen_cell.value, tags)
+        tagged.insert(cells)
+    return tagged
+
+
+def tagged_to_polygen(relation: TaggedRelation) -> PolygenRelation:
+    """Lift a source-tagged relation into the polygen model.
+
+    The inverse direction: each cell's ``source`` tag (possibly
+    ``+``-joined) becomes its originating set;
+    ``intermediate_sources`` becomes the intermediate set.  Cells
+    without a source tag get an empty originating set.
+    """
+    result = PolygenRelation(relation.schema)
+    for row in relation:
+        cells: dict[str, PolygenCell] = {}
+        for column in relation.schema.column_names:
+            cell = row[column]
+            source_value = cell.tag_value("source")
+            originating = (
+                frozenset(str(source_value).split("+"))
+                if source_value
+                else frozenset()
+            )
+            intermediate_value = cell.tag_value("intermediate_sources")
+            intermediate = (
+                frozenset(str(intermediate_value).split("+"))
+                if intermediate_value
+                else frozenset()
+            )
+            cells[column] = PolygenCell(cell.value, originating, intermediate)
+        result.insert(cells)
+    return result

@@ -1,0 +1,159 @@
+"""A simulated multi-database federation with polygen query execution.
+
+The polygen papers' setting is a composite information system over
+heterogeneous local databases.  :class:`Federation` simulates that
+setting: several named :class:`LocalDatabase` instances (each wrapping a
+:class:`~repro.relational.catalog.Database`) are registered, and queries
+are executed through the polygen algebra so every result cell carries
+its provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import FederationError
+from repro.polygen import algebra
+from repro.polygen.model import PolygenRelation, PolygenRow
+from repro.relational.catalog import Database
+
+
+class LocalDatabase:
+    """A named participant of the federation.
+
+    Parameters
+    ----------
+    database:
+        The wrapped relational database holding local data.
+    credibility:
+        Optional numeric credibility rating used by conflict-resolution
+        policies (higher is more credible).  This mirrors the paper's
+        quality parameter *source credibility* being derived from the
+        quality indicator *source*.
+    """
+
+    def __init__(self, database: Database, credibility: float = 1.0) -> None:
+        self.database = database
+        self.credibility = credibility
+
+    @property
+    def name(self) -> str:
+        return self.database.name
+
+    def export(self, relation_name: str) -> PolygenRelation:
+        """Export one relation with every cell source-tagged."""
+        relation = self.database.relation(relation_name)
+        return PolygenRelation.from_relation(relation, self.name)
+
+    def __repr__(self) -> str:
+        return f"LocalDatabase({self.name!r}, credibility={self.credibility})"
+
+
+class Federation:
+    """A registry of local databases plus polygen query helpers."""
+
+    def __init__(self, name: str = "federation") -> None:
+        self.name = name
+        self._locals: dict[str, LocalDatabase] = {}
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, database: Database, credibility: float = 1.0) -> LocalDatabase:
+        """Add a local database (its name must be unique)."""
+        if database.name in self._locals:
+            raise FederationError(
+                f"federation already has a database named {database.name!r}"
+            )
+        local = LocalDatabase(database, credibility)
+        self._locals[database.name] = local
+        return local
+
+    def local(self, name: str) -> LocalDatabase:
+        """Look up a participant by name."""
+        try:
+            return self._locals[name]
+        except KeyError:
+            raise FederationError(
+                f"federation has no database {name!r} "
+                f"(registered: {sorted(self._locals)})"
+            ) from None
+
+    @property
+    def database_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._locals))
+
+    def credibility(self, source: str) -> float:
+        """Credibility of one source (0.0 if unregistered)."""
+        local = self._locals.get(source)
+        return local.credibility if local else 0.0
+
+    def __repr__(self) -> str:
+        return f"Federation({self.name!r}, databases={list(self.database_names)})"
+
+    # -- query helpers ----------------------------------------------------------
+
+    def export(self, database_name: str, relation_name: str) -> PolygenRelation:
+        """Source-tagged export of one local relation."""
+        return self.local(database_name).export(relation_name)
+
+    def union_all(
+        self, relation_name: str, databases: Optional[Sequence[str]] = None
+    ) -> PolygenRelation:
+        """Polygen union of the same-named relation across databases.
+
+        Duplicate values merge their originating sources — the
+        federation-wide "who else knows this fact" view.
+        """
+        names = (
+            list(databases) if databases is not None else list(self.database_names)
+        )
+        if not names:
+            raise FederationError("union_all requires at least one database")
+        result = self.export(names[0], relation_name)
+        for name in names[1:]:
+            result = algebra.union(result, self.export(name, relation_name))
+        return result
+
+    def most_credible(
+        self,
+        relation: PolygenRelation,
+        key_columns: Sequence[str],
+    ) -> PolygenRelation:
+        """Resolve conflicts by source credibility.
+
+        For rows sharing key values, keep the row whose best originating
+        source has the highest registered credibility.
+        """
+
+        def row_credibility(row: PolygenRow) -> float:
+            best = 0.0
+            for cell in row.cells:
+                for source in cell.originating:
+                    best = max(best, self.credibility(source))
+            return best
+
+        def prefer(a: PolygenRow, b: PolygenRow) -> PolygenRow:
+            return a if row_credibility(a) >= row_credibility(b) else b
+
+        return algebra.coalesce(relation, prefer, key_columns)
+
+    def provenance_report(self, relation: PolygenRelation) -> dict[str, dict[str, int]]:
+        """Per-source contribution counts over a polygen relation.
+
+        Returns ``{source: {"originating": n, "intermediate": m}}`` where
+        n/m count cells listing the source in the respective set.
+        """
+        report: dict[str, dict[str, int]] = {}
+        for row in relation:
+            for cell in row.cells:
+                for source in cell.originating:
+                    entry = report.setdefault(
+                        source, {"originating": 0, "intermediate": 0}
+                    )
+                    entry["originating"] += 1
+                for source in cell.intermediate:
+                    entry = report.setdefault(
+                        source, {"originating": 0, "intermediate": 0}
+                    )
+                    entry["intermediate"] += 1
+        return report

@@ -1,0 +1,163 @@
+"""Fluent queries over polygen relations, with source predicates.
+
+Mirrors :class:`repro.relational.query.Query` and
+:class:`repro.tagging.query.QualityQuery` for the polygen layer, adding
+the provenance predicates the model exists for:
+
+>>> # PolygenQuery(rel).where_origin("price", includes="reuters")\\
+>>> #     .select("ticker", "price").run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.polygen import algebra
+from repro.polygen.model import PolygenRelation, PolygenRow
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class PolygenQuery:
+    """A lazily-composed pipeline over a polygen relation."""
+
+    def __init__(
+        self,
+        source: PolygenRelation,
+        _steps: tuple[Callable[[PolygenRelation], PolygenRelation], ...] = (),
+    ) -> None:
+        self._source = source
+        self._steps = _steps
+
+    def _extend(
+        self, step: Callable[[PolygenRelation], PolygenRelation]
+    ) -> "PolygenQuery":
+        return PolygenQuery(self._source, self._steps + (step,))
+
+    # -- value predicates ------------------------------------------------------
+
+    def where(
+        self,
+        predicate: Callable[[PolygenRow], bool],
+        using: Sequence[str] = (),
+    ) -> "PolygenQuery":
+        """Filter rows; ``using`` feeds intermediate-source propagation."""
+        return self._extend(
+            lambda rel: algebra.select(rel, predicate, using=using)
+        )
+
+    def where_value(
+        self, column: str, op: str, operand: Any
+    ) -> "PolygenQuery":
+        """Filter on an application value; the column is recorded as
+        examined, so its sources propagate (polygen semantics)."""
+        if op not in _COMPARATORS:
+            raise QueryError(f"unknown operator {op!r}")
+        compare = _COMPARATORS[op]
+
+        def predicate(row: PolygenRow) -> bool:
+            value = row.value(column)
+            if value is None:
+                return False
+            try:
+                return compare(value, operand)
+            except TypeError:
+                return False
+
+        return self.where(predicate, using=[column])
+
+    # -- provenance predicates --------------------------------------------------------
+
+    def where_origin(
+        self,
+        column: str,
+        includes: Optional[str] = None,
+        excludes: Optional[str] = None,
+        only: Optional[Iterable[str]] = None,
+    ) -> "PolygenQuery":
+        """Constrain a cell's *originating* sources.
+
+        - ``includes`` — the source must be among the originators;
+        - ``excludes`` — the source must not be an originator;
+        - ``only`` — originators must be a subset of the given sources.
+
+        Provenance predicates do not add intermediate sources: they read
+        tags, not data.
+        """
+        if includes is None and excludes is None and only is None:
+            raise QueryError(
+                "where_origin requires includes=, excludes=, or only="
+            )
+        only_set = frozenset(only) if only is not None else None
+
+        def predicate(row: PolygenRow) -> bool:
+            origin = row[column].originating
+            if includes is not None and includes not in origin:
+                return False
+            if excludes is not None and excludes in origin:
+                return False
+            if only_set is not None and not origin <= only_set:
+                return False
+            return True
+
+        return self._extend(lambda rel: algebra.select(rel, predicate))
+
+    def where_untouched_by(self, source: str) -> "PolygenQuery":
+        """Keep rows no cell of which lists ``source`` anywhere.
+
+        The administrator's quarantine query: after discovering a bad
+        feed, retrieve only the data that never depended on it.
+        """
+
+        def predicate(row: PolygenRow) -> bool:
+            return source not in row.row_sources()
+
+        return self._extend(lambda rel: algebra.select(rel, predicate))
+
+    # -- shape operations ----------------------------------------------------------------
+
+    def select(self, *columns: str) -> "PolygenQuery":
+        """Project to the named columns."""
+        if not columns:
+            raise QueryError("select() requires at least one column")
+        return self._extend(lambda rel: algebra.project(rel, list(columns)))
+
+    def join(
+        self, other: PolygenRelation, on: Sequence[tuple[str, str]]
+    ) -> "PolygenQuery":
+        """Polygen equi-join (join-key sources propagate)."""
+        return self._extend(lambda rel: algebra.equi_join(rel, other, on))
+
+    def union(self, other: PolygenRelation) -> "PolygenQuery":
+        """Polygen union (corroboration merges source sets)."""
+        return self._extend(lambda rel: algebra.union(rel, other))
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def run(self) -> PolygenRelation:
+        """Execute the pipeline."""
+        result = self._source
+        for step in self._steps:
+            result = step(result)
+        return result
+
+    def count(self) -> int:
+        return len(self.run())
+
+    def values(self) -> list[dict[str, Any]]:
+        """Application values as plain dicts (provenance stripped)."""
+        return [row.values_dict() for row in self.run()]
+
+    def __repr__(self) -> str:
+        return (
+            f"PolygenQuery({self._source.schema.name!r}, "
+            f"{len(self._steps)} steps)"
+        )

@@ -1,0 +1,63 @@
+"""Quality measurement, assessment, filtering, and administration (§4).
+
+The paper's Discussion section sketches two perspectives on the tagged
+database:
+
+- the **end user** retrieves data of a specific "grade" by constraining
+  quality indicators (:mod:`repro.quality.profiles`,
+  :mod:`repro.quality.filtering`);
+- the **data quality administrator** monitors, controls, and reports on
+  quality (:mod:`repro.quality.admin`), audits the manufacturing trail
+  (:mod:`repro.quality.audit`), runs inspections
+  (:mod:`repro.quality.inspection`), applies statistical process
+  control (:mod:`repro.quality.spc`), and enforces data-entry controls
+  (:mod:`repro.quality.controls`).
+
+:mod:`repro.quality.dimensions` supplies the objective dimension
+metrics (timeliness/age, completeness, accuracy vs. ground truth,
+consistency) and :mod:`repro.quality.assessment` aggregates them into
+per-relation/column quality profiles (Premise 1.3's hierarchy).
+"""
+
+from repro.quality.dimensions import (
+    accuracy_against,
+    age_in_days,
+    completeness,
+    consistency_rate,
+    currency_score,
+    timeliness_score,
+)
+from repro.quality.assessment import ColumnAssessment, QualityAssessment, assess
+from repro.quality.profiles import ApplicationProfile, ProfileRegistry
+from repro.quality.filtering import FilterOutcome, graded_retrieval, yield_quality_tradeoff
+from repro.quality.admin import AdminReport, DataQualityAdministrator
+from repro.quality.audit import ElectronicTrail, TrailEvent
+from repro.quality.scoring import ParameterScorer, QualityScorecard
+from repro.quality.allocation import DatasetProfile, allocate_budget
+from repro.quality.tdqm import TDQMCycle
+
+__all__ = [
+    "DatasetProfile",
+    "ParameterScorer",
+    "QualityScorecard",
+    "TDQMCycle",
+    "allocate_budget",
+    "AdminReport",
+    "ApplicationProfile",
+    "ColumnAssessment",
+    "DataQualityAdministrator",
+    "ElectronicTrail",
+    "FilterOutcome",
+    "ProfileRegistry",
+    "QualityAssessment",
+    "TrailEvent",
+    "accuracy_against",
+    "age_in_days",
+    "assess",
+    "completeness",
+    "consistency_rate",
+    "currency_score",
+    "graded_retrieval",
+    "timeliness_score",
+    "yield_quality_tradeoff",
+]

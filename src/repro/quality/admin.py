@@ -1,0 +1,206 @@
+"""The data quality administrator (§1.3, §4).
+
+"The data quality administrator is a person (or system) whose
+responsibility it is to ensure that data in the database conform to the
+quality requirements."
+
+:class:`DataQualityAdministrator` is that system:
+
+- **monitor** — check tagged relations against the quality schema's
+  requirements (required tags present? coverage?), assess dimension
+  metrics, and summarize;
+- **control** — wire entry controllers, inspections, and SPC to the
+  incoming stream;
+- **report** — produce the administrator's quality report.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.core.views import QualitySchema
+from repro.quality.assessment import QualityAssessment, assess
+from repro.quality.audit import ElectronicTrail
+from repro.quality.spc import ControlChart, p_chart
+from repro.tagging.relation import TaggedRelation
+
+
+@dataclass
+class RequirementFinding:
+    """One monitoring finding against a quality requirement."""
+
+    owner: str
+    column: str
+    indicator: str
+    mandatory: bool
+    coverage: float
+
+    @property
+    def violated(self) -> bool:
+        """A mandatory indicator with less than full coverage is violated."""
+        return self.mandatory and self.coverage < 1.0
+
+    def summary(self) -> str:
+        kind = "required" if self.mandatory else "allowed"
+        status = "VIOLATED" if self.violated else "ok"
+        return (
+            f"{self.owner}.{self.column} [{kind} {self.indicator}] "
+            f"coverage={self.coverage:.3f} {status}"
+        )
+
+
+@dataclass
+class AdminReport:
+    """The administrator's quality report for one database snapshot."""
+
+    findings: list[RequirementFinding]
+    assessments: dict[str, QualityAssessment]
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[RequirementFinding]:
+        return [f for f in self.findings if f.violated]
+
+    @property
+    def conforms(self) -> bool:
+        """True when no mandatory requirement is violated."""
+        return not self.violations
+
+    def render(self) -> str:
+        lines = ["DATA QUALITY ADMINISTRATION REPORT"]
+        lines.append(
+            f"Conformance: {'PASS' if self.conforms else 'FAIL'} "
+            f"({len(self.violations)} violation(s) of "
+            f"{len(self.findings)} requirement checks)"
+        )
+        for finding in self.findings:
+            lines.append("  " + finding.summary())
+        for name in sorted(self.assessments):
+            lines.append("")
+            lines.append(self.assessments[name].render())
+        if self.notes:
+            lines.append("")
+            lines.append("Notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+class DataQualityAdministrator:
+    """Monitors tagged data against a quality schema's requirements.
+
+    Parameters
+    ----------
+    quality_schema:
+        The integrated quality schema (the requirements to enforce).
+    trail:
+        The electronic trail to use for exception tracking (a fresh one
+        is created if omitted).
+    """
+
+    def __init__(
+        self,
+        quality_schema: QualitySchema,
+        trail: Optional[ElectronicTrail] = None,
+    ) -> None:
+        self.quality_schema = quality_schema
+        self.trail = trail or ElectronicTrail()
+
+    # -- monitoring -----------------------------------------------------------
+
+    def check_requirements(
+        self, relations: Mapping[str, TaggedRelation]
+    ) -> list[RequirementFinding]:
+        """Coverage of every requirement over the supplied relations.
+
+        ``relations`` maps owner (entity/relationship) name → its tagged
+        relation.  Owners present in the schema but absent from the
+        mapping are skipped (they may live elsewhere).
+        """
+        findings: list[RequirementFinding] = []
+        for owner, relation in relations.items():
+            tag_schema = self.quality_schema.tag_schema_for(owner)
+            for column in tag_schema.tagged_columns:
+                if column not in relation.schema:
+                    continue
+                required = tag_schema.required_for(column)
+                optional = tag_schema.allowed_for(column) - required
+
+                def coverage_of(indicator: str) -> float:
+                    # An empty relation conforms vacuously: there is no
+                    # untagged cell to complain about.
+                    if not len(relation):
+                        return 1.0
+                    return relation.tag_coverage(column, indicator)
+
+                for indicator in sorted(required):
+                    findings.append(
+                        RequirementFinding(
+                            owner,
+                            column,
+                            indicator,
+                            mandatory=True,
+                            coverage=coverage_of(indicator),
+                        )
+                    )
+                for indicator in sorted(optional):
+                    findings.append(
+                        RequirementFinding(
+                            owner,
+                            column,
+                            indicator,
+                            mandatory=False,
+                            coverage=coverage_of(indicator),
+                        )
+                    )
+        return findings
+
+    def monitor(
+        self,
+        relations: Mapping[str, TaggedRelation],
+        today: Optional[_dt.date | _dt.datetime] = None,
+        truth: Optional[Mapping[Any, Mapping[str, Any]]] = None,
+        key_columns: Optional[Mapping[str, str]] = None,
+        shelf_life_days: float = 365.0,
+    ) -> AdminReport:
+        """Full monitoring pass: requirement checks + assessments."""
+        findings = self.check_requirements(relations)
+        assessments: dict[str, QualityAssessment] = {}
+        for name, relation in relations.items():
+            key_column = (key_columns or {}).get(name)
+            assessments[name] = assess(
+                relation,
+                today=today,
+                shelf_life_days=shelf_life_days,
+                truth=truth if key_column else None,
+                key_column=key_column,
+            )
+        notes = []
+        for finding in findings:
+            if finding.violated:
+                notes.append(
+                    f"requirement violated: {finding.owner}.{finding.column} "
+                    f"missing required tag {finding.indicator!r} on "
+                    f"{(1 - finding.coverage) * 100:.1f}% of rows"
+                )
+        return AdminReport(findings, assessments, notes)
+
+    # -- control -----------------------------------------------------------------
+
+    def defect_chart(
+        self,
+        defect_counts: Sequence[int],
+        sample_sizes: Sequence[int],
+        baseline_samples: Optional[int] = None,
+    ) -> ControlChart:
+        """SPC p-chart over inspection results (delegates to spc)."""
+        return p_chart(
+            defect_counts, sample_sizes, baseline_samples=baseline_samples
+        )
+
+    # -- exception handling ----------------------------------------------------------
+
+    def trace(self, relation: str, subject: Sequence[Any]) -> dict[str, Any]:
+        """Trace one datum's manufacturing history (the electronic trail)."""
+        return self.trail.trace_erred_transaction(relation, subject)

@@ -1,0 +1,240 @@
+"""Front-end data-entry controls (§3.3 / §4).
+
+The paper lists "front-end rules to enforce domain or update
+constraints" among the inspection mechanisms a quality view may demand.
+This module implements a small validation framework used at data-entry
+time, *before* values reach the database: rules examine a candidate
+record and report violations; an :class:`EntryController` applies a
+rule set and keeps rejection statistics that feed the SPC layer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import InspectionError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation found in a candidate record."""
+
+    rule: str
+    field: str
+    message: str
+
+
+class EntryRule:
+    """Base class for data-entry rules."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise InspectionError("entry rule must have a name")
+        self.name = name
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        """Return violations (empty list = record passes this rule)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class RequiredFieldRule(EntryRule):
+    """Named fields must be present and non-None."""
+
+    def __init__(self, name: str, fields: Sequence[str]) -> None:
+        super().__init__(name)
+        self.fields = tuple(fields)
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        return [
+            Violation(self.name, field, f"field {field!r} is required")
+            for field in self.fields
+            if record.get(field) is None
+        ]
+
+
+class RangeRule(EntryRule):
+    """A numeric field must fall in [low, high] (None bounds are open)."""
+
+    def __init__(
+        self,
+        name: str,
+        field: str,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+    ) -> None:
+        super().__init__(name)
+        if low is None and high is None:
+            raise InspectionError(f"range rule {name!r} needs at least one bound")
+        self.field = field
+        self.low = low
+        self.high = high
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        value = record.get(self.field)
+        if value is None:
+            return []
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return [
+                Violation(
+                    self.name, self.field, f"value {value!r} is not numeric"
+                )
+            ]
+        if self.low is not None and number < self.low:
+            return [
+                Violation(
+                    self.name,
+                    self.field,
+                    f"value {number} is below the minimum {self.low}",
+                )
+            ]
+        if self.high is not None and number > self.high:
+            return [
+                Violation(
+                    self.name,
+                    self.field,
+                    f"value {number} is above the maximum {self.high}",
+                )
+            ]
+        return []
+
+
+class PatternRule(EntryRule):
+    """A string field must match a regular expression."""
+
+    def __init__(self, name: str, field: str, pattern: str) -> None:
+        super().__init__(name)
+        self.field = field
+        self.pattern = re.compile(pattern)
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        value = record.get(self.field)
+        if value is None:
+            return []
+        if not isinstance(value, str) or not self.pattern.fullmatch(value):
+            return [
+                Violation(
+                    self.name,
+                    self.field,
+                    f"value {value!r} does not match {self.pattern.pattern!r}",
+                )
+            ]
+        return []
+
+
+class MembershipRule(EntryRule):
+    """A field's value must come from an allowed set."""
+
+    def __init__(self, name: str, field: str, allowed: Iterable[Any]) -> None:
+        super().__init__(name)
+        self.field = field
+        self.allowed = frozenset(allowed)
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        value = record.get(self.field)
+        if value is None or value in self.allowed:
+            return []
+        return [
+            Violation(
+                self.name,
+                self.field,
+                f"value {value!r} is not one of {sorted(self.allowed, key=repr)}",
+            )
+        ]
+
+
+class CrossFieldRule(EntryRule):
+    """An arbitrary predicate over the whole record."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[Mapping[str, Any]], bool],
+        message: str,
+        field: str = "*",
+    ) -> None:
+        super().__init__(name)
+        self.predicate = predicate
+        self.message = message
+        self.field = field
+
+    def check(self, record: Mapping[str, Any]) -> list[Violation]:
+        try:
+            ok = self.predicate(record)
+        except (KeyError, TypeError, ValueError) as exc:
+            return [
+                Violation(self.name, self.field, f"rule not evaluable: {exc}")
+            ]
+        if ok:
+            return []
+        return [Violation(self.name, self.field, self.message)]
+
+
+class EntryController:
+    """Applies a rule set at entry time and keeps rejection statistics."""
+
+    def __init__(self, rules: Iterable[EntryRule] = ()) -> None:
+        self._rules: list[EntryRule] = []
+        for rule in rules:
+            self.add_rule(rule)
+        self.accepted = 0
+        self.rejected = 0
+        self._violation_counts: dict[str, int] = {}
+
+    def add_rule(self, rule: EntryRule) -> None:
+        """Register a rule (names must be unique)."""
+        if any(r.name == rule.name for r in self._rules):
+            raise InspectionError(f"duplicate entry rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    @property
+    def rules(self) -> tuple[EntryRule, ...]:
+        return tuple(self._rules)
+
+    def validate(self, record: Mapping[str, Any]) -> list[Violation]:
+        """All violations of the record against every rule."""
+        violations: list[Violation] = []
+        for rule in self._rules:
+            violations.extend(rule.check(record))
+        return violations
+
+    def submit(self, record: Mapping[str, Any]) -> tuple[bool, list[Violation]]:
+        """Validate and tally: returns (accepted?, violations)."""
+        violations = self.validate(record)
+        if violations:
+            self.rejected += 1
+            for violation in violations:
+                self._violation_counts[violation.rule] = (
+                    self._violation_counts.get(violation.rule, 0) + 1
+                )
+        else:
+            self.accepted += 1
+        return (not violations), violations
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of submissions rejected (0 when nothing submitted)."""
+        total = self.accepted + self.rejected
+        return self.rejected / total if total else 0.0
+
+    def violation_counts(self) -> dict[str, int]:
+        """Per-rule violation tallies (copy)."""
+        return dict(self._violation_counts)
+
+    def report(self) -> str:
+        """One-paragraph controller report for the administrator."""
+        total = self.accepted + self.rejected
+        lines = [
+            f"Entry controller: {total} submissions, "
+            f"{self.accepted} accepted, {self.rejected} rejected "
+            f"(rejection rate {self.rejection_rate:.3f})"
+        ]
+        for rule, count in sorted(self._violation_counts.items()):
+            lines.append(f"  rule {rule!r}: {count} violations")
+        return "\n".join(lines)

@@ -1,0 +1,261 @@
+"""Objective data quality dimension metrics.
+
+The paper's §4 names completeness, timeliness, accuracy, and
+interpretability as "universally important" dimensions.  This module
+implements the measurable ones over the library's data structures.
+Accuracy requires a reference ("real world conditions"); in this
+reproduction the reference is the simulated ground-truth world of
+:mod:`repro.manufacturing.world`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.errors import AssessmentError
+from repro.relational.relation import Relation
+from repro.tagging.relation import TaggedRelation
+
+# ---------------------------------------------------------------------------
+# Time dimensions
+# ---------------------------------------------------------------------------
+
+
+def age_in_days(created: Any, today: Any) -> float:
+    """Age of a datum in days given its creation date/datetime.
+
+    Accepts ``date`` or ``datetime`` for both arguments (mixed OK).
+
+    >>> import datetime as dt
+    >>> age_in_days(dt.date(1991, 10, 24), dt.date(1991, 10, 31))
+    7.0
+    """
+    created_dt = _as_datetime(created)
+    today_dt = _as_datetime(today)
+    return (today_dt - created_dt).total_seconds() / 86400.0
+
+
+def _as_datetime(value: Any) -> _dt.datetime:
+    if isinstance(value, _dt.datetime):
+        return value
+    if isinstance(value, _dt.date):
+        return _dt.datetime(value.year, value.month, value.day)
+    raise AssessmentError(f"expected date/datetime, got {type(value).__name__}")
+
+
+def currency_score(created: Any, today: Any, shelf_life_days: float) -> float:
+    """Currency in [0, 1]: 1 when brand new, 0 at/after the shelf life.
+
+    A linear decay model: ``max(0, 1 - age/shelf_life)``.  The shelf
+    life encodes the data's *volatility* (Premise 1.2: timeliness and
+    volatility are related — volatile data has a short shelf life).
+    """
+    if shelf_life_days <= 0:
+        raise AssessmentError("shelf_life_days must be positive")
+    age = age_in_days(created, today)
+    if age < 0:
+        return 1.0
+    return max(0.0, 1.0 - age / shelf_life_days)
+
+
+def timeliness_score(
+    created: Any,
+    today: Any,
+    shelf_life_days: float,
+    needed_by_days: Optional[float] = None,
+) -> float:
+    """Timeliness: currency discounted by the user's deadline.
+
+    With ``needed_by_days`` (how current the *user* needs the data to
+    be), data older than the deadline scores 0 regardless of shelf life
+    — "data quality is in the eye of the beholder" (Premise 2.2).
+    """
+    age = age_in_days(created, today)
+    if needed_by_days is not None and age > needed_by_days:
+        return 0.0
+    return currency_score(created, today, shelf_life_days)
+
+
+# ---------------------------------------------------------------------------
+# Completeness
+# ---------------------------------------------------------------------------
+
+
+def completeness(
+    relation: Relation | TaggedRelation,
+    columns: Optional[Sequence[str]] = None,
+) -> float:
+    """Fraction of non-NULL cells over the given columns (all by default).
+
+    Column-level completeness of an empty relation is 1.0 (vacuously
+    complete); population completeness against a reference is
+    :func:`population_completeness`.
+    """
+    names = list(columns) if columns else list(relation.schema.column_names)
+    for name in names:
+        relation.schema.column(name)
+    total = 0
+    present = 0
+    for row in relation:
+        for name in names:
+            total += 1
+            value = _cell_value(row, name)
+            if value is not None:
+                present += 1
+    return present / total if total else 1.0
+
+
+def population_completeness(
+    relation: Relation | TaggedRelation,
+    reference_keys: Sequence[Any],
+    key_column: str,
+) -> float:
+    """Fraction of reference entities represented in the relation.
+
+    "All real-world states of interest are represented": the reference
+    keys are the real-world population (from the simulated world).
+    """
+    relation.schema.column(key_column)
+    if not reference_keys:
+        return 1.0
+    present = {_cell_value(row, key_column) for row in relation}
+    covered = sum(1 for key in reference_keys if key in present)
+    return covered / len(reference_keys)
+
+
+# ---------------------------------------------------------------------------
+# Accuracy
+# ---------------------------------------------------------------------------
+
+
+def accuracy_against(
+    relation: Relation | TaggedRelation,
+    truth: Mapping[Any, Mapping[str, Any]],
+    key_column: str,
+    columns: Optional[Sequence[str]] = None,
+    tolerance: float = 0.0,
+) -> dict[str, float]:
+    """Per-column accuracy against a ground-truth mapping.
+
+    ``truth`` maps key value → {column: true value}.  A cell is accurate
+    when it equals the true value (numeric values may differ by up to
+    ``tolerance`` in relative terms).  Rows whose key is missing from
+    the truth are skipped; columns with no comparable cells score NaN-
+    free 1.0 by convention (vacuous accuracy).
+
+    Returns ``{column: accuracy in [0, 1]}``.
+    """
+    relation.schema.column(key_column)
+    names = list(columns) if columns else [
+        c for c in relation.schema.column_names if c != key_column
+    ]
+    for name in names:
+        relation.schema.column(name)
+    totals = {name: 0 for name in names}
+    correct = {name: 0 for name in names}
+    for row in relation:
+        key = _cell_value(row, key_column)
+        expected = truth.get(key)
+        if expected is None:
+            continue
+        for name in names:
+            if name not in expected:
+                continue
+            totals[name] += 1
+            if _values_match(_cell_value(row, name), expected[name], tolerance):
+                correct[name] += 1
+    return {
+        name: (correct[name] / totals[name] if totals[name] else 1.0)
+        for name in names
+    }
+
+
+def overall_accuracy(per_column: Mapping[str, float]) -> float:
+    """Unweighted mean of per-column accuracies (1.0 if empty)."""
+    if not per_column:
+        return 1.0
+    return sum(per_column.values()) / len(per_column)
+
+
+def _values_match(actual: Any, expected: Any, tolerance: float) -> bool:
+    if actual is None or expected is None:
+        return actual is None and expected is None
+    if tolerance > 0 and isinstance(actual, (int, float)) and isinstance(
+        expected, (int, float)
+    ):
+        scale = max(abs(float(expected)), 1e-12)
+        return abs(float(actual) - float(expected)) / scale <= tolerance
+    return actual == expected
+
+
+# ---------------------------------------------------------------------------
+# Consistency
+# ---------------------------------------------------------------------------
+
+
+def consistency_rate(
+    relation: Relation | TaggedRelation,
+    rule: Callable[[Mapping[str, Any]], bool],
+) -> float:
+    """Fraction of rows satisfying a consistency rule (1.0 if empty).
+
+    The rule receives the row's application values as a mapping.
+    """
+    rows = list(relation)
+    if not rows:
+        return 1.0
+    passing = 0
+    for row in rows:
+        values = _row_values(row)
+        if rule(values):
+            passing += 1
+    return passing / len(rows)
+
+
+def functional_dependency_rate(
+    relation: Relation | TaggedRelation,
+    determinant: Sequence[str],
+    dependent: str,
+) -> float:
+    """Fraction of rows not violating the FD determinant → dependent.
+
+    A row violates the FD when another row shares its determinant
+    values but differs on the dependent.
+    """
+    for name in list(determinant) + [dependent]:
+        relation.schema.column(name)
+    witnesses: dict[tuple[Any, ...], Any] = {}
+    conflicted: set[tuple[Any, ...]] = set()
+    rows = list(relation)
+    for row in rows:
+        key = tuple(_cell_value(row, c) for c in determinant)
+        value = _cell_value(row, dependent)
+        if key in witnesses and witnesses[key] != value:
+            conflicted.add(key)
+        witnesses.setdefault(key, value)
+    if not rows:
+        return 1.0
+    violating = sum(
+        1
+        for row in rows
+        if tuple(_cell_value(row, c) for c in determinant) in conflicted
+    )
+    return 1.0 - violating / len(rows)
+
+
+# ---------------------------------------------------------------------------
+# Helpers over plain and tagged rows
+# ---------------------------------------------------------------------------
+
+
+def _cell_value(row: Any, name: str) -> Any:
+    cell = row[name]
+    return getattr(cell, "value", cell)
+
+
+def _row_values(row: Any) -> Mapping[str, Any]:
+    values_dict = getattr(row, "values_dict", None)
+    if values_dict is not None:
+        return values_dict()
+    return row.to_dict()

@@ -1,0 +1,125 @@
+"""Grade-based retrieval and the yield/quality trade-off.
+
+The paper's motivating claim is that constraining quality indicators at
+query time "raises the accuracy and timeliness of the retrieved data" —
+at the cost of retrieving less of it.  This module measures that
+trade-off explicitly against the simulated ground truth, which is what
+benchmark E1 reports.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.quality.dimensions import accuracy_against, age_in_days, overall_accuracy
+from repro.tagging.query import QualityFilter
+from repro.tagging.relation import TaggedRelation
+
+
+@dataclass
+class FilterOutcome:
+    """The measured outcome of applying one quality filter."""
+
+    filter_name: str
+    input_rows: int
+    output_rows: int
+    delivered_accuracy: Optional[float]
+    mean_age_days: Optional[float]
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of input rows the filter retained."""
+        if self.input_rows == 0:
+            return 0.0
+        return self.output_rows / self.input_rows
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.filter_name}: yield={self.yield_fraction:.3f} "
+            f"({self.output_rows}/{self.input_rows})"
+        ]
+        if self.delivered_accuracy is not None:
+            parts.append(f"accuracy={self.delivered_accuracy:.3f}")
+        if self.mean_age_days is not None:
+            parts.append(f"mean_age={self.mean_age_days:.1f}d")
+        return ", ".join(parts)
+
+
+def _mean_age(
+    relation: TaggedRelation,
+    age_columns: Sequence[str],
+    today: Optional[_dt.date | _dt.datetime],
+) -> Optional[float]:
+    if today is None:
+        return None
+    ages: list[float] = []
+    for row in relation:
+        for column in age_columns:
+            created = row[column].tag_value("creation_time")
+            if created is not None:
+                ages.append(age_in_days(created, today))
+    return sum(ages) / len(ages) if ages else None
+
+
+def graded_retrieval(
+    relation: TaggedRelation,
+    quality_filter: QualityFilter,
+    truth: Optional[Mapping[Any, Mapping[str, Any]]] = None,
+    key_column: Optional[str] = None,
+    today: Optional[_dt.date | _dt.datetime] = None,
+    age_columns: Sequence[str] = (),
+    tolerance: float = 0.0,
+) -> tuple[TaggedRelation, FilterOutcome]:
+    """Apply one grade and measure what was delivered.
+
+    Returns the filtered relation plus a :class:`FilterOutcome` with the
+    yield, the delivered accuracy (vs. ground truth, if supplied), and
+    the mean age of the delivered data (if ``today`` and tagged
+    creation times are available).
+    """
+    filtered = quality_filter.apply(relation)
+    delivered_accuracy: Optional[float] = None
+    if truth is not None and key_column is not None:
+        per_column = accuracy_against(
+            filtered, truth, key_column, tolerance=tolerance
+        )
+        delivered_accuracy = overall_accuracy(per_column)
+    outcome = FilterOutcome(
+        filter_name=quality_filter.name or "(anonymous)",
+        input_rows=len(relation),
+        output_rows=len(filtered),
+        delivered_accuracy=delivered_accuracy,
+        mean_age_days=_mean_age(filtered, age_columns, today),
+    )
+    return filtered, outcome
+
+
+def yield_quality_tradeoff(
+    relation: TaggedRelation,
+    filters: Sequence[QualityFilter],
+    truth: Optional[Mapping[Any, Mapping[str, Any]]] = None,
+    key_column: Optional[str] = None,
+    today: Optional[_dt.date | _dt.datetime] = None,
+    age_columns: Sequence[str] = (),
+    tolerance: float = 0.0,
+) -> list[FilterOutcome]:
+    """Measure several grades over the same data (E1's result table).
+
+    The expected *shape*: stricter filters → lower yield, higher
+    delivered accuracy, lower mean age.
+    """
+    outcomes = []
+    for quality_filter in filters:
+        _, outcome = graded_retrieval(
+            relation,
+            quality_filter,
+            truth=truth,
+            key_column=key_column,
+            today=today,
+            age_columns=age_columns,
+            tolerance=tolerance,
+        )
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,211 @@
+"""Statistical process control over data-quality defect streams.
+
+§4 names "statistical process control" among the administrator's
+specifications.  Data manufacturing is monitored like product
+manufacturing (Shewhart [20]): samples of records are inspected, defect
+fractions are plotted on a p-chart, and points beyond the control
+limits (or long runs on one side of the center line) signal that the
+data production process — e.g. one collection device — has gone out of
+control.
+
+Implemented: p-charts (attribute control) and X̄/R charts (variables
+control), with Western Electric rules 1 (beyond 3σ) and 4 (runs of
+eight on one side).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import QualityError
+
+
+@dataclass(frozen=True)
+class ControlPoint:
+    """One plotted sample on a control chart."""
+
+    index: int
+    statistic: float
+    center: float
+    lower: float
+    upper: float
+    out_of_control: bool
+    rule: str = ""
+
+
+@dataclass
+class ControlChart:
+    """A computed control chart."""
+
+    kind: str
+    center: float
+    points: list[ControlPoint]
+
+    @property
+    def signals(self) -> list[ControlPoint]:
+        """Points flagged out of control."""
+        return [p for p in self.points if p.out_of_control]
+
+    def first_signal_index(self) -> Optional[int]:
+        """Sample index of the first out-of-control signal (None if none)."""
+        for point in self.points:
+            if point.out_of_control:
+                return point.index
+        return None
+
+    def render(self, width: int = 40) -> str:
+        """A simple text rendering of the chart."""
+        if not self.points:
+            return f"{self.kind}-chart (no points)"
+        low = min(p.lower for p in self.points)
+        high = max(p.upper for p in self.points)
+        span = (high - low) or 1.0
+        lines = [f"{self.kind}-chart  center={self.center:.4f}"]
+        for p in self.points:
+            position = int((p.statistic - low) / span * (width - 1))
+            position = min(max(position, 0), width - 1)
+            bar = [" "] * width
+            bar[position] = "*"
+            flag = f"  <-- OUT ({p.rule})" if p.out_of_control else ""
+            lines.append(
+                f"{p.index:>4} |{''.join(bar)}| {p.statistic:.4f}{flag}"
+            )
+        return "\n".join(lines)
+
+
+def _apply_run_rule(points: list[ControlPoint], run_length: int = 8) -> None:
+    """Western Electric rule 4: ``run_length`` consecutive points on one
+    side of the center line signal a shift even inside the limits."""
+    side_run = 0
+    last_side = 0
+    for i, point in enumerate(points):
+        side = 0
+        if point.statistic > point.center:
+            side = 1
+        elif point.statistic < point.center:
+            side = -1
+        if side != 0 and side == last_side:
+            side_run += 1
+        else:
+            side_run = 1 if side != 0 else 0
+        last_side = side
+        if side_run >= run_length and not point.out_of_control:
+            points[i] = ControlPoint(
+                point.index,
+                point.statistic,
+                point.center,
+                point.lower,
+                point.upper,
+                True,
+                rule=f"run of {run_length} on one side",
+            )
+
+
+def p_chart(
+    defect_counts: Sequence[int],
+    sample_sizes: Sequence[int],
+    baseline_samples: Optional[int] = None,
+    run_rule: bool = True,
+) -> ControlChart:
+    """Attribute control chart for defect fractions.
+
+    Parameters
+    ----------
+    defect_counts / sample_sizes:
+        Per-sample defective counts and sizes.
+    baseline_samples:
+        Number of initial samples used to estimate the center line
+        (default: all samples).  Use a clean baseline when hunting for a
+        later process shift.
+    run_rule:
+        Also apply the run-of-eight rule.
+    """
+    if len(defect_counts) != len(sample_sizes) or not defect_counts:
+        raise QualityError("p_chart needs matching, non-empty count/size lists")
+    for count, size in zip(defect_counts, sample_sizes):
+        if size <= 0:
+            raise QualityError("sample sizes must be positive")
+        if not 0 <= count <= size:
+            raise QualityError(f"defect count {count} outside [0, {size}]")
+    baseline = baseline_samples or len(defect_counts)
+    baseline = min(baseline, len(defect_counts))
+    total_defects = sum(defect_counts[:baseline])
+    total_inspected = sum(sample_sizes[:baseline])
+    p_bar = total_defects / total_inspected
+
+    points: list[ControlPoint] = []
+    for i, (count, size) in enumerate(zip(defect_counts, sample_sizes)):
+        fraction = count / size
+        sigma = math.sqrt(max(p_bar * (1 - p_bar), 0.0) / size)
+        lower = max(0.0, p_bar - 3 * sigma)
+        upper = min(1.0, p_bar + 3 * sigma)
+        out = fraction > upper or fraction < lower
+        points.append(
+            ControlPoint(
+                i, fraction, p_bar, lower, upper, out,
+                rule="beyond 3 sigma" if out else "",
+            )
+        )
+    if run_rule:
+        _apply_run_rule(points)
+    return ControlChart("p", p_bar, points)
+
+
+#: Control-chart constants for X̄/R charts, indexed by subgroup size n.
+_A2 = {2: 1.880, 3: 1.023, 4: 0.729, 5: 0.577, 6: 0.483, 7: 0.419, 8: 0.373}
+_D3 = {2: 0.0, 3: 0.0, 4: 0.0, 5: 0.0, 6: 0.0, 7: 0.076, 8: 0.136}
+_D4 = {2: 3.267, 3: 2.574, 4: 2.282, 5: 2.114, 6: 2.004, 7: 1.924, 8: 1.864}
+
+
+def xbar_r_charts(
+    subgroups: Sequence[Sequence[float]],
+    baseline_samples: Optional[int] = None,
+    run_rule: bool = True,
+) -> tuple[ControlChart, ControlChart]:
+    """Variables control: X̄ chart and R chart over fixed-size subgroups.
+
+    All subgroups must share one size n ∈ [2, 8] (the classical constant
+    table).  Returns ``(xbar_chart, r_chart)``.
+    """
+    if not subgroups:
+        raise QualityError("xbar_r_charts needs at least one subgroup")
+    n = len(subgroups[0])
+    if n not in _A2:
+        raise QualityError(f"subgroup size must be in {sorted(_A2)}, got {n}")
+    if any(len(group) != n for group in subgroups):
+        raise QualityError("all subgroups must have the same size")
+
+    means = [sum(g) / n for g in subgroups]
+    ranges = [max(g) - min(g) for g in subgroups]
+    baseline = baseline_samples or len(subgroups)
+    baseline = min(baseline, len(subgroups))
+    x_bar_bar = sum(means[:baseline]) / baseline
+    r_bar = sum(ranges[:baseline]) / baseline
+
+    x_lower = x_bar_bar - _A2[n] * r_bar
+    x_upper = x_bar_bar + _A2[n] * r_bar
+    r_lower = _D3[n] * r_bar
+    r_upper = _D4[n] * r_bar
+
+    x_points = [
+        ControlPoint(
+            i, m, x_bar_bar, x_lower, x_upper,
+            m > x_upper or m < x_lower,
+            rule="beyond control limits" if (m > x_upper or m < x_lower) else "",
+        )
+        for i, m in enumerate(means)
+    ]
+    r_points = [
+        ControlPoint(
+            i, r, r_bar, r_lower, r_upper,
+            r > r_upper or r < r_lower,
+            rule="beyond control limits" if (r > r_upper or r < r_lower) else "",
+        )
+        for i, r in enumerate(ranges)
+    ]
+    if run_rule:
+        _apply_run_rule(x_points)
+        _apply_run_rule(r_points)
+    return ControlChart("xbar", x_bar_bar, x_points), ControlChart("R", r_bar, r_points)

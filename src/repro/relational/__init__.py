@@ -1,0 +1,96 @@
+"""In-memory relational engine substrate.
+
+The paper situates data quality modeling on top of an ordinary relational
+database (Tables 1 and 2 are relations; the application view of Step 1 is
+mapped onto relations).  This package provides that substrate: typed
+schemas, relations, a relational algebra, integrity constraints, a small
+transaction manager, and a catalog that ties them together.
+
+The engine is deliberately self-contained (no external DBMS) so the
+quality-tagging layers (:mod:`repro.tagging`, :mod:`repro.polygen`) can
+extend its cell and operator model directly.
+
+Public API
+----------
+:class:`~repro.relational.types.Domain` and the ``DOMAIN_*`` constants,
+:class:`~repro.relational.schema.Column`,
+:class:`~repro.relational.schema.RelationSchema`,
+:class:`~repro.relational.relation.Relation`,
+:class:`~repro.relational.relation.Row`,
+the algebra functions in :mod:`repro.relational.algebra`,
+constraints in :mod:`repro.relational.constraints`,
+:class:`~repro.relational.catalog.Database`, and
+:class:`~repro.relational.query.Query`.
+"""
+
+from repro.relational.algebra import (
+    aggregate,
+    cartesian_product,
+    difference,
+    distinct,
+    intersection,
+    natural_join,
+    project,
+    rename,
+    select,
+    sort,
+    theta_join,
+    union,
+)
+from repro.relational.catalog import Database
+from repro.relational.constraints import (
+    CheckConstraint,
+    Constraint,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    UniqueConstraint,
+)
+from repro.relational.query import Query
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Column, RelationSchema, schema
+from repro.relational.transactions import Transaction, TransactionManager
+from repro.relational.types import (
+    BOOL,
+    DATE,
+    DATETIME,
+    FLOAT,
+    INT,
+    STR,
+    Domain,
+)
+
+__all__ = [
+    "BOOL",
+    "DATE",
+    "DATETIME",
+    "FLOAT",
+    "INT",
+    "STR",
+    "CheckConstraint",
+    "Column",
+    "Constraint",
+    "Database",
+    "Domain",
+    "ForeignKeyConstraint",
+    "NotNullConstraint",
+    "Query",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "Transaction",
+    "TransactionManager",
+    "UniqueConstraint",
+    "aggregate",
+    "cartesian_product",
+    "difference",
+    "distinct",
+    "intersection",
+    "natural_join",
+    "project",
+    "rename",
+    "schema",
+    "select",
+    "sort",
+    "theta_join",
+    "union",
+]

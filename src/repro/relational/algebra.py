@@ -1,0 +1,384 @@
+"""Relational algebra over :class:`~repro.relational.relation.Relation`.
+
+All operators are pure: they never mutate their inputs and always return
+fresh relations.  Bag semantics are used throughout (duplicates are
+preserved) except for the explicit set operators, matching SQL behaviour.
+
+The quality-extended algebra in :mod:`repro.tagging.algebra` and the
+polygen algebra in :mod:`repro.polygen.algebra` mirror these signatures
+so code can be written against either layer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import QueryError, SchemaError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema
+
+Predicate = Callable[[Row], bool]
+
+
+def select(relation: Relation, predicate: Predicate) -> Relation:
+    """σ — keep rows satisfying ``predicate``."""
+    result = relation.empty_like()
+    for row in relation:
+        if predicate(row):
+            result.insert(row)
+    return result
+
+
+def project(
+    relation: Relation,
+    columns: Sequence[str],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """π — keep only ``columns`` (bag semantics: duplicates retained)."""
+    if not columns:
+        raise QueryError("projection requires at least one column")
+    out_schema = relation.schema.project(columns, new_name)
+    result = Relation(out_schema)
+    for row in relation:
+        result.insert({c: row[c] for c in columns})
+    return result
+
+
+def rename(
+    relation: Relation,
+    column_mapping: Optional[dict[str, str]] = None,
+    new_name: Optional[str] = None,
+) -> Relation:
+    """ρ — rename the relation and/or some of its columns."""
+    out_schema = relation.schema
+    if column_mapping:
+        out_schema = out_schema.rename_columns(column_mapping)
+    if new_name:
+        out_schema = out_schema.renamed(new_name)
+    result = Relation(out_schema)
+    names = out_schema.column_names
+    for row in relation:
+        result.insert(dict(zip(names, row.values_tuple())))
+    return result
+
+
+def distinct(relation: Relation) -> Relation:
+    """δ — remove duplicate rows (bag → set)."""
+    result = relation.empty_like()
+    seen: set[tuple[Any, ...]] = set()
+    for row in relation:
+        key = row.values_tuple()
+        if key not in seen:
+            seen.add(key)
+            result.insert(row)
+    return result
+
+
+def _require_union_compatible(left: Relation, right: Relation, op: str) -> None:
+    if not left.schema.union_compatible_with(right.schema):
+        raise SchemaError(
+            f"{op}: schemas are not union-compatible "
+            f"({left.schema!r} vs {right.schema!r})"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪ — bag union (all rows of both sides)."""
+    _require_union_compatible(left, right, "union")
+    result = left.copy()
+    for row in right:
+        result.insert(row.to_dict())
+    return result
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """− — bag difference (each right row cancels one left duplicate)."""
+    _require_union_compatible(left, right, "difference")
+    remaining = Counter(row.values_tuple() for row in right)
+    result = left.empty_like()
+    for row in left:
+        key = row.values_tuple()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            result.insert(row)
+    return result
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """∩ — bag intersection (multiplicity = min of the two sides)."""
+    _require_union_compatible(left, right, "intersection")
+    available = Counter(row.values_tuple() for row in right)
+    result = left.empty_like()
+    for row in left:
+        key = row.values_tuple()
+        if available.get(key, 0) > 0:
+            available[key] -= 1
+            result.insert(row)
+    return result
+
+
+def cartesian_product(
+    left: Relation, right: Relation, new_name: Optional[str] = None
+) -> Relation:
+    """× — all pairings of left and right rows.
+
+    Overlapping column names are qualified as ``relation.column`` by
+    :meth:`RelationSchema.concat`.
+    """
+    name = new_name or f"{left.schema.name}_x_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    result = Relation(out_schema)
+    names = out_schema.column_names
+    for lrow in left:
+        lvals = lrow.values_tuple()
+        for rrow in right:
+            result.insert(dict(zip(names, lvals + rrow.values_tuple())))
+    return result
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[Row, Row], bool],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """⋈θ — join on an arbitrary two-row predicate."""
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    result = Relation(out_schema)
+    names = out_schema.column_names
+    for lrow in left:
+        lvals = lrow.values_tuple()
+        for rrow in right:
+            if predicate(lrow, rrow):
+                result.insert(dict(zip(names, lvals + rrow.values_tuple())))
+    return result
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """Equality join on pairs of (left column, right column).
+
+    Uses a hash join: right rows are indexed by their join-key values.
+    """
+    if not on:
+        raise QueryError("equi_join requires at least one column pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    result = Relation(out_schema)
+    names = out_schema.column_names
+
+    index: dict[tuple[Any, ...], list[Row]] = {}
+    for rrow in right:
+        key = tuple(rrow[rcol] for _, rcol in on)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(lrow[lcol] for lcol, _ in on)
+        for rrow in index.get(key, ()):
+            result.insert(dict(zip(names, lrow.values_tuple() + rrow.values_tuple())))
+    return result
+
+
+def natural_join(
+    left: Relation, right: Relation, new_name: Optional[str] = None
+) -> Relation:
+    """⋈ — join on all shared column names; shared columns appear once."""
+    shared = [n for n in left.schema.column_names if n in right.schema]
+    if not shared:
+        return cartesian_product(left, right, new_name)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    right_only = [n for n in right.schema.column_names if n not in shared]
+    out_columns = [left.schema.column(n) for n in left.schema.column_names]
+    out_columns += [right.schema.column(n) for n in right_only]
+    out_schema = RelationSchema(name, out_columns)
+    result = Relation(out_schema)
+
+    index: dict[tuple[Any, ...], list[Row]] = {}
+    for rrow in right:
+        index.setdefault(tuple(rrow[c] for c in shared), []).append(rrow)
+    for lrow in left:
+        key = tuple(lrow[c] for c in shared)
+        for rrow in index.get(key, ()):
+            values = lrow.to_dict()
+            values.update({c: rrow[c] for c in right_only})
+            result.insert(values)
+    return result
+
+
+def sort(
+    relation: Relation,
+    by: Sequence[str],
+    descending: bool = False,
+) -> Relation:
+    """Order rows by the given columns (None sorts first)."""
+    if not by:
+        raise QueryError("sort requires at least one column")
+    for name in by:
+        relation.schema.column(name)
+
+    def sort_key(row: Row) -> tuple:
+        # None-safe: (is-not-None, value) keeps NULLs first and avoids
+        # comparing None to concrete values.
+        return tuple((row[c] is not None, row[c]) for c in by)
+
+    ordered = sorted(relation, key=sort_key, reverse=descending)
+    result = relation.empty_like()
+    for row in ordered:
+        result.insert(row)
+    return result
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    """Keep only the first ``n`` rows (insertion order)."""
+    if n < 0:
+        raise QueryError("limit must be non-negative")
+    result = relation.empty_like()
+    for row in relation.rows[:n]:
+        result.insert(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def _agg_count(values: list[Any]) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return sum(present) if present else None
+
+
+def _agg_avg(values: list[Any]) -> Optional[float]:
+    present = [v for v in values if v is not None]
+    return sum(present) / len(present) if present else None
+
+
+def _agg_min(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def _agg_max(values: list[Any]) -> Any:
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+#: Built-in aggregate functions usable by name in :func:`aggregate`.
+AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregations: dict[str, tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """γ — group rows and compute aggregates.
+
+    Parameters
+    ----------
+    group_by:
+        Columns to group on (may be empty for a single global group).
+    aggregations:
+        Maps output column name → (aggregate function name, input column).
+        Function names come from :data:`AGGREGATES`.
+
+    The output schema has the ``group_by`` columns followed by one column
+    per aggregation.  Aggregate outputs use the STR-free permissive FLOAT
+    domain for avg and the input column's domain otherwise, except count
+    which is INT.
+    """
+    from repro.relational.schema import Column
+    from repro.relational.types import FLOAT, INT
+
+    for name in group_by:
+        relation.schema.column(name)
+    out_columns = [relation.schema.column(n) for n in group_by]
+    for out_name, (func_name, in_col) in aggregations.items():
+        if func_name not in AGGREGATES:
+            raise QueryError(
+                f"unknown aggregate {func_name!r} "
+                f"(available: {sorted(AGGREGATES)})"
+            )
+        relation.schema.column(in_col)
+        if func_name == "count":
+            out_columns.append(Column(out_name, INT))
+        elif func_name == "avg":
+            out_columns.append(Column(out_name, FLOAT))
+        else:
+            out_columns.append(Column(out_name, relation.schema.column(in_col).domain))
+    out_schema = RelationSchema(
+        new_name or f"{relation.schema.name}_agg", out_columns
+    )
+
+    groups: dict[tuple[Any, ...], list[Row]] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in relation:
+        key = tuple(row[c] for c in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    result = Relation(out_schema)
+    if not group_by and not groups:
+        # Global aggregate over an empty relation still yields one row.
+        groups[()] = []
+        order.append(())
+    for key in order:
+        rows = groups[key]
+        values: dict[str, Any] = dict(zip(group_by, key))
+        for out_name, (func_name, in_col) in aggregations.items():
+            values[out_name] = AGGREGATES[func_name]([r[in_col] for r in rows])
+        result.insert(values)
+    return result
+
+
+def extend(
+    relation: Relation,
+    column_name: str,
+    domain: Any,
+    compute: Callable[[Row], Any],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """Add a derived column computed per-row (the ε operator)."""
+    from repro.relational.schema import Column
+    from repro.relational.types import Domain, domain_by_name
+
+    if column_name in relation.schema:
+        raise SchemaError(
+            f"relation {relation.schema.name!r} already has column {column_name!r}"
+        )
+    dom = domain_by_name(domain) if isinstance(domain, str) else domain
+    if not isinstance(dom, Domain):
+        raise SchemaError(f"invalid domain {domain!r}")
+    out_schema = RelationSchema(
+        new_name or relation.schema.name,
+        list(relation.schema.columns) + [Column(column_name, dom)],
+        key=relation.schema.key,
+    )
+    result = Relation(out_schema)
+    for row in relation:
+        values = row.to_dict()
+        values[column_name] = compute(row)
+        result.insert(values)
+    return result

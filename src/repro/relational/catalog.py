@@ -1,0 +1,295 @@
+"""The database catalog: named relations + constraint enforcement + journal.
+
+:class:`Database` is the integration point of the relational substrate:
+it owns relations, enforces registered constraints on every modification,
+and records committed modifications in the transaction journal so the
+quality-administration layer can audit them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import (
+    ConstraintViolation,
+    SchemaError,
+    UnknownRelationError,
+)
+from repro.relational.constraints import Constraint, key_constraint_for
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema
+from repro.relational.transactions import Transaction, TransactionManager
+
+
+class Database:
+    """A named collection of relations with integrity enforcement.
+
+    Parameters
+    ----------
+    name:
+        Database name (used in provenance tags by the polygen layer).
+
+    Example
+    -------
+    >>> from repro.relational.schema import schema
+    >>> db = Database("corp")
+    >>> _ = db.create_relation(schema("customer",
+    ...     [("co_name", "STR"), ("employees", "INT")], key=["co_name"]))
+    >>> db.insert("customer", {"co_name": "Fruit Co", "employees": 4004})
+    Row(co_name='Fruit Co', employees=4004)
+    >>> len(db.relation("customer"))
+    1
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SchemaError("database must have a name")
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        self._constraints: list[Constraint] = []
+        self.transactions = TransactionManager()
+
+    # -- schema management ---------------------------------------------------
+
+    def create_relation(
+        self,
+        schema: RelationSchema,
+        enforce_key: bool = True,
+    ) -> Relation:
+        """Create an empty relation for ``schema``.
+
+        If the schema declares a primary key and ``enforce_key`` is True,
+        the standard primary-key constraint is registered automatically.
+        """
+        if schema.name in self._relations:
+            raise SchemaError(
+                f"database {self.name!r} already has relation {schema.name!r}"
+            )
+        relation = Relation(schema)
+        self._relations[schema.name] = relation
+        if enforce_key and schema.key:
+            self.add_constraint(key_constraint_for(schema.name, schema.key))
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and its constraints."""
+        self.relation(name)  # raise if unknown
+        del self._relations[name]
+        self._constraints = [
+            c
+            for c in self._constraints
+            if c.relation_name != name
+            and getattr(c, "target_relation", None) != name
+        ]
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"database {self.name!r} has no relation {name!r} "
+                f"(relations: {sorted(self._relations)})"
+            ) from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, relations={list(self.relation_names)})"
+
+    # -- constraints ---------------------------------------------------------
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Register a constraint; existing rows are validated immediately."""
+        if constraint.relation_name not in self._relations:
+            raise UnknownRelationError(
+                f"constraint {constraint.name!r} targets unknown relation "
+                f"{constraint.relation_name!r}"
+            )
+        if any(c.name == constraint.name for c in self._constraints):
+            raise SchemaError(f"duplicate constraint name {constraint.name!r}")
+        # Validate existing data: re-check each row against a copy that
+        # excludes the row itself (so UNIQUE checks don't self-collide).
+        relation = self._relations[constraint.relation_name]
+        for i, row in enumerate(relation.rows):
+            probe = Relation(relation.schema)
+            for j, other in enumerate(relation.rows):
+                if i != j:
+                    probe.insert(other)
+            constraint.check_insert(self, probe, row)
+        self._constraints.append(constraint)
+
+    @property
+    def constraints(self) -> tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def constraints_for(self, relation_name: str) -> list[Constraint]:
+        """Constraints applying directly to one relation."""
+        return [c for c in self._constraints if c.relation_name == relation_name]
+
+    # -- data modification --------------------------------------------------
+
+    def _check_insert(self, relation: Relation, row: Row) -> None:
+        for constraint in self._constraints:
+            if constraint.relation_name == relation.schema.name:
+                constraint.check_insert(self, relation, row)
+
+    def _check_delete(self, relation: Relation, row: Row) -> None:
+        for constraint in self._constraints:
+            constraint.check_delete(self, relation, row)
+
+    def insert(
+        self,
+        relation_name: str,
+        values: dict[str, Any],
+        transaction: Optional[Transaction] = None,
+        actor: str = "",
+        note: str = "",
+    ) -> Row:
+        """Insert one row, enforcing constraints and journaling the write.
+
+        If no transaction is supplied, an implicit single-statement
+        transaction is used (auto-commit).
+        """
+        relation = self.relation(relation_name)
+        candidate = Row(relation.schema, dict(values))
+        self._check_insert(relation, candidate)
+
+        own_txn = transaction is None
+        txn = self.transactions.begin(actor) if own_txn else transaction
+        assert txn is not None
+        inserted = relation.insert(candidate)
+
+        def undo() -> None:
+            relation.delete(lambda r: r is inserted)
+
+        txn.record(
+            "insert",
+            relation_name,
+            undo,
+            before=None,
+            after=inserted.to_dict(),
+            note=note,
+        )
+        if own_txn:
+            txn.commit()
+        return inserted
+
+    def insert_many(
+        self,
+        relation_name: str,
+        rows: Iterable[dict[str, Any]],
+        actor: str = "",
+        note: str = "",
+    ) -> int:
+        """Insert many rows atomically: all succeed or none do."""
+        with self.transactions.transaction(actor=actor) as txn:
+            count = 0
+            for values in rows:
+                self.insert(relation_name, values, transaction=txn, note=note)
+                count += 1
+        return count
+
+    def delete(
+        self,
+        relation_name: str,
+        predicate: Callable[[Row], bool],
+        transaction: Optional[Transaction] = None,
+        actor: str = "",
+        note: str = "",
+    ) -> int:
+        """Delete matching rows, enforcing referential actions."""
+        relation = self.relation(relation_name)
+        victims = [row for row in relation if predicate(row)]
+        for row in victims:
+            self._check_delete(relation, row)
+
+        own_txn = transaction is None
+        txn = self.transactions.begin(actor) if own_txn else transaction
+        assert txn is not None
+        for row in victims:
+            relation.delete(lambda r, target=row: r is target)
+
+            def undo(target: Row = row) -> None:
+                relation.insert(target)
+
+            txn.record(
+                "delete",
+                relation_name,
+                undo,
+                before=row.to_dict(),
+                after=None,
+                note=note,
+            )
+        if own_txn:
+            txn.commit()
+        return len(victims)
+
+    def update(
+        self,
+        relation_name: str,
+        predicate: Callable[[Row], bool],
+        updates: dict[str, Any] | Callable[[Row], dict[str, Any]],
+        transaction: Optional[Transaction] = None,
+        actor: str = "",
+        note: str = "",
+    ) -> int:
+        """Update matching rows, enforcing constraints on the new values."""
+        relation = self.relation(relation_name)
+        updater = updates if callable(updates) else (lambda _row: dict(updates))
+
+        targets = [row for row in relation if predicate(row)]
+        own_txn = transaction is None
+        txn = self.transactions.begin(actor) if own_txn else transaction
+        assert txn is not None
+        try:
+            for old_row in targets:
+                new_row = old_row.replace(**updater(old_row))
+                for constraint in self._constraints:
+                    constraint.check_update(self, relation, old_row, new_row)
+                # Check against the relation minus the old row so UNIQUE
+                # doesn't collide with the row being replaced.
+                probe = Relation(relation.schema)
+                for other in relation:
+                    if other is not old_row:
+                        probe.insert(other)
+                self._check_insert(probe, new_row)
+
+                relation.delete(lambda r, target=old_row: r is target)
+                relation.insert(new_row)
+
+                def undo(old: Row = old_row, new: Row = new_row) -> None:
+                    relation.delete(lambda r: r is new)
+                    relation.insert(old)
+
+                txn.record(
+                    "update",
+                    relation_name,
+                    undo,
+                    before=old_row.to_dict(),
+                    after=new_row.to_dict(),
+                    note=note,
+                )
+        except ConstraintViolation:
+            if own_txn:
+                txn.abort()
+            raise
+        if own_txn:
+            txn.commit()
+        return len(targets)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize all relations (schema + data)."""
+        return {
+            "name": self.name,
+            "relations": {
+                name: rel.to_dict() for name, rel in self._relations.items()
+            },
+        }

@@ -1,0 +1,142 @@
+"""A fluent query builder over the relational algebra.
+
+:class:`Query` composes algebra operators lazily and executes them with
+:meth:`Query.run`.  It exists so examples and the quality-filtering layer
+can express "SELECT ... WHERE ... ORDER BY ..." pipelines readably:
+
+>>> from repro.relational.schema import schema
+>>> from repro.relational.relation import Relation
+>>> r = Relation.from_tuples(
+...     schema("t", [("name", "STR"), ("n", "INT")]),
+...     [("a", 3), ("b", 1), ("c", 2)])
+>>> Query(r).where(lambda row: row["n"] > 1).order_by("n").run().to_dicts()
+[{'name': 'c', 'n': 2}, {'name': 'a', 'n': 3}]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.relational import algebra
+from repro.relational.relation import Relation, Row
+
+Predicate = Callable[[Row], bool]
+
+
+class Query:
+    """A lazily-composed pipeline of relational operators.
+
+    Query objects are immutable: each method returns a new Query whose
+    plan extends the receiver's.  ``run()`` executes the plan.
+    """
+
+    def __init__(
+        self,
+        source: Relation,
+        _plan: Optional[tuple[Callable[[Relation], Relation], ...]] = None,
+    ) -> None:
+        self._source = source
+        self._plan: tuple[Callable[[Relation], Relation], ...] = _plan or ()
+
+    def _extend(self, step: Callable[[Relation], Relation]) -> "Query":
+        return Query(self._source, self._plan + (step,))
+
+    # -- operators -----------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Filter rows (σ)."""
+        return self._extend(lambda rel: algebra.select(rel, predicate))
+
+    def eq(self, **equalities: Any) -> "Query":
+        """Filter rows by column equalities (convenience for where)."""
+        return self.where(
+            lambda row: all(row[k] == v for k, v in equalities.items())
+        )
+
+    def select(self, *columns: str) -> "Query":
+        """Project to the named columns (π)."""
+        if not columns:
+            raise QueryError("select() requires at least one column")
+        return self._extend(lambda rel: algebra.project(rel, list(columns)))
+
+    def rename(
+        self,
+        column_mapping: Optional[dict[str, str]] = None,
+        new_name: Optional[str] = None,
+    ) -> "Query":
+        """Rename columns and/or the relation (ρ)."""
+        return self._extend(
+            lambda rel: algebra.rename(rel, column_mapping, new_name)
+        )
+
+    def distinct(self) -> "Query":
+        """Remove duplicate rows (δ)."""
+        return self._extend(algebra.distinct)
+
+    def order_by(self, *columns: str, descending: bool = False) -> "Query":
+        """Sort by the given columns."""
+        return self._extend(
+            lambda rel: algebra.sort(rel, list(columns), descending=descending)
+        )
+
+    def limit(self, n: int) -> "Query":
+        """Keep the first ``n`` rows."""
+        return self._extend(lambda rel: algebra.limit(rel, n))
+
+    def join(
+        self,
+        other: Relation,
+        on: Optional[Sequence[tuple[str, str]]] = None,
+    ) -> "Query":
+        """Join with another relation: natural join if ``on`` is omitted."""
+        if on is None:
+            return self._extend(lambda rel: algebra.natural_join(rel, other))
+        return self._extend(lambda rel: algebra.equi_join(rel, other, on))
+
+    def extend(
+        self, column_name: str, domain: Any, compute: Callable[[Row], Any]
+    ) -> "Query":
+        """Add a computed column (ε)."""
+        return self._extend(
+            lambda rel: algebra.extend(rel, column_name, domain, compute)
+        )
+
+    def group_by(
+        self,
+        columns: Sequence[str],
+        **aggregations: tuple[str, str],
+    ) -> "Query":
+        """Group and aggregate (γ).
+
+        Keyword arguments map output column → (aggregate name, input column):
+
+        >>> # Query(r).group_by(["dept"], headcount=("count", "emp_id"))
+        """
+        return self._extend(
+            lambda rel: algebra.aggregate(rel, list(columns), dict(aggregations))
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> Relation:
+        """Execute the plan and return the result relation."""
+        result = self._source
+        for step in self._plan:
+            result = step(result)
+        return result
+
+    def count(self) -> int:
+        """Execute and return the row count."""
+        return len(self.run())
+
+    def rows(self) -> tuple[Row, ...]:
+        """Execute and return the rows."""
+        return self.run().rows
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Execute and return rows as plain dicts."""
+        return self.run().to_dicts()
+
+    def __repr__(self) -> str:
+        return f"Query({self._source.schema.name!r}, {len(self._plan)} steps)"

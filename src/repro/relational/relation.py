@@ -1,0 +1,312 @@
+"""Relations (tuple stores) and rows.
+
+A :class:`Relation` is a multiset of typed rows conforming to a
+:class:`~repro.relational.schema.RelationSchema`.  The engine uses bag
+semantics by default (as SQL does); :func:`repro.relational.algebra.distinct`
+converts to set semantics explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import RelationSchema
+
+
+class Row(Mapping[str, Any]):
+    """An immutable, schema-ordered row of a relation.
+
+    Rows behave as read-only mappings from column name to value and also
+    support positional access through :meth:`at`.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: RelationSchema, values: dict[str, Any]) -> None:
+        self._schema = schema
+        validated = schema.validate_values(values)
+        self._values = tuple(validated[name] for name in schema.column_names)
+
+    # -- Mapping interface ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[self._schema.column_names.index(name)]
+        except ValueError:
+            raise UnknownColumnError(
+                f"row of {self._schema.name!r} has no column {name!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.column_names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- extras ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    def at(self, index: int) -> Any:
+        """Positional access to the row's values."""
+        return self._values[index]
+
+    def values_tuple(self) -> tuple[Any, ...]:
+        """The row's values in schema order, as a hashable tuple."""
+        return self._values
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain dict copy of the row."""
+        return dict(zip(self._schema.column_names, self._values))
+
+    def replace(self, **updates: Any) -> "Row":
+        """Return a new row with some values replaced."""
+        data = self.to_dict()
+        data.update(updates)
+        return Row(self._schema, data)
+
+    def key_tuple(self) -> tuple[Any, ...]:
+        """The values of the schema's primary-key columns.
+
+        Raises :class:`SchemaError` if the schema declares no key.
+        """
+        if self._schema.key is None:
+            raise SchemaError(
+                f"relation {self._schema.name!r} declares no primary key"
+            )
+        return tuple(self[k] for k in self._schema.key)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return (
+                self._schema.column_names == other._schema.column_names
+                and self._values == other._values
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._schema.column_names, self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{n}={v!r}" for n, v in zip(self._schema.column_names, self._values)
+        )
+        return f"Row({inner})"
+
+
+class Relation:
+    """A named multiset of rows over a fixed schema.
+
+    Relations support mutation (``insert``/``delete``/``update``) so the
+    catalog and transaction manager can manage live tables, while the
+    algebra in :mod:`repro.relational.algebra` treats them as values and
+    always returns fresh relations.
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Row | dict[str, Any]] = (),
+    ) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_dicts(
+        cls, schema: RelationSchema, dicts: Iterable[dict[str, Any]]
+    ) -> "Relation":
+        """Build a relation from plain dictionaries."""
+        return cls(schema, dicts)
+
+    @classmethod
+    def from_tuples(
+        cls, schema: RelationSchema, tuples: Iterable[Sequence[Any]]
+    ) -> "Relation":
+        """Build a relation from positional value sequences."""
+        names = schema.column_names
+        rows = []
+        for values in tuples:
+            if len(values) != len(names):
+                raise SchemaError(
+                    f"tuple {values!r} has {len(values)} values; "
+                    f"schema {schema.name!r} has {len(names)} columns"
+                )
+            rows.append(dict(zip(names, values)))
+        return cls(schema, rows)
+
+    def empty_like(self) -> "Relation":
+        """An empty relation with the same schema."""
+        return Relation(self.schema)
+
+    def copy(self) -> "Relation":
+        """A shallow copy (rows are immutable, so this is a full copy)."""
+        fresh = Relation(self.schema)
+        fresh._rows = list(self._rows)
+        return fresh
+
+    # -- mutation ---------------------------------------------------------------
+
+    def _as_row(self, row: Row | dict[str, Any]) -> Row:
+        if isinstance(row, Row):
+            if row.schema.column_names != self.schema.column_names:
+                # Re-validate under our schema (supports cross-schema moves).
+                return Row(self.schema, row.to_dict())
+            return row
+        return Row(self.schema, dict(row))
+
+    def insert(self, row: Row | dict[str, Any]) -> Row:
+        """Insert a row (validated against the schema) and return it."""
+        prepared = self._as_row(row)
+        self._rows.append(prepared)
+        return prepared
+
+    def insert_many(self, rows: Iterable[Row | dict[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete all rows matching ``predicate``; return the count removed."""
+        before = len(self._rows)
+        self._rows = [r for r in self._rows if not predicate(r)]
+        return before - len(self._rows)
+
+    def update(
+        self,
+        predicate: Callable[[Row], bool],
+        updater: Callable[[Row], dict[str, Any]],
+    ) -> int:
+        """Replace matching rows with updated copies; return the count.
+
+        ``updater`` receives the old row and returns a dict of column
+        updates applied via :meth:`Row.replace`.
+        """
+        count = 0
+        new_rows = []
+        for row in self._rows:
+            if predicate(row):
+                new_rows.append(row.replace(**updater(row)))
+                count += 1
+            else:
+                new_rows.append(row)
+        self._rows = new_rows
+        return count
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        self._rows = []
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        """All rows, in insertion order (immutable snapshot)."""
+        return tuple(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        """Bag equality: same schema columns and same row multiset."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.schema.column_names != other.schema.column_names:
+            return False
+        return sorted(
+            (r.values_tuple() for r in self._rows), key=repr
+        ) == sorted((r.values_tuple() for r in other._rows), key=repr)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name}, {len(self._rows)} rows)"
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row.at(index) for row in self._rows]
+
+    def find(self, predicate: Callable[[Row], bool]) -> Optional[Row]:
+        """The first row matching ``predicate``, or None."""
+        for row in self._rows:
+            if predicate(row):
+                return row
+        return None
+
+    def lookup(self, **equalities: Any) -> list[Row]:
+        """All rows whose named columns equal the given values."""
+        for name in equalities:
+            self.schema.column(name)
+        return [
+            row
+            for row in self._rows
+            if all(row[n] == v for n, v in equalities.items())
+        ]
+
+    # -- serialization / display ---------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All rows as plain dictionaries."""
+        return [row.to_dict() for row in self._rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize schema and data (values stringified for JSON safety)."""
+        return {
+            "schema": self.schema.to_dict(),
+            "rows": [
+                {k: _serialize_value(v) for k, v in row.to_dict().items()}
+                for row in self._rows
+            ],
+        }
+
+    def render(self, max_rows: Optional[int] = None, title: Optional[str] = None) -> str:
+        """Render the relation as an aligned text table (paper style).
+
+        >>> from repro.relational.schema import schema
+        >>> r = Relation.from_tuples(
+        ...     schema("t", [("a", "STR"), ("b", "INT")]), [("x", 1)])
+        >>> print(r.render())
+        a | b
+        --+--
+        x | 1
+        """
+        names = list(self.schema.column_names)
+        shown = self._rows if max_rows is None else self._rows[:max_rows]
+        grid = [names] + [
+            ["" if row[n] is None else str(row[n]) for n in names] for row in shown
+        ]
+        widths = [max(len(cell) for cell in col) for col in zip(*grid)]
+        lines = []
+        if title:
+            lines.append(title)
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        lines.append(header.rstrip())
+        lines.append("-+-".join("-" * w for w in widths))
+        for cells in grid[1:]:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+            )
+        if max_rows is not None and len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _serialize_value(value: Any) -> Any:
+    """Make a cell value JSON-friendly."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)

@@ -1,0 +1,265 @@
+"""Relation schemas: named, typed, keyed column lists."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.types import Domain, domain_by_name
+
+
+class Column:
+    """A named, typed column of a relation schema.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be a non-empty identifier-like string.
+    domain:
+        A :class:`~repro.relational.types.Domain` or the name of a
+        built-in domain (e.g. ``"INT"``).
+    doc:
+        Optional human-readable description, carried into generated
+        documentation (the quality-requirements specification references
+        column docs).
+    """
+
+    __slots__ = ("name", "domain", "doc")
+
+    def __init__(self, name: str, domain: Domain | str, doc: str = "") -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid column name {name!r}")
+        self.name = name
+        self.domain = domain_by_name(domain) if isinstance(domain, str) else domain
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        return f"Column({self.name}: {self.domain.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Column)
+            and other.name == self.name
+            and other.domain == self.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Column", self.name, self.domain))
+
+    def renamed(self, new_name: str) -> "Column":
+        """Return a copy of this column under a new name."""
+        return Column(new_name, self.domain, self.doc)
+
+
+class RelationSchema:
+    """An ordered collection of columns with an optional primary key.
+
+    Schemas are immutable; transformation methods return new schemas.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        key: Optional[Sequence[str]] = None,
+        doc: str = "",
+    ) -> None:
+        if not name:
+            raise SchemaError("relation schema must have a name")
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"relation {name!r} has duplicate column names: {sorted(duplicates)}"
+            )
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self.doc = doc
+        self._by_name = {c.name: c for c in self.columns}
+        if key is not None:
+            missing = [k for k in key if k not in self._by_name]
+            if missing:
+                raise SchemaError(
+                    f"key columns {missing} are not columns of relation {name!r}"
+                )
+            if len(set(key)) != len(key):
+                raise SchemaError(f"key of relation {name!r} has duplicate columns")
+        self.key: Optional[tuple[str, ...]] = tuple(key) if key else None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.domain.name}" for c in self.columns)
+        key = f" key={list(self.key)}" if self.key else ""
+        return f"RelationSchema({self.name}[{cols}]{key})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationSchema)
+            and other.name == self.name
+            and other.columns == self.columns
+            and other.key == self.key
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RelationSchema", self.name, self.columns, self.key))
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise UnknownColumnError."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"relation {self.name!r} has no column {name!r} "
+                f"(columns: {list(self.column_names)})"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of the named column."""
+        self.column(name)
+        return self.column_names.index(name)
+
+    def validate_values(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Validate and coerce a full row's values against the schema.
+
+        Missing columns are filled with ``None``; unknown columns raise.
+        """
+        unknown = set(values) - set(self.column_names)
+        if unknown:
+            raise UnknownColumnError(
+                f"values reference unknown columns {sorted(unknown)} "
+                f"of relation {self.name!r}"
+            )
+        return {
+            c.name: c.domain.validate(values.get(c.name)) for c in self.columns
+        }
+
+    # -- schema transformations --------------------------------------------
+
+    def project(self, names: Sequence[str], new_name: Optional[str] = None) -> "RelationSchema":
+        """Return a schema keeping only ``names`` (in the given order)."""
+        cols = [self.column(n) for n in names]
+        key = self.key if self.key and all(k in names for k in self.key) else None
+        return RelationSchema(new_name or self.name, cols, key=key, doc=self.doc)
+
+    def rename_columns(self, mapping: dict[str, str]) -> "RelationSchema":
+        """Return a schema with columns renamed per ``mapping``."""
+        for old in mapping:
+            self.column(old)
+        cols = [
+            c.renamed(mapping[c.name]) if c.name in mapping else c
+            for c in self.columns
+        ]
+        key = (
+            tuple(mapping.get(k, k) for k in self.key) if self.key else None
+        )
+        return RelationSchema(self.name, cols, key=key, doc=self.doc)
+
+    def renamed(self, new_name: str) -> "RelationSchema":
+        """Return the same schema under a new relation name."""
+        return RelationSchema(new_name, self.columns, key=self.key, doc=self.doc)
+
+    def with_key(self, key: Sequence[str]) -> "RelationSchema":
+        """Return a copy of this schema with the given primary key."""
+        return RelationSchema(self.name, self.columns, key=key, doc=self.doc)
+
+    def concat_maps(
+        self, other: "RelationSchema"
+    ) -> tuple[dict[str, str], dict[str, str]]:
+        """Column-name mappings used when concatenating two schemas.
+
+        Overlapping column names are qualified as ``relname.column``; in
+        a self-join (equal relation names) the right side is qualified
+        with ``relname#2`` to keep output names unique.
+        """
+        overlap = set(self.column_names) & set(other.column_names)
+        right_prefix = other.name if other.name != self.name else f"{other.name}#2"
+        left_map = {
+            c: (f"{self.name}.{c}" if c in overlap else c)
+            for c in self.column_names
+        }
+        right_map = {
+            c: (f"{right_prefix}.{c}" if c in overlap else c)
+            for c in other.column_names
+        }
+        return left_map, right_map
+
+    def concat(self, other: "RelationSchema", new_name: str) -> "RelationSchema":
+        """Return the concatenation of two schemas (for products/joins).
+
+        Overlapping column names are qualified as ``relname.column``
+        (``relname#2.column`` on the right side of a self-join).
+        """
+        left_map, right_map = self.concat_maps(other)
+        left_cols = [c.renamed(left_map[c.name]) for c in self.columns]
+        right_cols = [c.renamed(right_map[c.name]) for c in other.columns]
+        return RelationSchema(new_name, left_cols + right_cols)
+
+    def union_compatible_with(self, other: "RelationSchema") -> bool:
+        """True if both schemas have the same column names and domains."""
+        return len(self.columns) == len(other.columns) and all(
+            a.name == b.name and a.domain == b.domain
+            for a, b in zip(self.columns, other.columns)
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize to a plain dict (JSON-compatible)."""
+        return {
+            "name": self.name,
+            "doc": self.doc,
+            "columns": [
+                {"name": c.name, "domain": c.domain.name, "doc": c.doc}
+                for c in self.columns
+            ],
+            "key": list(self.key) if self.key else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RelationSchema":
+        """Deserialize a schema produced by :meth:`to_dict`."""
+        columns = [
+            Column(c["name"], c["domain"], c.get("doc", ""))
+            for c in data["columns"]
+        ]
+        return cls(
+            data["name"], columns, key=data.get("key"), doc=data.get("doc", "")
+        )
+
+
+def schema(
+    name: str,
+    columns: Iterable[tuple[str, Domain | str]] | dict[str, Domain | str],
+    key: Optional[Sequence[str]] = None,
+    doc: str = "",
+) -> RelationSchema:
+    """Convenience constructor: build a schema from (name, domain) pairs.
+
+    >>> s = schema("customer", [("co_name", "STR"), ("employees", "INT")],
+    ...            key=["co_name"])
+    >>> s.column_names
+    ('co_name', 'employees')
+    """
+    if isinstance(columns, dict):
+        pairs = list(columns.items())
+    else:
+        pairs = list(columns)
+    return RelationSchema(
+        name, [Column(n, d) for n, d in pairs], key=key, doc=doc
+    )

@@ -1,0 +1,211 @@
+"""JSON persistence for databases, relations, and tagged relations.
+
+The engine is in-memory; experiments and examples still need durable
+snapshots (to ship a designed quality schema plus its data, or to diff
+two monitoring runs).  Everything here round-trips exactly: values are
+encoded with type markers so DATE/DATETIME survive.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one cell value with a type marker where needed."""
+    if isinstance(value, _dt.datetime):
+        return {"$type": "datetime", "value": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {"$type": "date", "value": value.isoformat()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SchemaError(
+        f"value {value!r} of type {type(value).__name__} is not serializable"
+    )
+
+
+def decode_value(data: Any) -> Any:
+    """Decode a value produced by :func:`encode_value`."""
+    if isinstance(data, dict) and "$type" in data:
+        if data["$type"] == "date":
+            return _dt.date.fromisoformat(data["value"])
+        if data["$type"] == "datetime":
+            return _dt.datetime.fromisoformat(data["value"])
+        raise SchemaError(f"unknown value type marker {data['$type']!r}")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Plain relations
+# ---------------------------------------------------------------------------
+
+
+def relation_to_dict(relation: Relation) -> dict[str, Any]:
+    """Serialize a relation with typed values."""
+    return {
+        "kind": "relation",
+        "schema": relation.schema.to_dict(),
+        "rows": [
+            {name: encode_value(value) for name, value in row.to_dict().items()}
+            for row in relation
+        ],
+    }
+
+
+def relation_from_dict(data: dict[str, Any]) -> Relation:
+    """Deserialize a relation produced by :func:`relation_to_dict`."""
+    if data.get("kind") != "relation":
+        raise SchemaError(f"not a serialized relation: kind={data.get('kind')!r}")
+    schema = RelationSchema.from_dict(data["schema"])
+    relation = Relation(schema)
+    for row in data["rows"]:
+        relation.insert({name: decode_value(value) for name, value in row.items()})
+    return relation
+
+
+# ---------------------------------------------------------------------------
+# Tagged relations
+# ---------------------------------------------------------------------------
+
+
+def _encode_tag(tag: IndicatorValue) -> dict[str, Any]:
+    encoded: dict[str, Any] = {
+        "name": tag.name,
+        "value": encode_value(tag.value),
+    }
+    if tag.meta:
+        encoded["meta"] = {
+            key: encode_value(value) for key, value in tag.meta
+        }
+    return encoded
+
+
+def _decode_tag(data: dict[str, Any]) -> IndicatorValue:
+    meta = {
+        key: decode_value(value)
+        for key, value in data.get("meta", {}).items()
+    }
+    return IndicatorValue(data["name"], decode_value(data["value"]), meta=meta)
+
+
+def tagged_relation_to_dict(relation: TaggedRelation) -> dict[str, Any]:
+    """Serialize a tagged relation (schema + tag schema + cells)."""
+    rows = []
+    for row in relation:
+        cells = {}
+        for name in relation.schema.column_names:
+            cell = row[name]
+            cells[name] = {
+                "value": encode_value(cell.value),
+                "tags": [_encode_tag(tag) for tag in cell.tags],
+            }
+        rows.append(cells)
+    return {
+        "kind": "tagged_relation",
+        "schema": relation.schema.to_dict(),
+        "tag_schema": relation.tag_schema.to_dict(),
+        "rows": rows,
+    }
+
+
+def tagged_relation_from_dict(data: dict[str, Any]) -> TaggedRelation:
+    """Deserialize a tagged relation."""
+    if data.get("kind") != "tagged_relation":
+        raise SchemaError(
+            f"not a serialized tagged relation: kind={data.get('kind')!r}"
+        )
+    schema = RelationSchema.from_dict(data["schema"])
+    tag_schema = TagSchema.from_dict(data["tag_schema"])
+    relation = TaggedRelation(schema, tag_schema)
+    for row in data["rows"]:
+        cells = {}
+        for name, cell_data in row.items():
+            cells[name] = QualityCell(
+                decode_value(cell_data["value"]),
+                [_decode_tag(tag) for tag in cell_data.get("tags", [])],
+            )
+        relation.insert(cells)
+    return relation
+
+
+# ---------------------------------------------------------------------------
+# Databases
+# ---------------------------------------------------------------------------
+
+
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """Serialize a database's relations (constraints are code, not data)."""
+    return {
+        "kind": "database",
+        "name": database.name,
+        "relations": {
+            name: relation_to_dict(database.relation(name))
+            for name in database.relation_names
+        },
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> Database:
+    """Deserialize a database; primary keys are re-enforced from schemas."""
+    if data.get("kind") != "database":
+        raise SchemaError(f"not a serialized database: kind={data.get('kind')!r}")
+    database = Database(data["name"])
+    for relation_data in data["relations"].values():
+        restored = relation_from_dict(relation_data)
+        database.create_relation(restored.schema)
+        for row in restored:
+            database.insert(restored.schema.name, row.to_dict())
+    return database
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+_SERIALIZERS = {
+    Relation: relation_to_dict,
+    TaggedRelation: tagged_relation_to_dict,
+    Database: database_to_dict,
+}
+
+_DESERIALIZERS = {
+    "relation": relation_from_dict,
+    "tagged_relation": tagged_relation_from_dict,
+    "database": database_from_dict,
+}
+
+
+def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
+    """Write a relation / tagged relation / database to a JSON file."""
+    for cls, serializer in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            payload = serializer(obj)
+            break
+    else:
+        raise SchemaError(f"cannot serialize object of type {type(obj).__name__}")
+    target = Path(path)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    return target
+
+
+def load(path: str | Path) -> Relation | TaggedRelation | Database:
+    """Read back an object written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    kind = data.get("kind")
+    deserializer = _DESERIALIZERS.get(kind)
+    if deserializer is None:
+        raise SchemaError(f"unknown serialized kind {kind!r}")
+    return deserializer(data)

@@ -1,0 +1,36 @@
+"""QSQL: a small SQL dialect with quality predicates.
+
+The paper's mechanism is "the ability to query over [tags]" at query
+time.  The fluent builders (:class:`repro.relational.query.Query`,
+:class:`repro.tagging.query.QualityQuery`) give that ability to Python
+code; QSQL gives it to strings, so applications and the administrator's
+tooling can store and exchange quality-constrained queries:
+
+    SELECT co_name, employees
+    FROM customer
+    WHERE employees > 100
+      AND QUALITY(employees.source) <> 'estimate'
+      AND QUALITY(address.creation_time) >= DATE '1991-06-01'
+    ORDER BY co_name
+    LIMIT 10
+
+Supported: projections (or ``*``) with ``AS`` aliases and
+``QUALITY(...)`` value columns; comparison/IN/IS NULL predicates over
+values and ``QUALITY(column.indicator)`` tag references; AND/OR/NOT with
+parentheses; aggregates ``COUNT/SUM/AVG/MIN/MAX`` (including over
+``QUALITY(...)`` tag values — the administrator's quality reports) with
+``GROUP BY``; ORDER BY (values, ``QUALITY(...)``, or aggregate outputs);
+LIMIT; and typed literals (numbers, strings, booleans, NULL,
+``DATE '...'``)::
+
+    SELECT ticker, COUNT(*) AS quotes, AVG(QUALITY(price.age)) AS mean_age
+    FROM ticks GROUP BY ticker ORDER BY mean_age
+
+Entry point: :func:`execute` (or :func:`parse` for the AST).
+"""
+
+from repro.sql.executor import execute
+from repro.sql.parser import parse
+from repro.sql.errors import SQLError
+
+__all__ = ["SQLError", "execute", "parse"]

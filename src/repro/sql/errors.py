@@ -1,0 +1,13 @@
+"""QSQL error type."""
+
+from repro.errors import QueryError
+
+
+class SQLError(QueryError):
+    """A QSQL query failed to lex, parse, or execute."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position

@@ -1,0 +1,399 @@
+"""QSQL execution over relations, tagged relations, and databases.
+
+``execute(sql, source)`` accepts:
+
+- a :class:`~repro.tagging.relation.TaggedRelation` (full QSQL,
+  including ``QUALITY(...)`` references);
+- a :class:`~repro.relational.relation.Relation` (QUALITY references
+  are rejected — untagged data has no tags to query);
+- a :class:`~repro.relational.catalog.Database` or a mapping of
+  relation name → relation/tagged relation (the FROM clause resolves
+  against it).
+
+Results preserve the input's flavor: tagged sources yield tagged
+relations (tags travel through the query, per the attribute-based
+model), plain sources yield plain relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Union
+
+from repro.relational import algebra as plain_algebra
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation, Row
+from repro.sql.errors import SQLError
+from repro.sql.nodes import (
+    AggregateCall,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+    SelectItem,
+    SelectStatement,
+)
+from repro.sql.parser import parse
+from repro.tagging import algebra as tagged_algebra
+from repro.tagging.relation import TaggedRelation, TaggedRow
+
+AnyRelation = Union[Relation, TaggedRelation]
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _resolve_relation(
+    statement: SelectStatement,
+    source: AnyRelation | Database | Mapping[str, AnyRelation],
+) -> AnyRelation:
+    if isinstance(source, (Relation, TaggedRelation)):
+        if source.schema.name != statement.relation:
+            raise SQLError(
+                f"FROM {statement.relation!r} does not match the supplied "
+                f"relation {source.schema.name!r}"
+            )
+        return source
+    if isinstance(source, Database):
+        return source.relation(statement.relation)
+    if isinstance(source, Mapping):
+        try:
+            return source[statement.relation]
+        except KeyError:
+            raise SQLError(
+                f"unknown relation {statement.relation!r} "
+                f"(available: {sorted(source)})"
+            ) from None
+    raise SQLError(
+        f"cannot execute against source of type {type(source).__name__}"
+    )
+
+
+def _operand_value(operand: Any, row: Row | TaggedRow, tagged: bool) -> Any:
+    if isinstance(operand, Literal):
+        return operand.value
+    if isinstance(operand, ColumnRef):
+        if tagged:
+            return row.value(operand.column)  # type: ignore[union-attr]
+        return row[operand.column]
+    if isinstance(operand, QualityRef):
+        if not tagged:
+            raise SQLError(
+                "QUALITY(...) requires a tagged relation; the source is untagged"
+            )
+        cell = row[operand.column]  # type: ignore[index]
+        return cell.tag_value(operand.indicator)
+    raise SQLError(f"unknown operand node {operand!r}")
+
+
+def _check_columns(statement: SelectStatement, relation: AnyRelation) -> None:
+    """Validate every referenced column upfront (fail fast, not per-row)."""
+
+    def check(name: str) -> None:
+        relation.schema.column(name)
+
+    for item in statement.select_items or ():
+        expr = item.expr
+        if isinstance(expr, (ColumnRef, QualityRef)):
+            check(expr.column)
+        elif isinstance(expr, AggregateCall) and expr.operand is not None:
+            check(expr.operand.column)
+    for key in statement.group_by:
+        check(key.column)
+
+    def walk(expr: Any) -> None:
+        if isinstance(expr, (ColumnRef, QualityRef)):
+            check(expr.column)
+        elif isinstance(expr, Comparison):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, (InList, IsNull)):
+            walk(expr.operand)
+        elif isinstance(expr, BoolOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, NotOp):
+            walk(expr.operand)
+
+    if statement.where is not None:
+        walk(statement.where)
+    if not statement.has_aggregates:
+        # In aggregate queries ORDER BY names *output* columns; they are
+        # validated against the aggregated schema instead.
+        for item in statement.order_by:
+            check(item.key.column)
+
+
+def _evaluate(expr: Any, row: Row | TaggedRow, tagged: bool) -> bool:
+    if isinstance(expr, Comparison):
+        left = _operand_value(expr.left, row, tagged)
+        right = _operand_value(expr.right, row, tagged)
+        if left is None or right is None:
+            return False  # SQL-style: comparisons with NULL are not true
+        try:
+            return _COMPARATORS[expr.op](left, right)
+        except TypeError:
+            return False
+    if isinstance(expr, InList):
+        value = _operand_value(expr.operand, row, tagged)
+        if value is None:
+            return False
+        result = value in expr.options
+        return (not result) if expr.negated else result
+    if isinstance(expr, IsNull):
+        value = _operand_value(expr.operand, row, tagged)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, BoolOp):
+        if expr.op == "AND":
+            return _evaluate(expr.left, row, tagged) and _evaluate(
+                expr.right, row, tagged
+            )
+        return _evaluate(expr.left, row, tagged) or _evaluate(
+            expr.right, row, tagged
+        )
+    if isinstance(expr, NotOp):
+        return not _evaluate(expr.operand, row, tagged)
+    raise SQLError(f"unknown expression node {expr!r}")
+
+
+def _sort_key_function(statement: SelectStatement, tagged: bool):
+    items = statement.order_by
+
+    def key(row: Row | TaggedRow) -> tuple:
+        parts = []
+        for item in items:
+            if isinstance(item.key, QualityRef):
+                value = _operand_value(item.key, row, tagged)
+            elif tagged:
+                value = row.value(item.key.column)  # type: ignore[union-attr]
+            else:
+                value = row[item.key.column]
+            # None-safe ordering with per-item direction support handled
+            # by sorting repeatedly (stable sort), so here single value.
+            parts.append((value is not None, value))
+        return tuple(parts)
+
+    return key
+
+
+def _operand_domain(
+    operand: Union[ColumnRef, QualityRef], relation: AnyRelation
+):
+    from repro.relational.types import STR
+
+    if isinstance(operand, ColumnRef):
+        return relation.schema.column(operand.column).domain
+    if isinstance(relation, TaggedRelation):
+        try:
+            return relation.tag_schema.definition(operand.indicator).domain
+        except Exception:
+            return STR
+    return STR  # pragma: no cover - QUALITY on plain rejected earlier
+
+
+def _item_output_domain(item: SelectItem, relation: AnyRelation):
+    from repro.relational.types import FLOAT, INT
+
+    expr = item.expr
+    if isinstance(expr, AggregateCall):
+        if expr.func == "COUNT":
+            return INT
+        if expr.func in ("SUM", "AVG"):
+            return FLOAT
+        assert expr.operand is not None  # parser guarantees for MIN/MAX
+        return _operand_domain(expr.operand, relation)
+    return _operand_domain(expr, relation)
+
+
+def _item_row_value(
+    expr: Union[ColumnRef, QualityRef], row: Row | TaggedRow, tagged: bool
+) -> Any:
+    return _operand_value(expr, row, tagged)
+
+
+def _execute_aggregate(
+    statement: SelectStatement, relation: AnyRelation, tagged: bool
+) -> Relation:
+    """GROUP BY + aggregate evaluation; always yields a plain relation."""
+    from repro.relational.algebra import AGGREGATES
+    from repro.relational.schema import Column, RelationSchema
+
+    items = statement.select_items or ()
+    out_columns = [
+        Column(item.output_name, _item_output_domain(item, relation))
+        for item in items
+    ]
+    out_schema = RelationSchema(f"{statement.relation}_agg", out_columns)
+
+    groups: dict[tuple[Any, ...], list[Any]] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in relation:
+        key = tuple(
+            _operand_value(key_ref, row, tagged)
+            for key_ref in statement.group_by
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not statement.group_by and not groups:
+        groups[()] = []
+        order.append(())
+
+    result = Relation(out_schema)
+    for key in order:
+        rows = groups[key]
+        key_values = dict(zip(statement.group_by, key))
+        out_row: dict[str, Any] = {}
+        for item in items:
+            expr = item.expr
+            if isinstance(expr, AggregateCall):
+                if expr.operand is None:  # COUNT(*)
+                    out_row[item.output_name] = len(rows)
+                    continue
+                operand_values = [
+                    _item_row_value(expr.operand, row, tagged) for row in rows
+                ]
+                out_row[item.output_name] = AGGREGATES[expr.func.lower()](
+                    operand_values
+                )
+            else:
+                # A grouping key (validated by the parser).
+                out_row[item.output_name] = key_values[expr]
+        result.insert(out_row)
+    return result
+
+
+def _computed_projection(
+    statement: SelectStatement, relation: AnyRelation, tagged: bool
+) -> Relation:
+    """Materialize a select list containing QUALITY(...) value columns."""
+    from repro.relational.schema import Column, RelationSchema
+
+    items = statement.select_items or ()
+    out_schema = RelationSchema(
+        relation.schema.name,
+        [
+            Column(item.output_name, _item_output_domain(item, relation))
+            for item in items
+        ],
+    )
+    result = Relation(out_schema)
+    for row in relation:
+        result.insert(
+            {
+                item.output_name: _item_row_value(item.expr, row, tagged)
+                for item in items
+            }
+        )
+    return result
+
+
+def _apply_order(
+    statement: SelectStatement, result: AnyRelation, tagged: bool
+) -> AnyRelation:
+    # Stable multi-key sort honoring per-item direction: sort by the
+    # least-significant key first.
+    rows = list(result)
+    for item in reversed(statement.order_by):
+        single = SelectStatement(
+            columns=None,
+            relation=statement.relation,
+            order_by=(item,),
+        )
+        rows.sort(
+            key=_sort_key_function(single, tagged),
+            reverse=item.descending,
+        )
+    ordered = result.empty_like()
+    for row in rows:
+        ordered.insert(row)
+    return ordered
+
+
+def execute(
+    sql: str,
+    source: AnyRelation | Database | Mapping[str, AnyRelation],
+) -> AnyRelation:
+    """Parse and execute a QSQL SELECT; returns a (tagged) relation.
+
+    Aggregate queries (``COUNT``/``SUM``/``AVG``/``MIN``/``MAX``, with
+    optional ``GROUP BY``) always return a *plain* relation — aggregated
+    values have no single manufacturing history to tag.
+    """
+    statement = parse(sql)
+    relation = _resolve_relation(statement, source)
+    tagged = isinstance(relation, TaggedRelation)
+    _check_columns(statement, relation)
+    if statement.uses_quality() and not tagged:
+        raise SQLError(
+            "QUALITY(...) requires a tagged relation; the source is untagged"
+        )
+
+    algebra = tagged_algebra if tagged else plain_algebra
+    result: AnyRelation = relation
+
+    if statement.where is not None:
+        where = statement.where
+        result = algebra.select(
+            result, lambda row: _evaluate(where, row, tagged)
+        )
+
+    if statement.has_aggregates:
+        aggregated = _execute_aggregate(statement, result, tagged)
+        if statement.order_by:
+            for item in statement.order_by:
+                if isinstance(item.key, QualityRef):
+                    raise SQLError(
+                        "ORDER BY QUALITY(...) cannot follow aggregation"
+                    )
+                aggregated.schema.column(item.key.column)
+            aggregated = _apply_order(statement, aggregated, tagged=False)
+        if statement.limit is not None:
+            aggregated = plain_algebra.limit(aggregated, statement.limit)
+        return aggregated
+
+    if statement.order_by:
+        result = _apply_order(statement, result, tagged)
+
+    items = statement.select_items
+    if items is not None:
+        needs_materialization = any(
+            isinstance(item.expr, QualityRef) for item in items
+        )
+        if needs_materialization:
+            result = _computed_projection(statement, result, tagged)
+            tagged = False
+            algebra = plain_algebra
+        else:
+            names = [item.expr.column for item in items]  # type: ignore[union-attr]
+            result = algebra.project(result, names)
+            renames = {
+                item.expr.column: item.alias  # type: ignore[union-attr]
+                for item in items
+                if item.alias and item.alias != item.expr.column  # type: ignore[union-attr]
+            }
+            if renames:
+                result = algebra.rename(result, renames)
+
+    if statement.distinct:
+        if tagged:
+            result = tagged_algebra.distinct_values(result)
+        else:
+            result = plain_algebra.distinct(result)
+
+    if statement.limit is not None:
+        result = algebra.limit(result, statement.limit)
+
+    return result

@@ -1,0 +1,172 @@
+"""QSQL tokenizer."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sql.errors import SQLError
+
+#: Token kinds.
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OPERATOR = "OPERATOR"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "QUALITY",
+    "DATE",
+    "DISTINCT",
+    "GROUP",
+    "AS",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+}
+
+#: Aggregate-function keywords.
+AGGREGATE_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_PUNCT = "(),.*"
+_ASCII_DIGITS = "0123456789"
+_IDENT_START = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+_IDENT_CONTINUE = _IDENT_START + _ASCII_DIGITS
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    value: Any
+    position: int
+
+    def matches(self, kind: str, value: Any = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a QSQL string; raises :class:`SQLError` on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        # Operators (longest first).
+        matched_op = next(
+            (op for op in _OPERATORS if text.startswith(op, index)), None
+        )
+        if matched_op:
+            tokens.append(Token(OPERATOR, matched_op, index))
+            index += len(matched_op)
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(PUNCT, char, index))
+            index += 1
+            continue
+        if char == "'":
+            index += 1
+            start = index
+            parts: list[str] = []
+            while True:
+                if index >= length:
+                    raise SQLError("unterminated string literal", start - 1)
+                if text[index] == "'":
+                    # '' is an escaped quote inside the literal.
+                    if index + 1 < length and text[index + 1] == "'":
+                        parts.append(text[start:index] + "'")
+                        index += 2
+                        start = index
+                        continue
+                    parts.append(text[start:index])
+                    index += 1
+                    break
+                index += 1
+            tokens.append(Token(STRING, "".join(parts), start - 1))
+            continue
+        if char in _ASCII_DIGITS or (
+            char == "-"
+            and index + 1 < length
+            and text[index + 1] in _ASCII_DIGITS
+            and _number_context(tokens)
+        ):
+            start = index
+            index += 1
+            seen_dot = False
+            while index < length and (
+                text[index] in _ASCII_DIGITS
+                or (text[index] == "." and not seen_dot)
+            ):
+                if text[index] == ".":
+                    # Don't swallow a qualification dot after an integer
+                    # (there is no ident before a literal, so safe here).
+                    if index + 1 >= length or text[index + 1] not in _ASCII_DIGITS:
+                        break
+                    seen_dot = True
+                index += 1
+            literal = text[start:index]
+            value: Any = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(NUMBER, value, start))
+            continue
+        if char in _IDENT_START:
+            start = index
+            while index < length and text[index] in _IDENT_CONTINUE:
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        raise SQLError(f"unexpected character {char!r}", index)
+    tokens.append(Token(EOF, None, length))
+    return tokens
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """A leading '-' starts a number only where a value may appear."""
+    if not tokens:
+        return False
+    last = tokens[-1]
+    if last.kind in (NUMBER, STRING, IDENT):
+        return False
+    if last.kind == PUNCT and last.value == ")":
+        return False
+    return True
+
+
+def parse_date_literal(value: str, position: int) -> _dt.date:
+    """Parse the body of a ``DATE '...'`` literal."""
+    try:
+        return _dt.date.fromisoformat(value)
+    except ValueError as exc:
+        raise SQLError(f"invalid DATE literal {value!r}: {exc}", position) from exc

@@ -1,0 +1,174 @@
+"""QSQL abstract syntax tree nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value (number, string, bool, None, date)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to an application column's value."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class QualityRef:
+    """``QUALITY(column.indicator)`` — a tag-value reference."""
+
+    column: str
+    indicator: str
+
+
+Expr = Union["Comparison", "InList", "IsNull", "BoolOp", "NotOp"]
+Operand = Union[Literal, ColumnRef, QualityRef]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left OP right`` with OP in =, <>, !=, <, <=, >, >=."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+
+@dataclass(frozen=True)
+class InList:
+    """``operand [NOT] IN (literal, ...)``."""
+
+    operand: Operand
+    options: tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``operand IS [NOT] NULL``."""
+
+    operand: Operand
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``left AND/OR right``."""
+
+    op: str  # "AND" | "OR"
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class NotOp:
+    """``NOT expr``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``FUNC(operand)`` in the select list; operand None = COUNT(*)."""
+
+    func: str  # COUNT | SUM | AVG | MIN | MAX
+    operand: Optional[Union[ColumnRef, QualityRef]]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: a column, a quality ref, or an aggregate."""
+
+    expr: Union[ColumnRef, QualityRef, AggregateCall]
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.column
+        if isinstance(self.expr, QualityRef):
+            return f"{self.expr.column}.{self.expr.indicator}"
+        operand = self.expr.operand
+        if operand is None:
+            return f"{self.expr.func.lower()}_all"
+        if isinstance(operand, ColumnRef):
+            inner = operand.column
+        else:
+            inner = f"{operand.column}.{operand.indicator}"
+        return f"{self.expr.func.lower()}_{inner}".replace(".", "_")
+
+    @property
+    def is_aggregate(self) -> bool:
+        return isinstance(self.expr, AggregateCall)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item: a column or quality reference + direction."""
+
+    key: Union[ColumnRef, QualityRef]
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full parsed SELECT."""
+
+    columns: Optional[tuple[str, ...]]  # None means '*'
+    relation: str
+    where: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+    #: Full select-list entries; None for ``*``.  ``columns`` stays the
+    #: plain-projection view for simple statements (back-compat).
+    select_items: Optional[tuple[SelectItem, ...]] = None
+    #: Grouping keys: column refs or QUALITY(...) tag refs.
+    group_by: tuple[Union[ColumnRef, QualityRef], ...] = ()
+
+    @property
+    def has_aggregates(self) -> bool:
+        return bool(self.select_items) and any(
+            item.is_aggregate for item in self.select_items
+        )
+
+    def uses_quality(self) -> bool:
+        """True when the statement references any QUALITY(...) tag."""
+
+        def walk(expr: Any) -> bool:
+            if isinstance(expr, QualityRef):
+                return True
+            if isinstance(expr, Comparison):
+                return walk(expr.left) or walk(expr.right)
+            if isinstance(expr, (InList, IsNull)):
+                return walk(expr.operand)
+            if isinstance(expr, BoolOp):
+                return walk(expr.left) or walk(expr.right)
+            if isinstance(expr, NotOp):
+                return walk(expr.operand)
+            return False
+
+        if self.where is not None and walk(self.where):
+            return True
+        if any(isinstance(item.key, QualityRef) for item in self.order_by):
+            return True
+        if any(isinstance(key, QualityRef) for key in self.group_by):
+            return True
+        for item in self.select_items or ():
+            expr = item.expr
+            if isinstance(expr, QualityRef):
+                return True
+            if isinstance(expr, AggregateCall) and isinstance(
+                expr.operand, QualityRef
+            ):
+                return True
+        return False

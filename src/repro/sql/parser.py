@@ -1,0 +1,327 @@
+"""QSQL recursive-descent parser.
+
+Grammar (simplified)::
+
+    select    := SELECT [DISTINCT] columns FROM ident
+                 [WHERE expr] [ORDER BY order_items] [LIMIT number]
+    columns   := '*' | ident (',' ident)*
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := unary (AND unary)*
+    unary     := NOT unary | '(' expr ')' | predicate
+    predicate := operand ( cmp operand
+                         | [NOT] IN '(' literal (',' literal)* ')'
+                         | IS [NOT] NULL )
+    operand   := literal | quality_ref | ident
+    quality_ref := QUALITY '(' ident '.' ident ')'
+    literal   := NUMBER | STRING | TRUE | FALSE | NULL | DATE STRING
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.sql.errors import SQLError
+from repro.sql.lexer import (
+    AGGREGATE_KEYWORDS,
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    Token,
+    parse_date_literal,
+    tokenize,
+)
+from repro.sql.nodes import (
+    AggregateCall,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    Operand,
+    OrderItem,
+    QualityRef,
+    SelectItem,
+    SelectStatement,
+)
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Any = None) -> Token:
+        token = self.current
+        if not token.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise SQLError(
+                f"expected {wanted!r}, found {token.value!r}", token.position
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Any = None) -> Optional[Token]:
+        if self.current.matches(kind, value):
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect(KEYWORD, "SELECT")
+        distinct = bool(self.accept(KEYWORD, "DISTINCT"))
+        select_items = self._parse_select_items()
+        self.expect(KEYWORD, "FROM")
+        relation = self.expect(IDENT).value
+        where: Optional[Expr] = None
+        if self.accept(KEYWORD, "WHERE"):
+            where = self._parse_expr()
+        group_by: tuple[Any, ...] = ()
+        if self.accept(KEYWORD, "GROUP"):
+            self.expect(KEYWORD, "BY")
+            keys = [self._parse_group_key()]
+            while self.accept(PUNCT, ","):
+                keys.append(self._parse_group_key())
+            group_by = tuple(keys)
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept(KEYWORD, "ORDER"):
+            self.expect(KEYWORD, "BY")
+            order_by = self._parse_order_items()
+        limit: Optional[int] = None
+        if self.accept(KEYWORD, "LIMIT"):
+            token = self.expect(NUMBER)
+            if not isinstance(token.value, int) or token.value < 0:
+                raise SQLError(
+                    f"LIMIT must be a non-negative integer, got {token.value!r}",
+                    token.position,
+                )
+            limit = token.value
+        self.expect(EOF)
+
+        statement = SelectStatement(
+            columns=self._plain_columns(select_items),
+            relation=relation,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+            select_items=select_items,
+            group_by=group_by,
+        )
+        self._validate_grouping(statement)
+        return statement
+
+    @staticmethod
+    def _plain_columns(
+        select_items: Optional[tuple[SelectItem, ...]],
+    ) -> Optional[tuple[str, ...]]:
+        """The simple-projection view: plain unaliased column names."""
+        if select_items is None:
+            return None
+        if all(
+            isinstance(item.expr, ColumnRef) and item.alias is None
+            for item in select_items
+        ):
+            return tuple(item.expr.column for item in select_items)
+        return tuple(item.output_name for item in select_items)
+
+    def _parse_group_key(self):
+        if self.current.matches(KEYWORD, "QUALITY"):
+            return self._parse_quality_ref()
+        return ColumnRef(self.expect(IDENT).value)
+
+    def _validate_grouping(self, statement: SelectStatement) -> None:
+        if statement.group_by and not statement.has_aggregates:
+            raise SQLError("GROUP BY requires at least one aggregate")
+        if statement.has_aggregates:
+            if statement.distinct:
+                raise SQLError("DISTINCT cannot combine with aggregates")
+            for item in statement.select_items or ():
+                if item.is_aggregate:
+                    continue
+                if item.expr not in statement.group_by:
+                    raise SQLError(
+                        f"select item {item.output_name!r} must appear "
+                        f"in GROUP BY"
+                    )
+
+    def _parse_select_items(self) -> Optional[tuple[SelectItem, ...]]:
+        if self.accept(PUNCT, "*"):
+            return None
+        items = [self._parse_select_item()]
+        while self.accept(PUNCT, ","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self.current
+        expr: Any
+        if token.kind == KEYWORD and token.value in AGGREGATE_KEYWORDS:
+            func = self.advance().value
+            self.expect(PUNCT, "(")
+            if self.accept(PUNCT, "*"):
+                if func != "COUNT":
+                    raise SQLError(
+                        f"{func}(*) is not supported (only COUNT(*))",
+                        token.position,
+                    )
+                operand = None
+            elif self.current.matches(KEYWORD, "QUALITY"):
+                operand = self._parse_quality_ref()
+            else:
+                operand = ColumnRef(self.expect(IDENT).value)
+            self.expect(PUNCT, ")")
+            expr = AggregateCall(func, operand)
+        elif token.matches(KEYWORD, "QUALITY"):
+            expr = self._parse_quality_ref()
+        else:
+            expr = ColumnRef(self.expect(IDENT).value)
+        alias = None
+        if self.accept(KEYWORD, "AS"):
+            alias = self.expect(IDENT).value
+        return SelectItem(expr, alias)
+
+    def _parse_order_items(self) -> tuple[OrderItem, ...]:
+        items = [self._parse_order_item()]
+        while self.accept(PUNCT, ","):
+            items.append(self._parse_order_item())
+        return tuple(items)
+
+    def _parse_order_item(self) -> OrderItem:
+        key: Union[ColumnRef, QualityRef]
+        if self.current.matches(KEYWORD, "QUALITY"):
+            key = self._parse_quality_ref()
+        else:
+            key = ColumnRef(self.expect(IDENT).value)
+        descending = False
+        if self.accept(KEYWORD, "DESC"):
+            descending = True
+        else:
+            self.accept(KEYWORD, "ASC")
+        return OrderItem(key, descending)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept(KEYWORD, "OR"):
+            left = BoolOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_unary()
+        while self.accept(KEYWORD, "AND"):
+            left = BoolOp("AND", left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.accept(KEYWORD, "NOT"):
+            return NotOp(self._parse_unary())
+        if self.accept(PUNCT, "("):
+            inner = self._parse_expr()
+            self.expect(PUNCT, ")")
+            return inner
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        operand = self._parse_operand()
+        if self.current.matches(OPERATOR):
+            op = self.advance().value
+            right = self._parse_operand()
+            return Comparison(op, operand, right)
+        if self.current.matches(KEYWORD, "IS"):
+            self.advance()
+            negated = bool(self.accept(KEYWORD, "NOT"))
+            self.expect(KEYWORD, "NULL")
+            return IsNull(operand, negated)
+        negated = bool(self.accept(KEYWORD, "NOT"))
+        if self.accept(KEYWORD, "IN"):
+            self.expect(PUNCT, "(")
+            options = [self._parse_literal().value]
+            while self.accept(PUNCT, ","):
+                options.append(self._parse_literal().value)
+            self.expect(PUNCT, ")")
+            return InList(operand, tuple(options), negated)
+        if negated:
+            raise SQLError(
+                "NOT must be followed by IN here", self.current.position
+            )
+        raise SQLError(
+            f"expected a comparison, IN, or IS after operand, found "
+            f"{self.current.value!r}",
+            self.current.position,
+        )
+
+    def _parse_operand(self) -> Operand:
+        token = self.current
+        if token.matches(KEYWORD, "QUALITY"):
+            return self._parse_quality_ref()
+        if token.kind in (NUMBER, STRING) or token.matches(
+            KEYWORD, "TRUE"
+        ) or token.matches(KEYWORD, "FALSE") or token.matches(
+            KEYWORD, "NULL"
+        ) or token.matches(KEYWORD, "DATE"):
+            return self._parse_literal()
+        if token.kind == IDENT:
+            self.advance()
+            return ColumnRef(token.value)
+        raise SQLError(
+            f"expected a column, literal, or QUALITY(...), found "
+            f"{token.value!r}",
+            token.position,
+        )
+
+    def _parse_quality_ref(self) -> QualityRef:
+        self.expect(KEYWORD, "QUALITY")
+        self.expect(PUNCT, "(")
+        column = self.expect(IDENT).value
+        self.expect(PUNCT, ".")
+        indicator = self.expect(IDENT).value
+        self.expect(PUNCT, ")")
+        return QualityRef(column, indicator)
+
+    def _parse_literal(self) -> Literal:
+        token = self.current
+        if token.kind in (NUMBER, STRING):
+            self.advance()
+            return Literal(token.value)
+        if token.matches(KEYWORD, "TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches(KEYWORD, "FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.matches(KEYWORD, "NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches(KEYWORD, "DATE"):
+            self.advance()
+            body = self.expect(STRING)
+            return Literal(parse_date_literal(body.value, body.position))
+        raise SQLError(f"expected a literal, found {token.value!r}", token.position)
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse a QSQL SELECT statement into its AST."""
+    return _Parser(tokenize(text)).parse_select()

@@ -1,0 +1,40 @@
+"""Cell-level quality tagging: the attribute-based model [28].
+
+The paper's Table 2 shows data cells tagged with quality indicator
+values — e.g. ``700 (10-9-91, estimate)`` — so that at query time users
+can filter out data with undesirable characteristics.  This package
+implements that model:
+
+- :class:`~repro.tagging.indicators.IndicatorValue` — one measured
+  quality-indicator value (e.g. ``source = "acct'g"``), optionally
+  carrying meta-tags (Premise 1.4: quality of the quality indicators);
+- :class:`~repro.tagging.indicators.TagSchema` — which indicators are
+  required/allowed per column of a relation (the operational output of
+  the methodology's quality schema);
+- :class:`~repro.tagging.cell.QualityCell` — a value plus its tags;
+- :class:`~repro.tagging.relation.TaggedRelation` — a relation of
+  quality cells;
+- :mod:`repro.tagging.algebra` — the quality-extended relational algebra
+  with tag propagation;
+- :mod:`repro.tagging.query` — indicator-constrained retrieval
+  ("data quality requirements" made executable).
+"""
+
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation, TaggedRow
+from repro.tagging.query import IndicatorConstraint, QualityFilter, QualityQuery
+from repro.tagging.catalog import QualityDatabase
+
+__all__ = [
+    "IndicatorConstraint",
+    "IndicatorDefinition",
+    "IndicatorValue",
+    "QualityCell",
+    "QualityDatabase",
+    "QualityFilter",
+    "QualityQuery",
+    "TagSchema",
+    "TaggedRelation",
+    "TaggedRow",
+]

@@ -1,0 +1,190 @@
+"""QualityDatabase: a catalog of tagged relations with quality services.
+
+The paper's end state is a *database* whose data carries quality tags,
+whose tables carry aggregate tags (§1.2 footnote), whose applications
+retrieve through stored grades (§4), and whose administrator monitors
+requirements conformance.  :class:`QualityDatabase` glues those pieces
+into one object:
+
+- named :class:`~repro.tagging.relation.TaggedRelation` instances,
+  creatable directly from a methodology-produced
+  :class:`~repro.core.views.QualitySchema`;
+- aggregate tags per table and for the database itself
+  (:class:`~repro.tagging.aggregate.DatabaseTags`);
+- a profile registry for grade-based retrieval
+  (:class:`~repro.quality.profiles.ProfileRegistry`);
+- QSQL over any of its relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional, TYPE_CHECKING
+
+from repro.errors import SchemaError, TaggingError, UnknownRelationError
+from repro.relational.schema import RelationSchema
+from repro.tagging.aggregate import DatabaseTags
+from repro.tagging.indicators import TagSchema
+from repro.tagging.relation import TaggedRelation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.views import QualitySchema
+    from repro.quality.profiles import ApplicationProfile
+
+
+class QualityDatabase:
+    """A named collection of tagged relations plus quality services."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise TaggingError("quality database must have a name")
+        self.name = name
+        self._relations: dict[str, TaggedRelation] = {}
+        self.aggregate_tags = DatabaseTags(name)
+        from repro.quality.profiles import ProfileRegistry
+
+        self.profiles = ProfileRegistry()
+
+    # -- schema management ---------------------------------------------------
+
+    def create_relation(
+        self,
+        schema: RelationSchema,
+        tag_schema: Optional[TagSchema] = None,
+    ) -> TaggedRelation:
+        """Create an empty tagged relation."""
+        if schema.name in self._relations:
+            raise SchemaError(
+                f"quality database {self.name!r} already has relation "
+                f"{schema.name!r}"
+            )
+        relation = TaggedRelation(schema, tag_schema)
+        self._relations[schema.name] = relation
+        return relation
+
+    def attach(self, relation: TaggedRelation) -> TaggedRelation:
+        """Register an existing tagged relation under its schema name."""
+        if relation.schema.name in self._relations:
+            raise SchemaError(
+                f"quality database {self.name!r} already has relation "
+                f"{relation.schema.name!r}"
+            )
+        self._relations[relation.schema.name] = relation
+        return relation
+
+    @classmethod
+    def from_quality_schema(
+        cls,
+        quality_schema: "QualitySchema",
+        name: Optional[str] = None,
+    ) -> "QualityDatabase":
+        """Instantiate the methodology's output as a live database.
+
+        Each entity/relationship of the (refined) application view
+        becomes a tagged relation whose tag schema is derived from the
+        integrated annotations — the design's quality requirements made
+        operational in one call.
+        """
+        from repro.er.relational_mapping import er_to_relational
+
+        plain = er_to_relational(quality_schema.er_schema)
+        database = cls(name or quality_schema.name)
+        for relation_name in plain.relation_names:
+            relation_schema = plain.relation(relation_name).schema
+            if relation_name in quality_schema.er_schema:
+                tag_schema = quality_schema.tag_schema_for(relation_name)
+            else:  # pragma: no cover - folded relations keep no tags
+                tag_schema = None
+            database.create_relation(relation_schema, tag_schema)
+        return database
+
+    # -- access ----------------------------------------------------------------
+
+    def relation(self, name: str) -> TaggedRelation:
+        """Look up a tagged relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"quality database {self.name!r} has no relation {name!r} "
+                f"(relations: {sorted(self._relations)})"
+            ) from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[TaggedRelation]:
+        return iter(self._relations.values())
+
+    def relations(self) -> Mapping[str, TaggedRelation]:
+        """All relations, by name (for the administrator's monitor())."""
+        return dict(self._relations)
+
+    # -- data entry -----------------------------------------------------------------
+
+    def insert(self, relation_name: str, cells: Mapping[str, Any]) -> Any:
+        """Insert a row of (possibly tagged) cells into one relation."""
+        return self.relation(relation_name).insert(cells)
+
+    # -- retrieval ---------------------------------------------------------------------
+
+    def query(self, sql: str) -> TaggedRelation:
+        """Run a QSQL statement against this database's relations."""
+        from repro.sql import execute
+
+        return execute(sql, self._relations)
+
+    def register_profile(self, profile: "ApplicationProfile") -> None:
+        """Store an application grade for later retrieval."""
+        self.profiles.register(profile)
+
+    def retrieve(self, profile_name: str, relation_name: str) -> TaggedRelation:
+        """Grade-based retrieval: apply a stored profile to a relation."""
+        return self.profiles.retrieve(profile_name, self.relation(relation_name))
+
+    # -- administration -----------------------------------------------------------------
+
+    def monitor(
+        self,
+        quality_schema: "QualitySchema",
+        **kwargs: Any,
+    ):
+        """Run the administrator's monitoring pass over all relations."""
+        from repro.quality.admin import DataQualityAdministrator
+
+        administrator = DataQualityAdministrator(quality_schema)
+        owned = {
+            name: relation
+            for name, relation in self._relations.items()
+            if name in quality_schema.er_schema
+        }
+        return administrator.monitor(owned, **kwargs)
+
+    def render_summary(self) -> str:
+        """One-paragraph inventory for the administrator."""
+        lines = [f"QualityDatabase {self.name!r}"]
+        for name in self.relation_names:
+            relation = self._relations[name]
+            lines.append(
+                f"  {name}: {len(relation)} rows, "
+                f"{relation.tag_count()} tags, tagged columns "
+                f"{list(relation.tag_schema.tagged_columns)}"
+            )
+        if self.aggregate_tags.relation_names:
+            lines.append("  aggregate tags:")
+            for name in self.aggregate_tags.relation_names:
+                lines.append(
+                    "    " + self.aggregate_tags.relation(name).render()
+                )
+        if len(self.profiles):
+            lines.append(f"  profiles: {list(self.profiles.names)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityDatabase({self.name!r}, "
+            f"relations={list(self.relation_names)})"
+        )

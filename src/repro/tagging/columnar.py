@@ -1,0 +1,194 @@
+"""Columnar tag storage: the alternative to per-cell tag objects.
+
+DESIGN.md §7 calls out the tag-representation choice for ablation: the
+attribute-based model stores tags *on* each cell (the
+:class:`~repro.tagging.relation.TaggedRelation` design — simple,
+self-describing rows, tags travel with cells through the algebra).  The
+alternative is a **columnar side-table**: values live in a plain
+relation; each (column, indicator) pair owns one aligned array of tag
+values.
+
+Trade-offs this module lets the E2 ablation measure:
+
+- pro: indicator-constrained scans touch one contiguous array instead
+  of per-cell dictionaries (faster filters, smaller per-tag overhead);
+- con: rows are no longer self-describing, tags don't travel through
+  row-at-a-time operators, and deletions must keep every array aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.errors import TagSchemaError, UnknownIndicatorError
+from repro.relational.relation import Relation
+from repro.tagging.indicators import TagSchema
+from repro.tagging.query import OPERATORS
+from repro.tagging.relation import TaggedRelation
+
+
+class ColumnarTagStore:
+    """Plain relation + aligned per-(column, indicator) tag arrays."""
+
+    def __init__(self, relation: Relation, tag_schema: TagSchema) -> None:
+        tag_schema.check_against(relation.schema)
+        self.relation = relation
+        self.tag_schema = tag_schema
+        # (column, indicator) → list aligned with relation rows.
+        self._arrays: dict[tuple[str, str], list[Any]] = {}
+        for column in tag_schema.tagged_columns:
+            for indicator in tag_schema.allowed_for(column):
+                self._arrays[(column, indicator)] = [None] * len(relation)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_tagged_relation(cls, tagged: TaggedRelation) -> "ColumnarTagStore":
+        """Convert a per-cell tagged relation into columnar form."""
+        store = cls(tagged.values_relation(), tagged.tag_schema)
+        for row_index, row in enumerate(tagged):
+            for column in tagged.tag_schema.tagged_columns:
+                cell = row[column]
+                for tag in cell.tags:
+                    store._arrays[(column, tag.name)][row_index] = tag.value
+        return store
+
+    def to_tagged_relation(self) -> TaggedRelation:
+        """Convert back to per-cell representation (round-trip)."""
+        from repro.tagging.cell import QualityCell
+        from repro.tagging.indicators import IndicatorValue
+
+        tagged = TaggedRelation(self.relation.schema, self.tag_schema)
+        for row_index, row in enumerate(self.relation):
+            cells: dict[str, Any] = {}
+            for column in self.relation.schema.column_names:
+                tags = []
+                for indicator in self.tag_schema.allowed_for(column):
+                    value = self._arrays[(column, indicator)][row_index]
+                    if value is not None:
+                        tags.append(IndicatorValue(indicator, value))
+                cells[column] = QualityCell(row[column], tags)
+            tagged.insert(cells)
+        return tagged
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(
+        self,
+        values: dict[str, Any],
+        tags: Optional[dict[tuple[str, str], Any]] = None,
+    ) -> int:
+        """Append one row with its tags; returns the new row index."""
+        self.relation.insert(values)
+        for array in self._arrays.values():
+            array.append(None)
+        row_index = len(self.relation) - 1
+        for (column, indicator), value in (tags or {}).items():
+            self.set_tag(row_index, column, indicator, value)
+        return row_index
+
+    def set_tag(
+        self, row_index: int, column: str, indicator: str, value: Any
+    ) -> None:
+        """Set one tag value (validated against the indicator's domain)."""
+        key = (column, indicator)
+        if key not in self._arrays:
+            raise UnknownIndicatorError(
+                f"indicator {indicator!r} is not allowed on column {column!r}"
+            )
+        definition = self.tag_schema.definition(indicator)
+        self._arrays[key][row_index] = definition.domain.validate(value)
+
+    # -- access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def tag_value(self, row_index: int, column: str, indicator: str) -> Any:
+        """One tag value (None when untagged)."""
+        key = (column, indicator)
+        if key not in self._arrays:
+            raise UnknownIndicatorError(
+                f"indicator {indicator!r} is not allowed on column {column!r}"
+            )
+        return self._arrays[key][row_index]
+
+    def tag_array(self, column: str, indicator: str) -> Sequence[Any]:
+        """The whole aligned tag array (read-only view by convention)."""
+        key = (column, indicator)
+        if key not in self._arrays:
+            raise UnknownIndicatorError(
+                f"indicator {indicator!r} is not allowed on column {column!r}"
+            )
+        return tuple(self._arrays[key])
+
+    def tag_count(self) -> int:
+        """Number of non-None tag values stored."""
+        return sum(
+            1
+            for array in self._arrays.values()
+            for value in array
+            if value is not None
+        )
+
+    # -- filtering --------------------------------------------------------------------
+
+    def filter_indices(
+        self,
+        column: str,
+        indicator: str,
+        op: str,
+        operand: Any,
+        missing_ok: bool = False,
+    ) -> list[int]:
+        """Row indices whose tag satisfies the constraint.
+
+        The columnar representation's fast path: one pass over one array.
+        """
+        if op not in OPERATORS:
+            raise TagSchemaError(f"unknown operator {op!r}")
+        compare = OPERATORS[op]
+        array = self._arrays.get((column, indicator))
+        if array is None:
+            raise UnknownIndicatorError(
+                f"indicator {indicator!r} is not allowed on column {column!r}"
+            )
+        hits = []
+        for index, value in enumerate(array):
+            if value is None:
+                if missing_ok:
+                    hits.append(index)
+                continue
+            try:
+                if compare(value, operand):
+                    hits.append(index)
+            except TypeError:
+                continue
+        return hits
+
+    def select_rows(self, indices: Iterable[int]) -> Relation:
+        """Materialize selected rows as a plain relation."""
+        result = Relation(self.relation.schema)
+        rows = self.relation.rows
+        for index in indices:
+            result.insert(rows[index])
+        return result
+
+    def filter(
+        self,
+        column: str,
+        indicator: str,
+        op: str,
+        operand: Any,
+        missing_ok: bool = False,
+    ) -> Relation:
+        """Convenience: constraint → materialized plain relation."""
+        return self.select_rows(
+            self.filter_indices(column, indicator, op, operand, missing_ok)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTagStore({self.relation.schema.name}, "
+            f"{len(self.relation)} rows, {len(self._arrays)} tag arrays)"
+        )

@@ -1,0 +1,367 @@
+"""Quality indicator definitions, values, and per-relation tag schemas.
+
+Terminology (paper §1.3):
+
+- a *quality indicator* is an objective data dimension providing
+  information about the data's manufacturing process (source, creation
+  time, collection method, ...);
+- a *quality indicator value* is a measured characteristic of the stored
+  data (e.g. source = "Wall Street Journal");
+- *data quality requirements* specify which indicators must be tagged so
+  users can retrieve data of specific quality at query time.
+
+A :class:`TagSchema` is the executable form of those requirements for
+one relation: per column, which indicators are required and which are
+merely allowed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import TagSchemaError, UnknownIndicatorError
+from repro.relational.schema import RelationSchema
+from repro.relational.types import Domain, domain_by_name
+
+
+class IndicatorDefinition:
+    """The definition of one quality indicator (name + value domain).
+
+    Parameters
+    ----------
+    name:
+        Indicator name, e.g. ``"source"`` or ``"creation_time"``.
+    domain:
+        Domain of the indicator's values (default STR).
+    doc:
+        What the indicator records about the manufacturing process.
+    """
+
+    __slots__ = ("name", "domain", "doc")
+
+    def __init__(self, name: str, domain: Domain | str = "STR", doc: str = "") -> None:
+        if not name:
+            raise TagSchemaError("indicator must have a name")
+        self.name = name
+        self.domain = domain_by_name(domain) if isinstance(domain, str) else domain
+        self.doc = doc
+
+    def value(self, value: Any, meta: Optional[Mapping[str, Any]] = None) -> "IndicatorValue":
+        """Construct a validated :class:`IndicatorValue` of this indicator."""
+        return IndicatorValue(self.name, self.domain.validate(value), meta=meta)
+
+    def __repr__(self) -> str:
+        return f"IndicatorDefinition({self.name}: {self.domain.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IndicatorDefinition)
+            and other.name == self.name
+            and other.domain == self.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IndicatorDefinition", self.name, self.domain))
+
+
+class IndicatorValue:
+    """One quality-indicator value attached to a cell.
+
+    ``meta`` carries meta-quality indicators (Premise 1.4): tags about
+    the tag itself, e.g. who recorded the ``source`` tag.  The recursion
+    stops at one level, as documented in DESIGN.md §8.
+
+    IndicatorValues are immutable and hashable so tag propagation can
+    deduplicate them in set operations.
+    """
+
+    __slots__ = ("name", "value", "meta")
+
+    def __init__(
+        self,
+        name: str,
+        value: Any,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        if not name:
+            raise TagSchemaError("indicator value must name its indicator")
+        self.name = name
+        self.value = value
+        self.meta: tuple[tuple[str, Any], ...] = (
+            tuple(sorted(meta.items())) if meta else ()
+        )
+
+    def meta_dict(self) -> dict[str, Any]:
+        """The meta-tags as a plain dict."""
+        return dict(self.meta)
+
+    def __repr__(self) -> str:
+        if self.meta:
+            return f"IndicatorValue({self.name}={self.value!r}, meta={dict(self.meta)!r})"
+        return f"IndicatorValue({self.name}={self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IndicatorValue)
+            and other.name == self.name
+            and other.value == self.value
+            and other.meta == self.meta
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IndicatorValue", self.name, self.value, self.meta))
+
+
+class TagSchema:
+    """Which indicators tag which columns of one relation.
+
+    Parameters
+    ----------
+    indicators:
+        Definitions of every indicator used anywhere in the schema.
+    required:
+        Maps column name → indicator names that *must* be present on
+        every cell of that column.
+    allowed:
+        Maps column name → indicator names that *may* be present (in
+        addition to the required ones).  Columns absent from both maps
+        accept no tags.
+
+    Example
+    -------
+    >>> ts = TagSchema(
+    ...     indicators=[IndicatorDefinition("source"),
+    ...                 IndicatorDefinition("creation_time", "DATE")],
+    ...     required={"address": ["source", "creation_time"]})
+    >>> sorted(ts.required_for("address"))
+    ['creation_time', 'source']
+    """
+
+    def __init__(
+        self,
+        indicators: Sequence[IndicatorDefinition] = (),
+        required: Optional[Mapping[str, Sequence[str]]] = None,
+        allowed: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        self._indicators: dict[str, IndicatorDefinition] = {}
+        for definition in indicators:
+            if definition.name in self._indicators:
+                raise TagSchemaError(
+                    f"duplicate indicator definition {definition.name!r}"
+                )
+            self._indicators[definition.name] = definition
+        self._required: dict[str, frozenset[str]] = {
+            col: frozenset(names) for col, names in (required or {}).items()
+        }
+        self._allowed: dict[str, frozenset[str]] = {
+            col: frozenset(names) for col, names in (allowed or {}).items()
+        }
+        for col, names in list(self._required.items()) + list(self._allowed.items()):
+            unknown = names - set(self._indicators)
+            if unknown:
+                raise TagSchemaError(
+                    f"column {col!r} references undefined indicators "
+                    f"{sorted(unknown)}"
+                )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def indicator_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._indicators))
+
+    def definition(self, name: str) -> IndicatorDefinition:
+        """Look up an indicator definition."""
+        try:
+            return self._indicators[name]
+        except KeyError:
+            raise UnknownIndicatorError(
+                f"tag schema defines no indicator {name!r} "
+                f"(defined: {list(self.indicator_names)})"
+            ) from None
+
+    def required_for(self, column: str) -> frozenset[str]:
+        """Indicators required on every cell of ``column``."""
+        return self._required.get(column, frozenset())
+
+    def allowed_for(self, column: str) -> frozenset[str]:
+        """All indicators permitted on cells of ``column``."""
+        return self.required_for(column) | self._allowed.get(column, frozenset())
+
+    @property
+    def tagged_columns(self) -> tuple[str, ...]:
+        """Columns with at least one required or allowed indicator."""
+        return tuple(sorted(set(self._required) | set(self._allowed)))
+
+    # -- validation -------------------------------------------------------------
+
+    def check_against(self, relation_schema: RelationSchema) -> None:
+        """Ensure every tagged column exists in the relation schema."""
+        missing = [
+            col for col in self.tagged_columns if col not in relation_schema
+        ]
+        if missing:
+            raise TagSchemaError(
+                f"tag schema references columns {missing} not present in "
+                f"relation {relation_schema.name!r}"
+            )
+
+    def validate_tags(
+        self, column: str, tags: Iterable[IndicatorValue]
+    ) -> dict[str, IndicatorValue]:
+        """Validate a cell's tags for ``column``.
+
+        Checks: every tag's indicator is allowed on the column, tag
+        values belong to the indicator's domain, no duplicate indicator,
+        and all required indicators are present.  Returns the tags keyed
+        by indicator name.
+        """
+        allowed = self.allowed_for(column)
+        result: dict[str, IndicatorValue] = {}
+        for tag in tags:
+            if tag.name not in allowed:
+                raise UnknownIndicatorError(
+                    f"indicator {tag.name!r} is not allowed on column "
+                    f"{column!r} (allowed: {sorted(allowed)})"
+                )
+            if tag.name in result:
+                raise TagSchemaError(
+                    f"duplicate tag for indicator {tag.name!r} on column {column!r}"
+                )
+            definition = self.definition(tag.name)
+            validated = definition.domain.validate(tag.value)
+            result[tag.name] = (
+                tag
+                if validated == tag.value
+                else IndicatorValue(tag.name, validated, meta=tag.meta_dict())
+            )
+        missing = self.required_for(column) - set(result)
+        if missing:
+            raise TagSchemaError(
+                f"column {column!r} is missing required indicator(s) "
+                f"{sorted(missing)}"
+            )
+        return result
+
+    # -- derivation ---------------------------------------------------------------
+
+    def merge(self, other: "TagSchema") -> "TagSchema":
+        """Union of two tag schemas (used by quality-view integration).
+
+        Indicator definitions must agree on domains; required sets union,
+        allowed sets union.
+        """
+        for name in set(self.indicator_names) & set(other.indicator_names):
+            if self.definition(name) != other.definition(name):
+                raise TagSchemaError(
+                    f"indicator {name!r} is defined with conflicting domains"
+                )
+        indicators = {d.name: d for d in self._indicators.values()}
+        indicators.update({d.name: d for d in other._indicators.values()})
+        required: dict[str, set[str]] = {}
+        for source in (self._required, other._required):
+            for col, names in source.items():
+                required.setdefault(col, set()).update(names)
+        allowed: dict[str, set[str]] = {}
+        for source in (self._allowed, other._allowed):
+            for col, names in source.items():
+                allowed.setdefault(col, set()).update(names)
+        return TagSchema(
+            indicators=list(indicators.values()),
+            required={c: sorted(n) for c, n in required.items()},
+            allowed={c: sorted(n) for c, n in allowed.items()},
+        )
+
+    def project(self, columns: Sequence[str]) -> "TagSchema":
+        """Restrict the tag schema to a subset of columns."""
+        keep = set(columns)
+        return TagSchema(
+            indicators=list(self._indicators.values()),
+            required={
+                c: sorted(n) for c, n in self._required.items() if c in keep
+            },
+            allowed={
+                c: sorted(n) for c, n in self._allowed.items() if c in keep
+            },
+        )
+
+    def rename_columns(self, mapping: Mapping[str, str]) -> "TagSchema":
+        """Rename tagged columns per ``mapping``."""
+        return TagSchema(
+            indicators=list(self._indicators.values()),
+            required={
+                mapping.get(c, c): sorted(n) for c, n in self._required.items()
+            },
+            allowed={
+                mapping.get(c, c): sorted(n) for c, n in self._allowed.items()
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TagSchema(indicators={list(self.indicator_names)}, "
+            f"required={{ {', '.join(f'{c}: {sorted(n)}' for c, n in sorted(self._required.items()))} }})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TagSchema)
+            and other._indicators == self._indicators
+            and other._required == self._required
+            and other._allowed == self._allowed
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize (JSON-compatible)."""
+        return {
+            "indicators": [
+                {"name": d.name, "domain": d.domain.name, "doc": d.doc}
+                for d in self._indicators.values()
+            ],
+            "required": {c: sorted(n) for c, n in self._required.items()},
+            "allowed": {c: sorted(n) for c, n in self._allowed.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TagSchema":
+        """Deserialize a schema produced by :meth:`to_dict`."""
+        return cls(
+            indicators=[
+                IndicatorDefinition(d["name"], d["domain"], d.get("doc", ""))
+                for d in data["indicators"]
+            ],
+            required=data.get("required"),
+            allowed=data.get("allowed"),
+        )
+
+
+#: Indicators the paper names repeatedly; available as ready-made
+#: definitions for examples and scenario builders.
+STANDARD_INDICATORS: dict[str, IndicatorDefinition] = {
+    d.name: d
+    for d in (
+        IndicatorDefinition(
+            "source", "STR", "Who/what supplied the datum (department, feed, ...)"
+        ),
+        IndicatorDefinition(
+            "creation_time", "DATE", "When the datum was created/recorded"
+        ),
+        IndicatorDefinition(
+            "collection_method",
+            "STR",
+            "How the datum was captured (over the phone, scanner, ...)",
+        ),
+        IndicatorDefinition("age", "FLOAT", "Age of the datum, in days"),
+        IndicatorDefinition("analyst_name", "STR", "Analyst credited for a report"),
+        IndicatorDefinition(
+            "media", "STR", "Stored document format (bitmap, ASCII, postscript)"
+        ),
+        IndicatorDefinition(
+            "inspection", "STR", "Inspection/certification procedure applied"
+        ),
+        IndicatorDefinition("price", "FLOAT", "Monetary price paid for the datum"),
+        IndicatorDefinition(
+            "update_frequency", "STR", "How often the datum is refreshed"
+        ),
+    )
+}

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+
+@pytest.fixture
+def customer_schema():
+    """The paper's customer relation schema (Tables 1-2)."""
+    return schema(
+        "customer",
+        [("co_name", "STR"), ("address", "STR"), ("employees", "INT")],
+        key=["co_name"],
+    )
+
+
+@pytest.fixture
+def customer_relation(customer_schema):
+    """The Table 1 rows."""
+    return Relation.from_tuples(
+        customer_schema,
+        [("Fruit Co", "12 Jay St", 4004), ("Nut Co", "62 Lois Av", 700)],
+    )
+
+
+@pytest.fixture
+def customer_database(customer_schema):
+    """A database holding the Table 1 rows."""
+    db = Database("corp")
+    db.create_relation(customer_schema)
+    db.insert(
+        "customer",
+        {"co_name": "Fruit Co", "address": "12 Jay St", "employees": 4004},
+    )
+    db.insert(
+        "customer",
+        {"co_name": "Nut Co", "address": "62 Lois Av", "employees": 700},
+    )
+    return db
+
+
+@pytest.fixture
+def customer_tag_schema():
+    """(creation_time, source) allowed on address and employees."""
+    return TagSchema(
+        indicators=[
+            IndicatorDefinition("creation_time", "DATE"),
+            IndicatorDefinition("source", "STR"),
+        ],
+        allowed={
+            "address": ["creation_time", "source"],
+            "employees": ["creation_time", "source"],
+        },
+    )
+
+
+@pytest.fixture
+def tagged_customers(customer_schema, customer_tag_schema):
+    """The Table 2 rows, fully tagged."""
+    relation = TaggedRelation(customer_schema, customer_tag_schema)
+    relation.insert(
+        {
+            "co_name": "Fruit Co",
+            "address": QualityCell(
+                "12 Jay St",
+                [
+                    IndicatorValue("creation_time", dt.date(1991, 1, 2)),
+                    IndicatorValue("source", "sales"),
+                ],
+            ),
+            "employees": QualityCell(
+                4004,
+                [
+                    IndicatorValue("creation_time", dt.date(1991, 10, 3)),
+                    IndicatorValue("source", "Nexis"),
+                ],
+            ),
+        }
+    )
+    relation.insert(
+        {
+            "co_name": "Nut Co",
+            "address": QualityCell(
+                "62 Lois Av",
+                [
+                    IndicatorValue("creation_time", dt.date(1991, 10, 24)),
+                    IndicatorValue("source", "acct'g"),
+                ],
+            ),
+            "employees": QualityCell(
+                700,
+                [
+                    IndicatorValue("creation_time", dt.date(1991, 10, 9)),
+                    IndicatorValue("source", "estimate"),
+                ],
+            ),
+        }
+    )
+    return relation
+
+
+@pytest.fixture
+def trading_er():
+    """The Figure 3 trading ER schema."""
+    from repro.experiments.scenarios import trading_er_schema
+
+    return trading_er_schema()

@@ -1,0 +1,97 @@
+"""Unit tests for the Appendix-A candidate attribute catalog."""
+
+import pytest
+
+from repro.core.catalog import (
+    BOUNDARY_DATA,
+    BOUNDARY_SERVICE,
+    BOUNDARY_SYSTEM,
+    BOUNDARY_USER,
+    CandidateAttribute,
+    CandidateCatalog,
+    default_catalog,
+)
+from repro.core.terminology import AttributeKind
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+class TestCatalogContent:
+    def test_core_dimensions_present(self, catalog):
+        # §4: "Certain characteristics seem universally important".
+        for name in ("completeness", "timeliness", "accuracy", "interpretability"):
+            assert name in catalog
+
+    def test_boundary_examples_from_section4(self, catalog):
+        assert catalog.get("resolution_of_graphics").boundary == BOUNDARY_SYSTEM
+        assert (
+            catalog.get("clear_data_responsibility").boundary == BOUNDARY_SERVICE
+        )
+        assert catalog.get("past_experience").boundary == BOUNDARY_USER
+        assert catalog.get("accuracy").boundary == BOUNDARY_DATA
+
+    def test_size_is_survey_like(self, catalog):
+        assert len(catalog) >= 35
+
+    def test_both_kinds_present(self, catalog):
+        assert catalog.parameters()
+        assert catalog.indicators()
+        assert catalog.get("timeliness").kind is AttributeKind.PARAMETER
+        assert catalog.get("creation_time").kind is AttributeKind.INDICATOR
+
+    def test_categories(self, catalog):
+        assert "time" in catalog.categories
+        assert all(catalog.by_category(c) for c in catalog.categories)
+
+
+class TestCatalogQueries:
+    def test_get_unknown(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get("ghost")
+
+    def test_related_symmetric(self, catalog):
+        # Premise 1.2's example pair: timeliness and volatility.
+        timeliness_related = {a.name for a in catalog.related_to("timeliness")}
+        assert "volatility" in timeliness_related
+        volatility_related = {a.name for a in catalog.related_to("volatility")}
+        assert "timeliness" in volatility_related
+
+    def test_operationalizations_timeliness(self, catalog):
+        specs = catalog.operationalizations_for("timeliness")
+        names = {s.name for s in specs}
+        assert "age" in names
+        assert "creation_time" in names
+
+    def test_operationalizations_credibility(self, catalog):
+        names = {s.name for s in catalog.operationalizations_for("credibility")}
+        assert "source" in names
+
+    def test_keyword_search(self, catalog):
+        hits = {a.name for a in catalog.suggest_for_keywords("manufactur")}
+        assert "source" in hits
+
+    def test_by_boundary_validates(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.by_boundary("cosmic")
+
+
+class TestCatalogConstruction:
+    def test_duplicate_rejected(self):
+        entry = CandidateAttribute("x", AttributeKind.PARAMETER, "cat")
+        with pytest.raises(CatalogError):
+            CandidateCatalog([entry, entry])
+
+    def test_invalid_boundary(self):
+        with pytest.raises(CatalogError):
+            CandidateAttribute(
+                "x", AttributeKind.PARAMETER, "cat", boundary="nowhere"
+            )
+
+    def test_as_parameter_and_indicator(self, catalog):
+        entry = catalog.get("timeliness")
+        assert entry.as_parameter().name == "timeliness"
+        assert entry.as_indicator("FLOAT").domain.name == "FLOAT"

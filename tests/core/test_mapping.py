@@ -1,0 +1,159 @@
+"""Unit tests for parameter mappings and user quality standards."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.mapping import (
+    ParameterMapping,
+    UserQualityStandard,
+    compare_standards,
+    credibility_from_source,
+    timeliness_from_age,
+    timeliness_from_creation_time,
+)
+from repro.errors import AssessmentError, MethodologyError
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorValue
+
+
+@pytest.fixture
+def wsj_cell():
+    return QualityCell(
+        101.5, [IndicatorValue("source", "Wall Street Journal")]
+    )
+
+
+class TestParameterMapping:
+    def test_wsj_example(self, wsj_cell):
+        # §1.3: "because the source is Wall Street Journal, an investor
+        # may conclude that data credibility is high."
+        mapping = credibility_from_source({"Wall Street Journal": 0.95})
+        assert mapping.evaluate(wsj_cell) == 0.95
+
+    def test_unknown_source_default(self, wsj_cell):
+        mapping = credibility_from_source({"Other": 0.2}, default=0.1)
+        assert mapping.evaluate(wsj_cell) == 0.1
+
+    def test_missing_tag_returns_none(self):
+        mapping = credibility_from_source({"X": 1.0})
+        assert mapping.evaluate(QualityCell(1)) is None
+
+    def test_timeliness_from_age(self):
+        mapping = timeliness_from_age(max_age_days=10)
+        fresh = QualityCell(1, [IndicatorValue("age", 3.0)])
+        stale = QualityCell(1, [IndicatorValue("age", 30.0)])
+        assert mapping.evaluate(fresh) is True
+        assert mapping.evaluate(stale) is False
+
+    def test_timeliness_from_creation_time_uses_context(self):
+        mapping = timeliness_from_creation_time(max_age_days=10)
+        cell = QualityCell(
+            1, [IndicatorValue("creation_time", dt.date(1991, 10, 1))]
+        )
+        assert mapping.evaluate(cell, {"today": dt.date(1991, 10, 5)}) is True
+        assert mapping.evaluate(cell, {"today": dt.date(1991, 12, 1)}) is False
+        assert mapping.evaluate(cell, {}) is None
+
+    def test_requires_parameter_name(self):
+        with pytest.raises(MethodologyError):
+            ParameterMapping("", lambda tags, ctx: 1)
+
+
+class TestUserQualityStandard:
+    def _investor(self):
+        # Premise 2.2: ten-minute delay is timely for a loose investor.
+        return UserQualityStandard(
+            "investor",
+            mappings=[timeliness_from_age(10 / (24 * 60))],
+            acceptance={"timeliness": lambda timely: timely},
+        )
+
+    def _trader(self):
+        # The real-time trader's standard: one minute.
+        return UserQualityStandard(
+            "trader",
+            mappings=[timeliness_from_age(1 / (24 * 60))],
+            acceptance={"timeliness": lambda timely: timely},
+        )
+
+    def test_different_standards_different_verdicts(self):
+        five_minutes = QualityCell(
+            100.0, [IndicatorValue("age", 5 / (24 * 60))]
+        )
+        assert self._investor().accepts_cell(five_minutes)
+        assert not self._trader().accepts_cell(five_minutes)
+
+    def test_undetermined_fails_closed(self):
+        untagged = QualityCell(100.0)
+        assert not self._investor().accepts_cell(untagged)
+
+    def test_duplicate_mapping_rejected(self):
+        standard = self._investor()
+        with pytest.raises(MethodologyError):
+            standard.add_mapping(timeliness_from_age(1))
+
+    def test_acceptance_requires_mapping(self):
+        with pytest.raises(MethodologyError):
+            UserQualityStandard(
+                "u", acceptance={"timeliness": lambda v: True}
+            )
+        standard = self._investor()
+        with pytest.raises(MethodologyError):
+            standard.set_acceptance("ghost", lambda v: True)
+
+    def test_evaluate_cell(self):
+        standard = self._investor()
+        values = standard.evaluate_cell(
+            QualityCell(1, [IndicatorValue("age", 0.001)])
+        )
+        assert values == {"timeliness": True}
+
+    def test_mapping_lookup(self):
+        standard = self._investor()
+        assert standard.mapping("timeliness").parameter == "timeliness"
+        with pytest.raises(AssessmentError):
+            standard.mapping("ghost")
+
+
+class TestStandardsOverRelations:
+    @pytest.fixture
+    def ticks(self):
+        from repro.experiments.scenarios import trading_ticks
+
+        return trading_ticks(n_ticks=200, seed=5)
+
+    def test_acceptance_rates_ordered(self, ticks):
+        investor = UserQualityStandard(
+            "investor",
+            mappings=[timeliness_from_age(10 / (24 * 60))],
+            acceptance={"timeliness": lambda t: t},
+        )
+        trader = UserQualityStandard(
+            "trader",
+            mappings=[timeliness_from_age(1 / (24 * 60))],
+            acceptance={"timeliness": lambda t: t},
+        )
+        rates = compare_standards([investor, trader], ticks, "price")
+        # Premise 2.2's shape: the looser standard accepts more.
+        assert rates["investor"] > rates["trader"]
+        assert 0.0 < rates["trader"] < rates["investor"] < 1.0
+
+    def test_filter_relation(self, ticks):
+        investor = UserQualityStandard(
+            "investor",
+            mappings=[timeliness_from_age(10 / (24 * 60))],
+            acceptance={"timeliness": lambda t: t},
+        )
+        kept = investor.filter_relation(ticks, "price")
+        assert 0 < len(kept) < len(ticks)
+        assert len(kept) == round(
+            investor.acceptance_rate(ticks, "price") * len(ticks)
+        )
+
+    def test_empty_relation_rate(self, ticks):
+        empty = ticks.empty_like()
+        investor = UserQualityStandard(
+            "investor", mappings=[timeliness_from_age(1)]
+        )
+        assert investor.acceptance_rate(empty, "price") == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for the end-to-end methodology pipeline."""
+
+import pytest
+
+from repro.core.methodology import DataQualityModeling, DesignSession
+from repro.errors import StepOrderError
+from repro.experiments.scenarios import (
+    TRADING_PARAMETER_REQUESTS,
+    run_trading_methodology,
+    trading_er_schema,
+    trading_indicator_decisions,
+)
+
+
+class TestDesignSession:
+    def test_records_numbered(self):
+        session = DesignSession("team A")
+        session.record("step1", "did something", "detail")
+        session.record("step2", "did more")
+        assert [d.sequence for d in session.decisions] == [1, 2]
+        text = session.render()
+        assert "team A" in text
+        assert "[step1] did something — detail" in text
+
+
+class TestPipelineOrdering:
+    def test_step2_requires_step1(self):
+        modeling = DataQualityModeling()
+        with pytest.raises(StepOrderError):
+            modeling.step2(requests=[])
+
+    def test_step4_requires_views(self):
+        modeling = DataQualityModeling()
+        with pytest.raises(StepOrderError):
+            modeling.step4([])
+
+    def test_specification_requires_step4(self):
+        modeling = DataQualityModeling()
+        with pytest.raises(StepOrderError):
+            modeling.specification()
+
+
+class TestTradingPipeline:
+    def test_full_run_produces_all_artifacts(self):
+        modeling = run_trading_methodology()
+        assert modeling.application_view is not None
+        assert len(modeling.parameter_views) == 1
+        assert len(modeling.quality_views) == 1
+        assert modeling.quality_schema is not None
+
+    def test_parameter_view_matches_figure4(self):
+        modeling = run_trading_methodology()
+        text = modeling.parameter_views[0].render()
+        assert "( timeliness )" in text
+        assert "( credibility )" in text
+        assert "( cost )" in text
+        assert "(/ inspection )" in text
+
+    def test_quality_view_matches_figure5(self):
+        modeling = run_trading_methodology()
+        text = modeling.quality_views[0].render()
+        assert "[. age .]" in text
+        assert "[. analyst_name .]" in text
+        assert "[. media .]" in text
+        assert "[. collection_method .]" in text
+        assert "[. inspection .]" in text
+
+    def test_session_log_covers_all_steps(self):
+        modeling = run_trading_methodology()
+        steps = {d.step for d in modeling.session.decisions}
+        assert steps == {"step1", "step2", "step3", "step4"}
+
+    def test_run_all_one_shot(self):
+        modeling = DataQualityModeling()
+        schema = modeling.run_all(
+            trading_er_schema(),
+            "requirements",
+            TRADING_PARAMETER_REQUESTS,
+            indicator_decisions=trading_indicator_decisions(),
+        )
+        assert schema.annotations
+        assert modeling.quality_schema is schema
+
+    def test_deterministic(self):
+        a = run_trading_methodology().quality_schema.render()
+        b = run_trading_methodology().quality_schema.render()
+        assert a == b
+
+
+class TestSpecificationDocument:
+    def test_contains_all_sections(self):
+        modeling = run_trading_methodology()
+        spec = modeling.specification()
+        assert "DATA QUALITY REQUIREMENTS SPECIFICATION: trading" in spec
+        assert "Application view (Step 1)" in spec
+        assert "Parameter view 1 (Step 2)" in spec
+        assert "Quality view 1 (Step 3)" in spec
+        assert "Integrated quality schema (Step 4)" in spec
+        assert "Data quality requirements" in spec
+        assert "Derived tag schemas" in spec
+        assert "Design session log" in spec
+
+    def test_requirements_traceable(self):
+        spec = run_trading_methodology().specification()
+        assert "operationalizes timeliness" in spec
+
+    def test_tag_schema_section(self):
+        spec = run_trading_methodology().specification()
+        assert "share_price — required: age" in spec

@@ -1,0 +1,100 @@
+"""Unit tests for methodology-artifact serialization."""
+
+import pytest
+
+from repro.core.serialization import (
+    load_quality_schema,
+    parameter_view_from_dict,
+    parameter_view_to_dict,
+    quality_schema_from_dict,
+    quality_schema_to_dict,
+    quality_view_from_dict,
+    quality_view_to_dict,
+    save_quality_schema,
+)
+from repro.errors import MethodologyError
+from repro.experiments.scenarios import run_trading_methodology
+
+
+@pytest.fixture(scope="module")
+def modeling():
+    return run_trading_methodology()
+
+
+class TestParameterViewRoundTrip:
+    def test_round_trip(self, modeling):
+        view = modeling.parameter_views[0]
+        restored = parameter_view_from_dict(parameter_view_to_dict(view))
+        assert len(restored.annotations) == len(view.annotations)
+        assert restored.render() == view.render()
+
+    def test_kind_checked(self, modeling):
+        data = parameter_view_to_dict(modeling.parameter_views[0])
+        data["kind"] = "bogus"
+        with pytest.raises(MethodologyError):
+            parameter_view_from_dict(data)
+
+
+class TestQualityViewRoundTrip:
+    def test_round_trip(self, modeling):
+        view = modeling.quality_views[0]
+        restored = quality_view_from_dict(quality_view_to_dict(view))
+        assert restored.render() == view.render()
+        # Provenance survives.
+        for original, copy in zip(view.annotations, restored.annotations):
+            assert copy.derived_from == original.derived_from
+            assert copy.mandatory == original.mandatory
+
+    def test_kind_checked(self, modeling):
+        data = quality_view_to_dict(modeling.quality_views[0])
+        data["kind"] = "bogus"
+        with pytest.raises(MethodologyError):
+            quality_view_from_dict(data)
+
+
+class TestQualitySchemaRoundTrip:
+    def test_round_trip(self, modeling):
+        schema = modeling.quality_schema
+        restored = quality_schema_from_dict(quality_schema_to_dict(schema))
+        assert restored.render() == schema.render()
+        assert restored.integration_notes == schema.integration_notes
+        assert len(restored.requirements()) == len(schema.requirements())
+
+    def test_tag_schemas_survive_transport(self, modeling):
+        """The point of transport: the receiving organization derives
+        the same operational tag schemas."""
+        schema = modeling.quality_schema
+        restored = quality_schema_from_dict(quality_schema_to_dict(schema))
+        for owner in ("client", "company_stock", "trade"):
+            assert restored.tag_schema_for(owner) == schema.tag_schema_for(
+                owner
+            )
+
+    def test_file_round_trip(self, modeling, tmp_path):
+        path = save_quality_schema(
+            modeling.quality_schema, tmp_path / "schema.json"
+        )
+        restored = load_quality_schema(path)
+        assert restored.name == modeling.quality_schema.name
+        assert restored.render() == modeling.quality_schema.render()
+
+    def test_receiving_org_can_instantiate(self, modeling, tmp_path):
+        """Transport → live database in the receiving organization."""
+        from repro.tagging.catalog import QualityDatabase
+
+        path = save_quality_schema(
+            modeling.quality_schema, tmp_path / "schema.json"
+        )
+        restored = load_quality_schema(path)
+        database = QualityDatabase.from_quality_schema(restored)
+        assert set(database.relation_names) == {
+            "client",
+            "company_stock",
+            "trade",
+        }
+
+    def test_kind_checked(self, modeling):
+        data = quality_schema_to_dict(modeling.quality_schema)
+        data["kind"] = "bogus"
+        with pytest.raises(MethodologyError):
+            quality_schema_from_dict(data)

@@ -1,0 +1,88 @@
+"""Direct unit tests for the specification document generator."""
+
+import pytest
+
+from repro.core.specification import build_specification
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import (
+    ApplicationView,
+    IndicatorAnnotation,
+    QualitySchema,
+)
+from repro.experiments.scenarios import trading_er_schema
+
+
+@pytest.fixture
+def minimal_schema():
+    return QualitySchema(
+        ApplicationView(trading_er_schema(), "narrative requirements"),
+        [
+            IndicatorAnnotation(
+                ("company_stock", "share_price"),
+                QualityIndicatorSpec("age", "FLOAT"),
+                derived_from=("timeliness",),
+            )
+        ],
+        integration_notes=["one decision"],
+    )
+
+
+class TestBuildSpecification:
+    def test_minimal_document(self, minimal_schema):
+        spec = build_specification(minimal_schema)
+        assert "DATA QUALITY REQUIREMENTS SPECIFICATION: trading" in spec
+        assert "Application requirements" in spec
+        assert "narrative requirements" in spec
+        assert "Integrated quality schema (Step 4)" in spec
+        assert "Integration decisions" in spec
+        assert "- one decision" in spec
+
+    def test_no_session_no_log_section(self, minimal_schema):
+        spec = build_specification(minimal_schema)
+        assert "Design session log" not in spec
+
+    def test_session_included(self, minimal_schema):
+        from repro.core.methodology import DesignSession
+
+        session = DesignSession("team X")
+        session.record("step2", "decided something")
+        spec = build_specification(minimal_schema, session=session)
+        assert "Design session log" in spec
+        assert "team X" in spec
+
+    def test_component_views_rendered(self, minimal_schema):
+        from repro.core.views import QualityView
+
+        component = QualityView(minimal_schema.application_view)
+        component.add(minimal_schema.annotations[0])
+        schema_with_views = QualitySchema(
+            minimal_schema.application_view,
+            minimal_schema.annotations,
+            component_views=[component],
+        )
+        spec = build_specification(schema_with_views)
+        assert "Quality view 1 (Step 3)" in spec
+
+    def test_untagged_owners_skipped_in_tag_section(self, minimal_schema):
+        spec = build_specification(minimal_schema)
+        tag_section = spec.split("Derived tag schemas")[1]
+        assert "company_stock:" in tag_section
+        assert "client:" not in tag_section
+
+    def test_no_requirements_doc_no_section(self):
+        schema = QualitySchema(
+            ApplicationView(trading_er_schema()),
+            [
+                IndicatorAnnotation(
+                    ("client",), QualityIndicatorSpec("source")
+                )
+            ],
+        )
+        spec = build_specification(schema)
+        assert "Application requirements\n" not in spec
+
+    def test_requirements_listing(self, minimal_schema):
+        spec = build_specification(minimal_schema)
+        assert (
+            "company_stock.share_price must be tagged with age" in spec
+        )

@@ -1,0 +1,177 @@
+"""Unit tests for the four methodology steps."""
+
+import pytest
+
+from repro.core.steps import (
+    Step1ApplicationView,
+    Step2QualityParameters,
+    Step3QualityIndicators,
+    Step4ViewIntegration,
+)
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import ApplicationView, ParameterView
+from repro.er.model import Entity, ERAttribute, ERSchema
+from repro.errors import ERValidationError, MethodologyError, StepOrderError
+
+
+class TestStep1:
+    def test_produces_application_view(self, trading_er):
+        view = Step1ApplicationView().run(trading_er, "requirements text")
+        assert isinstance(view, ApplicationView)
+        assert view.requirements_doc == "requirements text"
+
+    def test_validates(self):
+        bad = ERSchema("bad")
+        bad.add_entity(Entity("a", [ERAttribute("x")]))  # no key
+        with pytest.raises(ERValidationError):
+            Step1ApplicationView().run(bad)
+
+    def test_keys_optional(self):
+        loose = ERSchema("loose")
+        loose.add_entity(Entity("a", [ERAttribute("x")]))
+        view = Step1ApplicationView().run(loose, require_keys=False)
+        assert view.name == "loose"
+
+
+class TestStep2:
+    @pytest.fixture
+    def app_view(self, trading_er):
+        return Step1ApplicationView().run(trading_er)
+
+    def test_attaches_catalog_parameters(self, app_view):
+        view = Step2QualityParameters().run(
+            app_view,
+            [(("company_stock", "share_price"), "timeliness", "why")],
+        )
+        assert len(view.annotations) == 1
+        assert view.annotations[0].parameter.name == "timeliness"
+        # Catalog-backed parameters carry the survey doc.
+        assert view.annotations[0].parameter.doc
+
+    def test_team_defined_parameter_allowed(self, app_view):
+        view = Step2QualityParameters().run(
+            app_view,
+            [(("client",), "house_style_conformance", "internal norm")],
+        )
+        assert view.annotations[0].parameter.name == "house_style_conformance"
+
+    def test_inspection_parameter(self, app_view):
+        view = Step2QualityParameters().run(
+            app_view, [(("trade",), "inspection", "verify trades")]
+        )
+        assert view.annotations[0].is_inspection
+
+    def test_suggest(self):
+        step = Step2QualityParameters()
+        assert "timeliness" in step.suggest("current", "stale", "time")
+
+    def test_invalid_target(self, app_view):
+        with pytest.raises(Exception):
+            Step2QualityParameters().run(
+                app_view, [(("ghost",), "timeliness", "")]
+            )
+
+
+class TestStep3:
+    @pytest.fixture
+    def parameter_view(self, trading_er):
+        app_view = Step1ApplicationView().run(trading_er)
+        return Step2QualityParameters().run(
+            app_view,
+            [
+                (("company_stock", "share_price"), "timeliness", "stale prices"),
+                (("company_stock", "research_report"), "credibility", ""),
+            ],
+        )
+
+    def test_auto_operationalization(self, parameter_view):
+        view = Step3QualityIndicators().run(parameter_view)
+        indicators = {a.indicator.name for a in view.annotations}
+        # timeliness → age/creation_time/update_frequency; credibility → source/...
+        assert "creation_time" in indicators or "age" in indicators
+        assert "source" in indicators or "analyst_name" in indicators
+
+    def test_traceability(self, parameter_view):
+        view = Step3QualityIndicators().run(parameter_view)
+        for annotation in view.annotations:
+            assert annotation.derived_from
+
+    def test_explicit_decision_wins(self, parameter_view):
+        decisions = {
+            (("company_stock", "share_price"), "timeliness"): [
+                QualityIndicatorSpec("age", "FLOAT")
+            ],
+            (("company_stock", "research_report"), "credibility"): [
+                QualityIndicatorSpec("analyst_name")
+            ],
+        }
+        view = Step3QualityIndicators().run(
+            parameter_view, decisions=decisions, auto=False
+        )
+        names = {a.indicator.name for a in view.annotations}
+        assert names == {"age", "analyst_name"}
+
+    def test_objective_parameter_remains(self, trading_er):
+        # Paper: "if age had been defined as a quality parameter, and is
+        # deemed objective, it can remain."
+        app_view = Step1ApplicationView().run(trading_er)
+        parameter_view = Step2QualityParameters().run(
+            app_view, [(("company_stock", "share_price"), "age", "")]
+        )
+        view = Step3QualityIndicators().run(parameter_view, auto=False)
+        assert [a.indicator.name for a in view.annotations] == ["age"]
+
+    def test_unoperationalizable_raises(self, trading_er):
+        app_view = Step1ApplicationView().run(trading_er)
+        parameter_view = Step2QualityParameters().run(
+            app_view, [(("client",), "vibes", "")]
+        )
+        with pytest.raises(MethodologyError):
+            Step3QualityIndicators().run(parameter_view)
+
+    def test_empty_parameter_view_rejected(self, trading_er):
+        app_view = Step1ApplicationView().run(trading_er)
+        empty = ParameterView(app_view)
+        with pytest.raises(StepOrderError):
+            Step3QualityIndicators().run(empty)
+
+    def test_empty_decision_rejected(self, parameter_view):
+        decisions = {(("company_stock", "share_price"), "timeliness"): []}
+        with pytest.raises(MethodologyError):
+            Step3QualityIndicators().run(parameter_view, decisions=decisions)
+
+    def test_shared_indicator_merges_provenance(self, trading_er):
+        app_view = Step1ApplicationView().run(trading_er)
+        parameter_view = Step2QualityParameters().run(
+            app_view,
+            [
+                (("client", "address"), "accuracy", ""),
+                (("client", "address"), "credibility", ""),
+            ],
+        )
+        decisions = {
+            (("client", "address"), "accuracy"): [QualityIndicatorSpec("source")],
+            (("client", "address"), "credibility"): [
+                QualityIndicatorSpec("source")
+            ],
+        }
+        view = Step3QualityIndicators().run(
+            parameter_view, decisions=decisions, auto=False
+        )
+        assert len(view.annotations) == 1
+        assert set(view.annotations[0].derived_from) == {
+            "accuracy",
+            "credibility",
+        }
+
+
+class TestStep4:
+    def test_delegates_to_integration(self, trading_er):
+        app_view = Step1ApplicationView().run(trading_er)
+        parameter_view = Step2QualityParameters().run(
+            app_view, [(("company_stock", "share_price"), "timeliness", "")]
+        )
+        quality_view = Step3QualityIndicators().run(parameter_view)
+        schema = Step4ViewIntegration().run([quality_view])
+        assert schema.annotations
+        assert schema.integration_notes

@@ -1,0 +1,75 @@
+"""Unit tests for the §1.3 terminology layer."""
+
+import pytest
+
+from repro.core.terminology import (
+    AttributeKind,
+    QualityIndicatorSpec,
+    QualityParameter,
+    QualityRequirement,
+)
+from repro.errors import MethodologyError
+from repro.tagging.indicators import IndicatorDefinition
+
+
+class TestQualityParameter:
+    def test_kind_subjective(self):
+        assert QualityParameter("timeliness").kind is AttributeKind.PARAMETER
+
+    def test_requires_name(self):
+        with pytest.raises(MethodologyError):
+            QualityParameter("")
+
+    def test_equality_by_name(self):
+        assert QualityParameter("a") == QualityParameter("a")
+        assert QualityParameter("a") != QualityParameter("b")
+
+    def test_hashable(self):
+        assert len({QualityParameter("a"), QualityParameter("a")}) == 1
+
+
+class TestQualityIndicatorSpec:
+    def test_kind_objective(self):
+        assert QualityIndicatorSpec("age").kind is AttributeKind.INDICATOR
+
+    def test_domain_resolution(self):
+        spec = QualityIndicatorSpec("age", "FLOAT")
+        assert spec.domain.name == "FLOAT"
+
+    def test_to_definition(self):
+        spec = QualityIndicatorSpec("source", "STR", doc="who made it")
+        definition = spec.to_definition()
+        assert isinstance(definition, IndicatorDefinition)
+        assert definition.name == "source"
+        assert definition.doc == "who made it"
+
+    def test_equality(self):
+        assert QualityIndicatorSpec("age", "FLOAT") == QualityIndicatorSpec(
+            "age", "FLOAT"
+        )
+        assert QualityIndicatorSpec("age", "FLOAT") != QualityIndicatorSpec(
+            "age", "INT"
+        )
+
+
+class TestQualityRequirement:
+    def test_describe_mandatory(self):
+        requirement = QualityRequirement(
+            ("company_stock", "share_price"),
+            QualityIndicatorSpec("age", "FLOAT"),
+            rationale="operationalizes timeliness",
+        )
+        text = requirement.describe()
+        assert "company_stock.share_price must be tagged with age" in text
+        assert "operationalizes timeliness" in text
+
+    def test_describe_optional(self):
+        requirement = QualityRequirement(
+            ("client",), QualityIndicatorSpec("source"), mandatory=False
+        )
+        assert "may be tagged" in requirement.describe()
+
+    def test_equality_ignores_rationale(self):
+        a = QualityRequirement(("e",), QualityIndicatorSpec("s"), "why A")
+        b = QualityRequirement(("e",), QualityIndicatorSpec("s"), "why B")
+        assert a == b

@@ -1,0 +1,190 @@
+"""Unit tests for the methodology's view artifacts."""
+
+import pytest
+
+from repro.core.terminology import QualityIndicatorSpec, QualityParameter
+from repro.core.views import (
+    ApplicationView,
+    INSPECTION_PARAMETER,
+    IndicatorAnnotation,
+    ParameterAnnotation,
+    ParameterView,
+    QualitySchema,
+    QualityView,
+)
+from repro.errors import MethodologyError
+
+
+@pytest.fixture
+def app_view(trading_er):
+    return ApplicationView(trading_er, "trading requirements")
+
+
+class TestApplicationView:
+    def test_render_is_figure3_style(self, app_view):
+        text = app_view.render(title="Figure 3")
+        assert text.startswith("Figure 3")
+        assert "company_stock" in text
+
+
+class TestParameterView:
+    def test_add_and_query(self, app_view):
+        view = ParameterView(app_view)
+        view.add(
+            ParameterAnnotation(
+                ("company_stock", "share_price"),
+                QualityParameter("timeliness"),
+                "prices go stale",
+            )
+        )
+        params = view.parameters_at(("company_stock", "share_price"))
+        assert [p.name for p in params] == ["timeliness"]
+
+    def test_invalid_target_rejected(self, app_view):
+        view = ParameterView(app_view)
+        with pytest.raises(Exception):
+            view.add(
+                ParameterAnnotation(("ghost",), QualityParameter("timeliness"))
+            )
+
+    def test_duplicate_rejected(self, app_view):
+        view = ParameterView(app_view)
+        annotation = ParameterAnnotation(
+            ("client",), QualityParameter("completeness")
+        )
+        view.add(annotation)
+        with pytest.raises(MethodologyError):
+            view.add(
+                ParameterAnnotation(
+                    ("client",), QualityParameter("completeness")
+                )
+            )
+
+    def test_all_parameters_distinct(self, app_view):
+        view = ParameterView(app_view)
+        view.add(ParameterAnnotation(("client",), QualityParameter("accuracy")))
+        view.add(
+            ParameterAnnotation(
+                ("client", "address"), QualityParameter("accuracy")
+            )
+        )
+        assert len(view.all_parameters()) == 1
+
+    def test_inspection_renders_specially(self, app_view):
+        view = ParameterView(app_view)
+        view.add(ParameterAnnotation(("trade",), INSPECTION_PARAMETER))
+        text = view.render()
+        assert "(/ inspection )" in text
+
+    def test_cloud_markers(self, app_view):
+        view = ParameterView(app_view)
+        view.add(
+            ParameterAnnotation(
+                ("company_stock", "share_price"), QualityParameter("timeliness")
+            )
+        )
+        assert "( timeliness )" in view.render()
+
+
+class TestQualityView:
+    def test_indicators_render_dotted(self, app_view):
+        view = QualityView(app_view)
+        view.add(
+            IndicatorAnnotation(
+                ("company_stock", "share_price"),
+                QualityIndicatorSpec("age", "FLOAT"),
+                derived_from=("timeliness",),
+            )
+        )
+        assert "[. age .]" in view.render()
+
+    def test_requirements_induced(self, app_view):
+        view = QualityView(app_view)
+        view.add(
+            IndicatorAnnotation(
+                ("client", "telephone"),
+                QualityIndicatorSpec("collection_method"),
+                derived_from=("accuracy",),
+            )
+        )
+        requirements = view.requirements()
+        assert len(requirements) == 1
+        assert "operationalizes accuracy" in requirements[0].describe()
+
+    def test_duplicate_rejected(self, app_view):
+        view = QualityView(app_view)
+        annotation = IndicatorAnnotation(
+            ("client",), QualityIndicatorSpec("source")
+        )
+        view.add(annotation)
+        with pytest.raises(MethodologyError):
+            view.add(
+                IndicatorAnnotation(("client",), QualityIndicatorSpec("source"))
+            )
+
+
+class TestQualitySchema:
+    @pytest.fixture
+    def schema_with_annotations(self, app_view):
+        return QualitySchema(
+            app_view,
+            [
+                IndicatorAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityIndicatorSpec("creation_time", "DATE"),
+                    derived_from=("timeliness",),
+                ),
+                IndicatorAnnotation(
+                    ("company_stock", "research_report"),
+                    QualityIndicatorSpec("analyst_name"),
+                    derived_from=("credibility",),
+                    mandatory=False,
+                ),
+                IndicatorAnnotation(
+                    ("company_stock",),
+                    QualityIndicatorSpec("source"),
+                    rationale="entity-level provenance",
+                ),
+            ],
+        )
+
+    def test_tag_schema_attribute_level(self, schema_with_annotations):
+        tag_schema = schema_with_annotations.tag_schema_for("company_stock")
+        assert "creation_time" in tag_schema.required_for("share_price")
+        assert "analyst_name" in tag_schema.allowed_for("research_report")
+        assert "analyst_name" not in tag_schema.required_for("research_report")
+
+    def test_owner_level_annotation_covers_all_columns(
+        self, schema_with_annotations
+    ):
+        tag_schema = schema_with_annotations.tag_schema_for("company_stock")
+        for column in ("ticker_symbol", "share_price", "research_report"):
+            assert "source" in tag_schema.required_for(column)
+
+    def test_tag_schema_for_unannotated_owner(self, schema_with_annotations):
+        tag_schema = schema_with_annotations.tag_schema_for("client")
+        assert tag_schema.tagged_columns == ()
+
+    def test_requirements(self, schema_with_annotations):
+        assert len(schema_with_annotations.requirements()) == 3
+
+    def test_all_indicators_distinct(self, schema_with_annotations):
+        names = {i.name for i in schema_with_annotations.all_indicators()}
+        assert names == {"creation_time", "analyst_name", "source"}
+
+    def test_conflicting_definitions_rejected(self, app_view):
+        quality_schema = QualitySchema(
+            app_view,
+            [
+                IndicatorAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityIndicatorSpec("age", "FLOAT"),
+                ),
+                IndicatorAnnotation(
+                    ("company_stock", "research_report"),
+                    QualityIndicatorSpec("age", "STR"),
+                ),
+            ],
+        )
+        with pytest.raises(MethodologyError):
+            quality_schema.tag_schema_for("company_stock")

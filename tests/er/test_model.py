@@ -1,0 +1,189 @@
+"""Unit tests for the ER model objects."""
+
+import pytest
+
+from repro.er.model import (
+    Cardinality,
+    Entity,
+    ERAttribute,
+    ERSchema,
+    Participant,
+    Relationship,
+)
+from repro.errors import ERModelError
+
+
+class TestERAttribute:
+    def test_defaults_to_str(self):
+        assert ERAttribute("name").domain.name == "STR"
+
+    def test_requires_name(self):
+        with pytest.raises(ERModelError):
+            ERAttribute("")
+
+    def test_equality(self):
+        assert ERAttribute("a", "INT") == ERAttribute("a", "INT")
+        assert ERAttribute("a", "INT") != ERAttribute("a", "STR")
+
+
+class TestEntity:
+    def test_construction_with_key(self):
+        entity = Entity(
+            "client",
+            [ERAttribute("account", "STR"), ERAttribute("name", "STR")],
+            key=["account"],
+        )
+        assert entity.key == ("account",)
+        assert entity.attribute_names == ("account", "name")
+
+    def test_duplicate_attribute(self):
+        entity = Entity("e", [ERAttribute("a")])
+        with pytest.raises(ERModelError):
+            entity.add_attribute(ERAttribute("a"))
+
+    def test_key_must_be_attribute(self):
+        with pytest.raises(ERModelError):
+            Entity("e", [ERAttribute("a")], key=["b"])
+
+    def test_empty_key_rejected(self):
+        entity = Entity("e", [ERAttribute("a")])
+        with pytest.raises(ERModelError):
+            entity.set_key([])
+
+    def test_remove_attribute(self):
+        entity = Entity("e", [ERAttribute("a"), ERAttribute("b")], key=["a"])
+        removed = entity.remove_attribute("b")
+        assert removed.name == "b"
+        assert entity.attribute_names == ("a",)
+
+    def test_cannot_remove_key_attribute(self):
+        entity = Entity("e", [ERAttribute("a")], key=["a"])
+        with pytest.raises(ERModelError):
+            entity.remove_attribute("a")
+
+    def test_remove_unknown_attribute(self):
+        entity = Entity("e", [ERAttribute("a")])
+        with pytest.raises(ERModelError):
+            entity.remove_attribute("ghost")
+
+    def test_attribute_lookup(self):
+        entity = Entity("e", [ERAttribute("a", "INT")])
+        assert entity.attribute("a").domain.name == "INT"
+        with pytest.raises(ERModelError):
+            entity.attribute("ghost")
+
+
+class TestRelationship:
+    def _participants(self):
+        return [Participant("a"), Participant("b")]
+
+    def test_requires_two_participants(self):
+        with pytest.raises(ERModelError):
+            Relationship("r", [Participant("a")])
+
+    def test_duplicate_roles_rejected(self):
+        with pytest.raises(ERModelError):
+            Relationship("r", [Participant("a"), Participant("a")])
+
+    def test_same_entity_distinct_roles_ok(self):
+        rel = Relationship(
+            "manages",
+            [Participant("emp", role="manager"), Participant("emp", role="report")],
+        )
+        assert rel.entity_names == ("emp", "emp")
+
+    def test_relationship_attributes(self):
+        rel = Relationship(
+            "trade", self._participants(), [ERAttribute("date", "DATE")]
+        )
+        assert rel.attribute("date").domain.name == "DATE"
+        with pytest.raises(ERModelError):
+            rel.add_attribute(ERAttribute("date"))
+
+    def test_default_cardinality_many(self):
+        rel = Relationship("r", self._participants())
+        assert all(p.cardinality is Cardinality.MANY for p in rel.participants)
+
+
+class TestERSchema:
+    def test_add_and_lookup(self, trading_er):
+        assert trading_er.entity("client").key == ("account_number",)
+        assert trading_er.relationship("trade").attribute_names == (
+            "date",
+            "quantity",
+            "trade_price",
+        )
+
+    def test_duplicate_entity(self, trading_er):
+        with pytest.raises(ERModelError):
+            trading_er.add_entity(Entity("client", [ERAttribute("x")]))
+
+    def test_relationship_unknown_entity(self):
+        er = ERSchema("s")
+        er.add_entity(Entity("a", [ERAttribute("x")], key=["x"]))
+        with pytest.raises(ERModelError):
+            er.add_relationship(
+                Relationship("r", [Participant("a"), Participant("ghost")])
+            )
+
+    def test_entity_relationship_name_collision(self):
+        er = ERSchema("s")
+        er.add_entity(Entity("a", [ERAttribute("x")], key=["x"]))
+        er.add_entity(Entity("b", [ERAttribute("y")], key=["y"]))
+        er.add_relationship(Relationship("r", [Participant("a"), Participant("b")]))
+        with pytest.raises(ERModelError):
+            er.add_entity(Entity("r", [ERAttribute("z")]))
+
+    def test_contains(self, trading_er):
+        assert "client" in trading_er
+        assert "trade" in trading_er
+        assert "ghost" not in trading_er
+
+
+class TestAnnotationTargets:
+    def test_targets_enumerated(self, trading_er):
+        targets = set(trading_er.annotation_targets())
+        assert ("client",) in targets
+        assert ("client", "telephone") in targets
+        assert ("trade",) in targets
+        assert ("trade", "quantity") in targets
+
+    def test_target_count(self, trading_er):
+        # 2 entities + 7 entity attributes + 1 relationship + 3 rel attributes.
+        assert len(list(trading_er.annotation_targets())) == 13
+
+    def test_resolve_entity(self, trading_er):
+        kind, obj = trading_er.resolve_target(("client",))
+        assert kind == "entity" and obj.name == "client"
+
+    def test_resolve_entity_attribute(self, trading_er):
+        kind, obj = trading_er.resolve_target(("company_stock", "share_price"))
+        assert kind == "entity_attribute" and obj.name == "share_price"
+
+    def test_resolve_relationship(self, trading_er):
+        kind, _ = trading_er.resolve_target(("trade",))
+        assert kind == "relationship"
+
+    def test_resolve_relationship_attribute(self, trading_er):
+        kind, obj = trading_er.resolve_target(("trade", "quantity"))
+        assert kind == "relationship_attribute" and obj.name == "quantity"
+
+    def test_resolve_unknown(self, trading_er):
+        with pytest.raises(ERModelError):
+            trading_er.resolve_target(("ghost",))
+        with pytest.raises(ERModelError):
+            trading_er.resolve_target(("client", "ghost"))
+        with pytest.raises(ERModelError):
+            trading_er.resolve_target(("a", "b", "c"))
+
+
+class TestERSerialization:
+    def test_round_trip(self, trading_er):
+        restored = ERSchema.from_dict(trading_er.to_dict())
+        assert restored.to_dict() == trading_er.to_dict()
+
+    def test_copy_independent(self, trading_er):
+        copy = trading_er.copy()
+        copy.entity("client").add_attribute(ERAttribute("email"))
+        assert not trading_er.entity("client").has_attribute("email")
+        assert copy.entity("client").has_attribute("email")

@@ -1,0 +1,166 @@
+"""Property-based tests for ER schemas and the relational mapping."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.er.model import (
+    Cardinality,
+    Entity,
+    ERAttribute,
+    ERSchema,
+    Participant,
+    Relationship,
+)
+from repro.er.relational_mapping import er_to_relational
+from repro.er.validation import validate_er_schema
+
+NAMES = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+DOMAINS = st.sampled_from(["STR", "INT", "FLOAT", "DATE"])
+
+
+@st.composite
+def er_schemas(draw) -> ERSchema:
+    """Random well-formed ER schemas: 1-4 entities, 0-3 binary rels."""
+    schema = ERSchema("generated")
+    entity_names = draw(
+        st.lists(NAMES, min_size=1, max_size=4, unique=True)
+    )
+    for name in entity_names:
+        attr_names = draw(
+            st.lists(
+                st.sampled_from(["id", "a", "b", "c", "d"]),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        if "id" not in attr_names:
+            attr_names.insert(0, "id")
+        attributes = [
+            ERAttribute(a, draw(DOMAINS)) for a in attr_names
+        ]
+        schema.add_entity(Entity(name, attributes, key=["id"]))
+    n_rels = draw(st.integers(min_value=0, max_value=3))
+    for index in range(n_rels):
+        left = draw(st.sampled_from(entity_names))
+        right = draw(st.sampled_from(entity_names))
+        cardinalities = draw(
+            st.tuples(
+                st.sampled_from(list(Cardinality)),
+                st.sampled_from(list(Cardinality)),
+            )
+        )
+        rel_attrs = draw(
+            st.lists(
+                st.sampled_from(["x", "y", "z"]),
+                max_size=2,
+                unique=True,
+            )
+        )
+        schema.add_relationship(
+            Relationship(
+                f"rel{index}",
+                [
+                    Participant(left, cardinalities[0], role=f"l{index}"),
+                    Participant(right, cardinalities[1], role=f"r{index}"),
+                ],
+                [ERAttribute(a, "INT") for a in rel_attrs],
+            )
+        )
+    return schema
+
+
+class TestERSchemaProperties:
+    @settings(max_examples=50)
+    @given(er_schemas())
+    def test_generated_schemas_valid(self, schema):
+        assert validate_er_schema(schema) == []
+
+    @settings(max_examples=50)
+    @given(er_schemas())
+    def test_serialization_round_trip(self, schema):
+        restored = ERSchema.from_dict(schema.to_dict())
+        assert restored.to_dict() == schema.to_dict()
+
+    @settings(max_examples=50)
+    @given(er_schemas())
+    def test_copy_is_deep(self, schema):
+        copy = schema.copy()
+        copy.entity(copy.entities[0].name).add_attribute(
+            ERAttribute("sentinel")
+        )
+        assert not schema.entities[0].has_attribute("sentinel")
+
+    @settings(max_examples=50)
+    @given(er_schemas())
+    def test_annotation_targets_resolve(self, schema):
+        for target in schema.annotation_targets():
+            kind, obj = schema.resolve_target(target)
+            assert kind in (
+                "entity",
+                "entity_attribute",
+                "relationship",
+                "relationship_attribute",
+            )
+            assert obj is not None
+
+
+class TestRelationalMappingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(er_schemas())
+    def test_every_entity_becomes_a_relation(self, schema):
+        database = er_to_relational(schema)
+        for entity in schema.entities:
+            assert entity.name in database
+            relation_schema = database.relation(entity.name).schema
+            # All entity attributes survive (extra FK columns may join).
+            for attribute in entity.attributes:
+                assert attribute.name in relation_schema
+            assert relation_schema.key == entity.key
+
+    @settings(max_examples=40, deadline=None)
+    @given(er_schemas())
+    def test_relationships_accounted_for(self, schema):
+        database = er_to_relational(schema)
+        for relationship in schema.relationships:
+            cards = [p.cardinality for p in relationship.participants]
+            foldable = (
+                len(relationship.participants) == 2
+                and not relationship.attributes
+                and cards.count(Cardinality.ONE) == 1
+            )
+            if foldable:
+                # Folded into the MANY side as FK columns.
+                assert relationship.name not in database
+                many = relationship.participants[
+                    cards.index(Cardinality.MANY)
+                ]
+                one = relationship.participants[1 - cards.index(Cardinality.MANY)]
+                many_schema = database.relation(many.entity_name).schema
+                assert f"{one.role}_id" in many_schema
+            else:
+                assert relationship.name in database
+
+    @settings(max_examples=40, deadline=None)
+    @given(er_schemas())
+    def test_foreign_keys_registered(self, schema):
+        database = er_to_relational(schema)
+        fk_names = [
+            c.name for c in database.constraints if c.name.startswith("fk_")
+        ]
+        # One FK per participant of each unfolded relationship; one per
+        # folded relationship.
+        expected = 0
+        for relationship in schema.relationships:
+            cards = [p.cardinality for p in relationship.participants]
+            foldable = (
+                len(relationship.participants) == 2
+                and not relationship.attributes
+                and cards.count(Cardinality.ONE) == 1
+            )
+            expected += 1 if foldable else len(relationship.participants)
+        assert len(fk_names) == expected

@@ -1,0 +1,166 @@
+"""Unit tests for ER → relational translation."""
+
+import pytest
+
+from repro.er.model import (
+    Cardinality,
+    Entity,
+    ERAttribute,
+    ERSchema,
+    Participant,
+    Relationship,
+)
+from repro.er.relational_mapping import er_to_relational
+from repro.errors import ConstraintViolation, ERValidationError
+
+
+class TestEntityMapping:
+    def test_entities_become_relations(self, trading_er):
+        db = er_to_relational(trading_er)
+        assert "client" in db
+        assert "company_stock" in db
+
+    def test_entity_key_carried(self, trading_er):
+        db = er_to_relational(trading_er)
+        assert db.relation("client").schema.key == ("account_number",)
+
+    def test_primary_key_enforced(self, trading_er):
+        db = er_to_relational(trading_er)
+        db.insert(
+            "client",
+            {
+                "account_number": "A1",
+                "name": "x",
+                "address": "y",
+                "telephone": "z",
+            },
+        )
+        with pytest.raises(ConstraintViolation):
+            db.insert(
+                "client",
+                {
+                    "account_number": "A1",
+                    "name": "other",
+                    "address": "y",
+                    "telephone": "z",
+                },
+            )
+
+    def test_invalid_schema_rejected(self):
+        er = ERSchema("bad")
+        er.add_entity(Entity("a", [ERAttribute("x")]))  # no key
+        with pytest.raises(ERValidationError):
+            er_to_relational(er)
+
+
+class TestManyToManyMapping:
+    def test_relationship_relation_created(self, trading_er):
+        db = er_to_relational(trading_er)
+        trade = db.relation("trade")
+        assert trade.schema.column_names == (
+            "client_account_number",
+            "company_stock_ticker_symbol",
+            "date",
+            "quantity",
+            "trade_price",
+        )
+
+    def test_foreign_keys_enforced(self, trading_er):
+        db = er_to_relational(trading_er)
+        with pytest.raises(ConstraintViolation):
+            db.insert(
+                "trade",
+                {
+                    "client_account_number": "ghost",
+                    "company_stock_ticker_symbol": "ghost",
+                    "date": "1991-01-02",
+                    "quantity": 100,
+                    "trade_price": 10.0,
+                },
+            )
+
+    def test_full_insert_path(self, trading_er):
+        db = er_to_relational(trading_er)
+        db.insert(
+            "client",
+            {
+                "account_number": "A1",
+                "name": "Ann",
+                "address": "1 Main",
+                "telephone": "617",
+            },
+        )
+        db.insert(
+            "company_stock",
+            {
+                "ticker_symbol": "FRT",
+                "share_price": 10.0,
+                "research_report": "...",
+            },
+        )
+        db.insert(
+            "trade",
+            {
+                "client_account_number": "A1",
+                "company_stock_ticker_symbol": "FRT",
+                "date": "1991-01-02",
+                "quantity": 100,
+                "trade_price": 10.5,
+            },
+        )
+        assert len(db.relation("trade")) == 1
+
+
+class TestOneToManyFolding:
+    @pytest.fixture
+    def dept_er(self):
+        er = ERSchema("org")
+        er.add_entity(Entity("dept", [ERAttribute("dname")], key=["dname"]))
+        er.add_entity(
+            Entity(
+                "emp",
+                [ERAttribute("eid", "INT"), ERAttribute("ename")],
+                key=["eid"],
+            )
+        )
+        er.add_relationship(
+            Relationship(
+                "works_in",
+                [
+                    Participant("emp", Cardinality.MANY),
+                    Participant("dept", Cardinality.ONE),
+                ],
+            )
+        )
+        return er
+
+    def test_folded_into_many_side(self, dept_er):
+        db = er_to_relational(dept_er)
+        assert "works_in" not in db
+        assert "dept_dname" in db.relation("emp").schema
+
+    def test_folded_fk_enforced(self, dept_er):
+        db = er_to_relational(dept_er)
+        with pytest.raises(ConstraintViolation):
+            db.insert(
+                "emp", {"eid": 1, "ename": "x", "dept_dname": "ghost"}
+            )
+        db.insert("dept", {"dname": "sales"})
+        db.insert("emp", {"eid": 1, "ename": "x", "dept_dname": "sales"})
+
+    def test_one_to_many_with_attributes_not_folded(self):
+        er = ERSchema("org")
+        er.add_entity(Entity("dept", [ERAttribute("dname")], key=["dname"]))
+        er.add_entity(Entity("emp", [ERAttribute("eid", "INT")], key=["eid"]))
+        er.add_relationship(
+            Relationship(
+                "works_in",
+                [
+                    Participant("emp", Cardinality.MANY),
+                    Participant("dept", Cardinality.ONE),
+                ],
+                [ERAttribute("since", "DATE")],
+            )
+        )
+        db = er_to_relational(er)
+        assert "works_in" in db

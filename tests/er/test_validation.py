@@ -1,0 +1,54 @@
+"""Unit tests for ER schema validation."""
+
+import pytest
+
+from repro.er.model import Entity, ERAttribute, ERSchema, Participant, Relationship
+from repro.er.validation import require_valid, validate_er_schema
+from repro.errors import ERValidationError
+
+
+def test_valid_schema_has_no_problems(trading_er):
+    assert validate_er_schema(trading_er) == []
+
+
+def test_missing_key_reported():
+    er = ERSchema("s")
+    er.add_entity(Entity("a", [ERAttribute("x")]))
+    problems = validate_er_schema(er)
+    assert any("no identifying key" in p for p in problems)
+
+
+def test_missing_key_tolerated_when_not_required():
+    er = ERSchema("s")
+    er.add_entity(Entity("a", [ERAttribute("x")]))
+    assert validate_er_schema(er, require_keys=False) == []
+
+
+def test_attributeless_entity_reported():
+    er = ERSchema("s")
+    er.add_entity(Entity("a"))
+    problems = validate_er_schema(er, require_keys=False)
+    assert any("no attributes" in p for p in problems)
+
+
+def test_relationship_attribute_colliding_with_entity_key():
+    er = ERSchema("s")
+    er.add_entity(Entity("a", [ERAttribute("id")], key=["id"]))
+    er.add_entity(Entity("b", [ERAttribute("id2")], key=["id2"]))
+    er.add_relationship(
+        Relationship(
+            "r",
+            [Participant("a"), Participant("b")],
+            [ERAttribute("id")],  # collides with a's key
+        )
+    )
+    problems = validate_er_schema(er)
+    assert any("collide" in p for p in problems)
+
+
+def test_require_valid_raises(trading_er):
+    require_valid(trading_er)  # no error
+    er = ERSchema("bad")
+    er.add_entity(Entity("a", [ERAttribute("x")]))
+    with pytest.raises(ERValidationError):
+        require_valid(er)

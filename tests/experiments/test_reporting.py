@@ -1,0 +1,77 @@
+"""Unit tests for experiment reporting helpers."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.reporting import TextTable, render_series
+
+
+class TestTextTable:
+    def test_basic_render(self):
+        table = TextTable(["a", "b"])
+        table.add_row(["x", 1])
+        table.add_row(["yy", 22])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].rstrip() == "a  | b"
+        assert lines[2].rstrip() == "x  | 1"
+        assert lines[3].rstrip() == "yy | 22"
+
+    def test_title(self):
+        table = TextTable(["a"], title="My Table")
+        table.add_row([1])
+        assert table.render().startswith("My Table")
+
+    def test_arity_check(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = TextTable(["v"])
+        table.add_row([0.123456789])
+        assert "0.1235" in table.render()
+
+    def test_none_blank(self):
+        table = TextTable(["k", "v"])
+        table.add_row(["x", None])
+        assert table.render().splitlines()[-1].rstrip() == "x |"
+
+    def test_add_rows_and_count(self):
+        table = TextTable(["v"])
+        table.add_rows([[1], [2], [3]])
+        assert table.row_count == 3
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        text = render_series("n", "time", [(1, 1.0), (2, 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_empty(self):
+        assert "(no points)" in render_series("x", "y", [])
+
+    def test_title(self):
+        text = render_series("x", "y", [(1, 1.0)], title="Figure E2")
+        assert text.startswith("Figure E2")
+
+
+class TestExperimentResult:
+    def test_checks(self):
+        result = ExperimentResult("T1", "Table 1", "artifact text")
+        result.check("renders", True)
+        result.check("shape", False)
+        assert not result.all_checks_pass
+        text = result.render()
+        assert "[PASS] renders" in text
+        assert "[FAIL] shape" in text
+
+    def test_run_experiment(self):
+        result = run_experiment(
+            "X", "an experiment", lambda: ("body", {"n": 3})
+        )
+        assert result.artifact == "body"
+        assert result.data == {"n": 3}
+        assert result.all_checks_pass  # vacuous

@@ -1,0 +1,77 @@
+"""Unit tests for blocking / candidate-pair generation."""
+
+import pytest
+
+from repro.errors import LinkageError
+from repro.linkage.blocking import (
+    block_pairs,
+    field_key,
+    full_pairs,
+    prefix_key,
+    reduction_ratio,
+    soundex_key,
+)
+
+
+@pytest.fixture
+def records():
+    return [
+        {"name": "Robert", "city": "Boston"},
+        {"name": "Rupert", "city": "Boston"},
+        {"name": "Smith", "city": "Cambridge"},
+        {"name": "Smyth", "city": "Cambridge"},
+        {"name": "Jones", "city": None},
+    ]
+
+
+class TestFullPairs:
+    def test_count(self, records):
+        assert len(list(full_pairs(records))) == 10  # C(5,2)
+
+    def test_ordering(self, records):
+        assert all(i < j for i, j in full_pairs(records))
+
+
+class TestBlockPairs:
+    def test_field_key_blocks(self, records):
+        pairs = list(block_pairs(records, [field_key("city")]))
+        assert set(pairs) == {(0, 1), (2, 3)}
+
+    def test_none_keys_excluded(self, records):
+        pairs = list(block_pairs(records, [field_key("city")]))
+        assert all(4 not in pair for pair in pairs)
+
+    def test_soundex_key(self, records):
+        pairs = set(block_pairs(records, [soundex_key("name")]))
+        assert (0, 1) in pairs  # Robert ~ Rupert
+        assert (2, 3) in pairs  # Smith ~ Smyth
+
+    def test_prefix_key(self, records):
+        pairs = set(block_pairs(records, [prefix_key("name", 2)]))
+        assert (2, 3) in pairs  # Sm
+        assert (0, 1) not in pairs  # Ro vs Ru
+
+    def test_multi_pass_union_dedup(self, records):
+        single = set(block_pairs(records, [field_key("city")]))
+        double = list(
+            block_pairs(records, [field_key("city"), field_key("city")])
+        )
+        assert set(double) == single
+        assert len(double) == len(single)  # yielded once
+
+    def test_requires_keys(self, records):
+        with pytest.raises(LinkageError):
+            list(block_pairs(records, []))
+
+    def test_prefix_length_positive(self):
+        with pytest.raises(LinkageError):
+            prefix_key("name", 0)
+
+
+class TestReductionRatio:
+    def test_blocking_reduces(self, records):
+        ratio = reduction_ratio(records, [field_key("city")])
+        assert ratio == pytest.approx(1 - 2 / 10)
+
+    def test_no_records(self):
+        assert reduction_ratio([], [field_key("x")]) == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for string/field comparators."""
+
+import pytest
+
+from repro.linkage.comparators import (
+    exact,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    numeric_closeness,
+    soundex,
+    soundex_match,
+)
+
+
+class TestExact:
+    def test_equal(self):
+        assert exact("a", "a") == 1.0
+        assert exact(1, 1) == 1.0
+
+    def test_unequal(self):
+        assert exact("a", "b") == 0.0
+
+    def test_none_handling(self):
+        assert exact(None, None) == 1.0
+        assert exact(None, "a") == 0.0
+
+
+class TestLevenshtein:
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_similarity_normalized(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+        assert 0 < levenshtein_similarity("abc", "abd") < 1
+
+    def test_similarity_none(self):
+        assert levenshtein_similarity(None, None) == 1.0
+        assert levenshtein_similarity(None, "x") == 0.0
+
+
+class TestJaro:
+    def test_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_identity(self):
+        assert jaro("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_winkler_no_boost_without_prefix(self):
+        assert jaro_winkler("xmartha", "ymartha") == pytest.approx(
+            jaro("xmartha", "ymartha")
+        )
+
+    def test_bounds(self):
+        for a, b in [("abc", "abd"), ("fruit", "froot"), ("a", "ab")]:
+            assert 0.0 <= jaro(a, b) <= 1.0
+            assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestSoundex:
+    def test_classic_codes(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+        assert soundex("Honeyman") == "H555"
+
+    def test_empty(self):
+        assert soundex("") == "0000"
+        assert soundex("123") == "0000"
+
+    def test_match(self):
+        assert soundex_match("Robert", "Rupert") == 1.0
+        assert soundex_match("Robert", "Smith") == 0.0
+
+
+class TestNumericCloseness:
+    def test_equal(self):
+        assert numeric_closeness(10, 10) == 1.0
+
+    def test_within_tolerance(self):
+        assert 0 < numeric_closeness(100, 105, tolerance=0.1) < 1
+
+    def test_outside_tolerance(self):
+        assert numeric_closeness(100, 200, tolerance=0.1) == 0.0
+
+    def test_non_numeric(self):
+        assert numeric_closeness("a", "b") == 0.0

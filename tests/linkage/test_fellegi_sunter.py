@@ -1,0 +1,117 @@
+"""Unit tests for the Fellegi-Sunter model."""
+
+import math
+
+import pytest
+
+from repro.errors import LinkageError
+from repro.linkage.comparators import exact, jaro_winkler
+from repro.linkage.fellegi_sunter import (
+    FellegiSunterModel,
+    FieldModel,
+    MatchDecision,
+)
+
+
+@pytest.fixture
+def model():
+    return FellegiSunterModel(
+        [
+            FieldModel("name", jaro_winkler, m=0.95, u=0.01),
+            FieldModel("address", jaro_winkler, m=0.85, u=0.05),
+        ],
+        upper_threshold=5.0,
+        lower_threshold=0.0,
+    )
+
+
+class TestFieldModel:
+    def test_weights(self):
+        field = FieldModel("f", exact, m=0.9, u=0.1)
+        assert field.agreement_weight == pytest.approx(math.log2(9))
+        assert field.disagreement_weight == pytest.approx(math.log2(0.1 / 0.9))
+
+    def test_probability_bounds(self):
+        with pytest.raises(LinkageError):
+            FieldModel("f", exact, m=1.0)
+        with pytest.raises(LinkageError):
+            FieldModel("f", exact, u=0.0)
+
+    def test_agreement_threshold(self):
+        field = FieldModel("f", jaro_winkler, agree_threshold=0.9)
+        assert field.agrees({"f": "martha"}, {"f": "martha"})
+        assert not field.agrees({"f": "martha"}, {"f": "zzz"})
+
+
+class TestModelDecisions:
+    def test_exact_pair_links(self, model):
+        a = {"name": "Fruit Co", "address": "12 Jay St"}
+        assert model.decide(a, dict(a)) is MatchDecision.LINK
+
+    def test_different_pair_non_link(self, model):
+        a = {"name": "Fruit Co", "address": "12 Jay St"}
+        b = {"name": "Zephyr Ltd", "address": "999 Elm St"}
+        assert model.decide(a, b) is MatchDecision.NON_LINK
+
+    def test_partial_agreement_possible(self, model):
+        a = {"name": "Fruit Co", "address": "12 Jay St"}
+        b = {"name": "Fruit Co", "address": "nowhere at all"}
+        assert model.decide(a, b) is MatchDecision.POSSIBLE
+
+    def test_weight_additive(self, model):
+        a = {"name": "Fruit Co", "address": "12 Jay St"}
+        total = model.weight(a, dict(a))
+        expected = sum(f.agreement_weight for f in model.fields)
+        assert total == pytest.approx(expected)
+
+    def test_agreement_pattern(self, model):
+        a = {"name": "Fruit Co", "address": "12 Jay St"}
+        b = {"name": "Fruit Co", "address": "zzz"}
+        assert model.agreement_pattern(a, b) == (True, False)
+
+    def test_validation(self):
+        with pytest.raises(LinkageError):
+            FellegiSunterModel([])
+        field = FieldModel("f", exact)
+        with pytest.raises(LinkageError):
+            FellegiSunterModel([field, FieldModel("f", exact)])
+        with pytest.raises(LinkageError):
+            FellegiSunterModel(
+                [field], upper_threshold=0.0, lower_threshold=1.0
+            )
+
+
+class TestEstimation:
+    def test_u_estimation_from_data(self):
+        records = [{"city": "Boston"}] * 5 + [{"city": "Cambridge"}] * 5
+        model = FellegiSunterModel([FieldModel("city", exact, m=0.9, u=0.5)])
+        model.estimate_u_from_data(records)
+        # Among random pairs, ~4/9 agree on city.
+        assert model.fields[0].u == pytest.approx(4 / 9, abs=0.05)
+
+    def test_u_estimation_needs_records(self):
+        model = FellegiSunterModel([FieldModel("f", exact)])
+        with pytest.raises(LinkageError):
+            model.estimate_u_from_data([{"f": 1}])
+
+    def test_em_separates_matches(self):
+        # Pairs: 30 clear matches (agree on both), 70 clear non-matches.
+        match_pair = ({"a": "x", "b": "y"}, {"a": "x", "b": "y"})
+        non_pair = ({"a": "x", "b": "y"}, {"a": "q", "b": "r"})
+        pairs = [match_pair] * 30 + [non_pair] * 70
+        model = FellegiSunterModel(
+            [
+                FieldModel("a", exact, m=0.8, u=0.3),
+                FieldModel("b", exact, m=0.8, u=0.3),
+            ]
+        )
+        p = model.fit_em(pairs, iterations=30, initial_match_rate=0.5)
+        assert p == pytest.approx(0.3, abs=0.05)
+        # m should move toward 1 and u toward 0.
+        assert all(f.m > 0.9 for f in model.fields)
+        assert all(f.u < 0.1 for f in model.fields)
+
+    def test_em_needs_pairs(self):
+        model = FellegiSunterModel([FieldModel("f", exact)])
+        with pytest.raises(LinkageError):
+            model.fit_em([])

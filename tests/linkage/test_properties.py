@@ -1,0 +1,110 @@
+"""Property-based tests for comparator metrics and model weights."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linkage.comparators import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    soundex,
+)
+from repro.linkage.fellegi_sunter import FellegiSunterModel, FieldModel
+from repro.linkage.comparators import exact
+
+WORDS = st.text(alphabet="abcdefghij", min_size=0, max_size=10)
+NAMES = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12)
+
+
+class TestLevenshteinProperties:
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(WORDS)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(WORDS, WORDS)
+    def test_bounded_by_longer(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(WORDS, WORDS, WORDS)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(WORDS, WORDS)
+    def test_similarity_bounds(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestJaroProperties:
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+    @given(WORDS)
+    def test_identity(self, a):
+        assert jaro(a, a) == 1.0
+
+    @given(WORDS, WORDS)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(WORDS, WORDS)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(WORDS, WORDS)
+    def test_winkler_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestSoundexProperties:
+    @given(NAMES)
+    def test_code_shape(self, name):
+        code = soundex(name)
+        assert len(code) == 4
+        assert code[0].isalpha() and code[0].isupper()
+        assert all(c.isdigit() for c in code[1:])
+
+    @given(NAMES)
+    def test_deterministic(self, name):
+        assert soundex(name) == soundex(name)
+
+    @given(NAMES)
+    def test_case_insensitive(self, name):
+        assert soundex(name) == soundex(name.upper())
+
+
+class TestModelWeightProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=0.99),
+        st.floats(min_value=0.01, max_value=0.49),
+    )
+    def test_informative_field_signs(self, m, u):
+        field = FieldModel("f", exact, m=m, u=u)
+        # m > u: agreement is evidence for, disagreement against.
+        assert field.agreement_weight > 0
+        assert field.disagreement_weight < 0
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=5))
+    def test_weight_monotone_in_agreements(self, pattern):
+        fields = [
+            FieldModel(f"f{i}", exact, m=0.9, u=0.1)
+            for i in range(len(pattern))
+        ]
+        model = FellegiSunterModel(fields)
+        record_a = {f"f{i}": "x" for i in range(len(pattern))}
+        record_b = {
+            f"f{i}": ("x" if agrees else "y")
+            for i, agrees in enumerate(pattern)
+        }
+        record_all = dict(record_a)
+        assert model.weight(record_a, record_all) >= model.weight(
+            record_a, record_b
+        )

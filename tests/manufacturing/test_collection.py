@@ -1,0 +1,74 @@
+"""Unit tests for collection methods."""
+
+import pytest
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.collection import (
+    CollectionMethod,
+    STANDARD_METHODS,
+    standard_methods,
+)
+
+
+class TestCollectionMethod:
+    def test_validation(self):
+        with pytest.raises(ManufacturingError):
+            CollectionMethod("", 0.1)
+        with pytest.raises(ManufacturingError):
+            CollectionMethod("x", 1.5)
+
+    def test_zero_error_rate_identity(self):
+        method = CollectionMethod("perfect", 0.0)
+        for value in ("62 Lois Av", 700, 3.14):
+            captured, corrupted = method.capture(value)
+            assert captured == value
+            assert not corrupted
+
+    def test_full_error_rate_usually_corrupts(self):
+        method = CollectionMethod("terrible", 1.0, seed=1)
+        outcomes = [method.capture("62 Lois Av") for _ in range(30)]
+        assert sum(1 for _, corrupted in outcomes if corrupted) >= 25
+
+    def test_none_passthrough(self):
+        method = CollectionMethod("x", 1.0)
+        assert method.capture(None) == (None, False)
+
+    def test_degrade(self):
+        method = CollectionMethod("scanner", 0.01)
+        method.degrade(0.5)
+        assert method.error_rate == 0.5
+        with pytest.raises(ManufacturingError):
+            method.degrade(2.0)
+
+    def test_deterministic(self):
+        a = CollectionMethod("m", 0.5, seed=3)
+        b = CollectionMethod("m", 0.5, seed=3)
+        assert [a.capture("abcdef") for _ in range(10)] == [
+            b.capture("abcdef") for _ in range(10)
+        ]
+
+
+class TestStandardMethods:
+    def test_paper_mechanisms_present(self):
+        for name in (
+            "bar_code_scanner",
+            "information_service",
+            "over_the_phone",
+            "voice_decoder",
+        ):
+            assert name in STANDARD_METHODS
+
+    def test_error_rate_ordering(self):
+        methods = standard_methods()
+        assert (
+            methods["bar_code_scanner"].error_rate
+            < methods["information_service"].error_rate
+            < methods["over_the_phone"].error_rate
+            < methods["voice_decoder"].error_rate
+        )
+
+    def test_double_entry_squares_single(self):
+        methods = standard_methods()
+        single = methods["manual_entry"].error_rate
+        double = methods["double_entry_manual"].error_rate
+        assert double == pytest.approx(single**2)

@@ -1,0 +1,96 @@
+"""Unit tests for error injection."""
+
+import random
+
+import pytest
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.errorsim import (
+    blanking,
+    digit_slip,
+    dropped_character,
+    mixed_injector,
+    numeric_noise,
+    transposition,
+    typo,
+    unit_error,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestStringInjectors:
+    def test_typo_same_length(self, rng):
+        corrupted = typo(rng, "62 Lois Av")
+        assert len(corrupted) == len("62 Lois Av")
+
+    def test_typo_non_string_passthrough(self, rng):
+        assert typo(rng, 700) == 700
+
+    def test_transposition_permutes(self, rng):
+        value = "abcdef"
+        corrupted = transposition(rng, value)
+        assert sorted(corrupted) == sorted(value)
+        assert corrupted != value or True  # may swap equal chars
+
+    def test_transposition_short_passthrough(self, rng):
+        assert transposition(rng, "a") == "a"
+
+    def test_dropped_character(self, rng):
+        corrupted = dropped_character(rng, "abcdef")
+        assert len(corrupted) == 5
+
+    def test_dropped_short_passthrough(self, rng):
+        assert dropped_character(rng, "a") == "a"
+
+
+class TestNumericInjectors:
+    def test_numeric_noise_type_preserved(self, rng):
+        inject = numeric_noise(0.5)
+        assert isinstance(inject(rng, 100), int)
+        assert isinstance(inject(rng, 100.0), float)
+
+    def test_numeric_noise_bool_passthrough(self, rng):
+        assert numeric_noise()(rng, True) is True
+
+    def test_digit_slip_digit_count(self, rng):
+        corrupted = digit_slip(rng, 4004)
+        assert len(str(abs(corrupted))) <= 4
+
+    def test_digit_slip_sign_preserved(self, rng):
+        assert digit_slip(rng, -55) <= 0
+
+    def test_unit_error_scales(self, rng):
+        inject = unit_error(1000.0)
+        corrupted = inject(rng, 5.0)
+        assert corrupted in (5000.0, 0.005)
+
+    def test_unit_error_validates(self):
+        with pytest.raises(ManufacturingError):
+            unit_error(0)
+
+    def test_blanking(self, rng):
+        assert blanking(rng, "anything") is None
+
+
+class TestMixedInjector:
+    def test_dispatch_by_type(self, rng):
+        inject = mixed_injector()
+        assert isinstance(inject(rng, "hello"), str)
+        assert isinstance(inject(rng, 100), int)
+
+    def test_blank_probability(self):
+        inject = mixed_injector(blank_probability=1.0)
+        assert inject(random.Random(0), "x") is None
+
+    def test_blank_probability_bounds(self):
+        with pytest.raises(ManufacturingError):
+            mixed_injector(blank_probability=2.0)
+
+    def test_unknown_type_passthrough(self, rng):
+        inject = mixed_injector()
+        value = object()
+        assert inject(rng, value) is value

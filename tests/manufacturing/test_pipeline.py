@@ -1,0 +1,163 @@
+"""Unit tests for the manufacturing pipeline."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.collection import CollectionMethod
+from repro.manufacturing.generator import make_companies
+from repro.manufacturing.pipeline import ManufacturingPipeline, pipeline_tag_schema
+from repro.manufacturing.sources import DataSource
+from repro.manufacturing.world import AttributeSpec, World, integer_step
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def world():
+    w = World(
+        dt.date(1991, 1, 1),
+        make_companies(30, seed=4),
+        specs=[AttributeSpec("employees", 0.02, integer_step(20))],
+        seed=4,
+    )
+    w.advance(90)
+    return w
+
+
+@pytest.fixture
+def customer_schema_local():
+    return schema(
+        "customer",
+        [("co_name", "STR"), ("address", "STR"), ("employees", "INT")],
+        key=["co_name"],
+    )
+
+
+@pytest.fixture
+def pipeline(world, customer_schema_local):
+    p = ManufacturingPipeline(world, customer_schema_local, "co_name")
+    p.assign(
+        "address",
+        DataSource("acct'g", world, error_rate=0.05, seed=1),
+        CollectionMethod("manual_entry", 0.02, seed=1),
+    )
+    p.assign(
+        "employees",
+        DataSource("estimate", world, error_rate=0.4, latency_days=60, seed=2),
+        CollectionMethod("over_the_phone", 0.05, seed=2),
+    )
+    return p
+
+
+class TestRouting:
+    def test_key_column_not_routable(self, pipeline, world):
+        with pytest.raises(ManufacturingError):
+            pipeline.assign(
+                "co_name",
+                DataSource("x", world),
+                CollectionMethod("m", 0.0),
+            )
+
+    def test_unknown_attribute(self, pipeline, world):
+        with pytest.raises(Exception):
+            pipeline.assign(
+                "ghost", DataSource("x", world), CollectionMethod("m", 0.0)
+            )
+
+    def test_manufacture_requires_routes(self, world, customer_schema_local):
+        empty = ManufacturingPipeline(world, customer_schema_local, "co_name")
+        with pytest.raises(ManufacturingError):
+            empty.manufacture()
+
+
+class TestManufacture:
+    def test_all_entities_by_default(self, pipeline, world):
+        relation = pipeline.manufacture()
+        assert len(relation) == len(world.keys)
+
+    def test_subset_of_keys(self, pipeline, world):
+        keys = list(world.keys)[:5]
+        relation = pipeline.manufacture(keys=keys)
+        assert len(relation) == 5
+
+    def test_cells_fully_tagged(self, pipeline):
+        relation = pipeline.manufacture()
+        for row in relation:
+            for column in ("address", "employees"):
+                cell = row[column]
+                assert cell.has_tag("source")
+                assert cell.has_tag("creation_time")
+                assert cell.has_tag("collection_method")
+
+    def test_tags_reflect_routes(self, pipeline):
+        relation = pipeline.manufacture()
+        row = relation.rows[0]
+        assert row["address"].tag_value("source") == "acct'g"
+        assert row["employees"].tag_value("source") == "estimate"
+        assert row["employees"].tag_value("collection_method") == "over_the_phone"
+
+    def test_creation_time_reflects_latency(self, pipeline, world):
+        relation = pipeline.manufacture()
+        row = relation.rows[0]
+        assert row["employees"].tag_value(
+            "creation_time"
+        ) == world.today - dt.timedelta(days=60)
+
+    def test_unrouted_column_null(self, world, customer_schema_local):
+        p = ManufacturingPipeline(world, customer_schema_local, "co_name")
+        p.assign(
+            "address",
+            DataSource("s", world),
+            CollectionMethod("m", 0.0),
+        )
+        relation = p.manufacture()
+        assert all(row.value("employees") is None for row in relation)
+
+    def test_trail_records_every_step(self, pipeline, world):
+        pipeline.manufacture()
+        key = world.keys[0]
+        history = pipeline.trail.history_of("customer", (key,))
+        steps = [event.step for event in history]
+        assert steps.count("collected") == 2
+        assert steps.count("captured") == 2
+        assert steps.count("inserted") == 1
+
+
+class TestDefectStats:
+    def test_noisy_source_has_more_defects(self, pipeline):
+        pipeline.manufacture()
+        by_method = pipeline.defect_counts_by_method()
+        phone_defects, phone_n = by_method["over_the_phone"]
+        manual_defects, manual_n = by_method["manual_entry"]
+        assert phone_n == manual_n
+        assert phone_defects > manual_defects
+
+    def test_batch_counts(self, pipeline):
+        pipeline.manufacture()
+        counts, sizes = pipeline.defect_counts_by_batch(10)
+        assert all(size == 10 for size in sizes)
+        assert len(counts) == len(sizes)
+        assert sum(counts) <= sum(sizes)
+
+    def test_batch_size_validated(self, pipeline):
+        with pytest.raises(ManufacturingError):
+            pipeline.defect_counts_by_batch(0)
+
+
+class TestPipelineTagSchema:
+    def test_allows_pipeline_indicators(self):
+        ts = pipeline_tag_schema(["address"])
+        assert ts.allowed_for("address") == {
+            "source",
+            "creation_time",
+            "collection_method",
+        }
+
+    def test_extra_indicators(self):
+        from repro.tagging.indicators import IndicatorDefinition
+
+        ts = pipeline_tag_schema(
+            ["address"], [IndicatorDefinition("inspection")]
+        )
+        assert "inspection" in ts.indicator_names

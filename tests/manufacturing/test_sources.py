@@ -1,0 +1,81 @@
+"""Unit tests for data sources."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.sources import DataSource
+from repro.manufacturing.world import AttributeSpec, World, gaussian_drift
+
+
+@pytest.fixture
+def world():
+    w = World(
+        dt.date(1991, 1, 1),
+        {"A": {"price": 100.0}},
+        specs=[AttributeSpec("price", 1.0, gaussian_drift(0.10))],
+        seed=5,
+    )
+    w.advance(60)
+    return w
+
+
+class TestSourceValidation:
+    def test_parameter_bounds(self, world):
+        with pytest.raises(ManufacturingError):
+            DataSource("s", world, error_rate=1.5)
+        with pytest.raises(ManufacturingError):
+            DataSource("s", world, coverage=-0.1)
+        with pytest.raises(ManufacturingError):
+            DataSource("s", world, latency_days=-1)
+        with pytest.raises(ManufacturingError):
+            DataSource("", world)
+
+
+class TestObservation:
+    def test_perfect_source_reports_truth(self, world):
+        source = DataSource("oracle", world, error_rate=0.0, latency_days=0)
+        observation = source.observe("A", "price")
+        assert observation.value == world.truth_of("A")["price"]
+        assert not observation.erroneous
+
+    def test_latency_reports_old_truth(self, world):
+        source = DataSource("laggy", world, error_rate=0.0, latency_days=30)
+        observation = source.observe("A", "price")
+        expected_day = world.today - dt.timedelta(days=30)
+        assert observation.observed_day == expected_day
+        assert observation.value == world.value_as_of("A", "price", expected_day)
+        # Price drifts daily: the laggy value differs from current truth.
+        assert observation.value != world.truth_of("A")["price"]
+
+    def test_latency_clamped_to_start(self, world):
+        source = DataSource("ancient", world, latency_days=10_000)
+        observation = source.observe("A", "price")
+        assert observation.observed_day == world.start_day
+
+    def test_error_rate_one_corrupts(self, world):
+        source = DataSource("noisy", world, error_rate=1.0, seed=2)
+        observations = [source.observe("A", "price") for _ in range(20)]
+        corrupted = [o for o in observations if o.erroneous]
+        assert len(corrupted) >= 15  # a few injections may no-op
+
+    def test_zero_coverage_always_missing(self, world):
+        source = DataSource("blind", world, coverage=0.0)
+        observation = source.observe("A", "price")
+        assert observation.missing
+        assert observation.value is None
+
+    def test_deterministic_across_instances(self, world):
+        a = DataSource("s", world, error_rate=0.5, seed=9)
+        b = DataSource("s", world, error_rate=0.5, seed=9)
+        assert [a.observe("A", "price").value for _ in range(10)] == [
+            b.observe("A", "price").value for _ in range(10)
+        ]
+
+    def test_report_day_override(self, world):
+        source = DataSource("s", world, latency_days=0)
+        past = world.start_day + dt.timedelta(days=5)
+        observation = source.observe("A", "price", report_day=past)
+        assert observation.report_day == past
+        assert observation.value == world.value_as_of("A", "price", past)

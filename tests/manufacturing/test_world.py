@@ -1,0 +1,160 @@
+"""Unit tests for the ground-truth world."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ManufacturingError
+from repro.manufacturing.world import (
+    AttributeSpec,
+    World,
+    choice_replacement,
+    gaussian_drift,
+    integer_step,
+)
+
+
+@pytest.fixture
+def world():
+    return World(
+        dt.date(1991, 1, 1),
+        {
+            "A": {"price": 100.0, "name": "A Co"},
+            "B": {"price": 50.0, "name": "B Co"},
+        },
+        specs=[AttributeSpec("price", 1.0, gaussian_drift(0.05))],
+        seed=42,
+    )
+
+
+class TestWorldBasics:
+    def test_requires_entities(self):
+        with pytest.raises(ManufacturingError):
+            World(dt.date(1991, 1, 1), {})
+
+    def test_change_probability_bounds(self):
+        with pytest.raises(ManufacturingError):
+            AttributeSpec("a", 1.5, lambda rng, old: old)
+
+    def test_duplicate_spec_rejected(self):
+        with pytest.raises(ManufacturingError):
+            World(
+                dt.date(1991, 1, 1),
+                {"A": {"x": 1}},
+                specs=[
+                    AttributeSpec("x", 0.1, integer_step()),
+                    AttributeSpec("x", 0.2, integer_step()),
+                ],
+            )
+
+    def test_truth_is_copy(self, world):
+        snapshot = world.truth()
+        snapshot["A"]["price"] = -1
+        assert world.truth_of("A")["price"] != -1
+
+    def test_unknown_entity(self, world):
+        with pytest.raises(ManufacturingError):
+            world.truth_of("ghost")
+
+
+class TestAdvance:
+    def test_clock_moves(self, world):
+        world.advance(10)
+        assert world.today == dt.date(1991, 1, 11)
+
+    def test_negative_rejected(self, world):
+        with pytest.raises(ManufacturingError):
+            world.advance(-1)
+
+    def test_volatile_attributes_change(self, world):
+        before = world.truth_of("A")["price"]
+        changes = world.advance(5)
+        assert changes  # p=1.0 per day
+        assert world.truth_of("A")["price"] != before
+
+    def test_stable_attributes_fixed(self, world):
+        world.advance(30)
+        assert world.truth_of("A")["name"] == "A Co"
+
+    def test_determinism(self):
+        def build():
+            w = World(
+                dt.date(1991, 1, 1),
+                {"A": {"price": 100.0}},
+                specs=[AttributeSpec("price", 0.5, gaussian_drift())],
+                seed=7,
+            )
+            w.advance(30)
+            return w.truth_of("A")["price"]
+
+        assert build() == build()
+
+
+class TestHistoryQueries:
+    def test_truth_as_of_start(self, world):
+        world.advance(10)
+        original = world.truth_as_of(dt.date(1991, 1, 1))
+        assert original["A"]["price"] == 100.0
+
+    def test_truth_as_of_future_is_current(self, world):
+        world.advance(3)
+        assert world.truth_as_of(dt.date(1999, 1, 1)) == world.truth()
+
+    def test_truth_as_of_midpoint(self, world):
+        world.advance(2)
+        midpoint_price = world.truth_of("A")["price"]
+        midpoint_day = world.today
+        world.advance(5)
+        assert (
+            world.truth_as_of(midpoint_day)["A"]["price"] == midpoint_price
+        )
+
+    def test_value_as_of(self, world):
+        world.advance(3)
+        assert world.value_as_of("A", "name", dt.date(1991, 1, 2)) == "A Co"
+
+    def test_value_as_of_unknown_attribute(self, world):
+        with pytest.raises(ManufacturingError):
+            world.value_as_of("A", "ghost", world.today)
+
+    def test_changes_for(self, world):
+        world.advance(4)
+        changes = world.changes_for("A")
+        assert changes
+        assert all(record.key == "A" for record in changes)
+
+    def test_staleness(self, world):
+        observation_day = world.today
+        world.advance(2)  # price changes daily
+        assert world.staleness_of("A", "price", observation_day)
+        assert not world.staleness_of("A", "name", observation_day)
+
+
+class TestMutators:
+    def test_gaussian_drift_positive(self):
+        import random
+
+        mutate = gaussian_drift(0.5, minimum=0.01)
+        rng = random.Random(1)
+        value = 1.0
+        for _ in range(100):
+            value = mutate(rng, value)
+            assert value >= 0.01
+
+    def test_integer_step_floor(self):
+        import random
+
+        mutate = integer_step(10, minimum=0)
+        rng = random.Random(1)
+        assert all(mutate(rng, 3) >= 0 for _ in range(50))
+
+    def test_choice_replacement_changes_value(self):
+        import random
+
+        mutate = choice_replacement(["a", "b", "c"])
+        rng = random.Random(1)
+        assert all(mutate(rng, "a") != "a" for _ in range(20))
+
+    def test_choice_replacement_needs_pool(self):
+        with pytest.raises(ManufacturingError):
+            choice_replacement(["only"])

@@ -1,0 +1,85 @@
+"""Unit tests for the multi-database federation."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.polygen.federation import Federation
+from repro.relational.catalog import Database
+from repro.relational.schema import schema
+
+
+def _quote_db(name: str, rows):
+    db = Database(name)
+    db.create_relation(
+        schema("quotes", [("ticker", "STR"), ("price", "FLOAT")], key=["ticker"])
+    )
+    for ticker, price in rows:
+        db.insert("quotes", {"ticker": ticker, "price": price})
+    return db
+
+
+@pytest.fixture
+def federation():
+    fed = Federation("markets")
+    fed.register(_quote_db("reuters", [("FRT", 100.0), ("NUT", 50.0)]), 0.9)
+    fed.register(_quote_db("nexis", [("FRT", 101.0), ("NUT", 50.0)]), 0.5)
+    return fed
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, federation):
+        with pytest.raises(FederationError):
+            federation.register(_quote_db("reuters", []))
+
+    def test_lookup(self, federation):
+        assert federation.local("nexis").credibility == 0.5
+        with pytest.raises(FederationError):
+            federation.local("ghost")
+
+    def test_credibility_unknown_source(self, federation):
+        assert federation.credibility("ghost") == 0.0
+
+    def test_database_names_sorted(self, federation):
+        assert federation.database_names == ("nexis", "reuters")
+
+
+class TestExportAndUnion:
+    def test_export_tags_source(self, federation):
+        exported = federation.export("reuters", "quotes")
+        assert all(
+            cell.originating == {"reuters"}
+            for row in exported
+            for cell in row.cells
+        )
+
+    def test_union_all_merges_corroborated(self, federation):
+        merged = federation.union_all("quotes")
+        nut = next(r for r in merged if r.value("ticker") == "NUT")
+        assert nut["price"].originating == {"nexis", "reuters"}
+        # FRT prices conflict → two rows.
+        assert len(merged) == 3
+
+    def test_union_all_subset(self, federation):
+        merged = federation.union_all("quotes", databases=["reuters"])
+        assert merged.all_sources() == {"reuters"}
+
+    def test_union_all_empty_list(self, federation):
+        with pytest.raises(FederationError):
+            federation.union_all("quotes", databases=[])
+
+
+class TestConflictResolution:
+    def test_most_credible_wins(self, federation):
+        merged = federation.union_all("quotes")
+        resolved = federation.most_credible(merged, ["ticker"])
+        assert len(resolved) == 2
+        frt = next(r for r in resolved if r.value("ticker") == "FRT")
+        assert frt.value("price") == 100.0  # reuters (0.9) beats nexis (0.5)
+        assert "nexis" in frt["price"].intermediate
+
+    def test_provenance_report(self, federation):
+        merged = federation.union_all("quotes")
+        resolved = federation.most_credible(merged, ["ticker"])
+        report = federation.provenance_report(resolved)
+        assert report["reuters"]["originating"] == 4
+        assert report["nexis"]["intermediate"] >= 2

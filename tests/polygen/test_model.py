@@ -1,0 +1,105 @@
+"""Unit tests for polygen cells, rows, and relations."""
+
+import pytest
+
+from repro.errors import PolygenError, UnknownColumnError
+from repro.polygen.model import PolygenCell, PolygenRelation, PolygenRow
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def quote_schema():
+    return schema("quotes", [("ticker", "STR"), ("price", "FLOAT")])
+
+
+class TestPolygenCell:
+    def test_defaults(self):
+        cell = PolygenCell(700)
+        assert cell.originating == frozenset()
+        assert cell.intermediate == frozenset()
+
+    def test_with_intermediate_unions(self):
+        cell = PolygenCell(1, originating={"a"})
+        extended = cell.with_intermediate({"b", "c"})
+        assert extended.intermediate == {"b", "c"}
+        assert cell.intermediate == frozenset()  # original untouched
+
+    def test_with_intermediate_noop_returns_self(self):
+        cell = PolygenCell(1, intermediate={"b"})
+        assert cell.with_intermediate({"b"}) is cell
+
+    def test_merged_with_unions_sources(self):
+        a = PolygenCell(1, originating={"x"})
+        b = PolygenCell(1, originating={"y"}, intermediate={"z"})
+        merged = a.merged_with(b)
+        assert merged.originating == {"x", "y"}
+        assert merged.intermediate == {"z"}
+
+    def test_merged_with_different_values_rejected(self):
+        with pytest.raises(PolygenError):
+            PolygenCell(1).merged_with(PolygenCell(2))
+
+    def test_all_sources(self):
+        cell = PolygenCell(1, originating={"a"}, intermediate={"b"})
+        assert cell.all_sources == {"a", "b"}
+
+    def test_render(self):
+        assert PolygenCell(700, originating={"db1"}).render() == "700 {db1}"
+        both = PolygenCell(700, originating={"db1"}, intermediate={"db2"})
+        assert both.render() == "700 {db1 | db2}"
+
+    def test_hashable(self):
+        assert len({PolygenCell(1, {"a"}), PolygenCell(1, {"a"})}) == 1
+
+
+class TestPolygenRow:
+    def test_access(self, quote_schema):
+        row = PolygenRow(
+            quote_schema,
+            {"ticker": PolygenCell("FRT", {"db1"}), "price": 10.0},
+        )
+        assert row.value("ticker") == "FRT"
+        assert row["ticker"].originating == {"db1"}
+        assert row["price"].originating == frozenset()
+
+    def test_unknown_column(self, quote_schema):
+        with pytest.raises(UnknownColumnError):
+            PolygenRow(quote_schema, {"bogus": 1})
+
+    def test_row_sources(self, quote_schema):
+        row = PolygenRow(
+            quote_schema,
+            {
+                "ticker": PolygenCell("FRT", {"a"}),
+                "price": PolygenCell(1.0, {"b"}, {"c"}),
+            },
+        )
+        assert row.row_sources() == {"a", "b", "c"}
+
+    def test_with_intermediate_all_cells(self, quote_schema):
+        row = PolygenRow(
+            quote_schema, {"ticker": PolygenCell("FRT", {"a"}), "price": 1.0}
+        )
+        extended = row.with_intermediate({"z"})
+        assert all(cell.intermediate == {"z"} for cell in extended.cells)
+
+
+class TestPolygenRelation:
+    def test_from_relation_tags_all_cells(self, quote_schema):
+        plain = Relation.from_tuples(quote_schema, [("FRT", 10.0)])
+        tagged = PolygenRelation.from_relation(plain, "db1")
+        assert tagged.rows[0]["price"].originating == {"db1"}
+
+    def test_all_sources(self, quote_schema):
+        rel = PolygenRelation(quote_schema)
+        rel.insert({"ticker": PolygenCell("A", {"x"}), "price": 1.0})
+        rel.insert({"ticker": PolygenCell("B", {"y"}, {"z"}), "price": 2.0})
+        assert rel.all_sources() == {"x", "y", "z"}
+
+    def test_render(self, quote_schema):
+        rel = PolygenRelation(quote_schema)
+        rel.insert({"ticker": PolygenCell("A", {"x"}), "price": 1.0})
+        text = rel.render(title="quotes")
+        assert "A {x}" in text
+        assert "1.0 {-}" in text

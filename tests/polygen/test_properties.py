@@ -1,0 +1,103 @@
+"""Property-based tests for polygen source-propagation invariants.
+
+Core invariants from the polygen model:
+
+1. operators never invent sources — every source in the output appears
+   somewhere in the inputs;
+2. originating sources of an output cell are exactly those of the input
+   cell it derives from (only union merges them);
+3. operators only ever *add* intermediate sources, never remove them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polygen import algebra
+from repro.polygen.model import PolygenCell, PolygenRelation
+from repro.relational.schema import schema
+
+DB_NAMES = st.sets(
+    st.sampled_from(["db1", "db2", "db3", "db4"]), min_size=0, max_size=3
+)
+VALUES = st.integers(min_value=0, max_value=20)
+
+
+@st.composite
+def polygen_relations(draw, max_rows: int = 8) -> PolygenRelation:
+    rel = PolygenRelation(schema("t", [("k", "INT"), ("v", "INT")]))
+    rows = draw(
+        st.lists(
+            st.tuples(VALUES, VALUES, DB_NAMES, DB_NAMES),
+            max_size=max_rows,
+        )
+    )
+    for k, v, orig, inter in rows:
+        rel.insert(
+            {
+                "k": PolygenCell(k, orig, inter),
+                "v": PolygenCell(v, orig, inter),
+            }
+        )
+    return rel
+
+
+def all_sources(rel: PolygenRelation) -> frozenset:
+    return rel.all_sources()
+
+
+class TestNoInventedSources:
+    @given(polygen_relations())
+    def test_select(self, rel):
+        result = algebra.select(
+            rel, lambda r: r.value("v") % 2 == 0, using=["v"]
+        )
+        assert all_sources(result) <= all_sources(rel)
+
+    @given(polygen_relations())
+    def test_project(self, rel):
+        assert all_sources(algebra.project(rel, ["v"])) <= all_sources(rel)
+
+    @given(polygen_relations(), polygen_relations())
+    def test_union(self, a, b):
+        assert all_sources(algebra.union(a, b)) <= all_sources(a) | all_sources(b)
+
+    @settings(max_examples=30)
+    @given(polygen_relations(max_rows=5), polygen_relations(max_rows=5))
+    def test_join(self, a, b):
+        b_renamed = algebra.rename(b, {"k": "k2", "v": "v2"}, new_name="u")
+        joined = algebra.equi_join(a, b_renamed, on=[("v", "v2")])
+        assert all_sources(joined) <= all_sources(a) | all_sources(b)
+
+
+class TestIntermediateMonotonicity:
+    @given(polygen_relations())
+    def test_select_only_adds_intermediate(self, rel):
+        result = algebra.select(rel, lambda r: True, using=["k"])
+        for in_row, out_row in zip(rel, result):
+            for column in ("k", "v"):
+                assert in_row[column].intermediate <= out_row[column].intermediate
+                assert in_row[column].originating == out_row[column].originating
+
+    @given(polygen_relations())
+    def test_select_intermediate_is_examined_union(self, rel):
+        result = algebra.select(rel, lambda r: True, using=["k"])
+        for in_row, out_row in zip(rel, result):
+            expected = in_row["v"].intermediate | in_row["k"].originating
+            assert out_row["v"].intermediate == expected
+
+
+class TestUnionMergesDuplicates:
+    @given(polygen_relations())
+    def test_union_with_self_is_distinct(self, rel):
+        merged = algebra.union(rel, rel)
+        values = [row.values_tuple() for row in merged]
+        assert len(values) == len(set(values))
+
+    @given(polygen_relations())
+    def test_union_preserves_value_set(self, rel):
+        merged = algebra.union(rel, rel)
+        assert {row.values_tuple() for row in merged} == {
+            row.values_tuple() for row in rel
+        }

@@ -1,0 +1,134 @@
+"""Unit tests for the polygen fluent query API."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.polygen.model import PolygenCell, PolygenRelation
+from repro.polygen.query import PolygenQuery
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def quotes():
+    rel = PolygenRelation(
+        schema("quotes", [("ticker", "STR"), ("price", "FLOAT")])
+    )
+    rel.insert(
+        {
+            "ticker": PolygenCell("FRT", {"reuters"}),
+            "price": PolygenCell(100.0, {"reuters"}),
+        }
+    )
+    rel.insert(
+        {
+            "ticker": PolygenCell("NUT", {"reuters", "nexis"}),
+            "price": PolygenCell(50.0, {"reuters", "nexis"}),
+        }
+    )
+    rel.insert(
+        {
+            "ticker": PolygenCell("ZZZ", {"branch_fax"}, {"nexis"}),
+            "price": PolygenCell(1.0, {"branch_fax"}, {"nexis"}),
+        }
+    )
+    return rel
+
+
+class TestValuePredicates:
+    def test_where_value_propagates_sources(self, quotes):
+        result = PolygenQuery(quotes).where_value("price", ">", 10).run()
+        assert len(result) == 2
+        # The price column was examined: its sources become intermediate.
+        for row in result:
+            assert row["ticker"].intermediate >= row["price"].originating
+
+    def test_where_custom_using(self, quotes):
+        result = (
+            PolygenQuery(quotes)
+            .where(lambda row: row.value("ticker") != "ZZZ", using=["ticker"])
+            .run()
+        )
+        assert len(result) == 2
+
+    def test_unknown_operator(self, quotes):
+        with pytest.raises(QueryError):
+            PolygenQuery(quotes).where_value("price", "~", 1)
+
+
+class TestProvenancePredicates:
+    def test_includes(self, quotes):
+        result = (
+            PolygenQuery(quotes).where_origin("price", includes="nexis").run()
+        )
+        assert [row.value("ticker") for row in result] == ["NUT"]
+
+    def test_excludes(self, quotes):
+        result = (
+            PolygenQuery(quotes)
+            .where_origin("price", excludes="branch_fax")
+            .run()
+        )
+        assert len(result) == 2
+
+    def test_only(self, quotes):
+        result = (
+            PolygenQuery(quotes)
+            .where_origin("price", only={"reuters"})
+            .run()
+        )
+        assert [row.value("ticker") for row in result] == ["FRT"]
+
+    def test_requires_a_constraint(self, quotes):
+        with pytest.raises(QueryError):
+            PolygenQuery(quotes).where_origin("price")
+
+    def test_provenance_reads_do_not_propagate(self, quotes):
+        result = (
+            PolygenQuery(quotes).where_origin("price", includes="reuters").run()
+        )
+        frt = next(r for r in result if r.value("ticker") == "FRT")
+        assert frt["price"].intermediate == frozenset()
+
+    def test_untouched_by(self, quotes):
+        # ZZZ has nexis as an *intermediate* source; NUT has it as an
+        # originating source; both must be quarantined.
+        result = PolygenQuery(quotes).where_untouched_by("nexis").run()
+        assert [row.value("ticker") for row in result] == ["FRT"]
+
+
+class TestShapeOperations:
+    def test_select(self, quotes):
+        result = PolygenQuery(quotes).select("price").run()
+        assert result.schema.column_names == ("price",)
+        assert result.rows[1]["price"].originating == {"reuters", "nexis"}
+
+    def test_select_requires_columns(self, quotes):
+        with pytest.raises(QueryError):
+            PolygenQuery(quotes).select()
+
+    def test_join(self, quotes):
+        reports = PolygenRelation(
+            schema("reports", [("symbol", "STR"), ("analyst", "STR")])
+        )
+        reports.insert(
+            {
+                "symbol": PolygenCell("FRT", {"research"}),
+                "analyst": PolygenCell("kim", {"research"}),
+            }
+        )
+        result = (
+            PolygenQuery(quotes).join(reports, on=[("ticker", "symbol")]).run()
+        )
+        assert len(result) == 1
+        assert "research" in result.rows[0]["price"].intermediate
+
+    def test_union_dedups(self, quotes):
+        result = PolygenQuery(quotes).union(quotes).run()
+        assert len(result) == 3
+
+    def test_immutability_and_values(self, quotes):
+        base = PolygenQuery(quotes)
+        filtered = base.where_value("price", ">", 10)
+        assert base.count() == 3
+        assert filtered.count() == 2
+        assert {v["ticker"] for v in filtered.values()} == {"FRT", "NUT"}

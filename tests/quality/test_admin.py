@@ -1,0 +1,168 @@
+"""Unit tests for the data quality administrator."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import ApplicationView, IndicatorAnnotation, QualitySchema
+from repro.experiments.scenarios import run_trading_methodology
+from repro.quality.admin import DataQualityAdministrator
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def quality_schema(trading_er):
+    return QualitySchema(
+        ApplicationView(trading_er),
+        [
+            IndicatorAnnotation(
+                ("company_stock", "share_price"),
+                QualityIndicatorSpec("creation_time", "DATE"),
+                derived_from=("timeliness",),
+            ),
+            IndicatorAnnotation(
+                ("company_stock", "research_report"),
+                QualityIndicatorSpec("analyst_name"),
+                mandatory=False,
+            ),
+        ],
+    )
+
+
+def _stock_relation(tag_creation_time: bool):
+    ts = TagSchema(
+        indicators=[
+            IndicatorDefinition("creation_time", "DATE"),
+            IndicatorDefinition("analyst_name"),
+        ],
+        allowed={
+            "share_price": ["creation_time"],
+            "research_report": ["analyst_name"],
+        },
+    )
+    rel = TaggedRelation(
+        schema(
+            "company_stock",
+            [
+                ("ticker_symbol", "STR"),
+                ("share_price", "FLOAT"),
+                ("research_report", "STR"),
+            ],
+            key=["ticker_symbol"],
+        ),
+        ts,
+    )
+    price_tags = (
+        [IndicatorValue("creation_time", dt.date(1991, 10, 1))]
+        if tag_creation_time
+        else []
+    )
+    rel.insert(
+        {
+            "ticker_symbol": "FRT",
+            "share_price": QualityCell(100.0, price_tags),
+            "research_report": "buy",
+        }
+    )
+    return rel
+
+
+class TestMonitoring:
+    def test_conforming_data_passes(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        report = admin.monitor(
+            {"company_stock": _stock_relation(tag_creation_time=True)}
+        )
+        assert report.conforms
+        assert report.violations == []
+
+    def test_missing_required_tag_violates(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        report = admin.monitor(
+            {"company_stock": _stock_relation(tag_creation_time=False)}
+        )
+        assert not report.conforms
+        violation = report.violations[0]
+        assert violation.indicator == "creation_time"
+        assert violation.coverage == 0.0
+        assert report.notes
+
+    def test_optional_tag_never_violates(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        report = admin.monitor(
+            {"company_stock": _stock_relation(tag_creation_time=True)}
+        )
+        optional = [f for f in report.findings if not f.mandatory]
+        assert optional and all(not f.violated for f in optional)
+
+    def test_assessments_included(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        report = admin.monitor(
+            {"company_stock": _stock_relation(True)},
+            today=dt.date(1991, 11, 1),
+        )
+        assessment = report.assessments["company_stock"]
+        assert assessment.column("share_price").mean_age_days == 31.0
+
+    def test_render(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        report = admin.monitor({"company_stock": _stock_relation(False)})
+        text = report.render()
+        assert "FAIL" in text
+        assert "VIOLATED" in text
+
+
+class TestAdminWithMethodologyOutput:
+    def test_end_to_end_schema_feeds_admin(self):
+        modeling = run_trading_methodology()
+        admin = DataQualityAdministrator(modeling.quality_schema)
+        # Build a conforming company_stock relation from the derived
+        # tag schema.
+        tag_schema = modeling.quality_schema.tag_schema_for("company_stock")
+        rel = TaggedRelation(
+            schema(
+                "company_stock",
+                [
+                    ("ticker_symbol", "STR"),
+                    ("share_price", "FLOAT"),
+                    ("research_report", "STR"),
+                ],
+                key=["ticker_symbol"],
+            ),
+            tag_schema,
+        )
+        rel.insert(
+            {
+                "ticker_symbol": "FRT",
+                "share_price": QualityCell(
+                    100.0, [IndicatorValue("age", 0.5)]
+                ),
+                "research_report": QualityCell(
+                    "strong buy",
+                    [
+                        IndicatorValue("analyst_name", "kim"),
+                        IndicatorValue("price", 500.0),
+                        IndicatorValue("media", "ASCII"),
+                    ],
+                ),
+            }
+        )
+        report = admin.monitor({"company_stock": rel})
+        assert report.conforms
+
+
+class TestExceptionTracking:
+    def test_trace_delegates_to_trail(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        admin.trail.record("collected", "company_stock", ("FRT",), actor="feed")
+        trace = admin.trace("company_stock", ("FRT",))
+        assert trace["steps"] == ["collected"]
+
+    def test_defect_chart(self, quality_schema):
+        admin = DataQualityAdministrator(quality_schema)
+        chart = admin.defect_chart([1, 1, 9], [50, 50, 50], baseline_samples=2)
+        assert chart.first_signal_index() == 2

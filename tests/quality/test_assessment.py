@@ -1,0 +1,68 @@
+"""Unit tests for quality assessment."""
+
+import datetime as dt
+
+import pytest
+
+from repro.quality.assessment import assess, assess_many
+
+
+class TestAssess:
+    def test_completeness_per_column(self, tagged_customers):
+        assessment = assess(tagged_customers)
+        assert assessment.column("address").completeness == 1.0
+        assert assessment.row_count == 2
+
+    def test_tag_coverage_reported(self, tagged_customers):
+        assessment = assess(tagged_customers)
+        assert assessment.column("address").tag_coverage["source"] == 1.0
+        assert assessment.column("co_name").tag_coverage == {}
+
+    def test_age_from_creation_time(self, tagged_customers):
+        assessment = assess(tagged_customers, today=dt.date(1991, 11, 1))
+        address = assessment.column("address")
+        # Fruit Co address created 1-2-91 (303 days), Nut Co 10-24-91 (8 days).
+        assert address.mean_age_days == pytest.approx((303 + 8) / 2)
+
+    def test_currency_shelf_life(self, tagged_customers):
+        fresh = assess(
+            tagged_customers, today=dt.date(1991, 11, 1), shelf_life_days=10000
+        )
+        stale = assess(
+            tagged_customers, today=dt.date(1991, 11, 1), shelf_life_days=30
+        )
+        assert (
+            fresh.column("address").mean_currency
+            > stale.column("address").mean_currency
+        )
+
+    def test_no_today_no_age(self, tagged_customers):
+        assessment = assess(tagged_customers)
+        assert assessment.column("address").mean_age_days is None
+
+    def test_accuracy_with_truth(self, tagged_customers):
+        truth = {
+            "Fruit Co": {"address": "12 Jay St", "employees": 9999},
+            "Nut Co": {"address": "62 Lois Av", "employees": 700},
+        }
+        assessment = assess(
+            tagged_customers, truth=truth, key_column="co_name"
+        )
+        assert assessment.column("address").accuracy == 1.0
+        assert assessment.column("employees").accuracy == 0.5
+
+    def test_overall_completeness(self, tagged_customers):
+        assert assess(tagged_customers).overall_completeness() == 1.0
+
+    def test_render(self, tagged_customers):
+        text = assess(tagged_customers, today=dt.date(1991, 11, 1)).render()
+        assert "Quality assessment: customer (2 rows)" in text
+        assert "completeness=1.000" in text
+        assert "tagged[source]=1.00" in text
+
+
+class TestAssessMany:
+    def test_assesses_all(self, tagged_customers):
+        results = assess_many({"a": tagged_customers, "b": tagged_customers})
+        assert set(results) == {"a", "b"}
+        assert all(r.row_count == 2 for r in results.values())

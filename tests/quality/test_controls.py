@@ -1,0 +1,109 @@
+"""Unit tests for data-entry controls."""
+
+import pytest
+
+from repro.errors import InspectionError
+from repro.quality.controls import (
+    CrossFieldRule,
+    EntryController,
+    MembershipRule,
+    PatternRule,
+    RangeRule,
+    RequiredFieldRule,
+)
+
+
+class TestRules:
+    def test_required(self):
+        rule = RequiredFieldRule("req", ["name", "phone"])
+        violations = rule.check({"name": "x", "phone": None})
+        assert len(violations) == 1
+        assert violations[0].field == "phone"
+
+    def test_range_bounds(self):
+        rule = RangeRule("emp", "employees", low=0, high=1_000_000)
+        assert rule.check({"employees": 500}) == []
+        assert rule.check({"employees": -1})[0].message.startswith("value")
+        assert rule.check({"employees": 2_000_000}) != []
+
+    def test_range_none_passes(self):
+        # Missingness is RequiredFieldRule's job, not RangeRule's.
+        assert RangeRule("r", "v", low=0).check({"v": None}) == []
+
+    def test_range_non_numeric(self):
+        assert RangeRule("r", "v", low=0).check({"v": "abc"}) != []
+
+    def test_range_needs_a_bound(self):
+        with pytest.raises(InspectionError):
+            RangeRule("r", "v")
+
+    def test_pattern(self):
+        rule = PatternRule("phone", "telephone", r"\d{3}-\d{3}-\d{4}")
+        assert rule.check({"telephone": "617-555-1234"}) == []
+        assert rule.check({"telephone": "5551234"}) != []
+
+    def test_membership(self):
+        rule = MembershipRule("method", "collection", {"phone", "scanner"})
+        assert rule.check({"collection": "phone"}) == []
+        assert rule.check({"collection": "carrier pigeon"}) != []
+
+    def test_cross_field(self):
+        rule = CrossFieldRule(
+            "trade_value",
+            lambda r: r["quantity"] * r["price"] <= 1_000_000,
+            "trade too large",
+        )
+        assert rule.check({"quantity": 10, "price": 5.0}) == []
+        assert rule.check({"quantity": 10**6, "price": 5.0}) != []
+
+    def test_cross_field_unevaluable(self):
+        rule = CrossFieldRule("r", lambda r: r["missing"] > 0, "nope")
+        violations = rule.check({})
+        assert "not evaluable" in violations[0].message
+
+
+class TestEntryController:
+    @pytest.fixture
+    def controller(self):
+        return EntryController(
+            [
+                RequiredFieldRule("req", ["co_name"]),
+                RangeRule("emp", "employees", low=1),
+            ]
+        )
+
+    def test_accepts_clean(self, controller):
+        accepted, violations = controller.submit(
+            {"co_name": "Fruit Co", "employees": 4004}
+        )
+        assert accepted and violations == []
+
+    def test_rejects_dirty(self, controller):
+        accepted, violations = controller.submit({"employees": 0})
+        assert not accepted
+        assert {v.rule for v in violations} == {"req", "emp"}
+
+    def test_rejection_rate(self, controller):
+        controller.submit({"co_name": "A", "employees": 1})
+        controller.submit({"co_name": None, "employees": 1})
+        assert controller.rejection_rate == 0.5
+
+    def test_rejection_rate_empty(self, controller):
+        assert controller.rejection_rate == 0.0
+
+    def test_violation_counts(self, controller):
+        controller.submit({"employees": -5})
+        controller.submit({"employees": -5})
+        counts = controller.violation_counts()
+        assert counts == {"req": 2, "emp": 2}
+
+    def test_duplicate_rule_name(self, controller):
+        with pytest.raises(InspectionError):
+            controller.add_rule(RequiredFieldRule("req", ["x"]))
+
+    def test_report(self, controller):
+        controller.submit({"co_name": "A", "employees": 1})
+        controller.submit({})
+        text = controller.report()
+        assert "2 submissions" in text
+        assert "rule 'req'" in text

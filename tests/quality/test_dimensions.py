@@ -1,0 +1,190 @@
+"""Unit tests for the dimension metrics."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import AssessmentError
+from repro.quality.dimensions import (
+    accuracy_against,
+    age_in_days,
+    completeness,
+    consistency_rate,
+    currency_score,
+    functional_dependency_rate,
+    overall_accuracy,
+    population_completeness,
+    timeliness_score,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+
+class TestTimeMetrics:
+    def test_age_in_days(self):
+        assert age_in_days(dt.date(1991, 10, 24), dt.date(1991, 10, 31)) == 7.0
+
+    def test_age_mixed_types(self):
+        assert (
+            age_in_days(dt.date(1991, 1, 1), dt.datetime(1991, 1, 2, 12)) == 1.5
+        )
+
+    def test_age_rejects_non_dates(self):
+        with pytest.raises(AssessmentError):
+            age_in_days("1991-01-01", dt.date(1991, 1, 2))
+
+    def test_currency_fresh(self):
+        today = dt.date(1991, 6, 1)
+        assert currency_score(today, today, 100) == 1.0
+
+    def test_currency_expired(self):
+        assert (
+            currency_score(dt.date(1990, 1, 1), dt.date(1991, 1, 1), 100) == 0.0
+        )
+
+    def test_currency_linear(self):
+        score = currency_score(dt.date(1991, 1, 1), dt.date(1991, 1, 11), 100)
+        assert score == pytest.approx(0.9)
+
+    def test_currency_future_clamped(self):
+        assert (
+            currency_score(dt.date(1991, 2, 1), dt.date(1991, 1, 1), 100) == 1.0
+        )
+
+    def test_currency_requires_positive_shelf_life(self):
+        with pytest.raises(AssessmentError):
+            currency_score(dt.date(1991, 1, 1), dt.date(1991, 1, 2), 0)
+
+    def test_timeliness_deadline(self):
+        created = dt.date(1991, 1, 1)
+        today = dt.date(1991, 1, 20)
+        assert timeliness_score(created, today, 100, needed_by_days=10) == 0.0
+        assert timeliness_score(created, today, 100, needed_by_days=30) > 0.0
+
+
+class TestCompleteness:
+    @pytest.fixture
+    def holey(self):
+        return Relation.from_dicts(
+            schema("t", [("a", "INT"), ("b", "STR")]),
+            [
+                {"a": 1, "b": "x"},
+                {"a": None, "b": "y"},
+                {"a": 3, "b": None},
+                {"a": None, "b": None},
+            ],
+        )
+
+    def test_overall(self, holey):
+        assert completeness(holey) == pytest.approx(0.5)
+
+    def test_per_column(self, holey):
+        assert completeness(holey, ["a"]) == pytest.approx(0.5)
+        assert completeness(holey, ["b"]) == pytest.approx(0.5)
+
+    def test_empty_relation_vacuous(self):
+        empty = Relation(schema("t", [("a", "INT")]))
+        assert completeness(empty) == 1.0
+
+    def test_works_on_tagged(self, tagged_customers):
+        assert completeness(tagged_customers) == 1.0
+
+    def test_population(self, holey):
+        rate = population_completeness(holey, [1, 3, 99], "a")
+        assert rate == pytest.approx(2 / 3)
+
+    def test_population_empty_reference(self, holey):
+        assert population_completeness(holey, [], "a") == 1.0
+
+
+class TestAccuracy:
+    @pytest.fixture
+    def observed(self):
+        return Relation.from_dicts(
+            schema("t", [("k", "STR"), ("v", "INT"), ("w", "STR")]),
+            [
+                {"k": "a", "v": 10, "w": "right"},
+                {"k": "b", "v": 99, "w": "right"},
+                {"k": "c", "v": 30, "w": "wrong"},
+                {"k": "zzz", "v": 1, "w": "?"},  # not in truth: skipped
+            ],
+        )
+
+    @pytest.fixture
+    def truth(self):
+        return {
+            "a": {"v": 10, "w": "right"},
+            "b": {"v": 20, "w": "right"},
+            "c": {"v": 30, "w": "right"},
+        }
+
+    def test_per_column(self, observed, truth):
+        accuracy = accuracy_against(observed, truth, "k")
+        assert accuracy["v"] == pytest.approx(2 / 3)
+        assert accuracy["w"] == pytest.approx(2 / 3)
+
+    def test_tolerance(self, observed, truth):
+        loose = accuracy_against(observed, truth, "k", tolerance=5.0)
+        assert loose["v"] == 1.0
+
+    def test_none_matching(self):
+        rel = Relation.from_dicts(
+            schema("t", [("k", "STR"), ("v", "INT")]), [{"k": "a", "v": None}]
+        )
+        accuracy = accuracy_against(rel, {"a": {"v": None}}, "k")
+        assert accuracy["v"] == 1.0
+
+    def test_vacuous_is_one(self, observed):
+        accuracy = accuracy_against(observed, {}, "k")
+        assert accuracy["v"] == 1.0
+
+    def test_overall_mean(self):
+        assert overall_accuracy({"a": 1.0, "b": 0.5}) == 0.75
+        assert overall_accuracy({}) == 1.0
+
+    def test_works_on_tagged(self, tagged_customers):
+        truth = {
+            "Fruit Co": {"employees": 4004},
+            "Nut Co": {"employees": 700},
+        }
+        accuracy = accuracy_against(
+            tagged_customers, truth, "co_name", columns=["employees"]
+        )
+        assert accuracy["employees"] == 1.0
+
+
+class TestConsistency:
+    def test_rule_rate(self):
+        rel = Relation.from_dicts(
+            schema("t", [("low", "INT"), ("high", "INT")]),
+            [
+                {"low": 1, "high": 2},
+                {"low": 5, "high": 3},
+            ],
+        )
+        rate = consistency_rate(rel, lambda row: row["low"] <= row["high"])
+        assert rate == 0.5
+
+    def test_empty_vacuous(self):
+        empty = Relation(schema("t", [("a", "INT")]))
+        assert consistency_rate(empty, lambda row: False) == 1.0
+
+    def test_functional_dependency(self):
+        rel = Relation.from_dicts(
+            schema("t", [("zip", "STR"), ("city", "STR")]),
+            [
+                {"zip": "02139", "city": "Cambridge"},
+                {"zip": "02139", "city": "Cambridge"},
+                {"zip": "02140", "city": "Cambridge"},
+                {"zip": "02139", "city": "Boston"},  # violates zip→city
+            ],
+        )
+        rate = functional_dependency_rate(rel, ["zip"], "city")
+        assert rate == pytest.approx(0.25)
+
+    def test_fd_clean(self):
+        rel = Relation.from_dicts(
+            schema("t", [("zip", "STR"), ("city", "STR")]),
+            [{"zip": "02139", "city": "Cambridge"}],
+        )
+        assert functional_dependency_rate(rel, ["zip"], "city") == 1.0

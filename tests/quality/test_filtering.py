@@ -1,0 +1,106 @@
+"""Unit tests for graded retrieval and the yield/quality trade-off."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.scenarios import clearinghouse
+from repro.quality.filtering import graded_retrieval, yield_quality_tradeoff
+from repro.tagging.query import IndicatorConstraint, QualityFilter
+
+
+@pytest.fixture(scope="module")
+def clearing():
+    return clearinghouse(n_people=150, seed=5, simulated_days=200)
+
+
+class TestGradedRetrieval:
+    def test_unconstrained_full_yield(self, clearing):
+        world, _, relation, registry = clearing
+        _, outcome = graded_retrieval(
+            relation, registry.get("mass_mailing").quality_filter
+        )
+        assert outcome.yield_fraction == 1.0
+        assert outcome.output_rows == len(relation)
+
+    def test_constrained_reduces_yield(self, clearing):
+        world, _, relation, registry = clearing
+        _, outcome = graded_retrieval(
+            relation, registry.get("fund_raising").quality_filter
+        )
+        assert 0.0 < outcome.yield_fraction < 1.0
+
+    def test_accuracy_measured(self, clearing):
+        world, _, relation, registry = clearing
+        _, outcome = graded_retrieval(
+            relation,
+            registry.get("fund_raising").quality_filter,
+            truth=world.truth(),
+            key_column="person_id",
+        )
+        assert outcome.delivered_accuracy is not None
+        assert 0.0 <= outcome.delivered_accuracy <= 1.0
+
+    def test_mean_age_measured(self, clearing):
+        world, _, relation, registry = clearing
+        _, outcome = graded_retrieval(
+            relation,
+            registry.get("mass_mailing").quality_filter,
+            today=world.today,
+            age_columns=["address"],
+        )
+        assert outcome.mean_age_days is not None and outcome.mean_age_days > 0
+
+    def test_summary_text(self, clearing):
+        world, _, relation, registry = clearing
+        _, outcome = graded_retrieval(
+            relation, registry.get("fund_raising").quality_filter
+        )
+        assert "fund_raising" in outcome.summary()
+        assert "yield=" in outcome.summary()
+
+
+class TestTradeoffShape:
+    def test_paper_shape(self, clearing):
+        """The §4 claim: constraining indicators raises delivered
+        accuracy and freshness at the cost of yield."""
+        world, _, relation, registry = clearing
+        outcomes = yield_quality_tradeoff(
+            relation,
+            [
+                registry.get("mass_mailing").quality_filter,
+                registry.get("fund_raising").quality_filter,
+            ],
+            truth=world.truth(),
+            key_column="person_id",
+            today=world.today,
+            age_columns=["address"],
+        )
+        mass, fund = outcomes
+        assert fund.yield_fraction < mass.yield_fraction
+        assert fund.delivered_accuracy > mass.delivered_accuracy
+        assert fund.mean_age_days < mass.mean_age_days
+
+    def test_monotone_with_strictness(self, clearing):
+        world, _, relation, registry = clearing
+        cutoffs = [
+            world.today - dt.timedelta(days=days) for days in (365, 120, 30)
+        ]
+        filters = [
+            QualityFilter(
+                [IndicatorConstraint("address", "creation_time", ">=", cutoff)],
+                name=f"fresh_{i}",
+            )
+            for i, cutoff in enumerate(cutoffs)
+        ]
+        outcomes = yield_quality_tradeoff(relation, filters)
+        yields = [o.yield_fraction for o in outcomes]
+        assert yields == sorted(yields, reverse=True)
+
+    def test_empty_input(self, clearing):
+        _, _, relation, registry = clearing
+        empty = relation.empty_like()
+        _, outcome = graded_retrieval(
+            empty, registry.get("mass_mailing").quality_filter
+        )
+        assert outcome.yield_fraction == 0.0

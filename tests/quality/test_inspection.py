@@ -1,0 +1,111 @@
+"""Unit tests for inspection mechanisms."""
+
+import pytest
+
+from repro.errors import InspectionError
+from repro.quality.inspection import (
+    CertificationLog,
+    DoubleEntry,
+    PeriodicInspectionPrompt,
+)
+
+
+class TestDoubleEntry:
+    def test_agreement(self):
+        de = DoubleEntry()
+        de.enter(("Nut Co",), "employees", 700, "alice")
+        de.enter(("Nut Co",), "employees", 700, "bob")
+        assert de.discrepancies() == []
+        assert de.agreement_rate() == 1.0
+
+    def test_discrepancy_flagged(self):
+        de = DoubleEntry()
+        de.enter(("Nut Co",), "employees", 700, "alice")
+        de.enter(("Nut Co",), "employees", 710, "bob")
+        pairs = de.discrepancies()
+        assert len(pairs) == 1
+        assert (pairs[0].first, pairs[0].second) == (700, 710)
+
+    def test_same_operator_rejected(self):
+        de = DoubleEntry()
+        de.enter(("X",), "f", 1, "alice")
+        with pytest.raises(InspectionError):
+            de.enter(("X",), "f", 1, "alice")
+
+    def test_third_entry_rejected(self):
+        de = DoubleEntry()
+        de.enter(("X",), "f", 1, "alice")
+        de.enter(("X",), "f", 1, "bob")
+        with pytest.raises(InspectionError):
+            de.enter(("X",), "f", 1, "carol")
+
+    def test_pending(self):
+        de = DoubleEntry()
+        de.enter(("X",), "f", 1, "alice")
+        assert de.pending() == [(("X",), "f")]
+        assert de.agreement_rate() == 1.0  # vacuous
+
+    def test_mixed_agreement_rate(self):
+        de = DoubleEntry()
+        de.enter(("A",), "f", 1, "alice")
+        de.enter(("A",), "f", 1, "bob")
+        de.enter(("B",), "f", 1, "alice")
+        de.enter(("B",), "f", 2, "bob")
+        assert de.agreement_rate() == 0.5
+
+
+class TestCertificationLog:
+    def test_latest_verdict_wins(self):
+        log = CertificationLog()
+        log.reject("customer", ("Nut Co",), "auditor", "address stale")
+        log.certify("customer", ("Nut Co",), "auditor", "re-verified")
+        assert log.status_of("customer", ("Nut Co",)) == "certified"
+
+    def test_never_certified(self):
+        log = CertificationLog()
+        assert log.status_of("customer", ("Ghost",)) is None
+
+    def test_requires_certifier(self):
+        log = CertificationLog()
+        with pytest.raises(InspectionError):
+            log.certify("customer", ("X",), "")
+
+    def test_certified_subjects(self):
+        log = CertificationLog()
+        log.certify("customer", ("A",), "auditor")
+        log.certify("customer", ("B",), "auditor")
+        log.reject("customer", ("B",), "auditor")
+        assert log.certified_subjects("customer") == [("A",)]
+
+
+class TestPeriodicPrompt:
+    def test_periodic_schedule(self):
+        prompt = PeriodicInspectionPrompt(every_n=3)
+        reasons = [prompt.observe({"v": i}) for i in range(6)]
+        fired = [i for i, r in enumerate(reasons) if r]
+        assert fired == [2, 5]
+
+    def test_peculiar_data_fires_immediately(self):
+        prompt = PeriodicInspectionPrompt(
+            every_n=100, peculiar=lambda record: record["v"] > 10
+        )
+        assert prompt.observe({"v": 5}) == []
+        assert prompt.observe({"v": 50}) == ["peculiar data"]
+
+    def test_both_reasons(self):
+        prompt = PeriodicInspectionPrompt(
+            every_n=1, peculiar=lambda record: True
+        )
+        reasons = prompt.observe({"v": 1})
+        assert len(reasons) == 2
+
+    def test_invalid_period(self):
+        with pytest.raises(InspectionError):
+            PeriodicInspectionPrompt(every_n=0)
+
+    def test_prompt_log(self):
+        prompt = PeriodicInspectionPrompt(every_n=2)
+        prompt.observe({})
+        prompt.observe({})
+        assert prompt.prompts == [(2, "periodic inspection (every 2 records)")]
+        assert prompt.observed == 2

@@ -1,0 +1,73 @@
+"""Unit tests for application quality profiles."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.profiles import ApplicationProfile, ProfileRegistry
+from repro.tagging.query import IndicatorConstraint, QualityFilter
+
+
+@pytest.fixture
+def registry(tagged_customers):
+    reg = ProfileRegistry()
+    reg.register(
+        ApplicationProfile(
+            "mass_mailing", QualityFilter(name="mass_mailing"), "no constraints"
+        )
+    )
+    reg.register(
+        ApplicationProfile(
+            "fund_raising",
+            QualityFilter(
+                [IndicatorConstraint("employees", "source", "!=", "estimate")],
+                name="fund_raising",
+            ),
+            "constrained",
+        )
+    )
+    return reg
+
+
+class TestApplicationProfile:
+    def test_requires_name(self):
+        with pytest.raises(QualityError):
+            ApplicationProfile("", QualityFilter())
+
+    def test_retrieve(self, registry, tagged_customers):
+        open_grade = registry.get("mass_mailing").retrieve(tagged_customers)
+        strict_grade = registry.get("fund_raising").retrieve(tagged_customers)
+        assert len(open_grade) == 2
+        assert len(strict_grade) == 1
+
+    def test_describe(self, registry):
+        text = registry.get("fund_raising").describe()
+        assert "fund_raising" in text
+        assert "employees.source != 'estimate'" in text
+
+
+class TestProfileRegistry:
+    def test_duplicate_rejected(self, registry):
+        with pytest.raises(QualityError):
+            registry.register(
+                ApplicationProfile("mass_mailing", QualityFilter())
+            )
+
+    def test_unknown_profile(self, registry):
+        with pytest.raises(QualityError):
+            registry.get("ghost")
+
+    def test_retrieve_by_name(self, registry, tagged_customers):
+        assert len(registry.retrieve("fund_raising", tagged_customers)) == 1
+
+    def test_names_sorted(self, registry):
+        assert registry.names == ("fund_raising", "mass_mailing")
+
+    def test_contains_len_iter(self, registry):
+        assert "mass_mailing" in registry
+        assert len(registry) == 2
+        assert {p.name for p in registry} == {"mass_mailing", "fund_raising"}
+
+    def test_describe_all(self, registry):
+        text = registry.describe()
+        assert "mass_mailing" in text and "fund_raising" in text
+        assert ProfileRegistry().describe() == "(no profiles registered)"

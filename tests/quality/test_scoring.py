@@ -1,0 +1,209 @@
+"""Unit tests for parameter scoring and hierarchical rollups."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import AssessmentError
+from repro.quality.scoring import (
+    ParameterScorer,
+    QualityScorecard,
+    collection_accuracy_scorer,
+    credibility_scorer,
+    inspection_scorer,
+    timeliness_scorer,
+)
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorValue
+
+
+def cell_with(**tags):
+    return QualityCell(1, [IndicatorValue(k, v) for k, v in tags.items()])
+
+
+class TestBuiltinScorers:
+    def test_timeliness_from_age(self):
+        scorer = timeliness_scorer(shelf_life_days=100)
+        assert scorer.score(cell_with(age=0.0)) == 1.0
+        assert scorer.score(cell_with(age=50.0)) == 0.5
+        assert scorer.score(cell_with(age=500.0)) == 0.0
+
+    def test_timeliness_from_creation_time(self):
+        scorer = timeliness_scorer(shelf_life_days=100)
+        cell = cell_with(creation_time=dt.date(1991, 1, 1))
+        score = scorer.score(cell, {"today": dt.date(1991, 1, 31)})
+        assert score == pytest.approx(0.7)
+        # Without today the cell is unscorable.
+        assert scorer.score(cell) is None
+
+    def test_timeliness_age_beats_creation_time(self):
+        scorer = timeliness_scorer(shelf_life_days=10)
+        cell = QualityCell(
+            1,
+            [
+                IndicatorValue("age", 1.0),
+                IndicatorValue("creation_time", dt.date(1980, 1, 1)),
+            ],
+        )
+        assert scorer.score(cell, {"today": dt.date(1991, 1, 1)}) == 0.9
+
+    def test_timeliness_requires_positive_shelf_life(self):
+        with pytest.raises(AssessmentError):
+            timeliness_scorer(0)
+
+    def test_credibility_table(self):
+        scorer = credibility_scorer({"Wall Street Journal": 0.95}, default=0.3)
+        assert scorer.score(cell_with(source="Wall Street Journal")) == 0.95
+        assert scorer.score(cell_with(source="rumor mill")) == 0.3
+        assert scorer.score(QualityCell(1)) == 0.3
+
+    def test_credibility_no_default_unscorable(self):
+        scorer = credibility_scorer({"a": 1.0})
+        assert scorer.score(QualityCell(1)) is None
+
+    def test_collection_accuracy(self):
+        scorer = collection_accuracy_scorer({"bar_code_scanner": 0.998})
+        assert scorer.score(cell_with(collection_method="bar_code_scanner")) == 0.998
+
+    def test_inspection_levels(self):
+        scorer = inspection_scorer()
+        assert scorer.score(cell_with(inspection="certified")) == 1.0
+        assert scorer.score(cell_with(inspection="pending")) == 0.75
+        assert scorer.score(QualityCell(1)) == 0.5
+
+    def test_scores_clamped(self):
+        scorer = ParameterScorer("x", lambda tags, ctx: 7.0)
+        assert scorer.score(QualityCell(1)) == 1.0
+        scorer_negative = ParameterScorer("x", lambda tags, ctx: -2.0)
+        assert scorer_negative.score(QualityCell(1)) == 0.0
+
+
+class TestScorecardCellLevel:
+    @pytest.fixture
+    def scorecard(self):
+        return QualityScorecard(
+            [
+                timeliness_scorer(100),
+                credibility_scorer({"acct'g": 0.9, "estimate": 0.3}),
+            ],
+            weights={"timeliness": 2.0, "credibility": 1.0},
+        )
+
+    def test_per_parameter(self, scorecard):
+        cell = cell_with(age=50.0, source="acct'g")
+        scores = scorecard.score_cell(cell)
+        assert scores == {"timeliness": 0.5, "credibility": 0.9}
+
+    def test_weighted_composite(self, scorecard):
+        cell = cell_with(age=50.0, source="acct'g")
+        composite = scorecard.composite_cell(cell)
+        assert composite == pytest.approx((2 * 0.5 + 1 * 0.9) / 3)
+
+    def test_composite_renormalizes_over_scorable(self, scorecard):
+        # Only credibility scorable: composite = its score, not dragged
+        # to zero by the unscorable timeliness.
+        cell = cell_with(source="estimate")
+        assert scorecard.composite_cell(cell) == 0.3
+
+    def test_fully_unscorable_is_none(self, scorecard):
+        assert scorecard.composite_cell(QualityCell(1)) is None
+
+    def test_validation(self):
+        with pytest.raises(AssessmentError):
+            QualityScorecard([])
+        scorer = timeliness_scorer(10)
+        with pytest.raises(AssessmentError):
+            QualityScorecard([scorer, timeliness_scorer(20)])
+        with pytest.raises(AssessmentError):
+            QualityScorecard([scorer], weights={"ghost": 1.0})
+        with pytest.raises(AssessmentError):
+            QualityScorecard([scorer], weights={"timeliness": -1.0})
+
+
+class TestScorecardRollups:
+    @pytest.fixture
+    def relation(self, customer_schema, customer_tag_schema):
+        from repro.tagging.relation import TaggedRelation
+
+        rel = TaggedRelation(customer_schema, customer_tag_schema)
+        rel.insert(
+            {
+                "co_name": "A",
+                "address": QualityCell(
+                    "1 St",
+                    [
+                        IndicatorValue("source", "acct'g"),
+                        IndicatorValue("creation_time", dt.date(1991, 1, 1)),
+                    ],
+                ),
+                "employees": QualityCell(
+                    10, [IndicatorValue("source", "estimate")]
+                ),
+            }
+        )
+        rel.insert(
+            {
+                "co_name": "B",
+                "address": QualityCell("2 St", []),
+                "employees": QualityCell(
+                    20, [IndicatorValue("source", "acct'g")]
+                ),
+            }
+        )
+        return rel
+
+    @pytest.fixture
+    def scorecard(self):
+        return QualityScorecard(
+            [
+                credibility_scorer({"acct'g": 0.9, "estimate": 0.3}),
+                timeliness_scorer(365),
+            ]
+        )
+
+    def test_column_rollup(self, relation, scorecard):
+        column = scorecard.score_column(
+            relation, "employees", {"today": dt.date(1991, 7, 1)}
+        )
+        credibility = column.parameters["credibility"]
+        assert credibility.score == pytest.approx((0.3 + 0.9) / 2)
+        assert credibility.coverage == 1.0
+        # No time tags on employees: timeliness unscorable.
+        assert column.parameters["timeliness"].score is None
+        assert column.parameters["timeliness"].coverage == 0.0
+
+    def test_coverage_honest(self, relation, scorecard):
+        column = scorecard.score_column(
+            relation, "address", {"today": dt.date(1991, 7, 1)}
+        )
+        # Row B's address has no tags: coverage 0.5 for each parameter.
+        assert column.parameters["credibility"].coverage == 0.5
+        assert column.composite.coverage == 0.5
+
+    def test_relation_rollup(self, relation, scorecard):
+        score = scorecard.score_relation(
+            relation, context={"today": dt.date(1991, 7, 1)}
+        )
+        assert set(score.columns) == {"address", "employees"}
+        assert score.composite.total == 4  # 2 rows × 2 tagged columns
+        text = score.render()
+        assert "Data quality scorecard: customer" in text
+        assert "credibility" in text
+
+    def test_database_rollup(self, relation, scorecard):
+        result = scorecard.score_database(
+            {"customer": relation}, context={"today": dt.date(1991, 7, 1)}
+        )
+        assert "customer" in result["relations"]
+        overall = result["overall"]
+        assert overall.total == 4
+        assert overall.score is not None
+
+    def test_premise13_heterogeneity_visible(self, relation, scorecard):
+        """The rollup exposes Premise 1.3: column quality differs."""
+        score = scorecard.score_relation(
+            relation, context={"today": dt.date(1991, 7, 1)}
+        )
+        address = score.columns["address"].composite
+        employees = score.columns["employees"].composite
+        assert address.score != employees.score

@@ -1,0 +1,236 @@
+"""Unit tests for the relational algebra."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def numbers():
+    return Relation.from_tuples(
+        schema("numbers", [("name", "STR"), ("n", "INT")]),
+        [("a", 1), ("b", 2), ("c", 3), ("b", 2)],
+    )
+
+
+@pytest.fixture
+def depts():
+    return Relation.from_tuples(
+        schema("depts", [("dept", "STR"), ("head", "STR")]),
+        [("sales", "kim"), ("acctg", "lee")],
+    )
+
+
+@pytest.fixture
+def emps():
+    return Relation.from_tuples(
+        schema("emps", [("emp", "STR"), ("dept", "STR"), ("salary", "INT")]),
+        [
+            ("ann", "sales", 50),
+            ("bob", "sales", 60),
+            ("carol", "acctg", 70),
+            ("dave", "ops", 40),
+        ],
+    )
+
+
+class TestSelect:
+    def test_filters(self, numbers):
+        result = algebra.select(numbers, lambda r: r["n"] > 1)
+        assert len(result) == 3
+
+    def test_pure(self, numbers):
+        algebra.select(numbers, lambda r: False)
+        assert len(numbers) == 4
+
+    def test_empty_result_keeps_schema(self, numbers):
+        result = algebra.select(numbers, lambda r: False)
+        assert result.schema == numbers.schema
+
+
+class TestProject:
+    def test_keeps_duplicates(self, numbers):
+        result = algebra.project(numbers, ["n"])
+        assert len(result) == 4
+
+    def test_column_order(self, numbers):
+        result = algebra.project(numbers, ["n", "name"])
+        assert result.schema.column_names == ("n", "name")
+
+    def test_requires_columns(self, numbers):
+        with pytest.raises(QueryError):
+            algebra.project(numbers, [])
+
+
+class TestRename:
+    def test_rename_column(self, numbers):
+        result = algebra.rename(numbers, {"n": "value"})
+        assert "value" in result.schema
+        assert result.column_values("value") == [1, 2, 3, 2]
+
+    def test_rename_relation(self, numbers):
+        result = algebra.rename(numbers, new_name="renamed")
+        assert result.schema.name == "renamed"
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, numbers):
+        assert len(algebra.distinct(numbers)) == 3
+
+    def test_preserves_first_occurrence_order(self, numbers):
+        result = algebra.distinct(numbers)
+        assert result.column_values("name") == ["a", "b", "c"]
+
+
+class TestSetOperators:
+    def test_union_bag(self, numbers):
+        result = algebra.union(numbers, numbers)
+        assert len(result) == 8
+
+    def test_union_requires_compatibility(self, numbers, depts):
+        with pytest.raises(SchemaError):
+            algebra.union(numbers, depts)
+
+    def test_difference_cancels_multiplicity(self, numbers):
+        single_b = algebra.select(numbers, lambda r: r["name"] == "b")
+        single_b = algebra.limit(single_b, 1)
+        result = algebra.difference(numbers, single_b)
+        assert len(result) == 3
+        assert result.column_values("name").count("b") == 1
+
+    def test_difference_self_is_empty(self, numbers):
+        assert len(algebra.difference(numbers, numbers)) == 0
+
+    def test_intersection_min_multiplicity(self, numbers):
+        once = algebra.distinct(numbers)
+        result = algebra.intersection(numbers, once)
+        assert len(result) == 3
+
+    def test_intersection_disjoint(self, numbers):
+        empty = numbers.empty_like()
+        assert len(algebra.intersection(numbers, empty)) == 0
+
+
+class TestProductsAndJoins:
+    def test_cartesian_size(self, depts, emps):
+        result = algebra.cartesian_product(depts, emps)
+        assert len(result) == len(depts) * len(emps)
+
+    def test_cartesian_qualifies_overlap(self, depts, emps):
+        result = algebra.cartesian_product(depts, emps)
+        assert "depts.dept" in result.schema
+        assert "emps.dept" in result.schema
+
+    def test_theta_join(self, depts, emps):
+        result = algebra.theta_join(
+            depts, emps, lambda d, e: d["dept"] == e["dept"]
+        )
+        assert len(result) == 3
+
+    def test_equi_join(self, depts, emps):
+        result = algebra.equi_join(emps, depts, on=[("dept", "dept")])
+        assert len(result) == 3
+        heads = {row["head"] for row in result}
+        assert heads == {"kim", "lee"}
+
+    def test_equi_join_requires_on(self, depts, emps):
+        with pytest.raises(QueryError):
+            algebra.equi_join(depts, emps, on=[])
+
+    def test_natural_join_shares_columns(self, depts, emps):
+        result = algebra.natural_join(emps, depts)
+        assert result.schema.column_names == ("emp", "dept", "salary", "head")
+        assert len(result) == 3
+
+    def test_natural_join_no_shared_is_product(self, numbers):
+        other = Relation.from_tuples(
+            schema("other", [("x", "INT")]), [(9,), (8,)]
+        )
+        result = algebra.natural_join(numbers, other)
+        assert len(result) == 8
+
+    def test_join_size_bound(self, depts, emps):
+        result = algebra.equi_join(emps, depts, on=[("dept", "dept")])
+        assert len(result) <= len(emps) * len(depts)
+
+
+class TestSortAndLimit:
+    def test_sort_ascending(self, numbers):
+        result = algebra.sort(numbers, ["n"])
+        assert result.column_values("n") == [1, 2, 2, 3]
+
+    def test_sort_descending(self, numbers):
+        result = algebra.sort(numbers, ["n"], descending=True)
+        assert result.column_values("n") == [3, 2, 2, 1]
+
+    def test_sort_none_first(self):
+        rel = Relation.from_dicts(
+            schema("t", [("n", "INT")]), [{"n": 2}, {"n": None}, {"n": 1}]
+        )
+        result = algebra.sort(rel, ["n"])
+        assert result.column_values("n") == [None, 1, 2]
+
+    def test_limit(self, numbers):
+        assert len(algebra.limit(numbers, 2)) == 2
+
+    def test_limit_negative(self, numbers):
+        with pytest.raises(QueryError):
+            algebra.limit(numbers, -1)
+
+
+class TestAggregate:
+    def test_group_count(self, emps):
+        result = algebra.aggregate(
+            emps, ["dept"], {"headcount": ("count", "emp")}
+        )
+        by_dept = {row["dept"]: row["headcount"] for row in result}
+        assert by_dept == {"sales": 2, "acctg": 1, "ops": 1}
+
+    def test_global_aggregates(self, emps):
+        result = algebra.aggregate(
+            emps,
+            [],
+            {
+                "total": ("sum", "salary"),
+                "mean": ("avg", "salary"),
+                "low": ("min", "salary"),
+                "high": ("max", "salary"),
+            },
+        )
+        row = result.rows[0]
+        assert row["total"] == 220
+        assert row["mean"] == 55.0
+        assert row["low"] == 40
+        assert row["high"] == 70
+
+    def test_empty_global_aggregate_yields_row(self, emps):
+        empty = emps.empty_like()
+        result = algebra.aggregate(empty, [], {"c": ("count", "emp")})
+        assert len(result) == 1
+        assert result.rows[0]["c"] == 0
+
+    def test_count_skips_nulls(self):
+        rel = Relation.from_dicts(
+            schema("t", [("a", "INT")]), [{"a": 1}, {"a": None}]
+        )
+        result = algebra.aggregate(rel, [], {"c": ("count", "a")})
+        assert result.rows[0]["c"] == 1
+
+    def test_unknown_aggregate(self, emps):
+        with pytest.raises(QueryError):
+            algebra.aggregate(emps, [], {"x": ("median", "salary")})
+
+
+class TestExtend:
+    def test_adds_computed_column(self, emps):
+        result = algebra.extend(
+            emps, "double", "INT", lambda r: r["salary"] * 2
+        )
+        assert result.column_values("double") == [100, 120, 140, 80]
+
+    def test_rejects_existing_column(self, emps):
+        with pytest.raises(SchemaError):
+            algebra.extend(emps, "salary", "INT", lambda r: 0)

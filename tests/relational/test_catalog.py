@@ -1,0 +1,88 @@
+"""Unit tests for the database catalog."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownRelationError
+from repro.relational.catalog import Database
+from repro.relational.constraints import ForeignKeyConstraint, UniqueConstraint
+from repro.relational.schema import schema
+
+
+class TestCatalogBasics:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Database("")
+
+    def test_create_and_lookup(self, customer_database):
+        assert "customer" in customer_database
+        assert len(customer_database.relation("customer")) == 2
+
+    def test_duplicate_relation_rejected(self, customer_database, customer_schema):
+        with pytest.raises(SchemaError):
+            customer_database.create_relation(customer_schema)
+
+    def test_unknown_relation(self, customer_database):
+        with pytest.raises(UnknownRelationError):
+            customer_database.relation("ghost")
+
+    def test_relation_names_sorted(self):
+        db = Database("x")
+        db.create_relation(schema("zeta", [("a", "INT")]))
+        db.create_relation(schema("alpha", [("a", "INT")]))
+        assert db.relation_names == ("alpha", "zeta")
+
+    def test_drop_relation(self, customer_database):
+        customer_database.drop_relation("customer")
+        assert "customer" not in customer_database
+
+    def test_drop_removes_constraints(self, customer_database):
+        names_before = [c.name for c in customer_database.constraints]
+        assert "pk_customer" in names_before
+        customer_database.drop_relation("customer")
+        assert customer_database.constraints == ()
+
+    def test_drop_removes_referencing_fks(self):
+        db = Database("x")
+        db.create_relation(schema("a", [("k", "STR")], key=["k"]))
+        db.create_relation(schema("b", [("k", "STR"), ("fk", "STR")], key=["k"]))
+        db.add_constraint(ForeignKeyConstraint("fk_b_a", "b", ["fk"], "a", ["k"]))
+        db.drop_relation("a")
+        assert all(c.name != "fk_b_a" for c in db.constraints)
+
+
+class TestConstraintRegistry:
+    def test_duplicate_constraint_name(self, customer_database):
+        customer_database.add_constraint(
+            UniqueConstraint("u_addr", "customer", ["address"])
+        )
+        with pytest.raises(SchemaError):
+            customer_database.add_constraint(
+                UniqueConstraint("u_addr", "customer", ["employees"])
+            )
+
+    def test_constraint_unknown_relation(self, customer_database):
+        with pytest.raises(UnknownRelationError):
+            customer_database.add_constraint(
+                UniqueConstraint("u_x", "ghost", ["a"])
+            )
+
+    def test_constraints_for(self, customer_database):
+        constraints = customer_database.constraints_for("customer")
+        assert any(c.name == "pk_customer" for c in constraints)
+
+    def test_key_enforcement_optional(self):
+        db = Database("x")
+        db.create_relation(
+            schema("t", [("k", "STR")], key=["k"]), enforce_key=False
+        )
+        db.insert("t", {"k": "a"})
+        db.insert("t", {"k": "a"})  # no PK constraint registered
+        assert len(db.relation("t")) == 2
+
+
+class TestCatalogSerialization:
+    def test_to_dict(self, customer_database):
+        data = customer_database.to_dict()
+        assert data["name"] == "corp"
+        assert "customer" in data["relations"]
+        assert len(data["relations"]["customer"]["rows"]) == 2

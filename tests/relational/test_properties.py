@@ -1,0 +1,159 @@
+"""Property-based tests for the relational algebra (hypothesis).
+
+These verify the classical algebraic laws the engine must respect:
+selection cascades and commutes, projection is idempotent, set
+operations respect bag semantics, joins are bounded by the product, and
+serialization round-trips.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, schema
+
+NAMES = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+)
+INTS = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def relations(draw, min_rows: int = 0, max_rows: int = 12) -> Relation:
+    """A small two-column relation (name STR, n INT)."""
+    rows = draw(
+        st.lists(
+            st.tuples(NAMES, INTS), min_size=min_rows, max_size=max_rows
+        )
+    )
+    return Relation.from_tuples(
+        schema("t", [("name", "STR"), ("n", "INT")]), rows
+    )
+
+
+def bag(relation: Relation) -> list:
+    """Canonical bag representation for equality checks."""
+    return sorted((row.values_tuple() for row in relation), key=repr)
+
+
+class TestSelectionLaws:
+    @given(relations())
+    def test_selection_cascade(self, rel):
+        p1 = lambda r: r["n"] > 0
+        p2 = lambda r: r["name"] < "f"
+        combined = algebra.select(rel, lambda r: p1(r) and p2(r))
+        cascaded = algebra.select(algebra.select(rel, p1), p2)
+        assert bag(combined) == bag(cascaded)
+
+    @given(relations())
+    def test_selection_commutes(self, rel):
+        p1 = lambda r: r["n"] % 2 == 0
+        p2 = lambda r: len(r["name"]) > 2
+        a = algebra.select(algebra.select(rel, p1), p2)
+        b = algebra.select(algebra.select(rel, p2), p1)
+        assert bag(a) == bag(b)
+
+    @given(relations())
+    def test_selection_shrinks(self, rel):
+        result = algebra.select(rel, lambda r: r["n"] > 0)
+        assert len(result) <= len(rel)
+
+
+class TestProjectionLaws:
+    @given(relations())
+    def test_projection_idempotent(self, rel):
+        once = algebra.project(rel, ["name"])
+        twice = algebra.project(once, ["name"])
+        assert bag(once) == bag(twice)
+
+    @given(relations())
+    def test_projection_preserves_cardinality(self, rel):
+        assert len(algebra.project(rel, ["n"])) == len(rel)
+
+
+class TestDistinctLaws:
+    @given(relations())
+    def test_distinct_idempotent(self, rel):
+        once = algebra.distinct(rel)
+        assert bag(once) == bag(algebra.distinct(once))
+
+    @given(relations())
+    def test_distinct_no_duplicates(self, rel):
+        result = algebra.distinct(rel)
+        values = [row.values_tuple() for row in result]
+        assert len(values) == len(set(values))
+
+
+class TestBagSetLaws:
+    @given(relations(), relations())
+    def test_union_cardinality(self, a, b):
+        assert len(algebra.union(a, b)) == len(a) + len(b)
+
+    @given(relations(), relations())
+    def test_union_commutes_as_bag(self, a, b):
+        assert bag(algebra.union(a, b)) == bag(algebra.union(b, a))
+
+    @given(relations())
+    def test_difference_with_self_empty(self, rel):
+        assert len(algebra.difference(rel, rel)) == 0
+
+    @given(relations(), relations())
+    def test_difference_bounded(self, a, b):
+        result = algebra.difference(a, b)
+        assert len(result) <= len(a)
+
+    @given(relations(), relations())
+    def test_intersection_commutes_as_bag(self, a, b):
+        assert bag(algebra.intersection(a, b)) == bag(
+            algebra.intersection(b, a)
+        )
+
+    @given(relations(), relations())
+    def test_inclusion_exclusion(self, a, b):
+        # |A| = |A − B| + |A ∩ B| under bag semantics.
+        assert len(a) == len(algebra.difference(a, b)) + len(
+            algebra.intersection(a, b)
+        )
+
+
+class TestJoinLaws:
+    @settings(max_examples=40)
+    @given(relations(max_rows=8), relations(max_rows=8))
+    def test_join_bounded_by_product(self, a, b):
+        b2 = algebra.rename(b, {"name": "name2", "n": "n2"}, new_name="u")
+        joined = algebra.equi_join(a, b2, on=[("n", "n2")])
+        assert len(joined) <= len(a) * len(b2)
+
+    @settings(max_examples=40)
+    @given(relations(max_rows=8))
+    def test_self_join_on_key_superset_of_distinct(self, rel):
+        other = algebra.rename(rel, new_name="u")
+        joined = algebra.equi_join(rel, other, on=[("name", "name")])
+        # Every row matches at least itself.
+        assert len(joined) >= len(rel)
+
+
+class TestSortLimitLaws:
+    @given(relations())
+    def test_sort_is_permutation(self, rel):
+        assert bag(algebra.sort(rel, ["n"])) == bag(rel)
+
+    @given(relations())
+    def test_sorted_order(self, rel):
+        result = algebra.sort(rel, ["n"])
+        values = result.column_values("n")
+        assert values == sorted(values)
+
+    @given(relations(), st.integers(min_value=0, max_value=20))
+    def test_limit_bounds(self, rel, n):
+        assert len(algebra.limit(rel, n)) == min(n, len(rel))
+
+
+class TestSerializationRoundTrip:
+    @given(relations())
+    def test_schema_round_trip(self, rel):
+        restored = RelationSchema.from_dict(rel.schema.to_dict())
+        assert restored == rel.schema

@@ -1,0 +1,99 @@
+"""Unit tests for the fluent query builder."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def emps():
+    return Relation.from_tuples(
+        schema("emps", [("emp", "STR"), ("dept", "STR"), ("salary", "INT")]),
+        [
+            ("ann", "sales", 50),
+            ("bob", "sales", 60),
+            ("carol", "acctg", 70),
+        ],
+    )
+
+
+@pytest.fixture
+def depts():
+    return Relation.from_tuples(
+        schema("depts", [("dept", "STR"), ("floor", "INT")]),
+        [("sales", 1), ("acctg", 2)],
+    )
+
+
+class TestQueryPipeline:
+    def test_where_select(self, emps):
+        result = (
+            Query(emps).where(lambda r: r["salary"] > 55).select("emp").run()
+        )
+        assert result.to_dicts() == [{"emp": "bob"}, {"emp": "carol"}]
+
+    def test_eq_shorthand(self, emps):
+        assert Query(emps).eq(dept="sales").count() == 2
+
+    def test_order_and_limit(self, emps):
+        result = (
+            Query(emps)
+            .order_by("salary", descending=True)
+            .limit(1)
+            .to_dicts()
+        )
+        assert result[0]["emp"] == "carol"
+
+    def test_select_requires_columns(self, emps):
+        with pytest.raises(QueryError):
+            Query(emps).select()
+
+    def test_immutability(self, emps):
+        base = Query(emps)
+        filtered = base.eq(dept="sales")
+        assert base.count() == 3
+        assert filtered.count() == 2
+
+    def test_natural_join(self, emps, depts):
+        result = Query(emps).join(depts).run()
+        assert len(result) == 3
+        assert "floor" in result.schema
+
+    def test_equi_join(self, emps, depts):
+        result = Query(emps).join(depts, on=[("dept", "dept")]).run()
+        assert len(result) == 3
+
+    def test_group_by(self, emps):
+        result = Query(emps).group_by(
+            ["dept"], total=("sum", "salary")
+        ).run()
+        totals = {row["dept"]: row["total"] for row in result}
+        assert totals == {"sales": 110, "acctg": 70}
+
+    def test_extend(self, emps):
+        result = (
+            Query(emps)
+            .extend("monthly", "FLOAT", lambda r: r["salary"] / 12)
+            .run()
+        )
+        assert "monthly" in result.schema
+
+    def test_distinct(self, emps):
+        result = Query(emps).select("dept").distinct().run()
+        assert len(result) == 2
+
+    def test_rename(self, emps):
+        result = Query(emps).rename({"emp": "employee"}).run()
+        assert "employee" in result.schema
+
+    def test_count_and_rows(self, emps):
+        q = Query(emps)
+        assert q.count() == 3
+        assert len(q.rows()) == 3
+
+    def test_source_not_mutated(self, emps):
+        Query(emps).where(lambda r: False).run()
+        assert len(emps) == 3

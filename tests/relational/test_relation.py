@@ -1,0 +1,165 @@
+"""Unit tests for relations and rows."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError, UnknownColumnError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import schema
+
+
+@pytest.fixture
+def simple_schema():
+    return schema("t", [("name", "STR"), ("n", "INT")], key=["name"])
+
+
+class TestRow:
+    def test_mapping_access(self, simple_schema):
+        row = Row(simple_schema, {"name": "a", "n": 1})
+        assert row["name"] == "a"
+        assert dict(row) == {"name": "a", "n": 1}
+        assert len(row) == 2
+
+    def test_positional_access(self, simple_schema):
+        row = Row(simple_schema, {"name": "a", "n": 1})
+        assert row.at(1) == 1
+
+    def test_unknown_column(self, simple_schema):
+        row = Row(simple_schema, {"name": "a", "n": 1})
+        with pytest.raises(UnknownColumnError):
+            row["missing"]
+
+    def test_values_validated(self, simple_schema):
+        with pytest.raises(DomainError):
+            Row(simple_schema, {"name": "a", "n": "xyz"})
+
+    def test_replace(self, simple_schema):
+        row = Row(simple_schema, {"name": "a", "n": 1})
+        updated = row.replace(n=2)
+        assert updated["n"] == 2
+        assert row["n"] == 1  # original untouched
+
+    def test_key_tuple(self, simple_schema):
+        row = Row(simple_schema, {"name": "a", "n": 1})
+        assert row.key_tuple() == ("a",)
+
+    def test_key_tuple_requires_key(self):
+        keyless = schema("t", [("a", "INT")])
+        row = Row(keyless, {"a": 1})
+        with pytest.raises(SchemaError):
+            row.key_tuple()
+
+    def test_equality_and_hash(self, simple_schema):
+        a = Row(simple_schema, {"name": "a", "n": 1})
+        b = Row(simple_schema, {"name": "a", "n": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRelationConstruction:
+    def test_from_dicts(self, simple_schema):
+        rel = Relation.from_dicts(simple_schema, [{"name": "a", "n": 1}])
+        assert len(rel) == 1
+
+    def test_from_tuples(self, simple_schema):
+        rel = Relation.from_tuples(simple_schema, [("a", 1), ("b", 2)])
+        assert rel.column_values("n") == [1, 2]
+
+    def test_from_tuples_arity_checked(self, simple_schema):
+        with pytest.raises(SchemaError):
+            Relation.from_tuples(simple_schema, [("a",)])
+
+    def test_empty_like(self, customer_relation):
+        empty = customer_relation.empty_like()
+        assert len(empty) == 0
+        assert empty.schema == customer_relation.schema
+
+    def test_copy_is_independent(self, customer_relation):
+        copy = customer_relation.copy()
+        copy.insert({"co_name": "New Co", "address": None, "employees": 1})
+        assert len(copy) == 3
+        assert len(customer_relation) == 2
+
+
+class TestRelationMutation:
+    def test_insert_validates(self, simple_schema):
+        rel = Relation(simple_schema)
+        with pytest.raises(DomainError):
+            rel.insert({"name": "a", "n": "nope"})
+
+    def test_insert_many(self, simple_schema):
+        rel = Relation(simple_schema)
+        count = rel.insert_many({"name": f"x{i}", "n": i} for i in range(5))
+        assert count == 5
+        assert len(rel) == 5
+
+    def test_delete(self, customer_relation):
+        removed = customer_relation.delete(lambda r: r["employees"] < 1000)
+        assert removed == 1
+        assert len(customer_relation) == 1
+
+    def test_update(self, customer_relation):
+        updated = customer_relation.update(
+            lambda r: r["co_name"] == "Nut Co",
+            lambda r: {"employees": r["employees"] + 1},
+        )
+        assert updated == 1
+        assert customer_relation.lookup(co_name="Nut Co")[0]["employees"] == 701
+
+    def test_clear(self, customer_relation):
+        customer_relation.clear()
+        assert len(customer_relation) == 0
+
+
+class TestRelationAccess:
+    def test_find(self, customer_relation):
+        row = customer_relation.find(lambda r: r["employees"] > 1000)
+        assert row is not None and row["co_name"] == "Fruit Co"
+
+    def test_find_none(self, customer_relation):
+        assert customer_relation.find(lambda r: False) is None
+
+    def test_lookup(self, customer_relation):
+        rows = customer_relation.lookup(co_name="Nut Co")
+        assert len(rows) == 1
+
+    def test_lookup_unknown_column(self, customer_relation):
+        with pytest.raises(UnknownColumnError):
+            customer_relation.lookup(bogus=1)
+
+    def test_bag_equality_order_insensitive(self, simple_schema):
+        a = Relation.from_tuples(simple_schema, [("a", 1), ("b", 2)])
+        b = Relation.from_tuples(simple_schema, [("b", 2), ("a", 1)])
+        assert a == b
+
+    def test_bag_equality_multiplicity(self, simple_schema):
+        a = Relation.from_tuples(simple_schema, [("a", 1), ("a", 1)])
+        b = Relation.from_tuples(simple_schema, [("a", 1)])
+        assert a != b
+
+
+class TestRelationRender:
+    def test_render_contains_values(self, customer_relation):
+        text = customer_relation.render()
+        assert "Fruit Co" in text
+        assert "62 Lois Av" in text
+
+    def test_render_title_and_truncation(self, customer_relation):
+        text = customer_relation.render(max_rows=1, title="Table 1")
+        assert text.startswith("Table 1")
+        assert "1 more rows" in text
+
+    def test_render_null_as_blank(self, simple_schema):
+        rel = Relation.from_dicts(simple_schema, [{"name": "a", "n": None}])
+        lines = rel.render().splitlines()
+        assert lines[-1].rstrip() == "a    |"
+
+
+class TestRelationSerialization:
+    def test_to_dicts(self, customer_relation):
+        dicts = customer_relation.to_dicts()
+        assert dicts[0]["co_name"] == "Fruit Co"
+
+    def test_to_dict_shape(self, customer_relation):
+        data = customer_relation.to_dict()
+        assert data["schema"]["name"] == "customer"
+        assert len(data["rows"]) == 2

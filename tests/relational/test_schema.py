@@ -1,0 +1,152 @@
+"""Unit tests for relation schemas."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import Column, RelationSchema, schema
+from repro.relational.types import INT, STR
+
+
+class TestColumn:
+    def test_construction(self):
+        column = Column("name", "STR", doc="the name")
+        assert column.name == "name"
+        assert column.domain is STR or column.domain == STR
+        assert column.doc == "the name"
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("", "STR")
+
+    def test_renamed_preserves_domain(self):
+        column = Column("a", INT)
+        renamed = column.renamed("b")
+        assert renamed.name == "b"
+        assert renamed.domain == INT
+
+    def test_equality(self):
+        assert Column("a", INT) == Column("a", "INT")
+        assert Column("a", INT) != Column("a", STR)
+
+
+class TestRelationSchema:
+    def test_basic(self, customer_schema):
+        assert customer_schema.name == "customer"
+        assert customer_schema.column_names == ("co_name", "address", "employees")
+        assert customer_schema.key == ("co_name",)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("t", [Column("a", INT), Column("a", STR)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("t", [])
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            schema("t", [("a", "INT")], key=["b"])
+
+    def test_duplicate_key_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            schema("t", [("a", "INT")], key=["a", "a"])
+
+    def test_column_lookup(self, customer_schema):
+        assert customer_schema.column("address").domain == STR
+
+    def test_unknown_column(self, customer_schema):
+        with pytest.raises(UnknownColumnError):
+            customer_schema.column("missing")
+
+    def test_index_of(self, customer_schema):
+        assert customer_schema.index_of("employees") == 2
+
+    def test_contains(self, customer_schema):
+        assert "address" in customer_schema
+        assert "missing" not in customer_schema
+
+    def test_validate_values_fills_missing(self, customer_schema):
+        values = customer_schema.validate_values({"co_name": "X"})
+        assert values == {"co_name": "X", "address": None, "employees": None}
+
+    def test_validate_values_rejects_unknown(self, customer_schema):
+        with pytest.raises(UnknownColumnError):
+            customer_schema.validate_values({"bogus": 1})
+
+    def test_validate_values_coerces(self, customer_schema):
+        values = customer_schema.validate_values(
+            {"co_name": "X", "employees": "17"}
+        )
+        assert values["employees"] == 17
+
+
+class TestSchemaTransformations:
+    def test_project_keeps_order(self, customer_schema):
+        projected = customer_schema.project(["employees", "co_name"])
+        assert projected.column_names == ("employees", "co_name")
+
+    def test_project_keeps_key_when_covered(self, customer_schema):
+        projected = customer_schema.project(["co_name", "address"])
+        assert projected.key == ("co_name",)
+
+    def test_project_drops_key_when_not_covered(self, customer_schema):
+        projected = customer_schema.project(["address"])
+        assert projected.key is None
+
+    def test_rename_columns(self, customer_schema):
+        renamed = customer_schema.rename_columns({"co_name": "company"})
+        assert renamed.column_names == ("company", "address", "employees")
+        assert renamed.key == ("company",)
+
+    def test_rename_unknown_column(self, customer_schema):
+        with pytest.raises(UnknownColumnError):
+            customer_schema.rename_columns({"bogus": "x"})
+
+    def test_renamed_relation(self, customer_schema):
+        assert customer_schema.renamed("clients").name == "clients"
+
+    def test_with_key(self, customer_schema):
+        rekeyed = customer_schema.with_key(["address"])
+        assert rekeyed.key == ("address",)
+
+    def test_concat_disjoint(self):
+        a = schema("a", [("x", "INT")])
+        b = schema("b", [("y", "STR")])
+        merged = a.concat(b, "ab")
+        assert merged.column_names == ("x", "y")
+
+    def test_concat_overlapping_qualifies(self):
+        a = schema("a", [("x", "INT"), ("k", "STR")])
+        b = schema("b", [("k", "STR")])
+        merged = a.concat(b, "ab")
+        assert merged.column_names == ("x", "a.k", "b.k")
+
+    def test_concat_self_join_disambiguates(self):
+        a = schema("t", [("k", "STR")])
+        merged = a.concat(a, "tt")
+        assert merged.column_names == ("t.k", "t#2.k")
+
+    def test_union_compatibility(self, customer_schema):
+        same = schema(
+            "other",
+            [("co_name", "STR"), ("address", "STR"), ("employees", "INT")],
+        )
+        assert customer_schema.union_compatible_with(same)
+
+    def test_union_incompatibility_domain(self, customer_schema):
+        different = schema(
+            "other",
+            [("co_name", "STR"), ("address", "STR"), ("employees", "STR")],
+        )
+        assert not customer_schema.union_compatible_with(different)
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self, customer_schema):
+        data = customer_schema.to_dict()
+        restored = RelationSchema.from_dict(data)
+        assert restored == customer_schema
+
+    def test_round_trip_no_key(self):
+        original = schema("t", [("a", "INT"), ("b", "DATE")])
+        assert RelationSchema.from_dict(original.to_dict()) == original

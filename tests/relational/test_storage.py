@@ -1,0 +1,154 @@
+"""Unit tests for JSON persistence."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.storage import (
+    database_from_dict,
+    database_to_dict,
+    decode_value,
+    encode_value,
+    load,
+    relation_from_dict,
+    relation_to_dict,
+    save,
+    tagged_relation_from_dict,
+    tagged_relation_to_dict,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value", [None, True, 42, 3.14, "text", dt.date(1991, 10, 24),
+                  dt.datetime(1991, 10, 24, 12, 30)]
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_date_marker_distinct_from_dict(self):
+        encoded = encode_value(dt.date(1991, 1, 1))
+        assert encoded == {"$type": "date", "value": "1991-01-01"}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_value(object())
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(SchemaError):
+            decode_value({"$type": "alien", "value": 1})
+
+
+class TestRelationRoundTrip:
+    def test_round_trip(self, customer_relation):
+        restored = relation_from_dict(relation_to_dict(customer_relation))
+        assert restored == customer_relation
+        assert restored.schema == customer_relation.schema
+
+    def test_dates_survive(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import schema
+
+        rel = Relation.from_dicts(
+            schema("t", [("d", "DATE")]), [{"d": dt.date(1991, 1, 2)}]
+        )
+        restored = relation_from_dict(relation_to_dict(rel))
+        assert restored.rows[0]["d"] == dt.date(1991, 1, 2)
+
+    def test_kind_checked(self, customer_relation):
+        data = relation_to_dict(customer_relation)
+        data["kind"] = "bogus"
+        with pytest.raises(SchemaError):
+            relation_from_dict(data)
+
+
+class TestTaggedRoundTrip:
+    def test_round_trip(self, tagged_customers):
+        restored = tagged_relation_from_dict(
+            tagged_relation_to_dict(tagged_customers)
+        )
+        assert len(restored) == len(tagged_customers)
+        for original, copy in zip(tagged_customers, restored):
+            assert original == copy
+
+    def test_meta_tags_survive(self, customer_schema, customer_tag_schema):
+        from repro.tagging.cell import QualityCell
+        from repro.tagging.indicators import IndicatorValue
+        from repro.tagging.meta import stamp_meta
+        from repro.tagging.relation import TaggedRelation
+
+        rel = TaggedRelation(customer_schema, customer_tag_schema)
+        rel.insert(
+            {
+                "co_name": "X",
+                "address": QualityCell(
+                    "1 St",
+                    [
+                        stamp_meta(
+                            IndicatorValue("source", "acct'g"),
+                            recorded_by="etl",
+                            confidence=0.8,
+                        )
+                    ],
+                ),
+                "employees": 1,
+            }
+        )
+        restored = tagged_relation_from_dict(tagged_relation_to_dict(rel))
+        tag = restored.rows[0]["address"].tag("source")
+        assert tag.meta_dict() == {"confidence": 0.8, "recorded_by": "etl"}
+
+    def test_tag_schema_survives(self, tagged_customers):
+        restored = tagged_relation_from_dict(
+            tagged_relation_to_dict(tagged_customers)
+        )
+        assert restored.tag_schema == tagged_customers.tag_schema
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip(self, customer_database):
+        restored = database_from_dict(database_to_dict(customer_database))
+        assert restored.name == customer_database.name
+        assert restored.relation_names == customer_database.relation_names
+        assert restored.relation("customer") == customer_database.relation(
+            "customer"
+        )
+
+    def test_keys_reenforced(self, customer_database):
+        from repro.errors import ConstraintViolation
+
+        restored = database_from_dict(database_to_dict(customer_database))
+        with pytest.raises(ConstraintViolation):
+            restored.insert(
+                "customer",
+                {"co_name": "Fruit Co", "address": "x", "employees": 1},
+            )
+
+
+class TestFileHelpers:
+    def test_save_load_relation(self, customer_relation, tmp_path):
+        path = save(customer_relation, tmp_path / "rel.json")
+        assert path.exists()
+        restored = load(path)
+        assert restored == customer_relation
+
+    def test_save_load_tagged(self, tagged_customers, tmp_path):
+        path = save(tagged_customers, tmp_path / "tagged.json")
+        restored = load(path)
+        assert restored.rows[1]["address"].tag_value("source") == "acct'g"
+
+    def test_save_load_database(self, customer_database, tmp_path):
+        path = save(customer_database, tmp_path / "db.json")
+        restored = load(path)
+        assert len(restored.relation("customer")) == 2
+
+    def test_save_rejects_unknown(self, tmp_path):
+        with pytest.raises(SchemaError):
+            save({"not": "supported"}, tmp_path / "x.json")
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text('{"kind": "mystery"}')
+        with pytest.raises(SchemaError):
+            load(target)

@@ -1,0 +1,132 @@
+"""Unit tests for the transaction manager and catalog transactions."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, TransactionError
+from repro.relational.catalog import Database
+from repro.relational.schema import schema
+from repro.relational.transactions import TransactionManager
+
+
+class TestTransactionManager:
+    def test_commit_journals(self):
+        manager = TransactionManager()
+        with manager.transaction(actor="alice") as txn:
+            txn.record("insert", "t", undo=lambda: None, after={"a": 1})
+        assert len(manager.journal) == 1
+        assert manager.journal[0].actor == "alice"
+
+    def test_abort_runs_undo_in_reverse(self):
+        manager = TransactionManager()
+        order = []
+        txn = manager.begin()
+        txn.record("insert", "t", undo=lambda: order.append(1))
+        txn.record("insert", "t", undo=lambda: order.append(2))
+        txn.abort()
+        assert order == [2, 1]
+
+    def test_abort_journals_nothing(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.record("insert", "t", undo=lambda: None)
+        txn.abort()
+        assert manager.journal == ()
+
+    def test_exception_aborts(self):
+        manager = TransactionManager()
+        undone = []
+        with pytest.raises(RuntimeError):
+            with manager.transaction() as txn:
+                txn.record("insert", "t", undo=lambda: undone.append(1))
+                raise RuntimeError("boom")
+        assert undone == [1]
+        assert manager.journal == ()
+
+    def test_one_active_at_a_time(self):
+        manager = TransactionManager()
+        manager.begin()
+        with pytest.raises(TransactionError):
+            manager.begin()
+
+    def test_sequential_transactions_ok(self):
+        manager = TransactionManager()
+        manager.begin().commit()
+        manager.begin().commit()
+        assert len(manager.journal) == 0  # no records, just lifecycle
+
+    def test_record_after_commit_fails(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.record("insert", "t", undo=lambda: None)
+
+    def test_double_commit_fails(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_journal_filters(self):
+        manager = TransactionManager()
+        with manager.transaction() as txn:
+            txn.record("insert", "a", undo=lambda: None)
+            txn.record("insert", "b", undo=lambda: None)
+        assert len(list(manager.entries_for_relation("a"))) == 1
+        txn_id = manager.journal[0].transaction_id
+        assert len(list(manager.entries_for_transaction(txn_id))) == 2
+
+
+class TestDatabaseTransactions:
+    @pytest.fixture
+    def db(self):
+        database = Database("txn_test")
+        database.create_relation(
+            schema("t", [("k", "STR"), ("v", "INT")], key=["k"])
+        )
+        return database
+
+    def test_autocommit_insert_journals(self, db):
+        db.insert("t", {"k": "a", "v": 1}, actor="loader")
+        entries = list(db.transactions.entries_for_relation("t"))
+        assert len(entries) == 1
+        assert entries[0].after == {"k": "a", "v": 1}
+        assert entries[0].actor == "loader"
+
+    def test_insert_many_atomic(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.insert_many(
+                "t",
+                [{"k": "a", "v": 1}, {"k": "a", "v": 2}],  # duplicate key
+            )
+        assert len(db.relation("t")) == 0
+
+    def test_explicit_transaction_rollback(self, db):
+        txn = db.transactions.begin()
+        db.insert("t", {"k": "a", "v": 1}, transaction=txn)
+        db.insert("t", {"k": "b", "v": 2}, transaction=txn)
+        txn.abort()
+        assert len(db.relation("t")) == 0
+
+    def test_update_journals_before_after(self, db):
+        db.insert("t", {"k": "a", "v": 1})
+        db.update("t", lambda r: r["k"] == "a", {"v": 9})
+        entry = [e for e in db.transactions.journal if e.operation == "update"][0]
+        assert entry.before == {"k": "a", "v": 1}
+        assert entry.after == {"k": "a", "v": 9}
+
+    def test_delete_journals_before(self, db):
+        db.insert("t", {"k": "a", "v": 1})
+        db.delete("t", lambda r: True)
+        entry = [e for e in db.transactions.journal if e.operation == "delete"][0]
+        assert entry.before == {"k": "a", "v": 1}
+        assert entry.after is None
+
+    def test_failed_update_leaves_data_intact(self, db):
+        db.insert("t", {"k": "a", "v": 1})
+        db.insert("t", {"k": "b", "v": 2})
+        with pytest.raises(ConstraintViolation):
+            db.update("t", lambda r: r["k"] == "b", {"k": "a"})
+        values = sorted(r["k"] for r in db.relation("t"))
+        assert values == ["a", "b"]

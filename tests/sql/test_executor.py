@@ -1,0 +1,217 @@
+"""Unit tests for QSQL execution."""
+
+import datetime as dt
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.sql import SQLError, execute
+from repro.tagging.relation import TaggedRelation
+
+
+class TestPlainExecution:
+    def test_select_star(self, customer_relation):
+        result = execute("SELECT * FROM customer", customer_relation)
+        assert len(result) == 2
+        assert result.schema.column_names == ("co_name", "address", "employees")
+
+    def test_projection(self, customer_relation):
+        result = execute("SELECT co_name FROM customer", customer_relation)
+        assert result.schema.column_names == ("co_name",)
+
+    def test_where(self, customer_relation):
+        result = execute(
+            "SELECT co_name FROM customer WHERE employees > 1000",
+            customer_relation,
+        )
+        assert result.to_dicts() == [{"co_name": "Fruit Co"}]
+
+    def test_string_comparison(self, customer_relation):
+        result = execute(
+            "SELECT * FROM customer WHERE address = '62 Lois Av'",
+            customer_relation,
+        )
+        assert len(result) == 1
+
+    def test_in_and_not_in(self, customer_relation):
+        assert (
+            len(
+                execute(
+                    "SELECT * FROM customer WHERE employees IN (700, 999)",
+                    customer_relation,
+                )
+            )
+            == 1
+        )
+        assert (
+            len(
+                execute(
+                    "SELECT * FROM customer WHERE employees NOT IN (700)",
+                    customer_relation,
+                )
+            )
+            == 1
+        )
+
+    def test_order_and_limit(self, customer_relation):
+        result = execute(
+            "SELECT co_name FROM customer ORDER BY employees DESC LIMIT 1",
+            customer_relation,
+        )
+        assert result.to_dicts() == [{"co_name": "Fruit Co"}]
+
+    def test_boolean_logic(self, customer_relation):
+        result = execute(
+            "SELECT * FROM customer WHERE employees > 100 AND "
+            "(co_name = 'Nut Co' OR co_name = 'Fruit Co')",
+            customer_relation,
+        )
+        assert len(result) == 2
+
+    def test_not(self, customer_relation):
+        result = execute(
+            "SELECT * FROM customer WHERE NOT employees > 1000",
+            customer_relation,
+        )
+        assert len(result) == 1
+
+    def test_null_semantics(self):
+        from repro.relational.schema import schema
+
+        rel = Relation.from_dicts(
+            schema("t", [("a", "INT")]), [{"a": 1}, {"a": None}]
+        )
+        # Comparisons with NULL are never true.
+        assert len(execute("SELECT * FROM t WHERE a > 0", rel)) == 1
+        assert len(execute("SELECT * FROM t WHERE a IS NULL", rel)) == 1
+        assert len(execute("SELECT * FROM t WHERE a IS NOT NULL", rel)) == 1
+
+    def test_distinct(self):
+        from repro.relational.schema import schema
+
+        rel = Relation.from_dicts(
+            schema("t", [("a", "INT")]), [{"a": 1}, {"a": 1}, {"a": 2}]
+        )
+        assert len(execute("SELECT DISTINCT a FROM t", rel)) == 2
+
+    def test_unknown_column(self, customer_relation):
+        with pytest.raises(Exception):
+            execute("SELECT ghost FROM customer", customer_relation)
+
+    def test_from_mismatch(self, customer_relation):
+        with pytest.raises(SQLError):
+            execute("SELECT * FROM other", customer_relation)
+
+
+class TestQualityExecution:
+    def test_quality_filter(self, tagged_customers):
+        result = execute(
+            "SELECT co_name FROM customer WHERE "
+            "QUALITY(employees.source) <> 'estimate'",
+            tagged_customers,
+        )
+        assert [row.value("co_name") for row in result] == ["Fruit Co"]
+
+    def test_quality_date_comparison(self, tagged_customers):
+        result = execute(
+            "SELECT co_name FROM customer WHERE "
+            "QUALITY(address.creation_time) >= DATE '1991-06-01'",
+            tagged_customers,
+        )
+        assert [row.value("co_name") for row in result] == ["Nut Co"]
+
+    def test_escaped_source_literal(self, tagged_customers):
+        result = execute(
+            "SELECT * FROM customer WHERE QUALITY(address.source) = 'acct''g'",
+            tagged_customers,
+        )
+        assert len(result) == 1
+
+    def test_missing_tag_is_null(self, tagged_customers):
+        # co_name cells carry no tags: QUALITY(...) IS NULL holds.
+        result = execute(
+            "SELECT * FROM customer WHERE QUALITY(co_name.source) IS NULL",
+            tagged_customers,
+        )
+        assert len(result) == 2
+
+    def test_order_by_quality(self, tagged_customers):
+        result = execute(
+            "SELECT co_name FROM customer ORDER BY "
+            "QUALITY(address.creation_time) DESC",
+            tagged_customers,
+        )
+        assert [row.value("co_name") for row in result] == [
+            "Nut Co",
+            "Fruit Co",
+        ]
+
+    def test_result_keeps_tags(self, tagged_customers):
+        result = execute(
+            "SELECT address FROM customer WHERE employees = 700",
+            tagged_customers,
+        )
+        assert isinstance(result, TaggedRelation)
+        assert result.rows[0]["address"].tag_value("source") == "acct'g"
+
+    def test_quality_on_plain_rejected(self, customer_relation):
+        with pytest.raises(SQLError):
+            execute(
+                "SELECT * FROM customer WHERE QUALITY(address.source) = 'x'",
+                customer_relation,
+            )
+
+    def test_quality_order_on_plain_rejected(self, customer_relation):
+        with pytest.raises(SQLError):
+            execute(
+                "SELECT * FROM customer ORDER BY QUALITY(address.source)",
+                customer_relation,
+            )
+
+    def test_mixed_value_and_quality(self, tagged_customers):
+        result = execute(
+            "SELECT co_name FROM customer WHERE employees > 100 AND "
+            "QUALITY(employees.source) IN ('Nexis', 'acct''g')",
+            tagged_customers,
+        )
+        assert len(result) == 1
+
+
+class TestDatabaseSources:
+    def test_execute_against_database(self, customer_database):
+        result = execute(
+            "SELECT co_name FROM customer WHERE employees < 1000",
+            customer_database,
+        )
+        assert result.to_dicts() == [{"co_name": "Nut Co"}]
+
+    def test_execute_against_mapping(self, tagged_customers):
+        result = execute(
+            "SELECT * FROM customer LIMIT 1", {"customer": tagged_customers}
+        )
+        assert len(result) == 1
+
+    def test_unknown_relation_in_mapping(self, tagged_customers):
+        with pytest.raises(SQLError):
+            execute("SELECT * FROM ghost", {"customer": tagged_customers})
+
+    def test_unsupported_source(self):
+        with pytest.raises(SQLError):
+            execute("SELECT * FROM t", 42)
+
+
+class TestMultiKeyOrdering:
+    def test_mixed_directions(self):
+        from repro.relational.schema import schema
+
+        rel = Relation.from_tuples(
+            schema("t", [("g", "STR"), ("n", "INT")]),
+            [("a", 1), ("a", 2), ("b", 1), ("b", 2)],
+        )
+        result = execute("SELECT * FROM t ORDER BY g DESC, n ASC", rel)
+        assert [(r["g"], r["n"]) for r in result] == [
+            ("b", 1),
+            ("b", 2),
+            ("a", 1),
+            ("a", 2),
+        ]

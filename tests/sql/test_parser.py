@@ -1,0 +1,156 @@
+"""Unit tests for the QSQL parser."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sql.errors import SQLError
+from repro.sql.nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+)
+from repro.sql.parser import parse
+
+
+class TestSelectClause:
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert statement.columns is None
+        assert statement.relation == "t"
+
+    def test_column_list(self):
+        statement = parse("SELECT a, b, c FROM t")
+        assert statement.columns == ("a", "b", "c")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+    def test_missing_from(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a WHERE b = 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t extra")
+
+
+class TestWhereClause:
+    def test_comparison(self):
+        statement = parse("SELECT * FROM t WHERE employees > 100")
+        where = statement.where
+        assert isinstance(where, Comparison)
+        assert where.op == ">"
+        assert where.left == ColumnRef("employees")
+        assert where.right == Literal(100)
+
+    def test_quality_ref(self):
+        statement = parse(
+            "SELECT * FROM t WHERE QUALITY(address.source) = 'acct''g'"
+        )
+        where = statement.where
+        assert where.left == QualityRef("address", "source")
+        assert where.right == Literal("acct'g")
+
+    def test_date_literal(self):
+        statement = parse(
+            "SELECT * FROM t WHERE QUALITY(a.creation_time) >= DATE '1991-06-01'"
+        )
+        assert statement.where.right == Literal(dt.date(1991, 6, 1))
+
+    def test_bad_date(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t WHERE a = DATE 'June 1st'")
+
+    def test_boolean_precedence_and_over_or(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        where = statement.where
+        assert isinstance(where, BoolOp) and where.op == "OR"
+        assert isinstance(where.right, BoolOp) and where.right.op == "AND"
+
+    def test_parentheses_override(self):
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        where = statement.where
+        assert isinstance(where, BoolOp) and where.op == "AND"
+        assert isinstance(where.left, BoolOp) and where.left.op == "OR"
+
+    def test_not(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(statement.where, NotOp)
+
+    def test_in_list(self):
+        statement = parse("SELECT * FROM t WHERE src IN ('a', 'b')")
+        where = statement.where
+        assert isinstance(where, InList)
+        assert where.options == ("a", "b")
+        assert not where.negated
+
+    def test_not_in(self):
+        statement = parse("SELECT * FROM t WHERE src NOT IN (1, 2)")
+        assert statement.where.negated
+
+    def test_is_null(self):
+        statement = parse("SELECT * FROM t WHERE a IS NULL")
+        where = statement.where
+        assert isinstance(where, IsNull) and not where.negated
+
+    def test_is_not_null(self):
+        statement = parse("SELECT * FROM t WHERE a IS NOT NULL")
+        assert statement.where.negated
+
+    def test_boolean_literals(self):
+        statement = parse("SELECT * FROM t WHERE flag = TRUE")
+        assert statement.where.right == Literal(True)
+
+    def test_dangling_predicate(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t WHERE a")
+
+    def test_dangling_not(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t WHERE a NOT b")
+
+
+class TestOrderLimit:
+    def test_order_by_columns(self):
+        statement = parse("SELECT * FROM t ORDER BY a DESC, b")
+        assert len(statement.order_by) == 2
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+
+    def test_order_by_quality(self):
+        statement = parse(
+            "SELECT * FROM t ORDER BY QUALITY(a.creation_time) ASC"
+        )
+        assert statement.order_by[0].key == QualityRef("a", "creation_time")
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 5").limit == 5
+
+    def test_limit_validation(self):
+        with pytest.raises(SQLError):
+            parse("SELECT * FROM t LIMIT 2.5")
+
+
+class TestUsesQuality:
+    def test_in_where(self):
+        assert parse(
+            "SELECT * FROM t WHERE QUALITY(a.s) = 'x'"
+        ).uses_quality()
+
+    def test_in_order_by(self):
+        assert parse("SELECT * FROM t ORDER BY QUALITY(a.s)").uses_quality()
+
+    def test_nested(self):
+        assert parse(
+            "SELECT * FROM t WHERE NOT (a = 1 AND QUALITY(b.s) IS NULL)"
+        ).uses_quality()
+
+    def test_absent(self):
+        assert not parse("SELECT * FROM t WHERE a = 1").uses_quality()

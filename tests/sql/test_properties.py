@@ -1,0 +1,217 @@
+"""Property-based tests for QSQL.
+
+Strategy: generate random comparison predicates over a fixed relation
+and check the QSQL answer equals a direct Python evaluation of the same
+predicate (differential testing of parser + executor).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+from repro.sql import execute
+
+COLUMNS = ["a", "b"]
+OPS = {
+    "=": lambda x, y: x == y,
+    "<>": lambda x, y: x != y,
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+}
+
+
+@st.composite
+def relations(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(0, 20)),
+                st.one_of(st.none(), st.integers(0, 20)),
+            ),
+            max_size=15,
+        )
+    )
+    return Relation.from_tuples(
+        schema("t", [("a", "INT"), ("b", "INT")]), rows
+    )
+
+
+@st.composite
+def simple_predicates(draw):
+    column = draw(st.sampled_from(COLUMNS))
+    op = draw(st.sampled_from(sorted(OPS)))
+    literal = draw(st.integers(0, 20))
+    return column, op, literal
+
+
+class TestDifferentialComparison:
+    @settings(max_examples=60)
+    @given(relations(), simple_predicates())
+    def test_single_comparison(self, rel, predicate):
+        column, op, literal = predicate
+        result = execute(
+            f"SELECT * FROM t WHERE {column} {op} {literal}", rel
+        )
+        expected = [
+            row
+            for row in rel
+            if row[column] is not None and OPS[op](row[column], literal)
+        ]
+        assert [r.values_tuple() for r in result] == [
+            r.values_tuple() for r in expected
+        ]
+
+    @settings(max_examples=40)
+    @given(relations(), simple_predicates(), simple_predicates())
+    def test_and_is_intersection(self, rel, p1, p2):
+        c1, o1, l1 = p1
+        c2, o2, l2 = p2
+        combined = execute(
+            f"SELECT * FROM t WHERE {c1} {o1} {l1} AND {c2} {o2} {l2}", rel
+        )
+        first = execute(f"SELECT * FROM t WHERE {c1} {o1} {l1}", rel)
+        refined = execute(
+            f"SELECT * FROM t WHERE {c2} {o2} {l2}", first
+        )
+        assert [r.values_tuple() for r in combined] == [
+            r.values_tuple() for r in refined
+        ]
+
+    @settings(max_examples=40)
+    @given(relations(), simple_predicates())
+    def test_not_partitions(self, rel, predicate):
+        column, op, literal = predicate
+        positive = execute(
+            f"SELECT * FROM t WHERE {column} {op} {literal}", rel
+        )
+        negative = execute(
+            f"SELECT * FROM t WHERE NOT {column} {op} {literal}", rel
+        )
+        # NOT includes NULL rows (the comparison is not-true for them).
+        assert len(positive) + len(negative) == len(rel)
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_is_null_partitions(self, rel):
+        nulls = execute("SELECT * FROM t WHERE a IS NULL", rel)
+        non_nulls = execute("SELECT * FROM t WHERE a IS NOT NULL", rel)
+        assert len(nulls) + len(non_nulls) == len(rel)
+
+    @settings(max_examples=40)
+    @given(relations(), st.integers(0, 10))
+    def test_limit_bounds(self, rel, n):
+        result = execute(f"SELECT * FROM t LIMIT {n}", rel)
+        assert len(result) == min(n, len(rel))
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_order_by_sorted(self, rel):
+        result = execute("SELECT * FROM t ORDER BY a", rel)
+        values = [row["a"] for row in result]
+        present = [v for v in values if v is not None]
+        assert present == sorted(present)
+        # NULLs first under the engine's None-safe ordering.
+        if None in values:
+            assert values.index(None) == 0
+
+
+class TestAggregateProperties:
+    @settings(max_examples=50)
+    @given(relations(), simple_predicates())
+    def test_count_star_matches_filter_cardinality(self, rel, predicate):
+        column, op, literal = predicate
+        where = f"{column} {op} {literal}"
+        counted = execute(
+            f"SELECT COUNT(*) AS n FROM t WHERE {where}", rel
+        ).to_dicts()[0]["n"]
+        filtered = execute(f"SELECT * FROM t WHERE {where}", rel)
+        assert counted == len(filtered)
+
+    @settings(max_examples=50)
+    @given(relations())
+    def test_grouped_counts_partition(self, rel):
+        grouped = execute(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a", rel
+        )
+        assert sum(row["n"] for row in grouped) == len(rel)
+        # One group per distinct a value (None included).
+        distinct_a = {row["a"] for row in rel}
+        assert len(grouped) == (len(distinct_a) if len(rel) else 0)
+
+    @settings(max_examples=50)
+    @given(relations())
+    def test_min_max_bracket_avg(self, rel):
+        row = execute(
+            "SELECT MIN(a) AS low, AVG(a) AS mean, MAX(a) AS high FROM t",
+            rel,
+        ).to_dicts()[0]
+        if row["mean"] is not None:
+            assert row["low"] <= row["mean"] <= row["high"]
+        else:
+            assert row["low"] is None and row["high"] is None
+
+
+class TestParserRobustness:
+    """The parser must fail *closed*: any input either parses or raises
+    SQLError — never an arbitrary exception."""
+
+    @settings(max_examples=120)
+    @given(st.text(max_size=80))
+    def test_arbitrary_text(self, text):
+        from repro.sql import SQLError, parse
+
+        try:
+            parse(text)
+        except SQLError:
+            pass
+
+    @settings(max_examples=80)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "t", "a",
+                    "b", "*", ",", "(", ")", "=", "<", ">", "1", "'x'",
+                    "QUALITY", ".", "IS", "NULL", "IN", "ORDER", "BY",
+                    "LIMIT", "DESC",
+                ]
+            ),
+            max_size=15,
+        )
+    )
+    def test_token_soup(self, words):
+        from repro.sql import SQLError, parse
+
+        try:
+            parse(" ".join(words))
+        except SQLError:
+            pass
+
+    @settings(max_examples=60)
+    @given(st.text(max_size=60))
+    def test_executor_never_crashes_differently(self, text):
+        from repro.errors import ReproError
+        from repro.relational.relation import Relation
+        from repro.sql import execute
+
+        rel = Relation.from_tuples(
+            schema("t", [("a", "INT"), ("b", "INT")]), [(1, 2)]
+        )
+        try:
+            execute(text, rel)
+        except ReproError:
+            pass
+
+
+class TestStorageRoundTripProperty:
+    @settings(max_examples=40)
+    @given(relations())
+    def test_relation_json_round_trip(self, rel):
+        from repro.relational.storage import relation_from_dict, relation_to_dict
+
+        assert relation_from_dict(relation_to_dict(rel)) == rel

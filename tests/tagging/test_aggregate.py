@@ -1,0 +1,142 @@
+"""Unit tests for aggregate-level (relation/database) tagging."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TaggingError, UnknownIndicatorError
+from repro.tagging.aggregate import (
+    AGGREGATE_INDICATORS,
+    DatabaseTags,
+    RelationTags,
+    completeness_hint,
+)
+from repro.tagging.indicators import IndicatorValue
+
+
+class TestRelationTags:
+    def test_set_get(self):
+        tags = RelationTags(
+            "customer", [IndicatorValue("population_method", "full census")]
+        )
+        assert tags.value("population_method") == "full census"
+        assert tags.has("population_method")
+        assert not tags.has("steward")
+
+    def test_requires_name(self):
+        with pytest.raises(TaggingError):
+            RelationTags("")
+
+    def test_replace(self):
+        tags = RelationTags("t", [IndicatorValue("steward", "alice")])
+        tags.set(IndicatorValue("steward", "bob"))
+        assert tags.value("steward") == "bob"
+
+    def test_remove(self):
+        tags = RelationTags("t", [IndicatorValue("steward", "alice")])
+        tags.remove("steward")
+        assert not tags.has("steward")
+        with pytest.raises(UnknownIndicatorError):
+            tags.remove("steward")
+
+    def test_get_missing(self):
+        tags = RelationTags("t")
+        with pytest.raises(UnknownIndicatorError):
+            tags.get("ghost")
+        assert tags.value("ghost", "dflt") == "dflt"
+
+    def test_as_dict_sorted(self):
+        tags = RelationTags(
+            "t",
+            [IndicatorValue("b", 2), IndicatorValue("a", 1)],
+        )
+        assert list(tags.as_dict()) == ["a", "b"]
+
+    def test_render(self):
+        tags = RelationTags("t", [IndicatorValue("steward", "ops")])
+        assert "steward='ops'" in tags.render()
+        assert "(no aggregate tags)" in RelationTags("empty").render()
+
+
+class TestDatabaseTags:
+    @pytest.fixture
+    def db_tags(self):
+        tags = DatabaseTags("corp", [IndicatorValue("steward", "dq_team")])
+        tags.relation("customer").set(
+            IndicatorValue("population_method", "full census")
+        )
+        tags.relation("prospects").set(
+            IndicatorValue("population_method", "purchased list")
+        )
+        tags.relation("prospects").set(
+            IndicatorValue("census_date", dt.date(1991, 3, 1))
+        )
+        return tags
+
+    def test_own_tags(self, db_tags):
+        assert db_tags.own.value("steward") == "dq_team"
+
+    def test_relation_autocreate(self, db_tags):
+        fresh = db_tags.relation("brand_new")
+        assert fresh.indicator_names == ()
+        assert "brand_new" in db_tags.relation_names
+
+    def test_relations_where_value(self, db_tags):
+        assert db_tags.relations_where(
+            "population_method", "full census"
+        ) == ["customer"]
+
+    def test_relations_where_callable(self, db_tags):
+        hits = db_tags.relations_where(
+            "census_date", lambda value: value >= dt.date(1991, 1, 1)
+        )
+        assert hits == ["prospects"]
+
+    def test_untagged_never_match(self, db_tags):
+        db_tags.relation("untagged_rel")
+        assert "untagged_rel" not in db_tags.relations_where(
+            "population_method", lambda value: True
+        )
+
+    def test_render(self, db_tags):
+        text = db_tags.render()
+        assert "Database corp" in text
+        assert "customer:" in text
+
+
+class TestCompletenessHint:
+    def test_explicit_coverage_wins(self):
+        tags = RelationTags(
+            "t",
+            [
+                IndicatorValue("coverage_ratio", 0.42),
+                IndicatorValue("population_method", "full census"),
+            ],
+        )
+        assert completeness_hint(tags) == 0.42
+
+    def test_coverage_clamped(self):
+        tags = RelationTags("t", [IndicatorValue("coverage_ratio", 3.0)])
+        assert completeness_hint(tags) == 1.0
+
+    def test_method_prior(self):
+        census = RelationTags(
+            "t", [IndicatorValue("population_method", "full census")]
+        )
+        purchase = RelationTags(
+            "t", [IndicatorValue("population_method", "purchased list")]
+        )
+        assert completeness_hint(census) > completeness_hint(purchase)
+
+    def test_unknown_method(self):
+        tags = RelationTags(
+            "t", [IndicatorValue("population_method", "divination")]
+        )
+        assert completeness_hint(tags) is None
+
+    def test_no_basis(self):
+        assert completeness_hint(RelationTags("t")) is None
+
+    def test_standard_indicator_catalog(self):
+        assert "population_method" in AGGREGATE_INDICATORS
+        assert AGGREGATE_INDICATORS["census_date"].domain.name == "DATE"

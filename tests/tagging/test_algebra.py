@@ -1,0 +1,222 @@
+"""Unit tests for the quality-extended algebra (tag propagation)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import QueryError, SchemaError, TagSchemaError
+from repro.relational.schema import schema
+from repro.tagging import algebra
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+
+class TestSelect:
+    def test_predicate_over_values_and_tags(self, tagged_customers):
+        by_value = algebra.select(
+            tagged_customers, lambda r: r.value("employees") > 1000
+        )
+        assert len(by_value) == 1
+        by_tag = algebra.select(
+            tagged_customers,
+            lambda r: r["employees"].tag_value("source") == "estimate",
+        )
+        assert len(by_tag) == 1
+        assert by_tag.rows[0].value("co_name") == "Nut Co"
+
+    def test_tags_travel(self, tagged_customers):
+        result = algebra.select(tagged_customers, lambda r: True)
+        assert result.rows[0]["address"].tags == (
+            tagged_customers.rows[0]["address"].tags
+        )
+
+
+class TestProject:
+    def test_tags_kept_on_projected_columns(self, tagged_customers):
+        result = algebra.project(tagged_customers, ["address"])
+        assert result.rows[0]["address"].tag_value("source") == "sales"
+
+    def test_tag_schema_projected(self, tagged_customers):
+        result = algebra.project(tagged_customers, ["co_name"])
+        assert result.tag_schema.tagged_columns == ()
+
+    def test_requires_columns(self, tagged_customers):
+        with pytest.raises(QueryError):
+            algebra.project(tagged_customers, [])
+
+
+class TestRename:
+    def test_tag_schema_renamed_in_lockstep(self, tagged_customers):
+        result = algebra.rename(tagged_customers, {"address": "addr"})
+        assert result.rows[0]["addr"].tag_value("source") == "sales"
+        assert "addr" in result.tag_schema.tagged_columns
+
+
+class TestUnion:
+    def test_same_values_different_tags_both_kept(
+        self, customer_schema, customer_tag_schema
+    ):
+        a = TaggedRelation(customer_schema, customer_tag_schema)
+        a.insert(
+            {
+                "co_name": "X",
+                "address": QualityCell("1 St", [IndicatorValue("source", "a")]),
+                "employees": 1,
+            }
+        )
+        b = TaggedRelation(customer_schema, customer_tag_schema)
+        b.insert(
+            {
+                "co_name": "X",
+                "address": QualityCell("1 St", [IndicatorValue("source", "b")]),
+                "employees": 1,
+            }
+        )
+        merged = algebra.union(a, b)
+        assert len(merged) == 2
+        sources = {row["address"].tag_value("source") for row in merged}
+        assert sources == {"a", "b"}
+
+    def test_incompatible_schemas(self, tagged_customers):
+        other = TaggedRelation(schema("t", [("x", "INT")]))
+        with pytest.raises(SchemaError):
+            algebra.union(tagged_customers, other)
+
+
+class TestDifference:
+    def test_value_based(self, tagged_customers):
+        untagged_copy = TaggedRelation(
+            tagged_customers.schema, tagged_customers.tag_schema
+        )
+        untagged_copy.insert(
+            {"co_name": "Nut Co", "address": "62 Lois Av", "employees": 700}
+        )
+        result = algebra.difference(tagged_customers, untagged_copy)
+        # The Nut Co row cancels despite different tags (value identity).
+        assert len(result) == 1
+        assert result.rows[0].value("co_name") == "Fruit Co"
+
+    def test_survivors_keep_tags(self, tagged_customers):
+        empty = tagged_customers.empty_like()
+        result = algebra.difference(tagged_customers, empty)
+        assert result.rows[0]["address"].tag_value("source") == "sales"
+
+
+class TestDistinctValues:
+    def test_conservative_tag_merge(self, customer_schema, customer_tag_schema):
+        rel = TaggedRelation(customer_schema, customer_tag_schema)
+        shared_date = IndicatorValue("creation_time", dt.date(1991, 1, 1))
+        rel.insert(
+            {
+                "co_name": "X",
+                "address": QualityCell(
+                    "1 St", [IndicatorValue("source", "a"), shared_date]
+                ),
+                "employees": 1,
+            }
+        )
+        rel.insert(
+            {
+                "co_name": "X",
+                "address": QualityCell(
+                    "1 St", [IndicatorValue("source", "b"), shared_date]
+                ),
+                "employees": 1,
+            }
+        )
+        result = algebra.distinct_values(rel)
+        assert len(result) == 1
+        cell = result.rows[0]["address"]
+        # Conflicting source dropped; agreed creation_time kept.
+        assert not cell.has_tag("source")
+        assert cell.tag_value("creation_time") == dt.date(1991, 1, 1)
+
+
+class TestEquiJoin:
+    def test_tags_follow_sides(self, tagged_customers):
+        other_schema = schema(
+            "ratings", [("company", "STR"), ("rating", "STR")]
+        )
+        ratings_tags = TagSchema(
+            indicators=[IndicatorDefinition("source")],
+            allowed={"rating": ["source"]},
+        )
+        ratings = TaggedRelation(other_schema, ratings_tags)
+        ratings.insert(
+            {
+                "company": "Nut Co",
+                "rating": QualityCell("A", [IndicatorValue("source", "moody")]),
+            }
+        )
+        joined = algebra.equi_join(
+            tagged_customers, ratings, on=[("co_name", "company")]
+        )
+        assert len(joined) == 1
+        row = joined.rows[0]
+        assert row["address"].tag_value("source") == "acct'g"
+        assert row["rating"].tag_value("source") == "moody"
+
+    def test_join_requires_on(self, tagged_customers):
+        with pytest.raises(QueryError):
+            algebra.equi_join(tagged_customers, tagged_customers, on=[])
+
+    def test_self_join_columns_qualified(self, tagged_customers):
+        joined = algebra.equi_join(
+            tagged_customers, tagged_customers, on=[("co_name", "co_name")]
+        )
+        assert "customer.address" in joined.schema
+        assert "customer#2.address" in joined.schema
+        assert len(joined) == 2
+
+
+class TestSort:
+    def test_sort_by_value(self, tagged_customers):
+        result = algebra.sort(tagged_customers, ["employees"])
+        assert [r.value("employees") for r in result] == [700, 4004]
+
+    def test_sort_by_tag(self, tagged_customers):
+        result = algebra.sort(
+            tagged_customers, ["address"], key_indicator="creation_time"
+        )
+        assert [r.value("co_name") for r in result] == ["Fruit Co", "Nut Co"]
+
+    def test_sort_by_tag_descending(self, tagged_customers):
+        result = algebra.sort(
+            tagged_customers,
+            ["address"],
+            key_indicator="creation_time",
+            descending=True,
+        )
+        assert [r.value("co_name") for r in result] == ["Nut Co", "Fruit Co"]
+
+
+class TestRetag:
+    def test_applies_tag(self, tagged_customers):
+        result = algebra.retag(
+            tagged_customers,
+            "address",
+            lambda row: IndicatorValue("source", "verified"),
+        )
+        assert all(
+            row["address"].tag_value("source") == "verified" for row in result
+        )
+
+    def test_none_skips(self, tagged_customers):
+        result = algebra.retag(
+            tagged_customers,
+            "address",
+            lambda row: None
+            if row.value("co_name") == "Fruit Co"
+            else IndicatorValue("source", "verified"),
+        )
+        assert result.rows[0]["address"].tag_value("source") == "sales"
+        assert result.rows[1]["address"].tag_value("source") == "verified"
+
+    def test_disallowed_indicator_rejected(self, tagged_customers):
+        with pytest.raises(TagSchemaError):
+            algebra.retag(
+                tagged_customers,
+                "address",
+                lambda row: IndicatorValue("ghost", 1),
+            )

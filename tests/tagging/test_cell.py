@@ -1,0 +1,108 @@
+"""Unit tests for quality cells."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import UnknownIndicatorError
+from repro.tagging.cell import QualityCell, plain
+from repro.tagging.indicators import IndicatorValue
+
+
+class TestCellBasics:
+    def test_untagged(self):
+        cell = plain(42)
+        assert cell.value == 42
+        assert cell.tags == ()
+
+    def test_tags_sorted_by_name(self):
+        cell = QualityCell(
+            1, [IndicatorValue("source", "s"), IndicatorValue("age", 2.0)]
+        )
+        assert cell.indicator_names == ("age", "source")
+
+    def test_duplicate_tag_last_wins(self):
+        cell = QualityCell(
+            1, [IndicatorValue("source", "a"), IndicatorValue("source", "b")]
+        )
+        assert cell.tag_value("source") == "b"
+
+    def test_tag_lookup(self):
+        cell = QualityCell(1, [IndicatorValue("source", "s")])
+        assert cell.has_tag("source")
+        assert cell.tag("source").value == "s"
+        with pytest.raises(UnknownIndicatorError):
+            cell.tag("ghost")
+
+    def test_tag_value_default(self):
+        cell = plain(1)
+        assert cell.tag_value("source", "unknown") == "unknown"
+
+    def test_tags_dict(self):
+        cell = QualityCell(1, [IndicatorValue("source", "s")])
+        assert cell.tags_dict() == {"source": "s"}
+
+
+class TestCellDerivation:
+    def test_with_tag_adds(self):
+        cell = plain(1).with_tag(IndicatorValue("source", "s"))
+        assert cell.tag_value("source") == "s"
+
+    def test_with_tag_replaces(self):
+        cell = QualityCell(1, [IndicatorValue("source", "a")])
+        replaced = cell.with_tag(IndicatorValue("source", "b"))
+        assert replaced.tag_value("source") == "b"
+        assert cell.tag_value("source") == "a"  # original unchanged
+
+    def test_with_tags_many(self):
+        cell = plain(1).with_tags(
+            [IndicatorValue("a", 1), IndicatorValue("b", 2)]
+        )
+        assert cell.indicator_names == ("a", "b")
+
+    def test_without_tag(self):
+        cell = QualityCell(1, [IndicatorValue("source", "s")])
+        assert not cell.without_tag("source").has_tag("source")
+        assert cell.without_tag("ghost") == cell
+
+    def test_with_value(self):
+        cell = QualityCell(1, [IndicatorValue("source", "s")])
+        updated = cell.with_value(2)
+        assert updated.value == 2
+        assert updated.tags == cell.tags
+
+
+class TestCellRender:
+    def test_paper_style(self):
+        cell = QualityCell(
+            "62 Lois Av",
+            [
+                IndicatorValue("creation_time", dt.date(1991, 10, 24)),
+                IndicatorValue("source", "acct'g"),
+            ],
+        )
+        assert cell.render() == "62 Lois Av (10-24-91, acct'g)"
+
+    def test_untagged_renders_value_only(self):
+        assert plain(700).render() == "700"
+
+    def test_none_value(self):
+        assert plain(None).render() == ""
+        tagged_none = QualityCell(None, [IndicatorValue("source", "s")])
+        assert tagged_none.render() == " (s)"
+
+
+class TestCellEquality:
+    def test_value_and_tags(self):
+        a = QualityCell(1, [IndicatorValue("s", "x")])
+        b = QualityCell(1, [IndicatorValue("s", "x")])
+        assert a == b and hash(a) == hash(b)
+
+    def test_tags_matter(self):
+        a = QualityCell(1, [IndicatorValue("s", "x")])
+        b = QualityCell(1)
+        assert a != b
+
+    def test_unhashable_value_still_hashable_cell(self):
+        cell = QualityCell([1, 2, 3])
+        hash(cell)  # must not raise

@@ -1,0 +1,121 @@
+"""Unit tests for the columnar tag store (the E2 ablation alternative)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TagSchemaError, UnknownIndicatorError
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+from repro.tagging.columnar import ColumnarTagStore
+from repro.tagging.indicators import IndicatorDefinition, TagSchema
+
+
+@pytest.fixture
+def store(customer_schema, customer_tag_schema):
+    relation = Relation.from_tuples(
+        customer_schema,
+        [("Fruit Co", "12 Jay St", 4004), ("Nut Co", "62 Lois Av", 700)],
+    )
+    built = ColumnarTagStore(relation, customer_tag_schema)
+    built.set_tag(0, "address", "source", "sales")
+    built.set_tag(0, "address", "creation_time", dt.date(1991, 1, 2))
+    built.set_tag(1, "address", "source", "acct'g")
+    built.set_tag(1, "address", "creation_time", dt.date(1991, 10, 24))
+    built.set_tag(0, "employees", "source", "Nexis")
+    built.set_tag(1, "employees", "source", "estimate")
+    return built
+
+
+class TestBasics:
+    def test_tag_value(self, store):
+        assert store.tag_value(1, "address", "source") == "acct'g"
+        assert store.tag_value(0, "employees", "creation_time") is None
+
+    def test_tag_count(self, store):
+        assert store.tag_count() == 6
+
+    def test_domain_validated(self, store):
+        store.set_tag(0, "address", "creation_time", "1991-03-01")
+        assert store.tag_value(0, "address", "creation_time") == dt.date(
+            1991, 3, 1
+        )
+
+    def test_unknown_indicator(self, store):
+        with pytest.raises(UnknownIndicatorError):
+            store.set_tag(0, "address", "ghost", 1)
+        with pytest.raises(UnknownIndicatorError):
+            store.tag_value(0, "co_name", "source")
+
+    def test_tag_array(self, store):
+        assert store.tag_array("employees", "source") == ("Nexis", "estimate")
+
+    def test_append_keeps_alignment(self, store):
+        index = store.append(
+            {"co_name": "New Co", "address": "9 Elm", "employees": 5},
+            tags={("address", "source"): "sales"},
+        )
+        assert index == 2
+        assert len(store) == 3
+        assert store.tag_value(2, "address", "source") == "sales"
+        assert store.tag_value(2, "employees", "source") is None
+        assert len(store.tag_array("address", "creation_time")) == 3
+
+
+class TestFiltering:
+    def test_filter_indices(self, store):
+        hits = store.filter_indices("employees", "source", "!=", "estimate")
+        assert hits == [0]
+
+    def test_filter_materializes(self, store):
+        result = store.filter("address", "source", "==", "acct'g")
+        assert result.to_dicts()[0]["co_name"] == "Nut Co"
+
+    def test_missing_ok(self, store):
+        hits = store.filter_indices(
+            "employees", "creation_time", ">=", dt.date(1991, 1, 1),
+            missing_ok=True,
+        )
+        assert hits == [0, 1]
+
+    def test_incomparable_skipped(self, store):
+        hits = store.filter_indices(
+            "address", "creation_time", ">", "not-a-date"
+        )
+        assert hits == []
+
+    def test_bad_operator(self, store):
+        with pytest.raises(TagSchemaError):
+            store.filter_indices("address", "source", "~", 1)
+
+
+class TestConversions:
+    def test_round_trip_through_tagged_relation(self, store, tagged_customers):
+        tagged = store.to_tagged_relation()
+        assert len(tagged) == 2
+        assert tagged.rows[1]["address"].tag_value("source") == "acct'g"
+        back = ColumnarTagStore.from_tagged_relation(tagged)
+        assert back.tag_count() == store.tag_count()
+        assert back.tag_array("employees", "source") == store.tag_array(
+            "employees", "source"
+        )
+
+    def test_from_table2(self, tagged_customers):
+        store = ColumnarTagStore.from_tagged_relation(tagged_customers)
+        assert store.tag_count() == tagged_customers.tag_count()
+        assert store.tag_value(1, "employees", "source") == "estimate"
+
+    def test_equivalent_filter_answers(self, tagged_customers):
+        """Ablation invariant: both representations answer identically."""
+        from repro.tagging.query import QualityQuery
+
+        store = ColumnarTagStore.from_tagged_relation(tagged_customers)
+        per_cell = (
+            QualityQuery(tagged_customers)
+            .require("employees", "source", "!=", "estimate")
+            .values()
+        )
+        columnar = store.filter(
+            "employees", "source", "!=", "estimate"
+        ).to_dicts()
+        assert per_cell == columnar

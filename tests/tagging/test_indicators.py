@@ -1,0 +1,162 @@
+"""Unit tests for indicator definitions, values, and tag schemas."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import TagSchemaError, UnknownIndicatorError
+from repro.relational.schema import schema
+from repro.tagging.indicators import (
+    IndicatorDefinition,
+    IndicatorValue,
+    STANDARD_INDICATORS,
+    TagSchema,
+)
+
+
+class TestIndicatorDefinition:
+    def test_defaults(self):
+        definition = IndicatorDefinition("source")
+        assert definition.domain.name == "STR"
+
+    def test_requires_name(self):
+        with pytest.raises(TagSchemaError):
+            IndicatorDefinition("")
+
+    def test_value_factory_validates(self):
+        definition = IndicatorDefinition("creation_time", "DATE")
+        tag = definition.value("1991-10-24")
+        assert tag.value == dt.date(1991, 10, 24)
+
+    def test_standard_catalog(self):
+        assert "source" in STANDARD_INDICATORS
+        assert STANDARD_INDICATORS["creation_time"].domain.name == "DATE"
+
+
+class TestIndicatorValue:
+    def test_immutable_equality(self):
+        a = IndicatorValue("source", "sales")
+        b = IndicatorValue("source", "sales")
+        assert a == b and hash(a) == hash(b)
+
+    def test_meta_sorted_deterministic(self):
+        a = IndicatorValue("s", "x", meta={"b": 2, "a": 1})
+        b = IndicatorValue("s", "x", meta={"a": 1, "b": 2})
+        assert a == b
+        assert a.meta_dict() == {"a": 1, "b": 2}
+
+    def test_meta_distinguishes(self):
+        a = IndicatorValue("s", "x")
+        b = IndicatorValue("s", "x", meta={"confidence": 0.5})
+        assert a != b
+
+    def test_requires_name(self):
+        with pytest.raises(TagSchemaError):
+            IndicatorValue("", 1)
+
+
+class TestTagSchema:
+    def test_required_and_allowed(self, customer_tag_schema):
+        assert customer_tag_schema.allowed_for("address") == {
+            "creation_time",
+            "source",
+        }
+        assert customer_tag_schema.required_for("address") == frozenset()
+
+    def test_required_included_in_allowed(self):
+        ts = TagSchema(
+            indicators=[IndicatorDefinition("source")],
+            required={"a": ["source"]},
+        )
+        assert ts.allowed_for("a") == {"source"}
+
+    def test_undefined_indicator_rejected(self):
+        with pytest.raises(TagSchemaError):
+            TagSchema(required={"a": ["ghost"]})
+
+    def test_duplicate_definitions_rejected(self):
+        with pytest.raises(TagSchemaError):
+            TagSchema(
+                indicators=[
+                    IndicatorDefinition("source"),
+                    IndicatorDefinition("source"),
+                ]
+            )
+
+    def test_definition_lookup(self, customer_tag_schema):
+        assert customer_tag_schema.definition("source").name == "source"
+        with pytest.raises(UnknownIndicatorError):
+            customer_tag_schema.definition("ghost")
+
+    def test_check_against_schema(self, customer_tag_schema, customer_schema):
+        customer_tag_schema.check_against(customer_schema)  # fine
+        other = schema("t", [("x", "INT")])
+        with pytest.raises(TagSchemaError):
+            customer_tag_schema.check_against(other)
+
+    def test_tagged_columns(self, customer_tag_schema):
+        assert customer_tag_schema.tagged_columns == ("address", "employees")
+
+
+class TestTagValidation:
+    def test_validates_and_coerces(self, customer_tag_schema):
+        tags = customer_tag_schema.validate_tags(
+            "address",
+            [IndicatorValue("creation_time", "1991-10-24")],
+        )
+        assert tags["creation_time"].value == dt.date(1991, 10, 24)
+
+    def test_disallowed_indicator(self, customer_tag_schema):
+        with pytest.raises(UnknownIndicatorError):
+            customer_tag_schema.validate_tags(
+                "co_name", [IndicatorValue("source", "x")]
+            )
+
+    def test_duplicate_tags_rejected(self, customer_tag_schema):
+        with pytest.raises(TagSchemaError):
+            customer_tag_schema.validate_tags(
+                "address",
+                [IndicatorValue("source", "a"), IndicatorValue("source", "b")],
+            )
+
+    def test_missing_required(self):
+        ts = TagSchema(
+            indicators=[IndicatorDefinition("source")],
+            required={"a": ["source"]},
+        )
+        with pytest.raises(TagSchemaError):
+            ts.validate_tags("a", [])
+
+
+class TestTagSchemaDerivation:
+    def test_merge_unions(self):
+        a = TagSchema(
+            indicators=[IndicatorDefinition("source")],
+            required={"x": ["source"]},
+        )
+        b = TagSchema(
+            indicators=[IndicatorDefinition("age", "FLOAT")],
+            allowed={"x": ["age"]},
+        )
+        merged = a.merge(b)
+        assert merged.required_for("x") == {"source"}
+        assert merged.allowed_for("x") == {"source", "age"}
+
+    def test_merge_conflicting_domains_rejected(self):
+        a = TagSchema(indicators=[IndicatorDefinition("age", "FLOAT")])
+        b = TagSchema(indicators=[IndicatorDefinition("age", "STR")])
+        with pytest.raises(TagSchemaError):
+            a.merge(b)
+
+    def test_project(self, customer_tag_schema):
+        projected = customer_tag_schema.project(["address"])
+        assert projected.tagged_columns == ("address",)
+
+    def test_rename_columns(self, customer_tag_schema):
+        renamed = customer_tag_schema.rename_columns({"address": "addr"})
+        assert "addr" in renamed.tagged_columns
+        assert "address" not in renamed.tagged_columns
+
+    def test_round_trip(self, customer_tag_schema):
+        restored = TagSchema.from_dict(customer_tag_schema.to_dict())
+        assert restored == customer_tag_schema

@@ -1,0 +1,104 @@
+"""Unit tests for meta-quality tagging (Premise 1.4)."""
+
+import pytest
+
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorValue
+from repro.tagging.meta import (
+    audit_tag_provenance,
+    meta_coverage,
+    meta_value,
+    min_confidence_filter,
+    stamp_meta,
+    tags_with_meta,
+)
+
+
+class TestStampMeta:
+    def test_standard_keys(self):
+        tag = stamp_meta(
+            IndicatorValue("source", "acct'g"),
+            recorded_by="etl-7",
+            recorded_on="1991-11-01",
+            confidence=0.9,
+        )
+        meta = tag.meta_dict()
+        assert meta["recorded_by"] == "etl-7"
+        assert meta["recorded_on"] == "1991-11-01"
+        assert meta["confidence"] == 0.9
+
+    def test_extra_keys(self):
+        tag = stamp_meta(IndicatorValue("source", "x"), batch=42)
+        assert tag.meta_dict()["batch"] == 42
+
+    def test_confidence_bounds(self):
+        with pytest.raises(ValueError):
+            stamp_meta(IndicatorValue("s", "x"), confidence=1.5)
+
+    def test_original_unchanged(self):
+        original = IndicatorValue("source", "x")
+        stamp_meta(original, recorded_by="a")
+        assert original.meta == ()
+
+
+class TestMetaAccess:
+    def test_meta_value(self):
+        cell = QualityCell(
+            1, [stamp_meta(IndicatorValue("source", "x"), confidence=0.8)]
+        )
+        assert meta_value(cell, "source", "confidence") == 0.8
+        assert meta_value(cell, "source", "missing", "dflt") == "dflt"
+        assert meta_value(cell, "ghost", "confidence") is None
+
+
+def _build_relation(confidences):
+    from repro.relational.schema import schema
+    from repro.tagging.indicators import IndicatorDefinition, TagSchema
+    from repro.tagging.relation import TaggedRelation
+
+    ts = TagSchema(
+        indicators=[IndicatorDefinition("source")],
+        allowed={"v": ["source"]},
+    )
+    rel = TaggedRelation(schema("t", [("k", "STR"), ("v", "INT")]), ts)
+    for i, confidence in enumerate(confidences):
+        tag = IndicatorValue("source", "s")
+        if confidence is not None:
+            tag = stamp_meta(tag, confidence=confidence, recorded_by=f"op{i}")
+        rel.insert({"k": str(i), "v": QualityCell(i, [tag])})
+    return rel
+
+
+class TestMetaFilters:
+    def test_min_confidence_filter(self):
+        rel = _build_relation([0.9, 0.5, None])
+        kept = min_confidence_filter(rel, "v", "source", 0.8)
+        assert len(kept) == 1
+
+    def test_missing_ok(self):
+        rel = _build_relation([0.9, None])
+        kept = min_confidence_filter(rel, "v", "source", 0.8, missing_ok=True)
+        assert len(kept) == 2
+
+    def test_meta_coverage(self):
+        rel = _build_relation([0.9, None])
+        assert meta_coverage(rel, "confidence") == 0.5
+
+    def test_meta_coverage_empty(self):
+        rel = _build_relation([])
+        assert meta_coverage(rel, "confidence") == 0.0
+
+    def test_tags_with_meta(self):
+        rel = _build_relation([0.9, None])
+        hits = list(tags_with_meta(rel, "confidence"))
+        assert len(hits) == 1
+        _, column, tag = hits[0]
+        assert column == "v"
+        assert tag.meta_dict()["confidence"] == 0.9
+
+    def test_audit_tag_provenance(self):
+        rel = _build_relation([0.9, 0.8, None])
+        report = audit_tag_provenance(rel)
+        actors = {entry["recorded_by"] for entry in report}
+        assert actors == {"op0", "op1", "(unknown)"}
+        assert all(entry["indicator"] == "source" for entry in report)

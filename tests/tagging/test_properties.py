@@ -1,0 +1,134 @@
+"""Property-based tests for tag propagation invariants.
+
+The attribute-based model's core invariant: every tag on an output cell
+of a quality-algebra operator was present on the input cell it derives
+from (operators never invent provenance), and selection/projection
+never lose tags.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.schema import schema
+from repro.tagging import algebra
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+SOURCES = st.sampled_from(["sales", "acct'g", "Nexis", "estimate", "manual"])
+KEYS = st.text(alphabet="abcde", min_size=1, max_size=4)
+VALUES = st.integers(min_value=0, max_value=50)
+
+
+def tag_schema() -> TagSchema:
+    return TagSchema(
+        indicators=[
+            IndicatorDefinition("source"),
+            IndicatorDefinition("age", "FLOAT"),
+        ],
+        allowed={"v": ["source", "age"]},
+    )
+
+
+@st.composite
+def tagged_relations(draw, max_rows: int = 10) -> TaggedRelation:
+    rel = TaggedRelation(schema("t", [("k", "STR"), ("v", "INT")]), tag_schema())
+    rows = draw(
+        st.lists(
+            st.tuples(
+                KEYS,
+                VALUES,
+                st.one_of(st.none(), SOURCES),
+                st.one_of(
+                    st.none(),
+                    st.floats(min_value=0, max_value=100, allow_nan=False),
+                ),
+            ),
+            max_size=max_rows,
+        )
+    )
+    for key, value, source, age in rows:
+        tags = []
+        if source is not None:
+            tags.append(IndicatorValue("source", source))
+        if age is not None:
+            tags.append(IndicatorValue("age", age))
+        rel.insert({"k": key, "v": QualityCell(value, tags)})
+    return rel
+
+
+def all_cell_tags(relation: TaggedRelation) -> set:
+    return {
+        (row.value("k"), row.value("v"), cell_tag)
+        for row in relation
+        for cell_tag in row["v"].tags
+    }
+
+
+class TestTagConservation:
+    @given(tagged_relations())
+    def test_select_preserves_tags(self, rel):
+        result = algebra.select(rel, lambda r: r.value("v") % 2 == 0)
+        assert all_cell_tags(result) <= all_cell_tags(rel)
+        # And kept rows keep *all* their tags.
+        for row in result:
+            source_rows = [
+                r
+                for r in rel
+                if r.values_tuple() == row.values_tuple()
+                and r["v"].tags == row["v"].tags
+            ]
+            assert source_rows
+
+    @given(tagged_relations())
+    def test_project_preserves_tags(self, rel):
+        result = algebra.project(rel, ["v"])
+        assert len(result) == len(rel)
+        for in_row, out_row in zip(rel, result):
+            assert out_row["v"].tags == in_row["v"].tags
+
+    @given(tagged_relations(), tagged_relations())
+    def test_union_tag_multiset_is_sum(self, a, b):
+        merged = algebra.union(a, b)
+        assert merged.tag_count() == a.tag_count() + b.tag_count()
+
+    @given(tagged_relations())
+    def test_distinct_values_never_invents_tags(self, rel):
+        result = algebra.distinct_values(rel)
+        input_tags = all_cell_tags(rel)
+        for row in result:
+            for tag in row["v"].tags:
+                assert (row.value("k"), row.value("v"), tag) in input_tags
+
+    @given(tagged_relations())
+    def test_distinct_values_idempotent(self, rel):
+        once = algebra.distinct_values(rel)
+        twice = algebra.distinct_values(once)
+        assert [r.values_tuple() for r in once] == [
+            r.values_tuple() for r in twice
+        ]
+        assert [r["v"].tags for r in once] == [r["v"].tags for r in twice]
+
+    @settings(max_examples=30)
+    @given(tagged_relations(max_rows=6), tagged_relations(max_rows=6))
+    def test_join_output_tags_from_inputs(self, a, b):
+        b_renamed = algebra.rename(b, {"k": "k2", "v": "v2"}, new_name="u")
+        joined = algebra.equi_join(a, b_renamed, on=[("v", "v2")])
+        a_tags = {tag for row in a for tag in row["v"].tags}
+        b_tags = {tag for row in b for tag in row["v"].tags}
+        for row in joined:
+            for tag in row["v"].tags:
+                assert tag in a_tags
+            for tag in row["v2"].tags:
+                assert tag in b_tags
+
+    @given(tagged_relations())
+    def test_sort_is_tag_preserving_permutation(self, rel):
+        result = algebra.sort(rel, ["v"])
+        def key(row):
+            return (row.values_tuple(), row["v"].tags)
+        assert sorted(map(key, rel), key=repr) == sorted(
+            map(key, result), key=repr
+        )

@@ -1,0 +1,170 @@
+"""Unit tests for indicator-constrained retrieval."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import QueryError
+from repro.tagging.query import (
+    IndicatorConstraint,
+    QualityFilter,
+    QualityQuery,
+)
+
+
+class TestIndicatorConstraint:
+    def test_equality_operator(self, tagged_customers):
+        constraint = IndicatorConstraint("employees", "source", "==", "Nexis")
+        matching = [r for r in tagged_customers if constraint.test(r)]
+        assert len(matching) == 1
+        assert matching[0].value("co_name") == "Fruit Co"
+
+    def test_comparison_over_dates(self, tagged_customers):
+        constraint = IndicatorConstraint(
+            "address", "creation_time", ">=", dt.date(1991, 6, 1)
+        )
+        matching = [r for r in tagged_customers if constraint.test(r)]
+        assert [r.value("co_name") for r in matching] == ["Nut Co"]
+
+    def test_in_operator(self, tagged_customers):
+        constraint = IndicatorConstraint(
+            "employees", "source", "in", {"Nexis", "acct'g"}
+        )
+        assert sum(constraint.test(r) for r in tagged_customers) == 1
+
+    def test_missing_fails_by_default(self, tagged_customers):
+        constraint = IndicatorConstraint("co_name", "source", "==", "x")
+        assert not any(constraint.test(r) for r in tagged_customers)
+
+    def test_missing_ok(self, tagged_customers):
+        constraint = IndicatorConstraint(
+            "co_name", "source", "==", "x", missing_ok=True
+        )
+        assert all(constraint.test(r) for r in tagged_customers)
+
+    def test_incomparable_fails_closed(self, tagged_customers):
+        constraint = IndicatorConstraint(
+            "address", "creation_time", ">", "not-a-date-object"
+        )
+        assert not any(constraint.test(r) for r in tagged_customers)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            IndicatorConstraint("a", "b", "~=", 1)
+
+    def test_describe(self):
+        text = IndicatorConstraint("address", "source", "!=", "estimate").describe()
+        assert "address.source != 'estimate'" in text
+
+
+class TestQualityFilter:
+    def test_conjunction(self, tagged_customers):
+        quality = QualityFilter(
+            [
+                IndicatorConstraint("address", "source", "==", "acct'g"),
+                IndicatorConstraint(
+                    "employees", "source", "==", "estimate"
+                ),
+            ],
+            name="strict",
+        )
+        result = quality.apply(tagged_customers)
+        assert len(result) == 1
+
+    def test_empty_filter_passes_all(self, tagged_customers):
+        assert len(QualityFilter().apply(tagged_customers)) == 2
+
+    def test_unknown_column_rejected(self, tagged_customers):
+        quality = QualityFilter(
+            [IndicatorConstraint("ghost", "source", "==", "x")]
+        )
+        with pytest.raises(Exception):
+            quality.apply(tagged_customers)
+
+    def test_with_constraint_copies(self):
+        base = QualityFilter(name="base")
+        extended = base.with_constraint(
+            IndicatorConstraint("a", "b", "==", 1)
+        )
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_describe(self):
+        quality = QualityFilter(
+            [IndicatorConstraint("a", "source", "==", "x")], name="grade1"
+        )
+        assert "grade1" in quality.describe()
+        assert "a.source == 'x'" in quality.describe()
+        assert "no constraints" in QualityFilter(name="open").describe()
+
+
+class TestQualityQuery:
+    def test_require(self, tagged_customers):
+        values = (
+            QualityQuery(tagged_customers)
+            .require("employees", "source", "!=", "estimate")
+            .values()
+        )
+        assert values == [
+            {"co_name": "Fruit Co", "address": "12 Jay St", "employees": 4004}
+        ]
+
+    def test_where_value(self, tagged_customers):
+        assert (
+            QualityQuery(tagged_customers)
+            .where_value("employees", ">", 1000)
+            .count()
+            == 1
+        )
+
+    def test_combined_value_and_quality(self, tagged_customers):
+        result = (
+            QualityQuery(tagged_customers)
+            .where_value("employees", ">", 100)
+            .require("address", "creation_time", ">=", dt.date(1991, 1, 1))
+            .select("co_name")
+            .run()
+        )
+        assert len(result) == 2
+
+    def test_require_tagged(self, tagged_customers):
+        assert (
+            QualityQuery(tagged_customers)
+            .require_tagged("address", "source")
+            .count()
+            == 2
+        )
+        assert (
+            QualityQuery(tagged_customers)
+            .require_tagged("co_name", "source")
+            .count()
+            == 0
+        )
+
+    def test_grade(self, tagged_customers):
+        grade = QualityFilter(
+            [IndicatorConstraint("employees", "source", "!=", "estimate")],
+            name="verified_headcount",
+        )
+        assert QualityQuery(tagged_customers).grade(grade).count() == 1
+
+    def test_order_by_indicator(self, tagged_customers):
+        result = (
+            QualityQuery(tagged_customers)
+            .order_by("address", by_indicator="creation_time", descending=True)
+            .run()
+        )
+        assert result.rows[0].value("co_name") == "Nut Co"
+
+    def test_limit(self, tagged_customers):
+        assert QualityQuery(tagged_customers).limit(1).count() == 1
+
+    def test_immutability(self, tagged_customers):
+        base = QualityQuery(tagged_customers)
+        strict = base.require("employees", "source", "==", "Nexis")
+        assert base.count() == 2
+        assert strict.count() == 1
+
+    def test_unknown_operator(self, tagged_customers):
+        with pytest.raises(QueryError):
+            QualityQuery(tagged_customers).where_value("employees", "~", 1)

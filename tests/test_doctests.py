@@ -1,0 +1,35 @@
+"""Run the library's docstring examples as tests.
+
+Every ``>>>`` example in a public docstring must stay executable —
+documentation that silently rots is itself a data quality defect.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names() -> list[str]:
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if module_info.name == "repro.__main__":
+            continue
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_module_names())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module_name}"
+    )
