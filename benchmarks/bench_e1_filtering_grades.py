@@ -112,3 +112,44 @@ def test_e1_querytime_vs_loadtime_ablation(benchmark):
     assert len(mass_result) == len(relation)
     assert len(load_filtered_store) < len(mass_result)
     assert len(fund_result) == len(load_filtered_store)
+
+
+def test_e1_json_fast_vs_naive_grading():
+    """Emit BENCH_E1.json: compiled grade filtering vs the naive path.
+
+    The fund-raising grade runs once through the compiled (pushdown)
+    filter and once through the seed strategy (per-row name lookups,
+    re-validating inserts); both must deliver identical rows.
+    """
+    from conftest import REPO_ROOT, best_seconds
+
+    from repro.experiments.harness import bench_record, write_bench_json
+    from repro.experiments.naive import naive_quality_filter
+
+    world, _, relation, registry = _scenario()
+    fund = registry.get("fund_raising").quality_filter
+
+    fast_result = fund.apply(relation)
+    naive_result = naive_quality_filter(relation, fund)
+    assert [r.cells for r in fast_result] == [r.cells for r in naive_result]
+
+    n = len(relation)
+    fast_s = best_seconds(lambda: fund.apply(relation))
+    naive_s = best_seconds(lambda: naive_quality_filter(relation, fund))
+    speedup = naive_s / fast_s
+    write_bench_json(
+        "BENCH_E1.json",
+        [
+            bench_record(
+                "e1_graded_retrieval_fast", n, fast_s, speedup=speedup
+            ),
+            bench_record("e1_graded_retrieval_naive", n, naive_s, speedup=1.0),
+        ],
+        REPO_ROOT,
+    )
+    emit(
+        "E1: fast vs naive graded retrieval",
+        f"fast {fast_s * 1e3:.2f} ms, naive {naive_s * 1e3:.2f} ms, "
+        f"speedup {speedup:.1f}x over {n} rows",
+    )
+    assert fast_s <= naive_s

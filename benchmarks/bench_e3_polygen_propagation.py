@@ -159,3 +159,76 @@ def test_e3_cost_vs_federation_size(benchmark):
     assert all(entry["rows"] == N_TICKERS for entry in results)
     assert [entry["sources_per_cell"] for entry in results] == [1, 2, 4, 8]
     assert results[-1]["seconds"] > results[0]["seconds"]
+
+
+def test_e3_json_fast_vs_naive_join():
+    """Emit BENCH_E3.json: fast federation join vs the naive (seed) join.
+
+    Corroborated quotes from two feeds joined with research reports.
+    The fast path works on cell tuples with positional keys; the naive
+    path rebuilds per-row cell dicts and re-validates each output row.
+    Acceptance floor for this PR: 1.5x ops/sec.
+    """
+    from conftest import REPO_ROOT, best_seconds
+
+    from repro.experiments.harness import bench_record, write_bench_json
+    from repro.experiments.naive import naive_polygen_equi_join
+
+    n_tickers = 2000
+    federation = Federation("markets")
+    for db_index in range(2):
+        db = Database(f"feed_{db_index}")
+        db.create_relation(
+            schema("quotes", [("ticker", "STR"), ("price", "FLOAT")])
+        )
+        for t in range(n_tickers):
+            db.insert(
+                "quotes", {"ticker": f"T{t:04d}", "price": float(100 + t)}
+            )
+        federation.register(db, credibility=1.0 - 0.1 * db_index)
+    reports_db = Database("research")
+    reports_db.create_relation(
+        schema("reports", [("symbol", "STR"), ("analyst", "STR")])
+    )
+    for t in range(n_tickers):
+        reports_db.insert(
+            "reports", {"symbol": f"T{t:04d}", "analyst": f"an{t % 7}"}
+        )
+    federation.register(reports_db)
+
+    quotes = federation.union_all("quotes", ["feed_0", "feed_1"])
+    reports = federation.export("research", "reports")
+    on = [("ticker", "symbol")]
+
+    fast_result = algebra.equi_join(quotes, reports, on)
+    naive_result = naive_polygen_equi_join(quotes, reports, on)
+    assert len(fast_result) == len(naive_result) == n_tickers
+    for fast_row, naive_row in zip(fast_result.rows[:5], naive_result.rows[:5]):
+        for fast_cell, naive_cell in zip(fast_row.cells, naive_row.cells):
+            assert fast_cell.value == naive_cell.value
+            assert fast_cell.originating == naive_cell.originating
+            assert fast_cell.intermediate == naive_cell.intermediate
+
+    fast_s = best_seconds(lambda: algebra.equi_join(quotes, reports, on))
+    naive_s = best_seconds(
+        lambda: naive_polygen_equi_join(quotes, reports, on)
+    )
+    speedup = naive_s / fast_s
+    write_bench_json(
+        "BENCH_E3.json",
+        [
+            bench_record(
+                "e3_federation_join_fast", n_tickers, fast_s, speedup=speedup
+            ),
+            bench_record(
+                "e3_federation_join_naive", n_tickers, naive_s, speedup=1.0
+            ),
+        ],
+        REPO_ROOT,
+    )
+    emit(
+        "E3: fast vs naive federation join",
+        f"fast {fast_s * 1e3:.1f} ms, naive {naive_s * 1e3:.1f} ms, "
+        f"speedup {speedup:.1f}x over {n_tickers} joined rows",
+    )
+    assert speedup >= 1.5

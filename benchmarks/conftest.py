@@ -8,10 +8,26 @@ fall).  Absolute timings come from pytest-benchmark.
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
+
+#: Repository root — BENCH_*.json artifacts are written here.
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def emit(title: str, artifact: str) -> None:
     """Print a regenerated artifact under a banner (visible with -s)."""
     banner = "=" * max(len(title), 8)
     print(f"\n{banner}\n{title}\n{banner}\n{artifact}\n")
+
+
+def best_seconds(fn, repeats: int = 5) -> float:
+    """Noise-robust wall time: best of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Optional
 
 
@@ -52,3 +54,41 @@ def run_experiment(
     """
     artifact, data = build()
     return ExperimentResult(experiment_id, title, artifact, data)
+
+
+def bench_record(
+    bench: str, n: int, seconds: float, **extra: Any
+) -> dict[str, Any]:
+    """One benchmark measurement with the stable JSON schema.
+
+    Every record carries ``{"bench", "n", "seconds", "ops_per_sec"}``;
+    callers may attach extra keys (e.g. ``speedup``) but must not
+    change the meaning of the stable four.
+    """
+    if n <= 0:
+        raise ValueError(f"bench {bench!r}: n must be positive, got {n}")
+    if seconds <= 0:
+        raise ValueError(
+            f"bench {bench!r}: seconds must be positive, got {seconds}"
+        )
+    return {
+        "bench": bench,
+        "n": n,
+        "seconds": seconds,
+        "ops_per_sec": n / seconds,
+        **extra,
+    }
+
+
+def write_bench_json(
+    filename: str,
+    records: list[dict[str, Any]],
+    directory: Optional[Path] = None,
+) -> Path:
+    """Write benchmark records to ``directory/filename`` (repo root by
+    default: two levels above the ``benchmarks/`` conftest's parent,
+    resolved by the caller).  Returns the written path."""
+    target_dir = Path(directory) if directory is not None else Path.cwd()
+    target = target_dir / filename
+    target.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,239 @@
+"""Naive (pre-optimization) reference operators for equivalence checks.
+
+These functions reproduce the original execution strategy of the three
+algebra layers: per-row column-name lookups (``column_names.index``-style
+resolution through ``row[name]``), dict round-trips between operators,
+and re-validation of every value and tag through the public ``insert``
+path.  They are deliberately *slow but obviously correct*, and exist for
+two purposes:
+
+- the property tests in ``tests/*/test_fastpath.py`` assert the fast
+  paths in :mod:`repro.relational.algebra`, :mod:`repro.tagging.algebra`
+  and :mod:`repro.polygen.algebra` return identical results;
+- the benchmark suite measures speedup of the fast path against these
+  as the "naive" baseline (``BENCH_E2.json`` / ``BENCH_E3.json``).
+
+Do not use these in application code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.polygen.model import PolygenCell, PolygenRelation, PolygenRow
+from repro.relational.relation import Relation, Row
+from repro.tagging.cell import QualityCell
+from repro.tagging.query import QualityFilter
+from repro.tagging.relation import TaggedRelation, TaggedRow
+
+# -- plain relations ---------------------------------------------------------
+
+
+def naive_select(relation: Relation, predicate: Callable[[Row], bool]) -> Relation:
+    """σ via the public validating insert (original code path)."""
+    result = relation.empty_like()
+    for row in relation:
+        if predicate(row):
+            result.insert(row)
+    return result
+
+
+def naive_project(
+    relation: Relation,
+    columns: Sequence[str],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """π via per-row name lookups and dict rebuilds."""
+    if not columns:
+        raise QueryError("projection requires at least one column")
+    out_schema = relation.schema.project(columns, new_name)
+    result = Relation(out_schema)
+    for row in relation:
+        result.insert({c: row[c] for c in columns})
+    return result
+
+
+def naive_equi_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> Relation:
+    """Hash join materializing every output row as a dict."""
+    if not on:
+        raise QueryError("equi_join requires at least one column pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    result = Relation(out_schema)
+    names = out_schema.column_names
+
+    index: dict[tuple[Any, ...], list[Row]] = {}
+    for rrow in right:
+        key = tuple(rrow[rcol] for _, rcol in on)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(lrow[lcol] for lcol, _ in on)
+        for rrow in index.get(key, ()):
+            result.insert(
+                dict(zip(names, lrow.values_tuple() + rrow.values_tuple()))
+            )
+    return result
+
+
+# -- tagged relations --------------------------------------------------------
+
+
+def naive_tagged_select(
+    relation: TaggedRelation, predicate: Callable[[TaggedRow], bool]
+) -> TaggedRelation:
+    """σ re-validating every surviving row's values and tags."""
+    result = relation.empty_like()
+    for row in relation:
+        if predicate(row):
+            result.insert(row)
+    return result
+
+
+def naive_tagged_project(
+    relation: TaggedRelation,
+    columns: Sequence[str],
+    new_name: Optional[str] = None,
+) -> TaggedRelation:
+    """π via per-row name lookups into cell dicts."""
+    if not columns:
+        raise QueryError("projection requires at least one column")
+    out_schema = relation.schema.project(columns, new_name)
+    out_tags = relation.tag_schema.project(columns)
+    result = TaggedRelation(out_schema, out_tags)
+    for row in relation:
+        result.insert({c: row[c] for c in columns})
+    return result
+
+
+def naive_tagged_equi_join(
+    left: TaggedRelation,
+    right: TaggedRelation,
+    on: Sequence[tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> TaggedRelation:
+    """Hash join building per-row cell dicts and re-validating tags."""
+    if not on:
+        raise QueryError("equi_join requires at least one column pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    left_map, right_map = left.schema.concat_maps(right.schema)
+    out_tags = left.tag_schema.rename_columns(left_map).merge(
+        right.tag_schema.rename_columns(right_map)
+    )
+    result = TaggedRelation(out_schema, out_tags)
+
+    index: dict[tuple[Any, ...], list[TaggedRow]] = {}
+    for rrow in right:
+        key = tuple(_freeze(rrow.value(rcol)) for _, rcol in on)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(_freeze(lrow.value(lcol)) for lcol, _ in on)
+        for rrow in index.get(key, ()):
+            cells: dict[str, QualityCell] = {}
+            for c in left.schema.column_names:
+                cells[left_map[c]] = lrow[c]
+            for c in right.schema.column_names:
+                cells[right_map[c]] = rrow[c]
+            result.insert(cells)
+    return result
+
+
+def naive_quality_filter(
+    relation: TaggedRelation, quality_filter: QualityFilter
+) -> TaggedRelation:
+    """Grade filtering with per-row, per-constraint name lookups."""
+    for constraint in quality_filter.constraints:
+        relation.schema.column(constraint.column)
+    return naive_tagged_select(relation, quality_filter.test)
+
+
+# -- polygen relations -------------------------------------------------------
+
+
+def naive_polygen_select(
+    relation: PolygenRelation,
+    predicate: Callable[[PolygenRow], bool],
+    using: Sequence[str] = (),
+) -> PolygenRelation:
+    """σ with per-row name lookups for the examined columns."""
+    for name in using:
+        relation.schema.column(name)
+    result = relation.empty_like()
+    for row in relation:
+        if predicate(row):
+            examined: frozenset[str] = frozenset()
+            for name in using:
+                examined |= row[name].originating
+            result.insert(row.with_intermediate(examined) if examined else row)
+    return result
+
+
+def naive_polygen_project(
+    relation: PolygenRelation,
+    columns: Sequence[str],
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """π via per-row name lookups into cell dicts."""
+    if not columns:
+        raise QueryError("projection requires at least one column")
+    out_schema = relation.schema.project(columns, new_name)
+    result = PolygenRelation(out_schema)
+    for row in relation:
+        result.insert({c: row[c] for c in columns})
+    return result
+
+
+def naive_polygen_equi_join(
+    left: PolygenRelation,
+    right: PolygenRelation,
+    on: Sequence[tuple[str, str]],
+    new_name: Optional[str] = None,
+) -> PolygenRelation:
+    """Hash join with dict round-trips and per-cell re-validation."""
+    if not on:
+        raise QueryError("equi_join requires at least one column pair")
+    for lcol, rcol in on:
+        left.schema.column(lcol)
+        right.schema.column(rcol)
+    name = new_name or f"{left.schema.name}_join_{right.schema.name}"
+    out_schema = left.schema.concat(right.schema, name)
+    left_map, right_map = left.schema.concat_maps(right.schema)
+    result = PolygenRelation(out_schema)
+
+    index: dict[tuple[Any, ...], list[PolygenRow]] = {}
+    for rrow in right:
+        key = tuple(_freeze(rrow.value(rcol)) for _, rcol in on)
+        index.setdefault(key, []).append(rrow)
+    for lrow in left:
+        key = tuple(_freeze(lrow.value(lcol)) for lcol, _ in on)
+        for rrow in index.get(key, ()):
+            examined: frozenset[str] = frozenset()
+            for lcol, rcol in on:
+                examined |= lrow[lcol].originating | rrow[rcol].originating
+            cells: dict[str, PolygenCell] = {}
+            for c in left.schema.column_names:
+                cells[left_map[c]] = lrow[c].with_intermediate(examined)
+            for c in right.schema.column_names:
+                cells[right_map[c]] = rrow[c].with_intermediate(examined)
+            result.insert(cells)
+    return result
+
+
+def _freeze(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

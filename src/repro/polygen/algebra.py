@@ -28,10 +28,16 @@ def project(
     if not columns:
         raise QueryError("projection requires at least one column")
     out_schema = relation.schema.project(columns, new_name)
-    result = PolygenRelation(out_schema)
-    for row in relation:
-        result.insert({c: row[c] for c in columns})
-    return result
+    positions = relation.schema.positions_of(columns)
+    return PolygenRelation.from_rows(
+        out_schema,
+        (
+            PolygenRow._from_validated(
+                out_schema, tuple(row.cells[p] for p in positions)
+            )
+            for row in relation
+        ),
+    )
 
 
 def select(
@@ -47,15 +53,16 @@ def select(
     answer depended on those databases even for cells whose values came
     from elsewhere.
     """
-    for name in using:
-        relation.schema.column(name)
+    using_positions = relation.schema.positions_of(using)
     result = relation.empty_like()
     for row in relation:
         if predicate(row):
             examined: frozenset[str] = frozenset()
-            for name in using:
-                examined |= row[name].originating
-            result.insert(row.with_intermediate(examined) if examined else row)
+            for p in using_positions:
+                examined |= row.cells[p].originating
+            result._insert_validated(
+                row.with_intermediate(examined) if examined else row
+            )
     return result
 
 
@@ -70,11 +77,13 @@ def rename(
         out_schema = out_schema.rename_columns(column_mapping)
     if new_name:
         out_schema = out_schema.renamed(new_name)
-    result = PolygenRelation(out_schema)
-    names = out_schema.column_names
-    for row in relation:
-        result.insert(dict(zip(names, row.cells)))
-    return result
+    return PolygenRelation.from_rows(
+        out_schema,
+        (
+            PolygenRow._from_validated(out_schema, row.cells)
+            for row in relation
+        ),
+    )
 
 
 def cartesian_product(
@@ -85,16 +94,15 @@ def cartesian_product(
     """× — pairings of rows; cells keep their side's sources."""
     name = new_name or f"{left.schema.name}_x_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
-    left_map, right_map = left.schema.concat_maps(right.schema)
     result = PolygenRelation(out_schema)
+    # concat orders all left columns before all right columns, so the
+    # output cell tuple is the concatenation of both sides' cell tuples.
     for lrow in left:
+        lcells = lrow.cells
         for rrow in right:
-            cells: dict[str, PolygenCell] = {}
-            for c in left.schema.column_names:
-                cells[left_map[c]] = lrow[c]
-            for c in right.schema.column_names:
-                cells[right_map[c]] = rrow[c]
-            result.insert(cells)
+            result._insert_validated(
+                PolygenRow._from_validated(out_schema, lcells + rrow.cells)
+            )
     return result
 
 
@@ -117,25 +125,50 @@ def equi_join(
         right.schema.column(rcol)
     name = new_name or f"{left.schema.name}_join_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
-    left_map, right_map = left.schema.concat_maps(right.schema)
     result = PolygenRelation(out_schema)
+    left_key = left.schema.positions_of([lcol for lcol, _ in on])
+    right_key = right.schema.positions_of([rcol for _, rcol in on])
 
-    index: dict[tuple[Any, ...], list[PolygenRow]] = {}
+    # Key-cell origins are hoisted per row (index entries carry the
+    # right side's, the left side's computes once per outer row), so
+    # the per-match work is one union plus trusted cell copies.
+    index: dict[tuple[Any, ...], list[tuple[PolygenRow, frozenset[str]]]] = {}
     for rrow in right:
-        key = tuple(_freeze(rrow.value(rcol)) for _, rcol in on)
-        index.setdefault(key, []).append(rrow)
+        rcells = rrow.cells
+        key = tuple(_freeze(rcells[p].value) for p in right_key)
+        r_origins: frozenset[str] = frozenset()
+        for p in right_key:
+            r_origins |= rcells[p].originating
+        index.setdefault(key, []).append((rrow, r_origins))
+    make = PolygenCell._make
     for lrow in left:
-        key = tuple(_freeze(lrow.value(lcol)) for lcol, _ in on)
-        for rrow in index.get(key, ()):
-            examined: frozenset[str] = frozenset()
-            for lcol, rcol in on:
-                examined |= lrow[lcol].originating | rrow[rcol].originating
-            cells: dict[str, PolygenCell] = {}
-            for c in left.schema.column_names:
-                cells[left_map[c]] = lrow[c].with_intermediate(examined)
-            for c in right.schema.column_names:
-                cells[right_map[c]] = rrow[c].with_intermediate(examined)
-            result.insert(cells)
+        lcells = lrow.cells
+        key = tuple(_freeze(lcells[p].value) for p in left_key)
+        matches = index.get(key)
+        if not matches:
+            continue
+        l_origins: frozenset[str] = frozenset()
+        for p in left_key:
+            l_origins |= lcells[p].originating
+        for rrow, r_origins in matches:
+            examined = l_origins | r_origins
+            result._insert_validated(
+                PolygenRow._from_validated(
+                    out_schema,
+                    tuple(
+                        cell
+                        if examined <= cell.intermediate
+                        else make(
+                            cell.value,
+                            cell.originating,
+                            cell.intermediate | examined
+                            if cell.intermediate
+                            else examined,
+                        )
+                        for cell in lcells + rrow.cells
+                    ),
+                )
+            )
     return result
 
 
@@ -153,21 +186,22 @@ def union(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation:
     for row in list(left) + list(right):
         key = tuple(_freeze(v) for v in row.values_tuple())
         if key not in merged:
-            merged[key] = row
+            # Re-home under the left schema (right rows are
+            # union-compatible, so their cells are already valid).
+            merged[key] = PolygenRow._from_validated(left.schema, row.cells)
             order.append(key)
         else:
             existing = merged[key]
-            merged[key] = PolygenRow(
+            merged[key] = PolygenRow._from_validated(
                 left.schema,
-                {
-                    n: existing[n].merged_with(row[n])
-                    for n in left.schema.column_names
-                },
+                tuple(
+                    have.merged_with(new)
+                    for have, new in zip(existing.cells, row.cells)
+                ),
             )
-    result = PolygenRelation(left.schema)
-    for key in order:
-        result.insert(merged[key])
-    return result
+    return PolygenRelation.from_rows(
+        left.schema, (merged[key] for key in order)
+    )
 
 
 def difference(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation:
@@ -190,7 +224,7 @@ def difference(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation
     for row in left:
         key = tuple(_freeze(v) for v in row.values_tuple())
         if key not in right_values:
-            result.insert(
+            result._insert_validated(
                 row.with_intermediate(right_sources) if right_sources else row
             )
     return result
@@ -209,12 +243,11 @@ def coalesce(
     originating sources as intermediate sources — the conflict was
     resolved by consulting them.
     """
-    for name in key_columns:
-        relation.schema.column(name)
+    key_positions = relation.schema.positions_of(key_columns)
     groups: dict[tuple[Any, ...], list[PolygenRow]] = {}
     order: list[tuple[Any, ...]] = []
     for row in relation:
-        key = tuple(_freeze(row.value(c)) for c in key_columns)
+        key = tuple(_freeze(row.cells[p].value) for p in key_positions)
         if key not in groups:
             groups[key] = []
             order.append(key)
@@ -230,7 +263,7 @@ def coalesce(
         for loser in losers:
             for cell in loser.cells:
                 loser_sources |= cell.originating
-        result.insert(
+        result._insert_validated(
             winner.with_intermediate(loser_sources) if loser_sources else winner
         )
     return result

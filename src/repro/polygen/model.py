@@ -40,12 +40,28 @@ class PolygenCell:
         self.originating: frozenset[str] = frozenset(originating)
         self.intermediate: frozenset[str] = frozenset(intermediate)
 
+    @classmethod
+    def _make(
+        cls,
+        value: Any,
+        originating: frozenset[str],
+        intermediate: frozenset[str],
+    ) -> "PolygenCell":
+        """Trusted constructor: both source sets must be frozensets."""
+        cell = object.__new__(cls)
+        cell.value = value
+        cell.originating = originating
+        cell.intermediate = intermediate
+        return cell
+
     def with_intermediate(self, sources: Iterable[str]) -> "PolygenCell":
         """A copy with extra intermediate sources unioned in."""
-        extra = frozenset(sources)
+        extra = (
+            sources if isinstance(sources, frozenset) else frozenset(sources)
+        )
         if extra <= self.intermediate:
             return self
-        return PolygenCell(
+        return PolygenCell._make(
             self.value, self.originating, self.intermediate | extra
         )
 
@@ -139,10 +155,21 @@ class PolygenRow(Mapping[str, PolygenCell]):
             )
         self._cells: tuple[PolygenCell, ...] = tuple(prepared)
 
+    @classmethod
+    def _from_validated(
+        cls, schema: RelationSchema, cells: tuple[PolygenCell, ...]
+    ) -> "PolygenRow":
+        """Trusted constructor: ``cells`` must already hold validated
+        values, in schema order.  Fast path for the polygen algebra."""
+        row = object.__new__(cls)
+        row._schema = schema
+        row._cells = cells
+        return row
+
     def __getitem__(self, name: str) -> PolygenCell:
         try:
-            return self._cells[self._schema.column_names.index(name)]
-        except ValueError:
+            return self._cells[self._schema._positions[name]]
+        except KeyError:
             raise UnknownColumnError(
                 f"row of {self._schema.name!r} has no column {name!r}"
             ) from None
@@ -185,12 +212,11 @@ class PolygenRow(Mapping[str, PolygenCell]):
     def with_intermediate(self, sources: Iterable[str]) -> "PolygenRow":
         """A copy with extra intermediate sources on every cell."""
         extra = frozenset(sources)
-        return PolygenRow(
+        if not extra:
+            return self
+        return PolygenRow._from_validated(
             self._schema,
-            {
-                n: c.with_intermediate(extra)
-                for n, c in zip(self._schema.column_names, self._cells)
-            },
+            tuple(c.with_intermediate(extra) for c in self._cells),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -233,15 +259,29 @@ class PolygenRelation:
     @classmethod
     def from_relation(cls, relation: Any, source: str) -> "PolygenRelation":
         """Tag every cell of a plain relation with one originating source."""
+        origin = frozenset({source})
         result = cls(relation.schema)
-        for row in relation:
-            result.insert(
-                {
-                    n: PolygenCell(row[n], originating={source})
-                    for n in relation.schema.column_names
-                }
+        # Values coming out of a Relation are already domain-validated.
+        result._rows = [
+            PolygenRow._from_validated(
+                relation.schema,
+                tuple(
+                    PolygenCell(value, origin)
+                    for value in row.values_tuple()
+                ),
             )
+            for row in relation
+        ]
         return result
+
+    @classmethod
+    def from_rows(
+        cls, schema: RelationSchema, rows: Iterable[PolygenRow]
+    ) -> "PolygenRelation":
+        """Trusted bulk constructor: ``rows`` must already conform."""
+        relation = cls(schema)
+        relation._rows = list(rows)
+        return relation
 
     def insert(self, cells: Mapping[str, Any] | PolygenRow) -> PolygenRow:
         """Insert a row (validated against the schema)."""
@@ -249,6 +289,11 @@ class PolygenRelation:
             row = PolygenRow(self.schema, cells.cells_dict())
         else:
             row = PolygenRow(self.schema, cells)
+        self._rows.append(row)
+        return row
+
+    def _insert_validated(self, row: PolygenRow) -> PolygenRow:
+        """Append a row already valid under this schema (fast path)."""
         self._rows.append(row)
         return row
 

@@ -54,10 +54,11 @@ def _mean_age(
 ) -> Optional[float]:
     if today is None:
         return None
+    positions = relation.schema.positions_of(age_columns)
     ages: list[float] = []
     for row in relation:
-        for column in age_columns:
-            created = row[column].tag_value("creation_time")
+        for p in positions:
+            created = row.cells[p].tag_value("creation_time")
             if created is not None:
                 ages.append(age_in_days(created, today))
     return sum(ages) / len(ages) if ages else None

@@ -23,11 +23,9 @@ Predicate = Callable[[Row], bool]
 
 def select(relation: Relation, predicate: Predicate) -> Relation:
     """σ — keep rows satisfying ``predicate``."""
-    result = relation.empty_like()
-    for row in relation:
-        if predicate(row):
-            result.insert(row)
-    return result
+    return Relation.from_rows(
+        relation.schema, (row for row in relation if predicate(row))
+    )
 
 
 def project(
@@ -39,10 +37,16 @@ def project(
     if not columns:
         raise QueryError("projection requires at least one column")
     out_schema = relation.schema.project(columns, new_name)
-    result = Relation(out_schema)
-    for row in relation:
-        result.insert({c: row[c] for c in columns})
-    return result
+    positions = relation.schema.positions_of(columns)
+    return Relation.from_rows(
+        out_schema,
+        (
+            Row._from_validated(
+                out_schema, tuple(row.at(p) for p in positions)
+            )
+            for row in relation
+        ),
+    )
 
 
 def rename(
@@ -56,11 +60,13 @@ def rename(
         out_schema = out_schema.rename_columns(column_mapping)
     if new_name:
         out_schema = out_schema.renamed(new_name)
-    result = Relation(out_schema)
-    names = out_schema.column_names
-    for row in relation:
-        result.insert(dict(zip(names, row.values_tuple())))
-    return result
+    return Relation.from_rows(
+        out_schema,
+        (
+            Row._from_validated(out_schema, row.values_tuple())
+            for row in relation
+        ),
+    )
 
 
 def distinct(relation: Relation) -> Relation:
@@ -71,7 +77,7 @@ def distinct(relation: Relation) -> Relation:
         key = row.values_tuple()
         if key not in seen:
             seen.add(key)
-            result.insert(row)
+            result._insert_validated(row)
     return result
 
 
@@ -87,8 +93,12 @@ def union(left: Relation, right: Relation) -> Relation:
     """∪ — bag union (all rows of both sides)."""
     _require_union_compatible(left, right, "union")
     result = left.copy()
+    # Union-compatible schemas share column names and domains, so right
+    # rows are already valid; re-home them under the left schema.
     for row in right:
-        result.insert(row.to_dict())
+        result._insert_validated(
+            Row._from_validated(left.schema, row.values_tuple())
+        )
     return result
 
 
@@ -102,7 +112,7 @@ def difference(left: Relation, right: Relation) -> Relation:
         if remaining.get(key, 0) > 0:
             remaining[key] -= 1
         else:
-            result.insert(row)
+            result._insert_validated(row)
     return result
 
 
@@ -115,7 +125,7 @@ def intersection(left: Relation, right: Relation) -> Relation:
         key = row.values_tuple()
         if available.get(key, 0) > 0:
             available[key] -= 1
-            result.insert(row)
+            result._insert_validated(row)
     return result
 
 
@@ -130,11 +140,12 @@ def cartesian_product(
     name = new_name or f"{left.schema.name}_x_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
     result = Relation(out_schema)
-    names = out_schema.column_names
     for lrow in left:
         lvals = lrow.values_tuple()
         for rrow in right:
-            result.insert(dict(zip(names, lvals + rrow.values_tuple())))
+            result._insert_validated(
+                Row._from_validated(out_schema, lvals + rrow.values_tuple())
+            )
     return result
 
 
@@ -148,12 +159,15 @@ def theta_join(
     name = new_name or f"{left.schema.name}_join_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
     result = Relation(out_schema)
-    names = out_schema.column_names
     for lrow in left:
         lvals = lrow.values_tuple()
         for rrow in right:
             if predicate(lrow, rrow):
-                result.insert(dict(zip(names, lvals + rrow.values_tuple())))
+                result._insert_validated(
+                    Row._from_validated(
+                        out_schema, lvals + rrow.values_tuple()
+                    )
+                )
     return result
 
 
@@ -175,16 +189,23 @@ def equi_join(
     name = new_name or f"{left.schema.name}_join_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
     result = Relation(out_schema)
-    names = out_schema.column_names
+    left_key = left.schema.positions_of([lcol for lcol, _ in on])
+    right_key = right.schema.positions_of([rcol for _, rcol in on])
 
     index: dict[tuple[Any, ...], list[Row]] = {}
     for rrow in right:
-        key = tuple(rrow[rcol] for _, rcol in on)
+        key = tuple(rrow.at(p) for p in right_key)
         index.setdefault(key, []).append(rrow)
     for lrow in left:
-        key = tuple(lrow[lcol] for lcol, _ in on)
-        for rrow in index.get(key, ()):
-            result.insert(dict(zip(names, lrow.values_tuple() + rrow.values_tuple())))
+        key = tuple(lrow.at(p) for p in left_key)
+        matches = index.get(key)
+        if not matches:
+            continue
+        lvals = lrow.values_tuple()
+        for rrow in matches:
+            result._insert_validated(
+                Row._from_validated(out_schema, lvals + rrow.values_tuple())
+            )
     return result
 
 
@@ -201,16 +222,27 @@ def natural_join(
     out_columns += [right.schema.column(n) for n in right_only]
     out_schema = RelationSchema(name, out_columns)
     result = Relation(out_schema)
+    left_key = left.schema.positions_of(shared)
+    right_key = right.schema.positions_of(shared)
+    right_only_pos = right.schema.positions_of(right_only)
 
     index: dict[tuple[Any, ...], list[Row]] = {}
     for rrow in right:
-        index.setdefault(tuple(rrow[c] for c in shared), []).append(rrow)
+        key = tuple(rrow.at(p) for p in right_key)
+        index.setdefault(key, []).append(rrow)
     for lrow in left:
-        key = tuple(lrow[c] for c in shared)
-        for rrow in index.get(key, ()):
-            values = lrow.to_dict()
-            values.update({c: rrow[c] for c in right_only})
-            result.insert(values)
+        key = tuple(lrow.at(p) for p in left_key)
+        matches = index.get(key)
+        if not matches:
+            continue
+        lvals = lrow.values_tuple()
+        for rrow in matches:
+            result._insert_validated(
+                Row._from_validated(
+                    out_schema,
+                    lvals + tuple(rrow.at(p) for p in right_only_pos),
+                )
+            )
     return result
 
 
@@ -222,29 +254,23 @@ def sort(
     """Order rows by the given columns (None sorts first)."""
     if not by:
         raise QueryError("sort requires at least one column")
-    for name in by:
-        relation.schema.column(name)
+    positions = relation.schema.positions_of(by)
 
     def sort_key(row: Row) -> tuple:
         # None-safe: (is-not-None, value) keeps NULLs first and avoids
         # comparing None to concrete values.
-        return tuple((row[c] is not None, row[c]) for c in by)
+        return tuple((row.at(p) is not None, row.at(p)) for p in positions)
 
-    ordered = sorted(relation, key=sort_key, reverse=descending)
-    result = relation.empty_like()
-    for row in ordered:
-        result.insert(row)
-    return result
+    return Relation.from_rows(
+        relation.schema, sorted(relation, key=sort_key, reverse=descending)
+    )
 
 
 def limit(relation: Relation, n: int) -> Relation:
     """Keep only the first ``n`` rows (insertion order)."""
     if n < 0:
         raise QueryError("limit must be non-negative")
-    result = relation.empty_like()
-    for row in relation.rows[:n]:
-        result.insert(row)
-    return result
+    return Relation.from_rows(relation.schema, relation.rows[:n])
 
 
 # ---------------------------------------------------------------------------
@@ -330,10 +356,11 @@ def aggregate(
         new_name or f"{relation.schema.name}_agg", out_columns
     )
 
+    group_positions = relation.schema.positions_of(group_by)
     groups: dict[tuple[Any, ...], list[Row]] = {}
     order: list[tuple[Any, ...]] = []
     for row in relation:
-        key = tuple(row[c] for c in group_by)
+        key = tuple(row.at(p) for p in group_positions)
         if key not in groups:
             groups[key] = []
             order.append(key)
@@ -344,12 +371,23 @@ def aggregate(
         # Global aggregate over an empty relation still yields one row.
         groups[()] = []
         order.append(())
+    agg_specs = [
+        (
+            AGGREGATES[func_name],
+            relation.schema.position(in_col),
+            out_schema.column(out_name).domain,
+        )
+        for out_name, (func_name, in_col) in aggregations.items()
+    ]
     for key in order:
         rows = groups[key]
-        values: dict[str, Any] = dict(zip(group_by, key))
-        for out_name, (func_name, in_col) in aggregations.items():
-            values[out_name] = AGGREGATES[func_name]([r[in_col] for r in rows])
-        result.insert(values)
+        # Group-by values come straight from validated rows; only the
+        # computed aggregates need validating against their domains.
+        values = key + tuple(
+            domain.validate(func([r.at(p) for r in rows]))
+            for func, p, domain in agg_specs
+        )
+        result._insert_validated(Row._from_validated(out_schema, values))
     return result
 
 
@@ -378,7 +416,10 @@ def extend(
     )
     result = Relation(out_schema)
     for row in relation:
-        values = row.to_dict()
-        values[column_name] = compute(row)
-        result.insert(values)
+        result._insert_validated(
+            Row._from_validated(
+                out_schema,
+                row.values_tuple() + (dom.validate(compute(row)),),
+            )
+        )
     return result

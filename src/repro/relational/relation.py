@@ -28,12 +28,24 @@ class Row(Mapping[str, Any]):
         validated = schema.validate_values(values)
         self._values = tuple(validated[name] for name in schema.column_names)
 
+    @classmethod
+    def _from_validated(
+        cls, schema: RelationSchema, values: tuple[Any, ...]
+    ) -> "Row":
+        """Trusted constructor: ``values`` must already be validated
+        members of the schema's domains, in schema order.  Used by the
+        algebra's fast path to move rows without re-validation."""
+        row = object.__new__(cls)
+        row._schema = schema
+        row._values = values
+        return row
+
     # -- Mapping interface ---------------------------------------------------
 
     def __getitem__(self, name: str) -> Any:
         try:
-            return self._values[self._schema.column_names.index(name)]
-        except ValueError:
+            return self._values[self._schema._positions[name]]
+        except KeyError:
             raise UnknownColumnError(
                 f"row of {self._schema.name!r} has no column {name!r}"
             ) from None
@@ -141,6 +153,18 @@ class Relation:
             rows.append(dict(zip(names, values)))
         return cls(schema, rows)
 
+    @classmethod
+    def from_rows(
+        cls, schema: RelationSchema, rows: Iterable[Row]
+    ) -> "Relation":
+        """Trusted bulk constructor: ``rows`` must already conform to
+        ``schema`` (validated values, matching column order).  The
+        algebra operators use this to move already-validated tuples
+        without re-validation or dict round-trips."""
+        relation = cls(schema)
+        relation._rows = list(rows)
+        return relation
+
     def empty_like(self) -> "Relation":
         """An empty relation with the same schema."""
         return Relation(self.schema)
@@ -166,6 +190,15 @@ class Relation:
         prepared = self._as_row(row)
         self._rows.append(prepared)
         return prepared
+
+    def _insert_validated(self, row: Row) -> Row:
+        """Append a row that is already valid under this schema.
+
+        Internal fast path for the algebra: skips domain validation and
+        coercion, which :meth:`insert` would redo on values that came
+        out of another relation with the same domains."""
+        self._rows.append(row)
+        return row
 
     def insert_many(self, rows: Iterable[Row | dict[str, Any]]) -> int:
         """Insert many rows; returns the number inserted."""

@@ -78,6 +78,12 @@ class RelationSchema:
         self.columns: tuple[Column, ...] = tuple(columns)
         self.doc = doc
         self._by_name = {c.name: c for c in self.columns}
+        # Cached name→position map: row lookups, join-key extraction and
+        # projections are all O(1) per column instead of a linear scan.
+        self._names: tuple[str, ...] = tuple(c.name for c in self.columns)
+        self._positions: dict[str, int] = {
+            n: i for i, n in enumerate(self._names)
+        }
         if key is not None:
             missing = [k for k in key if k not in self._by_name]
             if missing:
@@ -92,7 +98,7 @@ class RelationSchema:
 
     @property
     def column_names(self) -> tuple[str, ...]:
-        return tuple(c.name for c in self.columns)
+        return self._names
 
     def __len__(self) -> int:
         return len(self.columns)
@@ -129,10 +135,23 @@ class RelationSchema:
                 f"(columns: {list(self.column_names)})"
             ) from None
 
+    def position(self, name: str) -> int:
+        """O(1) positional index of the named column."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"relation {self.name!r} has no column {name!r} "
+                f"(columns: {list(self._names)})"
+            ) from None
+
+    def positions_of(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Positions of several columns (validates each name)."""
+        return tuple(self.position(n) for n in names)
+
     def index_of(self, name: str) -> int:
         """Return the positional index of the named column."""
-        self.column(name)
-        return self.column_names.index(name)
+        return self.position(name)
 
     def validate_values(self, values: dict[str, Any]) -> dict[str, Any]:
         """Validate and coerce a full row's values against the schema.

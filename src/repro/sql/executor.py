@@ -79,20 +79,30 @@ def _resolve_relation(
     )
 
 
-def _operand_value(operand: Any, row: Row | TaggedRow, tagged: bool) -> Any:
+def _compile_operand(
+    operand: Any, schema: Any, tagged: bool
+) -> Callable[[Row | TaggedRow], Any]:
+    """Compile an operand node into a per-row getter.
+
+    Column positions resolve once at compile time, so the per-row work
+    is a tuple index instead of a name lookup and isinstance dispatch.
+    """
     if isinstance(operand, Literal):
-        return operand.value
+        value = operand.value
+        return lambda row: value
     if isinstance(operand, ColumnRef):
+        position = schema.position(operand.column)
         if tagged:
-            return row.value(operand.column)  # type: ignore[union-attr]
-        return row[operand.column]
+            return lambda row: row.cells[position].value
+        return lambda row: row.at(position)
     if isinstance(operand, QualityRef):
         if not tagged:
             raise SQLError(
                 "QUALITY(...) requires a tagged relation; the source is untagged"
             )
-        cell = row[operand.column]  # type: ignore[index]
-        return cell.tag_value(operand.indicator)
+        position = schema.position(operand.column)
+        indicator = operand.indicator
+        return lambda row: row.cells[position].tag_value(indicator)
     raise SQLError(f"unknown operand node {operand!r}")
 
 
@@ -134,53 +144,80 @@ def _check_columns(statement: SelectStatement, relation: AnyRelation) -> None:
             check(item.key.column)
 
 
-def _evaluate(expr: Any, row: Row | TaggedRow, tagged: bool) -> bool:
+def _compile_predicate(
+    expr: Any, schema: Any, tagged: bool
+) -> Callable[[Row | TaggedRow], bool]:
+    """Compile a WHERE tree into one per-row predicate closure.
+
+    The AST is walked once here; the returned closures short-circuit
+    AND/OR without re-dispatching on node types per row.
+    """
     if isinstance(expr, Comparison):
-        left = _operand_value(expr.left, row, tagged)
-        right = _operand_value(expr.right, row, tagged)
-        if left is None or right is None:
-            return False  # SQL-style: comparisons with NULL are not true
-        try:
-            return _COMPARATORS[expr.op](left, right)
-        except TypeError:
-            return False
+        left = _compile_operand(expr.left, schema, tagged)
+        right = _compile_operand(expr.right, schema, tagged)
+        compare = _COMPARATORS[expr.op]
+
+        def test(row: Row | TaggedRow) -> bool:
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return False  # SQL-style: comparisons with NULL are not true
+            try:
+                return compare(a, b)
+            except TypeError:
+                return False
+
+        return test
     if isinstance(expr, InList):
-        value = _operand_value(expr.operand, row, tagged)
-        if value is None:
-            return False
-        result = value in expr.options
-        return (not result) if expr.negated else result
+        get = _compile_operand(expr.operand, schema, tagged)
+        options = expr.options
+        negated = expr.negated
+
+        def test(row: Row | TaggedRow) -> bool:
+            value = get(row)
+            if value is None:
+                return False
+            result = value in options
+            return (not result) if negated else result
+
+        return test
     if isinstance(expr, IsNull):
-        value = _operand_value(expr.operand, row, tagged)
-        result = value is None
-        return (not result) if expr.negated else result
+        get = _compile_operand(expr.operand, schema, tagged)
+        if expr.negated:
+            return lambda row: get(row) is not None
+        return lambda row: get(row) is None
     if isinstance(expr, BoolOp):
+        left_test = _compile_predicate(expr.left, schema, tagged)
+        right_test = _compile_predicate(expr.right, schema, tagged)
         if expr.op == "AND":
-            return _evaluate(expr.left, row, tagged) and _evaluate(
-                expr.right, row, tagged
-            )
-        return _evaluate(expr.left, row, tagged) or _evaluate(
-            expr.right, row, tagged
-        )
+            return lambda row: left_test(row) and right_test(row)
+        return lambda row: left_test(row) or right_test(row)
     if isinstance(expr, NotOp):
-        return not _evaluate(expr.operand, row, tagged)
+        inner = _compile_predicate(expr.operand, schema, tagged)
+        return lambda row: not inner(row)
     raise SQLError(f"unknown expression node {expr!r}")
 
 
-def _sort_key_function(statement: SelectStatement, tagged: bool):
-    items = statement.order_by
+def _sort_key_function(items: tuple, schema: Any, tagged: bool):
+    getters = []
+    for item in items:
+        if isinstance(item.key, QualityRef):
+            getters.append(_compile_operand(item.key, schema, tagged))
+        else:
+            position = schema.position(item.key.column)
+            if tagged:
+                getters.append(
+                    lambda row, p=position: row.cells[p].value
+                )
+            else:
+                getters.append(lambda row, p=position: row.at(p))
 
     def key(row: Row | TaggedRow) -> tuple:
+        # None-safe ordering with per-item direction support handled
+        # by sorting repeatedly (stable sort), so here single value.
         parts = []
-        for item in items:
-            if isinstance(item.key, QualityRef):
-                value = _operand_value(item.key, row, tagged)
-            elif tagged:
-                value = row.value(item.key.column)  # type: ignore[union-attr]
-            else:
-                value = row[item.key.column]
-            # None-safe ordering with per-item direction support handled
-            # by sorting repeatedly (stable sort), so here single value.
+        for get in getters:
+            value = get(row)
             parts.append((value is not None, value))
         return tuple(parts)
 
@@ -216,12 +253,6 @@ def _item_output_domain(item: SelectItem, relation: AnyRelation):
     return _operand_domain(expr, relation)
 
 
-def _item_row_value(
-    expr: Union[ColumnRef, QualityRef], row: Row | TaggedRow, tagged: bool
-) -> Any:
-    return _operand_value(expr, row, tagged)
-
-
 def _execute_aggregate(
     statement: SelectStatement, relation: AnyRelation, tagged: bool
 ) -> Relation:
@@ -236,13 +267,14 @@ def _execute_aggregate(
     ]
     out_schema = RelationSchema(f"{statement.relation}_agg", out_columns)
 
+    key_getters = [
+        _compile_operand(key_ref, relation.schema, tagged)
+        for key_ref in statement.group_by
+    ]
     groups: dict[tuple[Any, ...], list[Any]] = {}
     order: list[tuple[Any, ...]] = []
     for row in relation:
-        key = tuple(
-            _operand_value(key_ref, row, tagged)
-            for key_ref in statement.group_by
-        )
+        key = tuple(get(row) for get in key_getters)
         if key not in groups:
             groups[key] = []
             order.append(key)
@@ -251,27 +283,27 @@ def _execute_aggregate(
         groups[()] = []
         order.append(())
 
+    def item_evaluator(item: SelectItem) -> Callable[[list, dict], Any]:
+        expr = item.expr
+        if isinstance(expr, AggregateCall):
+            if expr.operand is None:  # COUNT(*)
+                return lambda rows, key_values: len(rows)
+            get = _compile_operand(expr.operand, relation.schema, tagged)
+            combine = AGGREGATES[expr.func.lower()]
+            return lambda rows, key_values: combine([get(row) for row in rows])
+        # A grouping key (validated by the parser).
+        return lambda rows, key_values: key_values[expr]
+
+    evaluators = [(item.output_name, item_evaluator(item)) for item in items]
     result = Relation(out_schema)
     for key in order:
         rows = groups[key]
         key_values = dict(zip(statement.group_by, key))
-        out_row: dict[str, Any] = {}
-        for item in items:
-            expr = item.expr
-            if isinstance(expr, AggregateCall):
-                if expr.operand is None:  # COUNT(*)
-                    out_row[item.output_name] = len(rows)
-                    continue
-                operand_values = [
-                    _item_row_value(expr.operand, row, tagged) for row in rows
-                ]
-                out_row[item.output_name] = AGGREGATES[expr.func.lower()](
-                    operand_values
-                )
-            else:
-                # A grouping key (validated by the parser).
-                out_row[item.output_name] = key_values[expr]
-        result.insert(out_row)
+        # Aggregates compute *new* values, so they go through the
+        # validating insert, unlike pass-through rows elsewhere.
+        result.insert(
+            {name: evaluate(rows, key_values) for name, evaluate in evaluators}
+        )
     return result
 
 
@@ -289,14 +321,13 @@ def _computed_projection(
             for item in items
         ],
     )
+    getters = [
+        (item.output_name, _compile_operand(item.expr, relation.schema, tagged))
+        for item in items
+    ]
     result = Relation(out_schema)
     for row in relation:
-        result.insert(
-            {
-                item.output_name: _item_row_value(item.expr, row, tagged)
-                for item in items
-            }
-        )
+        result.insert({name: get(row) for name, get in getters})
     return result
 
 
@@ -307,18 +338,13 @@ def _apply_order(
     # least-significant key first.
     rows = list(result)
     for item in reversed(statement.order_by):
-        single = SelectStatement(
-            columns=None,
-            relation=statement.relation,
-            order_by=(item,),
-        )
         rows.sort(
-            key=_sort_key_function(single, tagged),
+            key=_sort_key_function((item,), result.schema, tagged),
             reverse=item.descending,
         )
     ordered = result.empty_like()
     for row in rows:
-        ordered.insert(row)
+        ordered._insert_validated(row)
     return ordered
 
 
@@ -345,9 +371,8 @@ def execute(
     result: AnyRelation = relation
 
     if statement.where is not None:
-        where = statement.where
         result = algebra.select(
-            result, lambda row: _evaluate(where, row, tagged)
+            result, _compile_predicate(statement.where, relation.schema, tagged)
         )
 
     if statement.has_aggregates:

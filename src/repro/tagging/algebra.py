@@ -36,12 +36,16 @@ TaggedPredicate = Callable[[TaggedRow], bool]
 
 
 def select(relation: TaggedRelation, predicate: TaggedPredicate) -> TaggedRelation:
-    """σ — keep rows satisfying ``predicate`` (tags travel with rows)."""
-    result = relation.empty_like()
-    for row in relation:
-        if predicate(row):
-            result.insert(row)
-    return result
+    """σ — keep rows satisfying ``predicate`` (tags travel with rows).
+
+    Surviving rows are shared by reference with the input (rows are
+    immutable), so selection never re-validates values or tags.
+    """
+    return TaggedRelation.from_rows(
+        relation.schema,
+        relation.tag_schema,
+        (row for row in relation if predicate(row)),
+    )
 
 
 def project(
@@ -54,10 +58,17 @@ def project(
         raise QueryError("projection requires at least one column")
     out_schema = relation.schema.project(columns, new_name)
     out_tags = relation.tag_schema.project(columns)
-    result = TaggedRelation(out_schema, out_tags)
-    for row in relation:
-        result.insert({c: row[c] for c in columns})
-    return result
+    positions = relation.schema.positions_of(columns)
+    return TaggedRelation.from_rows(
+        out_schema,
+        out_tags,
+        (
+            TaggedRow._from_validated(
+                out_schema, tuple(row.cells[p] for p in positions)
+            )
+            for row in relation
+        ),
+    )
 
 
 def rename(
@@ -73,11 +84,14 @@ def rename(
         out_tags = out_tags.rename_columns(column_mapping)
     if new_name:
         out_schema = out_schema.renamed(new_name)
-    result = TaggedRelation(out_schema, out_tags)
-    names = out_schema.column_names
-    for row in relation:
-        result.insert(dict(zip(names, row.cells)))
-    return result
+    return TaggedRelation.from_rows(
+        out_schema,
+        out_tags,
+        (
+            TaggedRow._from_validated(out_schema, row.cells)
+            for row in relation
+        ),
+    )
 
 
 def union(left: TaggedRelation, right: TaggedRelation) -> TaggedRelation:
@@ -93,10 +107,31 @@ def union(left: TaggedRelation, right: TaggedRelation) -> TaggedRelation:
         )
     merged_tags = left.tag_schema.merge(right.tag_schema)
     result = TaggedRelation(left.schema, merged_tags)
-    for row in left:
-        result.insert(row.cells_dict())
-    for row in right:
-        result.insert(row.cells_dict())
+    # Rows of either side are already valid under the merged tag schema
+    # *except* for indicators the other side newly requires: a column
+    # required only on the right must still be present on left cells.
+    for branch in (left, right):
+        extra_required = [
+            (position, missing)
+            for position, column in enumerate(left.schema.column_names)
+            for missing in [
+                merged_tags.required_for(column)
+                - branch.tag_schema.required_for(column)
+            ]
+            if missing
+        ]
+        for row in branch:
+            for position, required in extra_required:
+                cell = row.cells[position]
+                absent = required - set(cell.indicator_names)
+                if absent:
+                    raise TagSchemaError(
+                        f"column {left.schema.column_names[position]!r} is "
+                        f"missing required indicator(s) {sorted(absent)}"
+                    )
+            result._insert_validated(
+                TaggedRow._from_validated(left.schema, row.cells)
+            )
     return result
 
 
@@ -118,7 +153,7 @@ def difference(left: TaggedRelation, right: TaggedRelation) -> TaggedRelation:
         if remaining.get(key, 0) > 0:
             remaining[key] -= 1
         else:
-            result.insert(row)
+            result._insert_validated(row)
     return result
 
 
@@ -148,13 +183,32 @@ def distinct_values(relation: TaggedRelation) -> TaggedRelation:
             order.append(key)
         groups[key].append(row)
     result = relation.empty_like()
+    required_by_position = [
+        relation.tag_schema.required_for(name)
+        for name in relation.schema.column_names
+    ]
     for key in order:
         rows = groups[key]
-        merged = {
-            name: _merge_cells([row[name] for row in rows])
-            for name in relation.schema.column_names
-        }
-        result.insert(merged)
+        if len(rows) == 1:
+            result._insert_validated(rows[0])
+            continue
+        merged_cells = []
+        for position, name in enumerate(relation.schema.column_names):
+            merged = _merge_cells([row.cells[position] for row in rows])
+            # Conservative merging may drop a required indicator when
+            # witnesses disagree; that stays an error, as on insert.
+            absent = required_by_position[position] - set(
+                merged.indicator_names
+            )
+            if absent:
+                raise TagSchemaError(
+                    f"column {name!r} is missing required indicator(s) "
+                    f"{sorted(absent)}"
+                )
+            merged_cells.append(merged)
+        result._insert_validated(
+            TaggedRow._from_validated(relation.schema, tuple(merged_cells))
+        )
     return result
 
 
@@ -187,20 +241,26 @@ def equi_join(
         right.tag_schema.rename_columns(right_map)
     )
     result = TaggedRelation(out_schema, out_tags)
+    left_key = left.schema.positions_of([lcol for lcol, _ in on])
+    right_key = right.schema.positions_of([rcol for _, rcol in on])
 
     index: dict[tuple[Any, ...], list[TaggedRow]] = {}
     for rrow in right:
-        key = tuple(_freeze(rrow.value(rcol)) for _, rcol in on)
+        key = tuple(_freeze(rrow.cells[p].value) for p in right_key)
         index.setdefault(key, []).append(rrow)
+    # concat puts all left columns before all right columns, so the
+    # output cell tuple is simply the concatenation of both cell tuples.
     for lrow in left:
-        key = tuple(_freeze(lrow.value(lcol)) for lcol, _ in on)
-        for rrow in index.get(key, ()):
-            cells: dict[str, QualityCell] = {}
-            for c in left.schema.column_names:
-                cells[left_map[c]] = lrow[c]
-            for c in right.schema.column_names:
-                cells[right_map[c]] = rrow[c]
-            result.insert(cells)
+        key = tuple(_freeze(lrow.cells[p].value) for p in left_key)
+        matches = index.get(key)
+        if not matches:
+            continue
+        for rrow in matches:
+            result._insert_validated(
+                TaggedRow._from_validated(
+                    out_schema, lrow.cells + rrow.cells
+                )
+            )
     return result
 
 
@@ -218,35 +278,30 @@ def sort(
     """
     if not by:
         raise QueryError("sort requires at least one column")
-    for name in by:
-        relation.schema.column(name)
+    positions = relation.schema.positions_of(by)
 
     def sort_key(row: TaggedRow) -> tuple:
         keys = []
-        for c in by:
-            v = (
-                row[c].tag_value(key_indicator)
-                if key_indicator
-                else row.value(c)
-            )
+        for p in positions:
+            cell = row.cells[p]
+            v = cell.tag_value(key_indicator) if key_indicator else cell.value
             keys.append((v is not None, v))
         return tuple(keys)
 
-    ordered = sorted(relation, key=sort_key, reverse=descending)
-    result = relation.empty_like()
-    for row in ordered:
-        result.insert(row)
-    return result
+    return TaggedRelation.from_rows(
+        relation.schema,
+        relation.tag_schema,
+        sorted(relation, key=sort_key, reverse=descending),
+    )
 
 
 def limit(relation: TaggedRelation, n: int) -> TaggedRelation:
     """Keep only the first ``n`` rows."""
     if n < 0:
         raise QueryError("limit must be non-negative")
-    result = relation.empty_like()
-    for row in relation.rows[:n]:
-        result.insert(row)
-    return result
+    return TaggedRelation.from_rows(
+        relation.schema, relation.tag_schema, relation.rows[:n]
+    )
 
 
 def retag(
@@ -259,16 +314,26 @@ def retag(
     ``tagger`` may return None to leave a row's cell unchanged.  The new
     indicator must already be defined in the relation's tag schema.
     """
-    relation.schema.column(column)
+    position = relation.schema.position(column)
+    allowed = relation.tag_schema.allowed_for(column)
     result = relation.empty_like()
     for row in relation:
-        cells = row.cells_dict()
         tag = tagger(row)
-        if tag is not None:
-            if tag.name not in relation.tag_schema.allowed_for(column):
-                raise TagSchemaError(
-                    f"indicator {tag.name!r} is not allowed on column {column!r}"
-                )
-            cells[column] = cells[column].with_tag(tag)
-        result.insert(cells)
+        if tag is None:
+            result._insert_validated(row)
+            continue
+        if tag.name not in allowed:
+            raise TagSchemaError(
+                f"indicator {tag.name!r} is not allowed on column {column!r}"
+            )
+        # The new tag's value is the only unvalidated datum in the row.
+        domain = relation.tag_schema.definition(tag.name).domain
+        validated = domain.validate(tag.value)
+        if validated != tag.value:
+            tag = IndicatorValue(tag.name, validated, meta=tag.meta_dict())
+        cells = list(row.cells)
+        cells[position] = cells[position].with_tag(tag)
+        result._insert_validated(
+            TaggedRow._from_validated(relation.schema, tuple(cells))
+        )
     return result

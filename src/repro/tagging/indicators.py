@@ -163,6 +163,13 @@ class TagSchema:
                     f"column {col!r} references undefined indicators "
                     f"{sorted(unknown)}"
                 )
+        # Cached per-column required∪allowed sets so the per-cell
+        # validation hot path does not rebuild frozenset unions.
+        self._allowed_full: dict[str, frozenset[str]] = {
+            col: self._required.get(col, frozenset())
+            | self._allowed.get(col, frozenset())
+            for col in set(self._required) | set(self._allowed)
+        }
 
     # -- introspection ------------------------------------------------------
 
@@ -186,7 +193,7 @@ class TagSchema:
 
     def allowed_for(self, column: str) -> frozenset[str]:
         """All indicators permitted on cells of ``column``."""
-        return self.required_for(column) | self._allowed.get(column, frozenset())
+        return self._allowed_full.get(column, frozenset())
 
     @property
     def tagged_columns(self) -> tuple[str, ...]:

@@ -19,6 +19,7 @@ import operator
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import QueryError
+from repro.relational.schema import RelationSchema
 from repro.tagging import algebra
 from repro.tagging.relation import TaggedRelation, TaggedRow
 
@@ -92,6 +93,32 @@ class IndicatorConstraint:
             # the requirement rather than erroring the whole query.
             return False
 
+    def compile(self, schema: RelationSchema) -> Callable[[TaggedRow], bool]:
+        """Bind the constraint to a schema for per-row evaluation.
+
+        Resolves the column position once (raising UnknownColumnError
+        for bad columns, as :meth:`QualityFilter.apply` always did) and
+        returns a closure evaluating the constraint against the cell
+        directly — the scan-time pushdown path.
+        """
+        position = schema.position(self.column)
+        indicator = self.indicator
+        compare = OPERATORS[self.op]
+        operand = self.operand
+        missing_ok = self.missing_ok
+
+        def test(row: TaggedRow) -> bool:
+            tag_value = row.cells[position].tag_value(indicator)
+            if tag_value is None:
+                # Absent tag or NULL tag value: same outcome either way.
+                return missing_ok
+            try:
+                return compare(tag_value, operand)
+            except TypeError:
+                return False
+
+        return test
+
     def describe(self) -> str:
         """Human-readable form for specifications and reports."""
         missing = "missing passes" if self.missing_ok else "missing fails"
@@ -122,11 +149,29 @@ class QualityFilter:
         """True if the row satisfies every constraint."""
         return all(c.test(row) for c in self.constraints)
 
+    def compile(self, schema: RelationSchema) -> Callable[[TaggedRow], bool]:
+        """Compile the conjunction into one schema-bound predicate.
+
+        Column positions resolve once, and evaluation short-circuits at
+        the first failing constraint.
+        """
+        tests = [c.compile(schema) for c in self.constraints]
+        if not tests:
+            return lambda row: True
+        if len(tests) == 1:
+            return tests[0]
+
+        def conjunction(row: TaggedRow) -> bool:
+            for test in tests:
+                if not test(row):
+                    return False
+            return True
+
+        return conjunction
+
     def apply(self, relation: TaggedRelation) -> TaggedRelation:
         """Filter a tagged relation down to rows meeting the grade."""
-        for constraint in self.constraints:
-            relation.schema.column(constraint.column)
-        return algebra.select(relation, self.test)
+        return algebra.select(relation, self.compile(relation.schema))
 
     def with_constraint(self, constraint: IndicatorConstraint) -> "QualityFilter":
         """A copy with one more constraint."""
@@ -226,7 +271,7 @@ class QualityQuery:
         """Add one indicator constraint (untagged cells fail by default)."""
         constraint = IndicatorConstraint(column, indicator, op, operand, missing_ok)
         return self._extend(
-            lambda rel: algebra.select(rel, constraint.test)
+            lambda rel: algebra.select(rel, constraint.compile(rel.schema))
         )
 
     def require_tagged(self, column: str, indicator: str) -> "QualityQuery":

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError, TagSchemaError, UnknownColumnError
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, Row
 from repro.relational.schema import RelationSchema
 from repro.tagging.cell import QualityCell
 from repro.tagging.indicators import IndicatorValue, TagSchema
@@ -45,12 +45,24 @@ class TaggedRow(Mapping[str, QualityCell]):
             prepared.append(QualityCell(value, tags.values()))
         self._cells: tuple[QualityCell, ...] = tuple(prepared)
 
+    @classmethod
+    def _from_validated(
+        cls, schema: RelationSchema, cells: tuple[QualityCell, ...]
+    ) -> "TaggedRow":
+        """Trusted constructor: ``cells`` must already be validated
+        against both the relation schema's domains and the tag schema,
+        in schema order.  Fast path for the quality-extended algebra."""
+        row = object.__new__(cls)
+        row._schema = schema
+        row._cells = cells
+        return row
+
     # -- Mapping interface ---------------------------------------------------
 
     def __getitem__(self, name: str) -> QualityCell:
         try:
-            return self._cells[self._schema.column_names.index(name)]
-        except ValueError:
+            return self._cells[self._schema._positions[name]]
+        except KeyError:
             raise UnknownColumnError(
                 f"row of {self._schema.name!r} has no column {name!r}"
             ) from None
@@ -154,6 +166,11 @@ class TaggedRelation:
         self._rows.append(row)
         return row
 
+    def _insert_validated(self, row: TaggedRow) -> TaggedRow:
+        """Append a row already valid under both schemas (fast path)."""
+        self._rows.append(row)
+        return row
+
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert many rows; returns the count."""
         count = 0
@@ -180,6 +197,19 @@ class TaggedRelation:
     def __iter__(self) -> Iterator[TaggedRow]:
         return iter(self._rows)
 
+    @classmethod
+    def from_rows(
+        cls,
+        schema: RelationSchema,
+        tag_schema: TagSchema,
+        rows: Iterable[TaggedRow],
+    ) -> "TaggedRelation":
+        """Trusted bulk constructor: ``rows`` must already conform to
+        both schemas (validated values and tags, matching column order)."""
+        relation = cls(schema, tag_schema)
+        relation._rows = list(rows)
+        return relation
+
     def empty_like(self) -> "TaggedRelation":
         """An empty tagged relation with the same schemas."""
         return TaggedRelation(self.schema, self.tag_schema)
@@ -193,8 +223,12 @@ class TaggedRelation:
 
     def values_relation(self) -> Relation:
         """Strip all tags, producing a plain relation of the values."""
-        return Relation(
-            self.schema, [row.values_dict() for row in self._rows]
+        return Relation.from_rows(
+            self.schema,
+            (
+                Row._from_validated(self.schema, row.values_tuple())
+                for row in self._rows
+            ),
         )
 
     @classmethod

@@ -1,0 +1,106 @@
+"""Fast path ≡ naive path for the plain relational algebra.
+
+The operators in :mod:`repro.relational.algebra` move pre-validated
+tuples through trusted constructors and cached column positions.  These
+properties pin the contract: the fast path must be observationally
+identical to the original execution strategy (per-row name lookups,
+dict round-trips, re-validating inserts) reproduced in
+:mod:`repro.experiments.naive`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnknownColumnError
+from repro.experiments import naive
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+
+VALUES = {
+    "INT": st.none() | st.integers(min_value=-1000, max_value=1000),
+    "STR": st.none() | st.text(alphabet="abcdef", max_size=6),
+    "FLOAT": st.none()
+    | st.floats(min_value=-100, max_value=100, allow_nan=False),
+}
+DOMAINS = st.sampled_from(["INT", "STR", "FLOAT"])
+
+
+@st.composite
+def relation_cases(draw, min_cols: int = 1, max_cols: int = 4, max_rows: int = 10):
+    """A relation with a random schema over INT/STR/FLOAT, NULLs allowed."""
+    n_cols = draw(st.integers(min_value=min_cols, max_value=max_cols))
+    domains = [draw(DOMAINS) for _ in range(n_cols)]
+    sch = schema("t", [(f"c{i}", d) for i, d in enumerate(domains)])
+    rows = draw(
+        st.lists(
+            st.tuples(*(VALUES[d] for d in domains)), max_size=max_rows
+        )
+    )
+    return Relation.from_tuples(sch, rows)
+
+
+@st.composite
+def join_cases(draw, max_rows: int = 8):
+    """Two relations sharing a small join-key space (so matches occur)."""
+    keys = st.integers(min_value=0, max_value=3)
+    left = Relation.from_tuples(
+        schema("l", [("k", "INT"), ("a", "STR")]),
+        draw(st.lists(st.tuples(keys, VALUES["STR"]), max_size=max_rows)),
+    )
+    right = Relation.from_tuples(
+        schema("r", [("k", "INT"), ("b", "INT")]),
+        draw(st.lists(st.tuples(keys, VALUES["INT"]), max_size=max_rows)),
+    )
+    return left, right
+
+
+def assert_same(fast: Relation, slow: Relation) -> None:
+    """Identical schema and identical rows in identical order."""
+    assert fast.schema.column_names == slow.schema.column_names
+    assert [r.values_tuple() for r in fast] == [
+        r.values_tuple() for r in slow
+    ]
+
+
+class TestUnknownColumn:
+    def test_row_lookup_raises_unknown_column_error(self, customer_relation):
+        row = customer_relation.rows[0]
+        with pytest.raises(UnknownColumnError):
+            row["no_such_column"]
+
+    def test_known_lookup_still_works(self, customer_relation):
+        assert customer_relation.rows[0]["co_name"] == "Fruit Co"
+
+
+class TestFastEqualsNaive:
+    @given(relation_cases())
+    def test_select(self, rel):
+        predicate = lambda r: r.at(0) is not None
+        assert_same(
+            algebra.select(rel, predicate), naive.naive_select(rel, predicate)
+        )
+
+    @given(relation_cases(min_cols=2), st.data())
+    def test_project(self, rel, data):
+        columns = data.draw(
+            st.lists(
+                st.sampled_from(rel.schema.column_names),
+                min_size=1,
+                unique=True,
+            )
+        )
+        assert_same(
+            algebra.project(rel, columns), naive.naive_project(rel, columns)
+        )
+
+    @given(join_cases())
+    def test_equi_join(self, relations):
+        left, right = relations
+        assert_same(
+            algebra.equi_join(left, right, [("k", "k")]),
+            naive.naive_equi_join(left, right, [("k", "k")]),
+        )

@@ -1,0 +1,131 @@
+"""Fast path ≡ naive path for the quality-extended algebra.
+
+Tag propagation makes equivalence stricter than value equality: every
+output cell must carry exactly the tags the naive (re-validating) path
+would have produced, cell for cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnknownColumnError
+from repro.experiments import naive
+from repro.tagging import algebra
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
+from repro.tagging.query import IndicatorConstraint, QualityFilter
+from repro.relational.schema import schema
+
+SCHEMA = schema("t", [("name", "STR"), ("n", "INT")])
+TAGS = TagSchema(
+    indicators=[
+        IndicatorDefinition("src", "STR"),
+        IndicatorDefinition("score", "INT"),
+    ],
+    allowed={"name": ["src", "score"], "n": ["src", "score"]},
+)
+
+NAMES = st.none() | st.text(alphabet="abcdef", max_size=6)
+INTS = st.none() | st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def cells(draw, value_strategy):
+    """A QualityCell with a random subset of the allowed indicators."""
+    tags = []
+    if draw(st.booleans()):
+        tags.append(IndicatorValue("src", draw(st.sampled_from("xyz"))))
+    if draw(st.booleans()):
+        tags.append(
+            IndicatorValue("score", draw(st.integers(min_value=0, max_value=9)))
+        )
+    return QualityCell(draw(value_strategy), tags)
+
+
+@st.composite
+def tagged_relations(draw, max_rows: int = 8):
+    from repro.tagging.relation import TaggedRelation
+
+    relation = TaggedRelation(SCHEMA, TAGS)
+    for _ in range(draw(st.integers(min_value=0, max_value=max_rows))):
+        relation.insert(
+            {"name": draw(cells(NAMES)), "n": draw(cells(INTS))}
+        )
+    return relation
+
+
+def assert_same(fast, slow) -> None:
+    """Identical schema, rows, values, and tags — cell for cell."""
+    assert fast.schema.column_names == slow.schema.column_names
+    assert fast.tag_schema == slow.tag_schema
+    assert len(fast) == len(slow)
+    for fast_row, slow_row in zip(fast, slow):
+        assert fast_row.cells == slow_row.cells
+
+
+class TestUnknownColumn:
+    def test_tagged_row_lookup_raises_unknown_column_error(
+        self, tagged_customers
+    ):
+        row = tagged_customers.rows[0]
+        with pytest.raises(UnknownColumnError):
+            row["no_such_column"]
+
+    def test_known_lookup_keeps_tags(self, tagged_customers):
+        cell = tagged_customers.rows[0]["address"]
+        assert cell.value == "12 Jay St"
+        assert cell.tag_value("source") == "sales"
+
+
+class TestFastEqualsNaive:
+    @given(tagged_relations())
+    def test_select(self, rel):
+        predicate = lambda r: r.value("n") is not None and r.value("n") > 0
+        assert_same(
+            algebra.select(rel, predicate),
+            naive.naive_tagged_select(rel, predicate),
+        )
+
+    @given(tagged_relations())
+    def test_project(self, rel):
+        assert_same(
+            algebra.project(rel, ["n"]), naive.naive_tagged_project(rel, ["n"])
+        )
+
+    @given(tagged_relations(), tagged_relations())
+    def test_equi_join(self, left, right):
+        on = [("n", "n")]
+        assert_same(
+            algebra.equi_join(left, right, on),
+            naive.naive_tagged_equi_join(left, right, on),
+        )
+
+    @given(
+        tagged_relations(),
+        st.integers(min_value=0, max_value=9),
+        st.booleans(),
+    )
+    def test_quality_filter_pushdown(self, rel, threshold, missing_ok):
+        quality_filter = QualityFilter(
+            [
+                IndicatorConstraint(
+                    "n", "score", ">=", threshold, missing_ok=missing_ok
+                )
+            ],
+            name="grade",
+        )
+        assert_same(
+            quality_filter.apply(rel),
+            naive.naive_quality_filter(rel, quality_filter),
+        )
+
+    @given(tagged_relations())
+    def test_quality_filter_unknown_column_still_raises(self, rel):
+        bad = QualityFilter(
+            [IndicatorConstraint("missing_col", "score", ">=", 1)]
+        )
+        with pytest.raises(UnknownColumnError):
+            bad.apply(rel)
