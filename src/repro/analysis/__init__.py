@@ -1,0 +1,58 @@
+"""Static analysis for QSQL queries and quality schemas.
+
+The subsystem has three parts (DESIGN.md §8):
+
+- the **diagnostics engine** (:mod:`repro.analysis.diagnostics`,
+  :mod:`repro.analysis.codes`) — stable ``DQ`` codes, severities,
+  source spans, caret rendering;
+- the **query analyzer** (:mod:`repro.analysis.query`) — resolves a
+  parsed statement against a catalog and tag schemas *before
+  execution*: unknown names, type mismatches, coverage gaps,
+  contradictions, style;
+- the **schema linter** (:mod:`repro.analysis.schema`) — batched
+  checks over tag schemas and methodology artifacts.
+
+Entry points: the ``repro-lint`` CLI (``python -m repro.analysis``)
+and ``execute(sql, source, strict=True)`` in :mod:`repro.sql`.
+"""
+
+from repro.analysis.codes import CODES, CodeInfo, code_info
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    Diagnostics,
+    QueryAnalysisError,
+    Severity,
+    Span,
+)
+from repro.analysis.query import analyze_query, analyze_statement
+from repro.analysis.schema import (
+    lint_database,
+    lint_merge,
+    lint_quality_schema,
+    lint_rename,
+    lint_tag_schema,
+)
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "code_info",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Diagnostic",
+    "Diagnostics",
+    "QueryAnalysisError",
+    "Severity",
+    "Span",
+    "analyze_query",
+    "analyze_statement",
+    "lint_database",
+    "lint_merge",
+    "lint_quality_schema",
+    "lint_rename",
+    "lint_tag_schema",
+]

@@ -1,0 +1,49 @@
+"""The example catalog ``repro-lint`` resolves queries against.
+
+The CLI lints QSQL strings found in source files *statically*, so it
+needs schemas — not data — for the relations those queries name.  The
+catalog mirrors the repo's example/scenario relations (empty: static
+analysis never reads rows):
+
+- ``customer`` — the §1.2 customer relation with the Table 2 tag schema;
+- ``address_book`` — the §4 clearinghouse with the manufacturing
+  pipeline's tag schema;
+- ``ticks`` — the E6 price ticks with required ``age`` tags;
+- ``quotes`` — the Polygen-bridged federation output with attribution
+  tags.
+"""
+
+from __future__ import annotations
+
+from repro.tagging.relation import TaggedRelation
+
+
+def example_catalog() -> dict[str, TaggedRelation]:
+    """Empty relations carrying the example schemas and tag schemas."""
+    from repro.experiments.scenarios import (
+        ADDRESS_SCHEMA,
+        CUSTOMER_SCHEMA,
+        customer_tag_schema,
+        trading_ticks,
+    )
+    from repro.manufacturing.pipeline import pipeline_tag_schema
+    from repro.polygen.bridge import bridge_tag_schema
+    from repro.relational.schema import schema
+
+    quotes_schema = schema(
+        "quotes",
+        [("ticker", "STR"), ("price", "FLOAT")],
+        key=["ticker"],
+        doc="Federated share quotes (multi_source_federation example)",
+    )
+    ticks = trading_ticks(n_ticks=0)
+    return {
+        "customer": TaggedRelation(CUSTOMER_SCHEMA, customer_tag_schema()),
+        "address_book": TaggedRelation(
+            ADDRESS_SCHEMA, pipeline_tag_schema(["name", "address", "city"])
+        ),
+        "ticks": TaggedRelation(ticks.schema, ticks.tag_schema),
+        "quotes": TaggedRelation(
+            quotes_schema, bridge_tag_schema(["ticker", "price"])
+        ),
+    }

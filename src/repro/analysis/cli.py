@@ -1,0 +1,186 @@
+"""``repro-lint``: the static-analysis command line.
+
+Usage::
+
+    repro-lint examples/                  # lint QSQL strings in .py files
+    repro-lint --sql "SELECT x FROM t"    # lint one query string
+    repro-lint --scenarios                # lint built-in scenario schemas
+    repro-lint --codes                    # print the DQ code registry
+
+Queries resolve against the example catalog (``--catalog examples``,
+the default) or against no catalog (``--catalog none`` — only
+catalog-independent checks run).  The exit status is 1 when any
+diagnostic at or above ``--fail-on`` (default ``error``) was emitted,
+0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.codes import render_code_table
+from repro.analysis.diagnostics import Diagnostics, severity_from_name
+from repro.analysis.query import analyze_query
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analyzer for QSQL queries and quality schemas "
+            "(diagnostic codes DQ1xx schema, DQ2xx query, DQ3xx style)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=".py files or directories to scan for QSQL strings",
+    )
+    parser.add_argument(
+        "--sql",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="lint one QSQL string (repeatable)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help=(
+            "lint the built-in scenario tag schemas and the trading "
+            "methodology's quality schema"
+        ),
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the diagnostic-code registry and exit",
+    )
+    parser.add_argument(
+        "--catalog",
+        choices=["examples", "none"],
+        default="examples",
+        help="catalog to resolve FROM clauses against (default: examples)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that fails the run (default: error)",
+    )
+    return parser
+
+
+def _lint_scenarios(diagnostics: Diagnostics) -> None:
+    """Lint the repo's scenario schemas and methodology artifacts."""
+    from repro.analysis.schema import (
+        lint_database,
+        lint_quality_schema,
+        lint_tag_schema,
+    )
+    from repro.experiments.scenarios import (
+        ADDRESS_SCHEMA,
+        CUSTOMER_SCHEMA,
+        customer_tag_schema,
+        run_trading_methodology,
+        trading_ticks,
+    )
+    from repro.manufacturing.pipeline import pipeline_tag_schema
+    from repro.tagging.catalog import QualityDatabase
+
+    lint_tag_schema(
+        customer_tag_schema(),
+        CUSTOMER_SCHEMA,
+        context="customer",
+        diagnostics=diagnostics,
+    )
+    lint_tag_schema(
+        pipeline_tag_schema(["address", "employees"]),
+        CUSTOMER_SCHEMA,
+        context="customer_database",
+        diagnostics=diagnostics,
+    )
+    lint_tag_schema(
+        pipeline_tag_schema(["name", "address", "city"]),
+        ADDRESS_SCHEMA,
+        context="clearinghouse",
+        diagnostics=diagnostics,
+    )
+    ticks = trading_ticks(n_ticks=0)
+    lint_tag_schema(
+        ticks.tag_schema,
+        ticks.schema,
+        context="ticks",
+        diagnostics=diagnostics,
+    )
+    modeling = run_trading_methodology()
+    lint_quality_schema(
+        modeling.quality_schema,
+        modeling.parameter_views,
+        context="trading",
+        diagnostics=diagnostics,
+    )
+    database = QualityDatabase.from_quality_schema(modeling.quality_schema)
+    lint_database(database.relations(), diagnostics=diagnostics)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        print(render_code_table())
+        return 0
+
+    if not (args.paths or args.sql or args.scenarios):
+        parser.error("nothing to lint: give paths, --sql, or --scenarios")
+
+    catalog = None
+    if args.catalog == "examples":
+        from repro.analysis.catalog import example_catalog
+
+        catalog = example_catalog()
+
+    diagnostics = Diagnostics()
+    n_queries = 0
+
+    for i, sql in enumerate(args.sql):
+        context = "--sql" if len(args.sql) == 1 else f"--sql#{i + 1}"
+        diagnostics.extend(analyze_query(sql, catalog, context=context))
+        n_queries += 1
+
+    if args.paths:
+        from repro.analysis.extract import (
+            extract_queries_from_file,
+            iter_python_files,
+        )
+
+        for path in iter_python_files(args.paths):
+            if not path.exists():
+                print(f"repro-lint: no such file: {path}", file=sys.stderr)
+                return 2
+            for query in extract_queries_from_file(path):
+                diagnostics.extend(
+                    analyze_query(query.sql, catalog, context=query.context)
+                )
+                n_queries += 1
+
+    if args.scenarios:
+        _lint_scenarios(diagnostics)
+
+    if diagnostics:
+        print(diagnostics.render())
+    scope = f"{n_queries} query(ies)" + (
+        " + scenarios" if args.scenarios else ""
+    )
+    print(f"repro-lint: {scope}: {diagnostics.summary()}")
+
+    threshold = severity_from_name(args.fail_on)
+    failed = any(d.severity >= threshold for d in diagnostics)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

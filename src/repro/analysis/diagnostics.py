@@ -1,0 +1,217 @@
+"""The diagnostics engine: records, severities, spans, and rendering.
+
+A :class:`Diagnostic` is one finding of the static analyzer or the
+schema linter: a stable ``DQ`` code, a severity, a message, and —
+when the finding anchors to QSQL source text — a character span
+rendered as a caret snippet (the same rendering
+:class:`~repro.sql.errors.SQLError` uses).  :class:`Diagnostics` is the
+ordered collection the analyzers return and the CLI prints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.sql.errors import SQLError, caret_snippet
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+INFO = Severity.INFO
+WARNING = Severity.WARNING
+ERROR = Severity.ERROR
+
+
+@dataclass(frozen=True)
+class Span:
+    """A ``(start, end)`` character range into one source text."""
+
+    start: int
+    end: int
+
+    @classmethod
+    def of(cls, raw: Optional[tuple[int, int]]) -> Optional["Span"]:
+        """Wrap a node's raw ``(start, end)`` tuple (None passes through)."""
+        if raw is None:
+            return None
+        return cls(raw[0], raw[1])
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``source`` is the QSQL text the span indexes into (None for schema
+    diagnostics, which have no query text); ``context`` names where the
+    finding came from — a relation, a file, a schema — for the CLI's
+    grouped output.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    source: Optional[str] = None
+    context: str = ""
+
+    def __post_init__(self) -> None:
+        from repro.analysis.codes import code_info
+
+        code_info(self.code)  # unregistered codes raise here
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= ERROR
+
+    def render(self) -> str:
+        """``CODE severity: message`` plus a caret snippet when anchored."""
+        prefix = f"{self.code} {self.severity.label}"
+        location = f" [{self.context}]" if self.context else ""
+        text = f"{prefix}{location}: {self.message}"
+        if self.span is not None and self.source is not None:
+            snippet = caret_snippet(self.source, self.span.start, self.span.end)
+            if snippet:
+                indented = "\n".join("    " + line for line in snippet.split("\n"))
+                text = f"{text}\n{indented}"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Diagnostics:
+    """An ordered collection of diagnostics with severity queries."""
+
+    def __init__(self, items: Iterable[Diagnostic] = ()) -> None:
+        self._items: list[Diagnostic] = list(items)
+
+    # -- collection protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index: int) -> Diagnostic:
+        return self._items[index]
+
+    # -- building ------------------------------------------------------------
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Optional[Severity] = None,
+        span: Optional[tuple[int, int] | Span] = None,
+        source: Optional[str] = None,
+        context: str = "",
+    ) -> Diagnostic:
+        """Append one diagnostic; severity defaults from the registry."""
+        from repro.analysis.codes import code_info
+
+        if severity is None:
+            severity = code_info(code).default_severity
+        if span is not None and not isinstance(span, Span):
+            span = Span.of(span)
+        diagnostic = Diagnostic(code, severity, message, span, source, context)
+        self._items.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: Iterable[Diagnostic]) -> "Diagnostics":
+        self._items.extend(other)
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity >= ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= ERROR for d in self._items)
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self._items:
+            return None
+        return max(d.severity for d in self._items)
+
+    def codes(self) -> list[str]:
+        """The distinct codes present, sorted."""
+        return sorted({d.code for d in self._items})
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        if not self._items:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self._items)
+
+    def summary(self) -> str:
+        """``N error(s), M warning(s), K info`` — the CLI footer line."""
+        n_err = len(self.errors())
+        n_warn = len(self.warnings())
+        n_info = len(self._items) - n_err - n_warn
+        return (
+            f"{n_err} error(s), {n_warn} warning(s), {n_info} info"
+        )
+
+    def __repr__(self) -> str:
+        return f"Diagnostics({self.summary()})"
+
+
+class QueryAnalysisError(SQLError):
+    """Raised by ``execute(..., strict=True)`` when the pre-execution
+    analysis pass finds error-severity diagnostics.
+
+    Carries the full :class:`Diagnostics` list (not just the first
+    finding) so production callers see every problem at once.
+    """
+
+    def __init__(self, diagnostics: Diagnostics, sql: Optional[str] = None) -> None:
+        self.diagnostics = diagnostics
+        errors = diagnostics.errors()
+        headline = (
+            f"query rejected by static analysis "
+            f"({diagnostics.summary()}):\n{diagnostics.render()}"
+        )
+        first_span: Optional[Span] = next(
+            (d.span for d in errors if d.span is not None), None
+        )
+        # The headline already renders per-diagnostic snippets; bypass
+        # SQLError's own "(at position N)" suffix and set span fields
+        # directly from the first anchored error.
+        super().__init__(headline)
+        if first_span is not None:
+            self.position = first_span.start
+            self.end = first_span.end
+        self.source = sql
+
+
+def severity_from_name(name: str) -> Severity:
+    """Parse a severity name (case-insensitive) into :class:`Severity`."""
+    try:
+        return Severity[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown severity {name!r} (known: info, warning, error)"
+        ) from None

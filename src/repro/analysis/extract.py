@@ -1,0 +1,114 @@
+"""Extracting QSQL strings from Python sources for offline linting.
+
+``repro-lint examples/`` needs the queries *inside* the example
+scripts without running them.  This module parses each ``.py`` file
+with :mod:`ast` and collects every string literal that looks like a
+QSQL SELECT — including implicitly-concatenated literals and
+f-strings, whose ``{...}`` placeholders are substituted with
+representative values (``'1991-01-01'`` inside a quoted literal, ``0``
+outside) so the result still lexes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Union
+
+_SELECT_RE = re.compile(r"\s*SELECT\b", re.IGNORECASE)
+
+#: Placeholder spliced into an f-string hole inside a quoted literal.
+_STRING_HOLE = "1991-01-01"
+#: Placeholder spliced into an f-string hole outside any literal.
+_BARE_HOLE = "0"
+
+
+@dataclass(frozen=True)
+class ExtractedQuery:
+    """One QSQL string found in a Python file."""
+
+    sql: str
+    path: str
+    lineno: int
+    #: False when f-string placeholders were substituted, i.e. ``sql``
+    #: is an approximation of what the program would execute.
+    exact: bool = True
+
+    @property
+    def context(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+
+def _inside_string_literal(prefix: str) -> bool:
+    """Whether ``prefix`` ends inside an unterminated ``'...'`` literal.
+
+    Doubled quotes (the QSQL escape, ``'acct''g'``) toggle twice and
+    cancel out, so a simple parity count is correct.
+    """
+    return prefix.count("'") % 2 == 1
+
+
+def _render_joined(node: ast.JoinedStr) -> tuple[str, bool]:
+    """Approximate an f-string; returns (text, exact)."""
+    parts: list[str] = []
+    exact = True
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue):
+            exact = False
+            prefix = "".join(parts)
+            parts.append(
+                _STRING_HOLE if _inside_string_literal(prefix) else _BARE_HOLE
+            )
+        else:  # pragma: no cover - JoinedStr has no other child kinds
+            exact = False
+    return "".join(parts), exact
+
+
+def extract_queries_from_source(
+    source: str, path: str = "<string>"
+) -> list[ExtractedQuery]:
+    """All QSQL-looking string literals in one Python source text."""
+    tree = ast.parse(source, filename=path)
+    queries: list[ExtractedQuery] = []
+    skip: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.JoinedStr):
+            for child in ast.walk(node):
+                skip.add(id(child))
+            text, exact = _render_joined(node)
+            if _SELECT_RE.match(text):
+                queries.append(
+                    ExtractedQuery(text, path, node.lineno, exact=exact)
+                )
+        elif (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in skip
+            and _SELECT_RE.match(node.value)
+        ):
+            queries.append(ExtractedQuery(node.value, path, node.lineno))
+    return queries
+
+
+def extract_queries_from_file(path: Union[str, Path]) -> list[ExtractedQuery]:
+    """All QSQL-looking string literals in one ``.py`` file."""
+    path = Path(path)
+    return extract_queries_from_source(
+        path.read_text(encoding="utf-8"), str(path)
+    )
+
+
+def iter_python_files(paths: Iterator[Union[str, Path]]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        else:
+            found.add(path)
+    return sorted(found)

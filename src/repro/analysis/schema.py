@@ -1,0 +1,223 @@
+"""The quality-schema linter: batched Step 3/Step 4 consistency checks.
+
+Where :mod:`repro.analysis.query` checks one statement, this module
+checks the *schemas* statements run against:
+
+- :func:`lint_tag_schema` — a tag schema against its relation schema
+  (drift, DQ101) and against itself (unused indicators, DQ102);
+- :func:`lint_merge` — two tag schemas about to be merged (conflicting
+  indicator domains, DQ105), without raising mid-merge;
+- :func:`lint_quality_schema` — a methodology-produced
+  :class:`~repro.core.views.QualitySchema` against its Step 2 parameter
+  view(s): parameters nothing operationalizes (DQ103), indicator
+  annotations tracing to parameters that do not exist (DQ104), and
+  conflicting indicator definitions (DQ105);
+- :func:`lint_database` — every tagged relation of a catalog.
+
+All functions return :class:`~repro.analysis.diagnostics.Diagnostics`
+rather than raising, so a single lint run reports every problem.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.analysis.diagnostics import Diagnostics
+from repro.core.views import ParameterView, QualitySchema, QualityView
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.tagging.indicators import TagSchema
+from repro.tagging.relation import TaggedRelation
+
+
+def lint_tag_schema(
+    tag_schema: TagSchema,
+    relation_schema: Optional[RelationSchema] = None,
+    *,
+    context: str = "",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Lint one tag schema, optionally against its relation schema."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    if relation_schema is not None:
+        missing = [
+            column
+            for column in tag_schema.tagged_columns
+            if column not in relation_schema
+        ]
+        for column in missing:
+            indicators = sorted(tag_schema.allowed_for(column))
+            diagnostics.add(
+                "DQ101",
+                f"tag schema requires/allows indicators {indicators} on "
+                f"column {column!r}, which does not exist in relation "
+                f"{relation_schema.name!r} "
+                f"(columns: {list(relation_schema.column_names)})",
+                context=context,
+            )
+    used: set[str] = set()
+    for column in tag_schema.tagged_columns:
+        used |= tag_schema.allowed_for(column)
+    for name in tag_schema.indicator_names:
+        if name not in used:
+            diagnostics.add(
+                "DQ102",
+                f"indicator {name!r} is defined but neither required nor "
+                f"allowed on any column",
+                context=context,
+            )
+    return diagnostics
+
+
+def lint_merge(
+    left: TagSchema,
+    right: TagSchema,
+    *,
+    context: str = "",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Report indicator-definition conflicts ``left.merge(right)`` would hit."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    for name in sorted(
+        set(left.indicator_names) & set(right.indicator_names)
+    ):
+        a = left.definition(name)
+        b = right.definition(name)
+        if a != b:
+            diagnostics.add(
+                "DQ105",
+                f"indicator {name!r} is defined with conflicting domains: "
+                f"{a.domain.name} vs {b.domain.name}; merge would fail",
+                context=context,
+            )
+    return diagnostics
+
+
+def lint_rename(
+    tag_schema: TagSchema,
+    mapping: Mapping[str, str],
+    *,
+    context: str = "",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Report tagged-column collisions a rename would produce (DQ106).
+
+    The advisory counterpart of the hard error
+    :meth:`~repro.tagging.indicators.TagSchema.rename_columns` raises.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    targets: dict[str, list[str]] = {}
+    for column in tag_schema.tagged_columns:
+        targets.setdefault(mapping.get(column, column), []).append(column)
+    for target, columns in sorted(targets.items()):
+        if len(columns) > 1:
+            diagnostics.add(
+                "DQ106",
+                f"rename maps tagged columns {sorted(columns)} onto one "
+                f"name {target!r}, merging their indicator requirements",
+                context=context,
+            )
+    return diagnostics
+
+
+def _parameter_names(
+    parameter_views: Iterable[ParameterView],
+) -> set[str]:
+    names: set[str] = set()
+    for view in parameter_views:
+        for parameter in view.all_parameters():
+            names.add(parameter.name)
+    return names
+
+
+def lint_quality_schema(
+    quality_schema: Union[QualitySchema, QualityView],
+    parameter_views: Iterable[ParameterView] = (),
+    *,
+    context: str = "",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Lint the Step 2 → Step 3 → Step 4 chain of one quality schema.
+
+    ``parameter_views`` supplies the Step 2 artifacts to check coverage
+    against; a :class:`QualityView` that carries its own
+    ``parameter_view`` is checked against that automatically.
+    """
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    context = context or quality_schema.name
+    views = list(parameter_views)
+    attached = getattr(quality_schema, "parameter_view", None)
+    if attached is not None and attached not in views:
+        views.append(attached)
+
+    # DQ105: the same indicator name defined twice with different specs.
+    definitions: dict[str, object] = {}
+    for annotation in quality_schema.annotations:
+        definition = annotation.indicator.to_definition()
+        existing = definitions.get(definition.name)
+        if existing is not None and existing != definition:
+            diagnostics.add(
+                "DQ105",
+                f"indicator {definition.name!r} has conflicting "
+                f"definitions across annotations (target "
+                f"{'.'.join(annotation.target)})",
+                context=context,
+            )
+        definitions.setdefault(definition.name, definition)
+
+    if not views:
+        return diagnostics
+
+    parameter_names = _parameter_names(views)
+
+    # DQ104: derived_from pointing at parameters Step 2 never attached.
+    for annotation in quality_schema.annotations:
+        for parameter_name in annotation.derived_from:
+            if parameter_name not in parameter_names:
+                diagnostics.add(
+                    "DQ104",
+                    f"indicator {annotation.indicator.name!r} at "
+                    f"{'.'.join(annotation.target)} claims to "
+                    f"operationalize parameter {parameter_name!r}, which "
+                    f"no parameter view contains",
+                    context=context,
+                )
+
+    # DQ103: parameters no indicator operationalizes.
+    operationalized: set[str] = set()
+    for annotation in quality_schema.annotations:
+        operationalized.update(annotation.derived_from)
+    for name in sorted(parameter_names - operationalized):
+        diagnostics.add(
+            "DQ103",
+            f"quality parameter {name!r} has no operationalizing "
+            f"indicator: the subjective requirement was never made "
+            f"measurable",
+            context=context,
+        )
+    return diagnostics
+
+
+def lint_database(
+    source: Union[Database, Mapping[str, Union[Relation, TaggedRelation]]],
+    *,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Lint every tagged relation of a database/catalog/mapping."""
+    diagnostics = diagnostics if diagnostics is not None else Diagnostics()
+    if isinstance(source, Mapping):
+        items = sorted(source.items())
+    else:
+        items = [
+            (name, source.relation(name)) for name in source.relation_names
+        ]
+    for name, relation in items:
+        if isinstance(relation, TaggedRelation):
+            lint_tag_schema(
+                relation.tag_schema,
+                relation.schema,
+                context=name,
+                diagnostics=diagnostics,
+            )
+    return diagnostics

@@ -1,13 +1,80 @@
-"""QSQL error type."""
+"""QSQL error type and source-span rendering."""
+
+from __future__ import annotations
+
+from typing import Optional
 
 from repro.errors import QueryError
 
 
-class SQLError(QueryError):
-    """A QSQL query failed to lex, parse, or execute."""
+def caret_snippet(source: str, start: int, end: int = -1) -> str:
+    """Render the offending line of ``source`` with a caret underline.
 
-    def __init__(self, message: str, position: int = -1) -> None:
-        if position >= 0:
-            message = f"{message} (at position {position})"
-        super().__init__(message)
+    ``start``/``end`` are character offsets into ``source``; the snippet
+    shows the line containing ``start`` with ``^`` marks under the
+    ``start:end`` range (clamped to that line).
+
+    >>> print(caret_snippet("SELECT x FORM t", 9, 13))
+    SELECT x FORM t
+             ^^^^
+    """
+    if not 0 <= start <= len(source):
+        return ""
+    line_start = source.rfind("\n", 0, start) + 1
+    line_end = source.find("\n", start)
+    if line_end < 0:
+        line_end = len(source)
+    line = source[line_start:line_end]
+    if end <= start:
+        end = start + 1
+    width = max(1, min(end, line_end) - start)
+    pad = " " * (start - line_start)
+    return f"{line}\n{pad}{'^' * width}"
+
+
+class SQLError(QueryError):
+    """A QSQL query failed to lex, parse, analyze, or execute.
+
+    Carries an optional source span: ``position`` (start offset into the
+    query text), ``end`` (one past the last offending character), and
+    ``source`` (the query text itself).  When both a position and the
+    source are known, the message includes a caret snippet pointing at
+    the offending characters.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int = -1,
+        end: int = -1,
+        source: Optional[str] = None,
+    ) -> None:
+        self.raw_message = message
         self.position = position
+        self.end = end if end > position else (position + 1 if position >= 0 else -1)
+        self.source = source
+        rendered = message
+        if position >= 0:
+            rendered = f"{message} (at position {position})"
+            if source is not None:
+                snippet = caret_snippet(source, position, self.end)
+                if snippet:
+                    rendered = f"{rendered}\n{snippet}"
+        super().__init__(rendered)
+
+    @property
+    def span(self) -> Optional[tuple[int, int]]:
+        """The ``(start, end)`` offsets, or None when unknown."""
+        if self.position < 0:
+            return None
+        return (self.position, self.end)
+
+    def with_source(self, source: str) -> "SQLError":
+        """A copy of this error with the query text attached.
+
+        Used by :func:`repro.sql.parser.parse` so every parse error
+        carries a caret snippet, regardless of where it was raised.
+        """
+        if self.source is not None:
+            return self
+        return SQLError(self.raw_message, self.position, self.end, source)

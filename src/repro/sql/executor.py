@@ -351,14 +351,29 @@ def _apply_order(
 def execute(
     sql: str,
     source: AnyRelation | Database | Mapping[str, AnyRelation],
+    *,
+    strict: bool = False,
 ) -> AnyRelation:
     """Parse and execute a QSQL SELECT; returns a (tagged) relation.
 
     Aggregate queries (``COUNT``/``SUM``/``AVG``/``MIN``/``MAX``, with
     optional ``GROUP BY``) always return a *plain* relation — aggregated
     values have no single manufacturing history to tag.
+
+    With ``strict=True`` the statement first runs through the static
+    analyzer (:mod:`repro.analysis`); error-severity diagnostics raise
+    :class:`~repro.analysis.diagnostics.QueryAnalysisError` *before*
+    any row is touched, with every problem reported at once.
     """
     statement = parse(sql)
+    if strict:
+        # Imported lazily: repro.analysis depends on the sql package.
+        from repro.analysis.diagnostics import QueryAnalysisError
+        from repro.analysis.query import analyze_statement
+
+        diagnostics = analyze_statement(statement, source, sql=sql)
+        if diagnostics.has_errors:
+            raise QueryAnalysisError(diagnostics, sql)
     relation = _resolve_relation(statement, source)
     tagged = isinstance(relation, TaggedRelation)
     _check_columns(statement, relation)

@@ -58,11 +58,24 @@ _IDENT_CONTINUE = _IDENT_START + _ASCII_DIGITS
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token."""
+    """One lexical token.
+
+    ``position``/``end`` are character offsets into the query text
+    (``end`` is one past the token's last character), so parse errors
+    and analyzer diagnostics can point at the exact source span.
+    """
 
     kind: str
     value: Any
     position: int
+    end: int = -1
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The ``(start, end)`` character span of this token."""
+        if self.end > self.position:
+            return (self.position, self.end)
+        return (self.position, self.position + 1)
 
     def matches(self, kind: str, value: Any = None) -> bool:
         if self.kind != kind:
@@ -85,11 +98,11 @@ def tokenize(text: str) -> list[Token]:
             (op for op in _OPERATORS if text.startswith(op, index)), None
         )
         if matched_op:
-            tokens.append(Token(OPERATOR, matched_op, index))
+            tokens.append(Token(OPERATOR, matched_op, index, index + len(matched_op)))
             index += len(matched_op)
             continue
         if char in _PUNCT:
-            tokens.append(Token(PUNCT, char, index))
+            tokens.append(Token(PUNCT, char, index, index + 1))
             index += 1
             continue
         if char == "'":
@@ -98,7 +111,9 @@ def tokenize(text: str) -> list[Token]:
             parts: list[str] = []
             while True:
                 if index >= length:
-                    raise SQLError("unterminated string literal", start - 1)
+                    raise SQLError(
+                        "unterminated string literal", start - 1, length, text
+                    )
                 if text[index] == "'":
                     # '' is an escaped quote inside the literal.
                     if index + 1 < length and text[index + 1] == "'":
@@ -110,7 +125,7 @@ def tokenize(text: str) -> list[Token]:
                     index += 1
                     break
                 index += 1
-            tokens.append(Token(STRING, "".join(parts), start - 1))
+            tokens.append(Token(STRING, "".join(parts), start - 1, index))
             continue
         if char in _ASCII_DIGITS or (
             char == "-"
@@ -134,7 +149,7 @@ def tokenize(text: str) -> list[Token]:
                 index += 1
             literal = text[start:index]
             value: Any = float(literal) if "." in literal else int(literal)
-            tokens.append(Token(NUMBER, value, start))
+            tokens.append(Token(NUMBER, value, start, index))
             continue
         if char in _IDENT_START:
             start = index
@@ -143,12 +158,12 @@ def tokenize(text: str) -> list[Token]:
             word = text[start:index]
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token(KEYWORD, upper, start))
+                tokens.append(Token(KEYWORD, upper, start, index))
             else:
-                tokens.append(Token(IDENT, word, start))
+                tokens.append(Token(IDENT, word, start, index))
             continue
-        raise SQLError(f"unexpected character {char!r}", index)
-    tokens.append(Token(EOF, None, length))
+        raise SQLError(f"unexpected character {char!r}", index, index + 1, text)
+    tokens.append(Token(EOF, None, length, length + 1))
     return tokens
 
 
@@ -164,9 +179,11 @@ def _number_context(tokens: list[Token]) -> bool:
     return True
 
 
-def parse_date_literal(value: str, position: int) -> _dt.date:
+def parse_date_literal(value: str, position: int, end: int = -1) -> _dt.date:
     """Parse the body of a ``DATE '...'`` literal."""
     try:
         return _dt.date.fromisoformat(value)
     except ValueError as exc:
-        raise SQLError(f"invalid DATE literal {value!r}: {exc}", position) from exc
+        raise SQLError(
+            f"invalid DATE literal {value!r}: {exc}", position, end
+        ) from exc

@@ -1,9 +1,23 @@
-"""QSQL abstract syntax tree nodes."""
+"""QSQL abstract syntax tree nodes.
+
+Every expression-level node carries an optional ``span`` — ``(start,
+end)`` character offsets into the query text, populated by the parser.
+Spans are excluded from equality/hashing (``compare=False``) so node
+identity stays purely structural; they exist for error reporting and
+the static analyzer's caret diagnostics.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Optional, Union
+
+#: A (start, end) character-offset range into the query source text.
+Span = tuple[int, int]
+
+
+def _span_field() -> Any:
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -11,6 +25,7 @@ class Literal:
     """A constant value (number, string, bool, None, date)."""
 
     value: Any
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -18,6 +33,7 @@ class ColumnRef:
     """A reference to an application column's value."""
 
     column: str
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -26,6 +42,7 @@ class QualityRef:
 
     column: str
     indicator: str
+    span: Optional[Span] = _span_field()
 
 
 Expr = Union["Comparison", "InList", "IsNull", "BoolOp", "NotOp"]
@@ -39,6 +56,7 @@ class Comparison:
     op: str
     left: Operand
     right: Operand
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -48,6 +66,7 @@ class InList:
     operand: Operand
     options: tuple[Any, ...]
     negated: bool = False
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -56,6 +75,7 @@ class IsNull:
 
     operand: Operand
     negated: bool = False
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -65,6 +85,7 @@ class BoolOp:
     op: str  # "AND" | "OR"
     left: Expr
     right: Expr
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -72,6 +93,7 @@ class NotOp:
     """``NOT expr``."""
 
     operand: Expr
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -80,6 +102,7 @@ class AggregateCall:
 
     func: str  # COUNT | SUM | AVG | MIN | MAX
     operand: Optional[Union[ColumnRef, QualityRef]]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -110,6 +133,11 @@ class SelectItem:
     def is_aggregate(self) -> bool:
         return isinstance(self.expr, AggregateCall)
 
+    @property
+    def span(self) -> Optional[Span]:
+        """The source span of the underlying expression."""
+        return self.expr.span
+
 
 @dataclass(frozen=True)
 class OrderItem:
@@ -117,6 +145,11 @@ class OrderItem:
 
     key: Union[ColumnRef, QualityRef]
     descending: bool = False
+
+    @property
+    def span(self) -> Optional[Span]:
+        """The source span of the order key."""
+        return self.key.span
 
 
 @dataclass(frozen=True)
@@ -134,6 +167,8 @@ class SelectStatement:
     select_items: Optional[tuple[SelectItem, ...]] = None
     #: Grouping keys: column refs or QUALITY(...) tag refs.
     group_by: tuple[Union[ColumnRef, QualityRef], ...] = ()
+    #: Source span of the FROM relation name.
+    relation_span: Optional[Span] = _span_field()
 
     @property
     def has_aggregates(self) -> bool:

@@ -15,6 +15,11 @@ Grammar (simplified)::
     operand   := literal | quality_ref | ident
     quality_ref := QUALITY '(' ident '.' ident ')'
     literal   := NUMBER | STRING | TRUE | FALSE | NULL | DATE STRING
+
+Every AST node produced here carries its ``(start, end)`` source span,
+and every :class:`~repro.sql.errors.SQLError` leaving :func:`parse`
+carries the query text, so error messages include a caret snippet
+pointing at the offending characters.
 """
 
 from __future__ import annotations
@@ -53,6 +58,13 @@ from repro.sql.nodes import (
 )
 
 
+def _merge_spans(*spans: Optional[tuple[int, int]]) -> Optional[tuple[int, int]]:
+    known = [s for s in spans if s is not None]
+    if not known:
+        return None
+    return (min(s[0] for s in known), max(s[1] for s in known))
+
+
 class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
@@ -74,7 +86,9 @@ class _Parser:
         if not token.matches(kind, value):
             wanted = value if value is not None else kind
             raise SQLError(
-                f"expected {wanted!r}, found {token.value!r}", token.position
+                f"expected {wanted!r}, found {token.value!r}",
+                token.position,
+                token.end,
             )
         return self.advance()
 
@@ -90,7 +104,8 @@ class _Parser:
         distinct = bool(self.accept(KEYWORD, "DISTINCT"))
         select_items = self._parse_select_items()
         self.expect(KEYWORD, "FROM")
-        relation = self.expect(IDENT).value
+        relation_token = self.expect(IDENT)
+        relation = relation_token.value
         where: Optional[Expr] = None
         if self.accept(KEYWORD, "WHERE"):
             where = self._parse_expr()
@@ -112,6 +127,7 @@ class _Parser:
                 raise SQLError(
                     f"LIMIT must be a non-negative integer, got {token.value!r}",
                     token.position,
+                    token.end,
                 )
             limit = token.value
         self.expect(EOF)
@@ -125,6 +141,7 @@ class _Parser:
             distinct=distinct,
             select_items=select_items,
             group_by=group_by,
+            relation_span=relation_token.span,
         )
         self._validate_grouping(statement)
         return statement
@@ -146,7 +163,8 @@ class _Parser:
     def _parse_group_key(self):
         if self.current.matches(KEYWORD, "QUALITY"):
             return self._parse_quality_ref()
-        return ColumnRef(self.expect(IDENT).value)
+        token = self.expect(IDENT)
+        return ColumnRef(token.value, span=token.span)
 
     def _validate_grouping(self, statement: SelectStatement) -> None:
         if statement.group_by and not statement.has_aggregates:
@@ -158,9 +176,12 @@ class _Parser:
                 if item.is_aggregate:
                     continue
                 if item.expr not in statement.group_by:
+                    start, end = item.span or (-1, -1)
                     raise SQLError(
                         f"select item {item.output_name!r} must appear "
-                        f"in GROUP BY"
+                        f"in GROUP BY",
+                        start,
+                        end,
                     )
 
     def _parse_select_items(self) -> Optional[tuple[SelectItem, ...]]:
@@ -182,18 +203,23 @@ class _Parser:
                     raise SQLError(
                         f"{func}(*) is not supported (only COUNT(*))",
                         token.position,
+                        token.end,
                     )
                 operand = None
             elif self.current.matches(KEYWORD, "QUALITY"):
                 operand = self._parse_quality_ref()
             else:
-                operand = ColumnRef(self.expect(IDENT).value)
-            self.expect(PUNCT, ")")
-            expr = AggregateCall(func, operand)
+                inner = self.expect(IDENT)
+                operand = ColumnRef(inner.value, span=inner.span)
+            close = self.expect(PUNCT, ")")
+            expr = AggregateCall(
+                func, operand, span=(token.position, close.end)
+            )
         elif token.matches(KEYWORD, "QUALITY"):
             expr = self._parse_quality_ref()
         else:
-            expr = ColumnRef(self.expect(IDENT).value)
+            ident = self.expect(IDENT)
+            expr = ColumnRef(ident.value, span=ident.span)
         alias = None
         if self.accept(KEYWORD, "AS"):
             alias = self.expect(IDENT).value
@@ -210,7 +236,8 @@ class _Parser:
         if self.current.matches(KEYWORD, "QUALITY"):
             key = self._parse_quality_ref()
         else:
-            key = ColumnRef(self.expect(IDENT).value)
+            token = self.expect(IDENT)
+            key = ColumnRef(token.value, span=token.span)
         descending = False
         if self.accept(KEYWORD, "DESC"):
             descending = True
@@ -226,18 +253,28 @@ class _Parser:
     def _parse_or(self) -> Expr:
         left = self._parse_and()
         while self.accept(KEYWORD, "OR"):
-            left = BoolOp("OR", left, self._parse_and())
+            right = self._parse_and()
+            left = BoolOp(
+                "OR", left, right, span=_merge_spans(left.span, right.span)
+            )
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_unary()
         while self.accept(KEYWORD, "AND"):
-            left = BoolOp("AND", left, self._parse_unary())
+            right = self._parse_unary()
+            left = BoolOp(
+                "AND", left, right, span=_merge_spans(left.span, right.span)
+            )
         return left
 
     def _parse_unary(self) -> Expr:
-        if self.accept(KEYWORD, "NOT"):
-            return NotOp(self._parse_unary())
+        not_token = self.accept(KEYWORD, "NOT")
+        if not_token:
+            inner = self._parse_unary()
+            return NotOp(
+                inner, span=_merge_spans(not_token.span, inner.span)
+            )
         if self.accept(PUNCT, "("):
             inner = self._parse_expr()
             self.expect(PUNCT, ")")
@@ -249,28 +286,42 @@ class _Parser:
         if self.current.matches(OPERATOR):
             op = self.advance().value
             right = self._parse_operand()
-            return Comparison(op, operand, right)
+            return Comparison(
+                op, operand, right, span=_merge_spans(operand.span, right.span)
+            )
         if self.current.matches(KEYWORD, "IS"):
             self.advance()
             negated = bool(self.accept(KEYWORD, "NOT"))
-            self.expect(KEYWORD, "NULL")
-            return IsNull(operand, negated)
+            null_token = self.expect(KEYWORD, "NULL")
+            return IsNull(
+                operand,
+                negated,
+                span=_merge_spans(operand.span, null_token.span),
+            )
         negated = bool(self.accept(KEYWORD, "NOT"))
         if self.accept(KEYWORD, "IN"):
             self.expect(PUNCT, "(")
             options = [self._parse_literal().value]
             while self.accept(PUNCT, ","):
                 options.append(self._parse_literal().value)
-            self.expect(PUNCT, ")")
-            return InList(operand, tuple(options), negated)
+            close = self.expect(PUNCT, ")")
+            return InList(
+                operand,
+                tuple(options),
+                negated,
+                span=_merge_spans(operand.span, close.span),
+            )
         if negated:
             raise SQLError(
-                "NOT must be followed by IN here", self.current.position
+                "NOT must be followed by IN here",
+                self.current.position,
+                self.current.end,
             )
         raise SQLError(
             f"expected a comparison, IN, or IS after operand, found "
             f"{self.current.value!r}",
             self.current.position,
+            self.current.end,
         )
 
     def _parse_operand(self) -> Operand:
@@ -285,43 +336,63 @@ class _Parser:
             return self._parse_literal()
         if token.kind == IDENT:
             self.advance()
-            return ColumnRef(token.value)
+            return ColumnRef(token.value, span=token.span)
         raise SQLError(
             f"expected a column, literal, or QUALITY(...), found "
             f"{token.value!r}",
             token.position,
+            token.end,
         )
 
     def _parse_quality_ref(self) -> QualityRef:
-        self.expect(KEYWORD, "QUALITY")
+        open_token = self.expect(KEYWORD, "QUALITY")
         self.expect(PUNCT, "(")
         column = self.expect(IDENT).value
         self.expect(PUNCT, ".")
         indicator = self.expect(IDENT).value
-        self.expect(PUNCT, ")")
-        return QualityRef(column, indicator)
+        close = self.expect(PUNCT, ")")
+        return QualityRef(
+            column, indicator, span=(open_token.position, close.end)
+        )
 
     def _parse_literal(self) -> Literal:
         token = self.current
         if token.kind in (NUMBER, STRING):
             self.advance()
-            return Literal(token.value)
+            return Literal(token.value, span=token.span)
         if token.matches(KEYWORD, "TRUE"):
             self.advance()
-            return Literal(True)
+            return Literal(True, span=token.span)
         if token.matches(KEYWORD, "FALSE"):
             self.advance()
-            return Literal(False)
+            return Literal(False, span=token.span)
         if token.matches(KEYWORD, "NULL"):
             self.advance()
-            return Literal(None)
+            return Literal(None, span=token.span)
         if token.matches(KEYWORD, "DATE"):
             self.advance()
             body = self.expect(STRING)
-            return Literal(parse_date_literal(body.value, body.position))
-        raise SQLError(f"expected a literal, found {token.value!r}", token.position)
+            return Literal(
+                parse_date_literal(body.value, body.position, body.end),
+                span=(token.position, body.end),
+            )
+        raise SQLError(
+            f"expected a literal, found {token.value!r}",
+            token.position,
+            token.end,
+        )
 
 
 def parse(text: str) -> SelectStatement:
-    """Parse a QSQL SELECT statement into its AST."""
-    return _Parser(tokenize(text)).parse_select()
+    """Parse a QSQL SELECT statement into its AST.
+
+    Any :class:`SQLError` raised while lexing or parsing is re-raised
+    with the query text attached, so its message includes a caret
+    snippet under the offending span.
+    """
+    try:
+        return _Parser(tokenize(text)).parse_select()
+    except SQLError as exc:
+        if exc.source is None and exc.position >= 0:
+            raise exc.with_source(text) from None
+        raise

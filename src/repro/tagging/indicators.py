@@ -69,7 +69,7 @@ class IndicatorValue:
 
     ``meta`` carries meta-quality indicators (Premise 1.4): tags about
     the tag itself, e.g. who recorded the ``source`` tag.  The recursion
-    stops at one level, as documented in DESIGN.md §8.
+    stops at one level, as documented in DESIGN.md §9.
 
     IndicatorValues are immutable and hashable so tag propagation can
     deduplicate them in set operations.
@@ -280,7 +280,19 @@ class TagSchema:
         )
 
     def project(self, columns: Sequence[str]) -> "TagSchema":
-        """Restrict the tag schema to a subset of columns."""
+        """Restrict the tag schema to a subset of columns.
+
+        The column list must not repeat a name: a duplicate would mean
+        two output columns share one tag-requirement slot.
+        """
+        counts: dict[str, int] = {}
+        for column in columns:
+            counts[column] = counts.get(column, 0) + 1
+        duplicates = sorted(c for c, n in counts.items() if n > 1)
+        if duplicates:
+            raise TagSchemaError(
+                f"projection lists duplicate column(s) {duplicates}"
+            )
         keep = set(columns)
         return TagSchema(
             indicators=list(self._indicators.values()),
@@ -293,7 +305,28 @@ class TagSchema:
         )
 
     def rename_columns(self, mapping: Mapping[str, str]) -> "TagSchema":
-        """Rename tagged columns per ``mapping``."""
+        """Rename tagged columns per ``mapping``.
+
+        Rejects mappings that collide two tagged columns onto one output
+        name — that would silently merge their indicator requirements
+        (each cell would suddenly need the union of both columns' tags).
+        """
+        targets: dict[str, list[str]] = {}
+        for column in self.tagged_columns:
+            targets.setdefault(mapping.get(column, column), []).append(column)
+        collisions = {
+            target: columns
+            for target, columns in targets.items()
+            if len(columns) > 1
+        }
+        if collisions:
+            detail = "; ".join(
+                f"{sorted(columns)} -> {target!r}"
+                for target, columns in sorted(collisions.items())
+            )
+            raise TagSchemaError(
+                f"rename maps multiple tagged columns onto one name: {detail}"
+            )
         return TagSchema(
             indicators=list(self._indicators.values()),
             required={

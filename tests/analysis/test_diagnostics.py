@@ -1,0 +1,130 @@
+"""Unit tests for the diagnostics engine (records, severities, rendering)."""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    Diagnostics,
+    ERROR,
+    INFO,
+    QueryAnalysisError,
+    Severity,
+    Span,
+    WARNING,
+    code_info,
+)
+from repro.analysis.codes import render_code_table
+from repro.analysis.diagnostics import severity_from_name
+from repro.sql.errors import SQLError
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert INFO < WARNING < ERROR
+        assert max([INFO, ERROR, WARNING]) is ERROR
+
+    def test_labels(self):
+        assert ERROR.label == "error"
+        assert Severity.WARNING.label == "warning"
+
+    def test_from_name(self):
+        assert severity_from_name("Error") is ERROR
+        with pytest.raises(ValueError):
+            severity_from_name("fatal")
+
+
+class TestCodeRegistry:
+    def test_registry_is_closed(self):
+        with pytest.raises(KeyError):
+            Diagnostic("DQ999", ERROR, "nope")
+
+    def test_every_code_documented(self):
+        for code, info in CODES.items():
+            assert info.code == code
+            assert info.title
+            assert info.doc
+            assert info.default_severity in (INFO, WARNING, ERROR)
+
+    def test_code_families(self):
+        families = {code[:3] for code in CODES}
+        assert families == {"DQ1", "DQ2", "DQ3"}
+
+    def test_code_table_lists_everything(self):
+        table = render_code_table()
+        for code in CODES:
+            assert code in table
+
+    def test_code_info_unknown(self):
+        with pytest.raises(KeyError):
+            code_info("DQ000")
+
+
+class TestDiagnostics:
+    def test_add_defaults_severity_from_registry(self):
+        diagnostics = Diagnostics()
+        d = diagnostics.add("DQ202", "no such column")
+        assert d.severity is ERROR
+        d2 = diagnostics.add("DQ204", "gap")
+        assert d2.severity is WARNING
+
+    def test_severity_override(self):
+        diagnostics = Diagnostics()
+        d = diagnostics.add("DQ204", "gap", severity=ERROR)
+        assert d.is_error
+
+    def test_queries(self):
+        diagnostics = Diagnostics()
+        diagnostics.add("DQ202", "a")
+        diagnostics.add("DQ204", "b")
+        diagnostics.add("DQ302", "c")
+        assert diagnostics.has_errors
+        assert len(diagnostics.errors()) == 1
+        assert len(diagnostics.warnings()) == 1
+        assert diagnostics.max_severity() is ERROR
+        assert diagnostics.codes() == ["DQ202", "DQ204", "DQ302"]
+        assert diagnostics.summary() == "1 error(s), 1 warning(s), 1 info"
+
+    def test_empty(self):
+        diagnostics = Diagnostics()
+        assert not diagnostics
+        assert not diagnostics.has_errors
+        assert diagnostics.max_severity() is None
+        assert diagnostics.render() == "no diagnostics"
+
+    def test_render_with_span_includes_caret(self):
+        sql = "SELECT nosuch FROM customer"
+        diagnostics = Diagnostics()
+        diagnostics.add(
+            "DQ202", "unknown column", span=(7, 13), source=sql, context="q"
+        )
+        text = diagnostics.render()
+        assert "DQ202 error [q]: unknown column" in text
+        assert "^^^^^^" in text
+        caret_line = text.splitlines()[-1]
+        snippet_line = text.splitlines()[-2]
+        assert snippet_line.index("nosuch") == caret_line.index("^")
+
+    def test_span_of(self):
+        assert Span.of(None) is None
+        assert Span.of((3, 7)) == Span(3, 7)
+
+
+class TestQueryAnalysisError:
+    def test_carries_diagnostics_and_span(self):
+        sql = "SELECT nosuch FROM customer"
+        diagnostics = Diagnostics()
+        diagnostics.add("DQ202", "unknown column", span=(7, 13), source=sql)
+        error = QueryAnalysisError(diagnostics, sql)
+        assert isinstance(error, SQLError)
+        assert error.diagnostics is diagnostics
+        assert error.position == 7 and error.end == 13
+        message = str(error)
+        assert "query rejected by static analysis" in message
+        assert "DQ202" in message
+
+    def test_without_anchored_span(self):
+        diagnostics = Diagnostics()
+        diagnostics.add("DQ201", "unknown relation")
+        error = QueryAnalysisError(diagnostics)
+        assert error.position == -1

@@ -1,0 +1,196 @@
+"""Property test: analyzer-accepted queries execute cleanly.
+
+The contract the strict execution path relies on: if the analyzer
+reports no error-severity diagnostic for a statement against a
+schema-conforming tagged relation, executing that statement must not
+raise ``SQLError`` or ``UnknownColumnError``.  (The analyzer may
+*over*-reject — flagging queries that would run — but never
+under-reject.)
+"""
+
+import datetime as dt
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_query
+from repro.errors import UnknownColumnError
+from repro.relational.schema import schema
+from repro.sql.errors import SQLError
+from repro.sql.executor import execute
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import (
+    IndicatorDefinition,
+    IndicatorValue,
+    TagSchema,
+)
+from repro.tagging.relation import TaggedRelation
+
+T_SCHEMA = schema(
+    "t",
+    [
+        ("id", "INT"),
+        ("name", "STR"),
+        ("score", "FLOAT"),
+        ("born", "DATE"),
+        ("active", "BOOL"),
+    ],
+    key=["id"],
+)
+
+T_TAGS = TagSchema(
+    indicators=[
+        IndicatorDefinition("source", "STR"),
+        IndicatorDefinition("age", "FLOAT"),
+        IndicatorDefinition("creation_time", "DATE"),
+    ],
+    required={"name": ["source"]},
+    allowed={"name": ["age"], "score": ["source", "age", "creation_time"]},
+)
+
+
+def make_relation() -> TaggedRelation:
+    relation = TaggedRelation(T_SCHEMA, T_TAGS)
+    for i in range(6):
+        relation.insert(
+            {
+                "id": i,
+                "name": QualityCell(
+                    f"name{i}",
+                    [IndicatorValue("source", f"src{i % 2}")]
+                    + ([IndicatorValue("age", float(i))] if i % 2 else []),
+                ),
+                "score": QualityCell(
+                    i * 1.5,
+                    [
+                        IndicatorValue("source", "feed"),
+                        IndicatorValue(
+                            "creation_time", dt.date(1991, 1, 1 + i)
+                        ),
+                    ]
+                    if i % 3 == 0
+                    else (),
+                ),
+                "born": dt.date(1980 + i, 6, 15),
+                "active": bool(i % 2),
+            }
+        )
+    return relation
+
+
+RELATION = make_relation()
+
+# Mix of valid and invalid names so both acceptance and rejection paths
+# are exercised.
+columns = st.sampled_from(["id", "name", "score", "born", "active", "bogus"])
+indicators = st.sampled_from(["source", "age", "creation_time", "missing"])
+literals = st.sampled_from(
+    ["7", "1.5", "'name2'", "DATE '1985-06-15'", "TRUE", "NULL", "'src1'"]
+)
+comparators = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def operands(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(columns)
+    if kind == 1:
+        return f"QUALITY({draw(columns)}.{draw(indicators)})"
+    return draw(literals)
+
+
+@st.composite
+def predicates(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return f"{draw(operands())} {draw(comparators)} {draw(operands())}"
+    if kind == 1:
+        options = ", ".join(
+            draw(st.lists(literals, min_size=1, max_size=3))
+        )
+        negated = "NOT " if draw(st.booleans()) else ""
+        return f"{draw(operands())} {negated}IN ({options})"
+    negated = " NOT" if draw(st.booleans()) else ""
+    return f"{draw(operands())} IS{negated} NULL"
+
+
+@st.composite
+def where_clauses(draw):
+    parts = draw(st.lists(predicates(), min_size=1, max_size=3))
+    joiners = draw(
+        st.lists(
+            st.sampled_from(["AND", "OR"]),
+            min_size=len(parts) - 1,
+            max_size=len(parts) - 1,
+        )
+    )
+    clause = parts[0]
+    for joiner, part in zip(joiners, parts[1:]):
+        clause += f" {joiner} {part}"
+    return clause
+
+
+@st.composite
+def select_statements(draw):
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        projection = "*"
+    elif shape == 3:
+        agg_col = draw(st.sampled_from(["id", "score", "bogus"]))
+        projection = draw(
+            st.sampled_from(
+                [
+                    "COUNT(*) AS n",
+                    f"SUM({agg_col}) AS total",
+                    f"MIN({agg_col}) AS low, COUNT(*) AS n",
+                ]
+            )
+        )
+    else:
+        names = draw(st.lists(columns, min_size=1, max_size=3))
+        projection = ", ".join(names)
+    sql = f"SELECT {projection} FROM t"
+    if draw(st.booleans()):
+        sql += f" WHERE {draw(where_clauses())}"
+    if shape != 3 and draw(st.booleans()):
+        sql += f" ORDER BY {draw(columns)}"
+        if draw(st.booleans()):
+            sql += " DESC"
+    if draw(st.booleans()):
+        sql += f" LIMIT {draw(st.integers(0, 5))}"
+    return sql
+
+
+@settings(max_examples=300, deadline=None)
+@given(sql=select_statements())
+def test_accepted_queries_execute_cleanly(sql):
+    diagnostics = analyze_query(sql, RELATION)
+    if diagnostics.has_errors:
+        return  # rejected; nothing to check
+    try:
+        execute(sql, RELATION)
+    except (SQLError, UnknownColumnError) as exc:  # pragma: no cover
+        raise AssertionError(
+            f"analyzer accepted {sql!r} but execution raised {exc!r}"
+        ) from exc
+
+
+@settings(max_examples=100, deadline=None)
+@given(sql=select_statements())
+def test_strict_execute_matches_analyzer(sql):
+    """strict=True raises exactly when the analyzer reports errors."""
+    from repro.analysis import QueryAnalysisError
+
+    diagnostics = analyze_query(sql, RELATION)
+    if diagnostics.has_errors:
+        try:
+            execute(sql, RELATION, strict=True)
+        except QueryAnalysisError as exc:
+            assert exc.diagnostics.has_errors
+        else:  # pragma: no cover
+            raise AssertionError(
+                f"strict execution accepted {sql!r} despite "
+                f"{diagnostics.codes()}"
+            )
+    else:
+        execute(sql, RELATION, strict=True)

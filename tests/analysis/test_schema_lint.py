@@ -1,0 +1,211 @@
+"""Tests for the quality-schema linter (DQ1xx codes)."""
+
+import pytest
+
+from repro.analysis import (
+    lint_database,
+    lint_merge,
+    lint_quality_schema,
+    lint_rename,
+    lint_tag_schema,
+)
+from repro.core.terminology import QualityIndicatorSpec
+from repro.core.views import (
+    ApplicationView,
+    IndicatorAnnotation,
+    ParameterAnnotation,
+    ParameterView,
+    QualitySchema,
+)
+from repro.core.terminology import QualityParameter
+from repro.relational.relation import Relation
+from repro.relational.schema import schema
+from repro.tagging.indicators import IndicatorDefinition, TagSchema
+from repro.tagging.relation import TaggedRelation
+
+
+@pytest.fixture
+def drifted_tag_schema():
+    """Tags a column the customer relation does not have."""
+    return TagSchema(
+        indicators=[IndicatorDefinition("source")],
+        required={"fax_number": ["source"]},
+    )
+
+
+class TestTagSchemaLint:
+    def test_dq101_drift(self, drifted_tag_schema, customer_schema):
+        diagnostics = lint_tag_schema(
+            drifted_tag_schema, customer_schema, context="customer"
+        )
+        assert diagnostics.codes() == ["DQ101"]
+        (drift,) = list(diagnostics)
+        assert "fax_number" in drift.message
+        assert drift.is_error
+
+    def test_dq102_unused_indicator(self, customer_schema):
+        tag_schema = TagSchema(
+            indicators=[
+                IndicatorDefinition("source"),
+                IndicatorDefinition("never_used"),
+            ],
+            allowed={"address": ["source"]},
+        )
+        diagnostics = lint_tag_schema(tag_schema, customer_schema)
+        assert diagnostics.codes() == ["DQ102"]
+        assert "never_used" in list(diagnostics)[0].message
+
+    def test_clean(self, customer_tag_schema, customer_schema):
+        diagnostics = lint_tag_schema(customer_tag_schema, customer_schema)
+        assert not diagnostics
+
+    def test_without_relation_schema_skips_drift(self, drifted_tag_schema):
+        # Usage (DQ102) is judged from the tag schema alone; drift
+        # (DQ101) needs the relation schema, so none is reported here.
+        diagnostics = lint_tag_schema(drifted_tag_schema)
+        assert not diagnostics
+
+
+class TestMergeLint:
+    def test_dq105_domain_conflict(self):
+        a = TagSchema(
+            indicators=[IndicatorDefinition("age", "FLOAT")],
+            allowed={"price": ["age"]},
+        )
+        b = TagSchema(
+            indicators=[IndicatorDefinition("age", "INT")],
+            allowed={"volume": ["age"]},
+        )
+        diagnostics = lint_merge(a, b)
+        assert diagnostics.codes() == ["DQ105"]
+        assert "FLOAT" in list(diagnostics)[0].message
+        # The lint predicts exactly what merge raises.
+        from repro.errors import TagSchemaError
+
+        with pytest.raises(TagSchemaError):
+            a.merge(b)
+
+    def test_compatible_merge_clean(self, customer_tag_schema):
+        other = TagSchema(
+            indicators=[IndicatorDefinition("source", "STR")],
+            allowed={"co_name": ["source"]},
+        )
+        assert not lint_merge(customer_tag_schema, other)
+        merged = customer_tag_schema.merge(other)
+        assert "co_name" in merged.tagged_columns
+
+
+class TestRenameLint:
+    def test_dq106_collision(self, customer_tag_schema):
+        diagnostics = lint_rename(
+            customer_tag_schema, {"address": "x", "employees": "x"}
+        )
+        assert diagnostics.codes() == ["DQ106"]
+        assert diagnostics.has_errors
+
+    def test_injective_rename_clean(self, customer_tag_schema):
+        assert not lint_rename(customer_tag_schema, {"address": "addr"})
+
+
+class TestQualitySchemaLint:
+    def _parameter_view(self, trading_er):
+        view = ApplicationView(trading_er)
+        return ParameterView(
+            view,
+            [
+                ParameterAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityParameter("timeliness"),
+                ),
+                ParameterAnnotation(
+                    ("client", "telephone"), QualityParameter("accuracy")
+                ),
+            ],
+        )
+
+    def test_dq103_unoperationalized_parameter(self, trading_er):
+        parameter_view = self._parameter_view(trading_er)
+        quality_schema = QualitySchema(
+            parameter_view.application_view,
+            [
+                IndicatorAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityIndicatorSpec("age", "FLOAT"),
+                    derived_from=("timeliness",),
+                )
+            ],
+        )
+        diagnostics = lint_quality_schema(quality_schema, [parameter_view])
+        assert diagnostics.codes() == ["DQ103"]
+        assert "accuracy" in list(diagnostics)[0].message
+
+    def test_dq104_dangling_reference(self, trading_er):
+        parameter_view = self._parameter_view(trading_er)
+        quality_schema = QualitySchema(
+            parameter_view.application_view,
+            [
+                IndicatorAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityIndicatorSpec("age", "FLOAT"),
+                    derived_from=("timeliness", "believability"),
+                ),
+                IndicatorAnnotation(
+                    ("client", "telephone"),
+                    QualityIndicatorSpec("collection_method"),
+                    derived_from=("accuracy",),
+                ),
+            ],
+        )
+        diagnostics = lint_quality_schema(quality_schema, [parameter_view])
+        assert diagnostics.codes() == ["DQ104"]
+        assert "believability" in list(diagnostics)[0].message
+
+    def test_dq105_conflicting_annotations(self, trading_er):
+        view = ApplicationView(trading_er)
+        quality_schema = QualitySchema(
+            view,
+            [
+                IndicatorAnnotation(
+                    ("company_stock", "share_price"),
+                    QualityIndicatorSpec("age", "FLOAT"),
+                ),
+                IndicatorAnnotation(
+                    ("client", "telephone"),
+                    QualityIndicatorSpec("age", "INT"),
+                ),
+            ],
+        )
+        diagnostics = lint_quality_schema(quality_schema)
+        assert diagnostics.codes() == ["DQ105"]
+
+    def test_trading_methodology_is_clean(self):
+        from repro.experiments.scenarios import run_trading_methodology
+
+        modeling = run_trading_methodology()
+        diagnostics = lint_quality_schema(
+            modeling.quality_schema, modeling.parameter_views
+        )
+        assert not diagnostics
+
+
+class TestDatabaseLint:
+    def test_lints_every_tagged_relation(self, customer_schema):
+        # A live TaggedRelation can't drift (check_against runs at
+        # construction), but it can carry dead indicator definitions.
+        sloppy = TagSchema(
+            indicators=[
+                IndicatorDefinition("source"),
+                IndicatorDefinition("never_used"),
+            ],
+            allowed={"address": ["source"]},
+        )
+        catalog = {
+            "customer": TaggedRelation(customer_schema, sloppy),
+            "plain": Relation(schema("plain", [("x", "INT")])),
+        }
+        diagnostics = lint_database(catalog)
+        assert diagnostics.codes() == ["DQ102"]
+        assert all(d.context == "customer" for d in diagnostics)
+
+    def test_clean_database(self, tagged_customers):
+        assert not lint_database({"customer": tagged_customers})

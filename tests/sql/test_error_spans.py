@@ -1,0 +1,129 @@
+"""Tests for SQLError position reporting and token/node source spans."""
+
+import pytest
+
+from repro.sql.errors import SQLError, caret_snippet
+from repro.sql.lexer import tokenize
+from repro.sql.nodes import ColumnRef
+from repro.sql.parser import parse
+
+
+class TestCaretSnippet:
+    def test_single_line(self):
+        snippet = caret_snippet("SELECT a FROM t", 7, 8)
+        lines = snippet.split("\n")
+        assert lines[0] == "SELECT a FROM t"
+        assert lines[1].index("^") == 7
+
+    def test_multichar_span(self):
+        snippet = caret_snippet("SELECT name FROM t", 7, 11)
+        assert "^^^^" in snippet
+
+    def test_out_of_range_position(self):
+        assert caret_snippet("abc", -1, 2) == ""
+
+    def test_span_on_later_line(self):
+        text = "SELECT a\nFROM t WHERE b = 1"
+        position = text.index("WHERE")
+        snippet = caret_snippet(text, position, position + 5)
+        lines = snippet.split("\n")
+        assert lines[0] == "FROM t WHERE b = 1"
+        assert lines[1].index("^") == 7
+
+
+class TestSQLErrorSpans:
+    def test_position_and_end(self):
+        error = SQLError("boom", 4, 9)
+        assert error.position == 4
+        assert error.end == 9
+        assert error.span == (4, 9)
+
+    def test_end_defaults_to_one_past_position(self):
+        error = SQLError("boom", 4)
+        assert error.span == (4, 5)
+
+    def test_no_position_no_span(self):
+        error = SQLError("boom")
+        assert error.span is None
+        assert str(error) == "boom"
+
+    def test_with_source_renders_caret(self):
+        error = SQLError("bad token", 7, 11).with_source("SELECT name FROM t")
+        message = str(error)
+        assert "bad token (at position 7)" in message
+        assert "^^^^" in message
+        assert error.raw_message == "bad token"
+
+    def test_parse_error_carries_query_text(self):
+        with pytest.raises(SQLError) as excinfo:
+            parse("SELECT co_name FORM customer")
+        error = excinfo.value
+        assert error.source == "SELECT co_name FORM customer"
+        assert error.span == (15, 19)
+        assert error.source[error.position : error.end] == "FORM"
+        assert "^^^^" in str(error)
+
+    def test_lexer_error_carries_query_text(self):
+        with pytest.raises(SQLError) as excinfo:
+            parse("SELECT a FROM t WHERE b = 'oops")
+        error = excinfo.value
+        assert error.source is not None
+        assert error.position == 26  # the opening quote
+        assert "unterminated" in error.raw_message
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLError) as excinfo:
+            tokenize("SELECT a ; b")
+        assert excinfo.value.position == 9
+
+    def test_grouping_error_has_item_span(self):
+        sql = "SELECT co_name, COUNT(*) FROM customer"
+        with pytest.raises(SQLError) as excinfo:
+            parse(sql)
+        error = excinfo.value
+        assert sql[error.position : error.end] == "co_name"
+
+
+class TestTokenSpans:
+    def test_every_token_span_matches_text(self):
+        sql = "SELECT name, COUNT(*) FROM t WHERE a >= 10 AND b = 'x y'"
+        for token in tokenize(sql):
+            if token.kind == "EOF":
+                continue
+            start, end = token.span
+            assert 0 <= start < end <= len(sql)
+            text = sql[start:end]
+            if token.kind == "STRING":
+                assert text == "'x y'"
+            elif token.kind == "NUMBER":
+                assert text == "10"
+            elif token.kind == "OPERATOR":
+                assert text in (">=", "=")
+            elif token.kind in ("KEYWORD", "IDENT"):
+                assert text.upper() == str(token.value).upper()
+
+
+class TestNodeSpans:
+    def test_spans_slice_to_their_constructs(self):
+        sql = (
+            "SELECT co_name FROM customer "
+            "WHERE QUALITY(address.source) = 'sales' AND employees > 10"
+        )
+        statement = parse(sql)
+        assert sql[slice(*statement.relation_span)] == "customer"
+        conjunction = statement.where
+        left, right = conjunction.left, conjunction.right
+        assert sql[slice(*left.span)] == "QUALITY(address.source) = 'sales'"
+        assert sql[slice(*right.span)] == "employees > 10"
+        assert sql[slice(*left.left.span)] == "QUALITY(address.source)"
+        assert sql[slice(*conjunction.span)] == (
+            "QUALITY(address.source) = 'sales' AND employees > 10"
+        )
+
+    def test_spans_excluded_from_equality(self):
+        assert ColumnRef("a", span=(0, 1)) == ColumnRef("a")
+        assert hash(ColumnRef("a", span=(0, 1))) == hash(ColumnRef("a"))
+
+    def test_parsing_same_text_twice_yields_equal_asts(self):
+        sql = "SELECT a, b FROM t WHERE a IN (1, 2) ORDER BY b"
+        assert parse(sql) == parse(sql)

@@ -160,3 +160,65 @@ class TestTagSchemaDerivation:
     def test_round_trip(self, customer_tag_schema):
         restored = TagSchema.from_dict(customer_tag_schema.to_dict())
         assert restored == customer_tag_schema
+
+
+class TestTagSchemaCollisions:
+    def test_rename_collision_rejected(self, customer_tag_schema):
+        with pytest.raises(TagSchemaError) as excinfo:
+            customer_tag_schema.rename_columns(
+                {"address": "merged", "employees": "merged"}
+            )
+        message = str(excinfo.value)
+        assert "merged" in message
+        assert "address" in message and "employees" in message
+
+    def test_rename_onto_existing_tagged_column_rejected(
+        self, customer_tag_schema
+    ):
+        # Renaming one tagged column onto another (unrenamed) tagged
+        # column is the implicit form of the same collision.
+        with pytest.raises(TagSchemaError):
+            customer_tag_schema.rename_columns({"address": "employees"})
+
+    def test_swap_is_not_a_collision(self, customer_tag_schema):
+        swapped = customer_tag_schema.rename_columns(
+            {"address": "employees", "employees": "address"}
+        )
+        assert set(swapped.tagged_columns) == {"address", "employees"}
+
+    def test_untagged_columns_do_not_collide(self, customer_tag_schema):
+        # co_name carries no tags, so mapping it onto a tagged name is
+        # harmless for the *tag* schema (the relation schema rejects it
+        # separately if the value columns collide).
+        renamed = customer_tag_schema.rename_columns({"co_name": "address"})
+        assert renamed.allowed_for("address") == {"creation_time", "source"}
+
+    def test_project_duplicate_columns_rejected(self, customer_tag_schema):
+        with pytest.raises(TagSchemaError) as excinfo:
+            customer_tag_schema.project(["address", "address"])
+        assert "address" in str(excinfo.value)
+
+    def test_merge_conflict_message_names_indicator(self):
+        a = TagSchema(
+            indicators=[IndicatorDefinition("age", "FLOAT")],
+            allowed={"x": ["age"]},
+        )
+        b = TagSchema(
+            indicators=[IndicatorDefinition("age", "INT")],
+            allowed={"y": ["age"]},
+        )
+        with pytest.raises(TagSchemaError, match="age"):
+            a.merge(b)
+
+    def test_merge_same_definition_is_fine(self):
+        a = TagSchema(
+            indicators=[IndicatorDefinition("age", "FLOAT")],
+            allowed={"x": ["age"]},
+        )
+        b = TagSchema(
+            indicators=[IndicatorDefinition("age", "FLOAT")],
+            required={"y": ["age"]},
+        )
+        merged = a.merge(b)
+        assert merged.allowed_for("x") == {"age"}
+        assert merged.required_for("y") == {"age"}
