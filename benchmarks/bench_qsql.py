@@ -111,3 +111,128 @@ def test_qsql_overhead_vs_fluent(benchmark):
     )
     # The string path should stay within a small constant factor.
     assert sql_s < fluent_s * 10
+
+
+def _ticks_relation(n=30000):
+    """A wide tagged relation for planner scan benchmarks."""
+    from repro.relational.schema import Column, RelationSchema
+    from repro.tagging.cell import QualityCell
+    from repro.tagging.indicators import (
+        IndicatorDefinition,
+        IndicatorValue,
+        TagSchema,
+    )
+    from repro.tagging.relation import TaggedRelation
+
+    schema = RelationSchema(
+        "ticks", [Column("ticker", "STR"), Column("price", "FLOAT")]
+    )
+    tags = TagSchema(
+        [IndicatorDefinition("source", "STR"), IndicatorDefinition("age", "INT")],
+        allowed={"price": ["source", "age"]},
+    )
+    relation = TaggedRelation(schema, tags)
+    for i in range(n):
+        relation.insert(
+            {
+                "ticker": f"T{i % 500}",
+                "price": QualityCell(
+                    float(i % 997),
+                    [
+                        IndicatorValue(
+                            "source", "reuters" if i % 50 else "manual"
+                        ),
+                        IndicatorValue("age", i % 30),
+                    ],
+                ),
+            }
+        )
+    return relation
+
+
+def test_qsql_planner_json():
+    """Emit BENCH_QSQL.json: the planner's two speedup claims.
+
+    - *columnar-routed vs per-cell scan*: a cached plan routes
+      ``QUALITY(...)`` equality through the columnar tag store's
+      C-level array scan; the planner-free path evaluates a per-cell
+      closure on every row.  Floor for this PR: 10x.
+    - *cached vs cold statement*: a repeated statement text skips
+      lexing/parsing/analysis/planning/compilation entirely; cold runs
+      pay all of it per call.  Floor for this PR: 5x.
+    """
+    from conftest import REPO_ROOT, best_seconds
+
+    from repro.experiments.harness import bench_record, write_bench_json
+    from repro.sql import clear_plan_cache
+
+    # -- columnar routing: large relation, selective tag predicate -----
+    n = 30000
+    ticks = _ticks_relation(n)
+    scan_sql = "SELECT * FROM ticks WHERE QUALITY(price.source) = 'manual'"
+    ticks.columnar_store()  # build outside the timed region
+    clear_plan_cache()
+    planned = execute(scan_sql, ticks)
+    per_cell = execute(scan_sql, ticks, planner=False)
+    assert len(planned) == len(per_cell) == n // 50
+    columnar_s = best_seconds(lambda: execute(scan_sql, ticks))
+    per_cell_s = best_seconds(
+        lambda: execute(scan_sql, ticks, planner=False)
+    )
+    scan_speedup = per_cell_s / columnar_s
+
+    # -- plan cache: small relation, heavyweight statement --------------
+    _, _, customers = customer_database(
+        n_companies=12, seed=9, simulated_days=30
+    )
+    cached_sql = (
+        "SELECT co_name AS company, address AS addr, employees AS headcount "
+        "FROM customer "
+        "WHERE employees > 10 AND employees < 900000 "
+        "AND co_name IS NOT NULL AND address IS NOT NULL "
+        "AND QUALITY(employees.source) IN ('estimate', 'Nexis', 'sales') "
+        "AND (QUALITY(address.source) <> 'fax' "
+        "     OR QUALITY(address.creation_time) IS NOT NULL) "
+        "AND NOT (employees IN (1, 2, 3) AND co_name = 'Nobody Inc') "
+        "ORDER BY employees DESC, co_name ASC LIMIT 10"
+    )
+    clear_plan_cache()
+    execute(cached_sql, customers)  # populate the cache
+    warm_s = best_seconds(lambda: execute(cached_sql, customers))
+
+    def cold():
+        clear_plan_cache()
+        return execute(cached_sql, customers)
+
+    cold_s = best_seconds(cold)
+    cache_speedup = cold_s / warm_s
+
+    write_bench_json(
+        "BENCH_QSQL.json",
+        [
+            bench_record(
+                "qsql_columnar_scan", n, columnar_s, speedup=scan_speedup
+            ),
+            bench_record("qsql_percell_scan", n, per_cell_s, speedup=1.0),
+            bench_record(
+                "qsql_cached_statement",
+                len(customers),
+                warm_s,
+                speedup=cache_speedup,
+            ),
+            bench_record(
+                "qsql_cold_statement", len(customers), cold_s, speedup=1.0
+            ),
+        ],
+        REPO_ROOT,
+    )
+    emit(
+        "QSQL planner speedups",
+        f"columnar scan {columnar_s * 1e3:.3f} ms vs per-cell "
+        f"{per_cell_s * 1e3:.3f} ms: {scan_speedup:.1f}x "
+        f"({n} rows)\n"
+        f"cached stmt   {warm_s * 1e3:.3f} ms vs cold "
+        f"{cold_s * 1e3:.3f} ms: {cache_speedup:.1f}x",
+    )
+    assert scan_speedup >= 10
+    assert cache_speedup >= 5

@@ -63,6 +63,15 @@ def main() -> None:
     print(per_source.render(title="Rows held per employee-count source"))
     print()
 
+    # EXPLAIN shows the optimized plan the planner runs: the quality
+    # predicates route into the columnar tag store, ORDER BY + LIMIT
+    # fuse into a bounded top-k.
+    plan = execute(f"EXPLAIN {query}", customers)
+    print("EXPLAIN output:")
+    for row in plan:
+        print(f"  {row.values_tuple()[0]}")
+    print()
+
     # -- 2. scoring ----------------------------------------------------------------
     scorecard = QualityScorecard(
         [

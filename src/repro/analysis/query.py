@@ -265,6 +265,38 @@ class _Analyzer:
         elif isinstance(operand, QualityRef):
             self.check_quality_ref(operand)
 
+    def check_references(self) -> None:
+        """Resolve every column/indicator reference (DQ202-DQ205).
+
+        This is the single implementation of reference resolution: the
+        full analysis run and the executor's fail-fast pre-checks (via
+        :func:`reference_diagnostics`) both route through it, so their
+        messages cannot drift.  Clause order matches the executor's
+        historical checking order: select list, GROUP BY, WHERE, then
+        ORDER BY (aggregate ORDER BY names *output* columns and is
+        validated separately by :meth:`check_group_order`).
+        """
+        statement = self.statement
+        for item in statement.select_items or ():
+            expr = item.expr
+            if isinstance(expr, AggregateCall):
+                if expr.operand is not None:
+                    self.check_operand(expr.operand)
+            else:
+                self.check_operand(expr)
+        for key in statement.group_by:
+            self.check_operand(key)
+        if statement.where is not None:
+            for node in _walk_exprs(statement.where):
+                if isinstance(node, Comparison):
+                    self.check_operand(node.left)
+                    self.check_operand(node.right)
+                elif isinstance(node, (InList, IsNull)):
+                    self.check_operand(node.operand)
+        if not statement.has_aggregates:
+            for item in statement.order_by:
+                self.check_operand(item.key)
+
     # -- typechecking --------------------------------------------------------
 
     def operand_class(self, operand: Any) -> Optional[str]:
@@ -358,8 +390,6 @@ class _Analyzer:
                 )
             expr = item.expr
             if isinstance(expr, AggregateCall):
-                if expr.operand is not None:
-                    self.check_operand(expr.operand)
                 if expr.func in ("SUM", "AVG") and expr.operand is not None:
                     klass = self.operand_class(expr.operand)
                     if klass is not None and klass != "numeric":
@@ -369,13 +399,9 @@ class _Analyzer:
                             f"{_describe_operand(expr.operand)} is {klass}",
                             span=expr.span,
                         )
-            else:
-                self.check_operand(expr)
 
     def check_group_order(self) -> None:
         statement = self.statement
-        for key in statement.group_by:
-            self.check_operand(key)
         if statement.has_aggregates:
             output_names = [
                 item.output_name for item in statement.select_items or ()
@@ -395,9 +421,6 @@ class _Analyzer:
                         f"(outputs: {output_names})",
                         span=item.span,
                     )
-        else:
-            for item in statement.order_by:
-                self.check_operand(item.key)
         seen_keys: dict[Any, int] = {}
         for item in statement.order_by:
             seen_keys[item.key] = seen_keys.get(item.key, 0) + 1
@@ -418,15 +441,11 @@ class _Analyzer:
             return
         for node in _walk_exprs(where):
             if isinstance(node, Comparison):
-                self.check_operand(node.left)
-                self.check_operand(node.right)
                 self.check_comparison_types(node)
                 self.check_degenerate_comparison(node)
-            elif isinstance(node, (InList, IsNull)):
-                self.check_operand(node.operand)
-                if isinstance(node, InList):
-                    self.check_in_types(node)
-                    self.check_in_duplicates(node)
+            elif isinstance(node, InList):
+                self.check_in_types(node)
+                self.check_in_duplicates(node)
         self.check_conjunction(where)
         self.check_tautologies(where)
         self.check_duplicate_conjuncts(where)
@@ -588,6 +607,7 @@ class _Analyzer:
     def run(self) -> Diagnostics:
         resolved = self.resolve()
         if resolved:
+            self.check_references()
             self.check_select_items()
             self.check_group_order()
         if self.statement.where is not None:
@@ -821,6 +841,26 @@ def analyze_statement(
 ) -> Diagnostics:
     """Analyze a parsed statement against ``source`` (see module doc)."""
     return _Analyzer(statement, source, sql, context).run()
+
+
+def reference_diagnostics(
+    statement: SelectStatement,
+    source: Any,
+    *,
+    sql: Optional[str] = None,
+) -> Diagnostics:
+    """Reference-resolution diagnostics only (DQ201-DQ205).
+
+    The executor's fail-fast pre-checks call this instead of
+    re-implementing column lookup, so an unknown column produces the
+    same message whether it surfaces as an
+    :class:`~repro.errors.UnknownColumnError` at execution time or as a
+    DQ202 diagnostic from :func:`analyze_query`.
+    """
+    analyzer = _Analyzer(statement, source, sql, "")
+    if analyzer.resolve():
+        analyzer.check_references()
+    return analyzer.diagnostics
 
 
 def analyze_query(

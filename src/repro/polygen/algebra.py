@@ -125,51 +125,71 @@ def equi_join(
         right.schema.column(rcol)
     name = new_name or f"{left.schema.name}_join_{right.schema.name}"
     out_schema = left.schema.concat(right.schema, name)
-    result = PolygenRelation(out_schema)
-    left_key = left.schema.positions_of([lcol for lcol, _ in on])
-    right_key = right.schema.positions_of([rcol for _, rcol in on])
+    left_key = tuple(left.schema.positions_of([lcol for lcol, _ in on]))
+    right_key = tuple(right.schema.positions_of([rcol for _, rcol in on]))
 
-    # Key-cell origins are hoisted per row (index entries carry the
-    # right side's, the left side's computes once per outer row), so
-    # the per-match work is one union plus trusted cell copies.
-    index: dict[tuple[Any, ...], list[tuple[PolygenRow, frozenset[str]]]] = {}
-    for rrow in right:
-        rcells = rrow.cells
-        key = tuple(_freeze(rcells[p].value) for p in right_key)
-        r_origins: frozenset[str] = frozenset()
-        for p in right_key:
-            r_origins |= rcells[p].originating
-        index.setdefault(key, []).append((rrow, r_origins))
+    # The build side's hash index is cached on the relation (see
+    # PolygenRelation.join_index), so repeated federation joins on the
+    # same key skip the build.  Key-cell origins are hoisted per row:
+    # index entries carry the right side's, the left side's computes
+    # once per outer row, and the examined-set union is memoized per
+    # (left origins, right origins) pair — federation rows share a
+    # handful of origin sets, so the per-match work collapses to one
+    # dict probe plus trusted cell copies.
+    index = right.join_index(right_key)
+    index_get = index.get
+    single = len(left_key) == 1
+    p0 = left_key[0]
     make = PolygenCell._make
+    from_validated = PolygenRow._from_validated
+    union_cache: dict[tuple[frozenset[str], frozenset[str]], frozenset[str]] = {}
+    out_rows: list[PolygenRow] = []
+    emit_row = out_rows.append
     for lrow in left:
         lcells = lrow.cells
-        key = tuple(_freeze(lcells[p].value) for p in left_key)
-        matches = index.get(key)
-        if not matches:
-            continue
-        l_origins: frozenset[str] = frozenset()
-        for p in left_key:
-            l_origins |= lcells[p].originating
-        for rrow, r_origins in matches:
-            examined = l_origins | r_origins
-            result._insert_validated(
-                PolygenRow._from_validated(
-                    out_schema,
-                    tuple(
-                        cell
-                        if examined <= cell.intermediate
-                        else make(
-                            cell.value,
-                            cell.originating,
-                            cell.intermediate | examined
-                            if cell.intermediate
-                            else examined,
-                        )
-                        for cell in lcells + rrow.cells
-                    ),
-                )
-            )
-    return result
+        if single:
+            key_cell = lcells[p0]
+            try:
+                matches = index_get(key_cell.value)
+            except TypeError:
+                matches = index_get(repr(key_cell.value))
+            if not matches:
+                continue
+            l_origins = key_cell.originating
+        else:
+            key = tuple(_freeze(lcells[p].value) for p in left_key)
+            matches = index_get(key)
+            if not matches:
+                continue
+            l_origins = frozenset()
+            for p in left_key:
+                l_origins |= lcells[p].originating
+        for rcells, r_origins in matches:
+            pair = (l_origins, r_origins)
+            examined = union_cache.get(pair)
+            if examined is None:
+                examined = l_origins | r_origins
+                union_cache[pair] = examined
+            cells: list[PolygenCell] = []
+            emit_cell = cells.append
+            for cell in lcells:
+                inter = cell.intermediate
+                if examined <= inter:
+                    emit_cell(cell)
+                elif inter:
+                    emit_cell(make(cell.value, cell.originating, inter | examined))
+                else:
+                    emit_cell(make(cell.value, cell.originating, examined))
+            for cell in rcells:
+                inter = cell.intermediate
+                if examined <= inter:
+                    emit_cell(cell)
+                elif inter:
+                    emit_cell(make(cell.value, cell.originating, inter | examined))
+                else:
+                    emit_cell(make(cell.value, cell.originating, examined))
+            emit_row(from_validated(out_schema, tuple(cells)))
+    return PolygenRelation.from_rows(out_schema, out_rows)
 
 
 def union(left: PolygenRelation, right: PolygenRelation) -> PolygenRelation:

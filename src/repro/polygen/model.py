@@ -253,6 +253,13 @@ class PolygenRelation:
     ) -> None:
         self.schema = schema
         self._rows: list[PolygenRow] = []
+        # key positions → (row count at build time, hash index).  Rows
+        # are append-only, so a row-count match proves the indexed
+        # prefix is still exactly the relation's contents.
+        self._join_indexes: dict[
+            tuple[int, ...],
+            tuple[int, dict[Any, list[tuple[tuple[PolygenCell, ...], frozenset[str]]]]],
+        ] = {}
         for row in rows:
             self.insert(row)
 
@@ -309,6 +316,41 @@ class PolygenRelation:
 
     def empty_like(self) -> "PolygenRelation":
         return PolygenRelation(self.schema)
+
+    def join_index(
+        self, key_positions: tuple[int, ...]
+    ) -> dict[Any, list[tuple[tuple[PolygenCell, ...], frozenset[str]]]]:
+        """A hash index: join-key value → [(row cells, key-cell origins)].
+
+        Built lazily and cached per key-position tuple so repeated joins
+        on the same key (the federation steady state) skip the build.
+        Single-column keys use the bare value as the index key; wider
+        keys use a tuple.  Unhashable values are keyed by ``repr``.
+        """
+        cached = self._join_indexes.get(key_positions)
+        if cached is not None and cached[0] == len(self._rows):
+            return cached[1]
+        index: dict[Any, list[tuple[tuple[PolygenCell, ...], frozenset[str]]]] = {}
+        single = len(key_positions) == 1
+        p0 = key_positions[0]
+        for row in self._rows:
+            cells = row.cells
+            if single:
+                key_cell = cells[p0]
+                key = _freeze(key_cell.value)
+                origins = key_cell.originating
+            else:
+                key = tuple(_freeze(cells[p].value) for p in key_positions)
+                origins = frozenset()
+                for p in key_positions:
+                    origins |= cells[p].originating
+            entry = index.get(key)
+            if entry is None:
+                index[key] = [(cells, origins)]
+            else:
+                entry.append((cells, origins))
+        self._join_indexes[key_positions] = (len(self._rows), index)
+        return index
 
     def all_sources(self) -> frozenset[str]:
         """Every source contributing to any cell of the relation."""

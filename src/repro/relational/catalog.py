@@ -48,6 +48,7 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._constraints: list[Constraint] = []
         self.transactions = TransactionManager()
+        self._catalog_version = 0
 
     # -- schema management ---------------------------------------------------
 
@@ -67,6 +68,7 @@ class Database:
             )
         relation = Relation(schema)
         self._relations[schema.name] = relation
+        self._catalog_version += 1
         if enforce_key and schema.key:
             self.add_constraint(key_constraint_for(schema.name, schema.key))
         return relation
@@ -75,12 +77,24 @@ class Database:
         """Remove a relation and its constraints."""
         self.relation(name)  # raise if unknown
         del self._relations[name]
+        self._catalog_version += 1
         self._constraints = [
             c
             for c in self._constraints
             if c.relation_name != name
             and getattr(c, "target_relation", None) != name
         ]
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic counter of schema-level changes (create/drop).
+
+        Cached query plans resolve FROM names against the catalog; a
+        version bump tells them the name → relation binding may have
+        changed.  Row-level mutations do not bump it — plans depend on
+        schemas, not data.
+        """
+        return self._catalog_version
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""

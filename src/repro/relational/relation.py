@@ -246,6 +246,15 @@ class Relation:
         """All rows, in insertion order (immutable snapshot)."""
         return tuple(self._rows)
 
+    def row_batch(self) -> list[Row]:
+        """The backing row list, *not* a copy (treat as read-only).
+
+        Batch execution paths iterate relations many times; this avoids
+        the per-call tuple copy :attr:`rows` makes.  Callers must not
+        mutate the returned list.
+        """
+        return self._rows
+
     def __len__(self) -> int:
         return len(self._rows)
 

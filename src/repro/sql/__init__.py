@@ -26,11 +26,43 @@ LIMIT; and typed literals (numbers, strings, booleans, NULL,
     SELECT ticker, COUNT(*) AS quotes, AVG(QUALITY(price.age)) AS mean_age
     FROM ticks GROUP BY ticker ORDER BY mean_age
 
+Statements run through a query planner by default: the AST lowers to a
+logical plan (:mod:`repro.sql.plan`), rewrite rules route
+``QUALITY(...)`` predicates into columnar tag-array scans and fuse
+ORDER BY + LIMIT into a bounded heap (:mod:`repro.sql.optimizer`), a
+batch physical executor runs the plan (:mod:`repro.sql.physical`), and
+a plan cache keyed on statement text + schema identity skips
+lexing/parsing/planning for repeated statements
+(:mod:`repro.sql.plancache`).  ``EXPLAIN SELECT ...`` returns the
+rendered optimized plan; ``execute(..., planner=False)`` is the
+planner-free reference path.
+
 Entry point: :func:`execute` (or :func:`parse` for the AST).
 """
 
 from repro.sql.executor import execute
 from repro.sql.parser import parse
 from repro.sql.errors import SQLError
+from repro.sql.plan import logical_plan, render_plan
+from repro.sql.optimizer import PlanContext, optimize
+from repro.sql.physical import compile_plan, execute_plan
+from repro.sql.plancache import (
+    PlanCache,
+    clear_plan_cache,
+    plan_cache_stats,
+)
 
-__all__ = ["SQLError", "execute", "parse"]
+__all__ = [
+    "PlanCache",
+    "PlanContext",
+    "SQLError",
+    "clear_plan_cache",
+    "compile_plan",
+    "execute",
+    "execute_plan",
+    "logical_plan",
+    "optimize",
+    "parse",
+    "plan_cache_stats",
+    "render_plan",
+]

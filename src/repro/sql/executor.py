@@ -107,41 +107,29 @@ def _compile_operand(
 
 
 def _check_columns(statement: SelectStatement, relation: AnyRelation) -> None:
-    """Validate every referenced column upfront (fail fast, not per-row)."""
+    """Validate every referenced column upfront (fail fast, not per-row).
 
-    def check(name: str) -> None:
-        relation.schema.column(name)
+    Routed through the analyzer's reference resolver
+    (:func:`repro.analysis.query.reference_diagnostics`), the single
+    implementation of name resolution — an unknown column raises here
+    with exactly the DQ202 message.  Unknown-column errors take
+    precedence over QUALITY-on-untagged, matching the historical check
+    order; unknown *indicators* (DQ203/DQ204) do not raise — at
+    execution time a missing tag reads as NULL.
+    """
+    from repro.errors import UnknownColumnError
+    from repro.analysis.query import reference_diagnostics
 
-    for item in statement.select_items or ():
-        expr = item.expr
-        if isinstance(expr, (ColumnRef, QualityRef)):
-            check(expr.column)
-        elif isinstance(expr, AggregateCall) and expr.operand is not None:
-            check(expr.operand.column)
-    for key in statement.group_by:
-        check(key.column)
-
-    def walk(expr: Any) -> None:
-        if isinstance(expr, (ColumnRef, QualityRef)):
-            check(expr.column)
-        elif isinstance(expr, Comparison):
-            walk(expr.left)
-            walk(expr.right)
-        elif isinstance(expr, (InList, IsNull)):
-            walk(expr.operand)
-        elif isinstance(expr, BoolOp):
-            walk(expr.left)
-            walk(expr.right)
-        elif isinstance(expr, NotOp):
-            walk(expr.operand)
-
-    if statement.where is not None:
-        walk(statement.where)
-    if not statement.has_aggregates:
-        # In aggregate queries ORDER BY names *output* columns; they are
-        # validated against the aggregated schema instead.
-        for item in statement.order_by:
-            check(item.key.column)
+    diagnostics = reference_diagnostics(statement, relation)
+    for diagnostic in diagnostics:
+        if diagnostic.code == "DQ202":
+            raise UnknownColumnError(diagnostic.message)
+    for diagnostic in diagnostics:
+        if diagnostic.code == "DQ205":
+            raise SQLError(
+                "QUALITY(...) requires a tagged relation; the source is "
+                "untagged"
+            )
 
 
 def _compile_predicate(
@@ -353,6 +341,7 @@ def execute(
     source: AnyRelation | Database | Mapping[str, AnyRelation],
     *,
     strict: bool = False,
+    planner: bool = True,
 ) -> AnyRelation:
     """Parse and execute a QSQL SELECT; returns a (tagged) relation.
 
@@ -364,7 +353,32 @@ def execute(
     analyzer (:mod:`repro.analysis`); error-severity diagnostics raise
     :class:`~repro.analysis.diagnostics.QueryAnalysisError` *before*
     any row is touched, with every problem reported at once.
+
+    By default statements run through the query planner
+    (:mod:`repro.sql.plan` / :mod:`repro.sql.optimizer` /
+    :mod:`repro.sql.physical`) with plan caching
+    (:mod:`repro.sql.plancache`): repeated statement texts skip
+    lexing, parsing, and planning, and QUALITY predicates route through
+    the relation's columnar tag store.  ``planner=False`` is the escape
+    hatch onto the direct interpretation path below (one compiled
+    closure per clause, no plan, no cache) — semantically equivalent,
+    and kept as the reference baseline.
     """
+    if planner:
+        # Imported lazily: plancache depends on this module.
+        from repro.sql.plancache import execute_planned
+
+        return execute_planned(sql, source, strict=strict)
+    return _execute_unplanned(sql, source, strict=strict)
+
+
+def _execute_unplanned(
+    sql: str,
+    source: AnyRelation | Database | Mapping[str, AnyRelation],
+    *,
+    strict: bool = False,
+) -> AnyRelation:
+    """The planner-free execution path (see ``execute(planner=False)``)."""
     statement = parse(sql)
     if strict:
         # Imported lazily: repro.analysis depends on the sql package.
@@ -374,6 +388,13 @@ def execute(
         diagnostics = analyze_statement(statement, source, sql=sql)
         if diagnostics.has_errors:
             raise QueryAnalysisError(diagnostics, sql)
+    if statement.explain:
+        # EXPLAIN always describes the *planned* pipeline, even from
+        # the unplanned escape hatch — there is no plan tree here.
+        from repro.sql.plancache import explain_relation, plan_statement
+
+        plan, _, _ = plan_statement(statement, source)
+        return explain_relation(plan)
     relation = _resolve_relation(statement, source)
     tagged = isinstance(relation, TaggedRelation)
     _check_columns(statement, relation)

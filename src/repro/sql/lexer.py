@@ -18,6 +18,7 @@ PUNCT = "PUNCT"
 EOF = "EOF"
 
 KEYWORDS = {
+    "EXPLAIN",
     "SELECT",
     "FROM",
     "WHERE",

@@ -167,6 +167,9 @@ class SelectStatement:
     select_items: Optional[tuple[SelectItem, ...]] = None
     #: Grouping keys: column refs or QUALITY(...) tag refs.
     group_by: tuple[Union[ColumnRef, QualityRef], ...] = ()
+    #: True for ``EXPLAIN SELECT ...`` — execute() returns the rendered
+    #: optimized plan instead of running the query.
+    explain: bool = False
     #: Source span of the FROM relation name.
     relation_span: Optional[Span] = _span_field()
 

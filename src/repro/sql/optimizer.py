@@ -1,0 +1,518 @@
+"""QSQL plan optimizer: rewrite rules over the logical plan IR.
+
+Each rule is a standalone function ``rule(plan, ...) -> plan`` so tests
+can exercise one rewrite at a time; :func:`optimize` chains them in a
+fixed order.  All rules are semantics-preserving with respect to the
+reference executor:
+
+- :func:`fold_constants` — evaluate constant predicates at plan time
+  using the executor's exact comparison semantics (NULL never matches,
+  ``TypeError`` → false) and simplify AND/OR/NOT around the results;
+- :func:`push_quality_predicates` — split a WHERE conjunction over a
+  tagged scan and route ``QUALITY(col.ind) <op> literal`` conjuncts
+  into a :class:`~repro.sql.plan.QualityFilter` (a
+  :class:`ColumnarTagStore` array scan) ahead of the residual
+  row predicate.  Only indicators the tag schema allows on the column
+  are routed: an unknown indicator reads as NULL per-cell (never
+  matches) but would raise in the store;
+- :func:`annotate_join_columns` / :func:`push_value_predicates` — move
+  single-side conjuncts of a filter above a :class:`HashJoin` below
+  the join, shrinking both build and probe inputs;
+- :func:`prune_projections` — narrow join inputs to the columns the
+  query actually consumes (projected + join keys + filtered);
+- :func:`choose_build_side` — build the hash index on the side with
+  the smaller estimated cardinality;
+- :func:`fuse_topk` — rewrite LIMIT over ORDER BY into a bounded-heap
+  :class:`~repro.sql.plan.TopK` (``heapq.nsmallest`` instead of a
+  full sort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Optional, Union
+
+from repro.sql.nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+    SelectItem,
+)
+from repro.sql.plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    QualityFilter,
+    Scan,
+    Sort,
+    TopK,
+)
+from repro.tagging.relation import TaggedRelation
+
+#: QSQL comparison operator → tagging-store operator vocabulary.
+_TAG_OPS = {"=": "==", "<>": "!=", "!=": "!=", "<": "<", "<=": "<=",
+            ">": ">", ">=": ">="}
+#: Mirror of each comparison when its operands swap sides.
+_FLIPPED = {"=": "=", "<>": "<>", "!=": "!=", "<": ">", "<=": ">=",
+            ">": "<", ">=": "<="}
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class PlanContext:
+    """What the optimizer may know about the plan's base relations."""
+
+    relations: Mapping[str, Any]
+
+    @classmethod
+    def from_relations(cls, relations: Mapping[str, Any]) -> "PlanContext":
+        return cls(dict(relations))
+
+    def relation(self, name: str) -> Any:
+        return self.relations.get(name)
+
+    def cardinality(self, name: str) -> int:
+        relation = self.relations.get(name)
+        return len(relation) if relation is not None else 0
+
+    def tag_schema(self, name: str):
+        relation = self.relations.get(name)
+        if isinstance(relation, TaggedRelation):
+            return relation.tag_schema
+        return None
+
+    def schema(self, name: str):
+        relation = self.relations.get(name)
+        return relation.schema if relation is not None else None
+
+
+def _transform(plan: PlanNode, visit: Callable[[PlanNode], PlanNode]) -> PlanNode:
+    """Apply ``visit`` bottom-up over the plan tree."""
+    if isinstance(plan, HashJoin):
+        plan = replace(
+            plan,
+            left=_transform(plan.left, visit),
+            right=_transform(plan.right, visit),
+        )
+    elif plan.children():
+        plan = replace(plan, child=_transform(plan.child, visit))
+    return visit(plan)
+
+
+# -- constant folding --------------------------------------------------------
+
+
+def _literal_compare(op: str, a: Any, b: Any) -> bool:
+    """The executor's comparison semantics, applied to two constants."""
+    if a is None or b is None:
+        return False
+    try:
+        return _COMPARATORS[op](a, b)
+    except TypeError:
+        return False
+
+
+def fold_expr(expr: Any) -> Any:
+    """Fold constant subtrees of a WHERE expression to boolean literals."""
+    if isinstance(expr, Comparison):
+        if isinstance(expr.left, Literal) and isinstance(expr.right, Literal):
+            return Literal(
+                _literal_compare(expr.op, expr.left.value, expr.right.value)
+            )
+        return expr
+    if isinstance(expr, InList):
+        if isinstance(expr.operand, Literal):
+            value = expr.operand.value
+            if value is None:
+                return Literal(False)
+            result = value in expr.options
+            return Literal((not result) if expr.negated else result)
+        return expr
+    if isinstance(expr, IsNull):
+        if isinstance(expr.operand, Literal):
+            is_null = expr.operand.value is None
+            return Literal((not is_null) if expr.negated else is_null)
+        return expr
+    if isinstance(expr, BoolOp):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        if expr.op == "AND":
+            if isinstance(left, Literal):
+                return right if left.value else Literal(False)
+            if isinstance(right, Literal):
+                return left if right.value else Literal(False)
+        else:  # OR
+            if isinstance(left, Literal):
+                return Literal(True) if left.value else right
+            if isinstance(right, Literal):
+                return Literal(True) if right.value else left
+        if left is expr.left and right is expr.right:
+            return expr
+        return BoolOp(expr.op, left, right, span=expr.span)
+    if isinstance(expr, NotOp):
+        inner = fold_expr(expr.operand)
+        if isinstance(inner, Literal):
+            return Literal(not inner.value)
+        if inner is expr.operand:
+            return expr
+        return NotOp(inner, span=expr.span)
+    return expr
+
+
+def fold_constants(plan: PlanNode) -> PlanNode:
+    """Fold every Filter predicate; drop filters that become TRUE."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Filter):
+            return node
+        predicate = fold_expr(node.predicate)
+        if isinstance(predicate, Literal) and predicate.value:
+            return node.child
+        if predicate is node.predicate:
+            return node
+        return Filter(node.child, predicate)
+
+    return _transform(plan, visit)
+
+
+# -- quality-predicate pushdown ----------------------------------------------
+
+
+def split_conjuncts(expr: Any) -> list[Any]:
+    """Top-level AND conjuncts of an expression, left to right."""
+    if isinstance(expr, BoolOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def join_conjuncts(conjuncts: list[Any]) -> Any:
+    """Re-AND conjuncts (left-associative, like the parser)."""
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BoolOp("AND", result, conjunct)
+    return result
+
+
+def _as_quality_constraint(conjunct: Any, tag_schema) -> Optional[tuple]:
+    """(column, indicator, op, operand) when the conjunct can route
+    through the columnar store with identical semantics, else None."""
+    if isinstance(conjunct, Comparison):
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(right, QualityRef) and isinstance(left, Literal):
+            left, right = right, left
+            op = _FLIPPED[op]
+        if not (isinstance(left, QualityRef) and isinstance(right, Literal)):
+            return None
+        # A NULL literal: `!=` would match every tagged row in the store
+        # but never matches per-cell — don't route.
+        if right.value is None:
+            return None
+        tag_op = _TAG_OPS.get(op)
+        if tag_op is None:
+            return None
+        quality = left
+        operand = right.value
+    elif isinstance(conjunct, InList) and isinstance(
+        conjunct.operand, QualityRef
+    ):
+        quality = conjunct.operand
+        tag_op = "not in" if conjunct.negated else "in"
+        operand = conjunct.options
+    else:
+        return None
+    # Unknown indicators read as NULL per-cell (never match) but raise
+    # in the store — keep them in the residual predicate.
+    try:
+        allowed = tag_schema.allowed_for(quality.column)
+    except Exception:
+        return None
+    if quality.indicator not in allowed:
+        return None
+    return (quality.column, quality.indicator, tag_op, operand)
+
+
+def push_quality_predicates(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Route QUALITY-vs-literal conjuncts over tagged scans into the
+    columnar store; the residual predicate stays a row Filter above."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not (isinstance(node, Filter) and isinstance(node.child, Scan)):
+            return node
+        scan = node.child
+        if not scan.tagged:
+            return node
+        tag_schema = context.tag_schema(scan.relation)
+        if tag_schema is None:
+            return node
+        constraints: list[tuple] = []
+        residual: list[Any] = []
+        for conjunct in split_conjuncts(node.predicate):
+            constraint = _as_quality_constraint(conjunct, tag_schema)
+            if constraint is None:
+                residual.append(conjunct)
+            else:
+                constraints.append(constraint)
+        if not constraints:
+            return node
+        rewritten: PlanNode = QualityFilter(scan, tuple(constraints))
+        if residual:
+            rewritten = Filter(rewritten, join_conjuncts(residual))
+        return rewritten
+
+    return _transform(plan, visit)
+
+
+# -- join rules --------------------------------------------------------------
+
+
+def _output_columns(node: PlanNode, context: PlanContext) -> tuple[str, ...]:
+    """Column names a plan subtree produces."""
+    if isinstance(node, Scan):
+        schema = context.schema(node.relation)
+        return schema.column_names if schema is not None else ()
+    if isinstance(node, Project):
+        return tuple(item.output_name for item in node.items)
+    if isinstance(node, Aggregate):
+        return tuple(item.output_name for item in node.items)
+    if isinstance(node, HashJoin):
+        return _output_columns(node.left, context) + _output_columns(
+            node.right, context
+        )
+    return _output_columns(node.children()[0], context)
+
+
+def annotate_join_columns(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Record each join input's column names on the HashJoin node (the
+    information :func:`push_value_predicates` and
+    :func:`prune_projections` classify conjuncts with)."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, HashJoin):
+            return node
+        return replace(
+            node,
+            left_columns=_output_columns(node.left, context),
+            right_columns=_output_columns(node.right, context),
+        )
+
+    return _transform(plan, visit)
+
+
+def _expr_columns(expr: Any) -> Optional[set[str]]:
+    """Columns a predicate subtree reads; None when it has a part
+    (e.g. a QUALITY reference) that cannot be relocated."""
+    if isinstance(expr, Literal):
+        return set()
+    if isinstance(expr, ColumnRef):
+        return {expr.column}
+    if isinstance(expr, QualityRef):
+        return None
+    if isinstance(expr, Comparison):
+        left = _expr_columns(expr.left)
+        right = _expr_columns(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, (InList, IsNull)):
+        return _expr_columns(expr.operand)
+    if isinstance(expr, BoolOp):
+        left = _expr_columns(expr.left)
+        right = _expr_columns(expr.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expr, NotOp):
+        return _expr_columns(expr.operand)
+    return None
+
+
+def push_value_predicates(plan: PlanNode) -> PlanNode:
+    """Push single-side conjuncts of Filter(HashJoin) below the join.
+
+    Requires the join's ``left_columns``/``right_columns`` annotations
+    (see :func:`annotate_join_columns`).
+    """
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not (isinstance(node, Filter) and isinstance(node.child, HashJoin)):
+            return node
+        join = node.child
+        if not join.left_columns or not join.right_columns:
+            return node
+        left_cols = set(join.left_columns)
+        right_cols = set(join.right_columns)
+        to_left: list[Any] = []
+        to_right: list[Any] = []
+        residual: list[Any] = []
+        for conjunct in split_conjuncts(node.predicate):
+            used = _expr_columns(conjunct)
+            if used is not None and used <= left_cols:
+                to_left.append(conjunct)
+            elif used is not None and used <= right_cols:
+                to_right.append(conjunct)
+            else:
+                residual.append(conjunct)
+        if not to_left and not to_right:
+            return node
+        left = join.left
+        right = join.right
+        if to_left:
+            left = Filter(left, join_conjuncts(to_left))
+        if to_right:
+            right = Filter(right, join_conjuncts(to_right))
+        rewritten: PlanNode = replace(join, left=left, right=right)
+        if residual:
+            rewritten = Filter(rewritten, join_conjuncts(residual))
+        return rewritten
+
+    return _transform(plan, visit)
+
+
+def prune_projections(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Narrow join inputs to the columns the plan above consumes.
+
+    Fires on Project(HashJoin) (optionally with filters already pushed
+    below the join): each side keeps only projected columns, join keys,
+    and columns its own pushed filters read.
+    """
+
+    def side_filter_columns(node: PlanNode) -> set[str]:
+        used: set[str] = set()
+        while isinstance(node, (Filter, QualityFilter, Limit, Distinct)):
+            if isinstance(node, Filter):
+                columns = _expr_columns(node.predicate)
+                if columns is None:
+                    return used  # conservatively keep what we saw
+                used |= columns
+            node = node.children()[0]
+        return used
+
+    def prune_side(
+        side: PlanNode, columns: tuple[str, ...], needed: set[str]
+    ) -> tuple[PlanNode, tuple[str, ...]]:
+        keep = tuple(name for name in columns if name in needed)
+        if not keep or keep == columns:
+            return side, columns
+        items = tuple(SelectItem(ColumnRef(name)) for name in keep)
+        return Project(side, items), keep
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not (isinstance(node, Project) and isinstance(node.child, HashJoin)):
+            return node
+        join = node.child
+        if not join.left_columns or not join.right_columns:
+            return node
+        needed: set[str] = set()
+        for item in node.items:
+            if not isinstance(item.expr, ColumnRef):
+                return node
+            needed.add(item.expr.column)
+        for lcol, rcol in join.on:
+            needed.add(lcol)
+            needed.add(rcol)
+        left_needed = needed | side_filter_columns(join.left)
+        right_needed = needed | side_filter_columns(join.right)
+        left, left_columns = prune_side(
+            join.left, join.left_columns, left_needed
+        )
+        right, right_columns = prune_side(
+            join.right, join.right_columns, right_needed
+        )
+        if left is join.left and right is join.right:
+            return node
+        return replace(
+            node,
+            child=replace(
+                join,
+                left=left,
+                right=right,
+                left_columns=left_columns,
+                right_columns=right_columns,
+            ),
+        )
+
+    return _transform(plan, visit)
+
+
+def _estimate(node: PlanNode, context: PlanContext) -> int:
+    """A coarse cardinality estimate (base-relation sizes, limit caps)."""
+    if isinstance(node, Scan):
+        return context.cardinality(node.relation)
+    if isinstance(node, (Limit, TopK)):
+        return min(node.count, _estimate(node.children()[0], context))
+    if isinstance(node, HashJoin):
+        return max(
+            _estimate(node.left, context), _estimate(node.right, context)
+        )
+    children = node.children()
+    return _estimate(children[0], context) if children else 0
+
+
+def choose_build_side(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Build each hash index on the smaller estimated input."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, HashJoin) or node.build_side is not None:
+            return node
+        left = _estimate(node.left, context)
+        right = _estimate(node.right, context)
+        return replace(
+            node, build_side="left" if left < right else "right"
+        )
+
+    return _transform(plan, visit)
+
+
+# -- limit/sort fusion -------------------------------------------------------
+
+
+def fuse_topk(plan: PlanNode) -> PlanNode:
+    """LIMIT over ORDER BY → bounded heap (through 1:1 projections)."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Limit):
+            return node
+        child = node.child
+        if isinstance(child, Sort):
+            return TopK(child.child, child.order_by, node.count)
+        if isinstance(child, Project) and isinstance(child.child, Sort):
+            sort = child.child
+            return Project(
+                TopK(sort.child, sort.order_by, node.count), child.items
+            )
+        return node
+
+    return _transform(plan, visit)
+
+
+# -- the pipeline ------------------------------------------------------------
+
+
+def optimize(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Apply every rewrite rule in its fixed order."""
+    plan = fold_constants(plan)
+    plan = push_quality_predicates(plan, context)
+    plan = annotate_join_columns(plan, context)
+    plan = push_value_predicates(plan)
+    plan = prune_projections(plan, context)
+    plan = choose_build_side(plan, context)
+    plan = fuse_topk(plan)
+    return plan

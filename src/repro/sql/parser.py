@@ -2,7 +2,7 @@
 
 Grammar (simplified)::
 
-    select    := SELECT [DISTINCT] columns FROM ident
+    select    := [EXPLAIN] SELECT [DISTINCT] columns FROM ident
                  [WHERE expr] [ORDER BY order_items] [LIMIT number]
     columns   := '*' | ident (',' ident)*
     expr      := or_expr
@@ -100,6 +100,7 @@ class _Parser:
     # -- grammar ---------------------------------------------------------------
 
     def parse_select(self) -> SelectStatement:
+        explain = bool(self.accept(KEYWORD, "EXPLAIN"))
         self.expect(KEYWORD, "SELECT")
         distinct = bool(self.accept(KEYWORD, "DISTINCT"))
         select_items = self._parse_select_items()
@@ -141,6 +142,7 @@ class _Parser:
             distinct=distinct,
             select_items=select_items,
             group_by=group_by,
+            explain=explain,
             relation_span=relation_token.span,
         )
         self._validate_grouping(statement)

@@ -1,0 +1,468 @@
+"""QSQL physical executor: optimized plans → batch operators.
+
+:func:`compile_plan` lowers an (optimized) logical plan into a tree of
+closures that each map a *binding* (relation name → live relation) to a
+list of rows.  Compilation resolves every column position, output
+schema, and predicate closure once; execution then runs over whole row
+batches with no per-row name resolution.
+
+Semantics are the reference executor's, by construction: filters and
+sort keys reuse :func:`repro.sql.executor._compile_predicate` /
+``_sort_key_function``, aggregation and QUALITY-materializing
+projections call the executor's own implementations over a trusted
+batch relation, and DISTINCT delegates to the algebra modules.  The
+planner-only operators are:
+
+- ``QualityFilter`` — asks the scanned relation for its lazily cached
+  :meth:`~repro.tagging.relation.TaggedRelation.columnar_store` and
+  scans contiguous tag arrays instead of evaluating per-cell closures;
+- ``TopK`` — ``heapq.nsmallest`` over a composite sort key (equivalent
+  to the executor's repeated stable sorts followed by LIMIT);
+- ``HashJoin`` — build-side hash index chosen by the optimizer.
+
+Compiled plans close over *names and schemas only*, never over relation
+instances: the binding supplies relations at run time, which is what
+makes cached plans safe to re-execute after data mutations (the plan
+cache revalidates schema identity, not data).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.relational import algebra as plain_algebra
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Column, RelationSchema
+from repro.sql.errors import SQLError
+from repro.sql.executor import (
+    _compile_predicate,
+    _computed_projection,
+    _execute_aggregate,
+    _item_output_domain,
+    _sort_key_function,
+)
+from repro.sql.nodes import Literal, QualityRef, SelectStatement
+from repro.sql.plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    PlanNode,
+    Project,
+    QualityFilter,
+    Scan,
+    Sort,
+    TopK,
+)
+from repro.tagging import algebra as tagged_algebra
+from repro.tagging.indicators import TagSchema
+from repro.tagging.relation import TaggedRelation, TaggedRow
+
+#: A runtime binding: relation name → live relation instance.
+Binding = Mapping[str, Any]
+
+
+class _Reversed:
+    """Inverts comparison order, for DESC keys inside one composite key."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value
+
+
+class CompiledNode:
+    """One compiled operator: a batch function plus output-shape facts."""
+
+    __slots__ = ("run", "schema", "tagged", "tag_schema")
+
+    def __init__(
+        self,
+        run: Callable[[Binding], list],
+        schema: RelationSchema,
+        tagged: bool,
+        tag_schema: Optional[TagSchema],
+    ) -> None:
+        self.run = run
+        self.schema = schema
+        self.tagged = tagged
+        self.tag_schema = tag_schema
+
+
+class CompiledPlan:
+    """A fully compiled plan, executable against any schema-identical
+    binding of the relations it was compiled for."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self, root: CompiledNode) -> None:
+        self._root = root
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._root.schema
+
+    @property
+    def tagged(self) -> bool:
+        return self._root.tagged
+
+    def execute(self, binding: Binding) -> Any:
+        rows = self._root.run(binding)
+        if self._root.tagged:
+            return TaggedRelation.from_rows(
+                self._root.schema, self._root.tag_schema, rows
+            )
+        return Relation.from_rows(self._root.schema, rows)
+
+
+def _materialize(node: CompiledNode, rows: list) -> Any:
+    """Wrap a row batch back into a relation (trusted constructors)."""
+    if node.tagged:
+        return TaggedRelation.from_rows(node.schema, node.tag_schema, rows)
+    return Relation.from_rows(node.schema, rows)
+
+
+def compile_plan(plan: PlanNode, relations: Binding) -> CompiledPlan:
+    """Compile an optimized plan against the relations' schemas."""
+    return CompiledPlan(_compile(plan, relations))
+
+
+def execute_plan(plan: PlanNode, relations: Binding) -> Any:
+    """Convenience: compile and immediately run against ``relations``."""
+    return compile_plan(plan, relations).execute(relations)
+
+
+def _compile(plan: PlanNode, relations: Binding) -> CompiledNode:
+    if isinstance(plan, Scan):
+        return _compile_scan(plan, relations)
+    if isinstance(plan, QualityFilter):
+        return _compile_quality_filter(plan, relations)
+    if isinstance(plan, Filter):
+        return _compile_filter(plan, relations)
+    if isinstance(plan, Project):
+        return _compile_project(plan, relations)
+    if isinstance(plan, HashJoin):
+        return _compile_hash_join(plan, relations)
+    if isinstance(plan, Aggregate):
+        return _compile_aggregate(plan, relations)
+    if isinstance(plan, Sort):
+        return _compile_sort(plan, relations)
+    if isinstance(plan, TopK):
+        return _compile_topk(plan, relations)
+    if isinstance(plan, Distinct):
+        return _compile_distinct(plan, relations)
+    if isinstance(plan, Limit):
+        return _compile_limit(plan, relations)
+    raise SQLError(f"cannot compile plan node {plan!r}")
+
+
+def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
+    name = plan.relation
+    try:
+        relation = relations[name]
+    except KeyError:
+        raise SQLError(f"unknown relation {name!r} in plan binding") from None
+    tagged = isinstance(relation, TaggedRelation)
+
+    def run(binding: Binding) -> list:
+        return binding[name].row_batch()
+
+    return CompiledNode(
+        run,
+        relation.schema,
+        tagged,
+        relation.tag_schema if tagged else None,
+    )
+
+
+def _compile_quality_filter(
+    plan: QualityFilter, relations: Binding
+) -> CompiledNode:
+    scan = plan.child
+    if not (isinstance(scan, Scan) and scan.tagged):
+        raise SQLError(
+            "QualityFilter must sit directly above a tagged Scan"
+        )
+    child = _compile_scan(scan, relations)
+    name = scan.relation
+    constraints = list(plan.constraints)
+
+    def run(binding: Binding) -> list:
+        relation = binding[name]
+        indices = relation.columnar_store().scan(constraints)
+        rows = relation.row_batch()
+        return [rows[index] for index in indices]
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+def _compile_filter(plan: Filter, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    predicate_expr = plan.predicate
+    if isinstance(predicate_expr, Literal):
+        # Only the optimizer produces literal predicates; TRUE filters
+        # are dropped there, so a surviving literal is falsy.
+        if predicate_expr.value:
+            run = child.run
+        else:
+            run = lambda binding: []  # noqa: E731
+        return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+    predicate = _compile_predicate(predicate_expr, child.schema, child.tagged)
+    child_run = child.run
+
+    def run(binding: Binding) -> list:
+        return [row for row in child_run(binding) if predicate(row)]
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+def _compile_project(plan: Project, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    items = plan.items
+    child_run = child.run
+    if any(isinstance(item.expr, QualityRef) for item in items):
+        # QUALITY(...) in the select list materializes tag values into a
+        # plain relation — delegate to the executor's implementation.
+        stub = SelectStatement(
+            columns=None,
+            relation=child.schema.name,
+            select_items=items,
+        )
+        probe = _materialize(child, [])
+        out_schema = _computed_projection(stub, probe, child.tagged).schema
+
+        def run(binding: Binding) -> list:
+            temp = _materialize(child, child_run(binding))
+            return _computed_projection(stub, temp, child.tagged).row_batch()
+
+        return CompiledNode(run, out_schema, False, None)
+
+    names = [item.expr.column for item in items]  # type: ignore[union-attr]
+    if not names:
+        raise QueryError("projection requires at least one column")
+    renames = {
+        item.expr.column: item.alias  # type: ignore[union-attr]
+        for item in items
+        if item.alias and item.alias != item.expr.column  # type: ignore[union-attr]
+    }
+    positions = child.schema.positions_of(names)
+    out_schema = child.schema.project(names, None)
+    if child.tagged:
+        out_tags = child.tag_schema.project(names)
+        if renames:
+            out_schema = out_schema.rename_columns(renames)
+            out_tags = out_tags.rename_columns(renames)
+
+        def run(binding: Binding) -> list:
+            make = TaggedRow._from_validated
+            return [
+                make(out_schema, tuple(row.cells[p] for p in positions))
+                for row in child_run(binding)
+            ]
+
+        return CompiledNode(run, out_schema, True, out_tags)
+    if renames:
+        out_schema = out_schema.rename_columns(renames)
+
+    def run(binding: Binding) -> list:
+        make = Row._from_validated
+        return [
+            make(out_schema, tuple(row.at(p) for p in positions))
+            for row in child_run(binding)
+        ]
+
+    return CompiledNode(run, out_schema, False, None)
+
+
+def _compile_hash_join(plan: HashJoin, relations: Binding) -> CompiledNode:
+    left = _compile(plan.left, relations)
+    right = _compile(plan.right, relations)
+    if left.tagged or right.tagged:
+        raise SQLError("hash-join plans support plain relations only")
+    overlap = set(left.schema.column_names) & set(right.schema.column_names)
+    if overlap:
+        raise SQLError(
+            f"hash-join inputs share column names {sorted(overlap)}; "
+            f"project/rename one side first"
+        )
+    left_positions = tuple(left.schema.position(l) for l, _ in plan.on)
+    right_positions = tuple(right.schema.position(r) for _, r in plan.on)
+    out_schema = RelationSchema(
+        f"{left.schema.name}_{right.schema.name}",
+        list(left.schema.columns) + list(right.schema.columns),
+    )
+    build_left = plan.build_side == "left"
+    single = len(plan.on) == 1
+    left_run, right_run = left.run, right.run
+
+    def key_of(row: Row, positions: tuple[int, ...]) -> Any:
+        if single:
+            return row.at(positions[0])
+        return tuple(row.at(p) for p in positions)
+
+    def null_key(key: Any) -> bool:
+        if single:
+            return key is None
+        return any(part is None for part in key)
+
+    def run(binding: Binding) -> list:
+        left_rows = left_run(binding)
+        right_rows = right_run(binding)
+        make = Row._from_validated
+        out: list[Row] = []
+        emit = out.append
+        if build_left:
+            index: dict[Any, list[Row]] = {}
+            for row in left_rows:
+                key = key_of(row, left_positions)
+                if null_key(key):
+                    continue
+                index.setdefault(key, []).append(row)
+            for rrow in right_rows:
+                key = key_of(rrow, right_positions)
+                if null_key(key):
+                    continue
+                rvalues = rrow.values_tuple()
+                for lrow in index.get(key, ()):
+                    emit(make(out_schema, lrow.values_tuple() + rvalues))
+        else:
+            index = {}
+            for row in right_rows:
+                key = key_of(row, right_positions)
+                if null_key(key):
+                    continue
+                index.setdefault(key, []).append(row)
+            for lrow in left_rows:
+                key = key_of(lrow, left_positions)
+                if null_key(key):
+                    continue
+                lvalues = lrow.values_tuple()
+                for rrow in index.get(key, ()):
+                    emit(make(out_schema, lvalues + rrow.values_tuple()))
+        return out
+
+    return CompiledNode(run, out_schema, False, None)
+
+
+def _compile_aggregate(plan: Aggregate, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    stub = SelectStatement(
+        columns=None,
+        relation=child.schema.name,
+        select_items=plan.items,
+        group_by=plan.group_by,
+    )
+    probe = _materialize(child, [])
+    out_schema = RelationSchema(
+        f"{child.schema.name}_agg",
+        [
+            Column(item.output_name, _item_output_domain(item, probe))
+            for item in plan.items
+        ],
+    )
+    child_run = child.run
+    tagged = child.tagged
+
+    def run(binding: Binding) -> list:
+        temp = _materialize(child, child_run(binding))
+        return _execute_aggregate(stub, temp, tagged).row_batch()
+
+    return CompiledNode(run, out_schema, False, None)
+
+
+def _check_aggregate_order(plan: Sort | TopK, child: CompiledNode) -> None:
+    """The executor's post-aggregation ORDER BY validation, verbatim."""
+    for item in plan.order_by:
+        if isinstance(item.key, QualityRef):
+            raise SQLError("ORDER BY QUALITY(...) cannot follow aggregation")
+        child.schema.column(item.key.column)
+
+
+def _compile_sort(plan: Sort, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    if isinstance(plan.child, Aggregate):
+        _check_aggregate_order(plan, child)
+    # Repeated stable single-key sorts, least-significant first — the
+    # executor's exact ordering semantics.
+    passes = [
+        (
+            _sort_key_function((item,), child.schema, child.tagged),
+            item.descending,
+        )
+        for item in reversed(plan.order_by)
+    ]
+    child_run = child.run
+
+    def run(binding: Binding) -> list:
+        rows = list(child_run(binding))
+        for key, descending in passes:
+            rows.sort(key=key, reverse=descending)
+        return rows
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+def _compile_topk(plan: TopK, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    if isinstance(plan.child, Aggregate):
+        _check_aggregate_order(plan, child)
+    if plan.count < 0:
+        raise QueryError("limit must be non-negative")
+    parts = [
+        (
+            _sort_key_function((item,), child.schema, child.tagged),
+            item.descending,
+        )
+        for item in plan.order_by
+    ]
+    count = plan.count
+    child_run = child.run
+
+    def composite_key(row: Any) -> tuple:
+        return tuple(
+            _Reversed(key(row)) if descending else key(row)
+            for key, descending in parts
+        )
+
+    def run(binding: Binding) -> list:
+        # nsmallest is stable and equivalent to sorted(...)[:k]; the
+        # composite key with per-part inversion equals the repeated
+        # stable sorts of the Sort operator.
+        return heapq.nsmallest(count, child_run(binding), key=composite_key)
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+def _compile_distinct(plan: Distinct, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    child_run = child.run
+
+    def run(binding: Binding) -> list:
+        temp = _materialize(child, child_run(binding))
+        if child.tagged:
+            return tagged_algebra.distinct_values(temp).row_batch()
+        return plain_algebra.distinct(temp).row_batch()
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+def _compile_limit(plan: Limit, relations: Binding) -> CompiledNode:
+    child = _compile(plan.child, relations)
+    if plan.count < 0:
+        raise QueryError("limit must be non-negative")
+    count = plan.count
+    child_run = child.run
+
+    def run(binding: Binding) -> list:
+        return child_run(binding)[:count]
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)

@@ -1,0 +1,339 @@
+"""QSQL logical plan IR.
+
+The planner lowers a parsed :class:`~repro.sql.nodes.SelectStatement`
+into a tree of plan nodes, which the optimizer
+(:mod:`repro.sql.optimizer`) rewrites and the physical executor
+(:mod:`repro.sql.physical`) compiles into batch operators.  Plan nodes
+are plain immutable dataclasses; rewriting builds new trees.
+
+Node vocabulary:
+
+- :class:`Scan` — read every row of the FROM relation;
+- :class:`QualityFilter` — a conjunction of indicator constraints
+  routed through the relation's :class:`ColumnarTagStore` arrays
+  (always sits directly above a :class:`Scan`);
+- :class:`Filter` — a residual row predicate (compiled closure);
+- :class:`Project` — projection/renaming, including materialized
+  ``QUALITY(...)`` value columns;
+- :class:`HashJoin` — equi-join with an explicit build side (built by
+  the programmatic :func:`join_plan` API — QSQL's grammar is
+  single-relation);
+- :class:`Aggregate` — GROUP BY + aggregate evaluation;
+- :class:`Sort` / :class:`TopK` — full ordering vs. fused
+  ORDER BY + LIMIT via a bounded heap;
+- :class:`Distinct`, :class:`Limit` — duplicate elimination, row cap.
+
+``render_plan`` produces the tree text that ``EXPLAIN SELECT ...``
+returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.sql.nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    OrderItem,
+    QualityRef,
+    SelectItem,
+    SelectStatement,
+)
+
+PlanNode = Union[
+    "Scan",
+    "QualityFilter",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "Aggregate",
+    "Sort",
+    "TopK",
+    "Distinct",
+    "Limit",
+]
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Read all rows of one named relation."""
+
+    relation: str
+    tagged: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return ()
+
+    def label(self) -> str:
+        flavor = "tagged" if self.tagged else "plain"
+        return f"Scan [{self.relation} ({flavor})]"
+
+
+#: One columnar tag constraint: (column, indicator, operator, operand).
+#: Operators use the :data:`repro.tagging.query.OPERATORS` vocabulary.
+QualityConstraint = tuple[str, str, str, Any]
+
+
+@dataclass(frozen=True)
+class QualityFilter:
+    """Indicator constraints pushed into columnar tag-array scans."""
+
+    child: PlanNode
+    constraints: tuple[QualityConstraint, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        rendered = " AND ".join(
+            f"QUALITY({column}.{indicator}) {op} {operand!r}"
+            for column, indicator, op, operand in self.constraints
+        )
+        return f"QualityFilter [{rendered} -> columnar scan]"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A residual row predicate (whatever could not be pushed down)."""
+
+    child: PlanNode
+    predicate: Union[Expr, Literal]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Filter [{render_expr(self.predicate)}]"
+
+
+@dataclass(frozen=True)
+class Project:
+    """Projection (and renaming); may materialize QUALITY(...) columns."""
+
+    child: PlanNode
+    items: tuple[SelectItem, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = []
+        for item in self.items:
+            text = render_operand(item.expr)
+            if item.alias:
+                text = f"{text} AS {item.alias}"
+            parts.append(text)
+        return f"Project [{', '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class HashJoin:
+    """Equi-join: build a hash index on one side, probe with the other.
+
+    ``build_side`` is chosen by the optimizer (smaller estimated
+    cardinality); ``left_columns``/``right_columns`` record each input's
+    column names so predicate pushdown can classify conjuncts.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    on: tuple[tuple[str, str], ...]
+    build_side: Optional[str] = None  # "left" | "right" | None (undecided)
+    left_columns: tuple[str, ...] = ()
+    right_columns: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{lcol} = {rcol}" for lcol, rcol in self.on)
+        side = self.build_side or "undecided"
+        return f"HashJoin [{keys}, build={side}]"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """GROUP BY + aggregate evaluation (always yields a plain output)."""
+
+    child: PlanNode
+    group_by: tuple[Union[ColumnRef, QualityRef], ...]
+    items: tuple[SelectItem, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        rendered = ", ".join(render_operand(item.expr) for item in self.items)
+        if self.group_by:
+            keys = ", ".join(render_operand(key) for key in self.group_by)
+            return f"Aggregate [{rendered} GROUP BY {keys}]"
+        return f"Aggregate [{rendered}]"
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Full stable multi-key sort."""
+
+    child: PlanNode
+    order_by: tuple[OrderItem, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Sort [{_render_order(self.order_by)}]"
+
+
+@dataclass(frozen=True)
+class TopK:
+    """Fused ORDER BY + LIMIT: a bounded heap instead of a full sort."""
+
+    child: PlanNode
+    order_by: tuple[OrderItem, ...]
+    count: int
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"TopK [{_render_order(self.order_by)}, k={self.count}]"
+
+
+@dataclass(frozen=True)
+class Distinct:
+    """Duplicate elimination (tag-merging on tagged inputs)."""
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
+
+
+@dataclass(frozen=True)
+class Limit:
+    """Keep the first ``count`` rows."""
+
+    child: PlanNode
+    count: int
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Limit [{self.count}]"
+
+
+# -- statement lowering ------------------------------------------------------
+
+
+def logical_plan(statement: SelectStatement, tagged: bool) -> PlanNode:
+    """Lower a parsed statement into the unoptimized logical plan.
+
+    The pipeline mirrors the reference executor's clause order exactly:
+    scan → filter → (aggregate | sort) → project → distinct → limit,
+    with ORDER BY evaluated *before* projection so order keys may name
+    non-projected columns.
+    """
+    plan: PlanNode = Scan(statement.relation, tagged)
+    if statement.where is not None:
+        plan = Filter(plan, statement.where)
+    if statement.has_aggregates:
+        items = statement.select_items or ()
+        plan = Aggregate(plan, statement.group_by, items)
+        if statement.order_by:
+            plan = Sort(plan, statement.order_by)
+        if statement.limit is not None:
+            plan = Limit(plan, statement.limit)
+        return plan
+    if statement.order_by:
+        plan = Sort(plan, statement.order_by)
+    if statement.select_items is not None:
+        plan = Project(plan, statement.select_items)
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.limit is not None:
+        plan = Limit(plan, statement.limit)
+    return plan
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_operand(operand: Any) -> str:
+    """Source-like text for an operand/select expression."""
+    if isinstance(operand, Literal):
+        value = operand.value
+        return "NULL" if value is None else repr(value)
+    if isinstance(operand, ColumnRef):
+        return operand.column
+    if isinstance(operand, QualityRef):
+        return f"QUALITY({operand.column}.{operand.indicator})"
+    # AggregateCall
+    if operand.operand is None:
+        return f"{operand.func}(*)"
+    return f"{operand.func}({render_operand(operand.operand)})"
+
+
+def render_expr(expr: Any) -> str:
+    """Source-like text for a WHERE subtree."""
+    if isinstance(expr, Literal):
+        return render_operand(expr)
+    if isinstance(expr, Comparison):
+        return (
+            f"{render_operand(expr.left)} {expr.op} "
+            f"{render_operand(expr.right)}"
+        )
+    if isinstance(expr, InList):
+        options = ", ".join(
+            "NULL" if option is None else repr(option)
+            for option in expr.options
+        )
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"{render_operand(expr.operand)} {keyword} ({options})"
+    if isinstance(expr, IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{render_operand(expr.operand)} {keyword}"
+    if isinstance(expr, BoolOp):
+        return (
+            f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+        )
+    if isinstance(expr, NotOp):
+        return f"NOT ({render_expr(expr.operand)})"
+    return repr(expr)
+
+
+def _render_order(order_by: tuple[OrderItem, ...]) -> str:
+    return ", ".join(
+        f"{render_operand(item.key)} {'DESC' if item.descending else 'ASC'}"
+        for item in order_by
+    )
+
+
+def render_plan(plan: PlanNode) -> list[str]:
+    """The plan tree as indented text lines (the EXPLAIN output)."""
+    lines: list[str] = []
+
+    def walk(node: PlanNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(node.label())
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(f"{prefix}{connector}{node.label()}")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = node.children()
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(plan, "", True, True)
+    return lines

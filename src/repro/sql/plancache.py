@@ -1,0 +1,242 @@
+"""QSQL plan cache: skip lexing/parsing/planning on repeated statements.
+
+A :class:`PlanCache` maps statement text to
+:class:`PreparedStatement` entries — the parsed AST, the optimized
+plan, and the compiled physical plan.  A cached entry is reused only
+when the resolved relation still has the *identical* schema objects the
+plan was compiled against (``relation.schema is entry.schema``), so
+dropping and recreating a relation, or pointing the same statement at a
+different catalog, always recompiles.  :class:`RelationSchema` and
+:class:`TagSchema` instances are immutable, which makes identity a
+sound validity token; row-level mutations never invalidate plans
+because compiled plans bind relations at *execution* time, not compile
+time (and the columnar store the plan routes through revalidates
+against the relation's own mutation counter).
+
+For :class:`~repro.relational.catalog.Database` sources, the entry
+additionally records the database's ``catalog_version`` (bumped on
+create/drop), making the cache key effectively
+``(statement text, catalog version)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Mapping, Optional, Union
+
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+from repro.sql.errors import SQLError
+from repro.sql.executor import (
+    _check_columns,
+    _resolve_relation,
+)
+from repro.sql.optimizer import PlanContext, optimize
+from repro.sql.parser import parse
+from repro.sql.physical import CompiledPlan, compile_plan
+from repro.sql.plan import PlanNode, logical_plan, render_plan
+from repro.tagging.relation import TaggedRelation
+
+AnyRelation = Union[Relation, TaggedRelation]
+Source = Union[AnyRelation, Database, Mapping[str, AnyRelation]]
+
+
+class PreparedStatement:
+    """One cached statement: AST + optimized plan + compiled plan."""
+
+    __slots__ = (
+        "sql",
+        "statement",
+        "plan",
+        "compiled",
+        "relation_name",
+        "schema",
+        "tag_schema",
+        "tagged",
+        "catalog_version",
+        "strict_checked",
+    )
+
+    def __init__(
+        self,
+        sql: str,
+        statement: Any,
+        plan: PlanNode,
+        compiled: CompiledPlan,
+        relation: AnyRelation,
+        catalog_version: Optional[int],
+    ) -> None:
+        self.sql = sql
+        self.statement = statement
+        self.plan = plan
+        self.compiled = compiled
+        self.relation_name = statement.relation
+        self.schema = relation.schema
+        self.tagged = isinstance(relation, TaggedRelation)
+        self.tag_schema = relation.tag_schema if self.tagged else None
+        self.catalog_version = catalog_version
+        #: True once strict-mode analysis passed for this entry (the
+        #: diagnostics depend only on the statement and the schemas the
+        #: entry already pins by identity, so one clean run is enough).
+        self.strict_checked = False
+
+    def valid_for(self, relation: AnyRelation, source: Source) -> bool:
+        if isinstance(relation, TaggedRelation) != self.tagged:
+            return False
+        if relation.schema is not self.schema:
+            return False
+        if self.tagged and relation.tag_schema is not self.tag_schema:
+            return False
+        if isinstance(source, Database):
+            return source.catalog_version == self.catalog_version
+        return True
+
+
+class PlanCache:
+    """Statement-text → prepared-statement cache with LRU eviction."""
+
+    def __init__(self, max_statements: int = 256) -> None:
+        self.max_statements = max_statements
+        self._entries: OrderedDict[str, list[PreparedStatement]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, sql: str, source: Source
+    ) -> Optional[tuple[PreparedStatement, AnyRelation]]:
+        """A (prepared, resolved relation) pair, or None on miss."""
+        entries = self._entries.get(sql)
+        if entries is None:
+            self.misses += 1
+            return None
+        for entry in entries:
+            try:
+                relation = _resolve_relation(entry.statement, source)
+            except SQLError:
+                continue  # cold path re-raises with identical context
+            if entry.valid_for(relation, source):
+                self._entries.move_to_end(sql)
+                self.hits += 1
+                return entry, relation
+        self.misses += 1
+        return None
+
+    def store(self, entry: PreparedStatement) -> None:
+        entries = self._entries.setdefault(entry.sql, [])
+        # Drop entries this one supersedes (same relation shape but a
+        # stale catalog version or dropped schema).
+        entries[:] = [
+            e for e in entries if e.schema is not entry.schema
+        ]
+        entries.append(entry)
+        self._entries.move_to_end(entry.sql)
+        while len(self._entries) > self.max_statements:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "statements": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: The process-wide default cache used by ``execute(..., planner=True)``.
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    return _DEFAULT_CACHE
+
+
+def clear_plan_cache() -> None:
+    """Empty the default cache (tests, schema-churn-heavy scripts)."""
+    _DEFAULT_CACHE.clear()
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the default cache."""
+    return _DEFAULT_CACHE.stats()
+
+
+# -- planning + execution ----------------------------------------------------
+
+
+def plan_statement(
+    statement: Any, source: Source
+) -> tuple[PlanNode, AnyRelation, bool]:
+    """Resolve, pre-check, lower, and optimize one parsed statement."""
+    relation = _resolve_relation(statement, source)
+    tagged = isinstance(relation, TaggedRelation)
+    _check_columns(statement, relation)
+    if statement.uses_quality() and not tagged:
+        raise SQLError(
+            "QUALITY(...) requires a tagged relation; the source is untagged"
+        )
+    plan = logical_plan(statement, tagged)
+    context = PlanContext.from_relations({statement.relation: relation})
+    return optimize(plan, context), relation, tagged
+
+
+_EXPLAIN_SCHEMA = RelationSchema("explain", [Column("plan", "STR")])
+
+
+def explain_relation(plan: PlanNode) -> Relation:
+    """Render a plan tree as the single-column relation EXPLAIN returns."""
+    result = Relation(_EXPLAIN_SCHEMA)
+    for line in render_plan(plan):
+        result.insert({"plan": line})
+    return result
+
+
+def _run_strict_analysis(statement: Any, source: Source, sql: str) -> None:
+    from repro.analysis.diagnostics import QueryAnalysisError
+    from repro.analysis.query import analyze_statement
+
+    diagnostics = analyze_statement(statement, source, sql=sql)
+    if diagnostics.has_errors:
+        raise QueryAnalysisError(diagnostics, sql)
+
+
+def execute_planned(
+    sql: str,
+    source: Source,
+    *,
+    strict: bool = False,
+    cache: Optional[PlanCache] = None,
+) -> AnyRelation:
+    """The planner-backed execute path (see ``executor.execute``)."""
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    found = cache.lookup(sql, source)
+    if found is not None:
+        prepared, relation = found
+        if strict and not prepared.strict_checked:
+            _run_strict_analysis(prepared.statement, source, sql)
+            prepared.strict_checked = True
+        return prepared.compiled.execute({prepared.relation_name: relation})
+
+    statement = parse(sql)
+    if strict:
+        _run_strict_analysis(statement, source, sql)
+    plan, relation, _ = plan_statement(statement, source)
+    if statement.explain:
+        return explain_relation(plan)
+    compiled = compile_plan(plan, {statement.relation: relation})
+    catalog_version = (
+        source.catalog_version if isinstance(source, Database) else None
+    )
+    entry = PreparedStatement(
+        sql, statement, plan, compiled, relation, catalog_version
+    )
+    entry.strict_checked = strict
+    cache.store(entry)
+    return compiled.execute({statement.relation: relation})

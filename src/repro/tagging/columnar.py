@@ -99,6 +99,47 @@ class ColumnarTagStore:
         definition = self.tag_schema.definition(indicator)
         self._arrays[key][row_index] = definition.domain.validate(value)
 
+    def delete(self, predicate: Callable[[Any], bool]) -> int:
+        """Delete rows matching ``predicate`` (called with the plain row).
+
+        Every ``(column, indicator)`` array drops the same positions as
+        the backing relation, so scans stay aligned after deletion.
+        Returns the number of rows removed.
+        """
+        self.check_aligned()
+        keep = [
+            index
+            for index, row in enumerate(self.relation)
+            if not predicate(row)
+        ]
+        removed = len(self.relation) - len(keep)
+        if not removed:
+            return 0
+        rows = self.relation.rows
+        self.relation._rows = [rows[i] for i in keep]
+        for key, array in self._arrays.items():
+            self._arrays[key] = [array[i] for i in keep]
+        return removed
+
+    def check_aligned(self) -> None:
+        """Raise if the backing relation's length diverges from any array.
+
+        Divergence means the relation was mutated behind the store's
+        back (e.g. ``store.relation.delete(...)`` instead of
+        ``store.delete(...)``); scanning would return misaligned rows.
+        """
+        expected = len(self.relation)
+        for (column, indicator), array in self._arrays.items():
+            if len(array) != expected:
+                raise TagSchemaError(
+                    f"columnar store is out of sync with its backing "
+                    f"relation {self.relation.schema.name!r}: relation has "
+                    f"{expected} rows but tag array ({column!r}, "
+                    f"{indicator!r}) has {len(array)} entries; mutate "
+                    f"through the store (append/set_tag/delete), not the "
+                    f"relation directly"
+                )
+
     # -- access --------------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -153,6 +194,7 @@ class ColumnarTagStore:
             raise UnknownIndicatorError(
                 f"indicator {indicator!r} is not allowed on column {column!r}"
             )
+        self.check_aligned()
         hits = []
         for index, value in enumerate(array):
             if value is None:
@@ -166,13 +208,75 @@ class ColumnarTagStore:
                 continue
         return hits
 
+    def scan(
+        self, constraints: Sequence[tuple[str, str, str, Any]]
+    ) -> list[int]:
+        """Row indices satisfying a *conjunction* of tag constraints.
+
+        Each constraint is ``(column, indicator, op, operand)`` with
+        ``op`` from :data:`~repro.tagging.query.OPERATORS`.  The first
+        constraint scans its whole array; each further constraint only
+        probes the surviving indices, so selective leading constraints
+        keep the scan cheap.  Missing tags (None) never match.
+        """
+        self.check_aligned()
+        hits: Optional[list[int]] = None
+        for column, indicator, op, operand in constraints:
+            if op not in OPERATORS:
+                raise TagSchemaError(f"unknown operator {op!r}")
+            compare = OPERATORS[op]
+            array = self._arrays.get((column, indicator))
+            if array is None:
+                raise UnknownIndicatorError(
+                    f"indicator {indicator!r} is not allowed on column "
+                    f"{column!r}"
+                )
+            survivors: list[int] = []
+            emit = survivors.append
+            if hits is None:
+                if op == "==" and operand is not None:
+                    # Equality scans hop hit-to-hit with list.index, a
+                    # C-level search — no Python per-element loop.  (A
+                    # None operand must fall through: missing tags never
+                    # match, but index(None) would find them.)
+                    find = array.index
+                    index = -1
+                    try:
+                        while True:
+                            index = find(operand, index + 1)
+                            emit(index)
+                    except ValueError:
+                        pass
+                else:
+                    for index, value in enumerate(array):
+                        if value is None:
+                            continue
+                        try:
+                            if compare(value, operand):
+                                emit(index)
+                        except TypeError:
+                            continue
+            else:
+                for index in hits:
+                    value = array[index]
+                    if value is None:
+                        continue
+                    try:
+                        if compare(value, operand):
+                            emit(index)
+                    except TypeError:
+                        continue
+            hits = survivors
+            if not hits:
+                break
+        return hits if hits is not None else list(range(len(self.relation)))
+
     def select_rows(self, indices: Iterable[int]) -> Relation:
         """Materialize selected rows as a plain relation."""
-        result = Relation(self.relation.schema)
         rows = self.relation.rows
-        for index in indices:
-            result.insert(rows[index])
-        return result
+        return Relation.from_rows(
+            self.relation.schema, (rows[index] for index in indices)
+        )
 
     def filter(
         self,

@@ -152,6 +152,11 @@ class TaggedRelation:
         self.tag_schema = tag_schema or TagSchema()
         self.tag_schema.check_against(schema)
         self._rows: list[TaggedRow] = []
+        #: Mutation counter; bumped by every insert/delete so caches
+        #: derived from the rows (the columnar store, cached query
+        #: plans) can detect staleness cheaply.
+        self._version = 0
+        self._columnar_cache: Optional[tuple[int, Any]] = None
         for row in rows:
             self.insert(row)
 
@@ -164,11 +169,13 @@ class TaggedRelation:
         else:
             row = TaggedRow(self.schema, self.tag_schema, cells)
         self._rows.append(row)
+        self._version += 1
         return row
 
     def _insert_validated(self, row: TaggedRow) -> TaggedRow:
         """Append a row already valid under both schemas (fast path)."""
         self._rows.append(row)
+        self._version += 1
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -183,13 +190,40 @@ class TaggedRelation:
         """Delete rows matching ``predicate``; returns the count removed."""
         before = len(self._rows)
         self._rows = [r for r in self._rows if not predicate(r)]
+        self._version += 1
         return before - len(self._rows)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (for cache invalidation)."""
+        return self._version
+
+    def columnar_store(self):
+        """The relation's columnar tag store, built lazily and cached.
+
+        The store is rebuilt whenever :attr:`version` shows the rows
+        changed since the last build, so query paths can route
+        indicator-constrained scans through contiguous tag arrays
+        without ever reading stale data.
+        """
+        cached = self._columnar_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from repro.tagging.columnar import ColumnarTagStore
+
+        store = ColumnarTagStore.from_tagged_relation(self)
+        self._columnar_cache = (self._version, store)
+        return store
 
     # -- access -------------------------------------------------------------------
 
     @property
     def rows(self) -> tuple[TaggedRow, ...]:
         return tuple(self._rows)
+
+    def row_batch(self) -> list[TaggedRow]:
+        """The backing row list, *not* a copy (treat as read-only)."""
+        return self._rows
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -1,0 +1,177 @@
+"""Plan-cache behavior: hits, invalidation, and mutation safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+from repro.sql.plancache import PlanCache, execute_planned
+from repro.tagging.cell import QualityCell
+from repro.tagging.indicators import (
+    IndicatorDefinition,
+    IndicatorValue,
+    TagSchema,
+)
+from repro.tagging.relation import TaggedRelation
+
+
+def make_relation(name="t", rows=((1, "x"), (2, "y"), (3, "x"))):
+    schema = RelationSchema(name, [Column("a", "INT"), Column("b", "STR")])
+    return Relation.from_tuples(schema, rows)
+
+
+def values(result):
+    return [row.values_tuple() for row in result]
+
+
+class TestHitsAndMisses:
+    def test_repeat_statement_hits(self):
+        cache = PlanCache()
+        relation = make_relation()
+        sql = "SELECT a FROM t WHERE b = 'x'"
+        first = execute_planned(sql, relation, cache=cache)
+        second = execute_planned(sql, relation, cache=cache)
+        assert values(first) == values(second) == [(1,), (3,)]
+        stats = cache.stats()
+        assert stats == {"statements": 1, "hits": 1, "misses": 1}
+
+    def test_different_statements_cached_separately(self):
+        cache = PlanCache()
+        relation = make_relation()
+        execute_planned("SELECT a FROM t", relation, cache=cache)
+        execute_planned("SELECT b FROM t", relation, cache=cache)
+        assert cache.stats()["statements"] == 2
+
+    def test_explain_is_not_cached(self):
+        cache = PlanCache()
+        relation = make_relation()
+        execute_planned("EXPLAIN SELECT a FROM t", relation, cache=cache)
+        assert cache.stats()["statements"] == 0
+
+    def test_lru_eviction_bounds_size(self):
+        cache = PlanCache(max_statements=3)
+        relation = make_relation()
+        for limit in range(5):
+            execute_planned(
+                f"SELECT a FROM t LIMIT {limit}", relation, cache=cache
+            )
+        assert cache.stats()["statements"] == 3
+
+
+class TestInvalidation:
+    def test_schema_identity_mismatch_misses(self):
+        cache = PlanCache()
+        sql = "SELECT a FROM t"
+        execute_planned(sql, make_relation(), cache=cache)
+        # A structurally identical but *recreated* relation must miss:
+        # the cached plan was compiled against different schema objects.
+        other = make_relation(rows=((9, "z"),))
+        result = execute_planned(sql, other, cache=cache)
+        assert values(result) == [(9,)]
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_same_schema_different_rows_hits(self):
+        cache = PlanCache()
+        schema = RelationSchema(
+            "t", [Column("a", "INT"), Column("b", "STR")]
+        )
+        relation = Relation.from_tuples(schema, [(1, "x")])
+        sql = "SELECT a FROM t"
+        execute_planned(sql, relation, cache=cache)
+        # Same schema object, new data: the cached plan binds the
+        # relation at execution time, so the hit sees the new rows.
+        relation.insert({"a": 2, "b": "y"})
+        result = execute_planned(sql, relation, cache=cache)
+        assert values(result) == [(1,), (2,)]
+        assert cache.hits == 1
+
+    def test_catalog_version_invalidates_database_plans(self):
+        database = Database("db")
+        schema = RelationSchema(
+            "t", [Column("a", "INT"), Column("b", "STR")]
+        )
+        relation = database.create_relation(schema)
+        relation.insert({"a": 1, "b": "x"})
+        cache = PlanCache()
+        sql = "SELECT a FROM t"
+        execute_planned(sql, database, cache=cache)
+        execute_planned(sql, database, cache=cache)
+        assert cache.hits == 1
+        # create/drop bumps catalog_version: the cached entry goes stale.
+        database.create_relation(
+            RelationSchema("u", [Column("x", "INT")])
+        )
+        result = execute_planned(sql, database, cache=cache)
+        assert values(result) == [(1,)]
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_drop_and_recreate_recompiles(self):
+        database = Database("db")
+        schema = RelationSchema(
+            "t", [Column("a", "INT"), Column("b", "STR")]
+        )
+        database.create_relation(schema).insert({"a": 1, "b": "x"})
+        cache = PlanCache()
+        sql = "SELECT * FROM t"
+        execute_planned(sql, database, cache=cache)
+        database.drop_relation("t")
+        replacement = RelationSchema(
+            "t", [Column("a", "INT"), Column("c", "INT")]
+        )
+        database.create_relation(replacement).insert({"a": 5, "c": 7})
+        result = execute_planned(sql, database, cache=cache)
+        assert result.schema.column_names == ("a", "c")
+        assert values(result) == [(5, 7)]
+
+
+class TestTaggedPlans:
+    def test_columnar_store_rebuilds_after_mutation(self):
+        schema = RelationSchema("t", [Column("a", "INT")])
+        tags = TagSchema(
+            [IndicatorDefinition("source", "STR")],
+            allowed={"a": ["source"]},
+        )
+        relation = TaggedRelation(schema, tags)
+        for index in range(4):
+            relation.insert(
+                {
+                    "a": QualityCell(
+                        index,
+                        [IndicatorValue("source", "s1" if index < 2 else "s2")],
+                    )
+                }
+            )
+        cache = PlanCache()
+        sql = "SELECT a FROM t WHERE QUALITY(a.source) = 's1'"
+        first = execute_planned(sql, relation, cache=cache)
+        assert values(first) == [(0,), (1,)]
+        # Mutate the relation: the cached plan must not serve the stale
+        # columnar store (TaggedRelation.version gates the store cache).
+        relation.insert(
+            {"a": QualityCell(9, [IndicatorValue("source", "s1")])}
+        )
+        second = execute_planned(sql, relation, cache=cache)
+        assert values(second) == [(0,), (1,), (9,)]
+        assert cache.hits == 1
+
+    def test_strict_mode_checked_once_then_cached(self):
+        relation = make_relation()
+        cache = PlanCache()
+        sql = "SELECT a FROM t"
+        execute_planned(sql, relation, cache=cache, strict=True)
+        entry = cache.lookup(sql, relation)[0]
+        assert entry.strict_checked is True
+
+    def test_strict_errors_still_raise_on_cached_plan(self):
+        from repro.analysis.diagnostics import QueryAnalysisError
+
+        relation = make_relation()
+        cache = PlanCache()
+        sql = "SELECT a FROM t WHERE b = 'x' AND b <> 'x'"
+        # Plan compiles and caches fine without strict...
+        execute_planned(sql, relation, cache=cache)
+        # ...but strict mode on the *cached* entry still analyzes.
+        with pytest.raises(QueryAnalysisError):
+            execute_planned(sql, relation, cache=cache, strict=True)

@@ -119,3 +119,97 @@ class TestConversions:
             "employees", "source", "!=", "estimate"
         ).to_dicts()
         assert per_cell == columnar
+
+
+class TestDeletionAlignment:
+    """Deletion must keep every (column, indicator) array aligned."""
+
+    def test_delete_then_scan_stays_aligned(self, store):
+        store.append(
+            {"co_name": "Third Co", "address": "1 Oak St", "employees": 50},
+            tags={
+                ("address", "source"): "sales",
+                ("employees", "source"): "Nexis",
+            },
+        )
+        removed = store.delete(lambda row: row["co_name"] == "Fruit Co")
+        assert removed == 1
+        assert len(store) == 2
+        # Every array dropped the same position: scanning after the
+        # delete must return the rows the surviving tags describe.
+        hits = store.scan([("employees", "source", "==", "Nexis")])
+        assert [store.relation.rows[i]["co_name"] for i in hits] == [
+            "Third Co"
+        ]
+        hits = store.scan([("address", "source", "==", "acct'g")])
+        assert [store.relation.rows[i]["co_name"] for i in hits] == ["Nut Co"]
+        assert len(store.tag_array("address", "creation_time")) == 2
+
+    def test_delete_no_match_is_noop(self, store):
+        assert store.delete(lambda row: False) == 0
+        assert len(store) == 2
+        assert len(store.tag_array("address", "source")) == 2
+
+    def test_delete_conjunctive_scan_after_multiple_deletes(self, store):
+        for name in ("New1", "New2", "New3"):
+            store.append(
+                {"co_name": name, "address": "9 Elm", "employees": 10},
+                tags={
+                    ("address", "source"): "sales",
+                    ("address", "creation_time"): dt.date(1992, 1, 1),
+                },
+            )
+        store.delete(lambda row: row["co_name"] == "New2")
+        store.delete(lambda row: row["co_name"] == "Nut Co")
+        hits = store.scan(
+            [
+                ("address", "source", "==", "sales"),
+                ("address", "creation_time", ">=", dt.date(1992, 1, 1)),
+            ]
+        )
+        assert [store.relation.rows[i]["co_name"] for i in hits] == [
+            "New1",
+            "New3",
+        ]
+
+    def test_divergent_backing_relation_raises(self, store):
+        # Mutating the relation behind the store's back desynchronizes
+        # the arrays; scans must fail loudly instead of misaligning.
+        store.relation.insert(
+            {"co_name": "Rogue Co", "address": "?", "employees": 1}
+        )
+        with pytest.raises(TagSchemaError, match="out of sync"):
+            store.scan([("address", "source", "==", "sales")])
+        with pytest.raises(TagSchemaError, match="mutate through the store"):
+            store.check_aligned()
+        with pytest.raises(TagSchemaError):
+            store.delete(lambda row: True)
+
+
+class TestStoreCaching:
+    """TaggedRelation.columnar_store(): lazy build + version invalidation."""
+
+    def test_store_is_cached_until_mutation(self, tagged_customers):
+        first = tagged_customers.columnar_store()
+        assert tagged_customers.columnar_store() is first
+        tagged_customers.insert(
+            {
+                "co_name": "New Co",
+                "address": "9 Elm",
+                "employees": 5,
+            }
+        )
+        rebuilt = tagged_customers.columnar_store()
+        assert rebuilt is not first
+        assert len(rebuilt) == len(tagged_customers)
+
+    def test_delete_invalidates_cached_store(self, tagged_customers):
+        before = tagged_customers.columnar_store()
+        removed = tagged_customers.delete(
+            lambda row: row.value("co_name") == "Fruit Co"
+        )
+        assert removed == 1
+        after = tagged_customers.columnar_store()
+        assert after is not before
+        assert len(after) == len(tagged_customers)
+        assert after.scan([("address", "source", "==", "sales")]) == []
