@@ -31,3 +31,22 @@ def best_seconds(fn, repeats: int = 5) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def best_seconds_interleaved(fns, repeats: int = 5) -> list[float]:
+    """Best-of timings for several callables, measured *interleaved*.
+
+    Sequential best-of blocks (time A repeats times, then B) let CPU
+    frequency drift and cache-warmth asymmetry bias ratios of
+    near-identical workloads by ±10%.  Rotating through the callables
+    on every round exposes each to the same drift, so A/B ratios
+    compare like with like.  Returns one best time per callable, in
+    input order.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for index, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[index] = min(best[index], time.perf_counter() - start)
+    return best

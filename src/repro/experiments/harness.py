@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional
@@ -87,8 +86,12 @@ def write_bench_json(
 ) -> Path:
     """Write benchmark records to ``directory/filename`` (repo root by
     default: two levels above the ``benchmarks/`` conftest's parent,
-    resolved by the caller).  Returns the written path."""
-    target_dir = Path(directory) if directory is not None else Path.cwd()
-    target = target_dir / filename
-    target.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
-    return target
+    resolved by the caller).  Returns the written path.
+
+    The on-disk format is owned by the observability exporter
+    (:func:`repro.obs.export.write_bench_records`); this wrapper exists
+    so benchmark code keeps one import surface.
+    """
+    from repro.obs.export import write_bench_records
+
+    return write_bench_records(filename, records, directory)

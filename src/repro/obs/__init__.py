@@ -1,0 +1,73 @@
+"""Observability: metrics, tracing, and per-query execution statistics.
+
+The paper's tag-and-query design only pays off operationally if the
+cost and effect of quality filtering are *visible* at runtime.  This
+package provides that visibility in three zero-dependency layers:
+
+- :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and histograms (explicit buckets, thread-safe) that the
+  engine layers report into when instrumentation is enabled;
+- :mod:`repro.obs.trace` — a span-based tracer with a context-manager
+  API for timing nested phases (parse → plan → compile → execute);
+- :mod:`repro.obs.stats` — per-execution operator trees
+  (:class:`ExecutionStats`) behind ``EXPLAIN ANALYZE`` and the
+  ``execute(..., stats=...)`` hook.
+
+Instrumentation is **off by default**: the ambient metric/trace sinks
+are guarded by a module-level flag (:func:`enabled`), so the hot paths
+pay one boolean check per *batch* — never per row — when disabled.
+Per-query statistics are opt-in per call (pass a
+:class:`~repro.obs.stats.StatsCollector` or use ``EXPLAIN ANALYZE``)
+and do not depend on the flag.
+
+Exporters (:mod:`repro.obs.export`) render the registry as JSON or
+Prometheus text and write the benchmark-suite JSON artifacts; the
+``repro-stats`` CLI (``python -m repro.obs``) runs a scenario and
+prints the annotated plan.
+"""
+
+from repro.obs.export import (
+    SPEEDUP_FLOORS,
+    check_floors,
+    to_json,
+    to_prometheus,
+    trend_table,
+    write_bench_records,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    global_registry,
+    instrumented,
+)
+from repro.obs.stats import ExecutionStats, OperatorStats, StatsCollector
+from repro.obs.trace import Span, Tracer, global_tracer
+
+__all__ = [
+    "Counter",
+    "ExecutionStats",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorStats",
+    "SPEEDUP_FLOORS",
+    "Span",
+    "StatsCollector",
+    "Tracer",
+    "check_floors",
+    "disable",
+    "enable",
+    "enabled",
+    "global_registry",
+    "global_tracer",
+    "instrumented",
+    "to_json",
+    "to_prometheus",
+    "trend_table",
+    "write_bench_records",
+]

@@ -9,12 +9,11 @@ intermediate sources — the polygen model's distinctive feature.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Any, Callable, Optional, Sequence
 
-from repro.errors import PolygenError, QueryError, SchemaError
+from repro.errors import QueryError, SchemaError
+from repro.obs import metrics as _obs_metrics
 from repro.polygen.model import PolygenCell, PolygenRelation, PolygenRow
-from repro.relational.schema import RelationSchema
 
 PolygenPredicate = Callable[[PolygenRow], bool]
 
@@ -189,6 +188,21 @@ def equi_join(
                 else:
                     emit_cell(make(cell.value, cell.originating, examined))
             emit_row(from_validated(out_schema, tuple(cells)))
+    if _obs_metrics.enabled():
+        registry = _obs_metrics.global_registry()
+        registry.counter(
+            "polygen.joins", "federation equi-joins executed"
+        ).inc()
+        registry.counter(
+            "polygen.join.build_entries",
+            "distinct keys in the cached build-side hash index",
+        ).inc(len(index))
+        registry.counter(
+            "polygen.join.probe_rows", "outer rows probed against the index"
+        ).inc(len(left))
+        registry.counter(
+            "polygen.join.output_rows", "joined rows emitted"
+        ).inc(len(out_rows))
     return PolygenRelation.from_rows(out_schema, out_rows)
 
 

@@ -8,7 +8,7 @@ quality-administration layer can audit them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import (
     ConstraintViolation,
@@ -95,6 +95,19 @@ class Database:
         schemas, not data.
         """
         return self._catalog_version
+
+    @property
+    def metrics(self):
+        """The process-wide observability registry (:mod:`repro.obs`).
+
+        Engine layers — plan cache, columnar tag scans, polygen joins —
+        report into it while instrumentation is enabled
+        (:func:`repro.obs.enable`); read it here for counters like
+        ``qsql.plancache.hits`` or the statement-latency histogram.
+        """
+        from repro.obs import global_registry
+
+        return global_registry()
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name."""

@@ -342,6 +342,7 @@ def execute(
     *,
     strict: bool = False,
     planner: bool = True,
+    stats: Any = None,
 ) -> AnyRelation:
     """Parse and execute a QSQL SELECT; returns a (tagged) relation.
 
@@ -363,13 +364,43 @@ def execute(
     hatch onto the direct interpretation path below (one compiled
     closure per clause, no plan, no cache) — semantically equivalent,
     and kept as the reference baseline.
+
+    ``stats`` accepts a :class:`~repro.obs.stats.StatsCollector`: after
+    the call it holds the per-operator execution tree (what
+    ``EXPLAIN ANALYZE`` renders) plus total time, row count, and — on
+    the planner path — whether a cached plan was reused.  Collection is
+    per-call and never changes the result.
     """
     if planner:
         # Imported lazily: plancache depends on this module.
         from repro.sql.plancache import execute_planned
 
-        return execute_planned(sql, source, strict=strict)
-    return _execute_unplanned(sql, source, strict=strict)
+        return execute_planned(sql, source, strict=strict, collector=stats)
+    return _execute_unplanned(sql, source, strict=strict, collector=stats)
+
+
+def _explain_requires_planner(sql: str, statement: SelectStatement) -> None:
+    """Raise the DQ209 diagnostic: EXPLAIN has no plan to render here.
+
+    Historically ``execute(..., planner=False)`` silently routed EXPLAIN
+    through the planner anyway — contradicting the caller's explicit
+    request for the plan-free path.  Now it fails loudly instead.
+    """
+    from repro.analysis.diagnostics import Diagnostics, QueryAnalysisError
+
+    keyword = "EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN"
+    start = sql.upper().find("EXPLAIN")
+    span = (start, start + len(keyword)) if start >= 0 else None
+    diagnostics = Diagnostics()
+    diagnostics.add(
+        "DQ209",
+        f"{keyword} requires the planner: it reports the optimized plan, "
+        f"which execute(..., planner=False) never builds; drop "
+        f"planner=False or drop the {keyword} keyword",
+        span=span,
+        source=sql,
+    )
+    raise QueryAnalysisError(diagnostics, sql)
 
 
 def _execute_unplanned(
@@ -377,8 +408,11 @@ def _execute_unplanned(
     source: AnyRelation | Database | Mapping[str, AnyRelation],
     *,
     strict: bool = False,
+    collector: Any = None,
 ) -> AnyRelation:
     """The planner-free execution path (see ``execute(planner=False)``)."""
+    from time import perf_counter
+
     statement = parse(sql)
     if strict:
         # Imported lazily: repro.analysis depends on the sql package.
@@ -389,12 +423,30 @@ def _execute_unplanned(
         if diagnostics.has_errors:
             raise QueryAnalysisError(diagnostics, sql)
     if statement.explain:
-        # EXPLAIN always describes the *planned* pipeline, even from
-        # the unplanned escape hatch — there is no plan tree here.
-        from repro.sql.plancache import explain_relation, plan_statement
+        _explain_requires_planner(sql, statement)
 
-        plan, _, _ = plan_statement(statement, source)
-        return explain_relation(plan)
+    # Per-stage statistics: ``stages`` collects (label, rows out,
+    # seconds) per executed clause, in pipeline order, only when a
+    # collector was passed — the common path never starts a timer.
+    stages: list[tuple[str, int, float]] | None = (
+        [] if collector is not None else None
+    )
+    total_start = perf_counter() if collector is not None else 0.0
+
+    def _finish(result: AnyRelation) -> AnyRelation:
+        if collector is not None:
+            from repro.obs.stats import ExecutionStats
+
+            collector._fill(
+                sql,
+                ExecutionStats.from_stages(stages),
+                perf_counter() - total_start,
+                len(result),
+                planned=False,
+                cache_hit=False,
+            )
+        return result
+
     relation = _resolve_relation(statement, source)
     tagged = isinstance(relation, TaggedRelation)
     _check_columns(statement, relation)
@@ -405,14 +457,33 @@ def _execute_unplanned(
 
     algebra = tagged_algebra if tagged else plain_algebra
     result: AnyRelation = relation
+    if stages is not None:
+        flavor = "tagged" if tagged else "plain"
+        stages.append(
+            (f"Scan [{statement.relation} ({flavor})]", len(relation), 0.0)
+        )
 
     if statement.where is not None:
+        stage_start = perf_counter() if stages is not None else 0.0
         result = algebra.select(
             result, _compile_predicate(statement.where, relation.schema, tagged)
         )
+        if stages is not None:
+            stages.append(
+                (
+                    "Filter [WHERE]",
+                    len(result),
+                    perf_counter() - stage_start,
+                )
+            )
 
     if statement.has_aggregates:
+        stage_start = perf_counter() if stages is not None else 0.0
         aggregated = _execute_aggregate(statement, result, tagged)
+        if stages is not None:
+            stages.append(
+                ("Aggregate", len(aggregated), perf_counter() - stage_start)
+            )
         if statement.order_by:
             for item in statement.order_by:
                 if isinstance(item.key, QualityRef):
@@ -420,16 +491,29 @@ def _execute_unplanned(
                         "ORDER BY QUALITY(...) cannot follow aggregation"
                     )
                 aggregated.schema.column(item.key.column)
+            stage_start = perf_counter() if stages is not None else 0.0
             aggregated = _apply_order(statement, aggregated, tagged=False)
+            if stages is not None:
+                stages.append(
+                    ("Sort", len(aggregated), perf_counter() - stage_start)
+                )
         if statement.limit is not None:
             aggregated = plain_algebra.limit(aggregated, statement.limit)
-        return aggregated
+            if stages is not None:
+                stages.append(
+                    (f"Limit [{statement.limit}]", len(aggregated), 0.0)
+                )
+        return _finish(aggregated)
 
     if statement.order_by:
+        stage_start = perf_counter() if stages is not None else 0.0
         result = _apply_order(statement, result, tagged)
+        if stages is not None:
+            stages.append(("Sort", len(result), perf_counter() - stage_start))
 
     items = statement.select_items
     if items is not None:
+        stage_start = perf_counter() if stages is not None else 0.0
         needs_materialization = any(
             isinstance(item.expr, QualityRef) for item in items
         )
@@ -447,14 +531,25 @@ def _execute_unplanned(
             }
             if renames:
                 result = algebra.rename(result, renames)
+        if stages is not None:
+            stages.append(
+                ("Project", len(result), perf_counter() - stage_start)
+            )
 
     if statement.distinct:
+        stage_start = perf_counter() if stages is not None else 0.0
         if tagged:
             result = tagged_algebra.distinct_values(result)
         else:
             result = plain_algebra.distinct(result)
+        if stages is not None:
+            stages.append(
+                ("Distinct", len(result), perf_counter() - stage_start)
+            )
 
     if statement.limit is not None:
         result = algebra.limit(result, statement.limit)
+        if stages is not None:
+            stages.append((f"Limit [{statement.limit}]", len(result), 0.0))
 
-    return result
+    return _finish(result)

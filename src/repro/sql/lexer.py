@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any
 
 from repro.sql.errors import SQLError
 
@@ -19,6 +19,7 @@ EOF = "EOF"
 
 KEYWORDS = {
     "EXPLAIN",
+    "ANALYZE",
     "SELECT",
     "FROM",
     "WHERE",

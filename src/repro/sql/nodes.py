@@ -170,6 +170,10 @@ class SelectStatement:
     #: True for ``EXPLAIN SELECT ...`` — execute() returns the rendered
     #: optimized plan instead of running the query.
     explain: bool = False
+    #: True for ``EXPLAIN ANALYZE SELECT ...`` — the statement *runs*
+    #: and execute() returns the plan annotated with per-operator rows
+    #: and timings (implies ``explain``).
+    analyze: bool = False
     #: Source span of the FROM relation name.
     relation_span: Optional[Span] = _span_field()
 

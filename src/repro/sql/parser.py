@@ -2,7 +2,7 @@
 
 Grammar (simplified)::
 
-    select    := [EXPLAIN] SELECT [DISTINCT] columns FROM ident
+    select    := [EXPLAIN [ANALYZE]] SELECT [DISTINCT] columns FROM ident
                  [WHERE expr] [ORDER BY order_items] [LIMIT number]
     columns   := '*' | ident (',' ident)*
     expr      := or_expr
@@ -101,6 +101,7 @@ class _Parser:
 
     def parse_select(self) -> SelectStatement:
         explain = bool(self.accept(KEYWORD, "EXPLAIN"))
+        analyze = bool(explain and self.accept(KEYWORD, "ANALYZE"))
         self.expect(KEYWORD, "SELECT")
         distinct = bool(self.accept(KEYWORD, "DISTINCT"))
         select_items = self._parse_select_items()
@@ -143,6 +144,7 @@ class _Parser:
             select_items=select_items,
             group_by=group_by,
             explain=explain,
+            analyze=analyze,
             relation_span=relation_token.span,
         )
         self._validate_grouping(statement)

@@ -24,14 +24,27 @@ Compiled plans close over *names and schemas only*, never over relation
 instances: the binding supplies relations at run time, which is what
 makes cached plans safe to re-execute after data mutations (the plan
 cache revalidates schema identity, not data).
+
+Instrumentation (:mod:`repro.obs`): every compiled operator's batch
+function takes ``(binding, stats)``.  With ``stats=None`` — the default
+— the only cost is one ``None`` check per *operator* per execution
+(never per row).  With an :class:`~repro.obs.stats.ExecutionStats`, a
+thin per-operator wrapper (installed at compile time, shared by every
+execution of a cached plan) records rows out and inclusive wall time
+into the preorder-numbered stats tree; that tree is what
+``EXPLAIN ANALYZE`` renders.  ``compile_plan(..., instrument=False)``
+omits the wrappers entirely — the baseline the observability-overhead
+benchmark measures against.
 """
 
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import QueryError
+from repro.obs.stats import ExecutionStats
 from repro.relational import algebra as plain_algebra
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Column, RelationSchema
@@ -64,6 +77,10 @@ from repro.tagging.relation import TaggedRelation, TaggedRow
 #: A runtime binding: relation name → live relation instance.
 Binding = Mapping[str, Any]
 
+#: Preorder op-id assignment: id(plan node) → op id.  None disables
+#: instrumentation wrappers (see ``compile_plan(instrument=False)``).
+OpIds = Optional[dict[int, int]]
+
 
 class _Reversed:
     """Inverts comparison order, for DESC keys inside one composite key."""
@@ -87,7 +104,7 @@ class CompiledNode:
 
     def __init__(
         self,
-        run: Callable[[Binding], list],
+        run: Callable[[Binding, Optional[ExecutionStats]], list],
         schema: RelationSchema,
         tagged: bool,
         tag_schema: Optional[TagSchema],
@@ -102,10 +119,15 @@ class CompiledPlan:
     """A fully compiled plan, executable against any schema-identical
     binding of the relations it was compiled for."""
 
-    __slots__ = ("_root",)
+    __slots__ = ("_root", "_skeleton")
 
-    def __init__(self, root: CompiledNode) -> None:
+    def __init__(
+        self,
+        root: CompiledNode,
+        skeleton: tuple[tuple[str, tuple[int, ...]], ...] = (),
+    ) -> None:
         self._root = root
+        self._skeleton = skeleton
 
     @property
     def schema(self) -> RelationSchema:
@@ -115,8 +137,19 @@ class CompiledPlan:
     def tagged(self) -> bool:
         return self._root.tagged
 
-    def execute(self, binding: Binding) -> Any:
-        rows = self._root.run(binding)
+    def new_stats(self) -> ExecutionStats:
+        """A fresh stats tree matching this plan's operators.
+
+        Compiled plans are cached and reused across executions, so the
+        per-execution state lives here, never in the closures: pass the
+        returned tree to :meth:`execute` and read it afterwards.
+        """
+        return ExecutionStats.from_skeleton(self._skeleton)
+
+    def execute(
+        self, binding: Binding, stats: Optional[ExecutionStats] = None
+    ) -> Any:
+        rows = self._root.run(binding, stats)
         if self._root.tagged:
             return TaggedRelation.from_rows(
                 self._root.schema, self._root.tag_schema, rows
@@ -131,9 +164,40 @@ def _materialize(node: CompiledNode, rows: list) -> Any:
     return Relation.from_rows(node.schema, rows)
 
 
-def compile_plan(plan: PlanNode, relations: Binding) -> CompiledPlan:
-    """Compile an optimized plan against the relations' schemas."""
-    return CompiledPlan(_compile(plan, relations))
+def _assign_op_ids(
+    plan: PlanNode,
+) -> tuple[dict[int, int], tuple[tuple[str, tuple[int, ...]], ...]]:
+    """Preorder-number the plan; returns (ids, stats skeleton)."""
+    ids: dict[int, int] = {}
+    skeleton: list[tuple[str, list[int]]] = []
+
+    def walk(node: PlanNode) -> int:
+        op_id = len(skeleton)
+        ids[id(node)] = op_id
+        entry: tuple[str, list[int]] = (node.label(), [])
+        skeleton.append(entry)
+        for child in node.children():
+            entry[1].append(walk(child))
+        return op_id
+
+    walk(plan)
+    return ids, tuple(
+        (label, tuple(children)) for label, children in skeleton
+    )
+
+
+def compile_plan(
+    plan: PlanNode, relations: Binding, *, instrument: bool = True
+) -> CompiledPlan:
+    """Compile an optimized plan against the relations' schemas.
+
+    ``instrument=False`` skips the per-operator stats wrappers (the
+    plan can no longer report into an ``ExecutionStats`` tree); it
+    exists so the overhead benchmark has an uninstrumented baseline.
+    """
+    ids, skeleton = _assign_op_ids(plan)
+    root = _compile(plan, relations, ids if instrument else None)
+    return CompiledPlan(root, skeleton if instrument else ())
 
 
 def execute_plan(plan: PlanNode, relations: Binding) -> Any:
@@ -141,28 +205,43 @@ def execute_plan(plan: PlanNode, relations: Binding) -> Any:
     return compile_plan(plan, relations).execute(relations)
 
 
-def _compile(plan: PlanNode, relations: Binding) -> CompiledNode:
+def _compile(plan: PlanNode, relations: Binding, ids: OpIds) -> CompiledNode:
     if isinstance(plan, Scan):
-        return _compile_scan(plan, relations)
-    if isinstance(plan, QualityFilter):
-        return _compile_quality_filter(plan, relations)
-    if isinstance(plan, Filter):
-        return _compile_filter(plan, relations)
-    if isinstance(plan, Project):
-        return _compile_project(plan, relations)
-    if isinstance(plan, HashJoin):
-        return _compile_hash_join(plan, relations)
-    if isinstance(plan, Aggregate):
-        return _compile_aggregate(plan, relations)
-    if isinstance(plan, Sort):
-        return _compile_sort(plan, relations)
-    if isinstance(plan, TopK):
-        return _compile_topk(plan, relations)
-    if isinstance(plan, Distinct):
-        return _compile_distinct(plan, relations)
-    if isinstance(plan, Limit):
-        return _compile_limit(plan, relations)
-    raise SQLError(f"cannot compile plan node {plan!r}")
+        node = _compile_scan(plan, relations)
+    elif isinstance(plan, QualityFilter):
+        node = _compile_quality_filter(plan, relations, ids)
+    elif isinstance(plan, Filter):
+        node = _compile_filter(plan, relations, ids)
+    elif isinstance(plan, Project):
+        node = _compile_project(plan, relations, ids)
+    elif isinstance(plan, HashJoin):
+        node = _compile_hash_join(plan, relations, ids)
+    elif isinstance(plan, Aggregate):
+        node = _compile_aggregate(plan, relations, ids)
+    elif isinstance(plan, Sort):
+        node = _compile_sort(plan, relations, ids)
+    elif isinstance(plan, TopK):
+        node = _compile_topk(plan, relations, ids)
+    elif isinstance(plan, Distinct):
+        node = _compile_distinct(plan, relations, ids)
+    elif isinstance(plan, Limit):
+        node = _compile_limit(plan, relations, ids)
+    else:
+        raise SQLError(f"cannot compile plan node {plan!r}")
+    if ids is None:
+        return node
+    op_id = ids[id(plan)]
+    inner = node.run
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        if stats is None:
+            return inner(binding, None)
+        start = perf_counter()
+        out = inner(binding, stats)
+        stats.record(op_id, len(out), perf_counter() - start)
+        return out
+
+    return CompiledNode(run, node.schema, node.tagged, node.tag_schema)
 
 
 def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
@@ -173,7 +252,7 @@ def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
         raise SQLError(f"unknown relation {name!r} in plan binding") from None
     tagged = isinstance(relation, TaggedRelation)
 
-    def run(binding: Binding) -> list:
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
         return binding[name].row_batch()
 
     return CompiledNode(
@@ -185,7 +264,7 @@ def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
 
 
 def _compile_quality_filter(
-    plan: QualityFilter, relations: Binding
+    plan: QualityFilter, relations: Binding, ids: OpIds
 ) -> CompiledNode:
     scan = plan.child
     if not (isinstance(scan, Scan) and scan.tagged):
@@ -195,18 +274,27 @@ def _compile_quality_filter(
     child = _compile_scan(scan, relations)
     name = scan.relation
     constraints = list(plan.constraints)
+    # The columnar scan reads tag arrays + row batch directly, so the
+    # child Scan's closure never runs; credit its row count here (the
+    # scan's rows are exactly the relation's) so the annotated tree
+    # still shows the filter's input size — and thus its selectivity.
+    scan_id = None if ids is None else ids[id(scan)]
 
-    def run(binding: Binding) -> list:
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
         relation = binding[name]
         indices = relation.columnar_store().scan(constraints)
         rows = relation.row_batch()
+        if stats is not None and scan_id is not None:
+            stats.record(scan_id, len(rows), 0.0)
         return [rows[index] for index in indices]
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_filter(plan: Filter, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_filter(
+    plan: Filter, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     predicate_expr = plan.predicate
     if isinstance(predicate_expr, Literal):
         # Only the optimizer produces literal predicates; TRUE filters
@@ -214,19 +302,21 @@ def _compile_filter(plan: Filter, relations: Binding) -> CompiledNode:
         if predicate_expr.value:
             run = child.run
         else:
-            run = lambda binding: []  # noqa: E731
+            run = lambda binding, stats: []  # noqa: E731
         return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
     predicate = _compile_predicate(predicate_expr, child.schema, child.tagged)
     child_run = child.run
 
-    def run(binding: Binding) -> list:
-        return [row for row in child_run(binding) if predicate(row)]
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        return [row for row in child_run(binding, stats) if predicate(row)]
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_project(plan: Project, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_project(
+    plan: Project, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     items = plan.items
     child_run = child.run
     if any(isinstance(item.expr, QualityRef) for item in items):
@@ -240,8 +330,8 @@ def _compile_project(plan: Project, relations: Binding) -> CompiledNode:
         probe = _materialize(child, [])
         out_schema = _computed_projection(stub, probe, child.tagged).schema
 
-        def run(binding: Binding) -> list:
-            temp = _materialize(child, child_run(binding))
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            temp = _materialize(child, child_run(binding, stats))
             return _computed_projection(stub, temp, child.tagged).row_batch()
 
         return CompiledNode(run, out_schema, False, None)
@@ -262,30 +352,32 @@ def _compile_project(plan: Project, relations: Binding) -> CompiledNode:
             out_schema = out_schema.rename_columns(renames)
             out_tags = out_tags.rename_columns(renames)
 
-        def run(binding: Binding) -> list:
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
             make = TaggedRow._from_validated
             return [
                 make(out_schema, tuple(row.cells[p] for p in positions))
-                for row in child_run(binding)
+                for row in child_run(binding, stats)
             ]
 
         return CompiledNode(run, out_schema, True, out_tags)
     if renames:
         out_schema = out_schema.rename_columns(renames)
 
-    def run(binding: Binding) -> list:
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
         make = Row._from_validated
         return [
             make(out_schema, tuple(row.at(p) for p in positions))
-            for row in child_run(binding)
+            for row in child_run(binding, stats)
         ]
 
     return CompiledNode(run, out_schema, False, None)
 
 
-def _compile_hash_join(plan: HashJoin, relations: Binding) -> CompiledNode:
-    left = _compile(plan.left, relations)
-    right = _compile(plan.right, relations)
+def _compile_hash_join(
+    plan: HashJoin, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    left = _compile(plan.left, relations, ids)
+    right = _compile(plan.right, relations, ids)
     if left.tagged or right.tagged:
         raise SQLError("hash-join plans support plain relations only")
     overlap = set(left.schema.column_names) & set(right.schema.column_names)
@@ -303,6 +395,7 @@ def _compile_hash_join(plan: HashJoin, relations: Binding) -> CompiledNode:
     build_left = plan.build_side == "left"
     single = len(plan.on) == 1
     left_run, right_run = left.run, right.run
+    op_id = None if ids is None else ids[id(plan)]
 
     def key_of(row: Row, positions: tuple[int, ...]) -> Any:
         if single:
@@ -314,35 +407,45 @@ def _compile_hash_join(plan: HashJoin, relations: Binding) -> CompiledNode:
             return key is None
         return any(part is None for part in key)
 
-    def run(binding: Binding) -> list:
-        left_rows = left_run(binding)
-        right_rows = right_run(binding)
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        left_rows = left_run(binding, stats)
+        right_rows = right_run(binding, stats)
         make = Row._from_validated
         out: list[Row] = []
         emit = out.append
         if build_left:
-            index: dict[Any, list[Row]] = {}
-            for row in left_rows:
-                key = key_of(row, left_positions)
-                if null_key(key):
-                    continue
-                index.setdefault(key, []).append(row)
-            for rrow in right_rows:
-                key = key_of(rrow, right_positions)
+            build_rows, probe_rows = left_rows, right_rows
+            build_positions, probe_positions = (
+                left_positions, right_positions,
+            )
+        else:
+            build_rows, probe_rows = right_rows, left_rows
+            build_positions, probe_positions = (
+                right_positions, left_positions,
+            )
+        if stats is not None and op_id is not None:
+            stats.annotate(
+                op_id,
+                build_rows=len(build_rows),
+                probe_rows=len(probe_rows),
+            )
+        index: dict[Any, list[Row]] = {}
+        for row in build_rows:
+            key = key_of(row, build_positions)
+            if null_key(key):
+                continue
+            index.setdefault(key, []).append(row)
+        if build_left:
+            for rrow in probe_rows:
+                key = key_of(rrow, probe_positions)
                 if null_key(key):
                     continue
                 rvalues = rrow.values_tuple()
                 for lrow in index.get(key, ()):
                     emit(make(out_schema, lrow.values_tuple() + rvalues))
         else:
-            index = {}
-            for row in right_rows:
-                key = key_of(row, right_positions)
-                if null_key(key):
-                    continue
-                index.setdefault(key, []).append(row)
-            for lrow in left_rows:
-                key = key_of(lrow, left_positions)
+            for lrow in probe_rows:
+                key = key_of(lrow, probe_positions)
                 if null_key(key):
                     continue
                 lvalues = lrow.values_tuple()
@@ -353,8 +456,10 @@ def _compile_hash_join(plan: HashJoin, relations: Binding) -> CompiledNode:
     return CompiledNode(run, out_schema, False, None)
 
 
-def _compile_aggregate(plan: Aggregate, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_aggregate(
+    plan: Aggregate, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     stub = SelectStatement(
         columns=None,
         relation=child.schema.name,
@@ -372,8 +477,8 @@ def _compile_aggregate(plan: Aggregate, relations: Binding) -> CompiledNode:
     child_run = child.run
     tagged = child.tagged
 
-    def run(binding: Binding) -> list:
-        temp = _materialize(child, child_run(binding))
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        temp = _materialize(child, child_run(binding, stats))
         return _execute_aggregate(stub, temp, tagged).row_batch()
 
     return CompiledNode(run, out_schema, False, None)
@@ -387,8 +492,8 @@ def _check_aggregate_order(plan: Sort | TopK, child: CompiledNode) -> None:
         child.schema.column(item.key.column)
 
 
-def _compile_sort(plan: Sort, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_sort(plan: Sort, relations: Binding, ids: OpIds) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     if isinstance(plan.child, Aggregate):
         _check_aggregate_order(plan, child)
     # Repeated stable single-key sorts, least-significant first — the
@@ -402,8 +507,8 @@ def _compile_sort(plan: Sort, relations: Binding) -> CompiledNode:
     ]
     child_run = child.run
 
-    def run(binding: Binding) -> list:
-        rows = list(child_run(binding))
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        rows = list(child_run(binding, stats))
         for key, descending in passes:
             rows.sort(key=key, reverse=descending)
         return rows
@@ -411,8 +516,8 @@ def _compile_sort(plan: Sort, relations: Binding) -> CompiledNode:
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_topk(plan: TopK, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_topk(plan: TopK, relations: Binding, ids: OpIds) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     if isinstance(plan.child, Aggregate):
         _check_aggregate_order(plan, child)
     if plan.count < 0:
@@ -433,21 +538,25 @@ def _compile_topk(plan: TopK, relations: Binding) -> CompiledNode:
             for key, descending in parts
         )
 
-    def run(binding: Binding) -> list:
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
         # nsmallest is stable and equivalent to sorted(...)[:k]; the
         # composite key with per-part inversion equals the repeated
         # stable sorts of the Sort operator.
-        return heapq.nsmallest(count, child_run(binding), key=composite_key)
+        return heapq.nsmallest(
+            count, child_run(binding, stats), key=composite_key
+        )
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_distinct(plan: Distinct, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_distinct(
+    plan: Distinct, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     child_run = child.run
 
-    def run(binding: Binding) -> list:
-        temp = _materialize(child, child_run(binding))
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        temp = _materialize(child, child_run(binding, stats))
         if child.tagged:
             return tagged_algebra.distinct_values(temp).row_batch()
         return plain_algebra.distinct(temp).row_batch()
@@ -455,14 +564,16 @@ def _compile_distinct(plan: Distinct, relations: Binding) -> CompiledNode:
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_limit(plan: Limit, relations: Binding) -> CompiledNode:
-    child = _compile(plan.child, relations)
+def _compile_limit(
+    plan: Limit, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids)
     if plan.count < 0:
         raise QueryError("limit must be non-negative")
     count = plan.count
     child_run = child.run
 
-    def run(binding: Binding) -> list:
-        return child_run(binding)[:count]
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        return child_run(binding, stats)[:count]
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)

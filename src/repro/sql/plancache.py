@@ -22,8 +22,13 @@ create/drop), making the cache key effectively
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import nullcontext
+from time import perf_counter
 from typing import Any, Mapping, Optional, Union
 
+from repro.obs import metrics as _obs_metrics
+from repro.obs.stats import ExecutionStats, StatsCollector
+from repro.obs.trace import global_tracer
 from repro.relational.catalog import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, RelationSchema
@@ -197,6 +202,21 @@ def explain_relation(plan: PlanNode) -> Relation:
     return result
 
 
+def explain_analyze_relation(stats: ExecutionStats) -> Relation:
+    """Render an executed stats tree as EXPLAIN ANALYZE's relation."""
+    result = Relation(_EXPLAIN_SCHEMA)
+    for line in stats.render_lines():
+        result.insert({"plan": line})
+    return result
+
+
+def _span(name: str, **attributes: Any):
+    """A tracer span when ambient instrumentation is on, else a no-op."""
+    if _obs_metrics.enabled():
+        return global_tracer().span(name, **attributes)
+    return nullcontext()
+
+
 def _run_strict_analysis(statement: Any, source: Source, sql: str) -> None:
     from repro.analysis.diagnostics import QueryAnalysisError
     from repro.analysis.query import analyze_statement
@@ -206,31 +226,109 @@ def _run_strict_analysis(statement: Any, source: Source, sql: str) -> None:
         raise QueryAnalysisError(diagnostics, sql)
 
 
+def _record_execution(
+    sql: str,
+    compiled: CompiledPlan,
+    binding: Mapping[str, Any],
+    collector: Optional[StatsCollector],
+    cache_hit: bool,
+) -> tuple[AnyRelation, Optional[ExecutionStats]]:
+    """Execute a compiled plan, feeding the ambient and per-call sinks.
+
+    The fast path — no collector, instrumentation off — falls through
+    to a bare ``compiled.execute`` with no timers and no stats tree.
+    """
+    obs_on = _obs_metrics.enabled()
+    if collector is None and not obs_on:
+        return compiled.execute(binding), None
+    stats = compiled.new_stats() if collector is not None else None
+    start = perf_counter()
+    result = compiled.execute(binding, stats)
+    elapsed = perf_counter() - start
+    if obs_on:
+        registry = _obs_metrics.global_registry()
+        registry.counter(
+            "qsql.executions", "QSQL statements executed (planner path)"
+        ).inc()
+        registry.histogram(
+            "qsql.statement_seconds",
+            description="wall time per planner-path statement execution",
+        ).observe(elapsed)
+    if collector is not None:
+        collector._fill(
+            sql, stats, elapsed, len(result), planned=True,
+            cache_hit=cache_hit,
+        )
+    return result, stats
+
+
 def execute_planned(
     sql: str,
     source: Source,
     *,
     strict: bool = False,
     cache: Optional[PlanCache] = None,
+    collector: Optional[StatsCollector] = None,
 ) -> AnyRelation:
-    """The planner-backed execute path (see ``executor.execute``)."""
+    """The planner-backed execute path (see ``executor.execute``).
+
+    ``collector`` is the per-call statistics hook: when given, the
+    compiled plan executes against a fresh
+    :class:`~repro.obs.stats.ExecutionStats` tree and the collector is
+    filled with it (plus total time, row count, and cache-hit status).
+    Ambient metrics — cache hits/misses, executions, statement-latency
+    histogram — flow into the global registry whenever
+    :func:`repro.obs.enabled` is on.
+    """
     if cache is None:
         cache = _DEFAULT_CACHE
+    obs_on = _obs_metrics.enabled()
     found = cache.lookup(sql, source)
     if found is not None:
+        if obs_on:
+            _obs_metrics.global_registry().counter(
+                "qsql.plancache.hits", "plan-cache lookups reusing an entry"
+            ).inc()
         prepared, relation = found
         if strict and not prepared.strict_checked:
             _run_strict_analysis(prepared.statement, source, sql)
             prepared.strict_checked = True
-        return prepared.compiled.execute({prepared.relation_name: relation})
+        binding = {prepared.relation_name: relation}
+        result, _ = _record_execution(
+            sql, prepared.compiled, binding, collector, cache_hit=True
+        )
+        return result
 
-    statement = parse(sql)
+    if obs_on:
+        _obs_metrics.global_registry().counter(
+            "qsql.plancache.misses", "plan-cache lookups requiring planning"
+        ).inc()
+    with _span("qsql.parse"):
+        statement = parse(sql)
     if strict:
         _run_strict_analysis(statement, source, sql)
-    plan, relation, _ = plan_statement(statement, source)
-    if statement.explain:
+    with _span("qsql.plan", relation=statement.relation):
+        plan, relation, _ = plan_statement(statement, source)
+    if statement.explain and not statement.analyze:
         return explain_relation(plan)
-    compiled = compile_plan(plan, {statement.relation: relation})
+    binding = {statement.relation: relation}
+    with _span("qsql.compile"):
+        compiled = compile_plan(plan, binding)
+    if statement.explain:
+        # EXPLAIN ANALYZE: run the statement against a fresh stats tree
+        # and return the annotated plan instead of the result.  Like
+        # EXPLAIN, the entry is not cached (its output depends on the
+        # data, not just the statement text).
+        stats = compiled.new_stats()
+        start = perf_counter()
+        result = compiled.execute(binding, stats)
+        elapsed = perf_counter() - start
+        if collector is not None:
+            collector._fill(
+                sql, stats, elapsed, len(result), planned=True,
+                cache_hit=False,
+            )
+        return explain_analyze_relation(stats)
     catalog_version = (
         source.catalog_version if isinstance(source, Database) else None
     )
@@ -239,4 +337,7 @@ def execute_planned(
     )
     entry.strict_checked = strict
     cache.store(entry)
-    return compiled.execute({statement.relation: relation})
+    result, _ = _record_execution(
+        sql, compiled, binding, collector, cache_hit=False
+    )
+    return result

@@ -21,10 +21,28 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import TagSchemaError, UnknownIndicatorError
+from repro.obs import metrics as _obs_metrics
 from repro.relational.relation import Relation
 from repro.tagging.indicators import TagSchema
 from repro.tagging.query import OPERATORS
 from repro.tagging.relation import TaggedRelation
+
+
+def _record_scan(rows_total: int, rows_hit: int) -> None:
+    """Report one tag-array scan into the global registry (enabled only)."""
+    registry = _obs_metrics.global_registry()
+    registry.counter(
+        "columnar.scans", "tag-array scans served by ColumnarTagStore"
+    ).inc()
+    registry.counter(
+        "columnar.rows_scanned", "rows examined by columnar tag scans"
+    ).inc(rows_total)
+    if rows_total:
+        registry.histogram(
+            "columnar.scan_selectivity",
+            buckets=_obs_metrics.RATIO_BUCKETS,
+            description="fraction of rows surviving each columnar tag scan",
+        ).observe(rows_hit / rows_total)
 
 
 class ColumnarTagStore:
@@ -206,6 +224,8 @@ class ColumnarTagStore:
                     hits.append(index)
             except TypeError:
                 continue
+        if _obs_metrics.enabled():
+            _record_scan(len(array), len(hits))
         return hits
 
     def scan(
@@ -269,7 +289,12 @@ class ColumnarTagStore:
             hits = survivors
             if not hits:
                 break
-        return hits if hits is not None else list(range(len(self.relation)))
+        selected = (
+            hits if hits is not None else list(range(len(self.relation)))
+        )
+        if _obs_metrics.enabled():
+            _record_scan(len(self.relation), len(selected))
+        return selected
 
     def select_rows(self, indices: Iterable[int]) -> Relation:
         """Materialize selected rows as a plain relation."""

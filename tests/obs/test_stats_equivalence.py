@@ -1,0 +1,63 @@
+"""Property: stats collection never changes query results.
+
+For randomly generated statements over random relations, execution with
+a :class:`StatsCollector` attached — and with ambient metrics enabled —
+must return exactly what the uninstrumented planner path, the
+uninstrumented interpreter path, and the naive reference interpreter
+return.  Observation must be free of observer effects.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.experiments.naive import naive_execute
+from repro.obs import metrics as obs_metrics
+from repro.obs.stats import StatsCollector
+from repro.sql import clear_plan_cache, execute
+from tests.sql.test_planner_equivalence import (
+    canonical,
+    plain_relations,
+    statements,
+    tagged_relations,
+)
+
+
+def assert_observation_free(sql, relation):
+    clear_plan_cache()
+    baseline = canonical(execute(sql, relation))
+    naive = canonical(naive_execute(sql, relation))
+
+    planned = StatsCollector()
+    with obs_metrics.instrumented():
+        cold = canonical(execute(sql, relation, stats=planned))
+        warm = canonical(execute(sql, relation, stats=planned))
+    interpreted = StatsCollector()
+    unplanned = canonical(
+        execute(sql, relation, planner=False, stats=interpreted)
+    )
+
+    assert cold == baseline
+    assert warm == baseline  # the cached-plan path, collector attached
+    assert unplanned == baseline
+    assert naive == baseline
+
+    assert planned.filled and planned.planned and planned.cache_hit
+    assert interpreted.filled and not interpreted.planned
+    n_rows = len(baseline[1])
+    assert planned.rows == n_rows
+    assert interpreted.rows == n_rows
+    if interpreted.execution is not None:
+        assert interpreted.execution.rows == n_rows
+
+
+class TestObservationIsFree:
+    @settings(max_examples=60, deadline=None)
+    @given(plain_relations(), statements(quality=False))
+    def test_plain(self, relation, sql):
+        assert_observation_free(sql, relation)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tagged_relations(), statements(quality=True))
+    def test_tagged(self, relation, sql):
+        assert_observation_free(sql, relation)

@@ -322,10 +322,15 @@ class TestExplain:
         assert "QualityFilter" in text and "columnar scan" in text
         assert "Scan [t (tagged)]" in text
 
-    def test_explain_same_from_unplanned_path(self, tagged):
+    def test_explain_rejected_from_unplanned_path(self, tagged):
+        # There is no plan to render on the planner-free path; asking
+        # for one is a contradiction and fails loudly (DQ209) instead
+        # of silently routing through the planner anyway.
+        import pytest
+
+        from repro.analysis.diagnostics import QueryAnalysisError
+
         sql = "EXPLAIN SELECT * FROM t WHERE a > 1"
-        planned = execute(sql, tagged)
-        unplanned = execute(sql, tagged, planner=False)
-        assert [r["plan"] for r in planned] == [
-            r["plan"] for r in unplanned
-        ]
+        with pytest.raises(QueryAnalysisError) as info:
+            execute(sql, tagged, planner=False)
+        assert [d.code for d in info.value.diagnostics] == ["DQ209"]
