@@ -97,6 +97,72 @@ class FederationError(PolygenError):
     """A federation-level operation referenced an unknown database."""
 
 
+class InjectedFaultError(PolygenError):
+    """A simulated acquisition failure raised by a fault injector."""
+
+
+class RetryExhaustedError(PolygenError):
+    """A retried call ran out of attempts or wall-time budget.
+
+    ``attempts`` counts the tries actually made; ``last_error`` is the
+    final underlying failure (also chained as ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class SourceUnavailableError(FederationError):
+    """One federated source failed to answer (retries exhausted).
+
+    ``source`` names the failed participant; ``attempts`` counts the
+    tries made before giving up.
+    """
+
+    def __init__(
+        self, message: str, source: str = "", attempts: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.attempts = attempts
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """A source's circuit breaker rejected the call without trying it.
+
+    ``retry_after`` is the remaining recovery window, in seconds.
+    """
+
+    def __init__(
+        self, message: str, source: str = "", retry_after: float = 0.0
+    ) -> None:
+        super().__init__(message, source=source, attempts=0)
+        self.retry_after = retry_after
+
+
+class FederationUnavailableError(FederationError):
+    """Strict-mode federation query with one or more failed sources.
+
+    ``failures`` maps each failed source name to a human-readable
+    reason (the per-source report's error text).
+    """
+
+    def __init__(self, message: str, failures: dict[str, str]) -> None:
+        super().__init__(message)
+        self.failures = dict(failures)
+
+    @property
+    def failed_sources(self) -> tuple[str, ...]:
+        return tuple(sorted(self.failures))
+
+
 # ---------------------------------------------------------------------------
 # Methodology (core) errors
 # ---------------------------------------------------------------------------

@@ -15,7 +15,9 @@ Scaled synthetic scenarios (for the quantitative experiments):
 - :func:`clearinghouse` — the §4 address clearinghouse with
   mass-mailing / fund-raising profiles (E1);
 - :func:`trading_ticks` — price ticks with varying ages (E6);
-- :func:`duplicated_customers` — error-injected duplicates (E7).
+- :func:`duplicated_customers` — error-injected duplicates (E7);
+- :func:`degraded_federation` — unreliable quote feeds with injected
+  faults for the fault-tolerant acquisition experiment (E4).
 """
 
 from __future__ import annotations
@@ -25,7 +27,6 @@ import random
 from typing import Any, Optional
 
 from repro.core.methodology import DataQualityModeling
-from repro.core.views import QualitySchema
 from repro.er.model import (
     Cardinality,
     Entity,
@@ -34,7 +35,7 @@ from repro.er.model import (
     Participant,
     Relationship,
 )
-from repro.manufacturing.collection import CollectionMethod, standard_methods
+from repro.manufacturing.collection import standard_methods
 from repro.manufacturing.generator import make_address_book, make_companies
 from repro.manufacturing.pipeline import ManufacturingPipeline
 from repro.manufacturing.sources import DataSource
@@ -46,7 +47,7 @@ from repro.manufacturing.world import (
 )
 from repro.quality.profiles import ApplicationProfile, ProfileRegistry
 from repro.relational.relation import Relation
-from repro.relational.schema import RelationSchema, schema
+from repro.relational.schema import schema
 from repro.tagging.cell import QualityCell
 from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
 from repro.tagging.query import IndicatorConstraint, QualityFilter
@@ -560,3 +561,75 @@ def duplicated_customers(
         )
     rng.shuffle(records)
     return records, n_duplicates
+
+
+# ---------------------------------------------------------------------------
+# Degraded federation (E4)
+# ---------------------------------------------------------------------------
+
+
+def degraded_federation(
+    n_sources: int = 3,
+    n_rows: int = 200,
+    error_rate: float = 0.3,
+    seed: int = 53,
+    max_attempts: int = 3,
+):
+    """E4: a federation of unreliable quote feeds with injected faults.
+
+    ``n_sources`` quote databases share a ticker universe (so the union
+    corroborates overlapping values) and each is wrapped as an
+    :class:`~repro.polygen.faults.UnreliableSource` with a seeded
+    injector at ``error_rate``.  All time — injected latency, retry
+    backoff, acquisition stamps — flows through one shared
+    :class:`~repro.polygen.retry.ManualClock`, so runs are instantaneous
+    and fully reproducible.
+
+    Returns ``(federation, injectors, clock)`` where ``injectors`` maps
+    source name to its :class:`~repro.polygen.faults.FaultInjector`.
+    """
+    from repro.polygen.faults import FaultInjector
+    from repro.polygen.federation import Federation
+    from repro.polygen.retry import CircuitBreaker, ManualClock, RetryPolicy
+    from repro.relational.catalog import Database
+
+    rng = random.Random(seed)
+    quote_schema = schema(
+        "quotes", [("ticker", "STR"), ("price", "FLOAT")], key=["ticker"]
+    )
+    tickers = [f"T{i:04d}" for i in range(n_rows)]
+    clock = ManualClock(start=0.0)
+    federation = Federation("markets")
+    injectors = {}
+    for index in range(n_sources):
+        name = f"feed{index}"
+        db = Database(name)
+        db.create_relation(quote_schema)
+        for position, ticker in enumerate(tickers):
+            # Sources mostly agree; occasional per-source disagreement
+            # exercises conflict rows in the union.
+            price = round(100.0 + (position * 37 % 400) / 4.0, 2)
+            if rng.random() < 0.05:
+                price = round(price + rng.uniform(0.5, 3.0), 2)
+            db.insert("quotes", {"ticker": ticker, "price": price})
+        federation.register(db, credibility=1.0 - index * 0.1)
+        injectors[name] = FaultInjector(
+            error_rate=error_rate, seed=seed + index, sleep=clock.sleep
+        )
+        federation.wrap_unreliable(
+            name,
+            injector=injectors[name],
+            retry=RetryPolicy(
+                max_attempts=max_attempts,
+                base_delay=0.05,
+                sleep=clock.sleep,
+                clock=clock,
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=max_attempts + 1,
+                recovery_time=30.0,
+                clock=clock,
+            ),
+            wall_clock=clock,
+        )
+    return federation, injectors, clock

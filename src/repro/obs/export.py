@@ -115,6 +115,7 @@ SPEEDUP_FLOORS: dict[str, float] = {
 #: record asserts disabled instrumentation costs < 5% on the hot path.
 OVERHEAD_CEILINGS: dict[str, float] = {
     "obs_disabled_execute": 1.05,
+    "e4_federation_retry_zero_fault": 1.10,
 }
 
 

@@ -23,17 +23,36 @@ The propagation semantics follow Wang & Madnick (VLDB 1990):
 """
 
 from repro.polygen.model import PolygenCell, PolygenRelation, SourceSet
+from repro.polygen.retry import CircuitBreaker, ManualClock, RetryPolicy
+from repro.polygen.faults import (
+    FaultInjector,
+    FederationResult,
+    SourceReport,
+    UnreliableSource,
+)
 from repro.polygen.federation import Federation, LocalDatabase
 from repro.polygen.query import PolygenQuery
-from repro.polygen.bridge import polygen_to_tagged, tagged_to_polygen
+from repro.polygen.bridge import (
+    federation_result_to_tagged,
+    polygen_to_tagged,
+    tagged_to_polygen,
+)
 
 __all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
     "Federation",
+    "FederationResult",
     "LocalDatabase",
+    "ManualClock",
     "PolygenCell",
     "PolygenQuery",
     "PolygenRelation",
+    "RetryPolicy",
+    "SourceReport",
     "SourceSet",
+    "UnreliableSource",
+    "federation_result_to_tagged",
     "polygen_to_tagged",
     "tagged_to_polygen",
 ]

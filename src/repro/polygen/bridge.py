@@ -16,12 +16,15 @@ provenance is lost in the conversion.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from repro.polygen.model import PolygenCell, PolygenRelation
 from repro.tagging.cell import QualityCell
 from repro.tagging.indicators import IndicatorDefinition, IndicatorValue, TagSchema
 from repro.tagging.relation import TaggedRelation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.polygen.faults import FederationResult
 
 #: The indicators the bridge emits.
 BRIDGE_INDICATORS = (
@@ -35,6 +38,23 @@ BRIDGE_INDICATORS = (
     ),
 )
 
+#: Acquisition indicators emitted when materializing a fault-tolerant
+#: :class:`~repro.polygen.faults.FederationResult` — how (and when) the
+#: value was obtained, per Serra et al.'s context dimension.
+ACQUISITION_INDICATORS = (
+    IndicatorDefinition(
+        "source_status",
+        "STR",
+        "acquisition outcome of the cell's source(s): "
+        "ok | recovered | failed | circuit_open",
+    ),
+    IndicatorDefinition(
+        "retrieved_at",
+        "FLOAT",
+        "wall-clock time (epoch seconds) the source answered",
+    ),
+)
+
 
 def bridge_tag_schema(columns: list[str]) -> TagSchema:
     """A tag schema allowing the bridge indicators on ``columns``."""
@@ -43,6 +63,15 @@ def bridge_tag_schema(columns: list[str]) -> TagSchema:
         allowed={
             column: ["source", "intermediate_sources"] for column in columns
         },
+    )
+
+
+def acquisition_tag_schema(columns: list[str]) -> TagSchema:
+    """Bridge indicators plus the acquisition pair, on ``columns``."""
+    names = [d.name for d in BRIDGE_INDICATORS + ACQUISITION_INDICATORS]
+    return TagSchema(
+        indicators=list(BRIDGE_INDICATORS + ACQUISITION_INDICATORS),
+        allowed={column: list(names) for column in columns},
     )
 
 
@@ -84,6 +113,63 @@ def polygen_to_tagged(relation: PolygenRelation) -> TaggedRelation:
             intermediate_tag = _intermediate_tag(polygen_cell)
             if intermediate_tag is not None:
                 tags.append(intermediate_tag)
+            cells[column] = QualityCell(polygen_cell.value, tags)
+        tagged.insert(cells)
+    return tagged
+
+
+def federation_result_to_tagged(result: "FederationResult") -> TaggedRelation:
+    """Materialize a fault-tolerant federation result as a tagged relation.
+
+    Every cell carries the bridge provenance tags plus two acquisition
+    indicators: ``source_status`` — the *worst* acquisition status among
+    the cell's originating sources (``ok`` < ``recovered`` < ``failed``
+    < ``circuit_open``; surviving cells normally see only the first
+    two) — and ``retrieved_at``, the latest wall-clock time one of its
+    sources answered.  Downstream quality filters can then exclude or
+    down-weight data that was obtained the hard way, the paper's
+    tag-and-filter vision applied to acquisition failure.
+    """
+    relation = result.relation
+    if relation is None:
+        raise ValueError("federation result holds no surviving relation")
+    columns = list(relation.schema.column_names)
+    tagged = TaggedRelation(relation.schema, acquisition_tag_schema(columns))
+    # Per-origin-set memo: federation rows share a handful of source
+    # sets, so status/timestamp resolution is computed once per set.
+    memo: dict[frozenset, tuple[IndicatorValue, Optional[IndicatorValue]]] = {}
+    for row in relation:
+        cells: dict[str, QualityCell] = {}
+        for column in columns:
+            polygen_cell = row[column]
+            tags = []
+            source_tag = _source_tag(polygen_cell)
+            if source_tag is not None:
+                tags.append(source_tag)
+            intermediate_tag = _intermediate_tag(polygen_cell)
+            if intermediate_tag is not None:
+                tags.append(intermediate_tag)
+            origins = polygen_cell.originating
+            cached = memo.get(origins)
+            if cached is None:
+                status_tag = IndicatorValue(
+                    "source_status", result.status_for_sources(origins)
+                )
+                stamps = [
+                    report.retrieved_at
+                    for source, report in result.reports.items()
+                    if source in origins and report.retrieved_at is not None
+                ]
+                retrieved_tag = (
+                    IndicatorValue("retrieved_at", max(stamps))
+                    if stamps
+                    else None
+                )
+                cached = (status_tag, retrieved_tag)
+                memo[origins] = cached
+            tags.append(cached[0])
+            if cached[1] is not None:
+                tags.append(cached[1])
             cells[column] = QualityCell(polygen_cell.value, tags)
         tagged.insert(cells)
     return tagged

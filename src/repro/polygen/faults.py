@@ -1,0 +1,515 @@
+"""Fault injection and the fault-tolerant source adapter.
+
+The paper's composite-system setting acquires data from autonomous
+local databases; Serra et al.'s context survey (PAPERS.md) stresses
+that quality assessment must reflect *how* data was obtained —
+including acquisition failures.  This module makes failure a
+first-class, simulable part of the federation:
+
+- :class:`FaultInjector` — deterministic, seeded fault injection
+  (error rate + artificial latency) with a full decision log, so tests
+  can assert a degraded-source report matches the injected failures
+  *exactly*;
+- :class:`UnreliableSource` — wraps a
+  :class:`~repro.polygen.federation.LocalDatabase` (or anything with
+  ``name``/``credibility``/``export``) behind a
+  :class:`~repro.polygen.retry.RetryPolicy` and an optional per-source
+  :class:`~repro.polygen.retry.CircuitBreaker`;
+- :class:`SourceReport` / :class:`FederationResult` — the partial-result
+  envelope federation queries return in fault-tolerant mode: the
+  polygen relation that survived, plus per-source acquisition reports
+  that :func:`~repro.polygen.bridge.federation_result_to_tagged`
+  materializes as ``source_status`` / ``retrieved_at`` quality
+  indicators on every cell.
+
+Everything is instrumented through :mod:`repro.obs.metrics` (retry and
+failure counters, a per-source breaker-state gauge, per-source latency
+histograms) when ambient instrumentation is enabled.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    RetryExhaustedError,
+    SourceUnavailableError,
+)
+from repro.obs import metrics as _obs_metrics
+from repro.polygen.model import PolygenRelation, PolygenRow
+from repro.polygen.retry import CircuitBreaker, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tagging.relation import TaggedRelation
+
+__all__ = [
+    "FaultDecision",
+    "FaultInjector",
+    "FederationResult",
+    "SourceReport",
+    "UnreliableSource",
+]
+
+#: Source acquisition statuses, best to worst.
+STATUS_OK = "ok"
+STATUS_RECOVERED = "recovered"
+STATUS_FAILED = "failed"
+STATUS_CIRCUIT_OPEN = "circuit_open"
+
+_STATUS_RANK = {
+    STATUS_OK: 0,
+    STATUS_RECOVERED: 1,
+    STATUS_FAILED: 2,
+    STATUS_CIRCUIT_OPEN: 3,
+}
+
+#: Numeric breaker-state encoding for the obs gauge.
+_BREAKER_GAUGE = {
+    CircuitBreaker.CLOSED: 0.0,
+    CircuitBreaker.HALF_OPEN: 1.0,
+    CircuitBreaker.OPEN: 2.0,
+}
+
+#: Errors the adapter treats as transient (retryable).  Semantic errors
+#: (unknown relation, schema mismatch) propagate immediately — retrying
+#: cannot fix them and must not mask them as source degradation.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
+    InjectedFaultError,
+    ConnectionError,
+    TimeoutError,
+)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injector decision: did call ``index`` against a source fail?"""
+
+    index: int
+    source: str
+    operation: str
+    injected: bool
+
+
+class FaultInjector:
+    """Deterministic fault injection for simulated remote sources.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability in [0, 1] that a call raises
+        :class:`~repro.errors.InjectedFaultError`.
+    latency:
+        Artificial per-call latency in seconds, applied through the
+        injectable ``sleep`` (pair it with a
+        :class:`~repro.polygen.retry.ManualClock` to keep tests
+        instant).
+    seed:
+        Seed of the private :class:`random.Random`; the full decision
+        sequence is a pure function of the seed and call order.
+
+    The injector logs every decision (:attr:`log`), so a degraded-source
+    report can be checked against the injected failures exactly.
+    """
+
+    def __init__(
+        self,
+        error_rate: float = 0.0,
+        latency: float = 0.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(
+                f"error_rate must be in [0, 1], got {error_rate}"
+            )
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.error_rate = error_rate
+        self.latency = latency
+        self.seed = seed
+        self.sleep = sleep
+        self._rng = random.Random(seed)
+        self.log: list[FaultDecision] = []
+
+    def call(self, source: str, operation: str, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` through the injector: latency, then maybe a fault."""
+        if self.latency > 0:
+            self.sleep(self.latency)
+        injected = self.error_rate > 0 and self._rng.random() < self.error_rate
+        self.log.append(
+            FaultDecision(len(self.log), source, operation, injected)
+        )
+        if injected:
+            raise InjectedFaultError(
+                f"injected fault on {source}.{operation} "
+                f"(call #{len(self.log) - 1}, rate={self.error_rate})"
+            )
+        return fn()
+
+    def failures_for(self, source: str) -> int:
+        """How many injected faults the source has absorbed so far."""
+        return sum(
+            1 for d in self.log if d.source == source and d.injected
+        )
+
+    def calls_for(self, source: str) -> int:
+        """How many calls (failed or not) the source has absorbed."""
+        return sum(1 for d in self.log if d.source == source)
+
+    def reset(self) -> None:
+        """Restart the decision sequence from the seed and clear the log."""
+        self._rng = random.Random(self.seed)
+        self.log.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(error_rate={self.error_rate}, "
+            f"latency={self.latency}, seed={self.seed}, "
+            f"calls={len(self.log)})"
+        )
+
+
+@dataclass(frozen=True)
+class SourceReport:
+    """The acquisition outcome for one source in one federation query.
+
+    ``status`` is one of ``"ok"`` (first try succeeded), ``"recovered"``
+    (succeeded after retries), ``"failed"`` (retries exhausted) or
+    ``"circuit_open"`` (breaker rejected the call without trying).
+    ``retrieved_at`` is the wall-clock time of the successful export,
+    ``None`` for failed sources.
+    """
+
+    source: str
+    status: str
+    attempts: int
+    error: Optional[str] = None
+    retrieved_at: Optional[float] = None
+    breaker_state: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_RECOVERED)
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+    def describe(self) -> str:
+        detail = f"{self.source}: {self.status} ({self.attempts} attempt(s)"
+        if self.error:
+            detail += f"; {self.error}"
+        return detail + ")"
+
+
+def worst_status(statuses: "frozenset[str] | set[str] | tuple[str, ...]") -> str:
+    """The worst of several source statuses (``ok`` < ``recovered`` < …)."""
+    return max(statuses, key=lambda s: _STATUS_RANK.get(s, len(_STATUS_RANK)))
+
+
+class FederationResult:
+    """A (possibly partial) federation query result plus its reports.
+
+    ``relation`` holds the rows that survived acquisition; ``reports``
+    maps every *attempted* source to its :class:`SourceReport`.  The
+    paper's tag-and-filter vision applied to acquisition failure: call
+    :meth:`to_tagged` to materialize the survivors with
+    ``source_status`` / ``retrieved_at`` quality indicators so
+    downstream filters can exclude or down-weight degraded data.
+    """
+
+    def __init__(
+        self,
+        relation: Optional[PolygenRelation],
+        reports: Mapping[str, SourceReport],
+    ) -> None:
+        # ``relation`` is None only when *nothing* survived (a degraded
+        # single-source export) — there is no schema to build an empty
+        # relation from.
+        self.relation = relation
+        self.reports: dict[str, SourceReport] = dict(reports)
+
+    # -- degradation accounting -------------------------------------------
+
+    @property
+    def degraded_sources(self) -> dict[str, SourceReport]:
+        """Reports of the sources that did not answer."""
+        return {
+            name: report
+            for name, report in self.reports.items()
+            if report.failed
+        }
+
+    @property
+    def degraded_source_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.degraded_sources))
+
+    @property
+    def ok_source_names(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(n for n, r in self.reports.items() if r.ok)
+        )
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded_sources)
+
+    def report_for(self, source: str) -> SourceReport:
+        return self.reports[source]
+
+    def status_for_sources(self, sources: "frozenset[str]") -> str:
+        """Worst acquisition status across a cell's originating sources."""
+        statuses = {
+            self.reports[s].status for s in sources if s in self.reports
+        }
+        return worst_status(statuses) if statuses else STATUS_OK
+
+    # -- materialization ---------------------------------------------------
+
+    def to_tagged(self) -> "TaggedRelation":
+        """Survivors as a tagged relation with acquisition indicators."""
+        from repro.errors import FederationError
+        from repro.polygen.bridge import federation_result_to_tagged
+
+        if self.relation is None:
+            raise FederationError(
+                "result holds no surviving relation (all sources degraded: "
+                f"{list(self.degraded_source_names)})"
+            )
+        return federation_result_to_tagged(self)
+
+    def render_report(self) -> str:
+        """One line per attempted source, degraded sources flagged."""
+        lines = []
+        for name in sorted(self.reports):
+            report = self.reports[name]
+            marker = "!!" if report.failed else "ok"
+            lines.append(f"[{marker}] {report.describe()}")
+        return "\n".join(lines)
+
+    # -- relation conveniences --------------------------------------------
+
+    def __len__(self) -> int:
+        return 0 if self.relation is None else len(self.relation)
+
+    def __iter__(self) -> Iterator[PolygenRow]:
+        return iter(()) if self.relation is None else iter(self.relation)
+
+    def __repr__(self) -> str:
+        degraded = list(self.degraded_source_names)
+        return (
+            f"FederationResult({len(self)} rows, "
+            f"{len(self.reports)} sources, degraded={degraded})"
+        )
+
+
+class UnreliableSource:
+    """A federation participant that can fail — and is handled when it does.
+
+    Wraps any participant exposing ``name`` / ``credibility`` /
+    ``export`` (usually a
+    :class:`~repro.polygen.federation.LocalDatabase`) with:
+
+    - optional :class:`FaultInjector` simulation of flaky acquisition;
+    - a :class:`~repro.polygen.retry.RetryPolicy` (exponential backoff,
+      injectable sleep/clock, per-call timeout budget);
+    - an optional per-source
+      :class:`~repro.polygen.retry.CircuitBreaker`: failures are
+      recorded per attempt, an open breaker aborts remaining retries,
+      and subsequent calls are rejected until the recovery window
+      elapses.
+
+    The adapter duck-types ``LocalDatabase``: :meth:`export` raises on
+    failure exactly like a plain participant would, while
+    :meth:`export_with_report` never raises on *transient* failure and
+    is what the fault-tolerant federation paths consume.
+    """
+
+    def __init__(
+        self,
+        local: Any,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.local = local
+        self.injector = injector
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker
+        self.wall_clock = wall_clock
+
+    # -- participant duck type --------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.local.name
+
+    @property
+    def credibility(self) -> float:
+        return self.local.credibility
+
+    @property
+    def database(self) -> Any:
+        return self.local.database
+
+    def __repr__(self) -> str:
+        breaker_state = self.breaker.state if self.breaker else None
+        return (
+            f"UnreliableSource({self.name!r}, "
+            f"injector={self.injector!r}, breaker={breaker_state!r})"
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    def _report_metrics(
+        self, attempts: int, failures: int, seconds: float, outcome: str
+    ) -> None:
+        if not _obs_metrics.enabled():
+            return
+        registry = _obs_metrics.global_registry()
+        registry.counter(
+            "federation.source.attempts",
+            "export attempts against federated sources",
+        ).inc(attempts)
+        if failures:
+            registry.counter(
+                "federation.source.failures",
+                "failed export attempts (before retry)",
+            ).inc(failures)
+        if attempts > 1:
+            registry.counter(
+                "federation.retries", "export retries performed"
+            ).inc(attempts - 1)
+        if outcome in (STATUS_FAILED, STATUS_CIRCUIT_OPEN):
+            registry.counter(
+                "federation.source.unavailable",
+                "exports that ultimately failed (retries exhausted "
+                "or breaker open)",
+            ).inc()
+        registry.histogram(
+            f"federation.source_seconds.{self.name}",
+            description="per-source export latency (incl. retries)",
+        ).observe(seconds)
+        if self.breaker is not None:
+            registry.gauge(
+                f"federation.breaker_state.{self.name}",
+                "0=closed, 1=half-open, 2=open",
+            ).set(_BREAKER_GAUGE.get(self.breaker.state, -1.0))
+
+    # -- acquisition -------------------------------------------------------
+
+    def export_with_report(
+        self, relation_name: str
+    ) -> tuple[Optional[PolygenRelation], SourceReport]:
+        """Export one relation; never raises on transient failure.
+
+        Returns ``(relation, report)`` — ``relation`` is ``None`` when
+        the source is degraded, and ``report`` says how acquisition
+        went (status, attempts, final error, breaker state).
+        """
+        started = self.retry.clock()
+        if self.breaker is not None:
+            try:
+                self.breaker.check(self.name)
+            except CircuitOpenError as exc:
+                report = SourceReport(
+                    source=self.name,
+                    status=STATUS_CIRCUIT_OPEN,
+                    attempts=0,
+                    error=str(exc),
+                    breaker_state=self.breaker.state,
+                )
+                self._report_metrics(
+                    0, 0, self.retry.clock() - started, STATUS_CIRCUIT_OPEN
+                )
+                return None, report
+
+        failures = 0
+        last_error: Optional[BaseException] = None
+
+        def attempt() -> PolygenRelation:
+            if self.injector is not None:
+                return self.injector.call(
+                    self.name, "export", lambda: self.local.export(relation_name)
+                )
+            return self.local.export(relation_name)
+
+        def on_failure(attempt_number: int, error: BaseException) -> None:
+            nonlocal failures, last_error
+            failures += 1
+            last_error = error
+            if self.breaker is not None:
+                self.breaker.record_failure()
+                # A breaker that just opened aborts the remaining retries.
+                self.breaker.check(self.name)
+
+        try:
+            relation, attempts = self.retry.run(
+                attempt, retry_on=TRANSIENT_ERRORS, on_attempt_failure=on_failure
+            )
+        except (RetryExhaustedError, CircuitOpenError) as exc:
+            attempts = failures
+            if isinstance(exc, CircuitOpenError) and last_error is not None:
+                error_text = (
+                    f"{last_error} (circuit opened after "
+                    f"{failures} failed attempt(s))"
+                )
+            elif isinstance(exc, RetryExhaustedError) and exc.last_error:
+                error_text = str(exc.last_error)
+            else:
+                error_text = str(exc)
+            report = SourceReport(
+                source=self.name,
+                status=STATUS_FAILED,
+                attempts=attempts,
+                error=error_text,
+                breaker_state=self.breaker.state if self.breaker else None,
+            )
+            self._report_metrics(
+                attempts, failures, self.retry.clock() - started, STATUS_FAILED
+            )
+            return None, report
+
+        if self.breaker is not None:
+            self.breaker.record_success()
+        status = STATUS_OK if attempts == 1 else STATUS_RECOVERED
+        report = SourceReport(
+            source=self.name,
+            status=status,
+            attempts=attempts,
+            retrieved_at=self.wall_clock(),
+            breaker_state=self.breaker.state if self.breaker else None,
+        )
+        self._report_metrics(
+            attempts, failures, self.retry.clock() - started, status
+        )
+        return relation, report
+
+    def export(self, relation_name: str) -> PolygenRelation:
+        """Source-tagged export, raising on failure (duck-type compat).
+
+        Raises :class:`~repro.errors.SourceUnavailableError` (or its
+        :class:`~repro.errors.CircuitOpenError` subclass) once retries
+        are exhausted or the breaker rejects the call.
+        """
+        relation, report = self.export_with_report(relation_name)
+        if relation is None:
+            if report.status == STATUS_CIRCUIT_OPEN:
+                raise CircuitOpenError(
+                    report.error or f"circuit open for source {self.name}",
+                    source=self.name,
+                )
+            raise SourceUnavailableError(
+                f"source {self.name!r} failed to export "
+                f"{relation_name!r} after {report.attempts} attempt(s): "
+                f"{report.error}",
+                source=self.name,
+                attempts=report.attempts,
+            )
+        return relation

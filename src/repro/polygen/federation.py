@@ -10,11 +10,23 @@ its provenance.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence, Union
 
-from repro.errors import FederationError
+from repro.errors import (
+    FederationError,
+    FederationUnavailableError,
+    SourceUnavailableError,
+)
 from repro.polygen import algebra
+from repro.polygen.faults import (
+    FaultInjector,
+    FederationResult,
+    SourceReport,
+    UnreliableSource,
+)
 from repro.polygen.model import PolygenRelation, PolygenRow
+from repro.polygen.retry import CircuitBreaker, RetryPolicy
 from repro.relational.catalog import Database
 
 
@@ -49,12 +61,17 @@ class LocalDatabase:
         return f"LocalDatabase({self.name!r}, credibility={self.credibility})"
 
 
+#: Anything the federation can query: a plain participant or one
+#: wrapped behind fault handling.
+Participant = Union[LocalDatabase, UnreliableSource]
+
+
 class Federation:
     """A registry of local databases plus polygen query helpers."""
 
     def __init__(self, name: str = "federation") -> None:
         self.name = name
-        self._locals: dict[str, LocalDatabase] = {}
+        self._locals: dict[str, Participant] = {}
 
     # -- registry -----------------------------------------------------------
 
@@ -68,7 +85,33 @@ class Federation:
         self._locals[database.name] = local
         return local
 
-    def local(self, name: str) -> LocalDatabase:
+    def wrap_unreliable(
+        self,
+        name: str,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> UnreliableSource:
+        """Put a registered participant behind fault handling.
+
+        The participant named ``name`` is replaced in the registry by an
+        :class:`~repro.polygen.faults.UnreliableSource` wrapping it;
+        queries keep working unchanged, but acquisition now goes through
+        fault injection (if any), the retry policy, and the breaker.
+        Wrapping twice stacks adapters — call it once per source.
+        """
+        wrapped = UnreliableSource(
+            self.local(name),
+            injector=injector,
+            retry=retry,
+            breaker=breaker,
+            wall_clock=wall_clock,
+        )
+        self._locals[name] = wrapped
+        return wrapped
+
+    def local(self, name: str) -> Participant:
         """Look up a participant by name."""
         try:
             return self._locals[name]
@@ -92,27 +135,144 @@ class Federation:
 
     # -- query helpers ----------------------------------------------------------
 
-    def export(self, database_name: str, relation_name: str) -> PolygenRelation:
-        """Source-tagged export of one local relation."""
-        return self.local(database_name).export(relation_name)
+    def _resolve_names(self, databases: Optional[Sequence[str]]) -> list[str]:
+        """Validated query participants: deduplicated, order-preserving.
 
-    def union_all(
-        self, relation_name: str, databases: Optional[Sequence[str]] = None
-    ) -> PolygenRelation:
-        """Polygen union of the same-named relation across databases.
-
-        Duplicate values merge their originating sources — the
-        federation-wide "who else knows this fact" view.
+        Duplicate names collapse to their first occurrence (listing a
+        source twice must not union its export twice) and unknown names
+        fail fast — before any export work is attempted.
         """
         names = (
             list(databases) if databases is not None else list(self.database_names)
         )
-        if not names:
+        seen: set[str] = set()
+        ordered = [n for n in names if not (n in seen or seen.add(n))]
+        unknown = [n for n in ordered if n not in self._locals]
+        if unknown:
+            raise FederationError(
+                f"federation has no database(s) {unknown} "
+                f"(registered: {sorted(self._locals)})"
+            )
+        if not ordered:
             raise FederationError("union_all requires at least one database")
-        result = self.export(names[0], relation_name)
-        for name in names[1:]:
-            result = algebra.union(result, self.export(name, relation_name))
-        return result
+        return ordered
+
+    def _fetch_with_report(
+        self, participant: Participant, relation_name: str
+    ) -> tuple[Optional[PolygenRelation], SourceReport]:
+        """Tolerant export from one participant, plain or wrapped."""
+        fetch = getattr(participant, "export_with_report", None)
+        if fetch is not None:
+            return fetch(relation_name)
+        try:
+            relation = participant.export(relation_name)
+        except SourceUnavailableError as exc:
+            # A duck-typed remote participant signalling unavailability.
+            return None, SourceReport(
+                source=participant.name,
+                status="failed",
+                attempts=max(exc.attempts, 1),
+                error=str(exc),
+            )
+        return relation, SourceReport(
+            source=participant.name,
+            status="ok",
+            attempts=1,
+            retrieved_at=time.time(),
+        )
+
+    def export(
+        self,
+        database_name: str,
+        relation_name: str,
+        require_all: Optional[bool] = None,
+    ) -> PolygenRelation | FederationResult:
+        """Source-tagged export of one local relation.
+
+        With ``require_all=None`` (default) this is the raw path: the
+        bare :class:`PolygenRelation` is returned and source failures
+        propagate as exceptions.  With ``require_all=False`` the export
+        is fault-tolerant and returns a :class:`FederationResult` whose
+        relation is ``None`` if the source is degraded; with
+        ``require_all=True`` it returns the same result on success but
+        raises :class:`FederationUnavailableError` on failure.
+        """
+        participant = self.local(database_name)
+        if require_all is None:
+            return participant.export(relation_name)
+        relation, report = self._fetch_with_report(participant, relation_name)
+        if relation is None and require_all:
+            raise FederationUnavailableError(
+                f"source {database_name!r} is unavailable: {report.describe()}",
+                {database_name: report.error or report.status},
+            )
+        return FederationResult(relation, {database_name: report})
+
+    def union_all(
+        self,
+        relation_name: str,
+        databases: Optional[Sequence[str]] = None,
+        require_all: Optional[bool] = None,
+    ) -> PolygenRelation | FederationResult:
+        """Polygen union of the same-named relation across databases.
+
+        Duplicate values merge their originating sources — the
+        federation-wide "who else knows this fact" view.
+
+        ``require_all`` selects the failure semantics:
+
+        - ``None`` (default) — the raw path: a bare
+          :class:`PolygenRelation`; any source failure propagates as an
+          exception (pre-fault-tolerance behavior);
+        - ``False`` — fault-tolerant: a :class:`FederationResult`
+          holding the *partial* union over the sources that answered,
+          plus per-source acquisition reports (``degraded_sources``
+          names the ones that did not);
+        - ``True`` — strict: the same :class:`FederationResult`, but
+          any degraded source raises
+          :class:`FederationUnavailableError` naming which sources
+          failed and why.
+        """
+        ordered = self._resolve_names(databases)
+        if require_all is None:
+            result = self.local(ordered[0]).export(relation_name)
+            for name in ordered[1:]:
+                result = algebra.union(result, self.local(name).export(relation_name))
+            return result
+
+        reports: dict[str, SourceReport] = {}
+        exported: list[PolygenRelation] = []
+        for name in ordered:
+            relation, report = self._fetch_with_report(
+                self._locals[name], relation_name
+            )
+            reports[name] = report
+            if relation is not None:
+                exported.append(relation)
+        failures = {
+            name: report.error or report.status
+            for name, report in reports.items()
+            if report.failed
+        }
+        if failures and require_all:
+            detail = "; ".join(
+                reports[name].describe() for name in sorted(failures)
+            )
+            raise FederationUnavailableError(
+                f"union_all({relation_name!r}) requires all of "
+                f"{ordered} but {sorted(failures)} failed: {detail}",
+                failures,
+            )
+        if not exported:
+            raise FederationUnavailableError(
+                f"union_all({relation_name!r}): every source failed "
+                f"({sorted(failures)})",
+                failures,
+            )
+        result = exported[0]
+        for relation in exported[1:]:
+            result = algebra.union(result, relation)
+        return FederationResult(result, reports)
 
     def most_credible(
         self,

@@ -1,0 +1,311 @@
+"""Retry policies and circuit breakers for unreliable federation sources.
+
+The polygen setting is a composite system over *remote* heterogeneous
+databases; acquisition can fail.  This module holds the two generic
+fault-handling building blocks used by
+:class:`~repro.polygen.faults.UnreliableSource`:
+
+- :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  an optional per-call wall-time budget.  Sleep and clock are injected
+  so tests (and benchmarks) never actually wait;
+- :class:`CircuitBreaker` — a per-source closed/open/half-open state
+  machine that stops hammering a source that keeps failing and probes
+  it again after a recovery window.
+
+Both are deliberately free of federation knowledge: they operate on
+bare callables, so they are reusable wherever the library talks to
+something that can fail.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import CircuitOpenError, RetryExhaustedError
+
+__all__ = [
+    "CircuitBreaker",
+    "ManualClock",
+    "RetryPolicy",
+]
+
+
+class ManualClock:
+    """A hand-advanced clock whose ``sleep`` just moves time forward.
+
+    Inject ``clock=manual`` (it is callable) and ``sleep=manual.sleep``
+    into a :class:`RetryPolicy` or :class:`CircuitBreaker` to make
+    backoff and recovery windows instantaneous and fully deterministic.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by {seconds}")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep by advancing the clock — no real waiting."""
+        if seconds > 0:
+            self._now += seconds
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now})"
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first one (≥ 1).
+    base_delay:
+        Backoff before the second attempt, in seconds.
+    multiplier:
+        Backoff growth factor per further attempt (≥ 1).
+    max_delay:
+        Cap on any single backoff sleep.
+    timeout:
+        Optional per-call wall-time budget: once ``clock()`` says the
+        call has consumed the budget, remaining attempts are abandoned
+        even if ``max_attempts`` would allow more.
+    sleep / clock:
+        Injectable so tests use a :class:`ManualClock` instead of
+        really waiting; defaults are ``time.sleep`` / ``time.monotonic``.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        timeout: Optional[float] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+        if multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.timeout = timeout
+        self.sleep = sleep
+        self.clock = clock
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before ``attempt`` (2-based; the first try never waits)."""
+        if attempt <= 1:
+            return 0.0
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 2), self.max_delay
+        )
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        on_attempt_failure: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> Tuple[Any, int]:
+        """Call ``fn`` under the policy; returns ``(result, attempts)``.
+
+        ``on_attempt_failure(attempt, error)`` fires after each failed
+        attempt (before any backoff sleep); raising from it aborts the
+        retry loop immediately — the circuit breaker uses this to stop
+        retrying a source it just opened on.
+
+        Raises :class:`RetryExhaustedError` once attempts or the
+        timeout budget run out; the final error is chained as
+        ``__cause__`` and available as ``.last_error``.
+        """
+        start = self.clock()
+        last_error: Optional[BaseException] = None
+        attempt = 0
+        while attempt < self.max_attempts:
+            attempt += 1
+            try:
+                return fn(), attempt
+            except retry_on as exc:
+                last_error = exc
+                if on_attempt_failure is not None:
+                    on_attempt_failure(attempt, exc)
+            if attempt >= self.max_attempts:
+                break
+            delay = self.delay_before(attempt + 1)
+            if self.timeout is not None:
+                elapsed = self.clock() - start
+                if elapsed + delay >= self.timeout:
+                    raise RetryExhaustedError(
+                        f"retry budget of {self.timeout}s exhausted after "
+                        f"{attempt} attempt(s) ({elapsed:.3f}s elapsed)",
+                        attempts=attempt,
+                        last_error=last_error,
+                    ) from last_error
+            if delay > 0:
+                self.sleep(delay)
+        raise RetryExhaustedError(
+            f"gave up after {attempt} attempt(s): {last_error}",
+            attempts=attempt,
+            last_error=last_error,
+        ) from last_error
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay}, timeout={self.timeout})"
+        )
+
+
+class CircuitBreaker:
+    """A per-source closed/open/half-open circuit breaker.
+
+    - *closed*: calls flow; ``failure_threshold`` consecutive failures
+      trip the breaker open.
+    - *open*: calls are rejected without touching the source until
+      ``recovery_time`` seconds pass on the injected clock.
+    - *half-open*: up to ``half_open_probes`` trial calls are admitted;
+      a success closes the breaker, a failure re-opens it (and restarts
+      the recovery window).
+
+    Thread-safe; state transitions happen under one lock so concurrent
+    federation queries see a consistent breaker.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time < 0:
+            raise ValueError(
+                f"recovery_time must be >= 0, got {recovery_time}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    # -- state -------------------------------------------------------------
+
+    def _refresh_locked(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self.clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_in_flight = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  Half-open admits probe slots."""
+        with self._lock:
+            self._refresh_locked()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
+            return False
+
+    def check(self, source: str = "") -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            retry_after = max(
+                0.0, self.recovery_time - (self.clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"circuit for source {source or '<unnamed>'} is "
+                f"{self._state}; retry in {retry_after:.3f}s",
+                source=source,
+                retry_after=retry_after,
+            )
+
+    # -- outcome reporting -------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._refresh_locked()
+            self._consecutive_failures = 0
+            if self._state == self.HALF_OPEN:
+                self._state = self.CLOSED
+                self._probes_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._refresh_locked()
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+                self._probes_in_flight = 0
+            elif (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+
+    def reset(self) -> None:
+        """Force the breaker back to pristine closed state."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold})"
+        )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -187,7 +189,14 @@ _DESERIALIZERS = {
 
 
 def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
-    """Write a relation / tagged relation / database to a JSON file."""
+    """Write a relation / tagged relation / database to a JSON file.
+
+    The write is atomic: the payload goes to a temporary file in the
+    target directory, is fsynced, and only then renamed over the
+    destination (``os.replace``).  A crash or encode error mid-write can
+    therefore never leave a truncated snapshot — the previous file, if
+    any, survives intact.
+    """
     for cls, serializer in _SERIALIZERS.items():
         if isinstance(obj, cls):
             payload = serializer(obj)
@@ -195,8 +204,21 @@ def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
     else:
         raise SchemaError(f"cannot serialize object of type {type(obj).__name__}")
     target = Path(path)
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return target
 
 

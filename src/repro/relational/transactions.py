@@ -101,12 +101,39 @@ class Transaction:
         self._manager._on_commit(self)
 
     def abort(self) -> None:
-        """Undo every recorded modification, newest first."""
+        """Undo every recorded modification, newest first.
+
+        A raising undo action must not strand the rest of the rollback:
+        every remaining undo still runs (newest first), the manager is
+        always released, and the failures are re-raised afterwards as
+        one :class:`TransactionError` naming the failed steps (the
+        individual exceptions ride along on its ``failures`` attribute).
+        """
         self._require_active()
         self._state = self._ABORTED
-        for undo in reversed(self._undo):
-            undo()
-        self._manager._on_finish(self)
+        failures: list[tuple[JournalEntry, Exception]] = []
+        try:
+            # record() appends to _undo and _staged in lockstep, so the
+            # journal entry at the same position describes each undo.
+            for entry, undo in reversed(list(zip(self._staged, self._undo))):
+                try:
+                    undo()
+                except Exception as exc:
+                    failures.append((entry, exc))
+        finally:
+            self._manager._on_finish(self)
+        if failures:
+            detail = "; ".join(
+                f"step {entry.sequence} ({entry.operation} on "
+                f"{entry.relation}): {exc}"
+                for entry, exc in failures
+            )
+            error = TransactionError(
+                f"abort of transaction {self.transaction_id} failed to undo "
+                f"{len(failures)} of {len(self._undo)} step(s): {detail}"
+            )
+            error.failures = failures
+            raise error from failures[0][1]
 
 
 class TransactionManager:

@@ -403,5 +403,16 @@ STANDARD_INDICATORS: dict[str, IndicatorDefinition] = {
         IndicatorDefinition(
             "update_frequency", "STR", "How often the datum is refreshed"
         ),
+        IndicatorDefinition(
+            "source_status",
+            "STR",
+            "Acquisition outcome of the datum's source "
+            "(ok | recovered | failed | circuit_open)",
+        ),
+        IndicatorDefinition(
+            "retrieved_at",
+            "FLOAT",
+            "Wall-clock time (epoch seconds) the source answered",
+        ),
     )
 }

@@ -1,0 +1,261 @@
+"""Unit tests for fault injection and the unreliable-source adapter."""
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    InjectedFaultError,
+    SourceUnavailableError,
+    UnknownRelationError,
+)
+from repro.obs import metrics as obs_metrics
+from repro.polygen.faults import FaultInjector, SourceReport, UnreliableSource
+from repro.polygen.federation import LocalDatabase
+from repro.polygen.retry import CircuitBreaker, ManualClock, RetryPolicy
+from repro.relational.catalog import Database
+from repro.relational.schema import schema
+
+
+def quote_db(name, rows=(("FRT", 100.0), ("NUT", 50.0))):
+    db = Database(name)
+    db.create_relation(
+        schema("quotes", [("ticker", "STR"), ("price", "FLOAT")], key=["ticker"])
+    )
+    for ticker, price in rows:
+        db.insert("quotes", {"ticker": ticker, "price": price})
+    return db
+
+
+def make_source(
+    error_rate=0.0,
+    seed=0,
+    max_attempts=3,
+    breaker=None,
+    latency=0.0,
+    clock=None,
+):
+    clock = clock if clock is not None else ManualClock()
+    injector = FaultInjector(
+        error_rate=error_rate, latency=latency, seed=seed, sleep=clock.sleep
+    )
+    source = UnreliableSource(
+        LocalDatabase(quote_db("feed")),
+        injector=injector,
+        retry=RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=0.1,
+            sleep=clock.sleep,
+            clock=clock,
+        ),
+        breaker=breaker,
+        wall_clock=clock,
+    )
+    return source, injector, clock
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_fails(self):
+        injector = FaultInjector(error_rate=0.0, seed=1)
+        for _ in range(50):
+            assert injector.call("s", "op", lambda: 42) == 42
+        assert injector.failures_for("s") == 0
+        assert injector.calls_for("s") == 50
+
+    def test_full_rate_always_fails(self):
+        injector = FaultInjector(error_rate=1.0, seed=1)
+        with pytest.raises(InjectedFaultError):
+            injector.call("s", "op", lambda: 42)
+        assert injector.failures_for("s") == 1
+
+    def test_deterministic_per_seed(self):
+        def decisions(seed):
+            injector = FaultInjector(error_rate=0.5, seed=seed)
+            out = []
+            for _ in range(30):
+                try:
+                    injector.call("s", "op", lambda: None)
+                    out.append(False)
+                except InjectedFaultError:
+                    out.append(True)
+            return out
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_reset_replays_sequence(self):
+        injector = FaultInjector(error_rate=0.5, seed=3)
+        first = []
+        for _ in range(10):
+            try:
+                injector.call("s", "op", lambda: None)
+                first.append(False)
+            except InjectedFaultError:
+                first.append(True)
+        injector.reset()
+        assert injector.log == []
+        second = []
+        for _ in range(10):
+            try:
+                injector.call("s", "op", lambda: None)
+                second.append(False)
+            except InjectedFaultError:
+                second.append(True)
+        assert first == second
+
+    def test_latency_advances_injected_clock(self):
+        clock = ManualClock()
+        injector = FaultInjector(latency=0.25, sleep=clock.sleep)
+        injector.call("s", "op", lambda: None)
+        injector.call("s", "op", lambda: None)
+        assert clock.now == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("kwargs", [{"error_rate": -0.1}, {"error_rate": 1.1}, {"latency": -1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(**kwargs)
+
+
+class TestUnreliableSource:
+    def test_duck_types_local_database(self):
+        source, _, _ = make_source()
+        assert source.name == "feed"
+        assert source.credibility == 1.0
+        assert source.database.name == "feed"
+
+    def test_ok_status_first_try(self):
+        source, _, clock = make_source(error_rate=0.0)
+        clock.advance(123.0)
+        relation, report = source.export_with_report("quotes")
+        assert len(relation) == 2
+        assert report.status == "ok"
+        assert report.attempts == 1
+        assert report.ok and not report.failed
+        assert report.retrieved_at == pytest.approx(123.0)
+
+    def test_recovered_status_after_retries(self):
+        # seed 1 at rate 0.5: fail, ok → recovered on attempt 2.
+        source, injector, _ = make_source(error_rate=0.5, seed=1)
+        relation, report = source.export_with_report("quotes")
+        assert relation is not None
+        assert report.status == "recovered"
+        assert report.attempts == injector.calls_for("feed")
+        assert report.attempts > 1
+
+    def test_failed_status_matches_injected_failures(self):
+        source, injector, _ = make_source(error_rate=1.0, max_attempts=4)
+        relation, report = source.export_with_report("quotes")
+        assert relation is None
+        assert report.status == "failed"
+        assert report.attempts == 4
+        assert injector.failures_for("feed") == 4
+        assert "injected fault" in report.error
+
+    def test_export_raises_source_unavailable(self):
+        source, _, _ = make_source(error_rate=1.0)
+        with pytest.raises(SourceUnavailableError) as info:
+            source.export("quotes")
+        assert info.value.source == "feed"
+        assert info.value.attempts == 3
+
+    def test_semantic_errors_not_retried(self):
+        source, injector, _ = make_source(error_rate=0.0)
+        with pytest.raises(UnknownRelationError):
+            source.export("ghost")
+        # One underlying call only — no retry can fix an unknown relation.
+        assert injector.calls_for("feed") == 1
+
+    def test_breaker_open_skips_source(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=5.0, clock=clock
+        )
+        source, injector, _ = make_source(
+            error_rate=1.0, breaker=breaker, clock=clock
+        )
+        relation, report = source.export_with_report("quotes")
+        assert relation is None
+        assert report.status == "failed"
+        assert breaker.state == CircuitBreaker.OPEN
+        # Attempts stopped when the breaker opened, not at max_attempts.
+        assert report.attempts == 2
+        calls_before = injector.calls_for("feed")
+        relation, report = source.export_with_report("quotes")
+        assert report.status == "circuit_open"
+        assert report.attempts == 0
+        assert injector.calls_for("feed") == calls_before  # never touched
+        with pytest.raises(CircuitOpenError):
+            source.export("quotes")
+
+    def test_breaker_recovery_probe_closes_again(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=5.0, clock=clock
+        )
+        source, injector, _ = make_source(
+            error_rate=1.0, breaker=breaker, clock=clock
+        )
+        source.export_with_report("quotes")
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        injector.error_rate = 0.0  # the source healed
+        relation, report = source.export_with_report("quotes")
+        assert relation is not None
+        assert report.status == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_retry_latency_measured_through_injected_clock(self):
+        source, _, clock = make_source(
+            error_rate=0.5, seed=1, latency=0.2
+        )
+        source.export_with_report("quotes")
+        # Two injector calls (0.2 each) + one backoff (0.1).
+        assert clock.now == pytest.approx(0.5)
+
+
+class TestMetrics:
+    def setup_method(self):
+        obs_metrics.global_registry().clear()
+
+    def teardown_method(self):
+        obs_metrics.global_registry().clear()
+
+    def test_counters_and_histogram_when_enabled(self):
+        source, _, _ = make_source(error_rate=1.0, max_attempts=3)
+        with obs_metrics.instrumented() as registry:
+            source.export_with_report("quotes")
+        assert registry.get("federation.source.attempts").value == 3
+        assert registry.get("federation.source.failures").value == 3
+        assert registry.get("federation.retries").value == 2
+        assert registry.get("federation.source.unavailable").value == 1
+        latency = registry.get("federation.source_seconds.feed")
+        assert latency.count == 1
+
+    def test_breaker_state_gauge(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=5.0, clock=clock
+        )
+        source, _, _ = make_source(
+            error_rate=1.0, breaker=breaker, clock=clock
+        )
+        with obs_metrics.instrumented() as registry:
+            source.export_with_report("quotes")
+        assert registry.get("federation.breaker_state.feed").value == 2.0
+
+    def test_silent_when_disabled(self):
+        source, _, _ = make_source(error_rate=1.0)
+        source.export_with_report("quotes")
+        assert obs_metrics.global_registry().get("federation.source.attempts") is None
+
+
+class TestSourceReport:
+    def test_describe_mentions_error(self):
+        report = SourceReport("feed", "failed", 3, error="boom")
+        assert "feed" in report.describe()
+        assert "boom" in report.describe()
+
+    def test_ok_and_failed_partition(self):
+        assert SourceReport("s", "ok", 1).ok
+        assert SourceReport("s", "recovered", 2).ok
+        assert SourceReport("s", "failed", 3).failed
+        assert SourceReport("s", "circuit_open", 0).failed

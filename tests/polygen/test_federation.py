@@ -1,9 +1,13 @@
 """Unit tests for the multi-database federation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.errors import FederationError
+from repro.errors import FederationError, FederationUnavailableError
+from repro.polygen.faults import FaultInjector, FederationResult
 from repro.polygen.federation import Federation
+from repro.polygen.retry import CircuitBreaker, ManualClock, RetryPolicy
 from repro.relational.catalog import Database
 from repro.relational.schema import schema
 
@@ -67,6 +71,27 @@ class TestExportAndUnion:
         with pytest.raises(FederationError):
             federation.union_all("quotes", databases=[])
 
+    def test_union_all_duplicate_names_collapse(self, federation):
+        # Regression: ["reuters", "reuters"] silently unioned the same
+        # export twice (each value corroborating itself).
+        once = federation.union_all("quotes", databases=["reuters"])
+        twice = federation.union_all(
+            "quotes", databases=["reuters", "reuters"]
+        )
+        assert twice.rows == once.rows
+
+    def test_union_all_unknown_name_fails_fast(self, federation):
+        calls = []
+        original = federation.local("reuters").export
+        federation.local("reuters").export = lambda name: (
+            calls.append(name) or original(name)
+        )
+        with pytest.raises(FederationError) as info:
+            federation.union_all("quotes", databases=["reuters", "ghost"])
+        assert "ghost" in str(info.value)
+        # Validation happened before any export work.
+        assert calls == []
+
 
 class TestConflictResolution:
     def test_most_credible_wins(self, federation):
@@ -83,3 +108,203 @@ class TestConflictResolution:
         report = federation.provenance_report(resolved)
         assert report["reuters"]["originating"] == 4
         assert report["nexis"]["intermediate"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance
+# ---------------------------------------------------------------------------
+
+
+def _three_source_federation(error_rates, clock, seed_base=40, max_attempts=3):
+    """Three quote feeds with per-source fault injection, no real sleeping."""
+    fed = Federation("markets")
+    injectors = {}
+    for index, (name, rate) in enumerate(error_rates.items()):
+        fed.register(
+            _quote_db(name, [("FRT", 100.0 + index), ("NUT", 50.0)])
+        )
+        injectors[name] = FaultInjector(
+            error_rate=rate, seed=seed_base + index, sleep=clock.sleep
+        )
+        fed.wrap_unreliable(
+            name,
+            injector=injectors[name],
+            retry=RetryPolicy(
+                max_attempts=max_attempts,
+                base_delay=0.05,
+                sleep=clock.sleep,
+                clock=clock,
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=max_attempts + 1,
+                recovery_time=30.0,
+                clock=clock,
+            ),
+            wall_clock=clock,
+        )
+    return fed, injectors
+
+
+class TestFaultTolerantUnion:
+    def test_partial_result_reports_injected_failures_exactly(self):
+        clock = ManualClock(start=1000.0)
+        fed, injectors = _three_source_federation(
+            {"a": 0.0, "b": 1.0, "c": 0.0}, clock
+        )
+        result = fed.union_all("quotes", require_all=False)
+        assert isinstance(result, FederationResult)
+        assert result.is_degraded
+        assert result.degraded_source_names == ("b",)
+        assert result.ok_source_names == ("a", "c")
+        # The report mirrors the injector's decision log exactly.
+        report = result.reports["b"]
+        assert report.attempts == injectors["b"].failures_for("b") == 3
+        assert result.relation.all_sources() == {"a", "c"}
+        # Survivors: a and c disagree on FRT, agree on NUT → 3 rows.
+        assert len(result) == 3
+
+    def test_thirty_percent_error_rate_report_matches_injection(self):
+        clock = ManualClock(start=1000.0)
+        fed, injectors = _three_source_federation(
+            {"a": 0.3, "b": 0.3, "c": 0.3}, clock, seed_base=7
+        )
+        result = fed.union_all("quotes", require_all=False)
+        for name, injector in injectors.items():
+            report = result.reports[name]
+            failures = injector.failures_for(name)
+            calls = injector.calls_for(name)
+            assert report.attempts == calls
+            if report.failed:
+                # Every attempt was an injected failure.
+                assert failures == calls == 3
+            else:
+                # The last attempt succeeded; all earlier ones failed.
+                assert failures == calls - 1
+                assert report.status == ("ok" if calls == 1 else "recovered")
+        surviving = result.relation.all_sources()
+        assert surviving == set(result.ok_source_names)
+
+    def test_strict_mode_names_failed_sources(self):
+        clock = ManualClock()
+        fed, _ = _three_source_federation(
+            {"a": 0.0, "b": 1.0, "c": 1.0}, clock
+        )
+        with pytest.raises(FederationUnavailableError) as info:
+            fed.union_all("quotes", require_all=True)
+        assert info.value.failed_sources == ("b", "c")
+        assert "injected fault" in info.value.failures["b"]
+
+    def test_all_sources_failed_raises_even_when_partial(self):
+        clock = ManualClock()
+        fed, _ = _three_source_federation(
+            {"a": 1.0, "b": 1.0, "c": 1.0}, clock
+        )
+        with pytest.raises(FederationUnavailableError) as info:
+            fed.union_all("quotes", require_all=False)
+        assert info.value.failed_sources == ("a", "b", "c")
+
+    def test_surviving_cells_carry_acquisition_tags(self):
+        clock = ManualClock(start=500.0)
+        fed, _ = _three_source_federation(
+            {"a": 0.0, "b": 1.0, "c": 0.5}, clock, seed_base=1
+        )
+        result = fed.union_all("quotes", require_all=False)
+        tagged = result.to_tagged()
+        assert len(tagged) == len(result)
+        for row in tagged:
+            for column in ("ticker", "price"):
+                status = row[column].tag_value("source_status")
+                assert status in ("ok", "recovered")
+                retrieved = row[column].tag_value("retrieved_at")
+                assert retrieved is not None and retrieved >= 500.0
+                # Recovered sources retried: their cells say so.
+                sources = set(str(row[column].tag_value("source")).split("+"))
+                statuses = {result.reports[s].status for s in sources}
+                assert status == max(
+                    statuses, key=["ok", "recovered"].index
+                )
+
+    def test_degraded_render_report_flags_failures(self):
+        clock = ManualClock()
+        fed, _ = _three_source_federation(
+            {"a": 0.0, "b": 1.0, "c": 0.0}, clock
+        )
+        result = fed.union_all("quotes", require_all=False)
+        text = result.render_report()
+        assert "[!!] b" in text
+        assert "[ok] a" in text
+
+    def test_tolerant_export_single_source(self):
+        clock = ManualClock()
+        fed, _ = _three_source_federation(
+            {"a": 0.0, "b": 1.0, "c": 0.0}, clock
+        )
+        ok = fed.export("a", "quotes", require_all=False)
+        assert isinstance(ok, FederationResult)
+        assert not ok.is_degraded and len(ok) == 2
+        degraded = fed.export("b", "quotes", require_all=False)
+        assert degraded.relation is None
+        assert len(degraded) == 0
+        assert list(degraded) == []
+        with pytest.raises(FederationError):
+            degraded.to_tagged()
+        with pytest.raises(FederationUnavailableError):
+            fed.export("b", "quotes", require_all=True)
+
+    def test_plain_sources_supported_in_tolerant_mode(self, federation):
+        result = federation.union_all("quotes", require_all=True)
+        assert isinstance(result, FederationResult)
+        assert not result.is_degraded
+        assert all(r.status == "ok" for r in result.reports.values())
+        legacy = federation.union_all("quotes")
+        assert result.relation.rows == legacy.rows
+
+
+class TestZeroFaultEquivalence:
+    """require_all=True at zero fault rate ≡ the pre-fault-tolerance path."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows_per_source=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["FRT", "NUT", "ACME", "ZZZ"]),
+                    st.floats(
+                        min_value=0.0,
+                        max_value=1000.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    ),
+                ),
+                max_size=4,
+                unique_by=lambda pair: pair[0],
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        max_attempts=st.integers(min_value=1, max_value=4),
+    )
+    def test_union_identical_to_legacy(self, rows_per_source, max_attempts):
+        clock = ManualClock()
+        plain = Federation("plain")
+        wrapped = Federation("wrapped")
+        for index, rows in enumerate(rows_per_source):
+            name = f"db{index}"
+            plain.register(_quote_db(name, rows))
+            wrapped.register(_quote_db(name, rows))
+            wrapped.wrap_unreliable(
+                name,
+                injector=FaultInjector(error_rate=0.0, sleep=clock.sleep),
+                retry=RetryPolicy(
+                    max_attempts=max_attempts,
+                    sleep=clock.sleep,
+                    clock=clock,
+                ),
+                breaker=CircuitBreaker(clock=clock),
+                wall_clock=clock,
+            )
+        legacy = plain.union_all("quotes")
+        tolerant = wrapped.union_all("quotes", require_all=True)
+        assert not tolerant.is_degraded
+        assert tolerant.relation.schema == legacy.schema
+        assert tolerant.relation.rows == legacy.rows

@@ -1,0 +1,250 @@
+"""Unit tests for retry policies and circuit breakers (fake clock)."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, InjectedFaultError, RetryExhaustedError
+from repro.polygen.retry import CircuitBreaker, ManualClock, RetryPolicy
+
+
+class Flaky:
+    """A callable that fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures: int, value: str = "ok"):
+        self.remaining = failures
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise InjectedFaultError(f"boom #{self.calls}")
+        return self.value
+
+
+class TestManualClock:
+    def test_sleep_advances(self):
+        clock = ManualClock()
+        clock.sleep(1.5)
+        assert clock() == 1.5
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+
+class TestRetryPolicy:
+    def make(self, **kwargs):
+        clock = ManualClock()
+        policy = RetryPolicy(sleep=clock.sleep, clock=clock, **kwargs)
+        return policy, clock
+
+    def test_success_first_try(self):
+        policy, clock = self.make(max_attempts=3)
+        result, attempts = policy.run(Flaky(0))
+        assert (result, attempts) == ("ok", 1)
+        assert clock.now == 0.0  # no backoff slept
+
+    def test_recovers_after_failures(self):
+        policy, _ = self.make(max_attempts=3)
+        result, attempts = policy.run(Flaky(2))
+        assert (result, attempts) == ("ok", 3)
+
+    def test_exponential_backoff_sequence(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_delay=0.1,
+            multiplier=2.0,
+            sleep=sleeps.append,
+            clock=ManualClock(),
+        )
+        policy.run(Flaky(3))
+        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_backoff(self):
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=1.0,
+            multiplier=10.0,
+            max_delay=2.5,
+            sleep=sleeps.append,
+            clock=ManualClock(),
+        )
+        policy.run(Flaky(4))
+        assert sleeps == pytest.approx([1.0, 2.5, 2.5, 2.5])
+
+    def test_exhaustion_raises_with_cause(self):
+        policy, _ = self.make(max_attempts=3)
+        flaky = Flaky(99)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(flaky)
+        assert flaky.calls == 3
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, InjectedFaultError)
+        assert isinstance(info.value.__cause__, InjectedFaultError)
+
+    def test_timeout_budget_abandons_retries(self):
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            multiplier=1.0,
+            timeout=2.5,
+            sleep=clock.sleep,
+            clock=clock,
+        )
+        flaky = Flaky(99)
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(flaky)
+        # Attempts stop once the next backoff would blow the budget;
+        # far fewer than max_attempts were made.
+        assert flaky.calls < 10
+        assert "budget" in str(info.value)
+
+    def test_non_retryable_error_propagates(self):
+        policy, _ = self.make(max_attempts=5)
+
+        def semantic_error():
+            raise KeyError("unknown relation")
+
+        with pytest.raises(KeyError):
+            policy.run(semantic_error, retry_on=(InjectedFaultError,))
+
+    def test_on_attempt_failure_hook_sees_each_failure(self):
+        policy, _ = self.make(max_attempts=3)
+        seen = []
+        policy.run(
+            Flaky(2), on_attempt_failure=lambda n, exc: seen.append(n)
+        )
+        assert seen == [1, 2]
+
+    def test_hook_exception_aborts_loop(self):
+        policy, _ = self.make(max_attempts=5)
+
+        def abort(n, exc):
+            raise CircuitOpenError("opened", source="s")
+
+        flaky = Flaky(99)
+        with pytest.raises(CircuitOpenError):
+            policy.run(flaky, on_attempt_failure=abort)
+        assert flaky.calls == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1},
+            {"multiplier": 0.5},
+            {"max_delay": -1},
+            {"timeout": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = ManualClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("recovery_time", 10.0)
+        breaker = CircuitBreaker(clock=clock, **kwargs)
+        return breaker, clock
+
+    def test_starts_closed(self):
+        breaker, _ = self.make()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_check_raises_with_retry_after(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.check("feed")
+        assert info.value.source == "feed"
+        assert info.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_after_recovery_window(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe slot
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        # The recovery window restarted from the re-open.
+        clock.advance(9.9)
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(0.1)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_limits_probe_slots(self):
+        breaker, clock = self.make(half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # both probe slots taken
+
+    def test_reset_restores_pristine_state(self):
+        breaker, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"recovery_time": -1},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

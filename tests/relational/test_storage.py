@@ -152,3 +152,61 @@ class TestFileHelpers:
         target.write_text('{"kind": "mystery"}')
         with pytest.raises(SchemaError):
             load(target)
+
+
+class TestAtomicSave:
+    """Regression: save() used to write the target in place, so a crash
+    mid-write left a torn snapshot."""
+
+    def test_failure_mid_write_preserves_previous_snapshot(
+        self, customer_relation, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "snap.json"
+        save(customer_relation, target)
+        before = target.read_text()
+
+        import json as json_module
+
+        def exploding_dump(*args, **kwargs):
+            handle = args[1]
+            handle.write('{"kind": "relation", "rows": [{"truncat')
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json_module, "dump", exploding_dump)
+        with pytest.raises(OSError):
+            save(customer_relation, target)
+        # The old snapshot survived byte-for-byte and still loads.
+        assert target.read_text() == before
+        assert load(target) == customer_relation
+
+    def test_failure_leaves_no_stray_temp_files(
+        self, customer_relation, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "snap.json"
+
+        import json as json_module
+
+        monkeypatch.setattr(
+            json_module,
+            "dump",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        with pytest.raises(OSError):
+            save(customer_relation, target)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_encode_error_before_any_write_leaves_target_absent(
+        self, tmp_path
+    ):
+        target = tmp_path / "snap.json"
+        with pytest.raises(SchemaError):
+            save({"not": "supported"}, target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_into_current_directory(self, customer_relation, tmp_path, monkeypatch):
+        # A bare filename has an empty parent; the temp file must still
+        # land next to it.
+        monkeypatch.chdir(tmp_path)
+        path = save(customer_relation, "rel.json")
+        assert load(path) == customer_relation

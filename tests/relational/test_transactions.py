@@ -78,6 +78,75 @@ class TestTransactionManager:
         assert len(list(manager.entries_for_transaction(txn_id))) == 2
 
 
+class TestAbortWithFailingUndo:
+    """Regression: a raising undo used to strand the rest of the rollback."""
+
+    def _boom(self):
+        raise RuntimeError("undo blew up")
+
+    def test_remaining_undos_still_run(self):
+        manager = TransactionManager()
+        order = []
+        txn = manager.begin()
+        txn.record("insert", "t", undo=lambda: order.append("first"))
+        txn.record("delete", "t", undo=self._boom)
+        txn.record("insert", "t", undo=lambda: order.append("last"))
+        with pytest.raises(TransactionError):
+            txn.abort()
+        # Newest-first order, with the raising undo skipped over.
+        assert order == ["last", "first"]
+
+    def test_manager_released_for_next_transaction(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.record("insert", "t", undo=self._boom)
+        with pytest.raises(TransactionError):
+            txn.abort()
+        # _on_finish ran despite the failure: a new transaction may begin.
+        manager.begin().commit()
+
+    def test_error_names_each_failed_step(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.record("insert", "orders", undo=self._boom)
+        txn.record("update", "customers", undo=lambda: None)
+        txn.record("delete", "orders", undo=self._boom)
+        with pytest.raises(TransactionError) as info:
+            txn.abort()
+        message = str(info.value)
+        assert "2 of 3" in message
+        assert "insert on orders" in message
+        assert "delete on orders" in message
+        assert "update on customers" not in message
+        assert len(info.value.failures) == 2
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_transaction_marked_aborted(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.record("insert", "t", undo=self._boom)
+        with pytest.raises(TransactionError):
+            txn.abort()
+        assert not txn.is_active
+        with pytest.raises(TransactionError):
+            txn.record("insert", "t", undo=lambda: None)
+        assert manager.journal == ()
+
+    def test_database_rollback_restores_surviving_rows(self):
+        database = Database("partial")
+        database.create_relation(
+            schema("t", [("k", "STR"), ("v", "INT")], key=["k"])
+        )
+        txn = database.transactions.begin()
+        database.insert("t", {"k": "a", "v": 1}, transaction=txn)
+        database.insert("t", {"k": "b", "v": 2}, transaction=txn)
+        txn.record("insert", "t", undo=self._boom)
+        with pytest.raises(TransactionError):
+            txn.abort()
+        # Both real inserts were rolled back despite the failing undo.
+        assert len(database.relation("t")) == 0
+
+
 class TestDatabaseTransactions:
     @pytest.fixture
     def db(self):
