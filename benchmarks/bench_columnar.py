@@ -1,0 +1,144 @@
+"""Columnar execution — the vectorized access path for base relations.
+
+Not a paper artifact: a performance ablation of the QSQL engine.  The
+planner routes scan-heavy statements over plain relations through
+array-per-column batches with selection vectors (DESIGN.md §12); this
+benchmark quantifies that choice against the row-at-a-time planned
+path and the naive AST-walking reference on the same statement.
+
+All legs are measured *interleaved* (the naive baseline is re-timed in
+the same rounds as the fast paths), and every speedup recorded in
+BENCH_COLUMNAR.json is a ratio of same-round numbers.
+"""
+
+from conftest import emit
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+from repro.sql import clear_plan_cache, execute
+
+N_ROWS = 20_000
+
+READINGS_SCHEMA = RelationSchema(
+    "readings",
+    [
+        Column("sensor_id", "INT"),
+        Column("reading", "FLOAT"),
+        Column("station", "STR"),
+        Column("grade", "INT"),
+    ],
+)
+
+#: Equality-led conjunction: the leading ``station =`` runs as a
+#: C-level ``list.index`` hop over the whole array, and the remaining
+#: predicates only probe its survivors — the access pattern the
+#: columnar path is designed around (DESIGN.md §12).
+QUERY = (
+    "SELECT sensor_id, reading FROM readings "
+    "WHERE station = 'st_7' AND reading >= 1000.0 AND grade IN (1, 2) "
+    "ORDER BY reading DESC LIMIT 50"
+)
+
+
+_CACHE = {}
+
+
+def _relation():
+    if "rel" not in _CACHE:
+        _CACHE["rel"] = Relation.from_tuples(
+            READINGS_SCHEMA,
+            [
+                (
+                    i,
+                    None if i % 17 == 0 else float(i * 7919 % 10_000),
+                    f"st_{i % 11}",
+                    i % 5,
+                )
+                for i in range(N_ROWS)
+            ],
+        )
+    return _CACHE["rel"]
+
+
+def test_columnar_plan_chosen():
+    """The planner must actually route this statement through arrays."""
+    clear_plan_cache()
+    plan = "\n".join(
+        row["plan"] for row in execute(f"EXPLAIN {QUERY}", _relation())
+    )
+    assert "Scan [readings (plain, columnar)]" in plan
+    assert "Materialize [columnar -> rows]" in plan
+    row_plan = "\n".join(
+        row["plan"]
+        for row in execute(f"EXPLAIN {QUERY}", _relation(), columnar=False)
+    )
+    assert "columnar" not in row_plan
+
+
+def test_columnar_json_vs_row_vs_naive():
+    """Emit BENCH_COLUMNAR.json: vectorized vs row path vs naive.
+
+    Floors enforced by the bench-trend CI gate: the columnar path must
+    hold 4x over the row-at-a-time planned path on this scan-heavy
+    statement (measured ~9x on a quiet machine, derated for CI noise),
+    and its advantage over the naive reference must be at least as
+    large.
+    """
+    from conftest import REPO_ROOT, best_seconds_interleaved
+
+    from repro.experiments.harness import bench_record, write_bench_json
+    from repro.experiments.naive import naive_execute
+
+    relation = _relation()
+    relation.columnar_store()  # build outside the timed region
+
+    clear_plan_cache()
+    columnar_result = execute(QUERY, relation)  # warm the plan cache
+    row_result = execute(QUERY, relation, columnar=False)
+    naive_result = naive_execute(QUERY, relation)
+    canonical = lambda rel: [r.values_tuple() for r in rel]
+    assert canonical(columnar_result) == canonical(row_result)
+    assert canonical(columnar_result) == canonical(naive_result)
+    assert 0 < len(columnar_result) <= 50
+
+    columnar_s, row_s, naive_s = best_seconds_interleaved(
+        [
+            lambda: execute(QUERY, relation),
+            lambda: execute(QUERY, relation, columnar=False),
+            lambda: naive_execute(QUERY, relation),
+        ]
+    )
+    vs_row = row_s / columnar_s
+    vs_naive = naive_s / columnar_s
+    write_bench_json(
+        "BENCH_COLUMNAR.json",
+        [
+            bench_record(
+                "columnar_scan_filter_topk",
+                N_ROWS,
+                columnar_s,
+                speedup=vs_row,
+            ),
+            bench_record(
+                "columnar_vs_naive",
+                N_ROWS,
+                columnar_s,
+                speedup=vs_naive,
+            ),
+            bench_record("row_scan_filter_topk", N_ROWS, row_s, speedup=1.0),
+            bench_record(
+                "naive_scan_filter_topk", N_ROWS, naive_s,
+                speedup=row_s / naive_s if naive_s else 1.0,
+            ),
+        ],
+        REPO_ROOT,
+    )
+    emit(
+        "Columnar: vectorized vs row vs naive",
+        f"columnar {columnar_s * 1e3:.2f} ms, row {row_s * 1e3:.2f} ms, "
+        f"naive {naive_s * 1e3:.2f} ms over {N_ROWS} rows\n"
+        f"columnar vs row:   {vs_row:.1f}x\n"
+        f"columnar vs naive: {vs_naive:.1f}x",
+    )
+    assert vs_row >= 4.0
+    assert vs_naive >= vs_row

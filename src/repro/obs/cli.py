@@ -32,7 +32,7 @@ from repro.obs.trace import global_tracer
 
 #: Default relation sizes per scenario (kept small: the CLI is a viewer,
 #: not a benchmark).
-_DEFAULT_SCALES = {"e1": 300, "e2": 200, "e3": 200}
+_DEFAULT_SCALES = {"e1": 300, "e2": 200, "e3": 200, "columnar": 2000}
 
 
 def _build_e1(scale: int) -> tuple[Any, str, str]:
@@ -102,7 +102,44 @@ def _build_e3(scale: int) -> tuple[Any, str, str]:
     return fed, sql, "E3 federation: polygen join provenance as tags"
 
 
-_SCENARIOS = {"e1": _build_e1, "e2": _build_e2, "e3": _build_e3}
+def _build_columnar(scale: int) -> tuple[Any, str, str]:
+    """Columnar access path: a scan-heavy plan over a plain relation."""
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Column, RelationSchema
+
+    schema = RelationSchema(
+        "readings",
+        [
+            Column("sensor_id", "INT"),
+            Column("reading", "FLOAT"),
+            Column("station", "STR"),
+        ],
+    )
+    relation = Relation.from_tuples(
+        schema,
+        [
+            (
+                i,
+                None if i % 13 == 0 else (i * 7919 % 1000) / 10.0,
+                f"st_{i % 11}",
+            )
+            for i in range(scale)
+        ],
+    )
+    sql = (
+        "SELECT sensor_id, reading FROM readings "
+        "WHERE reading >= 25.0 AND station <> 'st_3' "
+        "ORDER BY reading DESC LIMIT 20"
+    )
+    return relation, sql, "Columnar: vectorized filter + top-k over arrays"
+
+
+_SCENARIOS = {
+    "e1": _build_e1,
+    "e2": _build_e2,
+    "e3": _build_e3,
+    "columnar": _build_columnar,
+}
 
 
 def _render_registry(fmt: str) -> str:

@@ -104,10 +104,14 @@ def write_bench_records(
 #: recorded ``speedup`` below its floor fails the ``bench-trend`` job.
 SPEEDUP_FLOORS: dict[str, float] = {
     "e1_graded_retrieval_fast": 1.0,
+    "e1_graded_retrieval_columnar": 5.0,
     "e2_tagged_scan_fast": 2.0,
+    "e2_tagged_scan_columnar": 10.0,
     "e3_federation_join_fast": 3.0,
     "qsql_columnar_scan": 10.0,
     "qsql_cached_statement": 5.0,
+    "columnar_scan_filter_topk": 4.0,
+    "columnar_vs_naive": 8.0,
 }
 
 #: CI-enforced relative-overhead ceilings, by bench record name.  A

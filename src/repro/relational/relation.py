@@ -125,6 +125,11 @@ class Relation:
     ) -> None:
         self.schema = schema
         self._rows: list[Row] = []
+        #: Mutation counter; bumped by every insert/delete/update so
+        #: caches derived from the rows (the columnar store, cached
+        #: query plans) can detect staleness cheaply.
+        self._version = 0
+        self._columnar_cache: Optional[tuple[int, Any]] = None
         for row in rows:
             self.insert(row)
 
@@ -162,7 +167,7 @@ class Relation:
         algebra operators use this to move already-validated tuples
         without re-validation or dict round-trips."""
         relation = cls(schema)
-        relation._rows = list(rows)
+        relation._replace_rows(list(rows))
         return relation
 
     def empty_like(self) -> "Relation":
@@ -172,7 +177,7 @@ class Relation:
     def copy(self) -> "Relation":
         """A shallow copy (rows are immutable, so this is a full copy)."""
         fresh = Relation(self.schema)
-        fresh._rows = list(self._rows)
+        fresh._replace_rows(list(self._rows))
         return fresh
 
     # -- mutation ---------------------------------------------------------------
@@ -189,6 +194,7 @@ class Relation:
         """Insert a row (validated against the schema) and return it."""
         prepared = self._as_row(row)
         self._rows.append(prepared)
+        self._version += 1
         return prepared
 
     def _insert_validated(self, row: Row) -> Row:
@@ -198,6 +204,7 @@ class Relation:
         coercion, which :meth:`insert` would redo on values that came
         out of another relation with the same domains."""
         self._rows.append(row)
+        self._version += 1
         return row
 
     def insert_many(self, rows: Iterable[Row | dict[str, Any]]) -> int:
@@ -208,10 +215,21 @@ class Relation:
             count += 1
         return count
 
+    def _replace_rows(self, rows: list[Row]) -> None:
+        """Swap in a new backing row list (trusted; bumps the version).
+
+        Every wholesale row replacement must flow through here so
+        version-gated caches (the columnar store, cached plans) observe
+        the mutation — including replacements performed by side-tables
+        such as :class:`~repro.tagging.columnar.ColumnarTagStore`.
+        """
+        self._rows = rows
+        self._version += 1
+
     def delete(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows matching ``predicate``; return the count removed."""
         before = len(self._rows)
-        self._rows = [r for r in self._rows if not predicate(r)]
+        self._replace_rows([r for r in self._rows if not predicate(r)])
         return before - len(self._rows)
 
     def update(
@@ -232,12 +250,34 @@ class Relation:
                 count += 1
             else:
                 new_rows.append(row)
-        self._rows = new_rows
+        self._replace_rows(new_rows)
         return count
 
     def clear(self) -> None:
         """Remove all rows."""
-        self._rows = []
+        self._replace_rows([])
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (for cache invalidation)."""
+        return self._version
+
+    def columnar_store(self):
+        """The relation's columnar value store, built lazily and cached.
+
+        Mirrors :meth:`repro.tagging.relation.TaggedRelation.columnar_store`:
+        the store is rebuilt whenever :attr:`version` shows the rows
+        changed since the last build, so batch execution paths can scan
+        contiguous per-column arrays without ever reading stale data.
+        """
+        cached = self._columnar_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from repro.relational.columnar import ColumnarRelation
+
+        store = ColumnarRelation.from_relation(self)
+        self._columnar_cache = (self._version, store)
+        return store
 
     # -- access -------------------------------------------------------------------
 

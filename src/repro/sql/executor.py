@@ -342,6 +342,7 @@ def execute(
     *,
     strict: bool = False,
     planner: bool = True,
+    columnar: bool = True,
     stats: Any = None,
 ) -> AnyRelation:
     """Parse and execute a QSQL SELECT; returns a (tagged) relation.
@@ -365,6 +366,14 @@ def execute(
     closure per clause, no plan, no cache) — semantically equivalent,
     and kept as the reference baseline.
 
+    On the planner path, scan-heavy fragments over sufficiently large
+    plain relations execute *columnar*: per-column value arrays plus a
+    selection vector, with ``Row`` objects materialized only at the
+    plan's ``Materialize`` boundary (EXPLAIN shows the chosen access
+    path).  ``columnar=False`` is the escape hatch forcing row-at-a-
+    time plans; it is ignored by ``planner=False``, whose
+    interpretation path is always row-at-a-time.
+
     ``stats`` accepts a :class:`~repro.obs.stats.StatsCollector`: after
     the call it holds the per-operator execution tree (what
     ``EXPLAIN ANALYZE`` renders) plus total time, row count, and — on
@@ -375,7 +384,9 @@ def execute(
         # Imported lazily: plancache depends on this module.
         from repro.sql.plancache import execute_planned
 
-        return execute_planned(sql, source, strict=strict, collector=stats)
+        return execute_planned(
+            sql, source, strict=strict, collector=stats, columnar=columnar
+        )
     return _execute_unplanned(sql, source, strict=strict, collector=stats)
 
 

@@ -18,7 +18,15 @@ planner-only operators are:
   scans contiguous tag arrays instead of evaluating per-cell closures;
 - ``TopK`` — ``heapq.nsmallest`` over a composite sort key (equivalent
   to the executor's repeated stable sorts followed by LIMIT);
-- ``HashJoin`` — build-side hash index chosen by the optimizer.
+- ``HashJoin`` — build-side hash index chosen by the optimizer;
+- ``Materialize`` + columnar ``Scan``/``Filter``/``Project``/``TopK``/
+  ``Limit`` — the vectorized fragment the optimizer's
+  :func:`~repro.sql.optimizer.choose_access_paths` emits.  Inside the
+  fragment, operators pass ``(column arrays, selection vector)``
+  batches: predicates run over whole arrays (same NULL/TypeError
+  semantics as the row closures), projection reorders array references,
+  TopK/Limit shrink the selection vector, and ``Materialize`` builds
+  ``Row`` objects late, only for the surviving positions.
 
 Compiled plans close over *names and schemas only*, never over relation
 instances: the binding supplies relations at run time, which is what
@@ -50,19 +58,31 @@ from repro.relational.relation import Relation, Row
 from repro.relational.schema import Column, RelationSchema
 from repro.sql.errors import SQLError
 from repro.sql.executor import (
+    _COMPARATORS,
     _compile_predicate,
     _computed_projection,
     _execute_aggregate,
     _item_output_domain,
     _sort_key_function,
 )
-from repro.sql.nodes import Literal, QualityRef, SelectStatement
+from repro.sql.nodes import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+    SelectStatement,
+)
 from repro.sql.plan import (
     Aggregate,
     Distinct,
     Filter,
     HashJoin,
     Limit,
+    Materialize,
     PlanNode,
     Project,
     QualityFilter,
@@ -226,6 +246,8 @@ def _compile(plan: PlanNode, relations: Binding, ids: OpIds) -> CompiledNode:
         node = _compile_distinct(plan, relations, ids)
     elif isinstance(plan, Limit):
         node = _compile_limit(plan, relations, ids)
+    elif isinstance(plan, Materialize):
+        node = _compile_materialize(plan, relations, ids)
     else:
         raise SQLError(f"cannot compile plan node {plan!r}")
     if ids is None:
@@ -577,3 +599,469 @@ def _compile_limit(
         return child_run(binding, stats)[:count]
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
+# -- columnar execution ------------------------------------------------------
+#
+# Inside a Materialize boundary, operators exchange *columnar batches*:
+# ``(columns, sel)`` where ``columns`` is the list of per-column value
+# arrays in schema order and ``sel`` is the selection vector — the row
+# positions still alive, in ascending row order (``None`` means "every
+# position").  Filters shrink ``sel`` without touching the arrays;
+# Project reorders array references; only Materialize builds rows.
+
+#: A columnar batch: (column arrays in schema order, selection vector).
+ColumnarBatch = tuple[list, Optional[list]]
+
+
+class _ColumnarNode:
+    """One compiled columnar operator (always plain, untagged)."""
+
+    __slots__ = ("run", "schema")
+
+    def __init__(
+        self,
+        run: Callable[[Binding, Optional[ExecutionStats]], ColumnarBatch],
+        schema: RelationSchema,
+    ) -> None:
+        self.run = run
+        self.schema = schema
+
+
+def _batch_rows(batch: ColumnarBatch) -> int:
+    """Live rows in a columnar batch (selection size, or full length)."""
+    columns, sel = batch
+    if sel is not None:
+        return len(sel)
+    return len(columns[0]) if columns else 0
+
+
+def _compile_materialize(
+    plan: Materialize, relations: Binding, ids: OpIds
+) -> CompiledNode:
+    """Columnar fragment → row land: gather survivors, build rows late."""
+    child = _compile_columnar(plan.child, relations, ids)
+    out_schema = child.schema
+    child_run = child.run
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+        columns, sel = child_run(binding, stats)
+        make = Row._from_validated
+        if sel is None:
+            # zip(*columns) transposes at C level — one tuple per row.
+            return [make(out_schema, values) for values in zip(*columns)]
+        gathered = [[array[i] for i in sel] for array in columns]
+        return [make(out_schema, values) for values in zip(*gathered)]
+
+    return CompiledNode(run, out_schema, False, None)
+
+
+def _compile_columnar(
+    plan: PlanNode, relations: Binding, ids: OpIds
+) -> _ColumnarNode:
+    """Compile one operator of a columnar fragment (plus stats wrapper)."""
+    if isinstance(plan, Scan):
+        node = _compile_columnar_scan(plan, relations)
+    elif isinstance(plan, Filter):
+        node = _compile_columnar_filter(plan, relations, ids)
+    elif isinstance(plan, Project):
+        node = _compile_columnar_project(plan, relations, ids)
+    elif isinstance(plan, TopK):
+        node = _compile_columnar_topk(plan, relations, ids)
+    elif isinstance(plan, Limit):
+        node = _compile_columnar_limit(plan, relations, ids)
+    else:
+        raise SQLError(f"cannot compile columnar plan node {plan!r}")
+    if ids is None:
+        return node
+    op_id = ids[id(plan)]
+    inner = node.run
+    is_scan = isinstance(plan, Scan)
+
+    def run(
+        binding: Binding, stats: Optional[ExecutionStats]
+    ) -> ColumnarBatch:
+        if stats is None:
+            return inner(binding, None)
+        start = perf_counter()
+        batch = inner(binding, stats)
+        stats.record(op_id, _batch_rows(batch), perf_counter() - start)
+        if is_scan:
+            stats.annotate(op_id, batch="columnar", columns=len(batch[0]))
+        else:
+            stats.annotate(op_id, batch="columnar")
+        return batch
+
+    return _ColumnarNode(run, node.schema)
+
+
+def _compile_columnar_scan(plan: Scan, relations: Binding) -> _ColumnarNode:
+    name = plan.relation
+    try:
+        relation = relations[name]
+    except KeyError:
+        raise SQLError(f"unknown relation {name!r} in plan binding") from None
+    if isinstance(relation, TaggedRelation):
+        raise SQLError("columnar scans support plain relations only")
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
+        return binding[name].columnar_store().column_arrays(), None
+
+    return _ColumnarNode(run, relation.schema)
+
+
+def _compile_columnar_filter(
+    plan: Filter, relations: Binding, ids: OpIds
+) -> _ColumnarNode:
+    child = _compile_columnar(plan.child, relations, ids)
+    child_run = child.run
+    predicate_expr = plan.predicate
+    if isinstance(predicate_expr, Literal):
+        # As on the row path: TRUE filters were dropped by the
+        # optimizer, so a surviving literal is falsy — nothing passes.
+        if predicate_expr.value:
+            return _ColumnarNode(child_run, child.schema)
+
+        def run_empty(
+            binding: Binding, stats: Optional[ExecutionStats]
+        ) -> ColumnarBatch:
+            columns, _ = child_run(binding, stats)
+            return columns, []
+
+        return _ColumnarNode(run_empty, child.schema)
+    predicate = _compile_columnar_predicate(predicate_expr, child.schema)
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
+        columns, sel = child_run(binding, stats)
+        return columns, predicate(columns, sel)
+
+    return _ColumnarNode(run, child.schema)
+
+
+def _base_positions(columns: list, sel: Optional[list]):
+    """The positions a predicate must examine, in ascending row order."""
+    if sel is not None:
+        return sel
+    return range(len(columns[0]) if columns else 0)
+
+
+def _compile_columnar_predicate(
+    expr: Any, schema: RelationSchema
+) -> Callable[[list, Optional[list]], list]:
+    """Compile a WHERE tree into a whole-array selection function.
+
+    Returns ``fn(columns, sel) -> hits`` where ``hits`` is the new
+    selection vector (ascending row positions).  Semantics mirror
+    :func:`repro.sql.executor._compile_predicate` exactly: comparisons
+    with NULL are never true, incomparable types (``TypeError``) read
+    as false, ``IN`` never sees NULL options specially, and NOT/OR
+    complement/merge those per-row outcomes — so a row survives the
+    columnar filter iff it survives the row closure.
+    """
+    if isinstance(expr, Comparison):
+        return _columnar_comparison(expr, schema)
+    if isinstance(expr, InList):
+        options = expr.options
+        negated = expr.negated
+        if isinstance(expr.operand, Literal):
+            value = expr.operand.value
+            if value is None:
+                return lambda columns, sel: []
+            result = value in options
+            if negated:
+                result = not result
+            if result:
+                return lambda columns, sel: list(
+                    _base_positions(columns, sel)
+                )
+            return lambda columns, sel: []
+        position = schema.position(expr.operand.column)
+        if negated:
+
+            def run_not_in(columns: list, sel: Optional[list]) -> list:
+                array = columns[position]
+                return [
+                    i
+                    for i in _base_positions(columns, sel)
+                    if array[i] is not None and array[i] not in options
+                ]
+
+            return run_not_in
+
+        def run_in(columns: list, sel: Optional[list]) -> list:
+            array = columns[position]
+            return [
+                i
+                for i in _base_positions(columns, sel)
+                if array[i] is not None and array[i] in options
+            ]
+
+        return run_in
+    if isinstance(expr, IsNull):
+        negated = expr.negated
+        if isinstance(expr.operand, Literal):
+            is_null = expr.operand.value is None
+            result = (not is_null) if negated else is_null
+            if result:
+                return lambda columns, sel: list(
+                    _base_positions(columns, sel)
+                )
+            return lambda columns, sel: []
+        position = schema.position(expr.operand.column)
+        if negated:
+            return lambda columns, sel: [
+                i
+                for i in _base_positions(columns, sel)
+                if columns[position][i] is not None
+            ]
+        return lambda columns, sel: [
+            i
+            for i in _base_positions(columns, sel)
+            if columns[position][i] is None
+        ]
+    if isinstance(expr, BoolOp):
+        left_run = _compile_columnar_predicate(expr.left, schema)
+        right_run = _compile_columnar_predicate(expr.right, schema)
+        if expr.op == "AND":
+            # Conjunction = composition: the right side only probes the
+            # left side's survivors (same short-circuit as the row path).
+            return lambda columns, sel: right_run(
+                columns, left_run(columns, sel)
+            )
+
+        def run_or(columns: list, sel: Optional[list]) -> list:
+            left_hits = left_run(columns, sel)
+            seen = set(left_hits)
+            remaining = [
+                i for i in _base_positions(columns, sel) if i not in seen
+            ]
+            # Disjoint ascending runs — sorted() restores row order.
+            return sorted(left_hits + right_run(columns, remaining))
+
+        return run_or
+    if isinstance(expr, NotOp):
+        inner_run = _compile_columnar_predicate(expr.operand, schema)
+
+        def run_not(columns: list, sel: Optional[list]) -> list:
+            hits = set(inner_run(columns, sel))
+            return [
+                i for i in _base_positions(columns, sel) if i not in hits
+            ]
+
+        return run_not
+    raise SQLError(f"unknown expression node {expr!r}")
+
+
+def _columnar_comparison(
+    expr: Comparison, schema: RelationSchema
+) -> Callable[[list, Optional[list]], list]:
+    compare = _COMPARATORS[expr.op]
+    left, right = expr.left, expr.right
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        left_position = schema.position(left.column)
+        right_position = schema.position(right.column)
+
+        def run_col_col(columns: list, sel: Optional[list]) -> list:
+            left_array = columns[left_position]
+            right_array = columns[right_position]
+            hits: list = []
+            emit = hits.append
+            for i in _base_positions(columns, sel):
+                a = left_array[i]
+                b = right_array[i]
+                if a is None or b is None:
+                    continue
+                try:
+                    if compare(a, b):
+                        emit(i)
+                except TypeError:
+                    continue
+            return hits
+
+        return run_col_col
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        # fold_constants normally removes these; evaluate once anyway.
+        a, b = left.value, right.value
+        if a is None or b is None:
+            result = False
+        else:
+            try:
+                result = compare(a, b)
+            except TypeError:
+                result = False
+        if result:
+            return lambda columns, sel: list(_base_positions(columns, sel))
+        return lambda columns, sel: []
+    if isinstance(left, Literal):
+        position = schema.position(right.column)
+        constant = left.value
+        if constant is None:
+            return lambda columns, sel: []
+
+        def run_const_col(columns: list, sel: Optional[list]) -> list:
+            array = columns[position]
+            hits: list = []
+            emit = hits.append
+            for i in _base_positions(columns, sel):
+                value = array[i]
+                if value is None:
+                    continue
+                try:
+                    if compare(constant, value):
+                        emit(i)
+                except TypeError:
+                    continue
+            return hits
+
+        return run_const_col
+    position = schema.position(left.column)
+    constant = right.value
+    if constant is None:
+        return lambda columns, sel: []
+    equality = expr.op == "="
+
+    def run_col_const(columns: list, sel: Optional[list]) -> list:
+        array = columns[position]
+        hits: list = []
+        emit = hits.append
+        if sel is None and equality:
+            # Full-column equality hops hit-to-hit with list.index — a
+            # C-level search, no Python per-element loop (same move as
+            # ColumnarTagStore.scan; `==` never raises TypeError, and a
+            # None constant was rejected above, so Nones cannot match).
+            find = array.index
+            index = -1
+            try:
+                while True:
+                    index = find(constant, index + 1)
+                    emit(index)
+            except ValueError:
+                pass
+            return hits
+        for i in _base_positions(columns, sel):
+            value = array[i]
+            if value is None:
+                continue
+            try:
+                if compare(value, constant):
+                    emit(i)
+            except TypeError:
+                continue
+        return hits
+
+    return run_col_const
+
+
+def _compile_columnar_project(
+    plan: Project, relations: Binding, ids: OpIds
+) -> _ColumnarNode:
+    child = _compile_columnar(plan.child, relations, ids)
+    names = [item.expr.column for item in plan.items]  # type: ignore[union-attr]
+    if not names:
+        raise QueryError("projection requires at least one column")
+    renames = {
+        item.expr.column: item.alias  # type: ignore[union-attr]
+        for item in plan.items
+        if item.alias and item.alias != item.expr.column  # type: ignore[union-attr]
+    }
+    positions = child.schema.positions_of(names)
+    out_schema = child.schema.project(names, None)
+    if renames:
+        out_schema = out_schema.rename_columns(renames)
+    child_run = child.run
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
+        columns, sel = child_run(binding, stats)
+        # Projection over arrays is free: reorder the references.
+        return [columns[p] for p in positions], sel
+
+    return _ColumnarNode(run, out_schema)
+
+
+def _compile_columnar_topk(
+    plan: TopK, relations: Binding, ids: OpIds
+) -> _ColumnarNode:
+    child = _compile_columnar(plan.child, relations, ids)
+    if plan.count < 0:
+        raise QueryError("limit must be non-negative")
+    specs = [
+        (child.schema.position(item.key.column), item.descending)
+        for item in plan.order_by
+    ]
+    count = plan.count
+    child_run = child.run
+
+    directions = {descending for _, descending in specs}
+    if len(directions) == 1:
+        # Uniform direction: plain tuple keys, no _Reversed wrappers.
+        # All-DESC is nlargest over the ascending key (both are
+        # sorted(..., reverse=...)[:n], stable on ties), so the heap
+        # compares native tuples at C speed instead of calling
+        # _Reversed.__lt__ per comparison.
+        select = heapq.nlargest if directions.pop() else heapq.nsmallest
+        positions = [p for p, _ in specs]
+
+        def run(
+            binding: Binding, stats: Optional[ExecutionStats]
+        ) -> ColumnarBatch:
+            columns, sel = child_run(binding, stats)
+            arrays = [columns[p] for p in positions]
+            if len(arrays) == 1:
+                array = arrays[0]
+
+                def key(i: int) -> tuple:
+                    value = array[i]
+                    return (value is not None, value)
+
+            else:
+
+                def key(i: int) -> tuple:
+                    return tuple(
+                        (a[i] is not None, a[i]) for a in arrays
+                    )
+
+            base = _base_positions(columns, sel)
+            return columns, select(count, base, key=key)
+
+        return _ColumnarNode(run, child.schema)
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
+        columns, sel = child_run(binding, stats)
+        arrays = [(columns[p], descending) for p, descending in specs]
+
+        def composite_key(i: int) -> tuple:
+            # Mirrors the row TopK's key exactly: each part is the
+            # None-safe ((not-None, value),) tuple, inverted per
+            # direction — so ordering and stability are identical.
+            parts = []
+            for array, descending in arrays:
+                value = array[i]
+                part = ((value is not None, value),)
+                parts.append(_Reversed(part) if descending else part)
+            return tuple(parts)
+
+        base = _base_positions(columns, sel)
+        return columns, heapq.nsmallest(count, base, key=composite_key)
+
+    return _ColumnarNode(run, child.schema)
+
+
+def _compile_columnar_limit(
+    plan: Limit, relations: Binding, ids: OpIds
+) -> _ColumnarNode:
+    child = _compile_columnar(plan.child, relations, ids)
+    if plan.count < 0:
+        raise QueryError("limit must be non-negative")
+    count = plan.count
+    child_run = child.run
+
+    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
+        columns, sel = child_run(binding, stats)
+        if sel is not None:
+            return columns, sel[:count]
+        length = len(columns[0]) if columns else 0
+        if count >= length:
+            return columns, None
+        return columns, list(range(count))
+
+    return _ColumnarNode(run, child.schema)

@@ -21,7 +21,11 @@ Node vocabulary:
 - :class:`Aggregate` — GROUP BY + aggregate evaluation;
 - :class:`Sort` / :class:`TopK` — full ordering vs. fused
   ORDER BY + LIMIT via a bounded heap;
-- :class:`Distinct`, :class:`Limit` — duplicate elimination, row cap.
+- :class:`Distinct`, :class:`Limit` — duplicate elimination, row cap;
+- :class:`Materialize` — the boundary between columnar (array +
+  selection-vector batches) and row-at-a-time execution: everything
+  below it runs over column arrays, everything above it sees ``Row``
+  objects, built late and only for the surviving positions.
 
 ``render_plan`` produces the tree text that ``EXPLAIN SELECT ...``
 returns.
@@ -58,21 +62,31 @@ PlanNode = Union[
     "TopK",
     "Distinct",
     "Limit",
+    "Materialize",
 ]
 
 
 @dataclass(frozen=True)
 class Scan:
-    """Read all rows of one named relation."""
+    """Read all rows of one named relation.
+
+    With ``columnar=True`` (chosen by the optimizer's access-path
+    costing) the scan emits the relation's per-column value arrays
+    plus a selection vector instead of row tuples; the operators above
+    it up to the enclosing :class:`Materialize` run batch-at-a-time.
+    """
 
     relation: str
     tagged: bool = False
+    columnar: bool = False
 
     def children(self) -> tuple[PlanNode, ...]:
         return ()
 
     def label(self) -> str:
         flavor = "tagged" if self.tagged else "plain"
+        if self.columnar:
+            flavor += ", columnar"
         return f"Scan [{self.relation} ({flavor})]"
 
 
@@ -231,6 +245,26 @@ class Limit:
 
     def label(self) -> str:
         return f"Limit [{self.count}]"
+
+
+@dataclass(frozen=True)
+class Materialize:
+    """Late materialization: columnar batch → ``Row`` objects.
+
+    The explicit boundary of a columnar pipeline fragment.  Its child
+    subtree carries ``(column arrays, selection vector)`` batches; this
+    operator gathers the selected positions and builds validated rows
+    via the trusted constructor — the only place the columnar path pays
+    per-row object cost.
+    """
+
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Materialize [columnar -> rows]"
 
 
 # -- statement lowering ------------------------------------------------------

@@ -17,6 +17,18 @@ For :class:`~repro.relational.catalog.Database` sources, the entry
 additionally records the database's ``catalog_version`` (bumped on
 create/drop), making the cache key effectively
 ``(statement text, catalog version)``.
+
+Two more facts participate in validation because the optimizer's plan
+*shape* depends on them:
+
+- the columnar execution mode (``execute(..., columnar=False)`` plans
+  differently from the default — an entry compiled in one mode is never
+  served to the other);
+- the relation's columnar cost band — whether it cleared
+  :data:`~repro.sql.optimizer.COLUMNAR_MIN_ROWS` at plan time.  Row
+  mutations normally never invalidate plans, but growing a relation
+  across the threshold (or shrinking below it) changes which access
+  path the optimizer would pick, so the entry is replanned.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.sql.executor import (
     _check_columns,
     _resolve_relation,
 )
+from repro.sql import optimizer as _optimizer
 from repro.sql.optimizer import PlanContext, optimize
 from repro.sql.parser import parse
 from repro.sql.physical import CompiledPlan, compile_plan
@@ -60,6 +73,8 @@ class PreparedStatement:
         "tag_schema",
         "tagged",
         "catalog_version",
+        "columnar_mode",
+        "columnar_band",
         "strict_checked",
     )
 
@@ -71,6 +86,7 @@ class PreparedStatement:
         compiled: CompiledPlan,
         relation: AnyRelation,
         catalog_version: Optional[int],
+        columnar: bool = True,
     ) -> None:
         self.sql = sql
         self.statement = statement
@@ -81,21 +97,50 @@ class PreparedStatement:
         self.tagged = isinstance(relation, TaggedRelation)
         self.tag_schema = relation.tag_schema if self.tagged else None
         self.catalog_version = catalog_version
+        #: The columnar on/off mode the plan was optimized under.
+        self.columnar_mode = columnar
+        #: The relation's cost band at plan time (cleared
+        #: COLUMNAR_MIN_ROWS or not), when access-path costing could
+        #: have applied — i.e. columnar mode on and a plain relation.
+        #: None when costing never looked at the size.
+        self.columnar_band = _columnar_band(relation, columnar)
         #: True once strict-mode analysis passed for this entry (the
         #: diagnostics depend only on the statement and the schemas the
         #: entry already pins by identity, so one clean run is enough).
         self.strict_checked = False
 
-    def valid_for(self, relation: AnyRelation, source: Source) -> bool:
+    def valid_for(
+        self, relation: AnyRelation, source: Source, columnar: bool = True
+    ) -> bool:
+        if columnar != self.columnar_mode:
+            return False
         if isinstance(relation, TaggedRelation) != self.tagged:
             return False
         if relation.schema is not self.schema:
             return False
         if self.tagged and relation.tag_schema is not self.tag_schema:
             return False
+        if (
+            self.columnar_band is not None
+            and _columnar_band(relation, columnar) != self.columnar_band
+        ):
+            return False
         if isinstance(source, Database):
             return source.catalog_version == self.catalog_version
         return True
+
+
+def _columnar_band(relation: AnyRelation, columnar: bool) -> Optional[bool]:
+    """Which side of the access-path size threshold a relation is on.
+
+    ``None`` when costing cannot apply (mode off, or not a plain
+    relation).  Read through the optimizer module so tests that
+    monkeypatch ``COLUMNAR_MIN_ROWS`` see consistent planning *and*
+    cache validation.
+    """
+    if not columnar or not isinstance(relation, Relation):
+        return None
+    return len(relation) >= _optimizer.COLUMNAR_MIN_ROWS
 
 
 class PlanCache:
@@ -110,7 +155,7 @@ class PlanCache:
         self.misses = 0
 
     def lookup(
-        self, sql: str, source: Source
+        self, sql: str, source: Source, columnar: bool = True
     ) -> Optional[tuple[PreparedStatement, AnyRelation]]:
         """A (prepared, resolved relation) pair, or None on miss."""
         entries = self._entries.get(sql)
@@ -122,7 +167,7 @@ class PlanCache:
                 relation = _resolve_relation(entry.statement, source)
             except SQLError:
                 continue  # cold path re-raises with identical context
-            if entry.valid_for(relation, source):
+            if entry.valid_for(relation, source, columnar):
                 self._entries.move_to_end(sql)
                 self.hits += 1
                 return entry, relation
@@ -132,9 +177,15 @@ class PlanCache:
     def store(self, entry: PreparedStatement) -> None:
         entries = self._entries.setdefault(entry.sql, [])
         # Drop entries this one supersedes (same relation shape but a
-        # stale catalog version or dropped schema).
+        # stale catalog version or dropped schema).  Entries differing
+        # in columnar mode or cost band answer *different* lookups, so
+        # they coexist rather than replace each other.
         entries[:] = [
-            e for e in entries if e.schema is not entry.schema
+            e
+            for e in entries
+            if e.schema is not entry.schema
+            or e.columnar_mode != entry.columnar_mode
+            or e.columnar_band != entry.columnar_band
         ]
         entries.append(entry)
         self._entries.move_to_end(entry.sql)
@@ -176,7 +227,7 @@ def plan_cache_stats() -> dict[str, int]:
 
 
 def plan_statement(
-    statement: Any, source: Source
+    statement: Any, source: Source, *, columnar: bool = True
 ) -> tuple[PlanNode, AnyRelation, bool]:
     """Resolve, pre-check, lower, and optimize one parsed statement."""
     relation = _resolve_relation(statement, source)
@@ -188,7 +239,7 @@ def plan_statement(
         )
     plan = logical_plan(statement, tagged)
     context = PlanContext.from_relations({statement.relation: relation})
-    return optimize(plan, context), relation, tagged
+    return optimize(plan, context, columnar=columnar), relation, tagged
 
 
 _EXPLAIN_SCHEMA = RelationSchema("explain", [Column("plan", "STR")])
@@ -269,6 +320,7 @@ def execute_planned(
     strict: bool = False,
     cache: Optional[PlanCache] = None,
     collector: Optional[StatsCollector] = None,
+    columnar: bool = True,
 ) -> AnyRelation:
     """The planner-backed execute path (see ``executor.execute``).
 
@@ -283,7 +335,7 @@ def execute_planned(
     if cache is None:
         cache = _DEFAULT_CACHE
     obs_on = _obs_metrics.enabled()
-    found = cache.lookup(sql, source)
+    found = cache.lookup(sql, source, columnar)
     if found is not None:
         if obs_on:
             _obs_metrics.global_registry().counter(
@@ -308,7 +360,7 @@ def execute_planned(
     if strict:
         _run_strict_analysis(statement, source, sql)
     with _span("qsql.plan", relation=statement.relation):
-        plan, relation, _ = plan_statement(statement, source)
+        plan, relation, _ = plan_statement(statement, source, columnar=columnar)
     if statement.explain and not statement.analyze:
         return explain_relation(plan)
     binding = {statement.relation: relation}
@@ -333,7 +385,7 @@ def execute_planned(
         source.catalog_version if isinstance(source, Database) else None
     )
     entry = PreparedStatement(
-        sql, statement, plan, compiled, relation, catalog_version
+        sql, statement, plan, compiled, relation, catalog_version, columnar
     )
     entry.strict_checked = strict
     cache.store(entry)

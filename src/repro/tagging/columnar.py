@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.errors import TagSchemaError, UnknownIndicatorError
 from repro.obs import metrics as _obs_metrics
+from repro.relational import arrays as _codec
 from repro.relational.relation import Relation
 from repro.tagging.indicators import TagSchema
 from repro.tagging.query import OPERATORS
@@ -98,8 +99,7 @@ class ColumnarTagStore:
     ) -> int:
         """Append one row with its tags; returns the new row index."""
         self.relation.insert(values)
-        for array in self._arrays.values():
-            array.append(None)
+        _codec.append_blank(self._arrays.values())
         row_index = len(self.relation) - 1
         for (column, indicator), value in (tags or {}).items():
             self.set_tag(row_index, column, indicator, value)
@@ -125,18 +125,13 @@ class ColumnarTagStore:
         Returns the number of rows removed.
         """
         self.check_aligned()
-        keep = [
-            index
-            for index, row in enumerate(self.relation)
-            if not predicate(row)
-        ]
-        removed = len(self.relation) - len(keep)
+        rows = self.relation.row_batch()
+        keep = _codec.keep_indices(rows, predicate)
+        removed = len(rows) - len(keep)
         if not removed:
             return 0
-        rows = self.relation.rows
-        self.relation._rows = [rows[i] for i in keep]
-        for key, array in self._arrays.items():
-            self._arrays[key] = [array[i] for i in keep]
+        self.relation._replace_rows(_codec.gather(rows, keep))
+        _codec.compact_in_place(self._arrays, keep)
         return removed
 
     def check_aligned(self) -> None:
@@ -146,17 +141,17 @@ class ColumnarTagStore:
         back (e.g. ``store.relation.delete(...)`` instead of
         ``store.delete(...)``); scanning would return misaligned rows.
         """
-        expected = len(self.relation)
-        for (column, indicator), array in self._arrays.items():
-            if len(array) != expected:
-                raise TagSchemaError(
-                    f"columnar store is out of sync with its backing "
-                    f"relation {self.relation.schema.name!r}: relation has "
-                    f"{expected} rows but tag array ({column!r}, "
-                    f"{indicator!r}) has {len(array)} entries; mutate "
-                    f"through the store (append/set_tag/delete), not the "
-                    f"relation directly"
-                )
+        divergence = _codec.misaligned(len(self.relation), self._arrays)
+        if divergence is not None:
+            (column, indicator), length = divergence
+            raise TagSchemaError(
+                f"columnar store is out of sync with its backing "
+                f"relation {self.relation.schema.name!r}: relation has "
+                f"{len(self.relation)} rows but tag array ({column!r}, "
+                f"{indicator!r}) has {length} entries; mutate "
+                f"through the store (append/set_tag/delete), not the "
+                f"relation directly"
+            )
 
     # -- access --------------------------------------------------------------------
 
@@ -229,19 +224,27 @@ class ColumnarTagStore:
         return hits
 
     def scan(
-        self, constraints: Sequence[tuple[str, str, str, Any]]
+        self,
+        constraints: Sequence[
+            tuple[str, str, str, Any] | tuple[str, str, str, Any, bool]
+        ],
     ) -> list[int]:
         """Row indices satisfying a *conjunction* of tag constraints.
 
-        Each constraint is ``(column, indicator, op, operand)`` with
+        Each constraint is ``(column, indicator, op, operand)`` — or,
+        with an optional fifth element, ``(..., missing_ok)`` — with
         ``op`` from :data:`~repro.tagging.query.OPERATORS`.  The first
         constraint scans its whole array; each further constraint only
         probes the surviving indices, so selective leading constraints
-        keep the scan cheap.  Missing tags (None) never match.
+        keep the scan cheap.  Missing tags (None) never match unless
+        the constraint says ``missing_ok=True`` (matching
+        :class:`~repro.tagging.query.IndicatorConstraint` semantics).
         """
         self.check_aligned()
         hits: Optional[list[int]] = None
-        for column, indicator, op, operand in constraints:
+        for constraint in constraints:
+            column, indicator, op, operand = constraint[:4]
+            missing_ok = bool(constraint[4]) if len(constraint) > 4 else False
             if op not in OPERATORS:
                 raise TagSchemaError(f"unknown operator {op!r}")
             compare = OPERATORS[op]
@@ -254,11 +257,12 @@ class ColumnarTagStore:
             survivors: list[int] = []
             emit = survivors.append
             if hits is None:
-                if op == "==" and operand is not None:
+                if op == "==" and operand is not None and not missing_ok:
                     # Equality scans hop hit-to-hit with list.index, a
                     # C-level search — no Python per-element loop.  (A
                     # None operand must fall through: missing tags never
-                    # match, but index(None) would find them.)
+                    # match, but index(None) would find them.  Likewise
+                    # missing_ok: the hop cannot also emit the Nones.)
                     find = array.index
                     index = -1
                     try:
@@ -270,6 +274,8 @@ class ColumnarTagStore:
                 else:
                     for index, value in enumerate(array):
                         if value is None:
+                            if missing_ok:
+                                emit(index)
                             continue
                         try:
                             if compare(value, operand):
@@ -280,6 +286,8 @@ class ColumnarTagStore:
                 for index in hits:
                     value = array[index]
                     if value is None:
+                        if missing_ok:
+                            emit(index)
                         continue
                     try:
                         if compare(value, operand):

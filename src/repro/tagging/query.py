@@ -173,6 +173,40 @@ class QualityFilter:
         """Filter a tagged relation down to rows meeting the grade."""
         return algebra.select(relation, self.compile(relation.schema))
 
+    def apply_columnar(self, relation: TaggedRelation) -> TaggedRelation:
+        """Filter through the relation's columnar tag store.
+
+        Semantically identical to :meth:`apply` — same rows, same
+        order, same tags — but the conjunction is evaluated over
+        contiguous per-(column, indicator) tag arrays via
+        :meth:`~repro.tagging.columnar.ColumnarTagStore.scan`, and
+        survivor rows are gathered from the original relation (tags
+        intact).  Falls back to the per-cell path when a constraint
+        names an indicator the tag schema does not allow on its column:
+        the per-cell path reads such an indicator as *missing*, and the
+        store has no array to scan for it.
+        """
+        for constraint in self.constraints:
+            # Same eager column check as compile(); raises for bad columns.
+            relation.schema.position(constraint.column)
+        allowed = relation.tag_schema.allowed_for
+        if any(
+            c.indicator not in allowed(c.column) for c in self.constraints
+        ):
+            return self.apply(relation)
+        indices = relation.columnar_store().scan(
+            [
+                (c.column, c.indicator, c.op, c.operand, c.missing_ok)
+                for c in self.constraints
+            ]
+        )
+        rows = relation.row_batch()
+        return TaggedRelation.from_rows(
+            relation.schema,
+            relation.tag_schema,
+            (rows[index] for index in indices),
+        )
+
     def with_constraint(self, constraint: IndicatorConstraint) -> "QualityFilter":
         """A copy with one more constraint."""
         return QualityFilter(self.constraints + (constraint,), self.name)

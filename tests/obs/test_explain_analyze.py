@@ -178,6 +178,14 @@ class TestCli:
         assert "qsql.plancache.hits (counter): 1" in out
         assert "trace (cold statement):" in out
 
+    def test_scenario_columnar(self, capsys):
+        assert cli_main(["--scenario", "columnar", "--scale", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "Scan [readings (plain, columnar)]" in out
+        assert "batch=columnar" in out
+        assert "Materialize [columnar -> rows]" in out
+        assert "columnar.relation_builds (counter): 1" in out
+
     def test_scenario_json_format(self, capsys):
         assert (
             cli_main(

@@ -1,0 +1,59 @@
+"""Unit tests for the shared array codec (repro.relational.arrays)."""
+
+from repro.relational import arrays
+
+
+class TestAppendBlank:
+    def test_grows_every_array_by_one(self):
+        a, b = [1, 2], ["x"]
+        arrays.append_blank([a, b])
+        assert a == [1, 2, None]
+        assert b == ["x", None]
+
+    def test_custom_fill_value(self):
+        a = []
+        arrays.append_blank([a], value=0)
+        assert a == [0]
+
+
+class TestKeepIndices:
+    def test_survivors_of_a_delete_predicate(self):
+        rows = [10, 15, 20, 25]
+        assert arrays.keep_indices(rows, lambda r: r >= 20) == [0, 1]
+
+    def test_nothing_deleted(self):
+        assert arrays.keep_indices([1, 2], lambda r: False) == [0, 1]
+
+    def test_everything_deleted(self):
+        assert arrays.keep_indices([1, 2], lambda r: True) == []
+
+
+class TestGather:
+    def test_kept_positions_in_order(self):
+        assert arrays.gather(["a", "b", "c", "d"], [0, 2]) == ["a", "c"]
+
+    def test_empty_keep(self):
+        assert arrays.gather(["a"], []) == []
+
+
+class TestCompactInPlace:
+    def test_every_array_drops_the_same_positions(self):
+        mapping = {"x": [1, 2, 3], "y": ["a", "b", "c"]}
+        arrays.compact_in_place(mapping, [0, 2])
+        assert mapping == {"x": [1, 3], "y": ["a", "c"]}
+
+    def test_keyed_by_tuples_too(self):
+        mapping = {("c", "i"): [1, 2]}
+        arrays.compact_in_place(mapping, [1])
+        assert mapping == {("c", "i"): [2]}
+
+
+class TestMisaligned:
+    def test_aligned_returns_none(self):
+        assert arrays.misaligned(2, {"x": [1, 2], "y": [3, 4]}) is None
+
+    def test_reports_first_divergent_key_and_length(self):
+        assert arrays.misaligned(2, {"x": [1, 2], "y": [3]}) == ("y", 1)
+
+    def test_empty_mapping_is_aligned(self):
+        assert arrays.misaligned(5, {}) is None

@@ -1,0 +1,185 @@
+"""ColumnarRelation: the array-per-column value store on Relation."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.columnar import ColumnarRelation
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, RelationSchema
+
+SCHEMA = RelationSchema(
+    "t", [Column("a", "INT"), Column("b", "STR"), Column("c", "FLOAT")]
+)
+
+
+def sample_relation():
+    return Relation.from_tuples(
+        SCHEMA,
+        [(1, "x", 1.5), (2, None, 2.5), (None, "z", None), (4, "x", 0.0)],
+    )
+
+
+class TestBuild:
+    def test_transpose_matches_column_values(self):
+        relation = sample_relation()
+        store = ColumnarRelation.from_relation(relation)
+        assert store.column("a") == [1, 2, None, 4]
+        assert store.column("b") == ["x", None, "z", "x"]
+        assert store.column("c") == [1.5, 2.5, None, 0.0]
+
+    def test_column_arrays_in_schema_order(self):
+        store = ColumnarRelation.from_relation(sample_relation())
+        assert store.column_arrays() == [
+            store.column("a"), store.column("b"), store.column("c"),
+        ]
+
+    def test_empty_relation(self):
+        store = ColumnarRelation.from_relation(Relation(SCHEMA))
+        assert len(store) == 0
+        assert store.column_arrays() == [[], [], []]
+
+    def test_unknown_column_raises(self):
+        store = ColumnarRelation.from_relation(sample_relation())
+        with pytest.raises(UnknownColumnError):
+            store.column("nope")
+
+
+class TestVersionGatedCache:
+    def test_store_cached_until_mutation(self):
+        relation = sample_relation()
+        first = relation.columnar_store()
+        assert relation.columnar_store() is first
+
+    def test_insert_invalidates(self):
+        relation = sample_relation()
+        first = relation.columnar_store()
+        relation.insert({"a": 9, "b": "q", "c": 9.0})
+        second = relation.columnar_store()
+        assert second is not first
+        assert second.column("a") == [1, 2, None, 4, 9]
+
+    def test_delete_invalidates(self):
+        relation = sample_relation()
+        first = relation.columnar_store()
+        relation.delete(lambda row: row["a"] == 1)
+        second = relation.columnar_store()
+        assert second is not first
+        assert second.column("a") == [2, None, 4]
+
+    def test_update_invalidates(self):
+        relation = sample_relation()
+        first = relation.columnar_store()
+        relation.update(lambda row: row["a"] == 4, lambda row: {"b": "w"})
+        second = relation.columnar_store()
+        assert second is not first
+        assert second.column("b") == ["x", None, "z", "w"]
+
+    def test_clear_invalidates(self):
+        relation = sample_relation()
+        relation.columnar_store()
+        relation.clear()
+        assert relation.columnar_store().column_arrays() == [[], [], []]
+
+    def test_version_counts_every_mutation(self):
+        relation = Relation(SCHEMA)
+        v0 = relation.version
+        relation.insert({"a": 1, "b": "x", "c": 1.0})
+        relation.delete(lambda row: False)
+        relation.clear()
+        assert relation.version == v0 + 3
+
+
+class TestStoreMediatedMutation:
+    def test_append_keeps_arrays_aligned(self):
+        relation = sample_relation()
+        store = relation.columnar_store()
+        store.append({"a": 7, "b": "y", "c": 7.5})
+        store.check_aligned()
+        assert store.column("a") == [1, 2, None, 4, 7]
+        assert len(relation) == 5
+
+    def test_append_keeps_cache_valid(self):
+        relation = sample_relation()
+        store = relation.columnar_store()
+        store.append({"a": 7, "b": "y", "c": 7.5})
+        # Mutating *through* the store re-validates the cached entry —
+        # the next query must not rebuild.
+        assert relation.columnar_store() is store
+
+    def test_delete_compacts_every_array(self):
+        relation = sample_relation()
+        store = relation.columnar_store()
+        removed = store.delete(lambda row: row["b"] == "x")
+        assert removed == 2
+        store.check_aligned()
+        assert store.column("a") == [2, None]
+        assert store.column("b") == [None, "z"]
+        assert len(relation) == 2
+        assert relation.columnar_store() is store
+
+    def test_delete_nothing_is_a_noop(self):
+        relation = sample_relation()
+        store = relation.columnar_store()
+        assert store.delete(lambda row: False) == 0
+        assert len(relation) == 4
+
+    def test_behind_the_back_mutation_detected(self):
+        relation = sample_relation()
+        store = ColumnarRelation.from_relation(relation)
+        relation.insert({"a": 9, "b": "q", "c": 9.0})
+        with pytest.raises(SchemaError):
+            store.check_aligned()
+
+    def test_store_delete_bumps_relation_version(self):
+        # Side-table deletes must be visible to *other* caches keyed on
+        # the relation's version (e.g. the plan cache's cost band).
+        relation = sample_relation()
+        store = ColumnarRelation.from_relation(relation)
+        before = relation.version
+        store.delete(lambda row: row["a"] == 1)
+        assert relation.version > before
+
+
+class TestMaterialize:
+    def test_all_rows(self):
+        relation = sample_relation()
+        store = relation.columnar_store()
+        rows = store.materialize()
+        assert [r.values_tuple() for r in rows] == [
+            r.values_tuple() for r in relation
+        ]
+
+    def test_selected_positions_in_given_order(self):
+        store = sample_relation().columnar_store()
+        rows = store.materialize([3, 0])
+        assert [r.values_tuple() for r in rows] == [
+            (4, "x", 0.0), (1, "x", 1.5),
+        ]
+
+    def test_empty_selection(self):
+        store = sample_relation().columnar_store()
+        assert store.materialize([]) == []
+
+
+class TestTagStoreDelete:
+    def test_tag_store_delete_bumps_backing_relation_version(self):
+        # The tag side-table replaces the backing relation's rows on
+        # delete; that replacement must bump the version counter so the
+        # relation's own columnar value cache can never serve stale
+        # arrays afterwards.
+        from repro.tagging.columnar import ColumnarTagStore
+        from repro.tagging.indicators import IndicatorDefinition, TagSchema
+
+        plain = Relation.from_tuples(
+            SCHEMA, [(1, "x", 1.0), (2, "y", 2.0), (3, "z", 3.0)]
+        )
+        tags = TagSchema(
+            [IndicatorDefinition("source", "STR")], allowed={"a": ["source"]}
+        )
+        store = ColumnarTagStore(plain, tags)
+        value_store = plain.columnar_store()
+        before = plain.version
+        store.delete(lambda row: row["a"] == 2)
+        assert plain.version > before
+        assert plain.columnar_store() is not value_store
+        assert plain.columnar_store().column("a") == [1, 3]

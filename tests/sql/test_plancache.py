@@ -175,3 +175,101 @@ class TestTaggedPlans:
         # ...but strict mode on the *cached* entry still analyzes.
         with pytest.raises(QueryAnalysisError):
             execute_planned(sql, relation, cache=cache, strict=True)
+
+
+class TestColumnarKeying:
+    """The cache key must cover columnar mode and the costing band.
+
+    Before this keying existed, a plan compiled under ``columnar=True``
+    would be served to a ``columnar=False`` caller (wrong mode), and a
+    row plan compiled while the relation sat under COLUMNAR_MIN_ROWS
+    would keep being served after the relation grew past it (stale
+    access-path choice).  Both assertions below fail under the old
+    keying.
+    """
+
+    SQL = "SELECT a FROM t WHERE a >= 0"
+
+    def big_relation(self):
+        from repro.sql import optimizer
+
+        n = optimizer.COLUMNAR_MIN_ROWS + 36
+        return make_relation(rows=[(i, "x") for i in range(n)])
+
+    def test_mode_toggle_compiles_two_coexisting_entries(self):
+        from repro.sql.plan import Materialize
+
+        cache = PlanCache()
+        relation = self.big_relation()
+        execute_planned(self.SQL, relation, cache=cache, columnar=True)
+        execute_planned(self.SQL, relation, cache=cache, columnar=False)
+        assert cache.misses == 2  # the row-path call must NOT hit
+        entries = cache._entries[self.SQL]
+        assert sorted(e.columnar_mode for e in entries) == [False, True]
+        by_mode = {e.columnar_mode: e for e in entries}
+        assert isinstance(by_mode[True].plan, Materialize)
+        assert not isinstance(by_mode[False].plan, Materialize)
+
+    def test_mode_toggle_then_both_modes_hit(self):
+        cache = PlanCache()
+        relation = self.big_relation()
+        execute_planned(self.SQL, relation, cache=cache, columnar=True)
+        execute_planned(self.SQL, relation, cache=cache, columnar=False)
+        execute_planned(self.SQL, relation, cache=cache, columnar=True)
+        execute_planned(self.SQL, relation, cache=cache, columnar=False)
+        assert cache.hits == 2 and cache.misses == 2
+
+    def test_growth_past_threshold_replans_columnar(self):
+        from repro.sql import optimizer
+        from repro.sql.plan import Materialize
+
+        cache = PlanCache()
+        relation = make_relation(rows=[(i, "x") for i in range(4)])
+        execute_planned(self.SQL, relation, cache=cache)
+        entry = cache.lookup(self.SQL, relation)[0]
+        assert entry.columnar_band is False
+        assert not isinstance(entry.plan, Materialize)
+        # Grow past the costing threshold: the cached row plan's band
+        # no longer matches, so the lookup must miss and replan.
+        for i in range(optimizer.COLUMNAR_MIN_ROWS + 10):
+            relation.insert({"a": 100 + i, "b": "y"})
+        result = execute_planned(self.SQL, relation, cache=cache)
+        assert len(result) == 4 + optimizer.COLUMNAR_MIN_ROWS + 10
+        fresh = cache.lookup(self.SQL, relation)[0]
+        assert fresh.columnar_band is True
+        assert isinstance(fresh.plan, Materialize)
+
+    def test_shrink_below_threshold_replans_rows(self):
+        from repro.sql.plan import Materialize
+
+        cache = PlanCache()
+        relation = self.big_relation()
+        execute_planned(self.SQL, relation, cache=cache)
+        assert isinstance(cache.lookup(self.SQL, relation)[0].plan, Materialize)
+        relation.delete(lambda row: row["a"] >= 4)
+        fresh = cache.lookup(self.SQL, relation)
+        # lookup() counts a miss for the stale band; the next planned
+        # execution compiles a row plan.
+        assert fresh is None
+        result = execute_planned(self.SQL, relation, cache=cache)
+        assert len(result) == 4
+        assert not isinstance(
+            cache.lookup(self.SQL, relation)[0].plan, Materialize
+        )
+
+    def test_tagged_entries_carry_no_band(self):
+        schema = RelationSchema("t", [Column("a", "INT")])
+        tags = TagSchema(
+            [IndicatorDefinition("source", "STR")], allowed={"a": ["source"]}
+        )
+        relation = TaggedRelation(schema, tags)
+        for index in range(80):
+            relation.insert({"a": QualityCell(index)})
+        cache = PlanCache()
+        execute_planned(self.SQL, relation, cache=cache)
+        entry = cache.lookup(self.SQL, relation)[0]
+        # Costing never applies to tagged sources, so size changes must
+        # not invalidate their plans.
+        assert entry.columnar_band is None
+        relation.insert({"a": QualityCell(999)})
+        assert cache.lookup(self.SQL, relation) is not None

@@ -213,3 +213,73 @@ class TestStoreCaching:
         assert after is not before
         assert len(after) == len(tagged_customers)
         assert after.scan([("address", "source", "==", "sales")]) == []
+
+
+class TestScanMissingOk:
+    """5-tuple scan constraints: (column, indicator, op, operand, missing_ok)."""
+
+    @pytest.fixture
+    def sparse(self, customer_schema, customer_tag_schema):
+        relation = Relation.from_tuples(
+            customer_schema,
+            [
+                ("A Co", "1 St", 1),
+                ("B Co", "2 St", 2),
+                ("C Co", "3 St", 3),
+            ],
+        )
+        built = ColumnarTagStore(relation, customer_tag_schema)
+        # Only rows 0 and 2 carry a source; row 1 is untagged.
+        built.set_tag(0, "address", "source", "sales")
+        built.set_tag(2, "address", "source", "acct'g")
+        built.set_tag(0, "employees", "source", "Nexis")
+        return built
+
+    def test_four_tuple_misses_untagged(self, sparse):
+        assert sparse.scan([("address", "source", "!=", "ghost")]) == [0, 2]
+
+    def test_missing_ok_emits_untagged(self, sparse):
+        hits = sparse.scan([("address", "source", "!=", "ghost", True)])
+        assert hits == [0, 1, 2]
+
+    def test_missing_ok_equality_skips_index_hop(self, sparse):
+        # The list.index fast path cannot emit Nones, so equality with
+        # missing_ok must take the per-element loop — and include row 1.
+        hits = sparse.scan([("address", "source", "==", "sales", True)])
+        assert hits == [0, 1]
+
+    def test_missing_ok_on_survivor_probe(self, sparse):
+        # Second constraint probes only the first's survivors; untagged
+        # survivors pass when missing_ok is set.
+        hits = sparse.scan(
+            [
+                ("address", "source", "!=", "ghost", True),
+                ("employees", "source", "==", "Nexis", True),
+            ]
+        )
+        assert hits == [0, 1, 2]
+        strict = sparse.scan(
+            [
+                ("address", "source", "!=", "ghost", True),
+                ("employees", "source", "==", "Nexis"),
+            ]
+        )
+        assert strict == [0]
+
+    def test_matches_indicator_constraint_semantics(self, sparse):
+        from repro.tagging.query import IndicatorConstraint
+
+        tagged = sparse.to_tagged_relation()
+        for missing_ok in (False, True):
+            constraint = IndicatorConstraint(
+                "address", "source", "==", "sales", missing_ok=missing_ok
+            )
+            per_row = [
+                index
+                for index, row in enumerate(tagged)
+                if constraint.test(row)
+            ]
+            scanned = sparse.scan(
+                [("address", "source", "==", "sales", missing_ok)]
+            )
+            assert scanned == per_row

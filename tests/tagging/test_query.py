@@ -168,3 +168,81 @@ class TestQualityQuery:
     def test_unknown_operator(self, tagged_customers):
         with pytest.raises(QueryError):
             QualityQuery(tagged_customers).where_value("employees", "~", 1)
+
+
+class TestApplyColumnar:
+    """QualityFilter.apply_columnar ≡ apply (values, tags, order)."""
+
+    def canonical(self, relation):
+        return [row.cells for row in relation]
+
+    def assert_equivalent(self, quality_filter, relation):
+        via_rows = quality_filter.apply(relation)
+        via_arrays = quality_filter.apply_columnar(relation)
+        assert self.canonical(via_arrays) == self.canonical(via_rows)
+        return via_arrays
+
+    def test_single_constraint(self, tagged_customers):
+        grade = QualityFilter(
+            [IndicatorConstraint("employees", "source", "!=", "estimate")]
+        )
+        result = self.assert_equivalent(grade, tagged_customers)
+        assert [r.value("co_name") for r in result] == ["Fruit Co"]
+
+    def test_conjunction(self, tagged_customers):
+        grade = QualityFilter(
+            [
+                IndicatorConstraint(
+                    "address", "creation_time", ">=", dt.date(1991, 1, 1)
+                ),
+                IndicatorConstraint("employees", "source", "!=", "estimate"),
+            ]
+        )
+        self.assert_equivalent(grade, tagged_customers)
+
+    def test_empty_filter(self, tagged_customers):
+        result = self.assert_equivalent(QualityFilter(), tagged_customers)
+        assert len(result) == len(tagged_customers)
+
+    def test_missing_ok_constraint(self, tagged_customers):
+        tagged_customers.insert(
+            {"co_name": "Bare Co", "address": "9 Elm", "employees": 1}
+        )
+        grade = QualityFilter(
+            [
+                IndicatorConstraint(
+                    "employees", "source", "!=", "estimate", missing_ok=True
+                )
+            ]
+        )
+        result = self.assert_equivalent(grade, tagged_customers)
+        assert [r.value("co_name") for r in result] == ["Fruit Co", "Bare Co"]
+
+    def test_disallowed_indicator_falls_back(self, tagged_customers):
+        # co_name allows no indicators: the store has no array to scan,
+        # and the per-cell path reads the tag as missing.  Both paths
+        # must agree (here: missing fails, so nothing survives).
+        grade = QualityFilter(
+            [IndicatorConstraint("co_name", "source", "==", "sales")]
+        )
+        result = self.assert_equivalent(grade, tagged_customers)
+        assert len(result) == 0
+
+    def test_unknown_column_still_raises(self, tagged_customers):
+        from repro.errors import UnknownColumnError
+
+        grade = QualityFilter(
+            [IndicatorConstraint("ghost", "source", "==", "x")]
+        )
+        with pytest.raises(UnknownColumnError):
+            grade.apply_columnar(tagged_customers)
+
+    def test_result_keeps_tags(self, tagged_customers):
+        grade = QualityFilter(
+            [IndicatorConstraint("address", "source", "==", "acct'g")]
+        )
+        result = grade.apply_columnar(tagged_customers)
+        row = next(iter(result))
+        assert row["address"].tag_value("creation_time") == dt.date(
+            1991, 10, 24
+        )
