@@ -115,6 +115,21 @@ def test_obs_overhead_json():
     execute(SQL, ticks)
     full_s = best_seconds(lambda: execute(SQL, ticks), repeats=9)
 
+    # Verified mode, for the record (no CI bound): the same warm-cache
+    # entry point with REPRO_VERIFY_PLANS=1, which re-audits the cache
+    # entry (DQ409) and runs the columnar sanitizer on every hit.
+    import os
+
+    os.environ["REPRO_VERIFY_PLANS"] = "1"
+    try:
+        clear_plan_cache()
+        execute(SQL, ticks)
+        verified_s = best_seconds(lambda: execute(SQL, ticks), repeats=9)
+    finally:
+        os.environ.pop("REPRO_VERIFY_PLANS", None)
+        clear_plan_cache()
+    verified_overhead = verified_s / full_s
+
     write_bench_json(
         "BENCH_OBS.json",
         [
@@ -128,6 +143,10 @@ def test_obs_overhead_json():
                 overhead=enabled_overhead,
             ),
             bench_record("obs_full_execute_warm_cache", n, full_s),
+            bench_record(
+                "obs_verified_execute", n, verified_s,
+                overhead=verified_overhead,
+            ),
         ],
         REPO_ROOT,
     )
@@ -138,7 +157,9 @@ def test_obs_overhead_json():
         f"({disabled_overhead:.3f}x)\n"
         f"instrumented, stats  {enabled_s * 1e3:.3f} ms "
         f"({enabled_overhead:.3f}x)\n"
-        f"execute() warm cache {full_s * 1e3:.3f} ms",
+        f"execute() warm cache {full_s * 1e3:.3f} ms\n"
+        f"verified + sanitized {verified_s * 1e3:.3f} ms "
+        f"({verified_overhead:.3f}x)",
     )
     # The CI-enforced ceiling: disabled instrumentation stays under 5%.
     assert disabled_overhead <= 1.05

@@ -5,6 +5,8 @@ Usage::
     repro-lint examples/                  # lint QSQL strings in .py files
     repro-lint --sql "SELECT x FROM t"    # lint one query string
     repro-lint --scenarios                # lint built-in scenario schemas
+    repro-lint --workload examples/       # cross-statement workload lint
+    repro-lint --format json examples/    # machine-readable findings
     repro-lint --codes                    # print the DQ code registry
 
 Queries resolve against the example catalog (``--catalog examples``,
@@ -17,6 +19,7 @@ diagnostic at or above ``--fail-on`` (default ``error``) was emitted,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -57,6 +60,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--codes",
         action="store_true",
         help="print the diagnostic-code registry and exit",
+    )
+    parser.add_argument(
+        "--workload",
+        action="store_true",
+        help=(
+            "additionally lint the collected queries as one workload "
+            "(cross-statement DQ42x checks)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
     )
     parser.add_argument(
         "--catalog",
@@ -144,12 +161,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         catalog = example_catalog()
 
     diagnostics = Diagnostics()
-    n_queries = 0
+    corpus: list[tuple[str, str]] = []
 
     for i, sql in enumerate(args.sql):
         context = "--sql" if len(args.sql) == 1 else f"--sql#{i + 1}"
         diagnostics.extend(analyze_query(sql, catalog, context=context))
-        n_queries += 1
+        corpus.append((sql, context))
 
     if args.paths:
         from repro.analysis.extract import (
@@ -165,10 +182,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 diagnostics.extend(
                     analyze_query(query.sql, catalog, context=query.context)
                 )
-                n_queries += 1
+                corpus.append((query.sql, query.context))
 
     if args.scenarios:
         _lint_scenarios(diagnostics)
+
+    if args.workload:
+        from repro.analysis.workload import analyze_workload
+
+        diagnostics.extend(analyze_workload(corpus, catalog))
+
+    n_queries = len(corpus)
+    threshold = severity_from_name(args.fail_on)
+    failed = any(d.severity >= threshold for d in diagnostics)
+
+    if args.format == "json":
+        payload = {
+            "queries": n_queries,
+            "findings": [d.to_dict() for d in diagnostics],
+            "summary": {
+                "errors": len(diagnostics.errors()),
+                "warnings": len(diagnostics.warnings()),
+                "info": len(diagnostics)
+                - len(diagnostics.errors())
+                - len(diagnostics.warnings()),
+                "failed": failed,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
 
     if diagnostics:
         print(diagnostics.render())
@@ -176,9 +218,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         " + scenarios" if args.scenarios else ""
     )
     print(f"repro-lint: {scope}: {diagnostics.summary()}")
-
-    threshold = severity_from_name(args.fail_on)
-    failed = any(d.severity >= threshold for d in diagnostics)
     return 1 if failed else 0
 
 

@@ -8,7 +8,11 @@ and user suppressions), grouped by the paper's artifact they check:
   merge conflicts);
 - ``DQ2xx`` — query analysis: semantic errors a QSQL statement would
   hit (or silently mis-answer) at execution time;
-- ``DQ3xx`` — query style: legal but suspicious constructs.
+- ``DQ3xx`` — query style: legal but suspicious constructs;
+- ``DQ40x`` — plan verification: structural invariants of optimized
+  plan trees and plan-cache entries (the plan-IR static verifier);
+- ``DQ42x`` — workload lint: cross-statement findings over a corpus of
+  QSQL queries (``repro-lint --workload``).
 
 :data:`CODES` maps each code to its :class:`CodeInfo`; the registry is
 closed — constructing a :class:`~repro.analysis.diagnostics.Diagnostic`
@@ -226,6 +230,117 @@ _CODES: tuple[CodeInfo, ...] = (
         INFO,
         "The same key appears more than once in ORDER BY; later "
         "occurrences never affect the ordering.",
+    ),
+    # -- DQ40x: plan verification ---------------------------------------------
+    CodeInfo(
+        "DQ401",
+        "unresolved plan column",
+        ERROR,
+        "An operator references a column its input subtree does not "
+        "provide (broken per-operator schema derivation): the plan "
+        "would raise or silently mis-resolve at compile time.",
+    ),
+    CodeInfo(
+        "DQ402",
+        "plan schema mismatch",
+        ERROR,
+        "An operator's derived output schema is inconsistent: duplicate "
+        "output names, hash-join inputs whose columns overlap, stale "
+        "left/right column annotations, or a Scan whose tagged flag "
+        "disagrees with the catalog relation.",
+    ),
+    CodeInfo(
+        "DQ403",
+        "illegal quality pushdown",
+        ERROR,
+        "A QualityFilter does not sit directly above a tagged Scan, or "
+        "routes a constraint the columnar tag store cannot answer with "
+        "row semantics (unknown column/indicator, disallowed indicator, "
+        "NULL operand, unknown operator).",
+    ),
+    CodeInfo(
+        "DQ404",
+        "misplaced QUALITY reference",
+        ERROR,
+        "A plan operator evaluates QUALITY(...) over an untagged "
+        "subtree (plain scan, join output, or post-aggregation), where "
+        "no per-cell tags exist.",
+    ),
+    CodeInfo(
+        "DQ405",
+        "columnar boundary violation",
+        ERROR,
+        "A columnar Scan's fragment does not reach a Materialize "
+        "boundary before row-only operators, a non-whitelisted operator "
+        "appears inside the fragment, or a Materialize sits over a "
+        "non-columnar subtree.",
+    ),
+    CodeInfo(
+        "DQ406",
+        "columnar-ineligible operator",
+        ERROR,
+        "A whitelisted operator inside a columnar fragment carries work "
+        "the vectorized path cannot run: a predicate with QUALITY "
+        "references, a computed projection item, or a non-column "
+        "TopK key.",
+    ),
+    CodeInfo(
+        "DQ407",
+        "illegal fusion parameters",
+        ERROR,
+        "A TopK/Limit with a negative count or a Sort/TopK with no "
+        "order keys — shapes no legal rewrite sequence produces.",
+    ),
+    CodeInfo(
+        "DQ408",
+        "missed TopK fusion",
+        WARNING,
+        "An optimized plan still contains LIMIT directly over ORDER BY "
+        "(a full sort where a bounded heap suffices); fuse_topk should "
+        "have rewritten it.",
+    ),
+    CodeInfo(
+        "DQ409",
+        "incomplete plan-cache key",
+        ERROR,
+        "A plan-cache entry omits (or pins a stale value of) an input "
+        "that affects plan shape — schema identity, tag schema, "
+        "catalog version, columnar mode, or the columnar cost band — "
+        "so a hit could serve a plan built for different inputs.",
+    ),
+    # -- DQ42x: workload lint --------------------------------------------------
+    CodeInfo(
+        "DQ420",
+        "duplicate statement modulo literals",
+        WARNING,
+        "Two or more workload statements differ only in literal values. "
+        "The plan cache keys on statement text, so each variant misses "
+        "the cache and plans from scratch; parameterize the statement.",
+    ),
+    CodeInfo(
+        "DQ421",
+        "contradictory quality requirements",
+        WARNING,
+        "Two workload statements impose mutually exclusive constraints "
+        "on the same QUALITY(column.indicator) — the application views "
+        "disagree about acceptable quality (paper Step 4 view "
+        "integration conflict).",
+    ),
+    CodeInfo(
+        "DQ422",
+        "subsumed quality filter",
+        INFO,
+        "One statement's quality filter accepts a strict subset of the "
+        "values another statement accepts on the same indicator; the "
+        "stricter view could be served from the looser one.",
+    ),
+    CodeInfo(
+        "DQ423",
+        "indicator never queried",
+        INFO,
+        "A tag schema defines an indicator on a workload relation that "
+        "no statement in the corpus ever references — quality metadata "
+        "is collected but never consulted.",
     ),
 )
 

@@ -75,6 +75,16 @@ class Diagnostic:
     def is_error(self) -> bool:
         return self.severity >= ERROR
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: span flattened, severity as its label."""
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "span": None if self.span is None else [self.span.start, self.span.end],
+            "context": self.context,
+        }
+
     def render(self) -> str:
         """``CODE severity: message`` plus a caret snippet when anchored."""
         prefix = f"{self.code} {self.severity.label}"

@@ -1,0 +1,696 @@
+"""The plan-IR static verifier: structural soundness of optimized plans.
+
+The optimizer's rewrites (:mod:`repro.sql.optimizer`) and the plan
+cache (:mod:`repro.sql.plancache`) are trusted with the correctness of
+every planner-path answer: a wrong pushdown or a stale cache entry
+silently returns wrong rows.  This module makes those invariants
+checkable — the paper's "quality requirements verified before data is
+consumed" applied to the engine's own plans.
+
+:func:`verify_plan` walks an optimized logical plan bottom-up, deriving
+each operator's output shape via the plan IR's own
+:func:`~repro.sql.plan.derive_plan_columns` methods, and reports
+violations through the diagnostics engine as the DQ40x family:
+
+- **column resolution** (DQ401) — every column an operator reads is
+  provided by its input subtree;
+- **schema consistency** (DQ402) — no duplicate output names, join
+  inputs disjoint, join column annotations fresh, scan flags matching
+  the catalog;
+- **pushdown legality** (DQ403/DQ404) — QualityFilters sit directly
+  above tagged scans and route only store-answerable constraints;
+  QUALITY references only appear over tag-carrying subtrees;
+- **columnar discipline** (DQ405/DQ406) — a ``Scan(columnar=True)``
+  reaches its :class:`~repro.sql.plan.Materialize` boundary through
+  whitelisted, vector-executable operators only;
+- **fusion legality** (DQ407/DQ408) — TopK/Limit/Sort parameters are
+  legal and LIMIT-over-ORDER-BY was fused.
+
+:func:`verify_cache_entry` checks plan-cache key completeness (DQ409):
+every plan-shape-affecting input — schema identity, tag schema,
+catalog version, columnar mode, columnar cost band — is pinned by the
+entry and still matches the live relation.
+
+Unknown base relations (a context that cannot resolve a scan) degrade
+gracefully: shape-dependent checks are skipped rather than reported,
+so the verifier can run over partially-bound plans in tests.
+
+Wiring: ``optimize(..., verify=True)``, the ``REPRO_VERIFY_PLANS=1``
+environment flag (which also arms the columnar batch sanitizer in
+:mod:`repro.sql.physical`), and the plan cache's install/hit paths.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.analysis.diagnostics import Diagnostics, QueryAnalysisError
+from repro.obs import metrics as _obs_metrics
+from repro.relational.catalog import Database
+from repro.relational.relation import Relation
+from repro.sql.nodes import (
+    AggregateCall,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+)
+from repro.sql.plan import (
+    Aggregate,
+    Columns,
+    Distinct,
+    Filter,
+    HashJoin,
+    Limit,
+    Materialize,
+    PlanNode,
+    Project,
+    QualityFilter,
+    Scan,
+    Sort,
+    TopK,
+    render_expr,
+)
+from repro.tagging.query import OPERATORS as _STORE_OPERATORS
+from repro.tagging.relation import TaggedRelation
+
+__all__ = [
+    "PlanVerificationError",
+    "assert_plan_verifies",
+    "verify_cache_entry",
+    "verify_plan",
+    "verify_plans_enabled",
+]
+
+#: The environment flag that turns on plan verification (optimizer +
+#: plan cache) and the columnar batch sanitizer.  Any value other than
+#: empty/"0" arms both.
+ENV_FLAG = "REPRO_VERIFY_PLANS"
+
+#: Operator types allowed between a columnar Scan and its Materialize.
+_FRAGMENT_WHITELIST = (Scan, Filter, Project, TopK, Limit)
+
+
+def verify_plans_enabled() -> bool:
+    """Whether the ``REPRO_VERIFY_PLANS`` environment flag is set."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class PlanVerificationError(QueryAnalysisError):
+    """An optimized plan (or cache entry) failed static verification.
+
+    Carries the full :class:`Diagnostics` list like its parent; raised
+    by ``optimize(..., verify=True)`` and the plan cache's verified
+    install/hit paths.
+    """
+
+
+@dataclass
+class _Shape:
+    """Derived facts about one plan subtree's output."""
+
+    columns: Columns  # output column names, None when underivable
+    tagged: bool  # rows carry per-cell quality tags
+    tag_schema: Any  # TagSchema when known, else None
+    known: bool  # the base relation(s) below resolved in the context
+
+
+def _expr_refs(expr: Any) -> tuple[set[str], set[tuple[str, str]]]:
+    """(column names, QUALITY (column, indicator) pairs) a WHERE
+    subtree reads."""
+    columns: set[str] = set()
+    quality: set[tuple[str, str]] = set()
+
+    def walk(node: Any) -> None:
+        if isinstance(node, Literal):
+            return
+        if isinstance(node, ColumnRef):
+            columns.add(node.column)
+        elif isinstance(node, QualityRef):
+            columns.add(node.column)
+            quality.add((node.column, node.indicator))
+        elif isinstance(node, Comparison):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (InList, IsNull)):
+            walk(node.operand)
+        elif isinstance(node, BoolOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, NotOp):
+            walk(node.operand)
+
+    walk(expr)
+    return columns, quality
+
+
+class _PlanVerifier:
+    """One verification run over one optimized plan tree."""
+
+    def __init__(
+        self,
+        context: Any,
+        sql: Optional[str],
+        context_label: str,
+        diagnostics: Diagnostics,
+    ) -> None:
+        self.context = context
+        self.sql = sql
+        self.context_label = context_label
+        self.diagnostics = diagnostics
+
+    def add(self, code: str, message: str, span: Any = None) -> None:
+        self.diagnostics.add(
+            code,
+            message,
+            span=span,
+            source=self.sql,
+            context=self.context_label,
+        )
+
+    # -- per-node checks -----------------------------------------------------
+
+    def visit(self, node: PlanNode, in_fragment: bool) -> _Shape:
+        if in_fragment and not isinstance(node, _FRAGMENT_WHITELIST):
+            self.add(
+                "DQ405",
+                f"operator {type(node).__name__} is not allowed inside a "
+                f"columnar fragment (whitelist: Scan, Filter, Project, "
+                f"TopK, Limit)",
+            )
+        if isinstance(node, Scan):
+            return self.visit_scan(node, in_fragment)
+        if isinstance(node, QualityFilter):
+            return self.visit_quality_filter(node, in_fragment)
+        if isinstance(node, Filter):
+            return self.visit_filter(node, in_fragment)
+        if isinstance(node, Project):
+            return self.visit_project(node, in_fragment)
+        if isinstance(node, HashJoin):
+            return self.visit_hash_join(node, in_fragment)
+        if isinstance(node, Aggregate):
+            return self.visit_aggregate(node, in_fragment)
+        if isinstance(node, (Sort, TopK)):
+            return self.visit_order(node, in_fragment)
+        if isinstance(node, Distinct):
+            return self.visit(node.child, in_fragment)
+        if isinstance(node, Limit):
+            return self.visit_limit(node, in_fragment)
+        if isinstance(node, Materialize):
+            return self.visit_materialize(node, in_fragment)
+        self.add("DQ402", f"unknown plan node {node!r}")  # pragma: no cover
+        return _Shape(None, False, None, False)  # pragma: no cover
+
+    def visit_scan(self, node: Scan, in_fragment: bool) -> _Shape:
+        if node.columnar and not in_fragment:
+            self.add(
+                "DQ405",
+                f"columnar Scan of {node.relation!r} never reaches a "
+                f"Materialize boundary; row operators above it would see "
+                f"column arrays",
+            )
+        relation = self.context.relation(node.relation) if self.context else None
+        if relation is None:
+            return _Shape(None, node.tagged, None, False)
+        tagged = isinstance(relation, TaggedRelation)
+        if tagged != node.tagged:
+            self.add(
+                "DQ402",
+                f"Scan of {node.relation!r} is marked "
+                f"{'tagged' if node.tagged else 'plain'} but the catalog "
+                f"relation is {'tagged' if tagged else 'plain'}",
+            )
+        if node.columnar and tagged:
+            self.add(
+                "DQ405",
+                f"columnar Scan of {node.relation!r} over a tagged "
+                f"relation; the columnar path supports plain relations "
+                f"only",
+            )
+        return _Shape(
+            tuple(relation.schema.column_names),
+            tagged,
+            relation.tag_schema if tagged else None,
+            True,
+        )
+
+    def visit_quality_filter(
+        self, node: QualityFilter, in_fragment: bool
+    ) -> _Shape:
+        child_shape = self.visit(node.child, in_fragment)
+        child = node.child
+        if not (isinstance(child, Scan) and child.tagged):
+            self.add(
+                "DQ403",
+                f"QualityFilter must sit directly above a tagged Scan, "
+                f"not {type(child).__name__}; the columnar tag store is "
+                f"only addressable at the base relation",
+            )
+            return child_shape
+        for column, indicator, op, operand in node.constraints:
+            label = f"QUALITY({column}.{indicator}) {op} {operand!r}"
+            if op not in _STORE_OPERATORS:
+                self.add(
+                    "DQ403",
+                    f"pushed constraint {label} uses operator {op!r}, "
+                    f"which the tag store does not implement "
+                    f"(known: {sorted(_STORE_OPERATORS)})",
+                )
+            if operand is None:
+                self.add(
+                    "DQ403",
+                    f"pushed constraint {label} compares against NULL; "
+                    f"row semantics never match NULL, the store would "
+                    f"match differently",
+                )
+            if not child_shape.known:
+                continue
+            if child_shape.columns is not None and column not in child_shape.columns:
+                self.add(
+                    "DQ401",
+                    f"pushed constraint {label} references column "
+                    f"{column!r}, which the scanned relation does not "
+                    f"provide (columns: {list(child_shape.columns)})",
+                )
+                continue
+            tag_schema = child_shape.tag_schema
+            if tag_schema is not None:
+                try:
+                    allowed = tag_schema.allowed_for(column)
+                except Exception:
+                    allowed = ()
+                if indicator not in allowed:
+                    self.add(
+                        "DQ403",
+                        f"pushed constraint {label}: indicator "
+                        f"{indicator!r} is not allowed on column "
+                        f"{column!r} — per-cell it reads as NULL (never "
+                        f"matches) but the store scan would raise",
+                    )
+        return child_shape
+
+    def visit_filter(self, node: Filter, in_fragment: bool) -> _Shape:
+        shape = self.visit(node.child, in_fragment)
+        predicate = node.predicate
+        if isinstance(predicate, Literal):
+            return shape
+        columns, quality = _expr_refs(predicate)
+        span = getattr(predicate, "span", None)
+        if in_fragment and quality:
+            self.add(
+                "DQ406",
+                f"columnar Filter predicate {render_expr(predicate)} "
+                f"reads QUALITY(...) tags; the vectorized path has no "
+                f"per-cell tags",
+                span=span,
+            )
+        if shape.known and shape.columns is not None:
+            for column in sorted(columns - set(shape.columns)):
+                self.add(
+                    "DQ401",
+                    f"Filter predicate references column {column!r}, "
+                    f"which its input does not provide "
+                    f"(columns: {list(shape.columns)})",
+                    span=span,
+                )
+        if quality and shape.known and not shape.tagged:
+            pairs = ", ".join(
+                f"QUALITY({c}.{i})" for c, i in sorted(quality)
+            )
+            self.add(
+                "DQ404",
+                f"Filter evaluates {pairs} over an untagged subtree; "
+                f"no per-cell tags exist there",
+                span=span,
+            )
+        return shape
+
+    def visit_project(self, node: Project, in_fragment: bool) -> _Shape:
+        shape = self.visit(node.child, in_fragment)
+        seen: dict[str, int] = {}
+        materializes_quality = False
+        for item in node.items:
+            name = item.output_name
+            seen[name] = seen.get(name, 0) + 1
+            if seen[name] == 2:
+                self.add(
+                    "DQ402",
+                    f"Project emits duplicate output column {name!r}",
+                    span=item.span,
+                )
+            expr = item.expr
+            if isinstance(expr, AggregateCall):
+                self.add(
+                    "DQ402",
+                    f"Project contains aggregate call "
+                    f"{expr.func}(...); aggregates belong in an "
+                    f"Aggregate operator",
+                    span=item.span,
+                )
+                continue
+            if in_fragment and not isinstance(expr, ColumnRef):
+                self.add(
+                    "DQ406",
+                    f"columnar Project item {name!r} is not a bare "
+                    f"column reference; the vectorized path only "
+                    f"reorders array references",
+                    span=item.span,
+                )
+            if isinstance(expr, QualityRef):
+                materializes_quality = True
+                if shape.known and not shape.tagged:
+                    self.add(
+                        "DQ404",
+                        f"Project materializes QUALITY({expr.column}."
+                        f"{expr.indicator}) over an untagged subtree",
+                        span=item.span,
+                    )
+            if (
+                shape.known
+                and shape.columns is not None
+                and expr.column not in shape.columns
+            ):
+                self.add(
+                    "DQ401",
+                    f"Project references column {expr.column!r}, which "
+                    f"its input does not provide "
+                    f"(columns: {list(shape.columns)})",
+                    span=item.span,
+                )
+        return _Shape(
+            tuple(item.output_name for item in node.items),
+            shape.tagged and not materializes_quality,
+            shape.tag_schema if shape.tagged and not materializes_quality else None,
+            shape.known,
+        )
+
+    def visit_hash_join(self, node: HashJoin, in_fragment: bool) -> _Shape:
+        left = self.visit(node.left, in_fragment)
+        right = self.visit(node.right, in_fragment)
+        if left.columns is not None and right.columns is not None:
+            overlap = set(left.columns) & set(right.columns)
+            if overlap:
+                self.add(
+                    "DQ402",
+                    f"HashJoin inputs share column names "
+                    f"{sorted(overlap)}; the concatenated output schema "
+                    f"would be ambiguous",
+                )
+        for annotation, derived, side in (
+            (node.left_columns, left.columns, "left"),
+            (node.right_columns, right.columns, "right"),
+        ):
+            if annotation and derived is not None and tuple(annotation) != derived:
+                self.add(
+                    "DQ402",
+                    f"HashJoin {side}_columns annotation "
+                    f"{list(annotation)} is stale; the {side} subtree "
+                    f"derives {list(derived)}",
+                )
+        for lcol, rcol in node.on:
+            if left.known and left.columns is not None and lcol not in left.columns:
+                self.add(
+                    "DQ401",
+                    f"HashJoin key {lcol!r} is not provided by the left "
+                    f"input (columns: {list(left.columns)})",
+                )
+            if right.known and right.columns is not None and rcol not in right.columns:
+                self.add(
+                    "DQ401",
+                    f"HashJoin key {rcol!r} is not provided by the "
+                    f"right input (columns: {list(right.columns)})",
+                )
+        columns = (
+            left.columns + right.columns
+            if left.columns is not None and right.columns is not None
+            else None
+        )
+        return _Shape(columns, False, None, left.known and right.known)
+
+    def _check_operand(
+        self, operand: Any, shape: _Shape, where: str, span: Any
+    ) -> None:
+        """Resolve one ColumnRef/QualityRef against the input shape."""
+        if isinstance(operand, QualityRef):
+            if shape.known and not shape.tagged:
+                self.add(
+                    "DQ404",
+                    f"{where} evaluates QUALITY({operand.column}."
+                    f"{operand.indicator}) over an untagged subtree",
+                    span=span,
+                )
+        if (
+            shape.known
+            and shape.columns is not None
+            and operand.column not in shape.columns
+        ):
+            self.add(
+                "DQ401",
+                f"{where} references column {operand.column!r}, which "
+                f"its input does not provide "
+                f"(columns: {list(shape.columns)})",
+                span=span,
+            )
+
+    def visit_aggregate(self, node: Aggregate, in_fragment: bool) -> _Shape:
+        shape = self.visit(node.child, in_fragment)
+        for key in node.group_by:
+            self._check_operand(key, shape, "Aggregate GROUP BY", key.span)
+        seen: dict[str, int] = {}
+        for item in node.items:
+            name = item.output_name
+            seen[name] = seen.get(name, 0) + 1
+            if seen[name] == 2:
+                self.add(
+                    "DQ402",
+                    f"Aggregate emits duplicate output column {name!r}",
+                    span=item.span,
+                )
+            expr = item.expr
+            if isinstance(expr, AggregateCall):
+                if expr.operand is not None:
+                    self._check_operand(
+                        expr.operand, shape, f"Aggregate {expr.func}",
+                        expr.span,
+                    )
+            else:
+                self._check_operand(expr, shape, "Aggregate key", item.span)
+        return _Shape(
+            tuple(item.output_name for item in node.items),
+            False,
+            None,
+            shape.known,
+        )
+
+    def visit_order(self, node: "Sort | TopK", in_fragment: bool) -> _Shape:
+        shape = self.visit(node.child, in_fragment)
+        kind = type(node).__name__
+        if not node.order_by:
+            self.add(
+                "DQ407",
+                f"{kind} with no order keys; no rewrite sequence "
+                f"produces an unkeyed {kind}",
+            )
+        if isinstance(node, TopK) and node.count < 0:
+            self.add(
+                "DQ407",
+                f"TopK with negative count {node.count}; limits are "
+                f"validated non-negative at parse time",
+            )
+        for item in node.order_by:
+            if in_fragment and not isinstance(item.key, ColumnRef):
+                self.add(
+                    "DQ406",
+                    f"columnar {kind} key "
+                    f"{getattr(item.key, 'column', item.key)!r} is not a "
+                    f"bare column reference",
+                    span=item.span,
+                )
+                continue
+            self._check_operand(item.key, shape, f"{kind} key", item.span)
+        return shape
+
+    def visit_limit(self, node: Limit, in_fragment: bool) -> _Shape:
+        shape = self.visit(node.child, in_fragment)
+        if node.count < 0:
+            self.add(
+                "DQ407",
+                f"Limit with negative count {node.count}; limits are "
+                f"validated non-negative at parse time",
+            )
+        child = node.child
+        if isinstance(child, Sort) or (
+            isinstance(child, Project) and isinstance(child.child, Sort)
+        ):
+            self.add(
+                "DQ408",
+                "Limit directly above Sort survived optimization; "
+                "fuse_topk should have rewritten this into a "
+                "bounded-heap TopK",
+            )
+        return shape
+
+    def visit_materialize(self, node: Materialize, in_fragment: bool) -> _Shape:
+        if in_fragment:
+            self.add(
+                "DQ405",
+                "nested Materialize inside a columnar fragment",
+            )
+        shape = self.visit(node.child, True)
+        scan = node.child
+        while not isinstance(scan, Scan) and scan.children():
+            scan = scan.children()[0]
+        if not (isinstance(scan, Scan) and scan.columnar):
+            self.add(
+                "DQ405",
+                f"Materialize over a non-columnar subtree (bottoms out "
+                f"at {scan.label() if isinstance(scan, Scan) else type(scan).__name__}); "
+                f"the boundary only converts columnar batches to rows",
+            )
+        return _Shape(shape.columns, False, None, shape.known)
+
+
+def verify_plan(
+    plan: PlanNode,
+    context: Any = None,
+    *,
+    sql: Optional[str] = None,
+    context_label: str = "",
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Statically verify one optimized plan tree.
+
+    ``context`` is the :class:`~repro.sql.optimizer.PlanContext` (or
+    anything with ``.relation(name)``) the plan was optimized against;
+    ``sql`` anchors diagnostics back to the source statement via the
+    AST spans the plan nodes carry.  Returns the diagnostics collected
+    (never raises — see :func:`assert_plan_verifies`).
+    """
+    if diagnostics is None:
+        diagnostics = Diagnostics()
+    before = len(diagnostics)
+    _PlanVerifier(context, sql, context_label, diagnostics).visit(plan, False)
+    if _obs_metrics.enabled():
+        registry = _obs_metrics.global_registry()
+        registry.counter(
+            "qsql.verifier.plans", "optimized plans statically verified"
+        ).inc()
+        found = len(diagnostics) - before
+        if found:
+            registry.counter(
+                "qsql.verifier.violations",
+                "plan-verifier diagnostics emitted",
+            ).inc(found)
+    return diagnostics
+
+
+def assert_plan_verifies(
+    plan: PlanNode,
+    context: Any = None,
+    *,
+    sql: Optional[str] = None,
+    context_label: str = "",
+) -> None:
+    """Run :func:`verify_plan`; raise on error-severity findings."""
+    diagnostics = verify_plan(
+        plan, context, sql=sql, context_label=context_label
+    )
+    if diagnostics.has_errors:
+        raise PlanVerificationError(diagnostics, sql)
+
+
+# -- plan-cache key completeness ---------------------------------------------
+
+
+def _plan_has_columnar_scan(plan: PlanNode) -> bool:
+    if isinstance(plan, Scan):
+        return plan.columnar
+    return any(_plan_has_columnar_scan(child) for child in plan.children())
+
+
+def verify_cache_entry(
+    entry: Any,
+    relation: Any,
+    source: Any = None,
+    *,
+    diagnostics: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Check one plan-cache entry's key completeness (DQ409).
+
+    ``entry`` is a :class:`~repro.sql.plancache.PreparedStatement`;
+    ``relation`` is the live relation the lookup resolved; ``source``
+    the execute() source (checked for catalog-version pinning when it
+    is a :class:`~repro.relational.catalog.Database`).  Every input
+    that affects plan shape must be pinned by the entry and must still
+    match — a mismatch means the cache could serve a plan built for
+    different inputs.
+    """
+    from repro.sql import optimizer as _optimizer
+
+    if diagnostics is None:
+        diagnostics = Diagnostics()
+
+    def add(message: str) -> None:
+        diagnostics.add(
+            "DQ409", message, source=entry.sql, context=entry.relation_name
+        )
+
+    tagged = isinstance(relation, TaggedRelation)
+    if entry.tagged != tagged:
+        add(
+            f"entry pins tagged={entry.tagged} but the live relation is "
+            f"{'tagged' if tagged else 'plain'}"
+        )
+    if relation.schema is not entry.schema:
+        add(
+            "entry pins a stale relation schema (identity mismatch); "
+            "the plan's column positions may be wrong"
+        )
+    if tagged and entry.tagged and relation.tag_schema is not entry.tag_schema:
+        add(
+            "entry pins a stale tag schema (identity mismatch); pushed "
+            "quality constraints may be illegal now"
+        )
+    if isinstance(source, Database):
+        if entry.catalog_version is None:
+            add(
+                "entry was planned without a catalog version but is "
+                "served from a Database source; create/drop would not "
+                "invalidate it"
+            )
+        elif entry.catalog_version != source.catalog_version:
+            add(
+                f"entry pins catalog version {entry.catalog_version} "
+                f"but the database is at {source.catalog_version}"
+            )
+    has_columnar = _plan_has_columnar_scan(entry.plan)
+    if has_columnar and not entry.columnar_mode:
+        add(
+            "entry's plan contains a columnar Scan but the entry is "
+            "keyed columnar_mode=False; a row-mode lookup would reuse "
+            "a columnar plan"
+        )
+    if entry.columnar_mode and isinstance(relation, Relation):
+        expected_band = (
+            len(relation) >= _optimizer.COLUMNAR_MIN_ROWS
+        )
+        if entry.columnar_band is None:
+            add(
+                "entry omits the columnar cost band from its cache key; "
+                "growing the relation across COLUMNAR_MIN_ROWS would "
+                "not replan"
+            )
+        elif entry.columnar_band != expected_band:
+            add(
+                f"entry pins columnar cost band {entry.columnar_band} "
+                f"but the relation is now on the "
+                f"{'columnar' if expected_band else 'row'} side of "
+                f"COLUMNAR_MIN_ROWS"
+            )
+    return diagnostics

@@ -1,0 +1,404 @@
+"""Cross-statement workload lint: a corpus of QSQL queries as one unit.
+
+Single-statement analysis (:mod:`repro.analysis.query`) cannot see the
+paper's Step 4 problem — *different application views imposing
+different quality requirements on the same data*.  This module lints a
+whole workload (``repro-lint --workload``), reporting the DQ42x family:
+
+- **DQ420** — statements identical modulo literal values: each variant
+  is a separate plan-cache entry, so the workload plans the same shape
+  from scratch over and over; parameterize instead.
+- **DQ421** — two statements whose combined quality constraints on the
+  same ``QUALITY(column.indicator)`` are contradictory, although each
+  is satisfiable alone: the views disagree about acceptable quality
+  (the paper's view-integration conflict, caught at lint time).
+- **DQ422** — one statement's quality filter accepts a strict subset
+  of the values another accepts on the same indicator (the stricter
+  view could be served from the looser one's result).
+- **DQ423** — indicators the tag schemas define on workload relations
+  that no statement ever references: quality metadata collected but
+  never consulted.
+
+Statements that fail to parse are skipped here — per-statement linting
+already reports them as DQ200.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Union
+
+from repro.analysis.diagnostics import Diagnostics
+from repro.analysis.query import (
+    _conjuncts,
+    _normalize_comparison,
+    _operand_key,
+    _OperandFacts,
+)
+from repro.sql.errors import SQLError
+from repro.sql.nodes import (
+    AggregateCall,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Literal,
+    NotOp,
+    QualityRef,
+    SelectStatement,
+)
+from repro.sql.parser import parse
+from repro.tagging.relation import TaggedRelation
+
+__all__ = ["WorkloadStatement", "analyze_workload", "statement_fingerprint"]
+
+#: One workload member: ``(sql, context)`` or anything with
+#: ``.sql``/``.context`` attributes (e.g.
+#: :class:`~repro.analysis.extract.ExtractedQuery`).
+WorkloadQuery = Union[tuple[str, str], Any]
+
+
+class WorkloadStatement:
+    """One parsed member of the workload."""
+
+    __slots__ = ("sql", "context", "statement")
+
+    def __init__(self, sql: str, context: str, statement: SelectStatement) -> None:
+        self.sql = sql
+        self.context = context
+        self.statement = statement
+
+
+# -- fingerprinting (DQ420) --------------------------------------------------
+
+
+def _mask_operand(operand: Any) -> str:
+    if isinstance(operand, Literal):
+        return "?"
+    if isinstance(operand, ColumnRef):
+        return operand.column
+    if isinstance(operand, QualityRef):
+        return f"QUALITY({operand.column}.{operand.indicator})"
+    if isinstance(operand, AggregateCall):
+        inner = "*" if operand.operand is None else _mask_operand(operand.operand)
+        return f"{operand.func}({inner})"
+    return "?"  # pragma: no cover - exhaustive above
+
+
+def _mask_expr(expr: Any) -> str:
+    if isinstance(expr, Comparison):
+        return f"{_mask_operand(expr.left)} {expr.op} {_mask_operand(expr.right)}"
+    if isinstance(expr, InList):
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"{_mask_operand(expr.operand)} {keyword} (?)"
+    if isinstance(expr, IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{_mask_operand(expr.operand)} {keyword}"
+    if isinstance(expr, BoolOp):
+        return f"({_mask_expr(expr.left)} {expr.op} {_mask_expr(expr.right)})"
+    if isinstance(expr, NotOp):
+        return f"NOT ({_mask_expr(expr.operand)})"
+    if isinstance(expr, Literal):
+        return "?"
+    return "?"  # pragma: no cover - exhaustive above
+
+
+def statement_fingerprint(statement: SelectStatement) -> str:
+    """A canonical rendering with every literal masked to ``?``.
+
+    Two statements share a fingerprint exactly when they differ only in
+    literal values (comparison/IN/LIMIT constants) — i.e. when one
+    parameterized statement would serve both.
+    """
+    parts: list[str] = []
+    if statement.explain:
+        parts.append("EXPLAIN ANALYZE" if statement.analyze else "EXPLAIN")
+    parts.append("SELECT")
+    if statement.distinct:
+        parts.append("DISTINCT")
+    if statement.select_items is None:
+        parts.append("*")
+    else:
+        rendered = []
+        for item in statement.select_items:
+            text = _mask_operand(item.expr)
+            if item.alias:
+                text = f"{text} AS {item.alias}"
+            rendered.append(text)
+        parts.append(", ".join(rendered))
+    parts.append(f"FROM {statement.relation}")
+    if statement.where is not None:
+        parts.append(f"WHERE {_mask_expr(statement.where)}")
+    if statement.group_by:
+        keys = ", ".join(_mask_operand(key) for key in statement.group_by)
+        parts.append(f"GROUP BY {keys}")
+    if statement.order_by:
+        keys = ", ".join(
+            f"{_mask_operand(item.key)} {'DESC' if item.descending else 'ASC'}"
+            for item in statement.order_by
+        )
+        parts.append(f"ORDER BY {keys}")
+    if statement.limit is not None:
+        parts.append("LIMIT ?")
+    return " ".join(parts)
+
+
+# -- quality-constraint extraction (DQ421/DQ422) -----------------------------
+
+
+def _quality_conjuncts(statement: SelectStatement) -> dict[tuple, list[Any]]:
+    """Top-level AND conjuncts constraining QUALITY refs, keyed like
+    the analyzer's conjunction facts: ``("q", column, indicator)``."""
+    grouped: dict[tuple, list[Any]] = {}
+    if statement.where is None:
+        return grouped
+    for conjunct in _conjuncts(statement.where):
+        if isinstance(conjunct, Comparison):
+            key, _, _, _ = _normalize_comparison(conjunct)
+        elif isinstance(conjunct, (InList, IsNull)):
+            key = _operand_key(conjunct.operand)
+        else:
+            key = None
+        if key is not None and key[0] == "q":
+            grouped.setdefault(key, []).append(conjunct)
+    return grouped
+
+
+def _facts_from(conjunct_lists: Iterable[list[Any]]) -> _OperandFacts:
+    """One :class:`_OperandFacts` accumulating several conjunct lists —
+    exactly what the single-statement analyzer builds, but spanning
+    statements."""
+    facts = _OperandFacts()
+    for conjuncts in conjunct_lists:
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Comparison):
+                _, op, value, _ = _normalize_comparison(conjunct)
+                facts.add_comparison(op, value, conjunct)
+            elif isinstance(conjunct, InList):
+                facts.add_in(conjunct)
+            elif isinstance(conjunct, IsNull):
+                facts.add_is_null(conjunct)
+    return facts
+
+
+def _accepted_values(conjuncts: list[Any]) -> Optional[frozenset]:
+    """The finite value set a conjunct list accepts, when derivable.
+
+    Only equality and IN constraints pin a finite set; any bound,
+    negation, or NULL test makes the set open-ended (returns None).
+    """
+    sets: list[frozenset] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            _, op, value, _ = _normalize_comparison(conjunct)
+            if op != "=" or value is None:
+                return None
+            sets.append(frozenset([value]))
+        elif isinstance(conjunct, InList):
+            if conjunct.negated:
+                return None
+            sets.append(
+                frozenset(o for o in conjunct.options if o is not None)
+            )
+        else:
+            return None
+    if not sets:
+        return None
+    accepted = sets[0]
+    for other in sets[1:]:
+        accepted = accepted & other
+    return accepted
+
+
+def _quality_references(statement: SelectStatement) -> set[tuple[str, str, str]]:
+    """Every (relation, column, indicator) a statement reads."""
+    refs: set[tuple[str, str, str]] = set()
+
+    def visit(node: Any) -> None:
+        if isinstance(node, QualityRef):
+            refs.add((statement.relation, node.column, node.indicator))
+        elif isinstance(node, Comparison):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, (InList, IsNull)):
+            visit(node.operand)
+        elif isinstance(node, BoolOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, NotOp):
+            visit(node.operand)
+        elif isinstance(node, AggregateCall) and node.operand is not None:
+            visit(node.operand)
+
+    for item in statement.select_items or ():
+        visit(item.expr)
+    for key in statement.group_by:
+        visit(key)
+    if statement.where is not None:
+        visit(statement.where)
+    for item in statement.order_by:
+        visit(item.key)
+    return refs
+
+
+def _key_label(key: tuple) -> str:
+    return f"QUALITY({key[1]}.{key[2]})"
+
+
+# -- the workload pass -------------------------------------------------------
+
+
+def analyze_workload(
+    queries: Iterable[WorkloadQuery],
+    catalog: Optional[Any] = None,
+) -> Diagnostics:
+    """Lint a corpus of statements cross-statement (DQ420-DQ423).
+
+    ``queries`` yields ``(sql, context)`` pairs or objects with
+    ``.sql``/``.context``.  ``catalog`` (a name → relation mapping)
+    enables DQ423 — without it there are no tag schemas to check for
+    never-queried indicators.
+    """
+    diagnostics = Diagnostics()
+    statements: list[WorkloadStatement] = []
+    for query in queries:
+        if isinstance(query, tuple):
+            sql, context = query
+        else:
+            sql, context = query.sql, query.context
+        try:
+            statements.append(WorkloadStatement(sql, context, parse(sql)))
+        except SQLError:
+            continue  # per-statement lint already reports DQ200
+
+    _check_duplicate_shapes(statements, diagnostics)
+    _check_quality_views(statements, diagnostics)
+    if catalog is not None:
+        _check_unqueried_indicators(statements, catalog, diagnostics)
+    return diagnostics
+
+
+def _contexts(members: Iterable[WorkloadStatement], limit: int = 4) -> str:
+    labels: list[str] = []
+    for member in members:
+        label = member.context or "<sql>"
+        if label not in labels:
+            labels.append(label)
+    if len(labels) > limit:
+        labels = labels[:limit] + [f"… {len(labels) - limit} more"]
+    return ", ".join(labels)
+
+
+def _check_duplicate_shapes(
+    statements: list[WorkloadStatement], diagnostics: Diagnostics
+) -> None:
+    groups: dict[str, list[WorkloadStatement]] = {}
+    for member in statements:
+        fingerprint = statement_fingerprint(member.statement)
+        groups.setdefault(fingerprint, []).append(member)
+    for fingerprint, members in groups.items():
+        distinct_texts = {member.sql for member in members}
+        if len(distinct_texts) < 2:
+            continue  # textually identical statements share a cache entry
+        diagnostics.add(
+            "DQ420",
+            f"{len(distinct_texts)} statements differ only in literals "
+            f"(shape: {fingerprint}); each misses the plan cache — "
+            f"parameterize the statement",
+            context=_contexts(members),
+        )
+
+
+def _check_quality_views(
+    statements: list[WorkloadStatement], diagnostics: Diagnostics
+) -> None:
+    # (relation, quality key) → [(member, conjuncts constraining the key)]
+    by_key: dict[tuple, list[tuple[WorkloadStatement, list[Any]]]] = {}
+    for member in statements:
+        for key, conjuncts in _quality_conjuncts(member.statement).items():
+            full_key = (member.statement.relation, key)
+            by_key.setdefault(full_key, []).append((member, conjuncts))
+
+    for (relation, key), holders in by_key.items():
+        if len(holders) < 2:
+            continue
+        label = f"{_key_label(key)} on {relation!r}"
+        reported_conflict = False
+        for i, (member_a, conjuncts_a) in enumerate(holders):
+            for member_b, conjuncts_b in holders[i + 1 :]:
+                if member_a.sql == member_b.sql:
+                    continue
+                # Contradiction across views: each side satisfiable
+                # alone, the combination provably empty.
+                if not reported_conflict and (
+                    _facts_from([conjuncts_a]).find_conflict() is None
+                    and _facts_from([conjuncts_b]).find_conflict() is None
+                    and _facts_from([conjuncts_a, conjuncts_b]).find_conflict()
+                    is not None
+                ):
+                    conflict = _facts_from(
+                        [conjuncts_a, conjuncts_b]
+                    ).find_conflict()
+                    diagnostics.add(
+                        "DQ421",
+                        f"workload views impose contradictory constraints "
+                        f"on {label}: {conflict[0]} "
+                        f"({_contexts([member_a, member_b])})",
+                        context=_contexts([member_a, member_b]),
+                    )
+                    reported_conflict = True
+                values_a = _accepted_values(conjuncts_a)
+                values_b = _accepted_values(conjuncts_b)
+                if values_a is None or values_b is None:
+                    continue
+                for narrow, wide, narrow_member, wide_member in (
+                    (values_a, values_b, member_a, member_b),
+                    (values_b, values_a, member_b, member_a),
+                ):
+                    if narrow and narrow < wide:
+                        diagnostics.add(
+                            "DQ422",
+                            f"{narrow_member.context or '<sql>'} accepts a "
+                            f"strict subset {sorted(narrow)!r} of the "
+                            f"values {wide_member.context or '<sql>'} "
+                            f"accepts ({sorted(wide)!r}) on {label}; the "
+                            f"stricter view could filter the looser "
+                            f"one's result",
+                            context=_contexts([narrow_member, wide_member]),
+                        )
+                        break
+
+
+def _check_unqueried_indicators(
+    statements: list[WorkloadStatement],
+    catalog: Any,
+    diagnostics: Diagnostics,
+) -> None:
+    referenced: set[tuple[str, str]] = set()
+    relations_used: set[str] = set()
+    for member in statements:
+        relations_used.add(member.statement.relation)
+        for relation, _, indicator in _quality_references(member.statement):
+            referenced.add((relation, indicator))
+    for name in sorted(relations_used):
+        try:
+            relation = catalog[name]
+        except (KeyError, TypeError):
+            continue
+        if not isinstance(relation, TaggedRelation):
+            continue
+        unused = sorted(
+            indicator
+            for indicator in relation.tag_schema.indicator_names
+            if (name, indicator) not in referenced
+        )
+        if unused:
+            diagnostics.add(
+                "DQ423",
+                f"tag schema of {name!r} defines "
+                f"{', '.join(repr(i) for i in unused)} but no workload "
+                f"statement ever queries "
+                f"{'them' if len(unused) > 1 else 'it'} — quality "
+                f"metadata collected but never consulted",
+                context=name,
+            )

@@ -426,13 +426,11 @@ def _execute_unplanned(
 
     statement = parse(sql)
     if strict:
-        # Imported lazily: repro.analysis depends on the sql package.
-        from repro.analysis.diagnostics import QueryAnalysisError
-        from repro.analysis.query import analyze_statement
+        # Imported lazily: plancache depends on this module.  The memo
+        # it keeps makes repeat strict runs free on this path too.
+        from repro.sql.plancache import run_strict_analysis
 
-        diagnostics = analyze_statement(statement, source, sql=sql)
-        if diagnostics.has_errors:
-            raise QueryAnalysisError(diagnostics, sql)
+        run_strict_analysis(statement, source, sql)
     if statement.explain:
         _explain_requires_planner(sql, statement)
 

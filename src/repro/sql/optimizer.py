@@ -61,6 +61,7 @@ from repro.sql.plan import (
     Scan,
     Sort,
     TopK,
+    derive_plan_columns,
 )
 from repro.tagging.relation import TaggedRelation
 
@@ -290,19 +291,14 @@ def push_quality_predicates(plan: PlanNode, context: PlanContext) -> PlanNode:
 
 
 def _output_columns(node: PlanNode, context: PlanContext) -> tuple[str, ...]:
-    """Column names a plan subtree produces."""
-    if isinstance(node, Scan):
-        schema = context.schema(node.relation)
-        return schema.column_names if schema is not None else ()
-    if isinstance(node, Project):
-        return tuple(item.output_name for item in node.items)
-    if isinstance(node, Aggregate):
-        return tuple(item.output_name for item in node.items)
-    if isinstance(node, HashJoin):
-        return _output_columns(node.left, context) + _output_columns(
-            node.right, context
-        )
-    return _output_columns(node.children()[0], context)
+    """Column names a plan subtree produces (unknowns collapse to ())."""
+
+    def resolve(name: str):
+        schema = context.schema(name)
+        return tuple(schema.column_names) if schema is not None else None
+
+    derived = derive_plan_columns(node, resolve)
+    return derived if derived is not None else ()
 
 
 def annotate_join_columns(plan: PlanNode, context: PlanContext) -> PlanNode:
@@ -606,9 +602,20 @@ def choose_access_paths(
 
 
 def optimize(
-    plan: PlanNode, context: PlanContext, *, columnar: bool = True
+    plan: PlanNode,
+    context: PlanContext,
+    *,
+    columnar: bool = True,
+    verify: Optional[bool] = None,
 ) -> PlanNode:
-    """Apply every rewrite rule in its fixed order."""
+    """Apply every rewrite rule in its fixed order.
+
+    ``verify=True`` runs the plan-IR static verifier
+    (:mod:`repro.analysis.verifier`) over the rewritten tree and raises
+    :class:`~repro.analysis.verifier.PlanVerificationError` on any
+    error-severity finding; ``verify=None`` (the default) defers to the
+    ``REPRO_VERIFY_PLANS`` environment flag.
+    """
     plan = fold_constants(plan)
     plan = push_quality_predicates(plan, context)
     plan = annotate_join_columns(plan, context)
@@ -617,4 +624,12 @@ def optimize(
     plan = choose_build_side(plan, context)
     plan = fuse_topk(plan)
     plan = choose_access_paths(plan, context, columnar)
+    if verify is None:
+        from repro.analysis.verifier import verify_plans_enabled
+
+        verify = verify_plans_enabled()
+    if verify:
+        from repro.analysis.verifier import assert_plan_verifies
+
+        assert_plan_verifies(plan, context)
     return plan

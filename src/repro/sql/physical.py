@@ -43,11 +43,23 @@ into the preorder-numbered stats tree; that tree is what
 ``EXPLAIN ANALYZE`` renders.  ``compile_plan(..., instrument=False)``
 omits the wrappers entirely — the baseline the observability-overhead
 benchmark measures against.
+
+Sanitizer mode (``compile_plan(..., sanitize=True)``, defaulted from
+``REPRO_VERIFY_PLANS``): debug wrappers validate every columnar batch
+at every fragment operator — arrays match the operator's schema and
+share one length, the selection vector is in-bounds, duplicate-free,
+and ascending wherever the operator preserves row order (TopK emits
+key order, so order checks stop above it) — plus array↔row alignment
+at the Materialize boundary and bounds/monotonicity of tag-store scan
+indices.  This is the dynamic cross-check of the plan verifier's
+static columnar claims (:mod:`repro.analysis.verifier`); violations
+raise :class:`ColumnarSanitizerError`.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from time import perf_counter
 from typing import Any, Callable, Mapping, Optional
 
@@ -100,6 +112,21 @@ Binding = Mapping[str, Any]
 #: Preorder op-id assignment: id(plan node) → op id.  None disables
 #: instrumentation wrappers (see ``compile_plan(instrument=False)``).
 OpIds = Optional[dict[int, int]]
+
+
+def sanitize_enabled() -> bool:
+    """The ``REPRO_VERIFY_PLANS`` flag: plan verification and the
+    columnar sanitizer arm together."""
+    return os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+
+
+class ColumnarSanitizerError(SQLError):
+    """A columnar batch (or tag-store scan) violated the selection-
+    vector / array invariants the executor relies on.
+
+    Only raised in sanitizer mode; in normal operation these
+    invariants hold by construction and are never checked.
+    """
 
 
 class _Reversed:
@@ -207,16 +234,24 @@ def _assign_op_ids(
 
 
 def compile_plan(
-    plan: PlanNode, relations: Binding, *, instrument: bool = True
+    plan: PlanNode,
+    relations: Binding,
+    *,
+    instrument: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> CompiledPlan:
     """Compile an optimized plan against the relations' schemas.
 
     ``instrument=False`` skips the per-operator stats wrappers (the
     plan can no longer report into an ``ExecutionStats`` tree); it
     exists so the overhead benchmark has an uninstrumented baseline.
+    ``sanitize`` installs the columnar batch sanitizer wrappers; the
+    default follows the ``REPRO_VERIFY_PLANS`` environment flag.
     """
+    if sanitize is None:
+        sanitize = sanitize_enabled()
     ids, skeleton = _assign_op_ids(plan)
-    root = _compile(plan, relations, ids if instrument else None)
+    root = _compile(plan, relations, ids if instrument else None, sanitize)
     return CompiledPlan(root, skeleton if instrument else ())
 
 
@@ -225,29 +260,31 @@ def execute_plan(plan: PlanNode, relations: Binding) -> Any:
     return compile_plan(plan, relations).execute(relations)
 
 
-def _compile(plan: PlanNode, relations: Binding, ids: OpIds) -> CompiledNode:
+def _compile(
+    plan: PlanNode, relations: Binding, ids: OpIds, sanitize: bool = False
+) -> CompiledNode:
     if isinstance(plan, Scan):
         node = _compile_scan(plan, relations)
     elif isinstance(plan, QualityFilter):
-        node = _compile_quality_filter(plan, relations, ids)
+        node = _compile_quality_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Filter):
-        node = _compile_filter(plan, relations, ids)
+        node = _compile_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Project):
-        node = _compile_project(plan, relations, ids)
+        node = _compile_project(plan, relations, ids, sanitize)
     elif isinstance(plan, HashJoin):
-        node = _compile_hash_join(plan, relations, ids)
+        node = _compile_hash_join(plan, relations, ids, sanitize)
     elif isinstance(plan, Aggregate):
-        node = _compile_aggregate(plan, relations, ids)
+        node = _compile_aggregate(plan, relations, ids, sanitize)
     elif isinstance(plan, Sort):
-        node = _compile_sort(plan, relations, ids)
+        node = _compile_sort(plan, relations, ids, sanitize)
     elif isinstance(plan, TopK):
-        node = _compile_topk(plan, relations, ids)
+        node = _compile_topk(plan, relations, ids, sanitize)
     elif isinstance(plan, Distinct):
-        node = _compile_distinct(plan, relations, ids)
+        node = _compile_distinct(plan, relations, ids, sanitize)
     elif isinstance(plan, Limit):
-        node = _compile_limit(plan, relations, ids)
+        node = _compile_limit(plan, relations, ids, sanitize)
     elif isinstance(plan, Materialize):
-        node = _compile_materialize(plan, relations, ids)
+        node = _compile_materialize(plan, relations, ids, sanitize)
     else:
         raise SQLError(f"cannot compile plan node {plan!r}")
     if ids is None:
@@ -286,7 +323,7 @@ def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
 
 
 def _compile_quality_filter(
-    plan: QualityFilter, relations: Binding, ids: OpIds
+    plan: QualityFilter, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
     scan = plan.child
     if not (isinstance(scan, Scan) and scan.tagged):
@@ -301,6 +338,7 @@ def _compile_quality_filter(
     # scan's rows are exactly the relation's) so the annotated tree
     # still shows the filter's input size — and thus its selectivity.
     scan_id = None if ids is None else ids[id(scan)]
+    label = plan.label()
 
     def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
         relation = binding[name]
@@ -308,15 +346,34 @@ def _compile_quality_filter(
         rows = relation.row_batch()
         if stats is not None and scan_id is not None:
             stats.record(scan_id, len(rows), 0.0)
+        if sanitize:
+            _check_scan_indices(label, indices, len(rows))
         return [rows[index] for index in indices]
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
+def _check_scan_indices(label: str, indices: Any, length: int) -> None:
+    """Sanitizer: tag-store scan hits are in-bounds and ascending."""
+    previous = -1
+    for index in indices:
+        if not isinstance(index, int) or not -1 < index < length:
+            raise ColumnarSanitizerError(
+                f"{label}: tag-store scan returned out-of-bounds "
+                f"index {index!r} (relation has {length} rows)"
+            )
+        if index <= previous:
+            raise ColumnarSanitizerError(
+                f"{label}: tag-store scan indices are not strictly "
+                f"ascending ({index} after {previous})"
+            )
+        previous = index
+
+
 def _compile_filter(
-    plan: Filter, relations: Binding, ids: OpIds
+    plan: Filter, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+    child = _compile(plan.child, relations, ids, sanitize)
     predicate_expr = plan.predicate
     if isinstance(predicate_expr, Literal):
         # Only the optimizer produces literal predicates; TRUE filters
@@ -336,9 +393,9 @@ def _compile_filter(
 
 
 def _compile_project(
-    plan: Project, relations: Binding, ids: OpIds
+    plan: Project, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+    child = _compile(plan.child, relations, ids, sanitize)
     items = plan.items
     child_run = child.run
     if any(isinstance(item.expr, QualityRef) for item in items):
@@ -396,10 +453,10 @@ def _compile_project(
 
 
 def _compile_hash_join(
-    plan: HashJoin, relations: Binding, ids: OpIds
+    plan: HashJoin, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    left = _compile(plan.left, relations, ids)
-    right = _compile(plan.right, relations, ids)
+    left = _compile(plan.left, relations, ids, sanitize)
+    right = _compile(plan.right, relations, ids, sanitize)
     if left.tagged or right.tagged:
         raise SQLError("hash-join plans support plain relations only")
     overlap = set(left.schema.column_names) & set(right.schema.column_names)
@@ -479,9 +536,9 @@ def _compile_hash_join(
 
 
 def _compile_aggregate(
-    plan: Aggregate, relations: Binding, ids: OpIds
+    plan: Aggregate, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+    child = _compile(plan.child, relations, ids, sanitize)
     stub = SelectStatement(
         columns=None,
         relation=child.schema.name,
@@ -514,8 +571,10 @@ def _check_aggregate_order(plan: Sort | TopK, child: CompiledNode) -> None:
         child.schema.column(item.key.column)
 
 
-def _compile_sort(plan: Sort, relations: Binding, ids: OpIds) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+def _compile_sort(
+    plan: Sort, relations: Binding, ids: OpIds, sanitize: bool = False
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids, sanitize)
     if isinstance(plan.child, Aggregate):
         _check_aggregate_order(plan, child)
     # Repeated stable single-key sorts, least-significant first — the
@@ -538,8 +597,10 @@ def _compile_sort(plan: Sort, relations: Binding, ids: OpIds) -> CompiledNode:
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
-def _compile_topk(plan: TopK, relations: Binding, ids: OpIds) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+def _compile_topk(
+    plan: TopK, relations: Binding, ids: OpIds, sanitize: bool = False
+) -> CompiledNode:
+    child = _compile(plan.child, relations, ids, sanitize)
     if isinstance(plan.child, Aggregate):
         _check_aggregate_order(plan, child)
     if plan.count < 0:
@@ -572,9 +633,9 @@ def _compile_topk(plan: TopK, relations: Binding, ids: OpIds) -> CompiledNode:
 
 
 def _compile_distinct(
-    plan: Distinct, relations: Binding, ids: OpIds
+    plan: Distinct, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+    child = _compile(plan.child, relations, ids, sanitize)
     child_run = child.run
 
     def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
@@ -587,9 +648,9 @@ def _compile_distinct(
 
 
 def _compile_limit(
-    plan: Limit, relations: Binding, ids: OpIds
+    plan: Limit, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
-    child = _compile(plan.child, relations, ids)
+    child = _compile(plan.child, relations, ids, sanitize)
     if plan.count < 0:
         raise QueryError("limit must be non-negative")
     count = plan.count
@@ -637,10 +698,10 @@ def _batch_rows(batch: ColumnarBatch) -> int:
 
 
 def _compile_materialize(
-    plan: Materialize, relations: Binding, ids: OpIds
+    plan: Materialize, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
     """Columnar fragment → row land: gather survivors, build rows late."""
-    child = _compile_columnar(plan.child, relations, ids)
+    child = _compile_columnar(plan.child, relations, ids, sanitize)
     out_schema = child.schema
     child_run = child.run
 
@@ -649,29 +710,114 @@ def _compile_materialize(
         make = Row._from_validated
         if sel is None:
             # zip(*columns) transposes at C level — one tuple per row.
-            return [make(out_schema, values) for values in zip(*columns)]
-        gathered = [[array[i] for i in sel] for array in columns]
-        return [make(out_schema, values) for values in zip(*gathered)]
+            rows = [make(out_schema, values) for values in zip(*columns)]
+        else:
+            gathered = [[array[i] for i in sel] for array in columns]
+            rows = [make(out_schema, values) for values in zip(*gathered)]
+        if sanitize:
+            expected = _batch_rows((columns, sel))
+            if len(rows) != expected:
+                # zip() truncates to the shortest array, so a length
+                # mismatch the batch checks missed surfaces here as
+                # silently dropped rows.
+                raise ColumnarSanitizerError(
+                    f"Materialize: built {len(rows)} rows from a batch "
+                    f"selecting {expected} positions (array/row "
+                    f"misalignment)"
+                )
+        return rows
 
     return CompiledNode(run, out_schema, False, None)
 
 
+def _fragment_ordered(plan: PlanNode) -> bool:
+    """Whether a fragment operator's selection vector is in row order.
+
+    Scans emit full batches (trivially ordered); Filter/Project/Limit
+    preserve their input's order; TopK emits *key* order (heap output),
+    so everything from it up is unordered.
+    """
+    if isinstance(plan, Scan):
+        return True
+    if isinstance(plan, TopK):
+        return False
+    return _fragment_ordered(plan.children()[0])
+
+
+def _check_columnar_batch(
+    label: str, schema: RelationSchema, batch: ColumnarBatch, ordered: bool
+) -> None:
+    """Sanitizer: one batch's array and selection-vector invariants."""
+    columns, sel = batch
+    if len(columns) != len(schema.column_names):
+        raise ColumnarSanitizerError(
+            f"{label}: batch carries {len(columns)} arrays but the "
+            f"operator schema has {len(schema.column_names)} columns"
+        )
+    lengths = {len(array) for array in columns}
+    if len(lengths) > 1:
+        raise ColumnarSanitizerError(
+            f"{label}: column arrays disagree on length "
+            f"({sorted(lengths)}); rows would be built misaligned"
+        )
+    if sel is None:
+        return
+    length = lengths.pop() if lengths else 0
+    previous = -1
+    seen: set[int] = set()
+    for index in sel:
+        if not isinstance(index, int) or not -1 < index < length:
+            raise ColumnarSanitizerError(
+                f"{label}: selection vector holds out-of-bounds "
+                f"position {index!r} (arrays have {length} entries)"
+            )
+        if ordered:
+            if index <= previous:
+                raise ColumnarSanitizerError(
+                    f"{label}: selection vector is not strictly "
+                    f"ascending ({index} after {previous}) although "
+                    f"this operator preserves row order"
+                )
+            previous = index
+        else:
+            if index in seen:
+                raise ColumnarSanitizerError(
+                    f"{label}: selection vector selects position "
+                    f"{index} twice"
+                )
+            seen.add(index)
+
+
 def _compile_columnar(
-    plan: PlanNode, relations: Binding, ids: OpIds
+    plan: PlanNode, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> _ColumnarNode:
     """Compile one operator of a columnar fragment (plus stats wrapper)."""
     if isinstance(plan, Scan):
         node = _compile_columnar_scan(plan, relations)
     elif isinstance(plan, Filter):
-        node = _compile_columnar_filter(plan, relations, ids)
+        node = _compile_columnar_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Project):
-        node = _compile_columnar_project(plan, relations, ids)
+        node = _compile_columnar_project(plan, relations, ids, sanitize)
     elif isinstance(plan, TopK):
-        node = _compile_columnar_topk(plan, relations, ids)
+        node = _compile_columnar_topk(plan, relations, ids, sanitize)
     elif isinstance(plan, Limit):
-        node = _compile_columnar_limit(plan, relations, ids)
+        node = _compile_columnar_limit(plan, relations, ids, sanitize)
     else:
         raise SQLError(f"cannot compile columnar plan node {plan!r}")
+    if sanitize:
+        label = plan.label()
+        schema = node.schema
+        ordered = _fragment_ordered(plan)
+        checked = node.run
+
+        def run_checked(
+            binding: Binding, stats: Optional[ExecutionStats]
+        ) -> ColumnarBatch:
+            batch = checked(binding, stats)
+            _check_columnar_batch(label, schema, batch, ordered)
+            return batch
+
+        node = _ColumnarNode(run_checked, schema)
     if ids is None:
         return node
     op_id = ids[id(plan)]
@@ -711,9 +857,9 @@ def _compile_columnar_scan(plan: Scan, relations: Binding) -> _ColumnarNode:
 
 
 def _compile_columnar_filter(
-    plan: Filter, relations: Binding, ids: OpIds
+    plan: Filter, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> _ColumnarNode:
-    child = _compile_columnar(plan.child, relations, ids)
+    child = _compile_columnar(plan.child, relations, ids, sanitize)
     child_run = child.run
     predicate_expr = plan.predicate
     if isinstance(predicate_expr, Literal):
@@ -953,9 +1099,9 @@ def _columnar_comparison(
 
 
 def _compile_columnar_project(
-    plan: Project, relations: Binding, ids: OpIds
+    plan: Project, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> _ColumnarNode:
-    child = _compile_columnar(plan.child, relations, ids)
+    child = _compile_columnar(plan.child, relations, ids, sanitize)
     names = [item.expr.column for item in plan.items]  # type: ignore[union-attr]
     if not names:
         raise QueryError("projection requires at least one column")
@@ -979,9 +1125,9 @@ def _compile_columnar_project(
 
 
 def _compile_columnar_topk(
-    plan: TopK, relations: Binding, ids: OpIds
+    plan: TopK, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> _ColumnarNode:
-    child = _compile_columnar(plan.child, relations, ids)
+    child = _compile_columnar(plan.child, relations, ids, sanitize)
     if plan.count < 0:
         raise QueryError("limit must be non-negative")
     specs = [
@@ -1047,9 +1193,9 @@ def _compile_columnar_topk(
 
 
 def _compile_columnar_limit(
-    plan: Limit, relations: Binding, ids: OpIds
+    plan: Limit, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> _ColumnarNode:
-    child = _compile_columnar(plan.child, relations, ids)
+    child = _compile_columnar(plan.child, relations, ids, sanitize)
     if plan.count < 0:
         raise QueryError("limit must be non-negative")
     count = plan.count

@@ -29,12 +29,20 @@ Node vocabulary:
 
 ``render_plan`` produces the tree text that ``EXPLAIN SELECT ...``
 returns.
+
+Every node also derives its output schema: ``output_columns(inputs)``
+maps the children's column-name tuples to the node's own (``None``
+propagates "unknown" — e.g. a scan of a relation the context cannot
+resolve).  :func:`derive_plan_columns` runs the derivation bottom-up
+over a whole tree; the optimizer's join annotations and the plan-IR
+static verifier (:mod:`repro.analysis.verifier`) both consume it, so
+there is exactly one definition of what each operator produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.sql.nodes import (
     BoolOp,
@@ -65,6 +73,10 @@ PlanNode = Union[
     "Materialize",
 ]
 
+#: Derived column names of a subtree, or None when underivable (an
+#: unresolvable base relation somewhere below).
+Columns = Optional[tuple[str, ...]]
+
 
 @dataclass(frozen=True)
 class Scan:
@@ -89,6 +101,9 @@ class Scan:
             flavor += ", columnar"
         return f"Scan [{self.relation} ({flavor})]"
 
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return tuple(base) if base is not None else None
+
 
 #: One columnar tag constraint: (column, indicator, operator, operand).
 #: Operators use the :data:`repro.tagging.query.OPERATORS` vocabulary.
@@ -112,6 +127,9 @@ class QualityFilter:
         )
         return f"QualityFilter [{rendered} -> columnar scan]"
 
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
+
 
 @dataclass(frozen=True)
 class Filter:
@@ -125,6 +143,9 @@ class Filter:
 
     def label(self) -> str:
         return f"Filter [{render_expr(self.predicate)}]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
 
 
 @dataclass(frozen=True)
@@ -145,6 +166,9 @@ class Project:
                 text = f"{text} AS {item.alias}"
             parts.append(text)
         return f"Project [{', '.join(parts)}]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return tuple(item.output_name for item in self.items)
 
 
 @dataclass(frozen=True)
@@ -171,6 +195,12 @@ class HashJoin:
         side = self.build_side or "undecided"
         return f"HashJoin [{keys}, build={side}]"
 
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        left, right = inputs
+        if left is None or right is None:
+            return None
+        return left + right
+
 
 @dataclass(frozen=True)
 class Aggregate:
@@ -190,6 +220,9 @@ class Aggregate:
             return f"Aggregate [{rendered} GROUP BY {keys}]"
         return f"Aggregate [{rendered}]"
 
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return tuple(item.output_name for item in self.items)
+
 
 @dataclass(frozen=True)
 class Sort:
@@ -203,6 +236,9 @@ class Sort:
 
     def label(self) -> str:
         return f"Sort [{_render_order(self.order_by)}]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
 
 
 @dataclass(frozen=True)
@@ -219,6 +255,9 @@ class TopK:
     def label(self) -> str:
         return f"TopK [{_render_order(self.order_by)}, k={self.count}]"
 
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
+
 
 @dataclass(frozen=True)
 class Distinct:
@@ -231,6 +270,9 @@ class Distinct:
 
     def label(self) -> str:
         return "Distinct"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
 
 
 @dataclass(frozen=True)
@@ -245,6 +287,9 @@ class Limit:
 
     def label(self) -> str:
         return f"Limit [{self.count}]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
 
 
 @dataclass(frozen=True)
@@ -265,6 +310,30 @@ class Materialize:
 
     def label(self) -> str:
         return "Materialize [columnar -> rows]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
+
+
+# -- schema derivation -------------------------------------------------------
+
+
+def derive_plan_columns(
+    plan: PlanNode, resolve: Callable[[str], Columns]
+) -> Columns:
+    """Bottom-up output-column derivation over a whole plan tree.
+
+    ``resolve(name)`` supplies base-relation column names for each
+    :class:`Scan` (return None for relations the context cannot see);
+    unknowns propagate upward as None, except through operators whose
+    output is fixed by their own items (Project, Aggregate).
+    """
+    inputs = tuple(
+        derive_plan_columns(child, resolve) for child in plan.children()
+    )
+    if isinstance(plan, Scan):
+        return plan.output_columns(inputs, resolve(plan.relation))
+    return plan.output_columns(inputs)
 
 
 # -- statement lowering ------------------------------------------------------

@@ -29,10 +29,25 @@ Two more facts participate in validation because the optimizer's plan
   mutations normally never invalidate plans, but growing a relation
   across the threshold (or shrinking below it) changes which access
   path the optimizer would pick, so the entry is replanned.
+- the columnar sanitizer mode (``REPRO_VERIFY_PLANS``): sanitized
+  compiled plans carry per-batch check wrappers, so an entry compiled
+  in one mode is never served to the other.
+
+The plan-IR verifier (:mod:`repro.analysis.verifier`) audits exactly
+this key-completeness contract as DQ409; with ``REPRO_VERIFY_PLANS=1``
+every entry is re-verified on install and on each cache hit.
+
+Strict-mode analysis is memoized alongside the plan cache in an
+:class:`AnalysisMemo` keyed the same way (statement text + schema
+identity + catalog version), so ``execute(..., strict=True)`` pays the
+analysis pass once per (statement, schema) — including for statements
+that *fail* analysis, which never reach the plan cache, and for the
+``planner=False`` reference path, which has no prepared entries.
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from contextlib import nullcontext
 from time import perf_counter
@@ -75,6 +90,7 @@ class PreparedStatement:
         "catalog_version",
         "columnar_mode",
         "columnar_band",
+        "sanitize",
         "strict_checked",
     )
 
@@ -87,6 +103,7 @@ class PreparedStatement:
         relation: AnyRelation,
         catalog_version: Optional[int],
         columnar: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.sql = sql
         self.statement = statement
@@ -104,15 +121,29 @@ class PreparedStatement:
         #: have applied — i.e. columnar mode on and a plain relation.
         #: None when costing never looked at the size.
         self.columnar_band = _columnar_band(relation, columnar)
+        #: Whether the compiled plan carries columnar sanitizer
+        #: wrappers (REPRO_VERIFY_PLANS at compile time): part of the
+        #: cache key so toggling the flag never serves the wrong build.
+        #: Defaults to the current flag, matching compile_plan's own
+        #: default.
+        self.sanitize = _verify_enabled() if sanitize is None else sanitize
         #: True once strict-mode analysis passed for this entry (the
         #: diagnostics depend only on the statement and the schemas the
         #: entry already pins by identity, so one clean run is enough).
         self.strict_checked = False
 
     def valid_for(
-        self, relation: AnyRelation, source: Source, columnar: bool = True
+        self,
+        relation: AnyRelation,
+        source: Source,
+        columnar: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> bool:
         if columnar != self.columnar_mode:
+            return False
+        if sanitize is None:
+            sanitize = _verify_enabled()
+        if sanitize != self.sanitize:
             return False
         if isinstance(relation, TaggedRelation) != self.tagged:
             return False
@@ -155,7 +186,11 @@ class PlanCache:
         self.misses = 0
 
     def lookup(
-        self, sql: str, source: Source, columnar: bool = True
+        self,
+        sql: str,
+        source: Source,
+        columnar: bool = True,
+        sanitize: Optional[bool] = None,
     ) -> Optional[tuple[PreparedStatement, AnyRelation]]:
         """A (prepared, resolved relation) pair, or None on miss."""
         entries = self._entries.get(sql)
@@ -167,7 +202,7 @@ class PlanCache:
                 relation = _resolve_relation(entry.statement, source)
             except SQLError:
                 continue  # cold path re-raises with identical context
-            if entry.valid_for(relation, source, columnar):
+            if entry.valid_for(relation, source, columnar, sanitize):
                 self._entries.move_to_end(sql)
                 self.hits += 1
                 return entry, relation
@@ -186,6 +221,7 @@ class PlanCache:
             if e.schema is not entry.schema
             or e.columnar_mode != entry.columnar_mode
             or e.columnar_band != entry.columnar_band
+            or e.sanitize != entry.sanitize
         ]
         entries.append(entry)
         self._entries.move_to_end(entry.sql)
@@ -205,17 +241,108 @@ class PlanCache:
         }
 
 
+class _AnalysisVerdict:
+    """One memoized strict-analysis result and its validity tokens."""
+
+    __slots__ = ("schema", "tagged", "tag_schema", "catalog_version", "diagnostics")
+
+    def __init__(
+        self, relation: AnyRelation, source: Source, diagnostics: Any
+    ) -> None:
+        self.schema = relation.schema
+        self.tagged = isinstance(relation, TaggedRelation)
+        self.tag_schema = relation.tag_schema if self.tagged else None
+        self.catalog_version = (
+            source.catalog_version if isinstance(source, Database) else None
+        )
+        self.diagnostics = diagnostics
+
+    def valid_for(self, relation: AnyRelation, source: Source) -> bool:
+        if isinstance(relation, TaggedRelation) != self.tagged:
+            return False
+        if relation.schema is not self.schema:
+            return False
+        if self.tagged and relation.tag_schema is not self.tag_schema:
+            return False
+        if isinstance(source, Database):
+            return source.catalog_version == self.catalog_version
+        return True
+
+
+class AnalysisMemo:
+    """Memoized ``strict=True`` analysis verdicts, keyed like the plan
+    cache: statement text, validated by schema/tag-schema identity and
+    catalog version.  Stores failing verdicts too — rejected statements
+    never reach the plan cache, so without the memo every retry would
+    re-run the full analysis pass."""
+
+    def __init__(self, max_statements: int = 256) -> None:
+        self.max_statements = max_statements
+        self._entries: OrderedDict[str, list[_AnalysisVerdict]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self, sql: str, relation: AnyRelation, source: Source
+    ) -> Optional[Any]:
+        """The memoized Diagnostics, or None when analysis must run."""
+        entries = self._entries.get(sql)
+        if entries is not None:
+            for entry in entries:
+                if entry.valid_for(relation, source):
+                    self._entries.move_to_end(sql)
+                    self.hits += 1
+                    return entry.diagnostics
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        sql: str,
+        relation: AnyRelation,
+        source: Source,
+        diagnostics: Any,
+    ) -> None:
+        verdict = _AnalysisVerdict(relation, source, diagnostics)
+        entries = self._entries.setdefault(sql, [])
+        entries[:] = [e for e in entries if e.schema is not verdict.schema]
+        entries.append(verdict)
+        self._entries.move_to_end(sql)
+        while len(self._entries) > self.max_statements:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "statements": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
 #: The process-wide default cache used by ``execute(..., planner=True)``.
 _DEFAULT_CACHE = PlanCache()
+
+#: The process-wide strict-analysis memo (both execute paths).
+_DEFAULT_ANALYSIS_MEMO = AnalysisMemo()
 
 
 def default_plan_cache() -> PlanCache:
     return _DEFAULT_CACHE
 
 
+def default_analysis_memo() -> AnalysisMemo:
+    return _DEFAULT_ANALYSIS_MEMO
+
+
 def clear_plan_cache() -> None:
-    """Empty the default cache (tests, schema-churn-heavy scripts)."""
+    """Empty the default cache and the strict-analysis memo."""
     _DEFAULT_CACHE.clear()
+    _DEFAULT_ANALYSIS_MEMO.clear()
 
 
 def plan_cache_stats() -> dict[str, int]:
@@ -261,6 +388,12 @@ def explain_analyze_relation(stats: ExecutionStats) -> Relation:
     return result
 
 
+def _verify_enabled() -> bool:
+    """The REPRO_VERIFY_PLANS flag (read directly; the verifier module
+    itself is only imported when the flag is actually on)."""
+    return os.environ.get("REPRO_VERIFY_PLANS", "") not in ("", "0")
+
+
 def _span(name: str, **attributes: Any):
     """A tracer span when ambient instrumentation is on, else a no-op."""
     if _obs_metrics.enabled():
@@ -268,13 +401,56 @@ def _span(name: str, **attributes: Any):
     return nullcontext()
 
 
-def _run_strict_analysis(statement: Any, source: Source, sql: str) -> None:
+def run_strict_analysis(
+    statement: Any,
+    source: Source,
+    sql: str,
+    memo: Optional[AnalysisMemo] = None,
+) -> None:
+    """Strict-mode gate: analyze (or recall) and raise on errors.
+
+    Consults the :class:`AnalysisMemo` first; the analysis verdict
+    depends only on the statement and the schemas the memo validates
+    by identity, so a hit replays the memoized diagnostics without
+    re-running the analyzer.  Statements whose relation cannot be
+    resolved are analyzed uncached (the diagnostics explain the
+    unknown relation; there is nothing to key validity on).
+    """
     from repro.analysis.diagnostics import QueryAnalysisError
     from repro.analysis.query import analyze_statement
 
+    if memo is None:
+        memo = _DEFAULT_ANALYSIS_MEMO
+    relation: Optional[AnyRelation] = None
+    try:
+        relation = _resolve_relation(statement, source)
+    except SQLError:
+        pass
+    if relation is not None:
+        cached = memo.lookup(sql, relation, source)
+        if cached is not None:
+            if cached.has_errors:
+                raise QueryAnalysisError(cached, sql)
+            return
     diagnostics = analyze_statement(statement, source, sql=sql)
+    if relation is not None:
+        memo.store(sql, relation, source, diagnostics)
     if diagnostics.has_errors:
         raise QueryAnalysisError(diagnostics, sql)
+
+
+def _verify_entry(
+    entry: PreparedStatement, relation: AnyRelation, source: Source
+) -> None:
+    """REPRO_VERIFY_PLANS hook: audit one cache entry, raise on DQ409."""
+    from repro.analysis.verifier import (
+        PlanVerificationError,
+        verify_cache_entry,
+    )
+
+    diagnostics = verify_cache_entry(entry, relation, source)
+    if diagnostics.has_errors:
+        raise PlanVerificationError(diagnostics, entry.sql)
 
 
 def _record_execution(
@@ -335,15 +511,18 @@ def execute_planned(
     if cache is None:
         cache = _DEFAULT_CACHE
     obs_on = _obs_metrics.enabled()
-    found = cache.lookup(sql, source, columnar)
+    verify = _verify_enabled()
+    found = cache.lookup(sql, source, columnar, sanitize=verify)
     if found is not None:
         if obs_on:
             _obs_metrics.global_registry().counter(
                 "qsql.plancache.hits", "plan-cache lookups reusing an entry"
             ).inc()
         prepared, relation = found
+        if verify:
+            _verify_entry(prepared, relation, source)
         if strict and not prepared.strict_checked:
-            _run_strict_analysis(prepared.statement, source, sql)
+            run_strict_analysis(prepared.statement, source, sql)
             prepared.strict_checked = True
         binding = {prepared.relation_name: relation}
         result, _ = _record_execution(
@@ -358,14 +537,14 @@ def execute_planned(
     with _span("qsql.parse"):
         statement = parse(sql)
     if strict:
-        _run_strict_analysis(statement, source, sql)
+        run_strict_analysis(statement, source, sql)
     with _span("qsql.plan", relation=statement.relation):
         plan, relation, _ = plan_statement(statement, source, columnar=columnar)
     if statement.explain and not statement.analyze:
         return explain_relation(plan)
     binding = {statement.relation: relation}
     with _span("qsql.compile"):
-        compiled = compile_plan(plan, binding)
+        compiled = compile_plan(plan, binding, sanitize=verify)
     if statement.explain:
         # EXPLAIN ANALYZE: run the statement against a fresh stats tree
         # and return the annotated plan instead of the result.  Like
@@ -385,9 +564,18 @@ def execute_planned(
         source.catalog_version if isinstance(source, Database) else None
     )
     entry = PreparedStatement(
-        sql, statement, plan, compiled, relation, catalog_version, columnar
+        sql,
+        statement,
+        plan,
+        compiled,
+        relation,
+        catalog_version,
+        columnar,
+        sanitize=verify,
     )
     entry.strict_checked = strict
+    if verify:
+        _verify_entry(entry, relation, source)
     cache.store(entry)
     result, _ = _record_execution(
         sql, compiled, binding, collector, cache_hit=False

@@ -1,5 +1,6 @@
 """Tests for the repro-lint CLI and the QSQL extractor."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -113,6 +114,73 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 1
         assert f"{bad}:1" in out
+
+    def test_json_format(self, capsys):
+        code = main(
+            ["--format", "json", "--sql", "SELECT nosuch FROM customer"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["queries"] == 1
+        assert payload["summary"]["errors"] == 1
+        assert payload["summary"]["failed"] is True
+        (finding,) = payload["findings"]
+        assert finding["code"] == "DQ202"
+        assert finding["severity"] == "error"
+        assert finding["span"] == [7, 13]
+        assert finding["context"] == "--sql"
+
+    def test_json_format_clean(self, capsys):
+        code = main(
+            ["--format", "json", "--sql", "SELECT co_name FROM customer"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["findings"] == []
+        assert payload["summary"]["failed"] is False
+
+    def test_workload_flag(self, capsys):
+        code = main(
+            [
+                "--workload",
+                "--fail-on", "warning",
+                "--sql", "SELECT co_name FROM customer WHERE employees > 1",
+                "--sql", "SELECT co_name FROM customer WHERE employees > 2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DQ420" in out
+
+    def test_workload_flag_json(self, capsys):
+        code = main(
+            [
+                "--workload",
+                "--format", "json",
+                "--sql",
+                "SELECT co_name FROM customer "
+                "WHERE QUALITY(address.source) = 'a'",
+                "--sql",
+                "SELECT co_name FROM customer "
+                "WHERE QUALITY(address.source) = 'b'",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0  # DQ42x here are warnings/info; default gate is error
+        codes = {finding["code"] for finding in payload["findings"]}
+        assert "DQ421" in codes
+
+    def test_examples_workload_gate(self, capsys):
+        """The CI command: examples + scenarios + workload, warnings fatal."""
+        code = main(
+            [
+                str(REPO_ROOT / "examples"),
+                "--scenarios",
+                "--workload",
+                "--fail-on", "warning",
+            ]
+        )
+        assert code == 0
 
     def test_demonstrates_at_least_eight_codes(self, capsys):
         """ISSUE acceptance: >= 8 distinct DQ codes via the CLI."""

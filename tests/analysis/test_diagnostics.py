@@ -48,7 +48,7 @@ class TestCodeRegistry:
 
     def test_code_families(self):
         families = {code[:3] for code in CODES}
-        assert families == {"DQ1", "DQ2", "DQ3"}
+        assert families == {"DQ1", "DQ2", "DQ3", "DQ4"}
 
     def test_code_table_lists_everything(self):
         table = render_code_table()

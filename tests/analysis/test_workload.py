@@ -1,0 +1,218 @@
+"""Tests for the cross-statement workload analyzer (DQ42x)."""
+
+import pytest
+
+from repro.analysis import analyze_workload, statement_fingerprint
+from repro.analysis.catalog import example_catalog
+from repro.sql.parser import parse
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return example_catalog()
+
+
+class TestFingerprint:
+    def test_masks_literals_everywhere(self):
+        a = parse("SELECT name FROM t WHERE score > 10 LIMIT 5")
+        b = parse("SELECT name FROM t WHERE score > 99 LIMIT 50")
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_masks_in_lists_regardless_of_arity(self):
+        a = parse("SELECT a FROM t WHERE b IN ('x')")
+        b = parse("SELECT a FROM t WHERE b IN ('x', 'y', 'z')")
+        assert statement_fingerprint(a) == statement_fingerprint(b)
+
+    def test_distinct_and_direction_are_structural(self):
+        a = parse("SELECT a FROM t ORDER BY a")
+        b = parse("SELECT a FROM t ORDER BY a DESC")
+        c = parse("SELECT DISTINCT a FROM t ORDER BY a")
+        assert statement_fingerprint(a) != statement_fingerprint(b)
+        assert statement_fingerprint(a) != statement_fingerprint(c)
+
+    def test_rendering(self):
+        statement = parse(
+            "SELECT a, COUNT(*) AS n FROM t WHERE b = 1 "
+            "GROUP BY a ORDER BY a LIMIT 3"
+        )
+        assert statement_fingerprint(statement) == (
+            "SELECT a, COUNT(*) AS n FROM t WHERE b = ? "
+            "GROUP BY a ORDER BY a ASC LIMIT ?"
+        )
+
+
+class TestDuplicateShapes:
+    def test_dq420_on_literal_variants(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE b > 1", "x.py:1"),
+                ("SELECT a FROM t WHERE b > 2", "y.py:9"),
+            ]
+        )
+        assert diagnostics.codes() == ["DQ420"]
+        assert "x.py:1" in diagnostics[0].message or "x.py:1" in (
+            diagnostics[0].context
+        )
+
+    def test_identical_texts_share_a_cache_entry(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE b > 1", "x"),
+                ("SELECT a FROM t WHERE b > 1", "y"),
+            ]
+        )
+        assert "DQ420" not in diagnostics.codes()
+
+    def test_different_shapes_do_not_group(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE b > 1", "x"),
+                ("SELECT a FROM t WHERE b > 1 ORDER BY a", "y"),
+            ]
+        )
+        assert "DQ420" not in diagnostics.codes()
+
+
+class TestQualityViews:
+    def test_dq421_contradictory_views(self):
+        diagnostics = analyze_workload(
+            [
+                (
+                    "SELECT a FROM t WHERE QUALITY(a.source) = 'ledger'",
+                    "view1",
+                ),
+                (
+                    "SELECT a FROM t WHERE QUALITY(a.source) = 'feed'",
+                    "view2",
+                ),
+            ]
+        )
+        assert "DQ421" in diagnostics.codes()
+        (finding,) = [d for d in diagnostics if d.code == "DQ421"]
+        assert "view1" in finding.message and "view2" in finding.message
+
+    def test_dq421_contradictory_bounds(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE QUALITY(a.age) < 5", "fresh"),
+                ("SELECT a FROM t WHERE QUALITY(a.age) > 10", "stale"),
+            ]
+        )
+        assert "DQ421" in diagnostics.codes()
+
+    def test_no_dq421_on_overlapping_ranges(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE QUALITY(a.age) < 10", "x"),
+                ("SELECT a FROM t WHERE QUALITY(a.age) > 5", "y"),
+            ]
+        )
+        assert "DQ421" not in diagnostics.codes()
+
+    def test_no_dq421_across_different_indicators(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE QUALITY(a.source) = 'x'", "p"),
+                ("SELECT a FROM t WHERE QUALITY(a.origin) = 'y'", "q"),
+            ]
+        )
+        assert "DQ421" not in diagnostics.codes()
+
+    def test_dq422_strict_subset(self):
+        diagnostics = analyze_workload(
+            [
+                (
+                    "SELECT a FROM t WHERE QUALITY(a.source) IN ('x')",
+                    "narrow",
+                ),
+                (
+                    "SELECT a FROM t WHERE QUALITY(a.source) IN ('x', 'y')",
+                    "wide",
+                ),
+            ]
+        )
+        assert "DQ422" in diagnostics.codes()
+        (finding,) = [d for d in diagnostics if d.code == "DQ422"]
+        assert finding.severity.label == "info"
+        assert "narrow" in finding.message
+
+    def test_no_dq422_on_equal_sets(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE QUALITY(a.s) IN ('x', 'y')", "p"),
+                ("SELECT b FROM t WHERE QUALITY(a.s) IN ('y', 'x')", "q"),
+            ]
+        )
+        assert "DQ422" not in diagnostics.codes()
+
+    def test_value_predicates_are_ignored(self):
+        # DQ421/DQ422 are about *quality* views; plain value filters
+        # conflicting across statements is ordinary business logic.
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FROM t WHERE b = 1", "p"),
+                ("SELECT a FROM t WHERE b = 2", "q"),
+            ]
+        )
+        assert "DQ421" not in diagnostics.codes()
+
+
+class TestUnqueriedIndicators:
+    def test_dq423_lists_unused_indicators(self, catalog):
+        diagnostics = analyze_workload(
+            [
+                (
+                    "SELECT co_name FROM customer "
+                    "WHERE QUALITY(address.source) = 'sales'",
+                    "only-source",
+                )
+            ],
+            catalog,
+        )
+        (finding,) = [d for d in diagnostics if d.code == "DQ423"]
+        assert finding.severity.label == "info"
+        assert "creation_time" in finding.message
+        assert "'source'" not in finding.message
+
+    def test_no_dq423_without_catalog(self):
+        diagnostics = analyze_workload(
+            [("SELECT co_name FROM customer", "x")]
+        )
+        assert "DQ423" not in diagnostics.codes()
+
+    def test_no_dq423_for_unreferenced_relations(self, catalog):
+        # 'ticks' defines indicators, but the workload never reads the
+        # relation — that is not the workload's problem.
+        diagnostics = analyze_workload(
+            [("SELECT a FROM elsewhere", "x")], catalog
+        )
+        assert "DQ423" not in diagnostics.codes()
+
+
+class TestRobustness:
+    def test_parse_failures_are_skipped(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT a FORM t", "bad"),
+                ("SELECT a FROM t WHERE b > 1", "ok1"),
+                ("SELECT a FROM t WHERE b > 2", "ok2"),
+            ]
+        )
+        assert diagnostics.codes() == ["DQ420"]
+
+    def test_accepts_objects_with_sql_and_context(self):
+        class Extracted:
+            def __init__(self, sql, context):
+                self.sql = sql
+                self.context = context
+
+        diagnostics = analyze_workload(
+            [
+                Extracted("SELECT a FROM t WHERE b > 1", "x"),
+                Extracted("SELECT a FROM t WHERE b > 2", "y"),
+            ]
+        )
+        assert diagnostics.codes() == ["DQ420"]
+
+    def test_empty_workload(self):
+        assert not analyze_workload([])

@@ -273,3 +273,91 @@ class TestColumnarKeying:
         assert entry.columnar_band is None
         relation.insert({"a": QualityCell(999)})
         assert cache.lookup(self.SQL, relation) is not None
+
+
+class TestAnalysisMemo:
+    """Strict-mode analysis is memoized beside the plan cache."""
+
+    def _count_analyzer_calls(self, monkeypatch):
+        import repro.analysis.query as query_mod
+
+        calls = []
+        real = query_mod.analyze_statement
+
+        def counting(statement, source, sql=None, context=""):
+            calls.append(sql)
+            return real(statement, source, sql=sql, context=context)
+
+        monkeypatch.setattr(query_mod, "analyze_statement", counting)
+        return calls
+
+    def test_repeat_strict_analysis_hits_memo(self, monkeypatch):
+        from repro.sql.parser import parse
+        from repro.sql.plancache import AnalysisMemo, run_strict_analysis
+
+        calls = self._count_analyzer_calls(monkeypatch)
+        relation = make_relation()
+        memo = AnalysisMemo()
+        sql = "SELECT a FROM t"
+        statement = parse(sql)
+        for _ in range(3):
+            run_strict_analysis(statement, relation, sql, memo)
+        assert len(calls) == 1
+        assert memo.stats() == {"statements": 1, "hits": 2, "misses": 1}
+
+    def test_memoized_rejection_replays_diagnostics(self, monkeypatch):
+        from repro.analysis import QueryAnalysisError
+        from repro.sql.parser import parse
+        from repro.sql.plancache import AnalysisMemo, run_strict_analysis
+
+        calls = self._count_analyzer_calls(monkeypatch)
+        relation = make_relation()
+        memo = AnalysisMemo()
+        sql = "SELECT nosuch FROM t"
+        statement = parse(sql)
+        for _ in range(2):
+            with pytest.raises(QueryAnalysisError) as excinfo:
+                run_strict_analysis(statement, relation, sql, memo)
+            assert "DQ202" in str(excinfo.value)
+        assert len(calls) == 1
+
+    def test_schema_swap_invalidates_memo(self, monkeypatch):
+        from repro.sql.parser import parse
+        from repro.sql.plancache import AnalysisMemo, run_strict_analysis
+
+        calls = self._count_analyzer_calls(monkeypatch)
+        memo = AnalysisMemo()
+        sql = "SELECT a FROM t"
+        statement = parse(sql)
+        run_strict_analysis(statement, make_relation(), sql, memo)
+        run_strict_analysis(statement, make_relation(), sql, memo)
+        # Each make_relation() builds a fresh schema object; identity
+        # validation must re-analyze rather than reuse the verdict.
+        assert len(calls) == 2
+
+    def test_execute_planned_strict_uses_default_memo(self, monkeypatch):
+        from repro.sql.plancache import clear_plan_cache
+
+        calls = self._count_analyzer_calls(monkeypatch)
+        clear_plan_cache()
+        try:
+            relation = make_relation()
+            for _ in range(3):
+                execute_planned("SELECT a FROM t", relation, strict=True)
+            assert len(calls) == 1
+        finally:
+            clear_plan_cache()
+
+    def test_unplanned_strict_shares_the_memo(self, monkeypatch):
+        from repro.sql.executor import execute
+        from repro.sql.plancache import clear_plan_cache
+
+        calls = self._count_analyzer_calls(monkeypatch)
+        clear_plan_cache()
+        try:
+            relation = make_relation()
+            execute("SELECT a FROM t", relation, strict=True, planner=False)
+            execute("SELECT a FROM t", relation, strict=True, planner=True)
+            assert len(calls) == 1
+        finally:
+            clear_plan_cache()
