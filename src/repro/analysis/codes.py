@@ -308,6 +308,16 @@ _CODES: tuple[CodeInfo, ...] = (
         "catalog version, columnar mode, or the columnar cost band — "
         "so a hit could serve a plan built for different inputs.",
     ),
+    CodeInfo(
+        "DQ410",
+        "illegal partition pruning",
+        ERROR,
+        "An optimized plan's pruned Scan (static surviving-bucket set) "
+        "is not justified: no governing Filter predicate, a predicate "
+        "that does not restrict the partition key, stale layout "
+        "metadata, or a surviving set that drops buckets the predicate "
+        "can still reach. Executing it would silently drop rows.",
+    ),
     # -- DQ42x: workload lint --------------------------------------------------
     CodeInfo(
         "DQ420",
@@ -341,6 +351,15 @@ _CODES: tuple[CodeInfo, ...] = (
         "A tag schema defines an indicator on a workload relation that "
         "no statement in the corpus ever references — quality metadata "
         "is collected but never consulted.",
+    ),
+    CodeInfo(
+        "DQ424",
+        "partition-key candidate",
+        INFO,
+        "A workload column is repeatedly constrained by equality (or "
+        "IN) predicates across distinct statements but its relation is "
+        "not hash-partitioned on it; declaring it the partition key "
+        "would let the planner prune those scans statically.",
     ),
 )
 

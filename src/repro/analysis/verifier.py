@@ -24,12 +24,21 @@ violations through the diagnostics engine as the DQ40x family:
   reaches its :class:`~repro.sql.plan.Materialize` boundary through
   whitelisted, vector-executable operators only;
 - **fusion legality** (DQ407/DQ408) — TopK/Limit/Sort parameters are
-  legal and LIMIT-over-ORDER-BY was fused.
+  legal and LIMIT-over-ORDER-BY was fused;
+- **partition-pruning legality** (DQ410) — a pruned ``Scan`` (one
+  carrying a static surviving-bucket set) is governed by a Filter
+  predicate that actually restricts the partition key, its layout
+  metadata matches the live :class:`~repro.relational.partition.PartitionSpec`,
+  and the surviving set is a superset of the buckets the predicate can
+  reach (re-derived via the optimizer's own
+  :func:`~repro.sql.optimizer.derive_partition_buckets`, so verifier
+  and rewrite cannot drift).  Pruning justified by a predicate that
+  does not constrain the partition key is a hard error.
 
 :func:`verify_cache_entry` checks plan-cache key completeness (DQ409):
 every plan-shape-affecting input — schema identity, tag schema,
-catalog version, columnar mode, columnar cost band — is pinned by the
-entry and still matches the live relation.
+catalog version, columnar mode, columnar cost band, partition layout
+version — is pinned by the entry and still matches the live relation.
 
 Unknown base relations (a context that cannot resolve a scan) degrade
 gracefully: shape-dependent checks are skipped rather than reported,
@@ -536,6 +545,104 @@ class _PlanVerifier:
             )
         return shape
 
+    # -- partition-pruning legality (DQ410) -----------------------------------
+
+    def check_partition_pruning(self, plan: PlanNode) -> None:
+        """Pre-pass: every pruned Scan's bucket set is justified.
+
+        Walks the tree tracking the *governing* Filter predicate — the
+        nearest enclosing Filter whose child chain reaches the scan
+        through QualityFilters only (the exact shape the optimizer's
+        ``prune_partitions`` rewrite produces).  Any other interposed
+        operator resets the governing predicate: a pruned scan it
+        reaches has no justification and is a hard error.
+        """
+
+        def walk(node: PlanNode, governing: Any) -> None:
+            if isinstance(node, Scan):
+                if node.partitions is not None:
+                    self._check_pruned_scan(node, governing)
+                return
+            if isinstance(node, Filter):
+                walk(node.child, node.predicate)
+                return
+            if isinstance(node, QualityFilter):
+                walk(node.child, governing)
+                return
+            for child in node.children():
+                walk(child, None)
+
+        walk(plan, None)
+
+    def _check_pruned_scan(self, node: Scan, predicate: Any) -> None:
+        from repro.sql.optimizer import derive_partition_buckets
+
+        label = (
+            f"pruned Scan of {node.relation!r} "
+            f"({len(node.partitions)}/{node.partition_total})"
+        )
+        out_of_range = sorted(
+            bucket
+            for bucket in node.partitions
+            if not 0 <= bucket < node.partition_total
+        )
+        if out_of_range:
+            self.add(
+                "DQ410",
+                f"{label} lists bucket(s) {out_of_range} outside "
+                f"[0, {node.partition_total})",
+            )
+        if predicate is None:
+            self.add(
+                "DQ410",
+                f"{label} has no governing Filter predicate; nothing "
+                f"justifies eliminating the dropped partitions",
+            )
+            return
+        relation = (
+            self.context.relation(node.relation) if self.context else None
+        )
+        if relation is None:
+            return  # unknown base relation: degrade gracefully
+        spec = getattr(relation, "partition_spec", None)
+        if spec is None:
+            self.add(
+                "DQ410",
+                f"{label} but the catalog relation is not partitioned; "
+                f"executing it would silently drop rows",
+            )
+            return
+        if (
+            spec.count != node.partition_total
+            or spec.column != node.partition_key
+        ):
+            self.add(
+                "DQ410",
+                f"{label} pins layout key={node.partition_key!r} "
+                f"total={node.partition_total} but the live layout is "
+                f"{spec.describe()}; stale pruning may drop live buckets",
+            )
+            return
+        derived = derive_partition_buckets(spec, predicate)
+        if derived is None:
+            self.add(
+                "DQ410",
+                f"{label}: governing predicate "
+                f"{render_expr(predicate)} does not restrict partition "
+                f"key {spec.column!r}; pruning over a non-partition-key "
+                f"predicate is unsound",
+                span=getattr(predicate, "span", None),
+            )
+            return
+        missing = sorted(derived - set(node.partitions))
+        if missing:
+            self.add(
+                "DQ410",
+                f"{label} drops bucket(s) {missing} that predicate "
+                f"{render_expr(predicate)} can still reach",
+                span=getattr(predicate, "span", None),
+            )
+
     def visit_materialize(self, node: Materialize, in_fragment: bool) -> _Shape:
         if in_fragment:
             self.add(
@@ -575,7 +682,9 @@ def verify_plan(
     if diagnostics is None:
         diagnostics = Diagnostics()
     before = len(diagnostics)
-    _PlanVerifier(context, sql, context_label, diagnostics).visit(plan, False)
+    verifier = _PlanVerifier(context, sql, context_label, diagnostics)
+    verifier.visit(plan, False)
+    verifier.check_partition_pruning(plan)
     if _obs_metrics.enabled():
         registry = _obs_metrics.global_registry()
         registry.counter(
@@ -693,4 +802,18 @@ def verify_cache_entry(
                 f"{'columnar' if expected_band else 'row'} side of "
                 f"COLUMNAR_MIN_ROWS"
             )
+    pinned_layout = getattr(entry, "partition_layout", None)
+    live_layout = getattr(relation, "partition_layout_version", 0)
+    if pinned_layout is None:
+        add(
+            "entry omits the partition layout version from its cache "
+            "key; repartition() would not invalidate baked partition "
+            "pruning"
+        )
+    elif pinned_layout != live_layout:
+        add(
+            f"entry pins partition layout version {pinned_layout} but "
+            f"the relation is at {live_layout}; the plan's baked "
+            f"surviving-bucket set may be stale"
+        )
     return diagnostics

@@ -18,6 +18,12 @@ whole workload (``repro-lint --workload``), reporting the DQ42x family:
 - **DQ423** — indicators the tag schemas define on workload relations
   that no statement ever references: quality metadata collected but
   never consulted.
+- **DQ424** — partition-key candidates: a plain column repeatedly
+  pinned by equality/IN predicates across distinct statements whose
+  relation is not already partitioned on it.  Declaring it the
+  partition key (``Database.repartition``) would let the planner's
+  ``prune_partitions`` rewrite serve those statements from a static
+  subset of the buckets.
 
 Statements that fail to parse are skipped here — per-statement linting
 already reports them as DQ200.
@@ -273,6 +279,7 @@ def analyze_workload(
 
     _check_duplicate_shapes(statements, diagnostics)
     _check_quality_views(statements, diagnostics)
+    _check_partition_candidates(statements, catalog, diagnostics)
     if catalog is not None:
         _check_unqueried_indicators(statements, catalog, diagnostics)
     return diagnostics
@@ -367,6 +374,73 @@ def _check_quality_views(
                             context=_contexts([narrow_member, wide_member]),
                         )
                         break
+
+
+def _check_partition_candidates(
+    statements: list[WorkloadStatement],
+    catalog: Optional[Any],
+    diagnostics: Diagnostics,
+) -> None:
+    """DQ424: suggest partition keys from equality-predicate frequency.
+
+    A plain column constrained by top-level ``=``/``IN`` conjuncts in
+    two or more *distinct* statements on the same relation is a
+    candidate — those statements would all prune statically if the
+    relation were hash-partitioned on it.  Only the most-constrained
+    column per relation is reported, and relations already partitioned
+    on that column are skipped.
+    """
+    # (relation, column) → set of distinct statement texts pinning it
+    pins: dict[tuple[str, str], set[str]] = {}
+    for member in statements:
+        statement = member.statement
+        if statement.where is None:
+            continue
+        for conjunct in _conjuncts(statement.where):
+            if isinstance(conjunct, Comparison):
+                key, op, value, _ = _normalize_comparison(conjunct)
+                if key is None or key[0] != "col" or op != "=" or value is None:
+                    continue
+                column = key[1]
+            elif isinstance(conjunct, InList) and not conjunct.negated:
+                key = _operand_key(conjunct.operand)
+                if key is None or key[0] != "col":
+                    continue
+                column = key[1]
+            else:
+                continue
+            pins.setdefault((statement.relation, column), set()).add(
+                member.sql
+            )
+
+    best: dict[str, tuple[int, str]] = {}
+    for (relation, column), texts in pins.items():
+        if len(texts) < 2:
+            continue
+        count = len(texts)
+        incumbent = best.get(relation)
+        # Deterministic tie-break: higher count, then column name.
+        if incumbent is None or (count, column) > incumbent:
+            best[relation] = (count, column)
+
+    for relation in sorted(best):
+        count, column = best[relation]
+        if catalog is not None:
+            try:
+                live = catalog[relation]
+            except (KeyError, TypeError):
+                live = None
+            spec = getattr(live, "partition_spec", None)
+            if spec is not None and spec.column == column:
+                continue  # already partitioned on the candidate
+        diagnostics.add(
+            "DQ424",
+            f"{count} distinct workload statements pin "
+            f"{relation}.{column} with equality/IN predicates; "
+            f"hash-partitioning {relation!r} on {column!r} would let "
+            f"the planner prune those scans statically",
+            context=relation,
+        )
 
 
 def _check_unqueried_indicators(

@@ -32,7 +32,13 @@ from repro.obs.trace import global_tracer
 
 #: Default relation sizes per scenario (kept small: the CLI is a viewer,
 #: not a benchmark).
-_DEFAULT_SCALES = {"e1": 300, "e2": 200, "e3": 200, "columnar": 2000}
+_DEFAULT_SCALES = {
+    "e1": 300,
+    "e2": 200,
+    "e3": 200,
+    "columnar": 2000,
+    "partitions": 4096,
+}
 
 
 def _build_e1(scale: int) -> tuple[Any, str, str]:
@@ -134,11 +140,52 @@ def _build_columnar(scale: int) -> tuple[Any, str, str]:
     return relation, sql, "Columnar: vectorized filter + top-k over arrays"
 
 
+def _build_partitions(scale: int) -> tuple[Any, str, str]:
+    """Partition pruning: a selective equality scan over hash buckets."""
+    from repro.relational import hash_partitions
+    from repro.relational.catalog import Database
+    from repro.relational.schema import Column, RelationSchema
+
+    schema = RelationSchema(
+        "events",
+        [
+            Column("event_id", "INT"),
+            Column("region", "STR"),
+            Column("amount", "FLOAT"),
+        ],
+    )
+    database = Database("partition_demo")
+    relation = database.create_relation(
+        schema,
+        enforce_key=False,
+        partition_by=hash_partitions("region", 64),
+    )
+    for i in range(scale):
+        relation.insert(
+            {
+                "event_id": i,
+                "region": f"region_{i % 97}",
+                "amount": (i * 7919 % 1000) / 10.0,
+            }
+        )
+    sql = (
+        "SELECT event_id, amount FROM events "
+        "WHERE region = 'region_7' AND amount >= 25.0 "
+        "ORDER BY amount DESC LIMIT 20"
+    )
+    return (
+        database,
+        sql,
+        "Partitions: statically pruned scan over 64 hash buckets",
+    )
+
+
 _SCENARIOS = {
     "e1": _build_e1,
     "e2": _build_e2,
     "e3": _build_e3,
     "columnar": _build_columnar,
+    "partitions": _build_partitions,
 }
 
 

@@ -112,6 +112,8 @@ SPEEDUP_FLOORS: dict[str, float] = {
     "qsql_cached_statement": 5.0,
     "columnar_scan_filter_topk": 4.0,
     "columnar_vs_naive": 8.0,
+    "partition_pruned_scan": 8.0,
+    "partition_incremental_save": 4.0,
 }
 
 #: CI-enforced relative-overhead ceilings, by bench record name.  A

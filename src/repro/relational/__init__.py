@@ -45,6 +45,11 @@ from repro.relational.constraints import (
     NotNullConstraint,
     UniqueConstraint,
 )
+from repro.relational.partition import (
+    PartitionSpec,
+    hash_partitions,
+    range_partitions,
+)
 from repro.relational.query import Query
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import Column, RelationSchema, schema
@@ -73,6 +78,7 @@ __all__ = [
     "Domain",
     "ForeignKeyConstraint",
     "NotNullConstraint",
+    "PartitionSpec",
     "Query",
     "Relation",
     "RelationSchema",
@@ -84,9 +90,11 @@ __all__ = [
     "cartesian_product",
     "difference",
     "distinct",
+    "hash_partitions",
     "intersection",
     "natural_join",
     "project",
+    "range_partitions",
     "rename",
     "schema",
     "select",

@@ -16,6 +16,7 @@ from repro.errors import (
     UnknownRelationError,
 )
 from repro.relational.constraints import Constraint, key_constraint_for
+from repro.relational.partition import PartitionSpec
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import RelationSchema
 from repro.relational.transactions import Transaction, TransactionManager
@@ -56,21 +57,40 @@ class Database:
         self,
         schema: RelationSchema,
         enforce_key: bool = True,
+        partition_by: Optional[PartitionSpec] = None,
     ) -> Relation:
         """Create an empty relation for ``schema``.
 
         If the schema declares a primary key and ``enforce_key`` is True,
         the standard primary-key constraint is registered automatically.
+        ``partition_by`` declares a hash/range partition layout (see
+        :mod:`repro.relational.partition`) up front; use
+        :meth:`repartition` to change it later.
         """
         if schema.name in self._relations:
             raise SchemaError(
                 f"database {self.name!r} already has relation {schema.name!r}"
             )
         relation = Relation(schema)
+        if partition_by is not None:
+            relation.repartition(partition_by)
         self._relations[schema.name] = relation
         self._catalog_version += 1
         if enforce_key and schema.key:
             self.add_constraint(key_constraint_for(schema.name, schema.key))
+        return relation
+
+    def repartition(
+        self, name: str, spec: Optional[PartitionSpec]
+    ) -> Relation:
+        """Change (or drop, with ``None``) a relation's partition layout.
+
+        Purely physical: rows and schema are untouched.  The relation's
+        own partition-layout version bump invalidates cached plans that
+        pinned the old layout.
+        """
+        relation = self.relation(name)
+        relation.repartition(spec)
         return relation
 
     def drop_relation(self, name: str) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.partition import PartitionSpec
 from repro.relational.schema import RelationSchema
 
 
@@ -130,6 +131,18 @@ class Relation:
         #: query plans) can detect staleness cheaply.
         self._version = 0
         self._columnar_cache: Optional[tuple[int, Any]] = None
+        #: Partitioning state.  The flat ``_rows`` list stays canonical
+        #: (all read accessors are partition-oblivious); ``_partitions``
+        #: holds one shard Relation per bucket, each with its own
+        #: version-gated columnar cache, so a write to one partition
+        #: never invalidates the other shards' stores.
+        self._partition_spec: Optional[PartitionSpec] = None
+        self._partitions: list["Relation"] = []
+        self._partition_position: Optional[int] = None
+        #: Bumped by :meth:`repartition`; cached plans pin this so a
+        #: layout change forces a replan (see ``sql/plancache.py``).
+        self._partition_layout_version = 0
+        self._dirty_partitions: set[int] = set()
         for row in rows:
             self.insert(row)
 
@@ -177,6 +190,8 @@ class Relation:
     def copy(self) -> "Relation":
         """A shallow copy (rows are immutable, so this is a full copy)."""
         fresh = Relation(self.schema)
+        if self._partition_spec is not None:
+            fresh.repartition(self._partition_spec)
         fresh._replace_rows(list(self._rows))
         return fresh
 
@@ -195,6 +210,8 @@ class Relation:
         prepared = self._as_row(row)
         self._rows.append(prepared)
         self._version += 1
+        if self._partition_spec is not None:
+            self._route_insert(prepared)
         return prepared
 
     def _insert_validated(self, row: Row) -> Row:
@@ -205,6 +222,8 @@ class Relation:
         out of another relation with the same domains."""
         self._rows.append(row)
         self._version += 1
+        if self._partition_spec is not None:
+            self._route_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Row | dict[str, Any]]) -> int:
@@ -225,12 +244,37 @@ class Relation:
         """
         self._rows = rows
         self._version += 1
+        if self._partition_spec is not None:
+            self._redistribute()
 
     def delete(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows matching ``predicate``; return the count removed."""
-        before = len(self._rows)
-        self._replace_rows([r for r in self._rows if not predicate(r)])
-        return before - len(self._rows)
+        if self._partition_spec is None:
+            before = len(self._rows)
+            self._replace_rows([r for r in self._rows if not predicate(r)])
+            return before - len(self._rows)
+        # Partitioned: one predicate pass over the canonical flat list,
+        # then surgical per-shard removal so untouched partitions keep
+        # their columnar caches (and stay clean for incremental saves).
+        dead: set[int] = set()
+        kept: list[Row] = []
+        for row in self._rows:
+            if predicate(row):
+                dead.add(id(row))
+            else:
+                kept.append(row)
+        removed = len(self._rows) - len(kept)
+        self._rows = kept
+        self._version += 1
+        if not dead:
+            return 0
+        for bucket, shard in enumerate(self._partitions):
+            if any(id(row) in dead for row in shard._rows):
+                shard._replace_rows(
+                    [row for row in shard._rows if id(row) not in dead]
+                )
+                self._dirty_partitions.add(bucket)
+        return removed
 
     def update(
         self,
@@ -242,15 +286,58 @@ class Relation:
         ``updater`` receives the old row and returns a dict of column
         updates applied via :meth:`Row.replace`.
         """
+        if self._partition_spec is None:
+            count = 0
+            new_rows = []
+            for row in self._rows:
+                if predicate(row):
+                    new_rows.append(row.replace(**updater(row)))
+                    count += 1
+                else:
+                    new_rows.append(row)
+            self._replace_rows(new_rows)
+            return count
+        # Partitioned: replace in the flat list, then patch only the
+        # shards that held a matching row.  An update that changes the
+        # partition-key value moves the row to its new bucket.
         count = 0
-        new_rows = []
+        pending: dict[int, list[Row]] = {}
+        new_rows: list[Row] = []
         for row in self._rows:
             if predicate(row):
-                new_rows.append(row.replace(**updater(row)))
+                fresh = row.replace(**updater(row))
+                pending.setdefault(id(row), []).append(fresh)
+                new_rows.append(fresh)
                 count += 1
             else:
                 new_rows.append(row)
-        self._replace_rows(new_rows)
+        self._rows = new_rows
+        self._version += 1
+        if not count:
+            return 0
+        spec = self._partition_spec
+        position = self._partition_position
+        moves: list[tuple[int, Row]] = []
+        for bucket, shard in enumerate(self._partitions):
+            if not any(id(row) in pending for row in shard._rows):
+                continue
+            shard_rows: list[Row] = []
+            for row in shard._rows:
+                queue = pending.get(id(row))
+                if not queue:
+                    shard_rows.append(row)
+                    continue
+                fresh = queue.pop(0)
+                target = spec.bucket_of(fresh.at(position))
+                if target == bucket:
+                    shard_rows.append(fresh)
+                else:
+                    moves.append((target, fresh))
+            shard._replace_rows(shard_rows)
+            self._dirty_partitions.add(bucket)
+        for target, fresh in moves:
+            self._partitions[target]._insert_validated(fresh)
+            self._dirty_partitions.add(target)
         return count
 
     def clear(self) -> None:
@@ -261,6 +348,76 @@ class Relation:
     def version(self) -> int:
         """Monotonic mutation counter (for cache invalidation)."""
         return self._version
+
+    # -- partitioning ----------------------------------------------------------
+
+    def repartition(self, spec: Optional[PartitionSpec]) -> "Relation":
+        """(Re)declare the partition layout; ``None`` drops partitioning.
+
+        Rows are redistributed into ``spec.count`` shard relations (one
+        per bucket, all sharing this relation's schema object) and every
+        bucket is marked dirty.  Bumps :attr:`partition_layout_version`
+        so cached plans pinned to the old layout replan.
+        """
+        position: Optional[int] = None
+        if spec is not None:
+            position = self.schema.index_of(spec.column)
+        self._partition_spec = spec
+        self._partition_position = position
+        self._partition_layout_version += 1
+        if spec is None:
+            self._partitions = []
+            self._dirty_partitions = set()
+            return self
+        self._partitions = [Relation(self.schema) for _ in range(spec.count)]
+        self._redistribute()
+        return self
+
+    def _route_insert(self, row: Row) -> None:
+        """Append an already-inserted row to its shard."""
+        bucket = self._partition_spec.bucket_of(
+            row.at(self._partition_position)
+        )
+        self._partitions[bucket]._insert_validated(row)
+        self._dirty_partitions.add(bucket)
+
+    def _redistribute(self) -> None:
+        """Rebuild every shard from the canonical flat row list."""
+        spec = self._partition_spec
+        position = self._partition_position
+        grouped: list[list[Row]] = [[] for _ in range(spec.count)]
+        for row in self._rows:
+            grouped[spec.bucket_of(row.at(position))].append(row)
+        for shard, rows in zip(self._partitions, grouped):
+            shard._replace_rows(rows)
+        self._dirty_partitions = set(range(spec.count))
+
+    @property
+    def partition_spec(self) -> Optional[PartitionSpec]:
+        """The declared layout, or ``None`` when unpartitioned."""
+        return self._partition_spec
+
+    @property
+    def partition_layout_version(self) -> int:
+        """Bumped by every :meth:`repartition` (plan-cache pin)."""
+        return self._partition_layout_version
+
+    @property
+    def dirty_partitions(self) -> frozenset[int]:
+        """Buckets mutated since :meth:`mark_partitions_clean`."""
+        return frozenset(self._dirty_partitions)
+
+    def mark_partitions_clean(self) -> None:
+        """Reset dirty tracking (called after a successful save)."""
+        self._dirty_partitions.clear()
+
+    def partition(self, bucket: int) -> "Relation":
+        """The shard relation backing one bucket."""
+        return self._partitions[bucket]
+
+    def partitions(self) -> list["Relation"]:
+        """All shard relations, in bucket order."""
+        return list(self._partitions)
 
     def columnar_store(self):
         """The relation's columnar value store, built lazily and cached.

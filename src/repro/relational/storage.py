@@ -11,12 +11,15 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import os
+import shutil
 import tempfile
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any
 
 from repro.errors import SchemaError
 from repro.relational.catalog import Database
+from repro.relational.partition import PartitionSpec
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
 from repro.tagging.cell import QualityCell
@@ -148,13 +151,19 @@ def tagged_relation_from_dict(data: dict[str, Any]) -> TaggedRelation:
 
 def database_to_dict(database: Database) -> dict[str, Any]:
     """Serialize a database's relations (constraints are code, not data)."""
+    relations: dict[str, Any] = {}
+    for name in database.relation_names:
+        relation = database.relation(name)
+        encoded = relation_to_dict(relation)
+        if relation.partition_spec is not None:
+            encoded["partition"] = _encode_partition_spec(
+                relation.partition_spec
+            )
+        relations[name] = encoded
     return {
         "kind": "database",
         "name": database.name,
-        "relations": {
-            name: relation_to_dict(database.relation(name))
-            for name in database.relation_names
-        },
+        "relations": relations,
     }
 
 
@@ -166,9 +175,155 @@ def database_from_dict(data: dict[str, Any]) -> Database:
     for relation_data in data["relations"].values():
         restored = relation_from_dict(relation_data)
         database.create_relation(restored.schema)
+        if "partition" in relation_data:
+            database.repartition(
+                restored.schema.name,
+                _decode_partition_spec(relation_data["partition"]),
+            )
         for row in restored:
             database.insert(restored.schema.name, row.to_dict())
     return database
+
+
+# ---------------------------------------------------------------------------
+# Partitioned snapshots (directory-per-partition layout)
+# ---------------------------------------------------------------------------
+
+
+def _encode_partition_spec(spec: PartitionSpec) -> dict[str, Any]:
+    data = spec.to_dict()
+    if "bounds" in data:
+        data["bounds"] = [encode_value(bound) for bound in data["bounds"]]
+    return data
+
+
+def _decode_partition_spec(data: dict[str, Any]) -> PartitionSpec:
+    decoded = dict(data)
+    if "bounds" in decoded:
+        decoded["bounds"] = [decode_value(bound) for bound in decoded["bounds"]]
+    return PartitionSpec.from_dict(decoded)
+
+
+def _bucket_of_dir(path: Path) -> int:
+    """The bucket number of one ``key=<bucket>`` partition directory."""
+    try:
+        return int(path.name.split("=", 1)[1])
+    except (IndexError, ValueError):
+        raise SchemaError(
+            f"not a partition directory: {path.name!r}"
+        ) from None
+
+
+def _save_partitioned(
+    obj: Relation | TaggedRelation, target: Path
+) -> Path:
+    """Write a partitioned relation as ``<dir>/key=<bucket>/part.json``.
+
+    Each partition file (and ``_meta.json``) is written with the same
+    atomic mkstemp+fsync+replace protocol as flat snapshots, so a crash
+    mid-save never corrupts a previously-saved partition.  Only dirty
+    buckets — plus any bucket missing from the target — are rewritten,
+    and the per-partition writes fan out over a thread pool (file I/O
+    releases the GIL).
+    """
+    spec = obj.partition_spec
+    assert spec is not None
+    count = spec.count
+    tagged = isinstance(obj, TaggedRelation)
+    serializer = tagged_relation_to_dict if tagged else relation_to_dict
+    target.mkdir(parents=True, exist_ok=True)
+
+    meta: dict[str, Any] = {
+        "kind": "partitioned",
+        "payload_kind": "tagged_relation" if tagged else "relation",
+        "schema": obj.schema.to_dict(),
+        "partition": _encode_partition_spec(spec),
+    }
+    if tagged:
+        meta["tag_schema"] = obj.tag_schema.to_dict()
+    _atomic_write_json(meta, target / "_meta.json")
+
+    present: set[int] = set()
+    for child in target.glob("key=*"):
+        bucket = _bucket_of_dir(child)
+        if bucket >= count:
+            # Stale leftovers from a wider previous layout.
+            shutil.rmtree(child)
+        elif (child / "part.json").exists():
+            present.add(bucket)
+
+    dirty = obj.dirty_partitions
+    rewrites = sorted(
+        bucket
+        for bucket in range(count)
+        if bucket in dirty or bucket not in present
+    )
+
+    def write_bucket(bucket: int) -> None:
+        part_dir = target / f"key={bucket}"
+        part_dir.mkdir(exist_ok=True)
+        _atomic_write_json(
+            serializer(obj.partition(bucket)), part_dir / "part.json"
+        )
+
+    if len(rewrites) > 1:
+        with ThreadPoolExecutor(
+            max_workers=min(8, len(rewrites))
+        ) as pool:
+            # Consume the iterator so worker exceptions propagate.
+            list(pool.map(write_bucket, rewrites))
+    else:
+        for bucket in rewrites:
+            write_bucket(bucket)
+    obj.mark_partitions_clean()
+    return target
+
+
+def _load_partitioned(path: Path) -> Relation | TaggedRelation:
+    """Read back a directory snapshot written by :func:`_save_partitioned`."""
+    with open(path / "_meta.json", "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if meta.get("kind") != "partitioned":
+        raise SchemaError(
+            f"not a partitioned snapshot: kind={meta.get('kind')!r}"
+        )
+    spec = _decode_partition_spec(meta["partition"])
+    payload_kind = meta["payload_kind"]
+    schema = RelationSchema.from_dict(meta["schema"])
+    if payload_kind == "tagged_relation":
+        assembled: Relation | TaggedRelation = TaggedRelation(
+            schema, TagSchema.from_dict(meta["tag_schema"])
+        )
+    elif payload_kind == "relation":
+        assembled = Relation(schema)
+    else:
+        raise SchemaError(f"unknown partition payload kind {payload_kind!r}")
+    assembled.repartition(spec)
+
+    part_files = sorted(
+        (part for part in path.glob("key=*/part.json")),
+        key=lambda part: _bucket_of_dir(part.parent),
+    )
+    deserializer = _DESERIALIZERS[payload_kind]
+
+    def read_bucket(part: Path) -> Any:
+        with open(part, "r", encoding="utf-8") as handle:
+            return deserializer(json.load(handle))
+
+    if len(part_files) > 1:
+        with ThreadPoolExecutor(
+            max_workers=min(8, len(part_files))
+        ) as pool:
+            shards = list(pool.map(read_bucket, part_files))
+    else:
+        shards = [read_bucket(part) for part in part_files]
+    for shard in shards:
+        # Stable bucketing re-routes each row into the same partition
+        # its file came from.
+        for row in shard:
+            assembled.insert(row)
+    assembled.mark_partitions_clean()
+    return assembled
 
 
 # ---------------------------------------------------------------------------
@@ -188,22 +343,8 @@ _DESERIALIZERS = {
 }
 
 
-def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
-    """Write a relation / tagged relation / database to a JSON file.
-
-    The write is atomic: the payload goes to a temporary file in the
-    target directory, is fsynced, and only then renamed over the
-    destination (``os.replace``).  A crash or encode error mid-write can
-    therefore never leave a truncated snapshot — the previous file, if
-    any, survives intact.
-    """
-    for cls, serializer in _SERIALIZERS.items():
-        if isinstance(obj, cls):
-            payload = serializer(obj)
-            break
-    else:
-        raise SchemaError(f"cannot serialize object of type {type(obj).__name__}")
-    target = Path(path)
+def _atomic_write_json(payload: Any, target: Path) -> Path:
+    """Write ``payload`` as JSON via mkstemp + fsync + ``os.replace``."""
     fd, tmp_name = tempfile.mkstemp(
         dir=target.parent or Path("."), prefix=target.name + ".", suffix=".tmp"
     )
@@ -222,9 +363,48 @@ def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
     return target
 
 
+def save(obj: Relation | TaggedRelation | Database, path: str | Path) -> Path:
+    """Write a relation / tagged relation / database to disk.
+
+    Unpartitioned objects become one JSON file; the write is atomic: the
+    payload goes to a temporary file in the target directory, is
+    fsynced, and only then renamed over the destination
+    (``os.replace``).  A crash or encode error mid-write can therefore
+    never leave a truncated snapshot — the previous file, if any,
+    survives intact.
+
+    A *partitioned* relation becomes a **directory** snapshot
+    (``<path>/key=<bucket>/part.json`` plus ``_meta.json``); each
+    partition file gets the same atomic protocol independently, only
+    dirty buckets are rewritten over an existing snapshot, and the
+    per-partition writes run on a thread pool.
+    """
+    target = Path(path)
+    if (
+        isinstance(obj, (Relation, TaggedRelation))
+        and obj.partition_spec is not None
+    ):
+        return _save_partitioned(obj, target)
+    for cls, serializer in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            payload = serializer(obj)
+            break
+    else:
+        raise SchemaError(f"cannot serialize object of type {type(obj).__name__}")
+    return _atomic_write_json(payload, target)
+
+
 def load(path: str | Path) -> Relation | TaggedRelation | Database:
-    """Read back an object written by :func:`save`."""
-    with open(path, "r", encoding="utf-8") as handle:
+    """Read back an object written by :func:`save`.
+
+    A directory path loads a partitioned snapshot (the stable hash
+    re-routes every row into the bucket its file came from); a file
+    path loads a flat one.
+    """
+    source = Path(path)
+    if source.is_dir():
+        return _load_partitioned(source)
+    with open(source, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     kind = data.get("kind")
     deserializer = _DESERIALIZERS.get(kind)

@@ -15,6 +15,12 @@ reference executor:
   row predicate.  Only indicators the tag schema allows on the column
   are routed: an unknown indicator reads as NULL per-cell (never
   matches) but would raise in the store;
+- :func:`prune_partitions` — turn equality/range/IN conjuncts on a
+  partitioned relation's declared partition key into static partition
+  elimination: the :class:`~repro.sql.plan.Scan` records the surviving
+  bucket set (EXPLAIN shows ``partitions=k/N``) and the physical
+  executor feeds only those shards.  The predicate itself is kept, so
+  pruning is purely an access-path restriction;
 - :func:`annotate_join_columns` / :func:`push_value_predicates` — move
   single-side conjuncts of a filter above a :class:`HashJoin` below
   the join, shrinking both build and probe inputs;
@@ -283,6 +289,155 @@ def push_quality_predicates(plan: PlanNode, context: PlanContext) -> PlanNode:
         if residual:
             rewritten = Filter(rewritten, join_conjuncts(residual))
         return rewritten
+
+    return _transform(plan, visit)
+
+
+# -- partition pruning -------------------------------------------------------
+
+
+def derive_partition_buckets(spec, predicate: Any) -> Optional[frozenset]:
+    """Buckets of ``spec`` that can hold predicate-matching rows.
+
+    Returns ``None`` when the predicate implies no restriction (the
+    scan must read every bucket) and a — possibly empty — frozenset of
+    bucket ids otherwise.  The derivation is deliberately conservative:
+    a surviving superset is always sound because the row predicate is
+    still applied above the scan.  Per-conjunct rules:
+
+    - ``key = literal`` → the literal's bucket (NULL → match nothing);
+    - ``key IN (...)`` → union over non-NULL options;
+    - ``key < / <= / > / >= literal`` → a bucket prefix/suffix, range
+      layouts only (hash buckets carry no order);
+    - ``key IS NULL`` → the NULL bucket;
+    - ``AND`` intersects, ``OR`` unions (underivable OR sides poison
+      the union); anything else derives no restriction.
+
+    The same function backs both the optimizer rewrite and the DQ410
+    legality check in :mod:`repro.analysis.verifier`, so "what the
+    planner may prune" and "what the verifier accepts" cannot drift.
+    """
+
+    def column_literal(comparison: Comparison) -> Optional[tuple[str, Any]]:
+        left, right, op = comparison.left, comparison.right, comparison.op
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right = right, left
+            op = _FLIPPED[op]
+        if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+            return None
+        if left.column != spec.column:
+            return None
+        return op, right.value
+
+    def derive(expr: Any) -> Optional[frozenset]:
+        if isinstance(expr, Literal):
+            return None if expr.value else frozenset()
+        if isinstance(expr, Comparison):
+            normalized = column_literal(expr)
+            if normalized is None:
+                return None
+            op, value = normalized
+            if value is None:
+                return frozenset()  # comparisons with NULL never match
+            if op == "=":
+                try:
+                    return frozenset({spec.bucket_of(value)})
+                except TypeError:
+                    return None
+            if spec.kind == "range" and op in ("<", "<=", ">", ">="):
+                try:
+                    pivot = spec.bucket_of(value)
+                except TypeError:
+                    return None
+                if op in ("<", "<="):
+                    return frozenset(range(pivot + 1))
+                return frozenset(range(pivot, spec.count))
+            return None
+        if isinstance(expr, InList):
+            if expr.negated:
+                return None
+            operand = expr.operand
+            if not (
+                isinstance(operand, ColumnRef)
+                and operand.column == spec.column
+            ):
+                return None
+            buckets: set[int] = set()
+            try:
+                for option in expr.options:
+                    if option is None:
+                        continue  # NULL options never match
+                    buckets.add(spec.bucket_of(option))
+            except TypeError:
+                return None
+            return frozenset(buckets)
+        if isinstance(expr, IsNull):
+            if expr.negated:
+                return None
+            operand = expr.operand
+            if not (
+                isinstance(operand, ColumnRef)
+                and operand.column == spec.column
+            ):
+                return None
+            return frozenset({spec.bucket_of(None)})
+        if isinstance(expr, BoolOp):
+            left = derive(expr.left)
+            right = derive(expr.right)
+            if expr.op == "AND":
+                if left is None:
+                    return right
+                if right is None:
+                    return left
+                return left & right
+            if left is None or right is None:
+                return None
+            return left | right
+        return None
+
+    return derive(predicate)
+
+
+def prune_partitions(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Statically eliminate partitions a Filter predicate cannot reach.
+
+    Fires on ``Filter(Scan)`` and ``Filter(QualityFilter(Scan))`` (the
+    shape :func:`push_quality_predicates` leaves behind) when the base
+    relation declares a partition layout.  The scan records the
+    surviving bucket tuple plus the layout's total and key; the Filter
+    stays in place, so the rewrite can only shrink the rows fed to it.
+    """
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Filter):
+            return node
+        child = node.child
+        if isinstance(child, Scan):
+            scan = child
+        elif isinstance(child, QualityFilter) and isinstance(
+            child.child, Scan
+        ):
+            scan = child.child
+        else:
+            return node
+        if scan.partitions is not None:
+            return node
+        relation = context.relation(scan.relation)
+        spec = getattr(relation, "partition_spec", None)
+        if spec is None:
+            return node
+        buckets = derive_partition_buckets(spec, node.predicate)
+        if buckets is None or len(buckets) == spec.count:
+            return node
+        pruned = replace(
+            scan,
+            partitions=tuple(sorted(buckets)),
+            partition_total=spec.count,
+            partition_key=spec.column,
+        )
+        if child is scan:
+            return replace(node, child=pruned)
+        return replace(node, child=replace(child, child=pruned))
 
     return _transform(plan, visit)
 
@@ -618,6 +773,7 @@ def optimize(
     """
     plan = fold_constants(plan)
     plan = push_quality_predicates(plan, context)
+    plan = prune_partitions(plan, context)
     plan = annotate_join_columns(plan, context)
     plan = push_value_predicates(plan)
     plan = prune_projections(plan, context)

@@ -64,6 +64,7 @@ from time import perf_counter
 from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import QueryError
+from repro.obs import metrics as _obs_metrics
 from repro.obs.stats import ExecutionStats
 from repro.relational import algebra as plain_algebra
 from repro.relational.relation import Relation, Row
@@ -260,11 +261,38 @@ def execute_plan(plan: PlanNode, relations: Binding) -> Any:
     return compile_plan(plan, relations).execute(relations)
 
 
+def _record_partition_scan(rows_scanned: int, pruned: int) -> None:
+    """Obs counters for one pruned-scan execution (enabled() guarded)."""
+    registry = _obs_metrics.global_registry()
+    registry.counter(
+        "partition.scanned",
+        "rows fed from surviving partitions by pruned scans",
+    ).inc(rows_scanned)
+    registry.counter(
+        "partition.pruned",
+        "partitions statically eliminated by pruned scans",
+    ).inc(pruned)
+
+
+def _surviving_partitions(plan: Scan, relation: Any) -> Optional[list]:
+    """The shards a pruned scan reads, or None to fall back to a full
+    scan (unpartitioned binding, or a layout that no longer matches the
+    plan's metadata — the Filter above makes the superset scan safe)."""
+    spec = getattr(relation, "partition_spec", None)
+    if (
+        spec is None
+        or spec.count != plan.partition_total
+        or spec.column != plan.partition_key
+    ):
+        return None
+    return [relation.partition(bucket) for bucket in plan.partitions]
+
+
 def _compile(
     plan: PlanNode, relations: Binding, ids: OpIds, sanitize: bool = False
 ) -> CompiledNode:
     if isinstance(plan, Scan):
-        node = _compile_scan(plan, relations)
+        node = _compile_scan(plan, relations, ids)
     elif isinstance(plan, QualityFilter):
         node = _compile_quality_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Filter):
@@ -303,7 +331,9 @@ def _compile(
     return CompiledNode(run, node.schema, node.tagged, node.tag_schema)
 
 
-def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
+def _compile_scan(
+    plan: Scan, relations: Binding, ids: OpIds = None
+) -> CompiledNode:
     name = plan.relation
     try:
         relation = relations[name]
@@ -311,8 +341,36 @@ def _compile_scan(plan: Scan, relations: Binding) -> CompiledNode:
         raise SQLError(f"unknown relation {name!r} in plan binding") from None
     tagged = isinstance(relation, TaggedRelation)
 
-    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
-        return binding[name].row_batch()
+    if plan.partitions is None:
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            return binding[name].row_batch()
+
+    else:
+        op_id = None if ids is None else ids[id(plan)]
+        pruned_count = plan.partition_total - len(plan.partitions)
+        note = f"{len(plan.partitions)}/{plan.partition_total}"
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            live = binding[name]
+            shards = _surviving_partitions(plan, live)
+            if shards is None:
+                return live.row_batch()
+            out: list = []
+            rows_by_partition: list[int] = []
+            for shard in shards:
+                batch = shard.row_batch()
+                rows_by_partition.append(len(batch))
+                out.extend(batch)
+            if _obs_metrics.enabled():
+                _record_partition_scan(len(out), pruned_count)
+            if stats is not None and op_id is not None:
+                stats.annotate(
+                    op_id,
+                    partitions=note,
+                    partition_rows=tuple(rows_by_partition),
+                )
+            return out
 
     return CompiledNode(
         run,
@@ -340,15 +398,54 @@ def _compile_quality_filter(
     scan_id = None if ids is None else ids[id(scan)]
     label = plan.label()
 
-    def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
-        relation = binding[name]
-        indices = relation.columnar_store().scan(constraints)
-        rows = relation.row_batch()
-        if stats is not None and scan_id is not None:
-            stats.record(scan_id, len(rows), 0.0)
-        if sanitize:
-            _check_scan_indices(label, indices, len(rows))
-        return [rows[index] for index in indices]
+    if scan.partitions is None:
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            relation = binding[name]
+            indices = relation.columnar_store().scan(constraints)
+            rows = relation.row_batch()
+            if stats is not None and scan_id is not None:
+                stats.record(scan_id, len(rows), 0.0)
+            if sanitize:
+                _check_scan_indices(label, indices, len(rows))
+            return [rows[index] for index in indices]
+
+    else:
+        pruned_count = scan.partition_total - len(scan.partitions)
+        note = f"{len(scan.partitions)}/{scan.partition_total}"
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            relation = binding[name]
+            shards = _surviving_partitions(scan, relation)
+            if shards is None:
+                indices = relation.columnar_store().scan(constraints)
+                rows = relation.row_batch()
+                if stats is not None and scan_id is not None:
+                    stats.record(scan_id, len(rows), 0.0)
+                if sanitize:
+                    _check_scan_indices(label, indices, len(rows))
+                return [rows[index] for index in indices]
+            out: list = []
+            fed = 0
+            rows_by_partition: list[int] = []
+            for shard in shards:
+                indices = shard.columnar_store().scan(constraints)
+                rows = shard.row_batch()
+                fed += len(rows)
+                rows_by_partition.append(len(rows))
+                if sanitize:
+                    _check_scan_indices(label, indices, len(rows))
+                out.extend(rows[index] for index in indices)
+            if _obs_metrics.enabled():
+                _record_partition_scan(fed, pruned_count)
+            if stats is not None and scan_id is not None:
+                stats.record(scan_id, fed, 0.0)
+                stats.annotate(
+                    scan_id,
+                    partitions=note,
+                    partition_rows=tuple(rows_by_partition),
+                )
+            return out
 
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
@@ -793,7 +890,7 @@ def _compile_columnar(
 ) -> _ColumnarNode:
     """Compile one operator of a columnar fragment (plus stats wrapper)."""
     if isinstance(plan, Scan):
-        node = _compile_columnar_scan(plan, relations)
+        node = _compile_columnar_scan(plan, relations, ids)
     elif isinstance(plan, Filter):
         node = _compile_columnar_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Project):
@@ -841,7 +938,9 @@ def _compile_columnar(
     return _ColumnarNode(run, node.schema)
 
 
-def _compile_columnar_scan(plan: Scan, relations: Binding) -> _ColumnarNode:
+def _compile_columnar_scan(
+    plan: Scan, relations: Binding, ids: OpIds = None
+) -> _ColumnarNode:
     name = plan.relation
     try:
         relation = relations[name]
@@ -850,8 +949,53 @@ def _compile_columnar_scan(plan: Scan, relations: Binding) -> _ColumnarNode:
     if isinstance(relation, TaggedRelation):
         raise SQLError("columnar scans support plain relations only")
 
-    def run(binding: Binding, stats: Optional[ExecutionStats]) -> ColumnarBatch:
-        return binding[name].columnar_store().column_arrays(), None
+    if plan.partitions is None:
+
+        def run(
+            binding: Binding, stats: Optional[ExecutionStats]
+        ) -> ColumnarBatch:
+            return binding[name].columnar_store().column_arrays(), None
+
+    else:
+        op_id = None if ids is None else ids[id(plan)]
+        pruned_count = plan.partition_total - len(plan.partitions)
+        note = f"{len(plan.partitions)}/{plan.partition_total}"
+        width = len(relation.schema.column_names)
+
+        def run(
+            binding: Binding, stats: Optional[ExecutionStats]
+        ) -> ColumnarBatch:
+            live = binding[name]
+            shards = _surviving_partitions(plan, live)
+            if shards is None:
+                return live.columnar_store().column_arrays(), None
+            if len(shards) == 1:
+                # Zero-copy: a single surviving partition serves its own
+                # version-gated column arrays directly.
+                columns = shards[0].columnar_store().column_arrays()
+                rows_by_partition = [len(columns[0]) if columns else 0]
+            else:
+                parts = [
+                    shard.columnar_store().column_arrays()
+                    for shard in shards
+                ]
+                rows_by_partition = [
+                    len(part[0]) if part else 0 for part in parts
+                ]
+                columns = [
+                    [value for part in parts for value in part[index]]
+                    for index in range(width)
+                ]
+            fed = sum(rows_by_partition)
+            if _obs_metrics.enabled():
+                _record_partition_scan(fed, pruned_count)
+            if stats is not None and op_id is not None:
+                stats.annotate(
+                    op_id,
+                    partitions=note,
+                    partition_rows=tuple(rows_by_partition),
+                )
+            return columns, None
 
     return _ColumnarNode(run, relation.schema)
 

@@ -86,11 +86,22 @@ class Scan:
     costing) the scan emits the relation's per-column value arrays
     plus a selection vector instead of row tuples; the operators above
     it up to the enclosing :class:`Materialize` run batch-at-a-time.
+
+    ``partitions`` (set by the optimizer's ``prune_partitions``
+    rewrite) statically restricts the scan to the named buckets of a
+    partitioned relation: ``partitions`` is the ascending tuple of
+    surviving bucket ids, ``partition_total`` the layout's bucket
+    count, and ``partition_key`` the declared partition column.  A
+    ``None`` partitions field means "scan everything" (the only legal
+    state for unpartitioned relations).
     """
 
     relation: str
     tagged: bool = False
     columnar: bool = False
+    partitions: Optional[tuple[int, ...]] = None
+    partition_total: int = 0
+    partition_key: Optional[str] = None
 
     def children(self) -> tuple[PlanNode, ...]:
         return ()
@@ -99,6 +110,10 @@ class Scan:
         flavor = "tagged" if self.tagged else "plain"
         if self.columnar:
             flavor += ", columnar"
+        if self.partitions is not None:
+            flavor += (
+                f", partitions={len(self.partitions)}/{self.partition_total}"
+            )
         return f"Scan [{self.relation} ({flavor})]"
 
     def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:

@@ -31,7 +31,10 @@ Two more facts participate in validation because the optimizer's plan
   path the optimizer would pick, so the entry is replanned.
 - the columnar sanitizer mode (``REPRO_VERIFY_PLANS``): sanitized
   compiled plans carry per-batch check wrappers, so an entry compiled
-  in one mode is never served to the other.
+  in one mode is never served to the other;
+- the relation's partition layout version: the optimizer bakes static
+  partition pruning (the surviving bucket set) into the plan, so
+  ``repartition()`` bumps the version and forces a replan.
 
 The plan-IR verifier (:mod:`repro.analysis.verifier`) audits exactly
 this key-completeness contract as DQ409; with ``REPRO_VERIFY_PLANS=1``
@@ -91,6 +94,7 @@ class PreparedStatement:
         "columnar_mode",
         "columnar_band",
         "sanitize",
+        "partition_layout",
         "strict_checked",
     )
 
@@ -127,6 +131,14 @@ class PreparedStatement:
         #: Defaults to the current flag, matching compile_plan's own
         #: default.
         self.sanitize = _verify_enabled() if sanitize is None else sanitize
+        #: The relation's partition layout version at plan time.  The
+        #: optimizer bakes static partition pruning into the plan, so
+        #: any ``repartition()`` (which bumps the version) must force a
+        #: replan — the baked bucket set may be wrong for the new
+        #: layout.  Unpartitioned relations report 0 and never bump.
+        self.partition_layout = getattr(
+            relation, "partition_layout_version", 0
+        )
         #: True once strict-mode analysis passed for this entry (the
         #: diagnostics depend only on the statement and the schemas the
         #: entry already pins by identity, so one clean run is enough).
@@ -154,6 +166,11 @@ class PreparedStatement:
         if (
             self.columnar_band is not None
             and _columnar_band(relation, columnar) != self.columnar_band
+        ):
+            return False
+        if (
+            getattr(relation, "partition_layout_version", 0)
+            != self.partition_layout
         ):
             return False
         if isinstance(source, Database):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.errors import SchemaError, TagSchemaError, UnknownColumnError
+from repro.relational.partition import PartitionSpec
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import RelationSchema
 from repro.tagging.cell import QualityCell
@@ -157,6 +158,15 @@ class TaggedRelation:
         #: plans) can detect staleness cheaply.
         self._version = 0
         self._columnar_cache: Optional[tuple[int, Any]] = None
+        #: Partitioning state, mirroring ``Relation``: the flat
+        #: ``_rows`` list stays canonical; shards are TaggedRelations
+        #: (one per bucket) each carrying its own version-gated
+        #: ``ColumnarTagStore`` cache.
+        self._partition_spec: Optional[PartitionSpec] = None
+        self._partitions: list["TaggedRelation"] = []
+        self._partition_position: Optional[int] = None
+        self._partition_layout_version = 0
+        self._dirty_partitions: set[int] = set()
         for row in rows:
             self.insert(row)
 
@@ -170,12 +180,16 @@ class TaggedRelation:
             row = TaggedRow(self.schema, self.tag_schema, cells)
         self._rows.append(row)
         self._version += 1
+        if self._partition_spec is not None:
+            self._route_insert(row)
         return row
 
     def _insert_validated(self, row: TaggedRow) -> TaggedRow:
         """Append a row already valid under both schemas (fast path)."""
         self._rows.append(row)
         self._version += 1
+        if self._partition_spec is not None:
+            self._route_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -188,15 +202,110 @@ class TaggedRelation:
 
     def delete(self, predicate: Callable[[TaggedRow], bool]) -> int:
         """Delete rows matching ``predicate``; returns the count removed."""
-        before = len(self._rows)
-        self._rows = [r for r in self._rows if not predicate(r)]
+        if self._partition_spec is None:
+            before = len(self._rows)
+            self._rows = [r for r in self._rows if not predicate(r)]
+            self._version += 1
+            return before - len(self._rows)
+        dead: set[int] = set()
+        kept: list[TaggedRow] = []
+        for row in self._rows:
+            if predicate(row):
+                dead.add(id(row))
+            else:
+                kept.append(row)
+        removed = len(self._rows) - len(kept)
+        self._rows = kept
         self._version += 1
-        return before - len(self._rows)
+        if not dead:
+            return 0
+        for bucket, shard in enumerate(self._partitions):
+            if any(id(row) in dead for row in shard._rows):
+                shard._rows = [
+                    row for row in shard._rows if id(row) not in dead
+                ]
+                shard._version += 1
+                self._dirty_partitions.add(bucket)
+        return removed
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (for cache invalidation)."""
         return self._version
+
+    # -- partitioning ----------------------------------------------------------
+
+    def repartition(self, spec: Optional[PartitionSpec]) -> "TaggedRelation":
+        """(Re)declare the partition layout; ``None`` drops partitioning.
+
+        Mirrors :meth:`repro.relational.relation.Relation.repartition`:
+        rows route on the *cell value* of the partition column, shards
+        share both schema objects, and the layout version bump forces
+        cached plans to replan.
+        """
+        position: Optional[int] = None
+        if spec is not None:
+            position = self.schema.index_of(spec.column)
+        self._partition_spec = spec
+        self._partition_position = position
+        self._partition_layout_version += 1
+        if spec is None:
+            self._partitions = []
+            self._dirty_partitions = set()
+            return self
+        self._partitions = [
+            TaggedRelation(self.schema, self.tag_schema)
+            for _ in range(spec.count)
+        ]
+        self._redistribute()
+        return self
+
+    def _route_insert(self, row: TaggedRow) -> None:
+        bucket = self._partition_spec.bucket_of(
+            row.cells[self._partition_position].value
+        )
+        shard = self._partitions[bucket]
+        shard._rows.append(row)
+        shard._version += 1
+        self._dirty_partitions.add(bucket)
+
+    def _redistribute(self) -> None:
+        spec = self._partition_spec
+        position = self._partition_position
+        grouped: list[list[TaggedRow]] = [[] for _ in range(spec.count)]
+        for row in self._rows:
+            grouped[spec.bucket_of(row.cells[position].value)].append(row)
+        for shard, rows in zip(self._partitions, grouped):
+            shard._rows = rows
+            shard._version += 1
+        self._dirty_partitions = set(range(spec.count))
+
+    @property
+    def partition_spec(self) -> Optional[PartitionSpec]:
+        """The declared layout, or ``None`` when unpartitioned."""
+        return self._partition_spec
+
+    @property
+    def partition_layout_version(self) -> int:
+        """Bumped by every :meth:`repartition` (plan-cache pin)."""
+        return self._partition_layout_version
+
+    @property
+    def dirty_partitions(self) -> frozenset[int]:
+        """Buckets mutated since :meth:`mark_partitions_clean`."""
+        return frozenset(self._dirty_partitions)
+
+    def mark_partitions_clean(self) -> None:
+        """Reset dirty tracking (called after a successful save)."""
+        self._dirty_partitions.clear()
+
+    def partition(self, bucket: int) -> "TaggedRelation":
+        """The shard relation backing one bucket."""
+        return self._partitions[bucket]
+
+    def partitions(self) -> list["TaggedRelation"]:
+        """All shard relations, in bucket order."""
+        return list(self._partitions)
 
     def columnar_store(self):
         """The relation's columnar tag store, built lazily and cached.
@@ -251,6 +360,9 @@ class TaggedRelation:
     def copy(self) -> "TaggedRelation":
         fresh = self.empty_like()
         fresh._rows = list(self._rows)
+        fresh._version += 1
+        if self._partition_spec is not None:
+            fresh.repartition(self._partition_spec)
         return fresh
 
     # -- conversions ----------------------------------------------------------------

@@ -111,6 +111,11 @@ MUTATIONS = {
     "DQ408": lambda: Limit(
         Sort(Scan("big"), (OrderItem(ColumnRef("id")),)), 5
     ),
+    # Pruned scan with no governing Filter predicate justifying the
+    # dropped buckets.
+    "DQ410": lambda: Scan(
+        "big", partitions=(0,), partition_total=8, partition_key="score"
+    ),
 }
 
 
@@ -135,7 +140,7 @@ def test_dq4_registry_closed():
     covered = (
         set(MUTATIONS)
         | {"DQ409"}
-        | {"DQ420", "DQ421", "DQ422", "DQ423"}
+        | {"DQ420", "DQ421", "DQ422", "DQ423", "DQ424"}
     )
     assert covered == dq4
 
@@ -243,6 +248,28 @@ class TestCacheEntryAudit:
         entry = self.make_entry()
         diagnostics = verify_cache_entry(entry, small)
         assert "DQ409" in diagnostics.codes()
+
+    def test_missing_partition_layout(self):
+        entry = self.make_entry()
+        entry.partition_layout = None  # simulate an incomplete cache key
+        diagnostics = verify_cache_entry(entry, BIG)
+        assert diagnostics.codes() == ["DQ409"]
+        assert "partition layout" in diagnostics.render()
+
+    def test_stale_partition_layout(self):
+        from repro.relational import hash_partitions
+
+        relation = make_big()
+        statement = parse(self.SQL)
+        plan, resolved, _ = plan_statement(statement, {"big": relation})
+        compiled = compile_plan(plan, {"big": relation})
+        entry = PreparedStatement(
+            self.SQL, statement, plan, compiled, resolved, None,
+        )
+        relation.repartition(hash_partitions("score", 4))
+        diagnostics = verify_cache_entry(entry, relation)
+        assert diagnostics.codes() == ["DQ409"]
+        assert "partition layout version" in diagnostics.render()
 
     def test_hit_path_catches_tampered_entry(self, monkeypatch):
         monkeypatch.setenv("REPRO_VERIFY_PLANS", "1")

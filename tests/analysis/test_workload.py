@@ -189,6 +189,68 @@ class TestUnqueriedIndicators:
         assert "DQ423" not in diagnostics.codes()
 
 
+class TestPartitionCandidates:
+    WORKLOAD = [
+        ("SELECT id FROM events WHERE region = 'north'", "view-a"),
+        ("SELECT id FROM events WHERE region = 'south' AND n > 3", "view-b"),
+        ("SELECT id FROM events WHERE region IN ('east', 'west')", "view-c"),
+    ]
+
+    def test_dq424_suggests_most_pinned_column(self):
+        diagnostics = analyze_workload(self.WORKLOAD)
+        (finding,) = [d for d in diagnostics if d.code == "DQ424"]
+        assert finding.severity.label == "info"
+        assert "events.region" in finding.message
+        assert "3 distinct" in finding.message
+
+    def test_one_statement_is_not_a_pattern(self):
+        diagnostics = analyze_workload(self.WORKLOAD[:1])
+        assert "DQ424" not in diagnostics.codes()
+
+    def test_repeated_texts_count_once(self):
+        diagnostics = analyze_workload([self.WORKLOAD[0]] * 3)
+        assert "DQ424" not in diagnostics.codes()
+
+    def test_non_equality_predicates_do_not_vote(self):
+        diagnostics = analyze_workload(
+            [
+                ("SELECT id FROM events WHERE n > 1", "a"),
+                ("SELECT id FROM events WHERE n > 2", "b"),
+                ("SELECT id FROM events WHERE n NOT IN (3, 4)", "c"),
+            ]
+        )
+        assert "DQ424" not in diagnostics.codes()
+
+    def test_already_partitioned_relation_is_quiet(self):
+        from repro.relational import hash_partitions
+        from repro.relational.relation import Relation
+        from repro.relational.schema import schema as make_schema
+
+        relation = Relation(
+            make_schema("events", [("id", "INT"), ("region", "STR"), ("n", "INT")])
+        )
+        relation.repartition(hash_partitions("region", 8))
+        diagnostics = analyze_workload(self.WORKLOAD, {"events": relation})
+        assert "DQ424" not in diagnostics.codes()
+
+    def test_quality_refs_do_not_vote(self):
+        diagnostics = analyze_workload(
+            [
+                (
+                    "SELECT co_name FROM customer "
+                    "WHERE QUALITY(address.source) = 'a'",
+                    "qa",
+                ),
+                (
+                    "SELECT co_name FROM customer "
+                    "WHERE QUALITY(address.source) = 'a'",
+                    "qb",
+                ),
+            ]
+        )
+        assert "DQ424" not in diagnostics.codes()
+
+
 class TestRobustness:
     def test_parse_failures_are_skipped(self):
         diagnostics = analyze_workload(

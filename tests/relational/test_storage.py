@@ -210,3 +210,121 @@ class TestAtomicSave:
         monkeypatch.chdir(tmp_path)
         path = save(customer_relation, "rel.json")
         assert load(path) == customer_relation
+
+
+class TestPartitionedStorage:
+    def _events(self, buckets=8, count=40):
+        from repro.relational import hash_partitions
+        from repro.relational.relation import Relation
+        from repro.relational.schema import schema
+
+        relation = Relation(
+            schema("events", [("id", "INT"), ("region", "STR")])
+        )
+        relation.repartition(hash_partitions("region", buckets))
+        for i in range(count):
+            relation.insert({"id": i, "region": ["a", "b", "c", "d"][i % 4]})
+        return relation
+
+    def test_directory_per_partition_layout(self, tmp_path):
+        relation = self._events()
+        target = tmp_path / "events"
+        save(relation, target)
+        assert target.is_dir()
+        assert (target / "_meta.json").is_file()
+        buckets = sorted(target.glob("key=*"))
+        assert buckets  # only non-empty buckets are written
+        for bucket_dir in buckets:
+            assert (bucket_dir / "part.json").is_file()
+
+    def test_round_trip_preserves_layout_and_rows(self, tmp_path):
+        relation = self._events()
+        target = tmp_path / "events"
+        save(relation, target)
+        restored = load(target)
+        assert restored.partition_spec == relation.partition_spec
+        assert sorted(r.values_tuple() for r in restored.rows) == sorted(
+            r.values_tuple() for r in relation.rows
+        )
+        assert [len(p) for p in restored.partitions()] == [
+            len(p) for p in relation.partitions()
+        ]
+        assert not restored.dirty_partitions
+
+    def test_incremental_save_rewrites_only_dirty(self, tmp_path):
+        relation = self._events()
+        target = tmp_path / "events"
+        save(relation, target)
+        assert not relation.dirty_partitions
+        spec = relation.partition_spec
+        bucket = spec.bucket_of("a")
+        before = {
+            p: (p / "part.json").stat().st_mtime_ns
+            for p in target.glob("key=*")
+        }
+        relation.insert({"id": 1000, "region": "a"})
+        save(relation, target)
+        after = {
+            p: (p / "part.json").stat().st_mtime_ns
+            for p in target.glob("key=*")
+        }
+        changed = {p.name for p in before if before[p] != after[p]}
+        assert changed == {f"key={bucket}"}
+        assert sorted(r.values_tuple() for r in load(target).rows) == sorted(
+            r.values_tuple() for r in relation.rows
+        )
+
+    def test_narrower_relayout_drops_stale_bucket_dirs(self, tmp_path):
+        from repro.relational import hash_partitions
+
+        relation = self._events(buckets=8)
+        target = tmp_path / "events"
+        save(relation, target)
+        relation.repartition(hash_partitions("region", 2))
+        save(relation, target)
+        stale = [
+            int(p.name.split("=")[1])
+            for p in target.glob("key=*")
+        ]
+        assert all(bucket < 2 for bucket in stale)
+        restored = load(target)
+        assert restored.partition_spec.count == 2
+        assert len(restored) == len(relation)
+
+    def test_tagged_partitioned_round_trip(self, tmp_path):
+        from repro.relational import hash_partitions
+        from repro.relational.schema import schema
+        from repro.tagging.indicators import IndicatorDefinition, TagSchema
+        from repro.tagging.relation import TaggedRelation
+
+        relation = TaggedRelation(
+            schema("t", [("id", "INT"), ("g", "STR")]),
+            TagSchema(indicators=[IndicatorDefinition("source")]),
+        )
+        relation.repartition(hash_partitions("g", 4))
+        for i in range(12):
+            relation.insert({"id": i, "g": ["x", "y"][i % 2]})
+        target = tmp_path / "t"
+        save(relation, target)
+        restored = load(target)
+        assert restored.partition_spec == relation.partition_spec
+        assert len(restored) == 12
+        assert restored.tag_schema.indicator_names == ("source",)
+
+    def test_database_round_trip_keeps_partitioning(self, tmp_path):
+        from repro.relational import hash_partitions
+        from repro.relational.catalog import Database
+        from repro.relational.schema import schema
+
+        database = Database("d")
+        relation = database.create_relation(
+            schema("events", [("id", "INT"), ("region", "STR")]),
+            enforce_key=False,
+            partition_by=hash_partitions("region", 4),
+        )
+        for i in range(10):
+            relation.insert({"id": i, "region": ["a", "b"][i % 2]})
+        restored = database_from_dict(database_to_dict(database))
+        live = restored.relation("events")
+        assert live.partition_spec == relation.partition_spec
+        assert sum(len(p) for p in live.partitions()) == 10

@@ -107,6 +107,36 @@ class TestInvalidation:
         assert values(result) == [(1,)]
         assert cache.hits == 1 and cache.misses == 2
 
+    def test_repartition_invalidates_pruned_plan(self):
+        from repro.relational import hash_partitions
+        from repro.sql.plan import Scan
+
+        cache = PlanCache()
+        relation = make_relation()
+        relation.repartition(hash_partitions("b", 8))
+        sql = "SELECT a FROM t WHERE b = 'x'"
+        first = execute_planned(sql, relation, cache=cache)
+        entry = cache.lookup(sql, relation)[0]
+
+        def scan_of(plan):
+            node = plan
+            while not isinstance(node, Scan):
+                node = node.child
+            return node
+
+        pruned = scan_of(entry.plan)
+        assert pruned.partitions is not None
+        assert pruned.partition_total == 8
+        # Relayout: the entry pins the old partition layout version, so
+        # the lookup misses and the replan targets the new bucket count.
+        relation.repartition(hash_partitions("b", 2))
+        assert cache.lookup(sql, relation) is None
+        second = execute_planned(sql, relation, cache=cache)
+        assert values(second) == values(first) == [(1,), (3,)]
+        fresh = scan_of(cache.lookup(sql, relation)[0].plan)
+        assert fresh.partition_total == 2
+        assert cache.stats()["misses"] == 3  # cold, stale lookup, replan
+
     def test_drop_and_recreate_recompiles(self):
         database = Database("db")
         schema = RelationSchema(
