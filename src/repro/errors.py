@@ -54,6 +54,39 @@ class QueryError(RelationalError):
     """A query expression is malformed."""
 
 
+class SnapshotWriteError(RelationalError):
+    """A mutation was attempted on a frozen snapshot relation.
+
+    Snapshot relations (:meth:`repro.relational.relation.Relation.read_snapshot`,
+    :meth:`repro.relational.catalog.Database.snapshot`) are shared by
+    every concurrent reader pinned to the same version; writing to one
+    would silently corrupt other sessions' reads.  Write to the live
+    relation instead — readers pick the change up on their next pin.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Query service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a query: the pending queue is full.
+
+    The service sheds load instead of queueing unboundedly; callers
+    should back off and retry.  The HTTP front end maps this to a
+    ``503`` response with ``{"error": "overloaded"}``.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """A query was submitted to a service (or session) already closed."""
+
+
 # ---------------------------------------------------------------------------
 # ER modeling errors
 # ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ _DEFAULT_SCALES = {
     "e3": 200,
     "columnar": 2000,
     "partitions": 4096,
+    "service": 4096,
 }
 
 
@@ -180,12 +181,36 @@ def _build_partitions(scale: int) -> tuple[Any, str, str]:
     )
 
 
+def _build_service(scale: int) -> tuple[Any, str, str]:
+    """Service: the partitions database read through a pinned snapshot.
+
+    Runs the statement once through an actual
+    :class:`~repro.service.core.QueryService` session (so the
+    ``service.*`` counters and latency histogram show up in the metric
+    report), then returns the pinned :class:`DatabaseSnapshot
+    <repro.relational.snapshot.DatabaseSnapshot>` as the scenario
+    source — the same frozen view every service query executes against.
+    """
+    from repro.service.core import QueryService
+
+    database, sql, _ = _build_partitions(scale)
+    with QueryService(database, workers=2, name="repro-stats") as service:
+        with service.session() as session:
+            session.execute(sql)
+    return (
+        database.snapshot(),
+        sql,
+        "Service: QSQL through the query service, pinned snapshot reads",
+    )
+
+
 _SCENARIOS = {
     "e1": _build_e1,
     "e2": _build_e2,
     "e3": _build_e3,
     "columnar": _build_columnar,
     "partitions": _build_partitions,
+    "service": _build_service,
 }
 
 

@@ -52,6 +52,7 @@ from repro.relational.partition import (
 )
 from repro.relational.query import Query
 from repro.relational.relation import Relation, Row
+from repro.relational.snapshot import DatabaseSnapshot
 from repro.relational.schema import Column, RelationSchema, schema
 from repro.relational.transactions import Transaction, TransactionManager
 from repro.relational.types import (
@@ -75,6 +76,7 @@ __all__ = [
     "Column",
     "Constraint",
     "Database",
+    "DatabaseSnapshot",
     "Domain",
     "ForeignKeyConstraint",
     "NotNullConstraint",

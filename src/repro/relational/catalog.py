@@ -8,7 +8,8 @@ quality-administration layer can audit them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import (
     ConstraintViolation,
@@ -20,6 +21,9 @@ from repro.relational.partition import PartitionSpec
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import RelationSchema
 from repro.relational.transactions import Transaction, TransactionManager
+
+if TYPE_CHECKING:
+    from repro.relational.snapshot import DatabaseSnapshot
 
 
 class Database:
@@ -50,6 +54,10 @@ class Database:
         self._constraints: list[Constraint] = []
         self.transactions = TransactionManager()
         self._catalog_version = 0
+        # Guards the relation map, the constraint list, and the catalog
+        # version.  Lock order: transaction gate -> this lock -> any
+        # relation's lock (never the reverse).
+        self._lock = threading.RLock()
 
     # -- schema management ---------------------------------------------------
 
@@ -67,18 +75,22 @@ class Database:
         :mod:`repro.relational.partition`) up front; use
         :meth:`repartition` to change it later.
         """
-        if schema.name in self._relations:
-            raise SchemaError(
-                f"database {self.name!r} already has relation {schema.name!r}"
-            )
-        relation = Relation(schema)
-        if partition_by is not None:
-            relation.repartition(partition_by)
-        self._relations[schema.name] = relation
-        self._catalog_version += 1
-        if enforce_key and schema.key:
-            self.add_constraint(key_constraint_for(schema.name, schema.key))
-        return relation
+        with self._lock:
+            if schema.name in self._relations:
+                raise SchemaError(
+                    f"database {self.name!r} already has relation "
+                    f"{schema.name!r}"
+                )
+            relation = Relation(schema)
+            if partition_by is not None:
+                relation.repartition(partition_by)
+            self._relations[schema.name] = relation
+            self._catalog_version += 1
+            if enforce_key and schema.key:
+                self.add_constraint(
+                    key_constraint_for(schema.name, schema.key)
+                )
+            return relation
 
     def repartition(
         self, name: str, spec: Optional[PartitionSpec]
@@ -95,15 +107,16 @@ class Database:
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation and its constraints."""
-        self.relation(name)  # raise if unknown
-        del self._relations[name]
-        self._catalog_version += 1
-        self._constraints = [
-            c
-            for c in self._constraints
-            if c.relation_name != name
-            and getattr(c, "target_relation", None) != name
-        ]
+        with self._lock:
+            self.relation(name)  # raise if unknown
+            del self._relations[name]
+            self._catalog_version += 1
+            self._constraints = [
+                c
+                for c in self._constraints
+                if c.relation_name != name
+                and getattr(c, "target_relation", None) != name
+            ]
 
     @property
     def catalog_version(self) -> int:
@@ -153,6 +166,10 @@ class Database:
 
     def add_constraint(self, constraint: Constraint) -> None:
         """Register a constraint; existing rows are validated immediately."""
+        with self._lock:
+            self._add_constraint_locked(constraint)
+
+    def _add_constraint_locked(self, constraint: Constraint) -> None:
         if constraint.relation_name not in self._relations:
             raise UnknownRelationError(
                 f"constraint {constraint.name!r} targets unknown relation "
@@ -329,6 +346,32 @@ class Database:
         if own_txn:
             txn.commit()
         return len(targets)
+
+    # -- snapshot reads --------------------------------------------------------
+
+    def snapshot(self) -> "DatabaseSnapshot":
+        """A consistent, immutable snapshot of every relation.
+
+        Built behind the transaction manager's write gate
+        (:meth:`TransactionManager.exclusive
+        <repro.relational.transactions.TransactionManager.exclusive>`),
+        so the snapshot never captures half of a multi-statement
+        transaction (e.g. the middle of an ``insert_many`` batch).
+        Per-relation snapshots are cached against their version, so an
+        unchanged relation costs a token comparison, not a copy.
+        """
+        from repro.relational.snapshot import DatabaseSnapshot
+
+        with self.transactions.exclusive():
+            with self._lock:
+                return DatabaseSnapshot(
+                    name=self.name,
+                    catalog_version=self._catalog_version,
+                    relations={
+                        name: rel.read_snapshot()
+                        for name, rel in self._relations.items()
+                    },
+                )
 
     # -- serialization ---------------------------------------------------------
 

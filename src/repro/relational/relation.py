@@ -8,9 +8,10 @@ converts to set semantics explicitly.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.errors import SchemaError, UnknownColumnError
+from repro.errors import SchemaError, SnapshotWriteError, UnknownColumnError
 from repro.relational.partition import PartitionSpec
 from repro.relational.schema import RelationSchema
 
@@ -143,6 +144,16 @@ class Relation:
         #: layout change forces a replan (see ``sql/plancache.py``).
         self._partition_layout_version = 0
         self._dirty_partitions: set[int] = set()
+        #: Mutation lock.  Every write path (and every version-gated
+        #: cache build) runs under it so concurrent sessions never lose
+        #: a version bump or observe a half-applied mutation; see
+        #: DESIGN.md §15 for the locking discipline.  Reentrant because
+        #: writers compose (``delete`` → ``_replace_rows``).
+        self._lock = threading.RLock()
+        #: Version-gated read snapshot (see :meth:`read_snapshot`).
+        self._snapshot_cache: Optional[tuple[tuple[int, int], "Relation"]] = None
+        #: Frozen relations (read snapshots) reject every mutation.
+        self._frozen = False
         for row in rows:
             self.insert(row)
 
@@ -205,13 +216,22 @@ class Relation:
             return row
         return Row(self.schema, dict(row))
 
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise SnapshotWriteError(
+                f"relation {self.schema.name!r} is a frozen read snapshot; "
+                f"write to the live relation instead"
+            )
+
     def insert(self, row: Row | dict[str, Any]) -> Row:
         """Insert a row (validated against the schema) and return it."""
         prepared = self._as_row(row)
-        self._rows.append(prepared)
-        self._version += 1
-        if self._partition_spec is not None:
-            self._route_insert(prepared)
+        with self._lock:
+            self._require_mutable()
+            self._rows.append(prepared)
+            self._version += 1
+            if self._partition_spec is not None:
+                self._route_insert(prepared)
         return prepared
 
     def _insert_validated(self, row: Row) -> Row:
@@ -220,10 +240,12 @@ class Relation:
         Internal fast path for the algebra: skips domain validation and
         coercion, which :meth:`insert` would redo on values that came
         out of another relation with the same domains."""
-        self._rows.append(row)
-        self._version += 1
-        if self._partition_spec is not None:
-            self._route_insert(row)
+        with self._lock:
+            self._require_mutable()
+            self._rows.append(row)
+            self._version += 1
+            if self._partition_spec is not None:
+                self._route_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Row | dict[str, Any]]) -> int:
@@ -242,39 +264,46 @@ class Relation:
         the mutation — including replacements performed by side-tables
         such as :class:`~repro.tagging.columnar.ColumnarTagStore`.
         """
-        self._rows = rows
-        self._version += 1
-        if self._partition_spec is not None:
-            self._redistribute()
+        with self._lock:
+            self._require_mutable()
+            self._rows = rows
+            self._version += 1
+            if self._partition_spec is not None:
+                self._redistribute()
 
     def delete(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows matching ``predicate``; return the count removed."""
-        if self._partition_spec is None:
-            before = len(self._rows)
-            self._replace_rows([r for r in self._rows if not predicate(r)])
-            return before - len(self._rows)
-        # Partitioned: one predicate pass over the canonical flat list,
-        # then surgical per-shard removal so untouched partitions keep
-        # their columnar caches (and stay clean for incremental saves).
-        dead: set[int] = set()
-        kept: list[Row] = []
-        for row in self._rows:
-            if predicate(row):
-                dead.add(id(row))
-            else:
-                kept.append(row)
-        removed = len(self._rows) - len(kept)
-        self._rows = kept
-        self._version += 1
-        if not dead:
-            return 0
-        for bucket, shard in enumerate(self._partitions):
-            if any(id(row) in dead for row in shard._rows):
-                shard._replace_rows(
-                    [row for row in shard._rows if id(row) not in dead]
+        with self._lock:
+            self._require_mutable()
+            if self._partition_spec is None:
+                before = len(self._rows)
+                self._replace_rows(
+                    [r for r in self._rows if not predicate(r)]
                 )
-                self._dirty_partitions.add(bucket)
-        return removed
+                return before - len(self._rows)
+            # Partitioned: one predicate pass over the canonical flat
+            # list, then surgical per-shard removal so untouched
+            # partitions keep their columnar caches (and stay clean for
+            # incremental saves).
+            dead: set[int] = set()
+            kept: list[Row] = []
+            for row in self._rows:
+                if predicate(row):
+                    dead.add(id(row))
+                else:
+                    kept.append(row)
+            removed = len(self._rows) - len(kept)
+            self._rows = kept
+            self._version += 1
+            if not dead:
+                return 0
+            for bucket, shard in enumerate(self._partitions):
+                if any(id(row) in dead for row in shard._rows):
+                    shard._replace_rows(
+                        [row for row in shard._rows if id(row) not in dead]
+                    )
+                    self._dirty_partitions.add(bucket)
+            return removed
 
     def update(
         self,
@@ -286,59 +315,61 @@ class Relation:
         ``updater`` receives the old row and returns a dict of column
         updates applied via :meth:`Row.replace`.
         """
-        if self._partition_spec is None:
+        with self._lock:
+            self._require_mutable()
+            if self._partition_spec is None:
+                count = 0
+                new_rows = []
+                for row in self._rows:
+                    if predicate(row):
+                        new_rows.append(row.replace(**updater(row)))
+                        count += 1
+                    else:
+                        new_rows.append(row)
+                self._replace_rows(new_rows)
+                return count
+            # Partitioned: replace in the flat list, then patch only the
+            # shards that held a matching row.  An update that changes
+            # the partition-key value moves the row to its new bucket.
             count = 0
-            new_rows = []
+            pending: dict[int, list[Row]] = {}
+            new_rows: list[Row] = []
             for row in self._rows:
                 if predicate(row):
-                    new_rows.append(row.replace(**updater(row)))
+                    fresh = row.replace(**updater(row))
+                    pending.setdefault(id(row), []).append(fresh)
+                    new_rows.append(fresh)
                     count += 1
                 else:
                     new_rows.append(row)
-            self._replace_rows(new_rows)
-            return count
-        # Partitioned: replace in the flat list, then patch only the
-        # shards that held a matching row.  An update that changes the
-        # partition-key value moves the row to its new bucket.
-        count = 0
-        pending: dict[int, list[Row]] = {}
-        new_rows: list[Row] = []
-        for row in self._rows:
-            if predicate(row):
-                fresh = row.replace(**updater(row))
-                pending.setdefault(id(row), []).append(fresh)
-                new_rows.append(fresh)
-                count += 1
-            else:
-                new_rows.append(row)
-        self._rows = new_rows
-        self._version += 1
-        if not count:
-            return 0
-        spec = self._partition_spec
-        position = self._partition_position
-        moves: list[tuple[int, Row]] = []
-        for bucket, shard in enumerate(self._partitions):
-            if not any(id(row) in pending for row in shard._rows):
-                continue
-            shard_rows: list[Row] = []
-            for row in shard._rows:
-                queue = pending.get(id(row))
-                if not queue:
-                    shard_rows.append(row)
+            self._rows = new_rows
+            self._version += 1
+            if not count:
+                return 0
+            spec = self._partition_spec
+            position = self._partition_position
+            moves: list[tuple[int, Row]] = []
+            for bucket, shard in enumerate(self._partitions):
+                if not any(id(row) in pending for row in shard._rows):
                     continue
-                fresh = queue.pop(0)
-                target = spec.bucket_of(fresh.at(position))
-                if target == bucket:
-                    shard_rows.append(fresh)
-                else:
-                    moves.append((target, fresh))
-            shard._replace_rows(shard_rows)
-            self._dirty_partitions.add(bucket)
-        for target, fresh in moves:
-            self._partitions[target]._insert_validated(fresh)
-            self._dirty_partitions.add(target)
-        return count
+                shard_rows: list[Row] = []
+                for row in shard._rows:
+                    queue = pending.get(id(row))
+                    if not queue:
+                        shard_rows.append(row)
+                        continue
+                    fresh = queue.pop(0)
+                    target = spec.bucket_of(fresh.at(position))
+                    if target == bucket:
+                        shard_rows.append(fresh)
+                    else:
+                        moves.append((target, fresh))
+                shard._replace_rows(shard_rows)
+                self._dirty_partitions.add(bucket)
+            for target, fresh in moves:
+                self._partitions[target]._insert_validated(fresh)
+                self._dirty_partitions.add(target)
+            return count
 
     def clear(self) -> None:
         """Remove all rows."""
@@ -362,15 +393,19 @@ class Relation:
         position: Optional[int] = None
         if spec is not None:
             position = self.schema.index_of(spec.column)
-        self._partition_spec = spec
-        self._partition_position = position
-        self._partition_layout_version += 1
-        if spec is None:
-            self._partitions = []
-            self._dirty_partitions = set()
-            return self
-        self._partitions = [Relation(self.schema) for _ in range(spec.count)]
-        self._redistribute()
+        with self._lock:
+            self._require_mutable()
+            self._partition_spec = spec
+            self._partition_position = position
+            self._partition_layout_version += 1
+            if spec is None:
+                self._partitions = []
+                self._dirty_partitions = set()
+                return self
+            self._partitions = [
+                Relation(self.schema) for _ in range(spec.count)
+            ]
+            self._redistribute()
         return self
 
     def _route_insert(self, row: Row) -> None:
@@ -432,9 +467,61 @@ class Relation:
             return cached[1]
         from repro.relational.columnar import ColumnarRelation
 
-        store = ColumnarRelation.from_relation(self)
-        self._columnar_cache = (self._version, store)
-        return store
+        # Built under the mutation lock so two sessions racing on a cold
+        # cache agree on one store (and neither sees a half-built one).
+        with self._lock:
+            cached = self._columnar_cache
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            store = ColumnarRelation.from_relation(self)
+            self._columnar_cache = (self._version, store)
+            return store
+
+    # -- snapshot reads --------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True for read snapshots, which reject every mutation."""
+        return self._frozen
+
+    def read_snapshot(self) -> "Relation":
+        """A frozen copy-on-write snapshot of the current rows.
+
+        The snapshot is a plain :class:`Relation` sharing this
+        relation's schema object and (immutable) ``Row`` objects — the
+        copy is a pointer-list copy, never a row copy — so queries run
+        against it exactly as against the live relation, but no later
+        write is ever visible through it.  Snapshots are *frozen*:
+        mutating one raises :class:`~repro.errors.SnapshotWriteError`.
+
+        Copy-on-write is version-gated: the snapshot is cached and
+        reused until the next mutation, so pinning is O(1) on an
+        unchanged relation.  Partition layouts carry over with
+        per-shard snapshot reuse — a write to one bucket rebuilds only
+        that shard's snapshot, and every untouched shard keeps its
+        (lazily built) columnar store across snapshot generations.
+        """
+        with self._lock:
+            if self._frozen:
+                return self
+            token = (self._version, self._partition_layout_version)
+            cached = self._snapshot_cache
+            if cached is not None and cached[0] == token:
+                return cached[1]
+            snapshot = Relation(self.schema)
+            snapshot._rows = list(self._rows)
+            snapshot._partition_spec = self._partition_spec
+            snapshot._partition_position = self._partition_position
+            snapshot._partition_layout_version = (
+                self._partition_layout_version
+            )
+            if self._partition_spec is not None:
+                snapshot._partitions = [
+                    shard.read_snapshot() for shard in self._partitions
+                ]
+            snapshot._frozen = True
+            self._snapshot_cache = (token, snapshot)
+            return snapshot
 
     # -- access -------------------------------------------------------------------
 

@@ -1,0 +1,90 @@
+"""Immutable point-in-time views of a :class:`~repro.relational.catalog.Database`.
+
+:meth:`Database.snapshot() <repro.relational.catalog.Database.snapshot>`
+pins every relation at its current version behind the transaction
+manager's write gate and wraps the frozen copies in a
+:class:`DatabaseSnapshot`.  The snapshot is a ``Mapping[str, Relation]``,
+which is exactly the shape :func:`repro.analysis.query.execute` accepts
+as a multi-relation source — so a long analytical query can run against
+a snapshot while writers keep mutating the live database, and never
+observes a mid-scan write.
+
+Snapshots are cheap: each relation snapshot is a pointer-list copy of
+immutable ``Row`` objects, cached until the relation's next mutation,
+and partitioned relations reuse untouched shards across generations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import UnknownRelationError
+from repro.relational.relation import Relation
+
+
+class DatabaseSnapshot(Mapping[str, Relation]):
+    """A frozen name → relation mapping pinned at one catalog version.
+
+    Every relation in the mapping is frozen
+    (:attr:`Relation.frozen <repro.relational.relation.Relation.frozen>`
+    is True); mutating one raises
+    :class:`~repro.errors.SnapshotWriteError`.
+
+    Example
+    -------
+    >>> from repro.relational.catalog import Database
+    >>> from repro.relational.schema import schema
+    >>> db = Database("corp")
+    >>> _ = db.create_relation(schema("t", [("a", "INT")]))
+    >>> snap = db.snapshot()
+    >>> _ = db.insert("t", {"a": 1})
+    >>> len(snap["t"]), len(db.relation("t"))
+    (0, 1)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        catalog_version: int,
+        relations: Mapping[str, Relation],
+    ) -> None:
+        self.name = name
+        self._catalog_version = catalog_version
+        self._relations = dict(relations)
+
+    @property
+    def catalog_version(self) -> int:
+        """The live database's catalog version when this snapshot was taken."""
+        return self._catalog_version
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name (parity with :class:`Database`)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"snapshot of database {self.name!r} has no relation "
+                f"{name!r} (relations: {sorted(self._relations)})"
+            ) from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    # -- Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseSnapshot({self.name!r}, "
+            f"catalog_version={self._catalog_version}, "
+            f"relations={list(self.relation_names)})"
+        )

@@ -12,7 +12,9 @@ journal is an append-only list of committed operations.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -143,18 +145,59 @@ class TransactionManager:
         self._next_id = itertools.count(1)
         self._journal: list[JournalEntry] = []
         self._current: Optional[Transaction] = None
+        # Guards _current/_owner_thread/_journal.  Condition (over an
+        # RLock) so cross-thread begin() can wait for the active writer
+        # instead of failing.
+        self._cond = threading.Condition()
+        self._owner_thread: Optional[int] = None
 
     # -- lifecycle -------------------------------------------------------------
 
     def begin(self, actor: str = "") -> Transaction:
-        """Start a transaction.  Only one may be active at a time."""
-        if self._current is not None and self._current.is_active:
-            raise TransactionError(
-                f"transaction {self._current.transaction_id} is still active"
-            )
-        txn = Transaction(next(self._next_id), self, actor)
-        self._current = txn
-        return txn
+        """Start a transaction.  Only one may be active at a time.
+
+        A second ``begin`` from the *same* thread while a transaction is
+        active raises :class:`TransactionError` (nested transactions are
+        a programming error, and waiting would self-deadlock).  A
+        ``begin`` from a *different* thread blocks until the active
+        transaction commits or aborts — concurrent writers serialize
+        instead of failing.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            while self._current is not None and self._current.is_active:
+                if self._owner_thread == me:
+                    raise TransactionError(
+                        f"transaction {self._current.transaction_id} "
+                        "is still active"
+                    )
+                self._cond.wait()
+            txn = Transaction(next(self._next_id), self, actor)
+            self._current = txn
+            self._owner_thread = me
+            return txn
+
+    @contextlib.contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Hold the write gate without opening a transaction.
+
+        While the context is held no *other* thread can begin (or be
+        inside) a transaction; :meth:`Database.snapshot
+        <repro.relational.catalog.Database.snapshot>` uses this so a
+        snapshot never observes half of a multi-statement transaction
+        (e.g. the middle of an ``insert_many`` batch).  Re-entrant for
+        the owning thread: a thread holding its own active transaction
+        may still snapshot its own in-progress state.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            while (
+                self._current is not None
+                and self._current.is_active
+                and self._owner_thread != me
+            ):
+                self._cond.wait()
+            yield
 
     def transaction(self, actor: str = "") -> "_TransactionContext":
         """Context manager: commit on success, abort on exception.
@@ -170,19 +213,24 @@ class TransactionManager:
     # -- manager callbacks ---------------------------------------------------------
 
     def _on_commit(self, txn: Transaction) -> None:
-        self._journal.extend(txn._staged)
+        with self._cond:
+            self._journal.extend(txn._staged)
         self._on_finish(txn)
 
     def _on_finish(self, txn: Transaction) -> None:
-        if self._current is txn:
-            self._current = None
+        with self._cond:
+            if self._current is txn:
+                self._current = None
+                self._owner_thread = None
+                self._cond.notify_all()
 
     # -- journal access ---------------------------------------------------------
 
     @property
     def journal(self) -> tuple[JournalEntry, ...]:
         """All committed operations, in commit order."""
-        return tuple(self._journal)
+        with self._cond:
+            return tuple(self._journal)
 
     def entries_for_relation(self, relation: str) -> Iterator[JournalEntry]:
         """Committed operations affecting one relation."""

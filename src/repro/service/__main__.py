@@ -1,0 +1,80 @@
+"""``python -m repro.service``: serve a scenario database over HTTP.
+
+Builds one of the ``repro-stats`` scenario settings (default: the
+64-bucket partitioned events database), wraps it in a
+:class:`~repro.service.core.QueryService`, and serves ``POST /query``
+plus ``GET /health`` / ``/stats`` / ``/metrics`` until interrupted::
+
+    python -m repro.service --port 8080 --workers 4
+    curl -s localhost:8080/query -d '{"sql": "SELECT ... FROM events"}'
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.obs import metrics as _obs_metrics
+from repro.service.core import QueryService
+from repro.service.http import make_server
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs.cli import _DEFAULT_SCALES, _SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a scenario database over the HTTP query service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="query worker threads"
+    )
+    parser.add_argument(
+        "--queue",
+        type=int,
+        default=64,
+        help="admission-queue bound (full queue replies 503 overloaded)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(_SCENARIOS),
+        default="partitions",
+        help="which scenario database to serve (default: partitions)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=None, help="scenario size override"
+    )
+    args = parser.parse_args(argv)
+
+    source, sample_sql, title = _SCENARIOS[args.scenario](
+        args.scale or _DEFAULT_SCALES[args.scenario]
+    )
+    _obs_metrics.enable()  # populate GET /metrics
+    service = QueryService(
+        source,
+        workers=args.workers,
+        max_pending=args.queue,
+        name=f"repro-{args.scenario}",
+    )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {title!r}")
+    print(f"  POST http://{host}:{port}/query")
+    print(f'  e.g. {{"sql": "{sample_sql}"}}')
+    print(f"  GET  http://{host}:{port}/health | /stats | /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

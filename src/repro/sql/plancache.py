@@ -51,6 +51,7 @@ that *fail* analysis, which never reach the plan cache, and for the
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from contextlib import nullcontext
 from time import perf_counter
@@ -192,7 +193,12 @@ def _columnar_band(relation: AnyRelation, columnar: bool) -> Optional[bool]:
 
 
 class PlanCache:
-    """Statement-text → prepared-statement cache with LRU eviction."""
+    """Statement-text → prepared-statement cache with LRU eviction.
+
+    Thread-safe: lookup/store/clear/stats hold an internal lock, so
+    concurrent sessions sharing the default cache never corrupt the
+    LRU order (``move_to_end``/``popitem``) or lose hit/miss counts.
+    """
 
     def __init__(self, max_statements: int = 256) -> None:
         self.max_statements = max_statements
@@ -201,6 +207,7 @@ class PlanCache:
         )
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def lookup(
         self,
@@ -210,52 +217,56 @@ class PlanCache:
         sanitize: Optional[bool] = None,
     ) -> Optional[tuple[PreparedStatement, AnyRelation]]:
         """A (prepared, resolved relation) pair, or None on miss."""
-        entries = self._entries.get(sql)
-        if entries is None:
+        with self._lock:
+            entries = self._entries.get(sql)
+            if entries is None:
+                self.misses += 1
+                return None
+            for entry in entries:
+                try:
+                    relation = _resolve_relation(entry.statement, source)
+                except SQLError:
+                    continue  # cold path re-raises with identical context
+                if entry.valid_for(relation, source, columnar, sanitize):
+                    self._entries.move_to_end(sql)
+                    self.hits += 1
+                    return entry, relation
             self.misses += 1
             return None
-        for entry in entries:
-            try:
-                relation = _resolve_relation(entry.statement, source)
-            except SQLError:
-                continue  # cold path re-raises with identical context
-            if entry.valid_for(relation, source, columnar, sanitize):
-                self._entries.move_to_end(sql)
-                self.hits += 1
-                return entry, relation
-        self.misses += 1
-        return None
 
     def store(self, entry: PreparedStatement) -> None:
-        entries = self._entries.setdefault(entry.sql, [])
-        # Drop entries this one supersedes (same relation shape but a
-        # stale catalog version or dropped schema).  Entries differing
-        # in columnar mode or cost band answer *different* lookups, so
-        # they coexist rather than replace each other.
-        entries[:] = [
-            e
-            for e in entries
-            if e.schema is not entry.schema
-            or e.columnar_mode != entry.columnar_mode
-            or e.columnar_band != entry.columnar_band
-            or e.sanitize != entry.sanitize
-        ]
-        entries.append(entry)
-        self._entries.move_to_end(entry.sql)
-        while len(self._entries) > self.max_statements:
-            self._entries.popitem(last=False)
+        with self._lock:
+            entries = self._entries.setdefault(entry.sql, [])
+            # Drop entries this one supersedes (same relation shape but a
+            # stale catalog version or dropped schema).  Entries differing
+            # in columnar mode or cost band answer *different* lookups, so
+            # they coexist rather than replace each other.
+            entries[:] = [
+                e
+                for e in entries
+                if e.schema is not entry.schema
+                or e.columnar_mode != entry.columnar_mode
+                or e.columnar_band != entry.columnar_band
+                or e.sanitize != entry.sanitize
+            ]
+            entries.append(entry)
+            self._entries.move_to_end(entry.sql)
+            while len(self._entries) > self.max_statements:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {
-            "statements": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "statements": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 class _AnalysisVerdict:
@@ -298,20 +309,22 @@ class AnalysisMemo:
         self._entries: OrderedDict[str, list[_AnalysisVerdict]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def lookup(
         self, sql: str, relation: AnyRelation, source: Source
     ) -> Optional[Any]:
         """The memoized Diagnostics, or None when analysis must run."""
-        entries = self._entries.get(sql)
-        if entries is not None:
-            for entry in entries:
-                if entry.valid_for(relation, source):
-                    self._entries.move_to_end(sql)
-                    self.hits += 1
-                    return entry.diagnostics
-        self.misses += 1
-        return None
+        with self._lock:
+            entries = self._entries.get(sql)
+            if entries is not None:
+                for entry in entries:
+                    if entry.valid_for(relation, source):
+                        self._entries.move_to_end(sql)
+                        self.hits += 1
+                        return entry.diagnostics
+            self.misses += 1
+            return None
 
     def store(
         self,
@@ -320,25 +333,28 @@ class AnalysisMemo:
         source: Source,
         diagnostics: Any,
     ) -> None:
-        verdict = _AnalysisVerdict(relation, source, diagnostics)
-        entries = self._entries.setdefault(sql, [])
-        entries[:] = [e for e in entries if e.schema is not verdict.schema]
-        entries.append(verdict)
-        self._entries.move_to_end(sql)
-        while len(self._entries) > self.max_statements:
-            self._entries.popitem(last=False)
+        with self._lock:
+            verdict = _AnalysisVerdict(relation, source, diagnostics)
+            entries = self._entries.setdefault(sql, [])
+            entries[:] = [e for e in entries if e.schema is not verdict.schema]
+            entries.append(verdict)
+            self._entries.move_to_end(sql)
+            while len(self._entries) > self.max_statements:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {
-            "statements": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "statements": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
 
 #: The process-wide default cache used by ``execute(..., planner=True)``.

@@ -9,9 +9,15 @@ paper's Table-2 style and convert to/from plain relations.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.errors import SchemaError, TagSchemaError, UnknownColumnError
+from repro.errors import (
+    SchemaError,
+    SnapshotWriteError,
+    TagSchemaError,
+    UnknownColumnError,
+)
 from repro.relational.partition import PartitionSpec
 from repro.relational.relation import Relation, Row
 from repro.relational.schema import RelationSchema
@@ -167,10 +173,24 @@ class TaggedRelation:
         self._partition_position: Optional[int] = None
         self._partition_layout_version = 0
         self._dirty_partitions: set[int] = set()
+        #: Mutation lock + frozen flag, mirroring ``Relation`` (see
+        #: DESIGN.md §15 for the locking discipline).
+        self._lock = threading.RLock()
+        self._snapshot_cache: Optional[
+            tuple[tuple[int, int], "TaggedRelation"]
+        ] = None
+        self._frozen = False
         for row in rows:
             self.insert(row)
 
     # -- mutation -------------------------------------------------------------
+
+    def _require_mutable(self) -> None:
+        if self._frozen:
+            raise SnapshotWriteError(
+                f"tagged relation {self.schema.name!r} is a frozen read "
+                f"snapshot; write to the live relation instead"
+            )
 
     def insert(self, cells: Mapping[str, QualityCell | Any] | TaggedRow) -> TaggedRow:
         """Insert a row of cells (validated against both schemas)."""
@@ -178,18 +198,22 @@ class TaggedRelation:
             row = TaggedRow(self.schema, self.tag_schema, cells.cells_dict())
         else:
             row = TaggedRow(self.schema, self.tag_schema, cells)
-        self._rows.append(row)
-        self._version += 1
-        if self._partition_spec is not None:
-            self._route_insert(row)
+        with self._lock:
+            self._require_mutable()
+            self._rows.append(row)
+            self._version += 1
+            if self._partition_spec is not None:
+                self._route_insert(row)
         return row
 
     def _insert_validated(self, row: TaggedRow) -> TaggedRow:
         """Append a row already valid under both schemas (fast path)."""
-        self._rows.append(row)
-        self._version += 1
-        if self._partition_spec is not None:
-            self._route_insert(row)
+        with self._lock:
+            self._require_mutable()
+            self._rows.append(row)
+            self._version += 1
+            if self._partition_spec is not None:
+                self._route_insert(row)
         return row
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
@@ -202,31 +226,36 @@ class TaggedRelation:
 
     def delete(self, predicate: Callable[[TaggedRow], bool]) -> int:
         """Delete rows matching ``predicate``; returns the count removed."""
-        if self._partition_spec is None:
-            before = len(self._rows)
-            self._rows = [r for r in self._rows if not predicate(r)]
+        with self._lock:
+            self._require_mutable()
+            if self._partition_spec is None:
+                before = len(self._rows)
+                self._rows = [r for r in self._rows if not predicate(r)]
+                self._version += 1
+                return before - len(self._rows)
+            dead: set[int] = set()
+            kept: list[TaggedRow] = []
+            for row in self._rows:
+                if predicate(row):
+                    dead.add(id(row))
+                else:
+                    kept.append(row)
+            removed = len(self._rows) - len(kept)
+            self._rows = kept
             self._version += 1
-            return before - len(self._rows)
-        dead: set[int] = set()
-        kept: list[TaggedRow] = []
-        for row in self._rows:
-            if predicate(row):
-                dead.add(id(row))
-            else:
-                kept.append(row)
-        removed = len(self._rows) - len(kept)
-        self._rows = kept
-        self._version += 1
-        if not dead:
-            return 0
-        for bucket, shard in enumerate(self._partitions):
-            if any(id(row) in dead for row in shard._rows):
-                shard._rows = [
-                    row for row in shard._rows if id(row) not in dead
-                ]
-                shard._version += 1
-                self._dirty_partitions.add(bucket)
-        return removed
+            if not dead:
+                return 0
+            for bucket, shard in enumerate(self._partitions):
+                if any(id(row) in dead for row in shard._rows):
+                    with shard._lock:
+                        shard._rows = [
+                            row
+                            for row in shard._rows
+                            if id(row) not in dead
+                        ]
+                        shard._version += 1
+                    self._dirty_partitions.add(bucket)
+            return removed
 
     @property
     def version(self) -> int:
@@ -246,18 +275,20 @@ class TaggedRelation:
         position: Optional[int] = None
         if spec is not None:
             position = self.schema.index_of(spec.column)
-        self._partition_spec = spec
-        self._partition_position = position
-        self._partition_layout_version += 1
-        if spec is None:
-            self._partitions = []
-            self._dirty_partitions = set()
-            return self
-        self._partitions = [
-            TaggedRelation(self.schema, self.tag_schema)
-            for _ in range(spec.count)
-        ]
-        self._redistribute()
+        with self._lock:
+            self._require_mutable()
+            self._partition_spec = spec
+            self._partition_position = position
+            self._partition_layout_version += 1
+            if spec is None:
+                self._partitions = []
+                self._dirty_partitions = set()
+                return self
+            self._partitions = [
+                TaggedRelation(self.schema, self.tag_schema)
+                for _ in range(spec.count)
+            ]
+            self._redistribute()
         return self
 
     def _route_insert(self, row: TaggedRow) -> None:
@@ -265,8 +296,9 @@ class TaggedRelation:
             row.cells[self._partition_position].value
         )
         shard = self._partitions[bucket]
-        shard._rows.append(row)
-        shard._version += 1
+        with shard._lock:
+            shard._rows.append(row)
+            shard._version += 1
         self._dirty_partitions.add(bucket)
 
     def _redistribute(self) -> None:
@@ -276,8 +308,9 @@ class TaggedRelation:
         for row in self._rows:
             grouped[spec.bucket_of(row.cells[position].value)].append(row)
         for shard, rows in zip(self._partitions, grouped):
-            shard._rows = rows
-            shard._version += 1
+            with shard._lock:
+                shard._rows = rows
+                shard._version += 1
         self._dirty_partitions = set(range(spec.count))
 
     @property
@@ -320,9 +353,54 @@ class TaggedRelation:
             return cached[1]
         from repro.tagging.columnar import ColumnarTagStore
 
-        store = ColumnarTagStore.from_tagged_relation(self)
-        self._columnar_cache = (self._version, store)
-        return store
+        # Built under the mutation lock so two sessions racing on a cold
+        # cache agree on one store (and neither sees a half-built one).
+        with self._lock:
+            cached = self._columnar_cache
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            store = ColumnarTagStore.from_tagged_relation(self)
+            self._columnar_cache = (self._version, store)
+            return store
+
+    # -- snapshot reads --------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True for read snapshots, which reject every mutation."""
+        return self._frozen
+
+    def read_snapshot(self) -> "TaggedRelation":
+        """A frozen copy-on-write snapshot of the current rows.
+
+        Mirrors :meth:`repro.relational.relation.Relation.read_snapshot`:
+        the snapshot shares this relation's schema and tag-schema
+        objects and its immutable ``TaggedRow`` objects, is cached
+        until the next mutation, carries the partition layout over with
+        per-shard snapshot reuse, and rejects every mutation with
+        :class:`~repro.errors.SnapshotWriteError`.
+        """
+        with self._lock:
+            if self._frozen:
+                return self
+            token = (self._version, self._partition_layout_version)
+            cached = self._snapshot_cache
+            if cached is not None and cached[0] == token:
+                return cached[1]
+            snapshot = TaggedRelation(self.schema, self.tag_schema)
+            snapshot._rows = list(self._rows)
+            snapshot._partition_spec = self._partition_spec
+            snapshot._partition_position = self._partition_position
+            snapshot._partition_layout_version = (
+                self._partition_layout_version
+            )
+            if self._partition_spec is not None:
+                snapshot._partitions = [
+                    shard.read_snapshot() for shard in self._partitions
+                ]
+            snapshot._frozen = True
+            self._snapshot_cache = (token, snapshot)
+            return snapshot
 
     # -- access -------------------------------------------------------------------
 

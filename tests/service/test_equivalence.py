@@ -1,0 +1,50 @@
+"""Property test: the service path is observationally equal to ``execute``.
+
+Reuses the generators from the planner equivalence suite: random small
+relations and random QSQL statements.  For every pair, running the
+statement through a :class:`QueryService` session (worker thread, job
+queue, pinned snapshot) must produce exactly the result of calling
+:func:`repro.sql.execute` directly on the live relation — the service
+adds scheduling and isolation, never semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.service import QueryService
+from repro.sql import clear_plan_cache, execute
+from tests.sql.test_planner_equivalence import (
+    canonical,
+    plain_relations,
+    statements,
+    tagged_relations,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+@settings(max_examples=60, deadline=None)
+@given(plain_relations(), statements(quality=False))
+def test_service_path_equals_direct_execute_plain(relation, sql):
+    direct = canonical(execute(sql, relation))
+    with QueryService(relation, workers=2) as service:
+        with service.session() as session:
+            via_service = canonical(session.execute(sql))
+    assert via_service == direct
+
+
+@settings(max_examples=40, deadline=None)
+@given(tagged_relations(), statements(quality=True))
+def test_service_path_equals_direct_execute_tagged(relation, sql):
+    direct = canonical(execute(sql, relation))
+    with QueryService(relation, workers=2) as service:
+        with service.session() as session:
+            via_service = canonical(session.execute(sql))
+    assert via_service == direct

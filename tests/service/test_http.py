@@ -1,0 +1,271 @@
+"""The HTTP front end: POST /query, health/stats/metrics, error mapping."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.relational.catalog import Database
+from repro.relational.schema import schema
+from repro.service import QueryService
+from repro.service.http import make_server, relation_to_payload
+from repro.sql import clear_plan_cache
+
+
+@pytest.fixture()
+def served():
+    """A live server over a small database; yields (base_url, db, service)."""
+    clear_plan_cache()
+    db = Database("corp")
+    db.create_relation(
+        schema("t", [("a", "INT"), ("b", "STR")], key=["a"])
+    )
+    db.insert_many("t", [{"a": i, "b": f"x{i % 3}"} for i in range(10)])
+    service = QueryService(db, workers=2, name="test-http")
+    server = make_server(service, "127.0.0.1", 0)  # free port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", db, service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        clear_plan_cache()
+
+
+def post_query(base, payload):
+    request = urllib.request.Request(
+        base + "/query",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_post_query_returns_rows(served):
+    base, _, _ = served
+    status, payload = post_query(
+        base, {"sql": "SELECT a, b FROM t WHERE a < 3 ORDER BY a"}
+    )
+    assert status == 200
+    assert payload["columns"] == ["a", "b"]
+    assert payload["rows"] == [[0, "x0"], [1, "x1"], [2, "x2"]]
+    assert payload["row_count"] == 3
+
+
+def test_post_query_honors_execution_options(served):
+    base, _, _ = served
+    # strict: type-incompatible comparison becomes a 400, not empty rows
+    status, payload = post_query(
+        base, {"sql": "SELECT a FROM t WHERE a = 'zzz'", "strict": True}
+    )
+    assert status == 400 and "error" in payload
+    status, payload = post_query(
+        base,
+        {
+            "sql": "SELECT a FROM t WHERE a = 1",
+            "planner": False,
+            "columnar": False,
+        },
+    )
+    assert status == 200 and payload["row_count"] == 1
+
+
+def test_post_explain_analyze(served):
+    base, _, _ = served
+    status, payload = post_query(
+        base, {"sql": "EXPLAIN ANALYZE SELECT a FROM t WHERE a = 1"}
+    )
+    assert status == 200
+    assert payload["columns"] == ["plan"]
+    assert any("time=" in row[0] for row in payload["rows"])
+
+
+def test_malformed_requests_get_400(served):
+    base, _, _ = served
+    assert post_query(base, {"sql": "SELEC broken"})[0] == 400
+    assert post_query(base, {"nosql": 1})[0] == 400
+    assert post_query(base, {"sql": "   "})[0] == 400
+    assert post_query(base, {"sql": "SELECT a FROM t", "strict": "yes"})[0] == 400
+    assert post_query(base, {"sql": "SELECT a FROM t", "tags": 1})[0] == 400
+    # non-object body
+    request = urllib.request.Request(base + "/query", data=b"[1, 2]")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request, timeout=10)
+    assert info.value.code == 400
+    # invalid JSON
+    request = urllib.request.Request(base + "/query", data=b"{nope")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request, timeout=10)
+    assert info.value.code == 400
+    # empty body
+    request = urllib.request.Request(base + "/query", data=b"")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request, timeout=10)
+    assert info.value.code == 400
+
+
+def test_unknown_paths_get_404(served):
+    base, _, _ = served
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(base + "/nope", timeout=10)
+    assert info.value.code == 404
+    assert post_query(base, {"sql": "SELECT a FROM t"})[0] == 200
+    request = urllib.request.Request(base + "/elsewhere", data=b"{}")
+    with pytest.raises(urllib.error.HTTPError) as info:
+        urllib.request.urlopen(request, timeout=10)
+    assert info.value.code == 404
+
+
+def test_health_stats_metrics_endpoints(served):
+    base, _, service = served
+    status, body = get(base, "/health")
+    assert status == 200
+    assert json.loads(body) == {"status": "ok", "service": "test-http"}
+    post_query(base, {"sql": "SELECT a FROM t"})
+    status, body = get(base, "/stats")
+    assert status == 200
+    stats = json.loads(body)
+    assert stats["completed"] >= 1 and stats["name"] == "test-http"
+    status, body = get(base, "/metrics")
+    assert status == 200  # exposition text; may be empty when obs is off
+
+
+def test_overload_maps_to_503(served):
+    base, db, _ = served
+    gate = threading.Event()
+    slow = QueryService(
+        db,
+        workers=1,
+        max_pending=1,
+        name="tiny",
+        runner=lambda fn: (gate.wait(5), fn())[1],
+    )
+    server = make_server(slow, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    tiny = f"http://{host}:{port}"
+    try:
+        # saturate: worker blocked on the gate + a full queue, so POSTs
+        # from extra threads pile up until one is shed with 503.
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(
+                    post_query(tiny, {"sql": "SELECT a FROM t"})
+                )
+            )
+            for _ in range(6)
+        ]
+        for t in threads:
+            t.start()
+        import time
+
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if any(status == 503 for status, _ in results):
+                break
+            time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert any(status == 503 for status, _ in results)
+        overloaded = [p for status, p in results if status == 503]
+        assert all(p == {"error": "overloaded"} for p in overloaded)
+        assert any(status == 200 for status, _ in results)
+    finally:
+        gate.set()
+        server.shutdown()
+        server.server_close()
+        slow.close()
+
+
+def test_tagged_results_can_include_tags(tagged_customers):
+    clear_plan_cache()
+    with QueryService(tagged_customers, workers=1) as service:
+        server = make_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            status, payload = post_query(
+                base,
+                {
+                    "sql": "SELECT co_name, address FROM customer "
+                    "ORDER BY co_name",
+                    "tags": True,
+                },
+            )
+            assert status == 200
+            assert payload["row_count"] == len(tagged_customers)
+            assert "tags" in payload
+            assert any(
+                "address" in row_tags for row_tags in payload["tags"]
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+    clear_plan_cache()
+
+
+def test_relation_to_payload_serializes_dates():
+    from datetime import date
+
+    from repro.relational.relation import Relation
+    from repro.relational.schema import schema as make_schema
+
+    relation = Relation(make_schema("d", [("day", "DATE")]))
+    relation.insert({"day": date(2026, 8, 8)})
+    payload = relation_to_payload(relation)
+    assert json.dumps(payload, default=str)  # round-trips through JSON
+
+
+def test_module_main_serves_banner_and_shuts_down(monkeypatch, capsys):
+    """``python -m repro.service`` wires scenario → service → server.
+
+    ``serve_forever`` is replaced with an immediate KeyboardInterrupt so
+    the whole lifecycle (build, banner, interrupt, close) runs inline.
+    """
+    import repro.service.__main__ as service_main
+    from repro.obs import metrics as obs_metrics
+
+    real_make_server = service_main.make_server
+
+    def interrupted_make_server(service, host, port):
+        server = real_make_server(service, host, port)
+
+        def interrupt():
+            raise KeyboardInterrupt
+
+        server.serve_forever = interrupt
+        return server
+
+    monkeypatch.setattr(service_main, "make_server", interrupted_make_server)
+    try:
+        exit_code = service_main.main(
+            ["--port", "0", "--scenario", "columnar", "--scale", "128"]
+        )
+    finally:
+        obs_metrics.disable()
+    assert exit_code == 0
+    banner = capsys.readouterr().out
+    assert "POST http://" in banner
+    assert "/query" in banner
+    clear_plan_cache()
