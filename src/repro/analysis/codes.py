@@ -170,6 +170,15 @@ _CODES: tuple[CodeInfo, ...] = (
         "SQL-style semantics; use IS [NOT] NULL.",
     ),
     CodeInfo(
+        "DQ212",
+        "unresolvable quality parameter",
+        ERROR,
+        "A QUALITY(parameter) score reference names a parameter that no "
+        "scoring profile bound to the statement's relation defines (or "
+        "the relation has no bound profile at all); executing would "
+        "raise instead of scoring.",
+    ),
+    CodeInfo(
         "DQ220",
         "unsatisfiable conjunction",
         ERROR,
@@ -305,7 +314,8 @@ _CODES: tuple[CodeInfo, ...] = (
         ERROR,
         "A plan-cache entry omits (or pins a stale value of) an input "
         "that affects plan shape — schema identity, tag schema, "
-        "catalog version, columnar mode, or the columnar cost band — "
+        "catalog version, columnar mode, the columnar cost band, the "
+        "partition layout version, or the scoring-registry version — "
         "so a hit could serve a plan built for different inputs.",
     ),
     CodeInfo(
@@ -317,6 +327,16 @@ _CODES: tuple[CodeInfo, ...] = (
         "that does not restrict the partition key, stale layout "
         "metadata, or a surviving set that drops buckets the predicate "
         "can still reach. Executing it would silently drop rows.",
+    ),
+    CodeInfo(
+        "DQ411",
+        "illegal score pushdown",
+        ERROR,
+        "An optimized plan's ScoreFilter is not legal: it does not sit "
+        "directly above a tagged Scan (or the QualityFilter over one), "
+        "routes an operator the materialized score arrays do not "
+        "implement, compares against NULL, or names a parameter the "
+        "scanned relation's bound scoring profile does not define.",
     ),
     # -- DQ42x: workload lint --------------------------------------------------
     CodeInfo(
@@ -360,6 +380,15 @@ _CODES: tuple[CodeInfo, ...] = (
         "IN) predicates across distinct statements but its relation is "
         "not hash-partitioned on it; declaring it the partition key "
         "would let the planner prune those scans statically.",
+    ),
+    CodeInfo(
+        "DQ425",
+        "unregistered quality parameter",
+        INFO,
+        "A workload statement references QUALITY(parameter) for a "
+        "parameter no registered scoring profile defines; until a "
+        "profile is registered and bound, the statement cannot execute "
+        "and nothing materializes the score.",
     ),
 )
 

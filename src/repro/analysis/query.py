@@ -43,6 +43,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
     SelectStatement,
 )
 from repro.sql.parser import parse
@@ -84,6 +85,8 @@ def _describe_operand(operand: Any) -> str:
         return operand.column
     if isinstance(operand, QualityRef):
         return f"QUALITY({operand.column}.{operand.indicator})"
+    if isinstance(operand, QualityScoreRef):
+        return f"QUALITY({operand.parameter})"
     return repr(getattr(operand, "value", operand))
 
 
@@ -264,6 +267,42 @@ class _Analyzer:
             self.check_column_ref(operand)
         elif isinstance(operand, QualityRef):
             self.check_quality_ref(operand)
+        elif isinstance(operand, QualityScoreRef):
+            self.check_quality_score_ref(operand)
+
+    def check_quality_score_ref(self, ref: QualityScoreRef) -> bool:
+        assert self.schema is not None
+        if not self.tagged:
+            self.add(
+                "DQ205",
+                f"QUALITY({ref.parameter}) requires a tagged relation; "
+                f"{self.schema.name!r} is untagged",
+                span=ref.span,
+            )
+            return False
+        from repro.quality.materialize import profile_for
+
+        profile = profile_for(self.schema.name)
+        if profile is None:
+            self.add(
+                "DQ212",
+                f"QUALITY({ref.parameter}): no scoring profile is bound "
+                f"to relation {self.schema.name!r}; executing would "
+                f"raise instead of scoring",
+                span=ref.span,
+            )
+            return False
+        if not profile.defines(ref.parameter):
+            self.add(
+                "DQ212",
+                f"QUALITY({ref.parameter}): the bound scoring profile "
+                f"{profile.name!r} defines no parameter "
+                f"{ref.parameter!r} "
+                f"(defined: {list(profile.parameters)})",
+                span=ref.span,
+            )
+            return False
+        return True
 
     def check_references(self) -> None:
         """Resolve every column/indicator reference (DQ202-DQ205).
@@ -317,6 +356,8 @@ class _Analyzer:
             return _domain_class(
                 self.tag_schema.definition(operand.indicator).domain.name
             )
+        if isinstance(operand, QualityScoreRef):
+            return "numeric"  # parameter scores are floats in [0, 1]
         return None
 
     def check_comparison_types(self, node: Comparison) -> None:
@@ -407,7 +448,7 @@ class _Analyzer:
                 item.output_name for item in statement.select_items or ()
             ]
             for item in statement.order_by:
-                if isinstance(item.key, QualityRef):
+                if isinstance(item.key, (QualityRef, QualityScoreRef)):
                     self.add(
                         "DQ206",
                         "ORDER BY QUALITY(...) cannot follow aggregation",
@@ -562,9 +603,12 @@ class _Analyzer:
             conflict = fact.find_conflict()
             if conflict is not None:
                 message, node = conflict
-                name = key[1] if key[0] == "col" else (
-                    f"QUALITY({key[1]}.{key[2]})"
-                )
+                if key[0] == "col":
+                    name = key[1]
+                elif key[0] == "qs":
+                    name = f"QUALITY({key[1]})"
+                else:
+                    name = f"QUALITY({key[1]}.{key[2]})"
                 self.add(
                     "DQ220",
                     f"contradictory constraints on {name}: {message}; "
@@ -799,6 +843,8 @@ def _operand_key(operand: Any) -> Optional[tuple]:
         return ("col", operand.column)
     if isinstance(operand, QualityRef):
         return ("q", operand.column, operand.indicator)
+    if isinstance(operand, QualityScoreRef):
+        return ("qs", operand.parameter)
     return None
 
 

@@ -20,6 +20,11 @@ violations through the diagnostics engine as the DQ40x family:
 - **pushdown legality** (DQ403/DQ404) — QualityFilters sit directly
   above tagged scans and route only store-answerable constraints;
   QUALITY references only appear over tag-carrying subtrees;
+- **score-pushdown legality** (DQ411) — a ``ScoreFilter`` sits directly
+  above a tagged Scan (or the QualityFilter over one), routes only
+  operators the materialized score arrays answer, never compares
+  against NULL, and every routed parameter is defined by the scanned
+  relation's bound :class:`~repro.quality.materialize.ScoringProfile`;
 - **columnar discipline** (DQ405/DQ406) — a ``Scan(columnar=True)``
   reaches its :class:`~repro.sql.plan.Materialize` boundary through
   whitelisted, vector-executable operators only;
@@ -38,7 +43,8 @@ violations through the diagnostics engine as the DQ40x family:
 :func:`verify_cache_entry` checks plan-cache key completeness (DQ409):
 every plan-shape-affecting input — schema identity, tag schema,
 catalog version, columnar mode, columnar cost band, partition layout
-version — is pinned by the entry and still matches the live relation.
+version, scoring-registry version (for plans carrying a ScoreFilter) —
+is pinned by the entry and still matches the live relation.
 
 Unknown base relations (a context that cannot resolve a scan) degrade
 gracefully: shape-dependent checks are skipped rather than reported,
@@ -69,6 +75,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
 )
 from repro.sql.plan import (
     Aggregate,
@@ -82,6 +89,7 @@ from repro.sql.plan import (
     Project,
     QualityFilter,
     Scan,
+    ScoreFilter,
     Sort,
     TopK,
     render_expr,
@@ -130,11 +138,12 @@ class _Shape:
     known: bool  # the base relation(s) below resolved in the context
 
 
-def _expr_refs(expr: Any) -> tuple[set[str], set[tuple[str, str]]]:
-    """(column names, QUALITY (column, indicator) pairs) a WHERE
-    subtree reads."""
+def _expr_refs(expr: Any) -> tuple[set[str], set[tuple[str, str]], set[str]]:
+    """(column names, QUALITY (column, indicator) pairs, QUALITY score
+    parameters) a WHERE subtree reads."""
     columns: set[str] = set()
     quality: set[tuple[str, str]] = set()
+    scores: set[str] = set()
 
     def walk(node: Any) -> None:
         if isinstance(node, Literal):
@@ -144,6 +153,8 @@ def _expr_refs(expr: Any) -> tuple[set[str], set[tuple[str, str]]]:
         elif isinstance(node, QualityRef):
             columns.add(node.column)
             quality.add((node.column, node.indicator))
+        elif isinstance(node, QualityScoreRef):
+            scores.add(node.parameter)
         elif isinstance(node, Comparison):
             walk(node.left)
             walk(node.right)
@@ -156,7 +167,7 @@ def _expr_refs(expr: Any) -> tuple[set[str], set[tuple[str, str]]]:
             walk(node.operand)
 
     walk(expr)
-    return columns, quality
+    return columns, quality, scores
 
 
 class _PlanVerifier:
@@ -197,6 +208,8 @@ class _PlanVerifier:
             return self.visit_scan(node, in_fragment)
         if isinstance(node, QualityFilter):
             return self.visit_quality_filter(node, in_fragment)
+        if isinstance(node, ScoreFilter):
+            return self.visit_score_filter(node, in_fragment)
         if isinstance(node, Filter):
             return self.visit_filter(node, in_fragment)
         if isinstance(node, Project):
@@ -304,14 +317,72 @@ class _PlanVerifier:
                     )
         return child_shape
 
+    def visit_score_filter(
+        self, node: ScoreFilter, in_fragment: bool
+    ) -> _Shape:
+        child_shape = self.visit(node.child, in_fragment)
+        child = node.child
+        if isinstance(child, QualityFilter):
+            scan = child.child
+        else:
+            scan = child
+        if not (isinstance(scan, Scan) and scan.tagged):
+            self.add(
+                "DQ411",
+                f"ScoreFilter must sit directly above a tagged Scan (or "
+                f"the QualityFilter over one), not "
+                f"{type(child).__name__}; materialized score arrays are "
+                f"only addressable at the base relation",
+            )
+            return child_shape
+        profile = None
+        if child_shape.known:
+            from repro.quality.materialize import profile_for
+
+            relation = (
+                self.context.relation(scan.relation) if self.context else None
+            )
+            profile = profile_for(relation) if relation is not None else None
+            if profile is None:
+                self.add(
+                    "DQ411",
+                    f"ScoreFilter over {scan.relation!r} but no scoring "
+                    f"profile is bound to that relation; executing it "
+                    f"would raise instead of filtering",
+                )
+        for parameter, op, operand in node.constraints:
+            label = f"QUALITY({parameter}) {op} {operand!r}"
+            if op not in _STORE_OPERATORS:
+                self.add(
+                    "DQ411",
+                    f"pushed score constraint {label} uses operator "
+                    f"{op!r}, which the score arrays do not implement "
+                    f"(known: {sorted(_STORE_OPERATORS)})",
+                )
+            if operand is None:
+                self.add(
+                    "DQ411",
+                    f"pushed score constraint {label} compares against "
+                    f"NULL; row semantics never match NULL",
+                )
+            if profile is not None and not profile.defines(parameter):
+                self.add(
+                    "DQ411",
+                    f"pushed score constraint {label}: parameter "
+                    f"{parameter!r} is not defined by the bound scoring "
+                    f"profile {profile.name!r} "
+                    f"(defined: {list(profile.parameters)})",
+                )
+        return child_shape
+
     def visit_filter(self, node: Filter, in_fragment: bool) -> _Shape:
         shape = self.visit(node.child, in_fragment)
         predicate = node.predicate
         if isinstance(predicate, Literal):
             return shape
-        columns, quality = _expr_refs(predicate)
+        columns, quality, scores = _expr_refs(predicate)
         span = getattr(predicate, "span", None)
-        if in_fragment and quality:
+        if in_fragment and (quality or scores):
             self.add(
                 "DQ406",
                 f"columnar Filter predicate {render_expr(predicate)} "
@@ -328,9 +399,10 @@ class _PlanVerifier:
                     f"(columns: {list(shape.columns)})",
                     span=span,
                 )
-        if quality and shape.known and not shape.tagged:
+        if (quality or scores) and shape.known and not shape.tagged:
             pairs = ", ".join(
-                f"QUALITY({c}.{i})" for c, i in sorted(quality)
+                [f"QUALITY({c}.{i})" for c, i in sorted(quality)]
+                + [f"QUALITY({p})" for p in sorted(scores)]
             )
             self.add(
                 "DQ404",
@@ -371,6 +443,16 @@ class _PlanVerifier:
                     f"reorders array references",
                     span=item.span,
                 )
+            if isinstance(expr, QualityScoreRef):
+                materializes_quality = True
+                if shape.known and not shape.tagged:
+                    self.add(
+                        "DQ404",
+                        f"Project materializes QUALITY({expr.parameter}) "
+                        f"over an untagged subtree",
+                        span=item.span,
+                    )
+                continue  # score refs read tags, not an input column
             if isinstance(expr, QualityRef):
                 materializes_quality = True
                 if shape.known and not shape.tagged:
@@ -446,6 +528,15 @@ class _PlanVerifier:
         self, operand: Any, shape: _Shape, where: str, span: Any
     ) -> None:
         """Resolve one ColumnRef/QualityRef against the input shape."""
+        if isinstance(operand, QualityScoreRef):
+            if shape.known and not shape.tagged:
+                self.add(
+                    "DQ404",
+                    f"{where} evaluates QUALITY({operand.parameter}) "
+                    f"over an untagged subtree",
+                    span=span,
+                )
+            return  # score refs read tags, not an input column
         if isinstance(operand, QualityRef):
             if shape.known and not shape.tagged:
                 self.add(
@@ -552,8 +643,9 @@ class _PlanVerifier:
 
         Walks the tree tracking the *governing* Filter predicate — the
         nearest enclosing Filter whose child chain reaches the scan
-        through QualityFilters only (the exact shape the optimizer's
-        ``prune_partitions`` rewrite produces).  Any other interposed
+        through Quality/ScoreFilters only (the exact shapes the
+        optimizer's ``prune_partitions`` and ``push_score_predicates``
+        rewrites produce).  Any other interposed
         operator resets the governing predicate: a pruned scan it
         reaches has no justification and is a hard error.
         """
@@ -566,7 +658,7 @@ class _PlanVerifier:
             if isinstance(node, Filter):
                 walk(node.child, node.predicate)
                 return
-            if isinstance(node, QualityFilter):
+            if isinstance(node, (QualityFilter, ScoreFilter)):
                 walk(node.child, governing)
                 return
             for child in node.children():
@@ -723,6 +815,12 @@ def _plan_has_columnar_scan(plan: PlanNode) -> bool:
     return any(_plan_has_columnar_scan(child) for child in plan.children())
 
 
+def _plan_has_score_filter(plan: PlanNode) -> bool:
+    if isinstance(plan, ScoreFilter):
+        return True
+    return any(_plan_has_score_filter(child) for child in plan.children())
+
+
 def verify_cache_entry(
     entry: Any,
     relation: Any,
@@ -816,4 +914,21 @@ def verify_cache_entry(
             f"the relation is at {live_layout}; the plan's baked "
             f"surviving-bucket set may be stale"
         )
+    pinned_scoring = getattr(entry, "scoring_version", None)
+    if _plan_has_score_filter(entry.plan):
+        from repro.quality.materialize import registry_version
+
+        if pinned_scoring is None:
+            add(
+                "entry's plan contains a ScoreFilter but omits the "
+                "scoring-registry version from its cache key; "
+                "re-registering a profile would not replan it"
+            )
+        elif pinned_scoring != registry_version():
+            add(
+                f"entry pins scoring-registry version {pinned_scoring} "
+                f"but the registry is at {registry_version()}; the "
+                f"pushed score constraints may target a superseded "
+                f"profile"
+            )
     return diagnostics

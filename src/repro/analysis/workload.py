@@ -24,6 +24,10 @@ whole workload (``repro-lint --workload``), reporting the DQ42x family:
   partition key (``Database.repartition``) would let the planner's
   ``prune_partitions`` rewrite serve those statements from a static
   subset of the buckets.
+- **DQ425** — ``QUALITY(parameter)`` score references for parameters no
+  registered scoring profile defines: the statement cannot execute, and
+  nothing materializes the score, until a profile is registered and
+  bound (:mod:`repro.quality.materialize`).
 
 Statements that fail to parse are skipped here — per-statement linting
 already reports them as DQ200.
@@ -51,6 +55,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
     SelectStatement,
 )
 from repro.sql.parser import parse
@@ -85,6 +90,8 @@ def _mask_operand(operand: Any) -> str:
         return operand.column
     if isinstance(operand, QualityRef):
         return f"QUALITY({operand.column}.{operand.indicator})"
+    if isinstance(operand, QualityScoreRef):
+        return f"QUALITY({operand.parameter})"
     if isinstance(operand, AggregateCall):
         inner = "*" if operand.operand is None else _mask_operand(operand.operand)
         return f"{operand.func}({inner})"
@@ -247,6 +254,39 @@ def _quality_references(statement: SelectStatement) -> set[tuple[str, str, str]]
     return refs
 
 
+def _score_parameter_references(
+    statement: SelectStatement,
+) -> set[tuple[str, str]]:
+    """Every (relation, parameter) score reference a statement reads."""
+    refs: set[tuple[str, str]] = set()
+
+    def visit(node: Any) -> None:
+        if isinstance(node, QualityScoreRef):
+            refs.add((statement.relation, node.parameter))
+        elif isinstance(node, Comparison):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, (InList, IsNull)):
+            visit(node.operand)
+        elif isinstance(node, BoolOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, NotOp):
+            visit(node.operand)
+        elif isinstance(node, AggregateCall) and node.operand is not None:
+            visit(node.operand)
+
+    for item in statement.select_items or ():
+        visit(item.expr)
+    for key in statement.group_by:
+        visit(key)
+    if statement.where is not None:
+        visit(statement.where)
+    for item in statement.order_by:
+        visit(item.key)
+    return refs
+
+
 def _key_label(key: tuple) -> str:
     return f"QUALITY({key[1]}.{key[2]})"
 
@@ -280,6 +320,7 @@ def analyze_workload(
     _check_duplicate_shapes(statements, diagnostics)
     _check_quality_views(statements, diagnostics)
     _check_partition_candidates(statements, catalog, diagnostics)
+    _check_unregistered_parameters(statements, diagnostics)
     if catalog is not None:
         _check_unqueried_indicators(statements, catalog, diagnostics)
     return diagnostics
@@ -475,4 +516,30 @@ def _check_unqueried_indicators(
                 f"{'them' if len(unused) > 1 else 'it'} — quality "
                 f"metadata collected but never consulted",
                 context=name,
+            )
+
+
+def _check_unregistered_parameters(
+    statements: list[WorkloadStatement], diagnostics: Diagnostics
+) -> None:
+    """DQ425: QUALITY(parameter) references no registered profile defines."""
+    from repro.quality.materialize import parameter_defined
+
+    seen: set[tuple[str, str]] = set()
+    for member in statements:
+        for relation, parameter in sorted(
+            _score_parameter_references(member.statement)
+        ):
+            if (relation, parameter) in seen:
+                continue
+            seen.add((relation, parameter))
+            if parameter_defined(parameter):
+                continue
+            diagnostics.add(
+                "DQ425",
+                f"statement references QUALITY({parameter}) on "
+                f"{relation!r} but no registered scoring profile "
+                f"defines {parameter!r}; register and bind a profile "
+                f"before the statement can execute",
+                context=member.context,
             )

@@ -39,6 +39,7 @@ _DEFAULT_SCALES = {
     "columnar": 2000,
     "partitions": 4096,
     "service": 4096,
+    "scoring": 2000,
 }
 
 
@@ -204,6 +205,38 @@ def _build_service(scale: int) -> tuple[Any, str, str]:
     )
 
 
+def _build_scoring(scale: int) -> tuple[Any, str, str]:
+    """Scoring: a pushed-down QUALITY(parameter) filter over materialized
+    score arrays (the §4 credibility grade as one number per row)."""
+    from repro.experiments.scenarios import customer_database
+    from repro.quality.materialize import (
+        ScoringProfile,
+        materializer_for,
+        register_profile,
+    )
+    from repro.quality.scoring import credibility_scorer
+
+    _, _, relation = customer_database(n_companies=scale, seed=9)
+    profile = ScoringProfile(
+        "repro-stats-scoring",
+        [credibility_scorer({"acct'g": 0.9, "estimate": 0.3})],
+        thresholds={"credibility": 0.5},
+        doc="repro-stats demo: credibility from the recording source",
+    )
+    register_profile(profile, relations=[relation.schema.name])
+    materializer_for(relation).refresh()
+    sql = (
+        "SELECT co_name, employees FROM customer "
+        "WHERE QUALITY(credibility) > 0.5 "
+        "ORDER BY employees DESC LIMIT 20"
+    )
+    return (
+        relation,
+        sql,
+        "Scoring: pushed-down parameter-score filter (materialized)",
+    )
+
+
 _SCENARIOS = {
     "e1": _build_e1,
     "e2": _build_e2,
@@ -211,6 +244,7 @@ _SCENARIOS = {
     "columnar": _build_columnar,
     "partitions": _build_partitions,
     "service": _build_service,
+    "scoring": _build_scoring,
 }
 
 

@@ -114,6 +114,8 @@ SPEEDUP_FLOORS: dict[str, float] = {
     "columnar_vs_naive": 8.0,
     "partition_pruned_scan": 8.0,
     "partition_incremental_save": 4.0,
+    "scoring_incremental_rescore": 8.0,
+    "scoring_pushdown_filter": 4.0,
     # Snapshot isolation must keep readers off the writers' lock path:
     # reader throughput with a concurrent writer holds >= 0.5x of the
     # readers-alone rate (the "speedup" here is that ratio).

@@ -33,6 +33,14 @@ from repro.quality.filtering import FilterOutcome, graded_retrieval, yield_quali
 from repro.quality.admin import AdminReport, DataQualityAdministrator
 from repro.quality.audit import ElectronicTrail, TrailEvent
 from repro.quality.scoring import ParameterScorer, QualityScorecard
+from repro.quality.materialize import (
+    ScoreMaterializer,
+    ScoringProfile,
+    bind_profile,
+    materializer_for,
+    profile_for,
+    register_profile,
+)
 from repro.quality.allocation import DatasetProfile, allocate_budget
 from repro.quality.tdqm import TDQMCycle
 
@@ -40,6 +48,8 @@ __all__ = [
     "DatasetProfile",
     "ParameterScorer",
     "QualityScorecard",
+    "ScoreMaterializer",
+    "ScoringProfile",
     "TDQMCycle",
     "allocate_budget",
     "AdminReport",
@@ -54,10 +64,14 @@ __all__ = [
     "accuracy_against",
     "age_in_days",
     "assess",
+    "bind_profile",
     "completeness",
     "consistency_rate",
     "currency_score",
     "graded_retrieval",
+    "materializer_for",
+    "profile_for",
+    "register_profile",
     "timeliness_score",
     "yield_quality_tradeoff",
 ]

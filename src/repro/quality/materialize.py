@@ -1,0 +1,514 @@
+"""Materialized, incrementally maintained parameter scores.
+
+ROADMAP item 4 (the paper's Step 2/3 at scale): registered
+:class:`~repro.quality.scoring.ParameterScorer` functions map objective
+*indicators* to subjective *parameters* (timeliness, credibility), and
+the acceptable score is context-relative — the §4 mass-mailing vs
+fund-raising example.  This module makes those scores first-class
+storage:
+
+- a :class:`ScoringProfile` names one application view: its parameter
+  scorers, the scoring context (e.g. ``today``), and per-parameter
+  acceptability thresholds;
+- a module-level registry binds profiles to relations *by schema name*,
+  so frozen :meth:`~repro.tagging.relation.TaggedRelation.read_snapshot`
+  copies (same schema object, different relation object) resolve to the
+  same profile — service snapshots read frozen score columns for free;
+- a :class:`ScoreMaterializer` keeps **version-gated score arrays**
+  beside the relation's :class:`~repro.tagging.columnar.ColumnarTagStore`:
+  one aligned ``parameter → [score | None]`` array per partition shard
+  (or one flat block when unpartitioned), recomputed **only when that
+  shard's mutation counter moved** — the incremental-maintenance
+  contract the BENCH_SCORING floor enforces.
+
+The QSQL surface (``WHERE QUALITY(credibility) > 0.8``) routes here:
+the optimizer's ``push_score_predicates`` rewrite compiles such
+conjuncts into a ``ScoreFilter`` plan node whose physical operator
+calls :meth:`ScoreMaterializer.filter_indices`.
+
+Observability (under :func:`repro.obs.metrics.enabled`): the
+``scores.recomputed`` / ``scores.reused`` counters count row-scores per
+refresh, and the ``scores.staleness`` gauge reports the fraction of
+score blocks found stale on the most recent refresh.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import AssessmentError
+from repro.obs import metrics as _obs_metrics
+from repro.quality.scoring import ParameterScorer
+from repro.tagging.query import OPERATORS
+from repro.tagging.relation import TaggedRelation
+
+__all__ = [
+    "ScoreMaterializer",
+    "ScoringProfile",
+    "bind_profile",
+    "clear_profiles",
+    "materializer_for",
+    "parameter_defined",
+    "profile_for",
+    "register_profile",
+    "registered_profiles",
+    "registry_version",
+]
+
+#: Bucket key of the flat (unpartitioned / canonical-order) score block.
+_FLAT = -1
+
+
+class ScoringProfile:
+    """One application view's parameter scorers and thresholds.
+
+    Parameters
+    ----------
+    name:
+        The view's name (e.g. ``"fund_raising"``).
+    scorers:
+        The :class:`ParameterScorer` objects defining this view's
+        parameters; parameter names must be unique.
+    context:
+        The scoring context passed to every scorer (e.g. ``today`` for
+        timeliness decay).
+    thresholds:
+        Optional per-parameter acceptability thresholds in [0, 1] —
+        the context-dependent cut the application considers "good
+        enough" (documentation + tooling; queries state their own).
+    doc:
+        Human-readable description of the view.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scorers: Sequence[ParameterScorer],
+        *,
+        context: Optional[Mapping[str, Any]] = None,
+        thresholds: Optional[Mapping[str, float]] = None,
+        doc: str = "",
+    ) -> None:
+        if not name:
+            raise AssessmentError("scoring profile must be named")
+        if not scorers:
+            raise AssessmentError(
+                f"scoring profile {name!r} requires at least one scorer"
+            )
+        parameters = [scorer.parameter for scorer in scorers]
+        if len(set(parameters)) != len(parameters):
+            raise AssessmentError(
+                f"scoring profile {name!r} has duplicate parameters: "
+                f"{parameters}"
+            )
+        self.name = name
+        self.scorers: dict[str, ParameterScorer] = {
+            scorer.parameter: scorer for scorer in scorers
+        }
+        self.context = dict(context or {})
+        self.thresholds = dict(thresholds or {})
+        unknown = set(self.thresholds) - set(parameters)
+        if unknown:
+            raise AssessmentError(
+                f"scoring profile {name!r} has thresholds for unknown "
+                f"parameters: {sorted(unknown)}"
+            )
+        for parameter, threshold in self.thresholds.items():
+            if not 0.0 <= float(threshold) <= 1.0:
+                raise AssessmentError(
+                    f"threshold for {parameter!r} must be in [0, 1], "
+                    f"got {threshold!r}"
+                )
+        self.doc = doc
+        #: Assigned by :func:`register_profile`; plan caches pin it.
+        self.version = 0
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        """The parameter names this profile defines, in scorer order."""
+        return tuple(self.scorers)
+
+    def defines(self, parameter: str) -> bool:
+        return parameter in self.scorers
+
+    def scorer(self, parameter: str) -> ParameterScorer:
+        try:
+            return self.scorers[parameter]
+        except KeyError:
+            raise AssessmentError(
+                f"scoring profile {self.name!r} defines no parameter "
+                f"{parameter!r} (defined: {list(self.scorers)})"
+            ) from None
+
+    def threshold(self, parameter: str) -> Optional[float]:
+        """The view's acceptability cut for ``parameter`` (or None)."""
+        return self.thresholds.get(parameter)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScoringProfile({self.name!r}, "
+            f"parameters={list(self.scorers)})"
+        )
+
+
+# -- the profile registry -----------------------------------------------------
+
+_registry_lock = threading.RLock()
+_profiles: dict[str, ScoringProfile] = {}
+_bindings: dict[str, str] = {}  # relation/schema name → profile name
+_registry_version = 0
+
+
+def registry_version() -> int:
+    """Monotonic registry mutation counter (plan-cache pin)."""
+    return _registry_version
+
+
+def register_profile(
+    profile: ScoringProfile,
+    relations: Iterable[str] = (),
+) -> ScoringProfile:
+    """Register (or replace) a profile, optionally binding relations.
+
+    Every registration bumps :func:`registry_version`, so cached plans
+    keyed on the old version replan and stale materializations rebuild.
+    """
+    global _registry_version
+    with _registry_lock:
+        _registry_version += 1
+        profile.version = _registry_version
+        _profiles[profile.name] = profile
+        for relation in relations:
+            _bindings[relation] = profile.name
+    return profile
+
+
+def bind_profile(relation_name: str, profile_name: str) -> None:
+    """Bind one relation (by schema name) to a registered profile."""
+    global _registry_version
+    with _registry_lock:
+        if profile_name not in _profiles:
+            raise AssessmentError(
+                f"unknown scoring profile {profile_name!r} "
+                f"(registered: {sorted(_profiles)})"
+            )
+        _bindings[relation_name] = profile_name
+        _registry_version += 1
+
+
+def profile_for(source: Any) -> Optional[ScoringProfile]:
+    """The profile bound to a relation (object or schema name), or None.
+
+    Resolution is by *schema name*, so a frozen ``read_snapshot()``
+    relation resolves exactly like the live relation it was cut from.
+    """
+    if isinstance(source, str):
+        name = source
+    else:
+        schema = getattr(source, "schema", None)
+        name = getattr(schema, "name", None)
+    if name is None:
+        return None
+    with _registry_lock:
+        profile_name = _bindings.get(name)
+        if profile_name is None:
+            return None
+        return _profiles.get(profile_name)
+
+
+def registered_profiles() -> dict[str, ScoringProfile]:
+    """A copy of the registered profiles, by name."""
+    with _registry_lock:
+        return dict(_profiles)
+
+
+def parameter_defined(parameter: str) -> bool:
+    """True when *any* registered profile defines ``parameter``."""
+    with _registry_lock:
+        return any(
+            profile.defines(parameter) for profile in _profiles.values()
+        )
+
+
+def clear_profiles() -> None:
+    """Drop every profile and binding (test isolation support)."""
+    global _registry_version
+    with _registry_lock:
+        _profiles.clear()
+        _bindings.clear()
+        _registry_version += 1
+
+
+# -- per-row scoring ----------------------------------------------------------
+
+
+def row_parameter_score(
+    profile: ScoringProfile,
+    parameter: str,
+    row: Any,
+    positions: Sequence[int],
+) -> Optional[float]:
+    """One row's parameter score: mean over its scorable tagged cells.
+
+    ``positions`` are the cell positions of the relation's tagged
+    columns; cells the scorer cannot score (missing tags) drop out, and
+    a row with no scorable cell scores ``None`` (SQL NULL semantics).
+    """
+    scorer = profile.scorer(parameter)
+    context = profile.context
+    cells = row.cells
+    total = 0.0
+    scorable = 0
+    for position in positions:
+        score = scorer.score(cells[position], context)
+        if score is not None:
+            total += score
+            scorable += 1
+    if not scorable:
+        return None
+    return total / scorable
+
+
+def tagged_positions(relation: TaggedRelation) -> tuple[int, ...]:
+    """Cell positions of the relation's tagged columns (schema order)."""
+    index_of = relation.schema.index_of
+    return tuple(
+        index_of(column) for column in relation.tag_schema.tagged_columns
+    )
+
+
+def _record_refresh(recomputed: int, reused: int, staleness: float) -> None:
+    registry = _obs_metrics.global_registry()
+    registry.counter(
+        "scores.recomputed", "row-scores recomputed by materializer refresh"
+    ).inc(recomputed)
+    registry.counter(
+        "scores.reused", "row-scores served from fresh score blocks"
+    ).inc(reused)
+    registry.gauge(
+        "scores.staleness",
+        "fraction of score blocks found stale on the last refresh",
+    ).set(staleness)
+
+
+class _ScoreBlock:
+    """One segment's score arrays, pinned to the segment's version."""
+
+    __slots__ = ("token", "rows", "scores")
+
+    def __init__(
+        self,
+        token: int,
+        rows: int,
+        scores: dict[str, list[Optional[float]]],
+    ) -> None:
+        self.token = token
+        self.rows = rows
+        self.scores = scores
+
+
+class ScoreMaterializer:
+    """Version-gated materialized score columns for one tagged relation.
+
+    Blocks mirror the relation's storage layout: one per partition
+    shard (keyed by bucket) plus an on-demand flat block (canonical row
+    order) for unpruned access.  :meth:`refresh` recomputes only the
+    blocks whose segment version moved since the last build; a profile
+    re-registration or a ``repartition()`` (layout version bump) drops
+    every block.
+    """
+
+    def __init__(self, relation: TaggedRelation) -> None:
+        # A weak backref: the module cache maps relation → materializer,
+        # and a strong ref here would make those entries immortal.
+        self._relation_ref = weakref.ref(relation)
+        self._lock = threading.RLock()
+        self._profile: Optional[ScoringProfile] = None
+        self._profile_version = -1
+        self._layout_version = -1
+        self._blocks: dict[int, _ScoreBlock] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _relation(self) -> TaggedRelation:
+        relation = self._relation_ref()
+        if relation is None:  # pragma: no cover - defensive
+            raise AssessmentError("the materialized relation was dropped")
+        return relation
+
+    def _resolve_profile(self, relation: TaggedRelation) -> ScoringProfile:
+        """Resolve the bound profile; any change drops every block."""
+        profile = profile_for(relation)
+        if profile is None:
+            raise AssessmentError(
+                f"no scoring profile is bound to relation "
+                f"{relation.schema.name!r}; register one with "
+                f"repro.quality.materialize.register_profile"
+            )
+        if (
+            profile is not self._profile
+            or profile.version != self._profile_version
+            or relation.partition_layout_version != self._layout_version
+        ):
+            self._blocks = {}
+            self._profile = profile
+            self._profile_version = profile.version
+            self._layout_version = relation.partition_layout_version
+        return profile
+
+    def _compute_block(
+        self, segment: TaggedRelation, profile: ScoringProfile
+    ) -> _ScoreBlock:
+        token = segment.version
+        rows = segment.row_batch()
+        positions = tagged_positions(segment)
+        scores: dict[str, list[Optional[float]]] = {}
+        for parameter in profile.parameters:
+            scores[parameter] = [
+                row_parameter_score(profile, parameter, row, positions)
+                for row in rows
+            ]
+        return _ScoreBlock(token, len(rows), scores)
+
+    def _segment(self, relation: TaggedRelation, bucket: int) -> TaggedRelation:
+        if bucket == _FLAT:
+            return relation
+        return relation.partition(bucket)
+
+    def _ensure_blocks(
+        self, relation: TaggedRelation, buckets: Sequence[int]
+    ) -> dict[int, _ScoreBlock]:
+        """Bring the named blocks up to date; returns bucket → block."""
+        profile = self._resolve_profile(relation)
+        recomputed = 0
+        reused = 0
+        stale = 0
+        out: dict[int, _ScoreBlock] = {}
+        for bucket in buckets:
+            segment = self._segment(relation, bucket)
+            block = self._blocks.get(bucket)
+            if block is not None and block.token == segment.version:
+                reused += block.rows
+                out[bucket] = block
+                continue
+            stale += 1
+            block = self._compute_block(segment, profile)
+            recomputed += block.rows
+            self._blocks[bucket] = block
+            out[bucket] = block
+        if _obs_metrics.enabled():
+            _record_refresh(
+                recomputed, reused, stale / len(buckets) if buckets else 0.0
+            )
+        return out
+
+    # -- public API -----------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Bring every storage-layout block up to date (incrementally).
+
+        Partitioned relations refresh one block per shard — only shards
+        whose mutation counter moved recompute; unpartitioned relations
+        refresh the single flat block.
+        """
+        relation = self._relation()
+        with self._lock:
+            if relation.partition_spec is None:
+                buckets: Sequence[int] = (_FLAT,)
+            else:
+                buckets = range(relation.partition_spec.count)
+            self._ensure_blocks(relation, list(buckets))
+
+    def row_scores(
+        self, parameter: str, bucket: Optional[int] = None
+    ) -> list[Optional[float]]:
+        """The materialized score array for one block (flat by default),
+        aligned with that block's row order."""
+        relation = self._relation()
+        key = _FLAT if bucket is None else bucket
+        with self._lock:
+            block = self._ensure_blocks(relation, [key])[key]
+            profile = self._profile
+            assert profile is not None
+            if parameter not in block.scores:
+                raise AssessmentError(
+                    f"scoring profile {profile.name!r} defines no "
+                    f"parameter {parameter!r} "
+                    f"(defined: {list(profile.parameters)})"
+                )
+            return list(block.scores[parameter])
+
+    def filter_indices(
+        self,
+        constraints: Sequence[tuple[str, str, Any]],
+        bucket: Optional[int] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> list[int]:
+        """Row indices of one block satisfying a score conjunction.
+
+        Each constraint is ``(parameter, op, operand)`` with ``op``
+        from :data:`repro.tagging.query.OPERATORS`.  ``None`` scores
+        (no scorable cell) never match, mirroring SQL NULL semantics.
+        ``candidates`` restricts the scan to those (ascending) indices —
+        the path a stacked tag-constraint scan feeds.
+        """
+        relation = self._relation()
+        key = _FLAT if bucket is None else bucket
+        with self._lock:
+            block = self._ensure_blocks(relation, [key])[key]
+            profile = self._profile
+            assert profile is not None
+            hits: Optional[list[int]] = (
+                None if candidates is None else list(candidates)
+            )
+            for parameter, op, operand in constraints:
+                if op not in OPERATORS:
+                    raise AssessmentError(f"unknown operator {op!r}")
+                if parameter not in block.scores:
+                    raise AssessmentError(
+                        f"scoring profile {profile.name!r} defines no "
+                        f"parameter {parameter!r} "
+                        f"(defined: {list(profile.parameters)})"
+                    )
+                compare = OPERATORS[op]
+                array = block.scores[parameter]
+                survivors: list[int] = []
+                emit = survivors.append
+                pool = range(len(array)) if hits is None else hits
+                for index in pool:
+                    score = array[index]
+                    if score is None:
+                        continue
+                    try:
+                        if compare(score, operand):
+                            emit(index)
+                    except TypeError:
+                        continue
+                hits = survivors
+                if not hits:
+                    break
+            return hits if hits is not None else []
+
+
+# -- the per-relation materializer cache --------------------------------------
+
+_materializers: "weakref.WeakKeyDictionary[TaggedRelation, ScoreMaterializer]"
+_materializers = weakref.WeakKeyDictionary()
+_materializers_lock = threading.Lock()
+
+
+def materializer_for(relation: TaggedRelation) -> ScoreMaterializer:
+    """The (cached) score materializer of one tagged relation object.
+
+    Keyed weakly by the relation object itself: a frozen snapshot gets
+    its own materializer (whose blocks, like the snapshot, never go
+    stale), and dropped relations release their score arrays.
+    """
+    with _materializers_lock:
+        materializer = _materializers.get(relation)
+        if materializer is None:
+            materializer = ScoreMaterializer(relation)
+            _materializers[relation] = materializer
+        return materializer

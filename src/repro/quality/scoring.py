@@ -88,7 +88,12 @@ def timeliness_scorer(shelf_life_days: float) -> ParameterScorer:
     def func(tags: Mapping[str, Any], context: Mapping[str, Any]) -> Optional[float]:
         age: Optional[float] = None
         if "age" in tags and tags["age"] is not None:
-            age = float(tags["age"])
+            try:
+                age = float(tags["age"])
+            except (TypeError, ValueError):
+                # A malformed age tag makes the cell unscorable, not a
+                # crash: acquisition feeds do ship junk values.
+                return None
         elif "creation_time" in tags and tags["creation_time"] is not None:
             today = context.get("today")
             if today is None:
@@ -98,10 +103,15 @@ def timeliness_scorer(shelf_life_days: float) -> ParameterScorer:
                 created = created.date()
             if isinstance(today, _dt.datetime):
                 today = today.date()
-            age = (today - created).days
+            try:
+                age = (today - created).days
+            except TypeError:
+                return None
         if age is None:
             return None
-        return max(0.0, 1.0 - age / shelf_life_days)
+        # A future-dated creation_time (clock skew between sources)
+        # yields a negative age; clamp both ends of the [0, 1] contract.
+        return min(1.0, max(0.0, 1.0 - age / shelf_life_days))
 
     return ParameterScorer(
         "timeliness",
@@ -111,11 +121,27 @@ def timeliness_scorer(shelf_life_days: float) -> ParameterScorer:
     )
 
 
+def _check_ratings(name: str, ratings: Mapping[str, float],
+                   default: Optional[float]) -> None:
+    """Ratings and the default must honor the [0, 1] score contract."""
+    for key, rating in ratings.items():
+        if not 0.0 <= float(rating) <= 1.0:
+            raise AssessmentError(
+                f"{name} rating for {key!r} must be in [0, 1], "
+                f"got {rating!r}"
+            )
+    if default is not None and not 0.0 <= float(default) <= 1.0:
+        raise AssessmentError(
+            f"{name} default must be in [0, 1], got {default!r}"
+        )
+
+
 def credibility_scorer(
     source_ratings: Mapping[str, float],
     default: Optional[float] = None,
 ) -> ParameterScorer:
     """Credibility from a source-rating table (the WSJ example)."""
+    _check_ratings("source", source_ratings, default)
 
     def func(tags: Mapping[str, Any], _context: Mapping[str, Any]) -> Optional[float]:
         source = tags.get("source")
@@ -141,6 +167,7 @@ def collection_accuracy_scorer(
     accuracy implications."  The ratings would come from device
     error-rate studies (1 − error rate).
     """
+    _check_ratings("collection method", method_ratings, default)
 
     def func(tags: Mapping[str, Any], _context: Mapping[str, Any]) -> Optional[float]:
         method = tags.get("collection_method")

@@ -33,6 +33,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
     SelectItem,
     SelectStatement,
 )
@@ -80,12 +81,14 @@ def _resolve_relation(
 
 
 def _compile_operand(
-    operand: Any, schema: Any, tagged: bool
+    operand: Any, schema: Any, tagged: bool, tag_schema: Any = None
 ) -> Callable[[Row | TaggedRow], Any]:
     """Compile an operand node into a per-row getter.
 
     Column positions resolve once at compile time, so the per-row work
     is a tuple index instead of a name lookup and isinstance dispatch.
+    ``tag_schema`` is only needed for ``QUALITY(parameter)`` score
+    references (it names the scorable columns).
     """
     if isinstance(operand, Literal):
         value = operand.value
@@ -103,6 +106,36 @@ def _compile_operand(
         position = schema.position(operand.column)
         indicator = operand.indicator
         return lambda row: row.cells[position].tag_value(indicator)
+    if isinstance(operand, QualityScoreRef):
+        if not tagged or tag_schema is None:
+            raise SQLError(
+                "QUALITY(...) requires a tagged relation; the source is untagged"
+            )
+        from repro.quality.materialize import (
+            profile_for,
+            row_parameter_score,
+        )
+
+        parameter = operand.parameter
+        name = schema.name
+        positions = tuple(
+            schema.position(column)
+            for column in tag_schema.tagged_columns
+        )
+
+        def get(row: TaggedRow) -> Any:
+            # Resolved per row (a dict lookup) so cached closures never
+            # pin a superseded profile registration.
+            profile = profile_for(name)
+            if profile is None or not profile.defines(parameter):
+                raise SQLError(
+                    f"QUALITY({parameter}) has no registered scoring "
+                    f"profile defining {parameter!r} for relation "
+                    f"{name!r}"
+                )
+            return row_parameter_score(profile, parameter, row, positions)
+
+        return get
     raise SQLError(f"unknown operand node {operand!r}")
 
 
@@ -133,7 +166,7 @@ def _check_columns(statement: SelectStatement, relation: AnyRelation) -> None:
 
 
 def _compile_predicate(
-    expr: Any, schema: Any, tagged: bool
+    expr: Any, schema: Any, tagged: bool, tag_schema: Any = None
 ) -> Callable[[Row | TaggedRow], bool]:
     """Compile a WHERE tree into one per-row predicate closure.
 
@@ -141,8 +174,8 @@ def _compile_predicate(
     AND/OR without re-dispatching on node types per row.
     """
     if isinstance(expr, Comparison):
-        left = _compile_operand(expr.left, schema, tagged)
-        right = _compile_operand(expr.right, schema, tagged)
+        left = _compile_operand(expr.left, schema, tagged, tag_schema)
+        right = _compile_operand(expr.right, schema, tagged, tag_schema)
         compare = _COMPARATORS[expr.op]
 
         def test(row: Row | TaggedRow) -> bool:
@@ -157,7 +190,7 @@ def _compile_predicate(
 
         return test
     if isinstance(expr, InList):
-        get = _compile_operand(expr.operand, schema, tagged)
+        get = _compile_operand(expr.operand, schema, tagged, tag_schema)
         options = expr.options
         negated = expr.negated
 
@@ -170,27 +203,29 @@ def _compile_predicate(
 
         return test
     if isinstance(expr, IsNull):
-        get = _compile_operand(expr.operand, schema, tagged)
+        get = _compile_operand(expr.operand, schema, tagged, tag_schema)
         if expr.negated:
             return lambda row: get(row) is not None
         return lambda row: get(row) is None
     if isinstance(expr, BoolOp):
-        left_test = _compile_predicate(expr.left, schema, tagged)
-        right_test = _compile_predicate(expr.right, schema, tagged)
+        left_test = _compile_predicate(expr.left, schema, tagged, tag_schema)
+        right_test = _compile_predicate(expr.right, schema, tagged, tag_schema)
         if expr.op == "AND":
             return lambda row: left_test(row) and right_test(row)
         return lambda row: left_test(row) or right_test(row)
     if isinstance(expr, NotOp):
-        inner = _compile_predicate(expr.operand, schema, tagged)
+        inner = _compile_predicate(expr.operand, schema, tagged, tag_schema)
         return lambda row: not inner(row)
     raise SQLError(f"unknown expression node {expr!r}")
 
 
-def _sort_key_function(items: tuple, schema: Any, tagged: bool):
+def _sort_key_function(items: tuple, schema: Any, tagged: bool, tag_schema: Any = None):
     getters = []
     for item in items:
-        if isinstance(item.key, QualityRef):
-            getters.append(_compile_operand(item.key, schema, tagged))
+        if isinstance(item.key, (QualityRef, QualityScoreRef)):
+            getters.append(
+                _compile_operand(item.key, schema, tagged, tag_schema)
+            )
         else:
             position = schema.position(item.key.column)
             if tagged:
@@ -213,12 +248,15 @@ def _sort_key_function(items: tuple, schema: Any, tagged: bool):
 
 
 def _operand_domain(
-    operand: Union[ColumnRef, QualityRef], relation: AnyRelation
+    operand: Union[ColumnRef, QualityRef, QualityScoreRef],
+    relation: AnyRelation,
 ):
-    from repro.relational.types import STR
+    from repro.relational.types import FLOAT, STR
 
     if isinstance(operand, ColumnRef):
         return relation.schema.column(operand.column).domain
+    if isinstance(operand, QualityScoreRef):
+        return FLOAT  # parameter scores live in [0, 1]
     if isinstance(relation, TaggedRelation):
         try:
             return relation.tag_schema.definition(operand.indicator).domain
@@ -255,8 +293,9 @@ def _execute_aggregate(
     ]
     out_schema = RelationSchema(f"{statement.relation}_agg", out_columns)
 
+    tag_schema = relation.tag_schema if tagged else None
     key_getters = [
-        _compile_operand(key_ref, relation.schema, tagged)
+        _compile_operand(key_ref, relation.schema, tagged, tag_schema)
         for key_ref in statement.group_by
     ]
     groups: dict[tuple[Any, ...], list[Any]] = {}
@@ -276,7 +315,9 @@ def _execute_aggregate(
         if isinstance(expr, AggregateCall):
             if expr.operand is None:  # COUNT(*)
                 return lambda rows, key_values: len(rows)
-            get = _compile_operand(expr.operand, relation.schema, tagged)
+            get = _compile_operand(
+                expr.operand, relation.schema, tagged, tag_schema
+            )
             combine = AGGREGATES[expr.func.lower()]
             return lambda rows, key_values: combine([get(row) for row in rows])
         # A grouping key (validated by the parser).
@@ -309,8 +350,12 @@ def _computed_projection(
             for item in items
         ],
     )
+    tag_schema = relation.tag_schema if tagged else None
     getters = [
-        (item.output_name, _compile_operand(item.expr, relation.schema, tagged))
+        (
+            item.output_name,
+            _compile_operand(item.expr, relation.schema, tagged, tag_schema),
+        )
         for item in items
     ]
     result = Relation(out_schema)
@@ -325,9 +370,10 @@ def _apply_order(
     # Stable multi-key sort honoring per-item direction: sort by the
     # least-significant key first.
     rows = list(result)
+    tag_schema = getattr(result, "tag_schema", None) if tagged else None
     for item in reversed(statement.order_by):
         rows.sort(
-            key=_sort_key_function((item,), result.schema, tagged),
+            key=_sort_key_function((item,), result.schema, tagged, tag_schema),
             reverse=item.descending,
         )
     ordered = result.empty_like()
@@ -475,7 +521,13 @@ def _execute_unplanned(
     if statement.where is not None:
         stage_start = perf_counter() if stages is not None else 0.0
         result = algebra.select(
-            result, _compile_predicate(statement.where, relation.schema, tagged)
+            result,
+            _compile_predicate(
+                statement.where,
+                relation.schema,
+                tagged,
+                relation.tag_schema if tagged else None,
+            ),
         )
         if stages is not None:
             stages.append(
@@ -495,7 +547,7 @@ def _execute_unplanned(
             )
         if statement.order_by:
             for item in statement.order_by:
-                if isinstance(item.key, QualityRef):
+                if isinstance(item.key, (QualityRef, QualityScoreRef)):
                     raise SQLError(
                         "ORDER BY QUALITY(...) cannot follow aggregation"
                     )
@@ -524,7 +576,8 @@ def _execute_unplanned(
     if items is not None:
         stage_start = perf_counter() if stages is not None else 0.0
         needs_materialization = any(
-            isinstance(item.expr, QualityRef) for item in items
+            isinstance(item.expr, (QualityRef, QualityScoreRef))
+            for item in items
         )
         if needs_materialization:
             result = _computed_projection(statement, result, tagged)

@@ -45,8 +45,22 @@ class QualityRef:
     span: Optional[Span] = _span_field()
 
 
+@dataclass(frozen=True)
+class QualityScoreRef:
+    """``QUALITY(parameter)`` — a materialized parameter-score reference.
+
+    Distinct from :class:`QualityRef` (the ``column.indicator`` tag
+    form): the parameter form resolves through the relation's bound
+    :class:`~repro.quality.materialize.ScoringProfile` and reads the
+    row's mean parameter score over its scorable tagged cells.
+    """
+
+    parameter: str
+    span: Optional[Span] = _span_field()
+
+
 Expr = Union["Comparison", "InList", "IsNull", "BoolOp", "NotOp"]
-Operand = Union[Literal, ColumnRef, QualityRef]
+Operand = Union[Literal, ColumnRef, QualityRef, QualityScoreRef]
 
 
 @dataclass(frozen=True)
@@ -101,7 +115,7 @@ class AggregateCall:
     """``FUNC(operand)`` in the select list; operand None = COUNT(*)."""
 
     func: str  # COUNT | SUM | AVG | MIN | MAX
-    operand: Optional[Union[ColumnRef, QualityRef]]
+    operand: Optional[Union[ColumnRef, QualityRef, QualityScoreRef]]
     span: Optional[Span] = _span_field()
 
 
@@ -109,7 +123,7 @@ class AggregateCall:
 class SelectItem:
     """One select-list entry: a column, a quality ref, or an aggregate."""
 
-    expr: Union[ColumnRef, QualityRef, AggregateCall]
+    expr: Union[ColumnRef, QualityRef, QualityScoreRef, AggregateCall]
     alias: Optional[str] = None
 
     @property
@@ -120,11 +134,15 @@ class SelectItem:
             return self.expr.column
         if isinstance(self.expr, QualityRef):
             return f"{self.expr.column}.{self.expr.indicator}"
+        if isinstance(self.expr, QualityScoreRef):
+            return self.expr.parameter
         operand = self.expr.operand
         if operand is None:
             return f"{self.expr.func.lower()}_all"
         if isinstance(operand, ColumnRef):
             inner = operand.column
+        elif isinstance(operand, QualityScoreRef):
+            inner = operand.parameter
         else:
             inner = f"{operand.column}.{operand.indicator}"
         return f"{self.expr.func.lower()}_{inner}".replace(".", "_")
@@ -143,7 +161,7 @@ class SelectItem:
 class OrderItem:
     """One ORDER BY item: a column or quality reference + direction."""
 
-    key: Union[ColumnRef, QualityRef]
+    key: Union[ColumnRef, QualityRef, QualityScoreRef]
     descending: bool = False
 
     @property
@@ -165,8 +183,8 @@ class SelectStatement:
     #: Full select-list entries; None for ``*``.  ``columns`` stays the
     #: plain-projection view for simple statements (back-compat).
     select_items: Optional[tuple[SelectItem, ...]] = None
-    #: Grouping keys: column refs or QUALITY(...) tag refs.
-    group_by: tuple[Union[ColumnRef, QualityRef], ...] = ()
+    #: Grouping keys: column refs or QUALITY(...) tag/score refs.
+    group_by: tuple[Union[ColumnRef, QualityRef, QualityScoreRef], ...] = ()
     #: True for ``EXPLAIN SELECT ...`` — execute() returns the rendered
     #: optimized plan instead of running the query.
     explain: bool = False
@@ -184,10 +202,18 @@ class SelectStatement:
         )
 
     def uses_quality(self) -> bool:
-        """True when the statement references any QUALITY(...) tag."""
+        """True when the statement references any QUALITY(...) form
+        (tag references or parameter-score references)."""
+        return self._references_quality((QualityRef, QualityScoreRef))
 
+    def uses_quality_scores(self) -> bool:
+        """True when the statement references the ``QUALITY(parameter)``
+        score form specifically (the plan-cache's scoring-registry pin)."""
+        return self._references_quality((QualityScoreRef,))
+
+    def _references_quality(self, quality_refs: tuple) -> bool:
         def walk(expr: Any) -> bool:
-            if isinstance(expr, QualityRef):
+            if isinstance(expr, quality_refs):
                 return True
             if isinstance(expr, Comparison):
                 return walk(expr.left) or walk(expr.right)
@@ -201,16 +227,16 @@ class SelectStatement:
 
         if self.where is not None and walk(self.where):
             return True
-        if any(isinstance(item.key, QualityRef) for item in self.order_by):
+        if any(isinstance(item.key, quality_refs) for item in self.order_by):
             return True
-        if any(isinstance(key, QualityRef) for key in self.group_by):
+        if any(isinstance(key, quality_refs) for key in self.group_by):
             return True
         for item in self.select_items or ():
             expr = item.expr
-            if isinstance(expr, QualityRef):
+            if isinstance(expr, quality_refs):
                 return True
             if isinstance(expr, AggregateCall) and isinstance(
-                expr.operand, QualityRef
+                expr.operand, quality_refs
             ):
                 return True
         return False

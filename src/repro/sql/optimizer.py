@@ -21,6 +21,10 @@ reference executor:
   bucket set (EXPLAIN shows ``partitions=k/N``) and the physical
   executor feeds only those shards.  The predicate itself is kept, so
   pruning is purely an access-path restriction;
+- :func:`push_score_predicates` — route ``QUALITY(parameter) <op>
+  literal`` conjuncts over a tagged scan with a bound scoring profile
+  into a :class:`~repro.sql.plan.ScoreFilter` (a scan over the
+  relation's materialized parameter-score arrays);
 - :func:`annotate_join_columns` / :func:`push_value_predicates` — move
   single-side conjuncts of a filter above a :class:`HashJoin` below
   the join, shrinking both build and probe inputs;
@@ -51,6 +55,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
     SelectItem,
 )
 from repro.relational.relation import Relation
@@ -65,6 +70,7 @@ from repro.sql.plan import (
     Project,
     QualityFilter,
     Scan,
+    ScoreFilter,
     Sort,
     TopK,
     derive_plan_columns,
@@ -442,6 +448,94 @@ def prune_partitions(plan: PlanNode, context: PlanContext) -> PlanNode:
     return _transform(plan, visit)
 
 
+# -- score-predicate pushdown ------------------------------------------------
+
+
+def _as_score_constraint(conjunct: Any, profile) -> Optional[tuple]:
+    """(parameter, op, operand) when the conjunct can route through the
+    materialized score arrays with identical semantics, else None."""
+    if isinstance(conjunct, Comparison):
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(right, QualityScoreRef) and isinstance(left, Literal):
+            left, right = right, left
+            op = _FLIPPED[op]
+        if not (
+            isinstance(left, QualityScoreRef) and isinstance(right, Literal)
+        ):
+            return None
+        # A NULL literal never matches per-row; don't route it.
+        if right.value is None:
+            return None
+        tag_op = _TAG_OPS.get(op)
+        if tag_op is None:
+            return None
+        score = left
+        operand = right.value
+    elif isinstance(conjunct, InList) and isinstance(
+        conjunct.operand, QualityScoreRef
+    ):
+        score = conjunct.operand
+        tag_op = "not in" if conjunct.negated else "in"
+        operand = conjunct.options
+    else:
+        return None
+    # Unregistered parameters raise per-row in the executor; keep them
+    # in the residual predicate so the error surfaces identically.
+    if not profile.defines(score.parameter):
+        return None
+    return (score.parameter, tag_op, operand)
+
+
+def push_score_predicates(plan: PlanNode, context: PlanContext) -> PlanNode:
+    """Route QUALITY(parameter)-vs-literal conjuncts over tagged scans
+    into the relation's materialized score arrays.
+
+    Fires on ``Filter(Scan)`` and ``Filter(QualityFilter(Scan))`` (the
+    shapes :func:`push_quality_predicates` and :func:`prune_partitions`
+    leave behind) when the scan's relation has a bound
+    :class:`~repro.quality.materialize.ScoringProfile` defining every
+    routed parameter; the residual predicate stays a row Filter above.
+    """
+    from repro.quality.materialize import profile_for
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Filter):
+            return node
+        child = node.child
+        if isinstance(child, Scan):
+            scan = child
+        elif isinstance(child, QualityFilter) and isinstance(
+            child.child, Scan
+        ):
+            scan = child.child
+        else:
+            return node
+        if not scan.tagged:
+            return node
+        relation = context.relation(scan.relation)
+        if relation is None:
+            return node
+        profile = profile_for(relation)
+        if profile is None:
+            return node
+        constraints: list[tuple] = []
+        residual: list[Any] = []
+        for conjunct in split_conjuncts(node.predicate):
+            constraint = _as_score_constraint(conjunct, profile)
+            if constraint is None:
+                residual.append(conjunct)
+            else:
+                constraints.append(constraint)
+        if not constraints:
+            return node
+        rewritten: PlanNode = ScoreFilter(child, tuple(constraints))
+        if residual:
+            rewritten = Filter(rewritten, join_conjuncts(residual))
+        return rewritten
+
+    return _transform(plan, visit)
+
+
 # -- join rules --------------------------------------------------------------
 
 
@@ -480,7 +574,7 @@ def _expr_columns(expr: Any) -> Optional[set[str]]:
         return set()
     if isinstance(expr, ColumnRef):
         return {expr.column}
-    if isinstance(expr, QualityRef):
+    if isinstance(expr, (QualityRef, QualityScoreRef)):
         return None
     if isinstance(expr, Comparison):
         left = _expr_columns(expr.left)
@@ -774,6 +868,7 @@ def optimize(
     plan = fold_constants(plan)
     plan = push_quality_predicates(plan, context)
     plan = prune_partitions(plan, context)
+    plan = push_score_predicates(plan, context)
     plan = annotate_join_columns(plan, context)
     plan = push_value_predicates(plan)
     plan = prune_projections(plan, context)

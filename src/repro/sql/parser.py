@@ -13,7 +13,8 @@ Grammar (simplified)::
                          | [NOT] IN '(' literal (',' literal)* ')'
                          | IS [NOT] NULL )
     operand   := literal | quality_ref | ident
-    quality_ref := QUALITY '(' ident '.' ident ')'
+    quality_ref := QUALITY '(' ident '.' ident ')'   -- tag value
+                 | QUALITY '(' ident ')'             -- parameter score
     literal   := NUMBER | STRING | TRUE | FALSE | NULL | DATE STRING
 
 Every AST node produced here carries its ``(start, end)`` source span,
@@ -53,6 +54,7 @@ from repro.sql.nodes import (
     Operand,
     OrderItem,
     QualityRef,
+    QualityScoreRef,
     SelectItem,
     SelectStatement,
 )
@@ -236,7 +238,7 @@ class _Parser:
         return tuple(items)
 
     def _parse_order_item(self) -> OrderItem:
-        key: Union[ColumnRef, QualityRef]
+        key: Union[ColumnRef, QualityRef, QualityScoreRef]
         if self.current.matches(KEYWORD, "QUALITY"):
             key = self._parse_quality_ref()
         else:
@@ -348,16 +350,18 @@ class _Parser:
             token.end,
         )
 
-    def _parse_quality_ref(self) -> QualityRef:
+    def _parse_quality_ref(self) -> Union[QualityRef, QualityScoreRef]:
         open_token = self.expect(KEYWORD, "QUALITY")
         self.expect(PUNCT, "(")
-        column = self.expect(IDENT).value
-        self.expect(PUNCT, ".")
-        indicator = self.expect(IDENT).value
+        first = self.expect(IDENT).value
+        if self.accept(PUNCT, "."):
+            indicator = self.expect(IDENT).value
+            close = self.expect(PUNCT, ")")
+            return QualityRef(
+                first, indicator, span=(open_token.position, close.end)
+            )
         close = self.expect(PUNCT, ")")
-        return QualityRef(
-            column, indicator, span=(open_token.position, close.end)
-        )
+        return QualityScoreRef(first, span=(open_token.position, close.end))
 
     def _parse_literal(self) -> Literal:
         token = self.current

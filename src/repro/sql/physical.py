@@ -87,6 +87,7 @@ from repro.sql.nodes import (
     Literal,
     NotOp,
     QualityRef,
+    QualityScoreRef,
     SelectStatement,
 )
 from repro.sql.plan import (
@@ -100,6 +101,7 @@ from repro.sql.plan import (
     Project,
     QualityFilter,
     Scan,
+    ScoreFilter,
     Sort,
     TopK,
 )
@@ -295,6 +297,8 @@ def _compile(
         node = _compile_scan(plan, relations, ids)
     elif isinstance(plan, QualityFilter):
         node = _compile_quality_filter(plan, relations, ids, sanitize)
+    elif isinstance(plan, ScoreFilter):
+        node = _compile_score_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Filter):
         node = _compile_filter(plan, relations, ids, sanitize)
     elif isinstance(plan, Project):
@@ -450,6 +454,96 @@ def _compile_quality_filter(
     return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
 
 
+def _compile_score_filter(
+    plan: ScoreFilter, relations: Binding, ids: OpIds, sanitize: bool = False
+) -> CompiledNode:
+    inner = plan.child
+    if isinstance(inner, Scan):
+        scan = inner
+        tag_constraints: Optional[list] = None
+    elif isinstance(inner, QualityFilter) and isinstance(inner.child, Scan):
+        scan = inner.child
+        tag_constraints = list(inner.constraints)
+    else:
+        raise SQLError(
+            "ScoreFilter must sit directly above a tagged Scan or a "
+            "QualityFilter over one"
+        )
+    if not scan.tagged:
+        raise SQLError("ScoreFilter requires a tagged Scan")
+    child = _compile_scan(scan, relations)
+    name = scan.relation
+    constraints = list(plan.constraints)
+    # Like QualityFilter, this operator reads storage (score arrays +
+    # row batch) directly; credit the swallowed Scan's row count so the
+    # annotated tree still shows the filter's input size.
+    scan_id = None if ids is None else ids[id(scan)]
+    label = plan.label()
+
+    def scan_segment(segment: Any, materializer: Any, bucket: Any) -> list:
+        """Surviving indices of one storage segment (shard or flat)."""
+        candidates = None
+        if tag_constraints is not None:
+            candidates = segment.columnar_store().scan(tag_constraints)
+        return materializer.filter_indices(
+            constraints, bucket=bucket, candidates=candidates
+        )
+
+    from repro.quality.materialize import materializer_for
+
+    if scan.partitions is None:
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            relation = binding[name]
+            indices = scan_segment(relation, materializer_for(relation), None)
+            rows = relation.row_batch()
+            if stats is not None and scan_id is not None:
+                stats.record(scan_id, len(rows), 0.0)
+            if sanitize:
+                _check_scan_indices(label, indices, len(rows))
+            return [rows[index] for index in indices]
+
+    else:
+        pruned_count = scan.partition_total - len(scan.partitions)
+        note = f"{len(scan.partitions)}/{scan.partition_total}"
+
+        def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
+            relation = binding[name]
+            materializer = materializer_for(relation)
+            shards = _surviving_partitions(scan, relation)
+            if shards is None:
+                indices = scan_segment(relation, materializer, None)
+                rows = relation.row_batch()
+                if stats is not None and scan_id is not None:
+                    stats.record(scan_id, len(rows), 0.0)
+                if sanitize:
+                    _check_scan_indices(label, indices, len(rows))
+                return [rows[index] for index in indices]
+            out: list = []
+            fed = 0
+            rows_by_partition: list[int] = []
+            for bucket, shard in zip(scan.partitions, shards):
+                indices = scan_segment(shard, materializer, bucket)
+                rows = shard.row_batch()
+                fed += len(rows)
+                rows_by_partition.append(len(rows))
+                if sanitize:
+                    _check_scan_indices(label, indices, len(rows))
+                out.extend(rows[index] for index in indices)
+            if _obs_metrics.enabled():
+                _record_partition_scan(fed, pruned_count)
+            if stats is not None and scan_id is not None:
+                stats.record(scan_id, fed, 0.0)
+                stats.annotate(
+                    scan_id,
+                    partitions=note,
+                    partition_rows=tuple(rows_by_partition),
+                )
+            return out
+
+    return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
+
+
 def _check_scan_indices(label: str, indices: Any, length: int) -> None:
     """Sanitizer: tag-store scan hits are in-bounds and ascending."""
     previous = -1
@@ -480,7 +574,9 @@ def _compile_filter(
         else:
             run = lambda binding, stats: []  # noqa: E731
         return CompiledNode(run, child.schema, child.tagged, child.tag_schema)
-    predicate = _compile_predicate(predicate_expr, child.schema, child.tagged)
+    predicate = _compile_predicate(
+        predicate_expr, child.schema, child.tagged, child.tag_schema
+    )
     child_run = child.run
 
     def run(binding: Binding, stats: Optional[ExecutionStats]) -> list:
@@ -495,7 +591,9 @@ def _compile_project(
     child = _compile(plan.child, relations, ids, sanitize)
     items = plan.items
     child_run = child.run
-    if any(isinstance(item.expr, QualityRef) for item in items):
+    if any(
+        isinstance(item.expr, (QualityRef, QualityScoreRef)) for item in items
+    ):
         # QUALITY(...) in the select list materializes tag values into a
         # plain relation — delegate to the executor's implementation.
         stub = SelectStatement(
@@ -663,7 +761,7 @@ def _compile_aggregate(
 def _check_aggregate_order(plan: Sort | TopK, child: CompiledNode) -> None:
     """The executor's post-aggregation ORDER BY validation, verbatim."""
     for item in plan.order_by:
-        if isinstance(item.key, QualityRef):
+        if isinstance(item.key, (QualityRef, QualityScoreRef)):
             raise SQLError("ORDER BY QUALITY(...) cannot follow aggregation")
         child.schema.column(item.key.column)
 
@@ -678,7 +776,9 @@ def _compile_sort(
     # executor's exact ordering semantics.
     passes = [
         (
-            _sort_key_function((item,), child.schema, child.tagged),
+            _sort_key_function(
+                (item,), child.schema, child.tagged, child.tag_schema
+            ),
             item.descending,
         )
         for item in reversed(plan.order_by)
@@ -704,7 +804,9 @@ def _compile_topk(
         raise QueryError("limit must be non-negative")
     parts = [
         (
-            _sort_key_function((item,), child.schema, child.tagged),
+            _sort_key_function(
+                (item,), child.schema, child.tagged, child.tag_schema
+            ),
             item.descending,
         )
         for item in plan.order_by

@@ -55,6 +55,7 @@ from repro.sql.nodes import (
     NotOp,
     OrderItem,
     QualityRef,
+    QualityScoreRef,
     SelectItem,
     SelectStatement,
 )
@@ -62,6 +63,7 @@ from repro.sql.nodes import (
 PlanNode = Union[
     "Scan",
     "QualityFilter",
+    "ScoreFilter",
     "Filter",
     "Project",
     "HashJoin",
@@ -141,6 +143,39 @@ class QualityFilter:
             for column, indicator, op, operand in self.constraints
         )
         return f"QualityFilter [{rendered} -> columnar scan]"
+
+    def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
+        return inputs[0]
+
+
+#: One materialized-score constraint: (parameter, operator, operand).
+#: Operators use the :data:`repro.tagging.query.OPERATORS` vocabulary.
+ScoreConstraint = tuple[str, str, Any]
+
+
+@dataclass(frozen=True)
+class ScoreFilter:
+    """Parameter-score constraints pushed into materialized score arrays.
+
+    The constraints evaluate against the relation's
+    :class:`~repro.quality.materialize.ScoreMaterializer` columns rather
+    than per-row scorer invocations; the optimizer only builds this node
+    when the scan's relation has a bound scoring profile defining every
+    referenced parameter.
+    """
+
+    child: PlanNode
+    constraints: tuple[ScoreConstraint, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        rendered = " AND ".join(
+            f"QUALITY({parameter}) {op} {operand!r}"
+            for parameter, op, operand in self.constraints
+        )
+        return f"ScoreFilter [{rendered} -> materialized scores]"
 
     def output_columns(self, inputs: tuple[Columns, ...], base: Columns = None) -> Columns:
         return inputs[0]
@@ -396,6 +431,8 @@ def render_operand(operand: Any) -> str:
         return operand.column
     if isinstance(operand, QualityRef):
         return f"QUALITY({operand.column}.{operand.indicator})"
+    if isinstance(operand, QualityScoreRef):
+        return f"QUALITY({operand.parameter})"
     # AggregateCall
     if operand.operand is None:
         return f"{operand.func}(*)"

@@ -35,6 +35,11 @@ Two more facts participate in validation because the optimizer's plan
 - the relation's partition layout version: the optimizer bakes static
   partition pruning (the surviving bucket set) into the plan, so
   ``repartition()`` bumps the version and forces a replan.
+- the scoring-profile registry version, for statements referencing the
+  ``QUALITY(parameter)`` score form: the optimizer's
+  ``push_score_predicates`` rewrite consults the registry (which
+  profile is bound, which parameters it defines), so registering or
+  re-binding a profile must replan such statements.
 
 The plan-IR verifier (:mod:`repro.analysis.verifier`) audits exactly
 this key-completeness contract as DQ409; with ``REPRO_VERIFY_PLANS=1``
@@ -96,6 +101,7 @@ class PreparedStatement:
         "columnar_band",
         "sanitize",
         "partition_layout",
+        "scoring_version",
         "strict_checked",
     )
 
@@ -140,6 +146,12 @@ class PreparedStatement:
         self.partition_layout = getattr(
             relation, "partition_layout_version", 0
         )
+        #: The scoring-profile registry version at plan time, when the
+        #: statement references QUALITY(parameter) score form (None
+        #: otherwise).  ``push_score_predicates`` bakes the registry's
+        #: answers into the plan shape, so any registry mutation must
+        #: force a replan of score-referencing statements.
+        self.scoring_version = _scoring_version_pin(statement, self.tagged)
         #: True once strict-mode analysis passed for this entry (the
         #: diagnostics depend only on the statement and the schemas the
         #: entry already pins by identity, so one clean run is enough).
@@ -174,9 +186,28 @@ class PreparedStatement:
             != self.partition_layout
         ):
             return False
+        if self.scoring_version is not None:
+            from repro.quality.materialize import registry_version
+
+            if registry_version() != self.scoring_version:
+                return False
         if isinstance(source, Database):
             return source.catalog_version == self.catalog_version
         return True
+
+
+def _scoring_version_pin(statement: Any, tagged: bool) -> Optional[int]:
+    """The scoring-registry version a plan's shape depends on, or None.
+
+    Only tagged statements referencing the ``QUALITY(parameter)`` score
+    form consult the registry at plan time; pinning anything else would
+    needlessly invalidate unrelated plans on every profile registration.
+    """
+    if not tagged or not statement.uses_quality_scores():
+        return None
+    from repro.quality.materialize import registry_version
+
+    return registry_version()
 
 
 def _columnar_band(relation: AnyRelation, columnar: bool) -> Optional[bool]:

@@ -41,6 +41,7 @@ from repro.sql.plan import (
     Materialize,
     QualityFilter,
     Scan,
+    ScoreFilter,
     Sort,
     TopK,
 )
@@ -116,6 +117,10 @@ MUTATIONS = {
     "DQ410": lambda: Scan(
         "big", partitions=(0,), partition_total=8, partition_key="score"
     ),
+    # Score pushdown over an untagged scan (no materialized arrays).
+    "DQ411": lambda: ScoreFilter(
+        Scan("big"), (("credibility", ">", 0.5),)
+    ),
 }
 
 
@@ -140,7 +145,7 @@ def test_dq4_registry_closed():
     covered = (
         set(MUTATIONS)
         | {"DQ409"}
-        | {"DQ420", "DQ421", "DQ422", "DQ423", "DQ424"}
+        | {"DQ420", "DQ421", "DQ422", "DQ423", "DQ424", "DQ425"}
     )
     assert covered == dq4
 

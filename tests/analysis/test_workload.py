@@ -251,6 +251,48 @@ class TestPartitionCandidates:
         assert "DQ424" not in diagnostics.codes()
 
 
+class TestUnregisteredParameters:
+    SQL = (
+        "SELECT co_name FROM customer WHERE QUALITY(credibility) > 0.5"
+    )
+
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        from repro.quality.materialize import clear_profiles
+
+        clear_profiles()
+        yield
+        clear_profiles()
+
+    def test_dq425_for_unregistered_parameter(self):
+        diagnostics = analyze_workload([(self.SQL, "grade-view")])
+        (finding,) = [d for d in diagnostics if d.code == "DQ425"]
+        assert finding.severity.label == "info"
+        assert "QUALITY(credibility)" in finding.message
+        assert "'customer'" in finding.message
+
+    def test_repeated_references_report_once(self):
+        diagnostics = analyze_workload(
+            [(self.SQL, "view-a"), (self.SQL, "view-b")]
+        )
+        assert diagnostics.codes().count("DQ425") == 1
+
+    def test_registered_parameter_is_quiet(self):
+        from repro.quality.materialize import (
+            ScoringProfile,
+            register_profile,
+        )
+        from repro.quality.scoring import credibility_scorer
+
+        register_profile(
+            ScoringProfile(
+                "workload-test", [credibility_scorer({"acct'g": 0.9})]
+            )
+        )
+        diagnostics = analyze_workload([(self.SQL, "grade-view")])
+        assert "DQ425" not in diagnostics.codes()
+
+
 class TestRobustness:
     def test_parse_failures_are_skipped(self):
         diagnostics = analyze_workload(

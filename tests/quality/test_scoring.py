@@ -77,6 +77,40 @@ class TestBuiltinScorers:
         scorer_negative = ParameterScorer("x", lambda tags, ctx: -2.0)
         assert scorer_negative.score(QualityCell(1)) == 0.0
 
+    def test_timeliness_clamps_future_dated_cells(self):
+        # A future-dated creation_time (source clock skew) makes age
+        # negative; the raw scoring function itself must honor the
+        # [0, 1] contract, not lean on ParameterScorer's outer clamp —
+        # rollups and materialized arrays read the same function.
+        scorer = timeliness_scorer(shelf_life_days=100)
+        assert scorer.func({"age": -5.0}, {}) == 1.0
+        created = dt.date(1991, 2, 1)
+        assert (
+            scorer.func(
+                {"creation_time": created}, {"today": dt.date(1991, 1, 1)}
+            )
+            == 1.0
+        )
+
+    def test_timeliness_non_numeric_age_unscorable(self):
+        scorer = timeliness_scorer(shelf_life_days=100)
+        assert scorer.score(cell_with(age="unknown")) is None
+
+    def test_timeliness_non_date_creation_time_unscorable(self):
+        scorer = timeliness_scorer(shelf_life_days=100)
+        cell = cell_with(creation_time="not-a-date")
+        assert scorer.score(cell, {"today": dt.date(1991, 1, 1)}) is None
+
+    def test_rating_tables_validated_at_construction(self):
+        with pytest.raises(AssessmentError):
+            credibility_scorer({"rumor mill": 1.5})
+        with pytest.raises(AssessmentError):
+            credibility_scorer({"WSJ": 0.9}, default=-0.1)
+        with pytest.raises(AssessmentError):
+            collection_accuracy_scorer({"bar_code_scanner": 99.8})
+        with pytest.raises(AssessmentError):
+            collection_accuracy_scorer({"manual": 0.9}, default=2.0)
+
 
 class TestScorecardCellLevel:
     @pytest.fixture
